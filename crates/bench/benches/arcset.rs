@@ -1,0 +1,60 @@
+//! Microbenchmarks for the circular-arc union algebra — the innermost
+//! data structure of every coverage computation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use photodtn_geo::{Angle, Arc, ArcSet};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn random_arcs(n: usize, seed: u64) -> Vec<Arc> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Arc::centered(
+                Angle::from_degrees(rng.gen_range(0.0..360.0)),
+                Angle::from_degrees(rng.gen_range(5.0..45.0)),
+            )
+        })
+        .collect()
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arcset/insert");
+    for n in [4usize, 16, 64, 256] {
+        let arcs = random_arcs(n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &arcs, |b, arcs| {
+            b.iter(|| {
+                let mut set = ArcSet::new();
+                for &a in arcs {
+                    set.insert(a);
+                }
+                black_box(set.measure())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_set_ops(c: &mut Criterion) {
+    let left: ArcSet = random_arcs(32, 2).into_iter().collect();
+    let right: ArcSet = random_arcs(32, 3).into_iter().collect();
+    c.bench_function("arcset/union", |b| b.iter(|| black_box(left.union(&right))));
+    c.bench_function("arcset/intersection", |b| {
+        b.iter(|| black_box(left.intersection(&right)))
+    });
+    c.bench_function("arcset/difference", |b| b.iter(|| black_box(left.difference(&right))));
+    c.bench_function("arcset/complement", |b| b.iter(|| black_box(left.complement())));
+    let probe = Angle::from_degrees(123.0);
+    c.bench_function("arcset/contains", |b| b.iter(|| black_box(left.contains(probe))));
+    let arc = Arc::centered(Angle::from_degrees(200.0), Angle::from_degrees(30.0));
+    c.bench_function("arcset/uncovered_measure", |b| {
+        b.iter(|| black_box(left.uncovered_measure(arc)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_insert, bench_set_ops
+}
+criterion_main!(benches);

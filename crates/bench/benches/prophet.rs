@@ -1,0 +1,46 @@
+//! PROPHET state-maintenance throughput: contacts per second processed
+//! including both encounter updates and the transitivity exchange.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use photodtn_contacts::synth::{CommunityTraceGenerator, TraceStyle};
+use photodtn_contacts::NodeId;
+use photodtn_prophet::{ProphetParams, ProphetRouter};
+
+fn bench_learn_trace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prophet/learn_trace");
+    for nodes in [16u32, 48, 97] {
+        let trace = CommunityTraceGenerator::new(TraceStyle::MitLike)
+            .with_num_nodes(nodes)
+            .with_duration_hours(100.0)
+            .generate(1);
+        group.throughput(criterion::Throughput::Elements(trace.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &trace, |b, trace| {
+            b.iter(|| {
+                let mut router = ProphetRouter::new(nodes, ProphetParams::paper_default());
+                router.learn_trace(trace);
+                black_box(router.predictability(NodeId(0), NodeId(1), trace.duration()))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_predictability_query(c: &mut Criterion) {
+    let trace = CommunityTraceGenerator::new(TraceStyle::MitLike)
+        .with_num_nodes(97)
+        .with_duration_hours(100.0)
+        .generate(1);
+    let mut router = ProphetRouter::new(97, ProphetParams::paper_default());
+    router.learn_trace(&trace);
+    let now = trace.duration();
+    c.bench_function("prophet/predictability_query", |b| {
+        b.iter(|| black_box(router.predictability(NodeId(3), NodeId(77), now)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_learn_trace, bench_predictability_query
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! End-to-end simulator throughput per scheme on a reduced MIT-like
+//! scenario — how expensive is each protocol per simulated world?
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use photodtn_bench::scheme_by_name;
+use photodtn_contacts::synth::{CommunityTraceGenerator, TraceStyle};
+use photodtn_sim::{SimConfig, Simulation};
+
+fn bench_schemes(c: &mut Criterion) {
+    let trace = CommunityTraceGenerator::new(TraceStyle::MitLike)
+        .with_num_nodes(30)
+        .with_duration_hours(48.0)
+        .generate(1);
+    let config = SimConfig::mit_default().with_photos_per_hour(100.0);
+
+    let mut group = c.benchmark_group("simulator/48h_30nodes");
+    group.sample_size(10);
+    for name in ["best-possible", "ours", "no-metadata", "modified-spray", "spray-wait", "photonet"] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, name| {
+            b.iter(|| {
+                let mut scheme = scheme_by_name(name);
+                black_box(Simulation::new(&config, &trace, 1).run(&mut scheme))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

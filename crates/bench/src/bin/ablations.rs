@@ -1,0 +1,87 @@
+//! Design-choice ablations (DESIGN.md §5) that the paper leaves to
+//! simulation:
+//!
+//! 1. **`P_thld` sweep** — §III-B: "The value of `P_thld` is currently
+//!    determined by simulations." We sweep the staleness threshold from
+//!    never-trust (0.01) to always-trust (0.999) around Table I's 0.8.
+//! 2. **Command-center acknowledgment relay** — whether nodes forward the
+//!    freshest command-center metadata ("works as an acknowledgment",
+//!    §III-B) to peers, or only learn it first-hand.
+//!
+//! ```sh
+//! cargo run --release -p photodtn-bench --bin ablations -- --runs 2
+//! ```
+
+use photodtn_bench::Args;
+use photodtn_core::validity::ValidityModel;
+use photodtn_schemes::OurScheme;
+use photodtn_sim::run_averaged;
+
+fn main() {
+    let args = Args::parse();
+    let seeds = args.seeds();
+    let config = args.config();
+
+    println!("Ablation 1: metadata validity threshold P_thld (Table I uses 0.8)");
+    println!("{:>8} | {:>8} {:>9} {:>10}", "P_thld", "point%", "aspect°", "delivered");
+    let mut rows = Vec::new();
+    for p_thld in [0.01, 0.2, 0.5, 0.8, 0.95, 0.999] {
+        eprintln!("ablations: P_thld = {p_thld}…");
+        let s = run_averaged(
+            &config,
+            |seed| args.trace(seed),
+            || OurScheme::new().with_validity(ValidityModel::new(p_thld)),
+            &seeds,
+        );
+        let f = s.final_sample();
+        println!(
+            "{:>8.3} | {:>7.1}% {:>8.1}° {:>10}",
+            p_thld,
+            100.0 * f.point_coverage,
+            f.aspect_coverage_deg,
+            f.delivered_photos
+        );
+        rows.push(serde_json::json!({
+            "ablation": "p_thld", "p_thld": p_thld, "runs": args.runs,
+            "point_coverage": f.point_coverage,
+            "aspect_coverage_deg": f.aspect_coverage_deg,
+            "delivered_photos": f.delivered_photos,
+        }));
+    }
+
+    println!("\nAblation 2: relaying command-center acknowledgments");
+    println!("{:>10} | {:>8} {:>9} {:>10}", "ack relay", "point%", "aspect°", "delivered");
+    for (label, relay) in [("on", true), ("off", false)] {
+        eprintln!("ablations: ack relay {label}…");
+        let s = run_averaged(
+            &config,
+            |seed| args.trace(seed),
+            || {
+                if relay {
+                    OurScheme::new()
+                } else {
+                    OurScheme::new().without_ack_relay()
+                }
+            },
+            &seeds,
+        );
+        let f = s.final_sample();
+        println!(
+            "{:>10} | {:>7.1}% {:>8.1}° {:>10}",
+            label,
+            100.0 * f.point_coverage,
+            f.aspect_coverage_deg,
+            f.delivered_photos
+        );
+        rows.push(serde_json::json!({
+            "ablation": "ack_relay", "relay": relay, "runs": args.runs,
+            "point_coverage": f.point_coverage,
+            "aspect_coverage_deg": f.aspect_coverage_deg,
+            "delivered_photos": f.delivered_photos,
+        }));
+    }
+
+    if args.json {
+        println!("\nJSON {}", serde_json::to_string_pretty(&rows).expect("rows serialize"));
+    }
+}

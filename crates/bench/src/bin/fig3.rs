@@ -1,0 +1,72 @@
+//! Fig. 3 (and the §IV-B demo, Figs. 2–4) — which photos of the church
+//! reach the command center under our scheme, PhotoNet and Spray&Wait.
+//!
+//! See [`photodtn_bench::demo`] for the full world reconstruction: 9
+//! trace nodes, 40 photos (a minority of which cover the church), last
+//! 48 contacts, 5-photo storage, 3 photos per contact, θ = 40°.
+//!
+//! Paper results (real photos): ours delivers **6** photos covering
+//! **346°**; PhotoNet **12** covering **160°**; Spray&Wait **12** (3
+//! useful) covering **171°**.
+//!
+//! ```sh
+//! cargo run --release -p photodtn-bench --bin fig3 -- --runs 5
+//! ```
+
+use photodtn_bench::demo::DemoWorld;
+use photodtn_bench::Args;
+use photodtn_schemes::{OurScheme, PhotoNet, SprayAndWait};
+use photodtn_sim::Scheme;
+
+fn main() {
+    let args = Args::parse();
+
+    println!("Fig. 3: §IV-B demo, averaged over {} random layouts/traces", args.runs);
+    println!(
+        "{:<12} {:>18} {:>22}",
+        "scheme", "photos delivered", "church aspect covered"
+    );
+
+    let mut rows = Vec::new();
+    for name in ["ours", "photonet", "spray-wait"] {
+        let mut delivered_sum = 0.0;
+        let mut aspect_sum = 0.0;
+        for seed in args.seeds() {
+            let world = DemoWorld::build(seed);
+            let mut scheme: Box<dyn Scheme> = match name {
+                "ours" => Box::new(OurScheme::new()),
+                "photonet" => Box::new(PhotoNet::new()),
+                _ => Box::new(SprayAndWait::new()),
+            };
+            let (_, delivered) = world.run(&mut scheme);
+            delivered_sum += delivered.len() as f64;
+            aspect_sum += world.church_aspect_deg(&delivered);
+            // Fig. 3-style plot of the first layout, per scheme.
+            if seed == 1 {
+                let svg = photodtn_bench::svg::render_demo(
+                    &world,
+                    &delivered,
+                    &format!("Fig. 3 — {name} (seed {seed})"),
+                );
+                let dir = if std::path::Path::new("results").is_dir() { "results/" } else { "" };
+                let path = format!("{dir}fig3_{name}.svg");
+                if std::fs::write(&path, svg).is_ok() {
+                    eprintln!("fig3: wrote {path}");
+                }
+            }
+        }
+        let n = args.runs as f64;
+        println!("{:<12} {:>18.1} {:>21.0}°", name, delivered_sum / n, aspect_sum / n);
+        rows.push(serde_json::json!({
+            "figure": "fig3",
+            "scheme": name,
+            "runs": args.runs,
+            "delivered_photos": delivered_sum / n,
+            "church_aspect_deg": aspect_sum / n,
+        }));
+    }
+    println!("\n(paper: ours 6 / 346°, PhotoNet 12 / 160°, Spray&Wait 12 / 171°)");
+    if args.json {
+        println!("\nJSON {}", serde_json::to_string_pretty(&rows).expect("rows serialize"));
+    }
+}

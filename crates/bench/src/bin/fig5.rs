@@ -1,0 +1,35 @@
+//! Fig. 5 — point and aspect coverage over time (MIT trace, five
+//! schemes), storage 0.6 GB, 250 photos/hour.
+//!
+//! Paper shape to reproduce: BestPossible ≥ Ours ≳ NoMetadata ≫
+//! ModifiedSpray ≫ Spray&Wait; our scheme within ~10 % point / ~17 %
+//! aspect of BestPossible, ~70 % of PoIs covered by 150 h.
+//!
+//! ```sh
+//! cargo run --release -p photodtn-bench --bin fig5 -- --runs 5
+//! ```
+
+use photodtn_bench::{print_json, print_series_table, scheme_by_name, Args};
+use photodtn_sim::run_averaged;
+
+fn main() {
+    let args = Args::parse();
+    let config = args.config();
+    let seeds = args.seeds();
+
+    let series: Vec<_> = args
+        .lineup()
+        .iter()
+        .map(|name| {
+            eprintln!("fig5: running {name} over {} seeds…", seeds.len());
+            run_averaged(&config, |seed| args.trace(seed), || scheme_by_name(name), &seeds)
+        })
+        .collect();
+
+    print_series_table(
+        "Fig. 5: coverage over time (storage 0.6 GB, 250 photos/h)",
+        &series,
+        25,
+    );
+    print_json("fig5", &args, &series);
+}

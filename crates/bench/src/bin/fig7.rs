@@ -1,0 +1,66 @@
+//! Fig. 7 — the effect of storage capacity (§V-D).
+//!
+//! Sweeps per-node storage and reports the end-of-run point coverage,
+//! aspect coverage, and delivered-photo count for each scheme —
+//! Fig. 7(a–c) with `--trace mit`, Fig. 7(d–f) with `--trace cambridge`.
+//!
+//! Paper shape: more storage helps every coverage-aware scheme (more
+//! replicas of useful photos survive); ModifiedSpray barely moves (its
+//! copies are capped at 4); ours and NoMetadata deliver dramatically
+//! fewer photos than the spray family (log-scale panel (c)/(f)).
+//!
+//! ```sh
+//! cargo run --release -p photodtn-bench --bin fig7 -- --trace mit --runs 2
+//! ```
+
+use photodtn_bench::{scheme_by_name, Args, LINEUP};
+use photodtn_sim::run_averaged;
+
+const GB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+fn main() {
+    let args = Args::parse();
+    let seeds = args.seeds();
+    let storages_gb = [0.15, 0.3, 0.6, 1.2];
+
+    println!(
+        "Fig. 7 ({} trace): end-of-run metrics vs storage, {} runs each",
+        args.style.name(),
+        args.runs
+    );
+    println!(
+        "{:<15} {:>9} | {:>8} {:>9} {:>10}",
+        "scheme", "storage", "point%", "aspect°", "delivered"
+    );
+
+    let mut rows = Vec::new();
+    for name in LINEUP {
+        for gb in storages_gb {
+            let config = args.config().with_storage_bytes((gb * GB) as u64);
+            eprintln!("fig7: {name} at {gb} GB…");
+            let s = run_averaged(&config, |seed| args.trace(seed), || scheme_by_name(name), &seeds);
+            let f = s.final_sample();
+            println!(
+                "{:<15} {:>6.2}GB | {:>7.1}% {:>8.1}° {:>10}",
+                name,
+                gb,
+                100.0 * f.point_coverage,
+                f.aspect_coverage_deg,
+                f.delivered_photos
+            );
+            rows.push(serde_json::json!({
+                "figure": "fig7",
+                "trace": args.style.name(),
+                "scheme": name,
+                "storage_gb": gb,
+                "runs": args.runs,
+                "point_coverage": f.point_coverage,
+                "aspect_coverage_deg": f.aspect_coverage_deg,
+                "delivered_photos": f.delivered_photos,
+            }));
+        }
+    }
+    if args.json {
+        println!("\nJSON {}", serde_json::to_string_pretty(&rows).expect("rows serialize"));
+    }
+}

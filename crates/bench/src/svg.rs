@@ -1,0 +1,132 @@
+//! Minimal SVG rendering of a demo world — the Fig. 2(b)/Fig. 3 style
+//! plot: photos as V-shaped field-of-view marks, the target with its
+//! covered aspects shaded, delivered photos highlighted.
+//!
+//! Pure `std` string building; no drawing dependency. The output is a
+//! self-contained `.svg` the figure binaries drop next to their numeric
+//! results.
+
+use std::fmt::Write as _;
+
+use photodtn_coverage::{PhotoCollection, PhotoMeta, PoiId};
+use photodtn_geo::Angle;
+
+use crate::demo::DemoWorld;
+
+/// Canvas size in pixels.
+const SIZE: f64 = 640.0;
+/// World size rendered (meters); the demo area is 1 km².
+const WORLD: f64 = 1000.0;
+
+/// Renders the demo world: every photo as a V, the delivered ones in
+/// color, the church with its covered-aspect arcs.
+#[must_use]
+pub fn render_demo(world: &DemoWorld, delivered: &PhotoCollection, title: &str) -> String {
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{SIZE}" height="{SIZE}" viewBox="0 0 {SIZE} {SIZE}">"#
+    );
+    let _ = writeln!(svg, r##"<rect width="{SIZE}" height="{SIZE}" fill="#fcfcf8"/>"##);
+    let _ = writeln!(
+        svg,
+        r#"<text x="12" y="24" font-family="sans-serif" font-size="16">{title}</text>"#
+    );
+
+    // Undelivered photos first (grey), delivered on top (colored).
+    for (_, photo) in &world.photos {
+        if !delivered.contains(photo.id) {
+            v_mark(&mut svg, &photo.meta, "#b8b8b8", 1.0);
+        }
+    }
+    for (_, photo) in &world.photos {
+        if delivered.contains(photo.id) {
+            v_mark(&mut svg, &photo.meta, "#d4442c", 1.8);
+        }
+    }
+
+    // The church and its covered aspects (2θ arcs around each delivered
+    // viewing direction).
+    let church = world.pois[PoiId(0)].location;
+    let (cx, cy) = to_px(church.x, church.y);
+    let theta = Angle::from_degrees(40.0);
+    let covered = photodtn_coverage::aspect_set(&world.pois[PoiId(0)], delivered.metas(), theta);
+    for (lo, hi) in covered.iter() {
+        arc_path(&mut svg, cx, cy, 28.0, lo, hi);
+    }
+    let _ = writeln!(svg, r##"<circle cx="{cx:.1}" cy="{cy:.1}" r="6" fill="#1a1a96"/>"##);
+    let _ = writeln!(
+        svg,
+        r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="12">church ({:.0}&#176; covered)</text>"#,
+        cx + 10.0,
+        cy - 10.0,
+        covered.measure().to_degrees()
+    );
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// World meters → canvas pixels (y flipped: north is up).
+fn to_px(x: f64, y: f64) -> (f64, f64) {
+    (x / WORLD * SIZE, SIZE - y / WORLD * SIZE)
+}
+
+/// Draws a photo as a V: two rays from the camera along the FoV edges.
+fn v_mark(svg: &mut String, meta: &PhotoMeta, color: &str, width: f64) {
+    let (x0, y0) = to_px(meta.location.x, meta.location.y);
+    let len = (meta.range.min(150.0)) / WORLD * SIZE;
+    let half = meta.fov.radians() / 2.0;
+    for sign in [-1.0, 1.0] {
+        let ang = meta.orientation.radians() + sign * half;
+        let x1 = x0 + len * ang.cos();
+        let y1 = y0 - len * ang.sin();
+        let _ = writeln!(
+            svg,
+            r#"<line x1="{x0:.1}" y1="{y0:.1}" x2="{x1:.1}" y2="{y1:.1}" stroke="{color}" stroke-width="{width}"/>"#
+        );
+    }
+}
+
+/// Shades one covered-aspect interval as an annular arc around the PoI.
+fn arc_path(svg: &mut String, cx: f64, cy: f64, r: f64, lo: f64, hi: f64) {
+    let (sx, sy) = (cx + r * lo.cos(), cy - r * lo.sin());
+    let (ex, ey) = (cx + r * hi.cos(), cy - r * hi.sin());
+    let large = if hi - lo > std::f64::consts::PI { 1 } else { 0 };
+    // sweep = 0 because the canvas y-axis is flipped
+    let _ = writeln!(
+        svg,
+        r##"<path d="M {sx:.1} {sy:.1} A {r} {r} 0 {large} 0 {ex:.1} {ey:.1}" fill="none" stroke="#2c8a2c" stroke-width="5" stroke-linecap="round" opacity="0.8"/>"##
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photodtn_schemes::OurScheme;
+
+    #[test]
+    fn renders_valid_svg_with_marks() {
+        let world = DemoWorld::build(1);
+        let (_, delivered) = world.run(&mut OurScheme::new());
+        let svg = render_demo(&world, &delivered, "test");
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // every photo contributes 2 ray lines
+        assert_eq!(svg.matches("<line").count(), 80);
+        // delivered photos drawn in the highlight color
+        assert!(svg.contains("#d4442c"));
+        // covered aspects drawn when something was delivered
+        if !delivered.is_empty() {
+            assert!(svg.contains("<path"));
+        }
+        assert!(svg.contains("church"));
+    }
+
+    #[test]
+    fn empty_delivery_renders_without_arcs() {
+        let world = DemoWorld::build(2);
+        let svg = render_demo(&world, &PhotoCollection::new(), "empty");
+        assert!(!svg.contains("<path"));
+        assert!(svg.contains("0&#176; covered"));
+    }
+}

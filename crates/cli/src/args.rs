@@ -1,0 +1,104 @@
+//! Minimal flag parser shared by the subcommands (no external dependency
+//! — the option space is tiny and errors must be first-class).
+
+use std::collections::HashMap;
+
+/// Parsed flags: `--key value` pairs, `--key` booleans, and positionals.
+#[derive(Debug, Default)]
+pub struct Flags {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+    positionals: Vec<String>,
+}
+
+/// Flags that take no value, per subcommand namespace.
+const SWITCHES: &[&str] = &["json", "report", "no-json"];
+
+impl Flags {
+    /// Parses an argv slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a value flag has no value.
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut flags = Flags::default();
+        let mut it = argv.iter().peekable();
+        while let Some(arg) = it.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if SWITCHES.contains(&name) {
+                    flags.switches.push(name.to_string());
+                } else {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                    flags.values.insert(name.to_string(), value.clone());
+                }
+            } else {
+                flags.positionals.push(arg.clone());
+            }
+        }
+        Ok(flags)
+    }
+
+    /// The positional arguments.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// A string flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// A parsed numeric flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value does not parse.
+    pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{name}: invalid value {v:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_values_switches_positionals() {
+        let f = Flags::parse(&argv("gen --seed 7 --json file.txt --style mit")).unwrap();
+        assert_eq!(f.positionals(), &["gen", "file.txt"]);
+        assert_eq!(f.get("seed"), Some("7"));
+        assert_eq!(f.get("style"), Some("mit"));
+        assert!(f.has("json"));
+        assert!(!f.has("report"));
+    }
+
+    #[test]
+    fn numeric_parsing_with_default() {
+        let f = Flags::parse(&argv("--seed 7")).unwrap();
+        assert_eq!(f.num("seed", 0u64).unwrap(), 7);
+        assert_eq!(f.num("hours", 12.5f64).unwrap(), 12.5);
+        let bad = Flags::parse(&argv("--seed banana")).unwrap();
+        assert!(bad.num("seed", 0u64).is_err());
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(Flags::parse(&argv("--seed")).is_err());
+    }
+}

@@ -1,0 +1,145 @@
+//! `photodtn report FILE…` — consolidates the `JSON [...]` blocks emitted
+//! by the figure binaries into one markdown summary table.
+
+use crate::args::Flags;
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(argv)?;
+    if flags.positionals().is_empty() {
+        return Err("report: pass one or more result files (e.g. results/fig5.txt)".into());
+    }
+    let mut rows: Vec<serde_json::Value> = Vec::new();
+    for path in flags.positionals() {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        rows.extend(extract_rows(&text));
+    }
+    if rows.is_empty() {
+        return Err("report: no JSON blocks found in the given files".into());
+    }
+    print_markdown(&rows);
+    Ok(())
+}
+
+/// Pulls every `JSON [ … ]` block out of a figure binary's output.
+fn extract_rows(text: &str) -> Vec<serde_json::Value> {
+    let mut rows = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find("JSON ") {
+        let tail = &rest[pos + 5..];
+        // the block is a pretty-printed array: find its end by bracket
+        // balance
+        let mut depth = 0usize;
+        let mut end = None;
+        for (i, c) in tail.char_indices() {
+            match c {
+                '[' | '{' => depth += 1,
+                ']' | '}' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end = Some(i + 1);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(end) = end else { break };
+        if let Ok(serde_json::Value::Array(items)) = serde_json::from_str(&tail[..end]) {
+            rows.extend(items);
+        }
+        rest = &tail[end..];
+    }
+    rows
+}
+
+fn print_markdown(rows: &[serde_json::Value]) {
+    println!("| figure | trace | scheme | parameters | point % | aspect ° | delivered |");
+    println!("|---|---|---|---|---|---|---|");
+    for row in rows {
+        let get_s = |k: &str| row.get(k).and_then(|v| v.as_str()).unwrap_or("—").to_string();
+        let get_f = |k: &str| row.get(k).and_then(serde_json::Value::as_f64);
+        // parameters: any keys beyond the standard set
+        let standard = [
+            "figure", "trace", "scheme", "runs", "point_coverage", "aspect_coverage_deg",
+            "delivered_photos", "ablation",
+        ];
+        let params: Vec<String> = row
+            .as_object()
+            .map(|o| {
+                o.iter()
+                    .filter(|(k, _)| !standard.contains(&k.as_str()))
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect()
+            })
+            .unwrap_or_default();
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {} |",
+            row.get("figure")
+                .and_then(|v| v.as_str())
+                .map_or_else(|| get_s("ablation"), String::from),
+            get_s("trace"),
+            get_s("scheme"),
+            if params.is_empty() { "—".to_string() } else { params.join(", ") },
+            get_f("point_coverage").map_or("—".into(), |v| format!("{:.1}", 100.0 * v)),
+            get_f("aspect_coverage_deg").map_or("—".into(), |v| format!("{v:.1}")),
+            row.get("delivered_photos")
+                .and_then(serde_json::Value::as_f64)
+                .map_or("—".into(), |v| format!("{v:.0}")),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+some narration
+JSON [
+  {
+    "figure": "fig5",
+    "trace": "mit",
+    "scheme": "ours",
+    "runs": 3,
+    "point_coverage": 0.95,
+    "aspect_coverage_deg": 180.5,
+    "delivered_photos": 1234
+  }
+]
+trailing text
+JSON [
+  { "ablation": "p_thld", "p_thld": 0.8, "point_coverage": 1.0,
+    "aspect_coverage_deg": 343.0, "delivered_photos": 2332, "runs": 2 }
+]
+"#;
+
+    #[test]
+    fn extracts_multiple_blocks() {
+        let rows = extract_rows(SAMPLE);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0]["scheme"], "ours");
+        assert_eq!(rows[1]["ablation"], "p_thld");
+    }
+
+    #[test]
+    fn report_command_roundtrip() {
+        let dir = std::env::temp_dir().join("photodtn-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r.txt");
+        std::fs::write(&path, SAMPLE).unwrap();
+        run(&[path.to_str().unwrap().to_string()]).unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_and_empty_input_error() {
+        assert!(run(&[]).is_err());
+        assert!(run(&["/nonexistent/x.txt".to_string()]).is_err());
+        let dir = std::env::temp_dir().join("photodtn-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.txt");
+        std::fs::write(&path, "no json here").unwrap();
+        assert!(run(&[path.to_str().unwrap().to_string()]).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

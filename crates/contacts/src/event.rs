@@ -1,0 +1,144 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a DTN node (crowdsourcing participant or command center).
+///
+/// Nodes in a trace are numbered densely from 0.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a vector index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One contact: nodes `a` and `b` were within wireless range during
+/// `[start, end]` (seconds from the start of the trace).
+///
+/// The pair is stored normalized (`a < b`); contacts are undirected.
+///
+/// # Example
+///
+/// ```
+/// use photodtn_contacts::{ContactEvent, NodeId};
+/// let c = ContactEvent::new(NodeId(5), NodeId(2), 100.0, 160.0);
+/// assert_eq!(c.a, NodeId(2)); // normalized
+/// assert_eq!(c.duration(), 60.0);
+/// assert!(c.involves(NodeId(5)));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ContactEvent {
+    /// Smaller-id endpoint.
+    pub a: NodeId,
+    /// Larger-id endpoint.
+    pub b: NodeId,
+    /// Contact start time, seconds.
+    pub start: f64,
+    /// Contact end time, seconds (`end ≥ start`).
+    pub end: f64,
+}
+
+impl ContactEvent {
+    /// Creates a contact, normalizing the node pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`, if times are non-finite, or if `end < start` —
+    /// such an event is always a bug in trace construction.
+    #[must_use]
+    pub fn new(a: NodeId, b: NodeId, start: f64, end: f64) -> Self {
+        assert!(a != b, "self-contact of {a}");
+        assert!(
+            start.is_finite() && end.is_finite() && end >= start,
+            "invalid contact interval [{start}, {end}]"
+        );
+        let (a, b) = if a < b { (a, b) } else { (b, a) };
+        ContactEvent { a, b, start, end }
+    }
+
+    /// Contact duration in seconds.
+    #[must_use]
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// Whether `node` is one of the endpoints.
+    #[must_use]
+    pub fn involves(&self, node: NodeId) -> bool {
+        self.a == node || self.b == node
+    }
+
+    /// The other endpoint, if `node` participates in this contact.
+    #[must_use]
+    pub fn peer_of(&self, node: NodeId) -> Option<NodeId> {
+        if self.a == node {
+            Some(self.b)
+        } else if self.b == node {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+
+    /// The normalized `(a, b)` pair.
+    #[must_use]
+    pub fn pair(&self) -> (NodeId, NodeId) {
+        (self.a, self.b)
+    }
+}
+
+impl fmt::Display for ContactEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}–{} @[{:.0}s, {:.0}s]", self.a, self.b, self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_pair() {
+        let c = ContactEvent::new(NodeId(9), NodeId(3), 0.0, 1.0);
+        assert_eq!(c.pair(), (NodeId(3), NodeId(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-contact")]
+    fn rejects_self_contact() {
+        let _ = ContactEvent::new(NodeId(1), NodeId(1), 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid contact interval")]
+    fn rejects_reversed_interval() {
+        let _ = ContactEvent::new(NodeId(1), NodeId(2), 5.0, 1.0);
+    }
+
+    #[test]
+    fn peer_lookup() {
+        let c = ContactEvent::new(NodeId(1), NodeId(2), 0.0, 1.0);
+        assert_eq!(c.peer_of(NodeId(1)), Some(NodeId(2)));
+        assert_eq!(c.peer_of(NodeId(2)), Some(NodeId(1)));
+        assert_eq!(c.peer_of(NodeId(3)), None);
+        assert!(!c.involves(NodeId(3)));
+    }
+
+    #[test]
+    fn zero_duration_allowed() {
+        let c = ContactEvent::new(NodeId(1), NodeId(2), 5.0, 5.0);
+        assert_eq!(c.duration(), 0.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Contact traces for Disruption Tolerant Networks.
+//!
+//! The paper drives both its prototype demo and its simulations from
+//! Bluetooth contact traces (MIT Reality and Cambridge06 — §IV-B, §V-A):
+//! devices periodically scan for peers and record a contact whenever two
+//! devices are in range.
+//!
+//! Those traces are not redistributable, so this crate provides
+//!
+//! * the trace model itself ([`ContactEvent`], [`ContactTrace`]) with a
+//!   plain-text interchange format ([`parse_trace`], [`write_trace`]);
+//! * synthetic generators that reproduce the statistical structure the
+//!   paper's machinery relies on: pairwise **exponential inter-contact
+//!   times** (assumed by the metadata-validity model, §III-B) with
+//!   **community structure** ("rescuers in the same team contact more
+//!   often") and Bluetooth-style scan discretization —
+//!   [`synth::CommunityTraceGenerator`] with MIT-like and Cambridge-like
+//!   presets; plus a [`synth::WaypointTraceGenerator`] random-waypoint
+//!   mobility model for validating the exponential assumption;
+//! * estimators ([`stats`], [`RateMatrix`]) for the contact rates
+//!   `λ_ab` that the metadata management scheme learns online.
+//!
+//! # Example
+//!
+//! ```
+//! use photodtn_contacts::synth::{CommunityTraceGenerator, TraceStyle};
+//!
+//! let trace = CommunityTraceGenerator::new(TraceStyle::MitLike).generate(42);
+//! assert_eq!(trace.num_nodes(), 97);
+//! assert!(trace.len() > 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+pub mod one_format;
+mod parse;
+mod rate;
+pub mod stats;
+pub mod synth;
+mod trace;
+
+pub use event::{ContactEvent, NodeId};
+pub use parse::{parse_trace, write_trace, ParseTraceError};
+pub use rate::RateMatrix;
+pub use trace::ContactTrace;

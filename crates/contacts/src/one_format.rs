@@ -1,0 +1,193 @@
+//! Import of ONE-simulator connectivity event traces.
+//!
+//! The ONE simulator (Keränen et al.) is the standard DTN research tool;
+//! its `StandardEventsReader` connectivity format is what most published
+//! trace conversions (including the CRAWDAD exports of MIT Reality and
+//! Cambridge06) ship in:
+//!
+//! ```text
+//! <time> CONN <host1> <host2> up
+//! <time> CONN <host1> <host2> down
+//! ```
+//!
+//! [`parse_one_trace`] pairs `up`/`down` lines into [`ContactEvent`]s, so
+//! a real converted trace can be dropped straight into the simulator via
+//! `photodtn trace` tooling.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::{ContactEvent, ContactTrace, NodeId};
+
+/// Error from [`parse_one_trace`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseOneError {
+    line: usize,
+    message: String,
+}
+
+impl ParseOneError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseOneError { line, message: message.into() }
+    }
+
+    /// 1-based line number of the offending line.
+    #[must_use]
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseOneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ONE trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseOneError {}
+
+/// Parses a ONE connectivity trace.
+///
+/// Host names may be plain integers (`12`) or prefixed (`n12`, `p12`) —
+/// any non-digit prefix is stripped. Connections still `up` at the end of
+/// input are closed at the last seen timestamp. Redundant `up`s and
+/// unmatched `down`s are ignored (real exports contain both).
+///
+/// # Errors
+///
+/// Returns [`ParseOneError`] on a malformed line.
+///
+/// # Example
+///
+/// ```
+/// use photodtn_contacts::one_format::parse_one_trace;
+/// let trace = parse_one_trace("
+/// 10.0 CONN n1 n2 up
+/// 75.0 CONN n1 n2 down
+/// ")?;
+/// assert_eq!(trace.len(), 1);
+/// assert_eq!(trace.events()[0].duration(), 65.0);
+/// # Ok::<(), photodtn_contacts::one_format::ParseOneError>(())
+/// ```
+pub fn parse_one_trace(text: &str) -> Result<ContactTrace, ParseOneError> {
+    let mut open: HashMap<(u32, u32), f64> = HashMap::new();
+    let mut events = Vec::new();
+    let mut last_time = 0.0f64;
+    let mut max_node = 0u32;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 5 {
+            return Err(ParseOneError::new(line_no, format!("expected 5 fields, found {}", fields.len())));
+        }
+        let time: f64 = fields[0]
+            .parse()
+            .map_err(|_| ParseOneError::new(line_no, format!("invalid time {:?}", fields[0])))?;
+        if !fields[1].eq_ignore_ascii_case("CONN") {
+            return Err(ParseOneError::new(line_no, format!("expected CONN, found {:?}", fields[1])));
+        }
+        let a = parse_host(fields[2], line_no)?;
+        let b = parse_host(fields[3], line_no)?;
+        if a == b {
+            return Err(ParseOneError::new(line_no, format!("self-connection of host {a}")));
+        }
+        last_time = last_time.max(time);
+        max_node = max_node.max(a).max(b);
+        let key = if a < b { (a, b) } else { (b, a) };
+        match fields[4].to_ascii_lowercase().as_str() {
+            "up" => {
+                open.entry(key).or_insert(time);
+            }
+            "down" => {
+                if let Some(start) = open.remove(&key) {
+                    if time > start {
+                        events.push(ContactEvent::new(NodeId(key.0), NodeId(key.1), start, time));
+                    }
+                }
+            }
+            other => {
+                return Err(ParseOneError::new(line_no, format!("expected up/down, found {other:?}")));
+            }
+        }
+    }
+    // close dangling connections at the last timestamp
+    for ((a, b), start) in open {
+        if last_time > start {
+            events.push(ContactEvent::new(NodeId(a), NodeId(b), start, last_time));
+        }
+    }
+    let num_nodes = if events.is_empty() { 0 } else { max_node + 1 };
+    Ok(ContactTrace::new(num_nodes, events))
+}
+
+fn parse_host(s: &str, line: usize) -> Result<u32, ParseOneError> {
+    let digits = s.trim_start_matches(|c: char| !c.is_ascii_digit());
+    digits
+        .parse()
+        .map_err(|_| ParseOneError::new(line, format!("invalid host {s:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_up_down() {
+        let t = parse_one_trace(
+            "0 CONN n1 n2 up\n10 CONN n3 n4 up\n30 CONN n1 n2 down\n50 CONN n3 n4 down\n",
+        )
+        .unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.num_nodes(), 5);
+        assert_eq!(t.events()[0].duration(), 30.0);
+        assert_eq!(t.events()[1].duration(), 40.0);
+    }
+
+    #[test]
+    fn prefixes_and_case_insensitive() {
+        let t = parse_one_trace("5 conn p7 12 UP\n9 Conn 12 p7 Down\n").unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.events()[0].pair(), (NodeId(7), NodeId(12)));
+    }
+
+    #[test]
+    fn dangling_up_closed_at_end() {
+        let t = parse_one_trace("0 CONN 1 2 up\n99 CONN 3 4 up\n100 CONN 3 4 down\n").unwrap();
+        assert_eq!(t.len(), 2);
+        let dangling = t.events().iter().find(|e| e.involves(NodeId(1))).unwrap();
+        assert_eq!(dangling.end, 100.0);
+    }
+
+    #[test]
+    fn redundant_up_and_unmatched_down_ignored() {
+        let t = parse_one_trace(
+            "0 CONN 1 2 up\n1 CONN 1 2 up\n5 CONN 1 2 down\n9 CONN 1 2 down\n",
+        )
+        .unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.events()[0].start, 0.0);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_one_trace("1 CONN 1 2\n").unwrap_err().to_string().contains("5 fields"));
+        assert!(parse_one_trace("x CONN 1 2 up\n").unwrap_err().to_string().contains("invalid time"));
+        assert!(parse_one_trace("1 PING 1 2 up\n").unwrap_err().to_string().contains("expected CONN"));
+        assert!(parse_one_trace("1 CONN 1 1 up\n").unwrap_err().to_string().contains("self-connection"));
+        assert!(parse_one_trace("1 CONN 1 2 sideways\n").unwrap_err().to_string().contains("up/down"));
+        assert_eq!(parse_one_trace("1 CONN a b up\n").unwrap_err().line(), 1);
+    }
+
+    #[test]
+    fn comments_and_empty() {
+        let t = parse_one_trace("# header\n\n").unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.num_nodes(), 0);
+    }
+}

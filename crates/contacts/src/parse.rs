@@ -1,0 +1,192 @@
+//! Plain-text interchange format for contact traces.
+//!
+//! One event per line: `<node_a> <node_b> <start_seconds> <end_seconds>`,
+//! whitespace separated. Lines starting with `#` and blank lines are
+//! ignored. An optional header line `nodes <n>` fixes the universe size;
+//! otherwise it is `max id + 1`.
+//!
+//! This is the format used by common DTN trace repositories (e.g. the
+//! CRAWDAD one-to-one contact exports) modulo column order, so real traces
+//! can be converted with a one-line awk script.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{ContactEvent, ContactTrace, NodeId};
+
+/// Error produced by [`parse_trace`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseTraceError {
+    line: usize,
+    kind: ErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum ErrorKind {
+    FieldCount(usize),
+    BadNumber(String),
+    BadInterval(f64, f64),
+    SelfContact(u32),
+}
+
+impl ParseTraceError {
+    /// 1-based line number of the offending line.
+    #[must_use]
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: ", self.line)?;
+        match &self.kind {
+            ErrorKind::FieldCount(n) => write!(f, "expected 4 fields, found {n}"),
+            ErrorKind::BadNumber(s) => write!(f, "invalid number {s:?}"),
+            ErrorKind::BadInterval(s, e) => write!(f, "end {e} precedes start {s}"),
+            ErrorKind::SelfContact(n) => write!(f, "self-contact of node {n}"),
+        }
+    }
+}
+
+impl Error for ParseTraceError {}
+
+/// Parses a trace from its text representation.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] describing the first malformed line.
+///
+/// # Example
+///
+/// ```
+/// use photodtn_contacts::parse_trace;
+/// let trace = parse_trace("
+/// nodes 5
+/// 0 1 10 60
+/// 1 2 30 45
+/// ")?;
+/// assert_eq!(trace.num_nodes(), 5);
+/// assert_eq!(trace.len(), 2);
+/// # Ok::<(), photodtn_contacts::ParseTraceError>(())
+/// ```
+pub fn parse_trace(text: &str) -> Result<ContactTrace, ParseTraceError> {
+    let mut events = Vec::new();
+    let mut declared_nodes: Option<u32> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("nodes") {
+            let n = rest.trim().parse::<u32>().map_err(|_| ParseTraceError {
+                line: line_no,
+                kind: ErrorKind::BadNumber(rest.trim().to_string()),
+            })?;
+            declared_nodes = Some(n);
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 4 {
+            return Err(ParseTraceError { line: line_no, kind: ErrorKind::FieldCount(fields.len()) });
+        }
+        let a = parse_u32(fields[0], line_no)?;
+        let b = parse_u32(fields[1], line_no)?;
+        let start = parse_f64(fields[2], line_no)?;
+        let end = parse_f64(fields[3], line_no)?;
+        if a == b {
+            return Err(ParseTraceError { line: line_no, kind: ErrorKind::SelfContact(a) });
+        }
+        if end < start || !start.is_finite() || !end.is_finite() {
+            return Err(ParseTraceError { line: line_no, kind: ErrorKind::BadInterval(start, end) });
+        }
+        events.push(ContactEvent::new(NodeId(a), NodeId(b), start, end));
+    }
+    let max_seen = events.iter().map(|e| e.b.0 + 1).max().unwrap_or(0);
+    let num_nodes = declared_nodes.unwrap_or(max_seen).max(max_seen);
+    Ok(ContactTrace::new(num_nodes, events))
+}
+
+/// Renders a trace in the format accepted by [`parse_trace`].
+#[must_use]
+pub fn write_trace(trace: &ContactTrace) -> String {
+    use fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "nodes {}", trace.num_nodes());
+    for e in trace {
+        let _ = writeln!(out, "{} {} {} {}", e.a.0, e.b.0, e.start, e.end);
+    }
+    out
+}
+
+fn parse_u32(s: &str, line: usize) -> Result<u32, ParseTraceError> {
+    s.parse::<u32>()
+        .map_err(|_| ParseTraceError { line, kind: ErrorKind::BadNumber(s.to_string()) })
+}
+
+fn parse_f64(s: &str, line: usize) -> Result<f64, ParseTraceError> {
+    s.parse::<f64>()
+        .map_err(|_| ParseTraceError { line, kind: ErrorKind::BadNumber(s.to_string()) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let t = ContactTrace::new(
+            7,
+            vec![
+                ContactEvent::new(NodeId(0), NodeId(1), 10.0, 60.0),
+                ContactEvent::new(NodeId(4), NodeId(6), 30.5, 45.25),
+            ],
+        );
+        let text = write_trace(&t);
+        let back = parse_trace(&text).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let t = parse_trace("# hello\n\n0 1 0 1\n  # indented comment\n").unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.num_nodes(), 2);
+    }
+
+    #[test]
+    fn declared_nodes_expand_universe() {
+        let t = parse_trace("nodes 50\n0 1 0 1\n").unwrap();
+        assert_eq!(t.num_nodes(), 50);
+        // declared smaller than max seen: max wins
+        let t = parse_trace("nodes 1\n0 5 0 1\n").unwrap();
+        assert_eq!(t.num_nodes(), 6);
+    }
+
+    #[test]
+    fn error_reporting() {
+        let e = parse_trace("0 1 0\n").unwrap_err();
+        assert_eq!(e.line(), 1);
+        assert!(e.to_string().contains("expected 4 fields"));
+
+        let e = parse_trace("0 1 x 5\n").unwrap_err();
+        assert!(e.to_string().contains("invalid number"));
+
+        let e = parse_trace("0 1 9 5\n").unwrap_err();
+        assert!(e.to_string().contains("precedes start"));
+
+        let e = parse_trace("3 3 0 5\n").unwrap_err();
+        assert!(e.to_string().contains("self-contact"));
+
+        let e = parse_trace("nodes banana\n").unwrap_err();
+        assert!(e.to_string().contains("invalid number"));
+    }
+
+    #[test]
+    fn empty_input() {
+        let t = parse_trace("").unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.num_nodes(), 0);
+    }
+}

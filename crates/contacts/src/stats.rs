@@ -1,0 +1,215 @@
+//! Descriptive statistics of contact traces.
+//!
+//! The metadata-management scheme (§III-B) leans on the empirical finding
+//! that inter-contact times decay exponentially; these helpers extract
+//! inter-contact samples from a trace and fit/validate the exponential
+//! model, which is how we calibrate the synthetic generators against the
+//! shapes reported for MIT Reality and Cambridge06.
+
+use std::collections::HashMap;
+
+use crate::{ContactTrace, NodeId};
+
+/// Aggregate statistics of a trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Node universe size.
+    pub num_nodes: u32,
+    /// Number of contact events.
+    pub num_events: usize,
+    /// Trace duration, seconds.
+    pub duration: f64,
+    /// Mean contact duration, seconds.
+    pub mean_contact_duration: f64,
+    /// Mean pairwise inter-contact time, seconds (pairs with ≥ 2 contacts).
+    pub mean_inter_contact: f64,
+    /// Average contacts per node per hour.
+    pub contacts_per_node_hour: f64,
+}
+
+/// Computes a [`TraceSummary`].
+#[must_use]
+pub fn summarize(trace: &ContactTrace) -> TraceSummary {
+    let num_events = trace.len();
+    let duration = trace.duration();
+    let mean_contact_duration = if num_events == 0 {
+        0.0
+    } else {
+        trace.events().iter().map(|e| e.duration()).sum::<f64>() / num_events as f64
+    };
+    let gaps = inter_contact_times(trace);
+    let mean_inter_contact =
+        if gaps.is_empty() { 0.0 } else { gaps.iter().sum::<f64>() / gaps.len() as f64 };
+    let hours = duration / 3600.0;
+    let contacts_per_node_hour = if hours > 0.0 && trace.num_nodes() > 0 {
+        // each contact involves two nodes
+        2.0 * num_events as f64 / (trace.num_nodes() as f64 * hours)
+    } else {
+        0.0
+    };
+    TraceSummary {
+        num_nodes: trace.num_nodes(),
+        num_events,
+        duration,
+        mean_contact_duration,
+        mean_inter_contact,
+        contacts_per_node_hour,
+    }
+}
+
+/// All pairwise inter-contact times in the trace: for each node pair, the
+/// gaps between the end of one contact and the start of the next.
+#[must_use]
+pub fn inter_contact_times(trace: &ContactTrace) -> Vec<f64> {
+    let mut per_pair: HashMap<(u32, u32), Vec<(f64, f64)>> = HashMap::new();
+    for e in trace {
+        per_pair.entry((e.a.0, e.b.0)).or_default().push((e.start, e.end));
+    }
+    let mut gaps = Vec::new();
+    for intervals in per_pair.values_mut() {
+        intervals.sort_by(|x, y| x.0.total_cmp(&y.0));
+        for w in intervals.windows(2) {
+            let gap = w[1].0 - w[0].1;
+            if gap > 0.0 {
+                gaps.push(gap);
+            }
+        }
+    }
+    gaps
+}
+
+/// Inter-contact times for one specific pair.
+#[must_use]
+pub fn pair_inter_contact_times(trace: &ContactTrace, a: NodeId, b: NodeId) -> Vec<f64> {
+    let mut intervals: Vec<(f64, f64)> = trace
+        .events()
+        .iter()
+        .filter(|e| e.involves(a) && e.involves(b))
+        .map(|e| (e.start, e.end))
+        .collect();
+    intervals.sort_by(|x, y| x.0.total_cmp(&y.0));
+    intervals
+        .windows(2)
+        .map(|w| w[1].0 - w[0].1)
+        .filter(|&g| g > 0.0)
+        .collect()
+}
+
+/// Maximum-likelihood exponential rate for a set of positive samples:
+/// `λ = 1 / mean`. Returns 0 for empty input.
+#[must_use]
+pub fn exponential_mle(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    if mean > 0.0 {
+        1.0 / mean
+    } else {
+        0.0
+    }
+}
+
+/// Kolmogorov–Smirnov statistic of the samples against `Exp(λ)`:
+/// `sup_x |F_n(x) − (1 − e^{−λx})|`, in `[0, 1]` (1 for empty input).
+///
+/// Small values mean the exponential inter-contact assumption underlying
+/// equation (1) of the paper holds for the trace.
+#[must_use]
+pub fn ks_statistic_exponential(samples: &[f64], lambda: f64) -> f64 {
+    if samples.is_empty() || lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len() as f64;
+    let mut ks = 0.0f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let model = 1.0 - (-lambda * x).exp();
+        let emp_hi = (i as f64 + 1.0) / n;
+        let emp_lo = i as f64 / n;
+        ks = ks.max((model - emp_lo).abs()).max((model - emp_hi).abs());
+    }
+    ks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ContactEvent;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn trace() -> ContactTrace {
+        ContactTrace::new(
+            3,
+            vec![
+                ContactEvent::new(NodeId(0), NodeId(1), 0.0, 10.0),
+                ContactEvent::new(NodeId(0), NodeId(1), 110.0, 120.0),
+                ContactEvent::new(NodeId(0), NodeId(1), 320.0, 330.0),
+                ContactEvent::new(NodeId(1), NodeId(2), 50.0, 60.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn inter_contact_gaps() {
+        let gaps = inter_contact_times(&trace());
+        let mut sorted = gaps.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(sorted, vec![100.0, 200.0]);
+        let pair = pair_inter_contact_times(&trace(), NodeId(0), NodeId(1));
+        assert_eq!(pair.len(), 2);
+        assert!(pair_inter_contact_times(&trace(), NodeId(0), NodeId(2)).is_empty());
+    }
+
+    #[test]
+    fn summary_values() {
+        let s = summarize(&trace());
+        assert_eq!(s.num_events, 4);
+        assert_eq!(s.num_nodes, 3);
+        assert_eq!(s.duration, 330.0);
+        assert!((s.mean_contact_duration - 10.0).abs() < 1e-12);
+        assert!((s.mean_inter_contact - 150.0).abs() < 1e-12);
+        assert!(s.contacts_per_node_hour > 0.0);
+    }
+
+    #[test]
+    fn summary_of_empty() {
+        let s = summarize(&ContactTrace::new(2, vec![]));
+        assert_eq!(s.num_events, 0);
+        assert_eq!(s.mean_contact_duration, 0.0);
+        assert_eq!(s.contacts_per_node_hour, 0.0);
+    }
+
+    #[test]
+    fn mle_matches_mean() {
+        assert_eq!(exponential_mle(&[]), 0.0);
+        assert!((exponential_mle(&[2.0, 4.0]) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_accepts_true_exponential() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let lambda = 0.01;
+        let samples: Vec<f64> =
+            (0..2000).map(|_| -rng.gen_range(f64::MIN_POSITIVE..1.0f64).ln() / lambda).collect();
+        let fit = exponential_mle(&samples);
+        assert!((fit - lambda).abs() / lambda < 0.1);
+        let ks = ks_statistic_exponential(&samples, fit);
+        assert!(ks < 0.05, "KS {ks} too large for true exponential");
+    }
+
+    #[test]
+    fn ks_rejects_constant() {
+        let samples = vec![10.0; 500];
+        let ks = ks_statistic_exponential(&samples, exponential_mle(&samples));
+        assert!(ks > 0.3, "KS {ks} should reject a constant");
+    }
+
+    #[test]
+    fn ks_degenerate_inputs() {
+        assert_eq!(ks_statistic_exponential(&[], 1.0), 1.0);
+        assert_eq!(ks_statistic_exponential(&[1.0], 0.0), 1.0);
+    }
+}

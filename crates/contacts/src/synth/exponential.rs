@@ -1,0 +1,247 @@
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{ContactEvent, ContactTrace, NodeId};
+
+/// Generates contacts with exponential inter-contact times per pair.
+///
+/// Each node pair `(a, b)` with rate `λ_ab > 0` produces a Poisson process
+/// of encounters; each encounter lasts an exponentially-distributed time
+/// (mean [`mean_contact_duration`](Self::mean_contact_duration)). A
+/// Bluetooth-style scan interval then discretizes what is actually
+/// *recorded*: a contact is detected at the first scan boundary inside it,
+/// and encounters that end before that boundary are missed entirely.
+///
+/// # Example
+///
+/// ```
+/// use photodtn_contacts::synth::PairwiseExponentialGenerator;
+/// use photodtn_contacts::stats;
+///
+/// let gen = PairwiseExponentialGenerator::homogeneous(10, 100.0 * 3600.0, 1.0 / 7200.0);
+/// let trace = gen.generate(1);
+/// let s = stats::summarize(&trace);
+/// assert!(s.num_events > 100);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PairwiseExponentialGenerator {
+    num_nodes: u32,
+    duration: f64,
+    /// `rates[pair_index(a, b)]` = λ_ab in s⁻¹; see [`pair_index`].
+    rates: Vec<f64>,
+    /// Mean of the exponential contact-duration distribution, seconds.
+    pub mean_contact_duration: f64,
+    /// Contact durations are clamped to this range, seconds.
+    pub duration_bounds: (f64, f64),
+    /// Scan interval, seconds; 0 disables discretization.
+    pub scan_interval: f64,
+}
+
+/// Index of pair `(a, b)`, `a < b`, in a flattened upper triangle.
+fn pair_index(a: u32, b: u32, n: u32) -> usize {
+    debug_assert!(a < b && b < n);
+    let a = a as usize;
+    let b = b as usize;
+    let n = n as usize;
+    a * n - a * (a + 1) / 2 + (b - a - 1)
+}
+
+impl PairwiseExponentialGenerator {
+    /// Creates a generator with all pair rates zero; set them with
+    /// [`set_rate`](Self::set_rate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes < 2` or `duration` is not positive and finite.
+    #[must_use]
+    pub fn new(num_nodes: u32, duration: f64) -> Self {
+        assert!(num_nodes >= 2, "need at least two nodes");
+        assert!(duration.is_finite() && duration > 0.0, "invalid duration {duration}");
+        let pairs = (num_nodes as usize) * (num_nodes as usize - 1) / 2;
+        PairwiseExponentialGenerator {
+            num_nodes,
+            duration,
+            rates: vec![0.0; pairs],
+            mean_contact_duration: 600.0,
+            duration_bounds: (30.0, 3600.0),
+            scan_interval: 0.0,
+        }
+    }
+
+    /// All pairs share the same rate `λ` (s⁻¹).
+    #[must_use]
+    pub fn homogeneous(num_nodes: u32, duration: f64, lambda: f64) -> Self {
+        let mut g = Self::new(num_nodes, duration);
+        for r in &mut g.rates {
+            *r = lambda.max(0.0);
+        }
+        g
+    }
+
+    /// Sets the rate of one pair (s⁻¹). Negative rates clamp to zero.
+    pub fn set_rate(&mut self, a: NodeId, b: NodeId, lambda: f64) {
+        assert!(a != b, "no self-contacts");
+        let (x, y) = if a < b { (a.0, b.0) } else { (b.0, a.0) };
+        let idx = pair_index(x, y, self.num_nodes);
+        self.rates[idx] = lambda.max(0.0);
+    }
+
+    /// The configured rate of a pair (s⁻¹).
+    #[must_use]
+    pub fn rate(&self, a: NodeId, b: NodeId) -> f64 {
+        let (x, y) = if a < b { (a.0, b.0) } else { (b.0, a.0) };
+        self.rates[pair_index(x, y, self.num_nodes)]
+    }
+
+    /// Sets the scan interval (builder-style); 0 disables discretization.
+    #[must_use]
+    pub fn with_scan_interval(mut self, seconds: f64) -> Self {
+        self.scan_interval = seconds.max(0.0);
+        self
+    }
+
+    /// Sets the mean contact duration (builder-style).
+    #[must_use]
+    pub fn with_mean_contact_duration(mut self, seconds: f64) -> Self {
+        self.mean_contact_duration = seconds.max(0.0);
+        self
+    }
+
+    /// Generates a trace deterministically from `seed`.
+    #[must_use]
+    pub fn generate(&self, seed: u64) -> ContactTrace {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        for a in 0..self.num_nodes {
+            for b in (a + 1)..self.num_nodes {
+                let lambda = self.rates[pair_index(a, b, self.num_nodes)];
+                if lambda <= 0.0 {
+                    continue;
+                }
+                let mut t = sample_exp(&mut rng, lambda);
+                while t < self.duration {
+                    let raw_dur = sample_exp(&mut rng, 1.0 / self.mean_contact_duration)
+                        .clamp(self.duration_bounds.0, self.duration_bounds.1);
+                    let end = (t + raw_dur).min(self.duration);
+                    if let Some(e) = self.discretize(NodeId(a), NodeId(b), t, end) {
+                        events.push(e);
+                    }
+                    // next encounter begins an exponential gap after this
+                    // one ends
+                    t = end + sample_exp(&mut rng, lambda);
+                }
+            }
+        }
+        ContactTrace::new(self.num_nodes, events)
+    }
+
+    /// Applies Bluetooth-scan discretization to a true encounter.
+    fn discretize(&self, a: NodeId, b: NodeId, start: f64, end: f64) -> Option<ContactEvent> {
+        if self.scan_interval <= 0.0 {
+            return (end > start).then(|| ContactEvent::new(a, b, start, end));
+        }
+        let detected = (start / self.scan_interval).ceil() * self.scan_interval;
+        (detected < end).then(|| ContactEvent::new(a, b, detected, end))
+    }
+}
+
+/// Exponential sample with rate `lambda`.
+fn sample_exp<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> f64 {
+    debug_assert!(lambda > 0.0);
+    -rng.gen_range(f64::MIN_POSITIVE..1.0f64).ln() / lambda
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn pair_index_is_bijective() {
+        let n = 10;
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                assert!(seen.insert(pair_index(a, b, n)));
+            }
+        }
+        assert_eq!(seen.len(), 45);
+        assert_eq!(seen.iter().max(), Some(&44));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let g = PairwiseExponentialGenerator::homogeneous(8, 36000.0, 1.0 / 1800.0);
+        assert_eq!(g.generate(7), g.generate(7));
+        assert_ne!(g.generate(7), g.generate(8));
+    }
+
+    #[test]
+    fn rate_accessors() {
+        let mut g = PairwiseExponentialGenerator::new(4, 100.0);
+        g.set_rate(NodeId(2), NodeId(1), 0.5);
+        assert_eq!(g.rate(NodeId(1), NodeId(2)), 0.5);
+        assert_eq!(g.rate(NodeId(0), NodeId(3)), 0.0);
+        g.set_rate(NodeId(0), NodeId(1), -1.0);
+        assert_eq!(g.rate(NodeId(0), NodeId(1)), 0.0);
+    }
+
+    #[test]
+    fn inter_contact_times_are_exponential() {
+        let lambda = 1.0 / 3600.0;
+        let g = PairwiseExponentialGenerator::homogeneous(2, 3000.0 * 3600.0, lambda)
+            .with_mean_contact_duration(60.0);
+        let trace = g.generate(3);
+        let gaps = stats::pair_inter_contact_times(&trace, NodeId(0), NodeId(1));
+        assert!(gaps.len() > 500, "only {} gaps", gaps.len());
+        let fit = stats::exponential_mle(&gaps);
+        assert!((fit - lambda).abs() / lambda < 0.15, "fit {fit} vs true {lambda}");
+        let ks = stats::ks_statistic_exponential(&gaps, fit);
+        assert!(ks < 0.06, "KS {ks}");
+    }
+
+    #[test]
+    fn contact_count_scales_with_rate() {
+        let fast = PairwiseExponentialGenerator::homogeneous(6, 200.0 * 3600.0, 1.0 / 3600.0)
+            .generate(1)
+            .len();
+        let slow = PairwiseExponentialGenerator::homogeneous(6, 200.0 * 3600.0, 1.0 / 36000.0)
+            .generate(1)
+            .len();
+        assert!(fast > 5 * slow, "fast {fast} vs slow {slow}");
+    }
+
+    #[test]
+    fn scan_interval_snaps_and_drops() {
+        let g = PairwiseExponentialGenerator::homogeneous(2, 1000.0 * 3600.0, 1.0 / 7200.0)
+            .with_scan_interval(300.0)
+            .with_mean_contact_duration(400.0);
+        let trace = g.generate(5);
+        assert!(!trace.is_empty());
+        for e in &trace {
+            let rem = e.start % 300.0;
+            assert!(rem.abs() < 1e-6 || (300.0 - rem).abs() < 1e-6, "start {} not on scan", e.start);
+            assert!(e.duration() > 0.0);
+        }
+        // discretization loses short encounters: fewer recorded contacts
+        let undiscretized =
+            PairwiseExponentialGenerator::homogeneous(2, 1000.0 * 3600.0, 1.0 / 7200.0)
+                .with_mean_contact_duration(400.0)
+                .generate(5);
+        assert!(trace.len() < undiscretized.len());
+    }
+
+    #[test]
+    fn events_within_duration() {
+        let g = PairwiseExponentialGenerator::homogeneous(5, 7200.0, 1.0 / 600.0);
+        for e in &g.generate(2) {
+            assert!(e.start >= 0.0 && e.end <= 7200.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn rejects_tiny_universe() {
+        let _ = PairwiseExponentialGenerator::new(1, 100.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Synthetic contact-trace generators.
+//!
+//! The paper's evaluation is driven by the MIT Reality and Cambridge06
+//! Bluetooth traces, which we cannot redistribute. These generators
+//! reproduce the statistical properties the paper's machinery actually
+//! depends on:
+//!
+//! * pairwise **exponential inter-contact times** — the assumption behind
+//!   the metadata-validity rule (equation (1), §III-B), reported for these
+//!   traces by the works the paper cites;
+//! * **heterogeneous contact rates with community structure** — "rescuers
+//!   in the same team contact more often", which PROPHET's delivery
+//!   predictability exploits;
+//! * **Bluetooth scan discretization** — MIT scans every 5 minutes,
+//!   Cambridge06 every 2 minutes, so short encounters are missed and
+//!   contact starts snap to scan boundaries.
+//!
+//! [`WaypointTraceGenerator`] additionally provides a random-waypoint
+//! mobility model, one of the models for which exponential inter-contact
+//! decay was established, to validate the other generators against.
+
+mod community;
+mod exponential;
+mod waypoint;
+
+pub use community::{CommunityTraceGenerator, TraceStyle};
+pub use exponential::PairwiseExponentialGenerator;
+pub use waypoint::{MobilityTracks, WaypointTraceGenerator};

@@ -1,0 +1,325 @@
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{ContactEvent, ContactTrace, NodeId};
+
+/// Random-waypoint mobility with contact extraction.
+///
+/// Each node repeatedly picks a uniform destination in the region, walks
+/// there at a uniform-random speed, then pauses. Positions are sampled
+/// every [`sample_interval`](Self::sample_interval) seconds, and a contact
+/// is recorded for every maximal run of samples during which two nodes are
+/// within [`radio_range`](Self::radio_range).
+///
+/// Random waypoint is one of the mobility models for which exponential
+/// inter-contact decay has been shown (refs. 4, 7, 30 in the paper), so this
+/// generator serves to validate the exponential machinery end-to-end, and
+/// to drive scenarios where geometry matters (e.g. photos taken along a
+/// node's actual path).
+///
+/// # Example
+///
+/// ```
+/// use photodtn_contacts::synth::WaypointTraceGenerator;
+/// let gen = WaypointTraceGenerator::new(10, 1000.0, 4.0 * 3600.0);
+/// let trace = gen.generate(3);
+/// assert_eq!(trace.num_nodes(), 10);
+/// ```
+#[derive(Clone, Debug)]
+pub struct WaypointTraceGenerator {
+    /// Number of nodes.
+    pub num_nodes: u32,
+    /// Region side length, meters (square region).
+    pub region: f64,
+    /// Simulated time, seconds.
+    pub duration: f64,
+    /// Speed bounds, m/s (default 0.5–2.0, pedestrian).
+    pub speed: (f64, f64),
+    /// Pause-time bounds at each waypoint, seconds.
+    pub pause: (f64, f64),
+    /// Radio range for contact detection, meters (default 30, Bluetooth
+    /// class 1-ish).
+    pub radio_range: f64,
+    /// Position sampling interval, seconds.
+    pub sample_interval: f64,
+}
+
+impl WaypointTraceGenerator {
+    /// Creates a generator with pedestrian defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes < 2`, or if `region`/`duration` are not
+    /// positive.
+    #[must_use]
+    pub fn new(num_nodes: u32, region: f64, duration: f64) -> Self {
+        assert!(num_nodes >= 2, "need at least two nodes");
+        assert!(region > 0.0 && duration > 0.0, "invalid region/duration");
+        WaypointTraceGenerator {
+            num_nodes,
+            region,
+            duration,
+            speed: (0.5, 2.0),
+            pause: (0.0, 120.0),
+            radio_range: 30.0,
+            sample_interval: 10.0,
+        }
+    }
+
+    /// Generates a trace deterministically from `seed`.
+    #[must_use]
+    pub fn generate(&self, seed: u64) -> ContactTrace {
+        self.generate_with_tracks(seed).0
+    }
+
+    /// Like [`generate`](Self::generate), but also returns the sampled
+    /// node positions as piecewise-linear [`MobilityTracks`] — so photo
+    /// generation can place photos where the photographer actually is.
+    #[must_use]
+    pub fn generate_with_tracks(&self, seed: u64) -> (ContactTrace, MobilityTracks) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let steps = (self.duration / self.sample_interval).ceil() as usize;
+        let n = self.num_nodes as usize;
+
+        // Simulate all node tracks.
+        let mut states: Vec<NodeState> = (0..n)
+            .map(|_| NodeState {
+                pos: (rng.gen_range(0.0..self.region), rng.gen_range(0.0..self.region)),
+                dest: (rng.gen_range(0.0..self.region), rng.gen_range(0.0..self.region)),
+                speed: rng.gen_range(self.speed.0..=self.speed.1),
+                pause_left: 0.0,
+            })
+            .collect();
+
+        let mut in_contact = vec![None::<f64>; n * n]; // start time per pair
+        let mut events = Vec::new();
+        let range_sq = self.radio_range * self.radio_range;
+        let mut tracks = MobilityTracks {
+            sample_interval: self.sample_interval,
+            duration: self.duration,
+            samples: vec![Vec::with_capacity(steps + 1); n],
+        };
+
+        for step in 0..=steps {
+            let t = step as f64 * self.sample_interval;
+            for (i, s) in states.iter().enumerate() {
+                tracks.samples[i].push((s.pos.0 as f32, s.pos.1 as f32));
+            }
+            // detect contacts
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    let dx = states[a].pos.0 - states[b].pos.0;
+                    let dy = states[a].pos.1 - states[b].pos.1;
+                    let near = dx * dx + dy * dy <= range_sq;
+                    let key = a * n + b;
+                    match (near, in_contact[key]) {
+                        (true, None) => in_contact[key] = Some(t),
+                        (false, Some(start)) => {
+                            if t > start {
+                                events.push(ContactEvent::new(
+                                    NodeId(a as u32),
+                                    NodeId(b as u32),
+                                    start,
+                                    t,
+                                ));
+                            }
+                            in_contact[key] = None;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            // advance movement
+            for s in &mut states {
+                s.advance(self.sample_interval, self.region, self.speed, self.pause, &mut rng);
+            }
+        }
+        // close open contacts at the end of the window
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if let Some(start) = in_contact[a * n + b] {
+                    let end = (steps as f64) * self.sample_interval;
+                    if end > start {
+                        events.push(ContactEvent::new(NodeId(a as u32), NodeId(b as u32), start, end));
+                    }
+                }
+            }
+        }
+        (ContactTrace::new(self.num_nodes, events), tracks)
+    }
+}
+
+/// Sampled node positions over time, linearly interpolated between
+/// samples.
+///
+/// Positions are stored as `f32` pairs to keep long traces compact
+/// (a 97-node, 300 h trace at 10 s sampling is ~80 MB as `f64`, half
+/// as `f32` — and sub-meter precision is irrelevant at region scale).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MobilityTracks {
+    sample_interval: f64,
+    duration: f64,
+    /// `samples[node][step] = (x, y)`.
+    samples: Vec<Vec<(f32, f32)>>,
+}
+
+impl MobilityTracks {
+    /// Number of tracked nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> u32 {
+        self.samples.len() as u32
+    }
+
+    /// Tracked duration, seconds.
+    #[must_use]
+    pub fn duration(&self) -> f64 {
+        self.duration
+    }
+
+    /// The node's position at time `t` (meters), clamping `t` into the
+    /// tracked window and interpolating between samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn position(&self, node: NodeId, t: f64) -> (f64, f64) {
+        let track = &self.samples[node.index()];
+        assert!(!track.is_empty(), "empty track for {node}");
+        let ft = (t / self.sample_interval).clamp(0.0, (track.len() - 1) as f64);
+        let i = ft.floor() as usize;
+        let frac = ft - i as f64;
+        let (x0, y0) = track[i];
+        let (x1, y1) = track[(i + 1).min(track.len() - 1)];
+        (
+            f64::from(x0) + frac * (f64::from(x1) - f64::from(x0)),
+            f64::from(y0) + frac * (f64::from(y1) - f64::from(y0)),
+        )
+    }
+}
+
+#[derive(Clone, Debug)]
+struct NodeState {
+    pos: (f64, f64),
+    dest: (f64, f64),
+    speed: f64,
+    pause_left: f64,
+}
+
+impl NodeState {
+    fn advance<R: Rng + ?Sized>(
+        &mut self,
+        dt: f64,
+        region: f64,
+        speed: (f64, f64),
+        pause: (f64, f64),
+        rng: &mut R,
+    ) {
+        let mut remaining = dt;
+        while remaining > 0.0 {
+            if self.pause_left > 0.0 {
+                let used = self.pause_left.min(remaining);
+                self.pause_left -= used;
+                remaining -= used;
+                continue;
+            }
+            let dx = self.dest.0 - self.pos.0;
+            let dy = self.dest.1 - self.pos.1;
+            let dist = (dx * dx + dy * dy).sqrt();
+            let reach = self.speed * remaining;
+            if reach >= dist {
+                // arrive, pause, pick a new waypoint
+                self.pos = self.dest;
+                remaining -= if self.speed > 0.0 { dist / self.speed } else { remaining };
+                self.pause_left = rng.gen_range(pause.0..=pause.1);
+                self.dest = (rng.gen_range(0.0..region), rng.gen_range(0.0..region));
+                self.speed = rng.gen_range(speed.0..=speed.1);
+            } else {
+                self.pos.0 += dx / dist * reach;
+                self.pos.1 += dy / dist * reach;
+                remaining = 0.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn deterministic_and_in_bounds() {
+        let g = WaypointTraceGenerator::new(8, 500.0, 2.0 * 3600.0);
+        let t1 = g.generate(11);
+        let t2 = g.generate(11);
+        assert_eq!(t1, t2);
+        for e in &t1 {
+            assert!(e.start >= 0.0 && e.end <= 2.0 * 3600.0 + 1e-6);
+            assert!(e.duration() > 0.0);
+        }
+    }
+
+    #[test]
+    fn denser_region_more_contacts() {
+        let sparse = WaypointTraceGenerator::new(10, 2000.0, 4.0 * 3600.0).generate(1).len();
+        let dense = WaypointTraceGenerator::new(10, 400.0, 4.0 * 3600.0).generate(1).len();
+        assert!(dense > sparse, "dense {dense} vs sparse {sparse}");
+    }
+
+    #[test]
+    fn inter_contact_tail_decays_exponentially() {
+        // Aggregate inter-contact gaps from a homogeneous RWP scenario
+        // should fit an exponential reasonably well (the paper's premise).
+        let g = WaypointTraceGenerator::new(6, 600.0, 48.0 * 3600.0);
+        let trace = g.generate(2);
+        let gaps = stats::inter_contact_times(&trace);
+        assert!(gaps.len() > 50, "too few gaps: {}", gaps.len());
+        let fit = stats::exponential_mle(&gaps);
+        let ks = stats::ks_statistic_exponential(&gaps, fit);
+        assert!(ks < 0.25, "KS {ks} too far from exponential");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn rejects_one_node() {
+        let _ = WaypointTraceGenerator::new(1, 100.0, 100.0);
+    }
+
+    #[test]
+    fn tracks_cover_the_window_and_interpolate() {
+        let g = WaypointTraceGenerator::new(4, 300.0, 3600.0);
+        let (_, tracks) = g.generate_with_tracks(5);
+        assert_eq!(tracks.num_nodes(), 4);
+        assert_eq!(tracks.duration(), 3600.0);
+        for node in 0..4 {
+            let n = NodeId(node);
+            // positions stay in the region at arbitrary times
+            for t in [0.0, 17.3, 1800.0, 3600.0, 99999.0] {
+                let (x, y) = tracks.position(n, t);
+                assert!((0.0..=300.0).contains(&x), "x {x} at t {t}");
+                assert!((0.0..=300.0).contains(&y), "y {y} at t {t}");
+            }
+            // interpolation is between the two bracketing samples
+            let (x0, y0) = tracks.position(n, 10.0);
+            let (xa, ya) = tracks.position(n, 10.0 - 5.0);
+            let (xb, yb) = tracks.position(n, 10.0 + 5.0);
+            assert!(x0 >= xa.min(xb) - 1e-6 && x0 <= xa.max(xb) + 1e-6);
+            assert!(y0 >= ya.min(yb) - 1e-6 && y0 <= ya.max(yb) + 1e-6);
+        }
+    }
+
+    #[test]
+    fn tracks_consistent_with_contacts() {
+        // During a recorded contact, the two nodes must be within radio
+        // range at the contact's start sample.
+        let g = WaypointTraceGenerator::new(6, 400.0, 4.0 * 3600.0);
+        let (trace, tracks) = g.generate_with_tracks(7);
+        for e in trace.events().iter().take(20) {
+            let (ax, ay) = tracks.position(e.a, e.start);
+            let (bx, by) = tracks.position(e.b, e.start);
+            let d = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
+            assert!(d <= g.radio_range + 1.0, "nodes {}m apart at contact start", d);
+        }
+    }
+}

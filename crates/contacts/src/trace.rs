@@ -1,0 +1,230 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{ContactEvent, NodeId};
+
+/// A complete contact trace: events sorted by start time, plus the node
+/// universe.
+///
+/// `num_nodes` may exceed the largest node id seen in events (isolated
+/// nodes are legal — they simply never exchange photos).
+///
+/// # Example
+///
+/// ```
+/// use photodtn_contacts::{ContactEvent, ContactTrace, NodeId};
+/// let trace = ContactTrace::new(3, vec![
+///     ContactEvent::new(NodeId(0), NodeId(1), 10.0, 20.0),
+///     ContactEvent::new(NodeId(1), NodeId(2), 5.0, 8.0),
+/// ]);
+/// // Events come out sorted by start time.
+/// assert_eq!(trace.events()[0].start, 5.0);
+/// assert_eq!(trace.duration(), 20.0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ContactTrace {
+    num_nodes: u32,
+    events: Vec<ContactEvent>,
+}
+
+impl ContactTrace {
+    /// Builds a trace, sorting events by `(start, end, pair)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event references a node `≥ num_nodes`.
+    #[must_use]
+    pub fn new(num_nodes: u32, mut events: Vec<ContactEvent>) -> Self {
+        for e in &events {
+            assert!(
+                e.b.0 < num_nodes,
+                "event {e} references node outside universe of {num_nodes}"
+            );
+        }
+        events.sort_by(|x, y| {
+            x.start
+                .total_cmp(&y.start)
+                .then(x.end.total_cmp(&y.end))
+                .then(x.pair().cmp(&y.pair()))
+        });
+        ContactTrace { num_nodes, events }
+    }
+
+    /// Number of nodes in the universe.
+    #[must_use]
+    pub fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    /// Number of contact events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace has no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All events, sorted by start time.
+    #[must_use]
+    pub fn events(&self) -> &[ContactEvent] {
+        &self.events
+    }
+
+    /// End time of the last-ending event (0 for an empty trace), seconds.
+    #[must_use]
+    pub fn duration(&self) -> f64 {
+        self.events.iter().map(|e| e.end).fold(0.0, f64::max)
+    }
+
+    /// Events whose start time lies in `[from, to)`.
+    pub fn between(&self, from: f64, to: f64) -> impl Iterator<Item = &ContactEvent> {
+        let lo = self.events.partition_point(|e| e.start < from);
+        self.events[lo..].iter().take_while(move |e| e.start < to)
+    }
+
+    /// Events involving `node`, in start order.
+    pub fn contacts_of(&self, node: NodeId) -> impl Iterator<Item = &ContactEvent> {
+        self.events.iter().filter(move |e| e.involves(node))
+    }
+
+    /// Splits the trace at the event index `len − tail`: returns
+    /// `(history, recent)` where `recent` has the last `tail` events.
+    ///
+    /// The §IV-B demo "uses the last 48 contacts … to run the algorithm and
+    /// collect photos, and all previous contacts to learn the delivery
+    /// probability".
+    #[must_use]
+    pub fn split_tail(&self, tail: usize) -> (ContactTrace, ContactTrace) {
+        let cut = self.events.len().saturating_sub(tail);
+        (
+            ContactTrace { num_nodes: self.num_nodes, events: self.events[..cut].to_vec() },
+            ContactTrace { num_nodes: self.num_nodes, events: self.events[cut..].to_vec() },
+        )
+    }
+
+    /// Returns a copy whose events all have duration exactly `seconds`
+    /// (start times unchanged). Used to study the effect of contact
+    /// duration (§V-C) without changing contact opportunities.
+    #[must_use]
+    pub fn with_uniform_duration(&self, seconds: f64) -> ContactTrace {
+        let events = self
+            .events
+            .iter()
+            .map(|e| ContactEvent::new(e.a, e.b, e.start, e.start + seconds.max(0.0)))
+            .collect();
+        ContactTrace { num_nodes: self.num_nodes, events }
+    }
+
+    /// Returns a copy with all event times shifted by `delta` seconds
+    /// (useful to re-zero a trace segment; times may become negative,
+    /// e.g. for PROPHET warm-up history).
+    #[must_use]
+    pub fn shifted(&self, delta: f64) -> ContactTrace {
+        let events = self
+            .events
+            .iter()
+            .map(|e| ContactEvent::new(e.a, e.b, e.start + delta, e.end + delta))
+            .collect();
+        ContactTrace { num_nodes: self.num_nodes, events }
+    }
+
+    /// Returns a copy restricted to the first `hours` hours of the trace.
+    #[must_use]
+    pub fn truncated(&self, hours: f64) -> ContactTrace {
+        let cutoff = hours * 3600.0;
+        ContactTrace {
+            num_nodes: self.num_nodes,
+            events: self.events.iter().filter(|e| e.start < cutoff).copied().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a ContactTrace {
+    type Item = &'a ContactEvent;
+    type IntoIter = std::slice::Iter<'a, ContactEvent>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ContactTrace {
+        ContactTrace::new(
+            4,
+            vec![
+                ContactEvent::new(NodeId(0), NodeId(1), 100.0, 160.0),
+                ContactEvent::new(NodeId(2), NodeId(3), 50.0, 55.0),
+                ContactEvent::new(NodeId(0), NodeId(2), 200.0, 290.0),
+                ContactEvent::new(NodeId(1), NodeId(3), 150.0, 151.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn sorted_by_start() {
+        let t = sample();
+        let starts: Vec<f64> = t.events().iter().map(|e| e.start).collect();
+        assert_eq!(starts, vec![50.0, 100.0, 150.0, 200.0]);
+        assert_eq!(t.duration(), 290.0);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn rejects_out_of_universe() {
+        let _ = ContactTrace::new(2, vec![ContactEvent::new(NodeId(0), NodeId(5), 0.0, 1.0)]);
+    }
+
+    #[test]
+    fn between_window() {
+        let t = sample();
+        let picked: Vec<f64> = t.between(60.0, 160.0).map(|e| e.start).collect();
+        assert_eq!(picked, vec![100.0, 150.0]);
+        assert_eq!(t.between(300.0, 400.0).count(), 0);
+    }
+
+    #[test]
+    fn contacts_of_node() {
+        let t = sample();
+        assert_eq!(t.contacts_of(NodeId(0)).count(), 2);
+        assert_eq!(t.contacts_of(NodeId(3)).count(), 2);
+    }
+
+    #[test]
+    fn split_tail_partitions() {
+        let t = sample();
+        let (hist, recent) = t.split_tail(1);
+        assert_eq!(hist.len(), 3);
+        assert_eq!(recent.len(), 1);
+        assert_eq!(recent.events()[0].start, 200.0);
+        // oversized tail returns everything as recent
+        let (h2, r2) = t.split_tail(100);
+        assert_eq!(h2.len(), 0);
+        assert_eq!(r2.len(), 4);
+    }
+
+    #[test]
+    fn uniform_duration() {
+        let t = sample().with_uniform_duration(30.0);
+        assert!(t.events().iter().all(|e| (e.duration() - 30.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn truncation() {
+        let t = sample().truncated(200.0 / 3600.0);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = ContactTrace::new(5, vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.duration(), 0.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the contact-trace model: parser round-trips, trace
+//! surgery preserves event structure, and generators respect their
+//! contracts.
+
+use photodtn_contacts::synth::PairwiseExponentialGenerator;
+use photodtn_contacts::{parse_trace, write_trace, ContactEvent, ContactTrace, NodeId};
+use proptest::prelude::*;
+
+fn arb_trace() -> impl Strategy<Value = ContactTrace> {
+    prop::collection::vec((0u32..12, 0u32..12, 0.0..1e5f64, 0.0..1e4f64), 0..40).prop_map(
+        |raw| {
+            let events: Vec<ContactEvent> = raw
+                .into_iter()
+                .filter(|(a, b, _, _)| a != b)
+                .map(|(a, b, start, dur)| ContactEvent::new(NodeId(a), NodeId(b), start, start + dur))
+                .collect();
+            ContactTrace::new(12, events)
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn text_roundtrip(trace in arb_trace()) {
+        let text = write_trace(&trace);
+        let back = parse_trace(&text).unwrap();
+        prop_assert_eq!(back.num_nodes(), trace.num_nodes());
+        prop_assert_eq!(back.len(), trace.len());
+        for (x, y) in back.events().iter().zip(trace.events()) {
+            prop_assert_eq!(x.pair(), y.pair());
+            prop_assert!((x.start - y.start).abs() < 1e-9);
+            prop_assert!((x.end - y.end).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn events_sorted_and_valid(trace in arb_trace()) {
+        for w in trace.events().windows(2) {
+            prop_assert!(w[0].start <= w[1].start);
+        }
+        for e in &trace {
+            prop_assert!(e.a < e.b);
+            prop_assert!(e.end >= e.start);
+        }
+    }
+
+    #[test]
+    fn split_tail_partitions(trace in arb_trace(), tail in 0usize..50) {
+        let (hist, recent) = trace.split_tail(tail);
+        prop_assert_eq!(hist.len() + recent.len(), trace.len());
+        prop_assert_eq!(recent.len(), tail.min(trace.len()));
+        // all history events start no later than any recent event
+        if let (Some(h), Some(r)) = (hist.events().last(), recent.events().first()) {
+            prop_assert!(h.start <= r.start);
+        }
+    }
+
+    #[test]
+    fn shift_preserves_structure(trace in arb_trace(), delta in -1e5..1e5f64) {
+        let shifted = trace.shifted(delta);
+        prop_assert_eq!(shifted.len(), trace.len());
+        for (x, y) in shifted.events().iter().zip(trace.events()) {
+            prop_assert!((x.start - y.start - delta).abs() < 1e-6);
+            prop_assert!((x.duration() - y.duration()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn uniform_duration_applies_everywhere(trace in arb_trace(), dur in 0.0..5e3f64) {
+        let t = trace.with_uniform_duration(dur);
+        for e in &t {
+            prop_assert!((e.duration() - dur).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn between_is_consistent_with_filter(trace in arb_trace(), a in 0.0..1e5f64, w in 0.0..1e5f64) {
+        let fast: Vec<_> = trace.between(a, a + w).map(|e| e.pair()).collect();
+        let brute: Vec<_> = trace
+            .events()
+            .iter()
+            .filter(|e| e.start >= a && e.start < a + w)
+            .map(|e| e.pair())
+            .collect();
+        prop_assert_eq!(fast, brute);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generator_rate_monotone(seed in 0u64..1000) {
+        // doubling every pair's rate cannot shrink the expected number of
+        // contacts (sampled at matched seeds)
+        let slow = PairwiseExponentialGenerator::homogeneous(5, 500.0 * 3600.0, 1.0 / 36000.0)
+            .generate(seed)
+            .len();
+        let fast = PairwiseExponentialGenerator::homogeneous(5, 500.0 * 3600.0, 2.0 / 36000.0)
+            .generate(seed)
+            .len();
+        prop_assert!(fast + 5 >= slow, "fast {fast} vs slow {slow}");
+    }
+}

@@ -1,0 +1,372 @@
+//! Incremental expected-coverage engine.
+//!
+//! Greedy selection evaluates the marginal expected-coverage gain of
+//! hundreds of candidate photos per contact; recomputing
+//! [`expected_coverage_exact`](super::segment::expected_coverage_exact)
+//! from scratch each time would be quadratic in the pool size. The engine
+//! maintains, per PoI, which engine-nodes cover it and which aspects each
+//! covers, so a candidate is evaluated in time proportional to the PoIs it
+//! touches.
+
+use photodtn_geo::{Angle, ArcSet};
+
+use photodtn_coverage::{
+    AspectWeightMap, AspectWeights, Coverage, CoverageParams, PhotoMeta, PoiList,
+};
+
+/// Incrementally maintained `C_ex` over a set of engine-nodes.
+///
+/// An *engine-node* is one participant of the node set `M` of
+/// Definition 2: it has a delivery probability and accumulates photos.
+/// Typical use during a contact between `n_a` and `n_b`:
+///
+/// 1. add one engine-node per valid metadata record (including the
+///    command center with probability 1) and commit their cached photos;
+/// 2. add engine-nodes for `n_a` and `n_b`;
+/// 3. repeatedly query [`gain_of`](Self::gain_of) for candidates and
+///    [`add_photo`](Self::add_photo) the winner.
+///
+/// # Example
+///
+/// ```
+/// use photodtn_core::expected::ExpectedEngine;
+/// use photodtn_coverage::{CoverageParams, PhotoMeta, Poi, PoiList};
+/// use photodtn_geo::{Angle, Point};
+///
+/// let pois = PoiList::new(vec![Poi::new(0, Point::new(0.0, 0.0))]);
+/// let mut engine = ExpectedEngine::new(&pois, CoverageParams::default());
+/// let relay = engine.add_node(0.5);
+/// let meta = PhotoMeta::new(Point::new(50.0, 0.0), 100.0,
+///                           Angle::from_degrees(60.0), Angle::from_degrees(180.0));
+/// let gain = engine.add_photo(relay, &meta);
+/// assert!((gain.point - 0.5).abs() < 1e-12); // P{delivered} × weight 1
+/// // the same photo again adds nothing
+/// assert!(engine.gain_of(relay, &meta).is_zero());
+/// ```
+#[derive(Clone, Debug)]
+pub struct ExpectedEngine {
+    pois: PoiList,
+    params: CoverageParams,
+    probs: Vec<f64>,
+    states: Vec<PoiState>,
+    total: Coverage,
+    /// Optional per-PoI aspect weights (§II-C extension); `None` means
+    /// uniform weights everywhere.
+    aspect_weights: Option<AspectWeightMap>,
+}
+
+/// Per-PoI incremental state.
+#[derive(Clone, Debug, Default)]
+struct PoiState {
+    /// `(engine-node, aspects that node covers)`; membership implies the
+    /// node point-covers this PoI.
+    coverers: Vec<(usize, ArcSet)>,
+    /// `Π (1 − p_i)` over covering nodes.
+    point_survival: f64,
+}
+
+impl ExpectedEngine {
+    /// Creates an engine with no nodes.
+    #[must_use]
+    pub fn new(pois: &PoiList, params: CoverageParams) -> Self {
+        ExpectedEngine {
+            states: vec![PoiState { coverers: Vec::new(), point_survival: 1.0 }; pois.len()],
+            pois: pois.clone(),
+            params,
+            probs: Vec::new(),
+            total: Coverage::ZERO,
+            aspect_weights: None,
+        }
+    }
+
+    /// Applies per-PoI aspect weights (builder-style). Must be called
+    /// before any photo is committed so the accumulated total stays
+    /// consistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if photos were already committed.
+    #[must_use]
+    pub fn with_aspect_weights(mut self, weights: AspectWeightMap) -> Self {
+        assert!(
+            self.total.is_zero() && self.states.iter().all(|s| s.coverers.is_empty()),
+            "aspect weights must be set before committing photos"
+        );
+        self.aspect_weights = Some(weights);
+        self
+    }
+
+    /// Registers an engine-node with the given delivery probability
+    /// (clamped to `[0, 1]`) and returns its handle.
+    pub fn add_node(&mut self, delivery_prob: f64) -> usize {
+        self.probs.push(super::clamp_prob(delivery_prob));
+        self.probs.len() - 1
+    }
+
+    /// Number of engine-nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// The delivery probability of an engine-node.
+    #[must_use]
+    pub fn prob(&self, node: usize) -> f64 {
+        self.probs[node]
+    }
+
+    /// Current expected coverage `C_ex` of everything committed so far.
+    #[must_use]
+    pub fn total(&self) -> Coverage {
+        self.total
+    }
+
+    /// Marginal expected-coverage gain of committing `meta` to `node`,
+    /// without mutating the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a handle returned by
+    /// [`add_node`](Self::add_node).
+    #[must_use]
+    pub fn gain_of(&self, node: usize, meta: &PhotoMeta) -> Coverage {
+        let p = self.probs[node];
+        if p <= 0.0 {
+            return Coverage::ZERO;
+        }
+        let mut gain = Coverage::ZERO;
+        for poi in meta.covered_pois(&self.pois) {
+            let state = &self.states[poi.id.index()];
+            let own = state.coverers.iter().find(|(i, _)| *i == node).map(|(_, s)| s);
+            // Point: if this node is not yet a coverer, the survival
+            // product gains a factor (1 − p): E[pt] rises by survival · p.
+            if own.is_none() {
+                gain.point += poi.weight * state.point_survival * p;
+            }
+            // Aspect: on directions newly covered *by this node*, the
+            // survival product gains the factor (1 − p).
+            let Some(arc) = meta.aspect_arc(poi, self.params.effective_angle) else { continue };
+            let mut region = ArcSet::from_arc(arc);
+            if let Some(own_set) = own {
+                region = region.difference(own_set);
+            }
+            if region.is_empty() {
+                continue;
+            }
+            let weights = self.aspect_weights.as_ref().and_then(|m| m.get(&poi.id));
+            gain.aspect += poi.weight
+                * p
+                * integrate_survival(&state.coverers, node, &region, &self.probs, weights);
+        }
+        gain
+    }
+
+    /// Commits `meta` to `node`, returning the gain (identical to what
+    /// [`gain_of`](Self::gain_of) previewed).
+    pub fn add_photo(&mut self, node: usize, meta: &PhotoMeta) -> Coverage {
+        let gain = self.gain_of(node, meta);
+        let p = self.probs[node];
+        let touched: Vec<_> = meta.covered_pois(&self.pois).map(|poi| poi.id).collect();
+        for id in touched {
+            let poi = self.pois[id];
+            let Some(arc) = meta.aspect_arc(&poi, self.params.effective_angle) else { continue };
+            let state = &mut self.states[id.index()];
+            match state.coverers.iter_mut().find(|(i, _)| *i == node) {
+                Some((_, set)) => set.insert(arc),
+                None => {
+                    state.coverers.push((node, ArcSet::from_arc(arc)));
+                    state.point_survival *= 1.0 - p;
+                }
+            }
+        }
+        self.total += gain;
+        gain
+    }
+
+    /// Commits a whole collection to `node`, returning the cumulative
+    /// gain.
+    pub fn add_collection<'a, M>(&mut self, node: usize, metas: M) -> Coverage
+    where
+        M: IntoIterator<Item = &'a PhotoMeta>,
+    {
+        let mut gain = Coverage::ZERO;
+        for m in metas {
+            gain += self.add_photo(node, m);
+        }
+        gain
+    }
+}
+
+/// `∫_region w(v) · Π_{j ≠ node, region ∋ v ∈ S_j} (1 − p_j) dv`,
+/// with `w ≡ 1` when `weights` is `None`.
+///
+/// `node`'s own set never overlaps `region` (the caller subtracted it), so
+/// excluding it is belt-and-braces.
+fn integrate_survival(
+    coverers: &[(usize, ArcSet)],
+    node: usize,
+    region: &ArcSet,
+    probs: &[f64],
+    weights: Option<&AspectWeights>,
+) -> f64 {
+    // Fast path: no other coverer and uniform weights — survival is 1
+    // everywhere on region.
+    if weights.is_none() && coverers.iter().all(|(i, _)| *i == node) {
+        return region.measure();
+    }
+    let mut cuts: Vec<f64> = region.endpoints();
+    for (i, set) in coverers {
+        if *i != node {
+            cuts.extend(set.endpoints());
+        }
+    }
+    if let Some(w) = weights {
+        cuts.extend(w.endpoints());
+    }
+    cuts.sort_by(f64::total_cmp);
+    cuts.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+    let mut integral = 0.0;
+    for w in cuts.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        let len = hi - lo;
+        if len <= 0.0 {
+            continue;
+        }
+        let mid = Angle::from_radians(0.5 * (lo + hi));
+        if !region.contains(mid) {
+            continue;
+        }
+        let survival: f64 = coverers
+            .iter()
+            .filter(|(i, set)| *i != node && set.contains(mid))
+            .map(|(i, _)| 1.0 - probs[*i])
+            .product();
+        let weight = weights.map_or(1.0, |w| w.weight_at(mid));
+        integral += len * weight * survival;
+    }
+    integral
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expected::segment::expected_coverage_exact;
+    use crate::expected::DeliveryNode;
+    use photodtn_coverage::Poi;
+    use photodtn_geo::Point;
+
+    fn pois() -> PoiList {
+        PoiList::new(vec![
+            Poi::new(0, Point::new(0.0, 0.0)),
+            Poi::new(1, Point::new(500.0, 0.0)),
+        ])
+    }
+
+    fn shot(target: Point, deg: f64) -> PhotoMeta {
+        let dir = Angle::from_degrees(deg);
+        PhotoMeta::new(target.offset(dir, 50.0), 80.0, Angle::from_degrees(40.0), dir + Angle::PI)
+    }
+
+    #[test]
+    fn engine_matches_batch_exact() {
+        let params = CoverageParams::default();
+        let t0 = Point::new(0.0, 0.0);
+        let t1 = Point::new(500.0, 0.0);
+        let plan: Vec<(f64, Vec<PhotoMeta>)> = vec![
+            (1.0, vec![shot(t0, 90.0)]),
+            (0.7, vec![shot(t0, 0.0), shot(t1, 45.0)]),
+            (0.3, vec![shot(t0, 30.0), shot(t0, 90.0)]),
+            (0.5, vec![shot(t1, 200.0)]),
+        ];
+        let mut engine = ExpectedEngine::new(&pois(), params);
+        for (p, metas) in &plan {
+            let n = engine.add_node(*p);
+            engine.add_collection(n, metas.iter());
+        }
+        let nodes: Vec<DeliveryNode> =
+            plan.iter().map(|(p, m)| DeliveryNode::new(*p, m.clone())).collect();
+        let batch = expected_coverage_exact(&pois(), &nodes, params);
+        assert!((engine.total().point - batch.point).abs() < 1e-9);
+        assert!((engine.total().aspect - batch.aspect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gain_preview_equals_commit() {
+        let params = CoverageParams::default();
+        let t0 = Point::new(0.0, 0.0);
+        let mut engine = ExpectedEngine::new(&pois(), params);
+        let a = engine.add_node(0.6);
+        let b = engine.add_node(0.3);
+        for (node, meta) in [
+            (a, shot(t0, 0.0)),
+            (b, shot(t0, 10.0)),
+            (a, shot(t0, 180.0)),
+            (b, shot(t0, 180.0)),
+        ] {
+            let preview = engine.gain_of(node, &meta);
+            let actual = engine.add_photo(node, &meta);
+            assert!((preview.point - actual.point).abs() < 1e-12);
+            assert!((preview.aspect - actual.aspect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn duplicate_on_same_node_adds_nothing() {
+        let params = CoverageParams::default();
+        let t0 = Point::new(0.0, 0.0);
+        let mut engine = ExpectedEngine::new(&pois(), params);
+        let a = engine.add_node(0.8);
+        engine.add_photo(a, &shot(t0, 0.0));
+        assert!(engine.gain_of(a, &shot(t0, 0.0)).is_zero());
+    }
+
+    #[test]
+    fn replica_on_second_node_adds_probability() {
+        // The same photo on an independent relay increases delivery odds:
+        // E[pt] goes from p_a to 1 − (1−p_a)(1−p_b).
+        let params = CoverageParams::default();
+        let t0 = Point::new(0.0, 0.0);
+        let mut engine = ExpectedEngine::new(&pois(), params);
+        let a = engine.add_node(0.6);
+        let b = engine.add_node(0.5);
+        engine.add_photo(a, &shot(t0, 0.0));
+        let gain = engine.add_photo(b, &shot(t0, 0.0));
+        assert!((gain.point - 0.4 * 0.5).abs() < 1e-12);
+        assert!((engine.total().point - (1.0 - 0.4 * 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_probability_node_gains_nothing() {
+        let params = CoverageParams::default();
+        let mut engine = ExpectedEngine::new(&pois(), params);
+        let dead = engine.add_node(0.0);
+        let gain = engine.add_photo(dead, &shot(Point::new(0.0, 0.0), 0.0));
+        assert!(gain.is_zero());
+        assert!(engine.total().is_zero());
+    }
+
+    #[test]
+    fn command_center_saturates_point() {
+        let params = CoverageParams::default();
+        let t0 = Point::new(0.0, 0.0);
+        let mut engine = ExpectedEngine::new(&pois(), params);
+        let cc = engine.add_node(1.0);
+        engine.add_photo(cc, &shot(t0, 0.0));
+        // A relay re-covering the same PoI from the same angle adds zero.
+        let relay = engine.add_node(0.9);
+        let gain = engine.gain_of(relay, &shot(t0, 0.0));
+        assert!(gain.is_zero());
+        // From the opposite side it still adds aspects (but no point).
+        let gain = engine.gain_of(relay, &shot(t0, 180.0));
+        assert!(gain.point.abs() < 1e-12);
+        assert!(gain.aspect > 0.0);
+    }
+
+    #[test]
+    fn handles_accessors() {
+        let mut engine = ExpectedEngine::new(&pois(), CoverageParams::default());
+        let n = engine.add_node(2.5); // clamped
+        assert_eq!(engine.prob(n), 1.0);
+        assert_eq!(engine.node_count(), 1);
+    }
+}

@@ -1,0 +1,163 @@
+//! Reference implementation of Definition 2 by exhaustive enumeration of
+//! delivery outcomes. Exponential in the number of nodes — use it for
+//! validation and small node sets only; the production path is
+//! [`segment`](super::segment).
+
+use photodtn_coverage::{AspectWeightMap, Coverage, CoverageParams, PhotoMeta, PoiList};
+
+use super::DeliveryNode;
+
+/// Maximum node-set size enumeration accepts (`2^20` outcomes ≈ 1 M
+/// coverage evaluations).
+pub const MAX_ENUMERATED_NODES: usize = 20;
+
+/// Computes `C_ex(M)` by summing `P_B · C_ph(∪ F_i)` over every delivery
+/// outcome `B ∈ {0,1}^m` — the paper's Definition 2, verbatim.
+///
+/// # Panics
+///
+/// Panics if `nodes.len() > MAX_ENUMERATED_NODES`; enumeration beyond that
+/// is certainly a mistake (use
+/// [`segment::expected_coverage_exact`](super::segment::expected_coverage_exact)).
+#[must_use]
+pub fn expected_coverage_enumerate(
+    pois: &PoiList,
+    nodes: &[DeliveryNode],
+    params: CoverageParams,
+) -> Coverage {
+    enumerate_inner(pois, nodes, params, None)
+}
+
+/// Enumeration with per-PoI aspect weights — the reference the weighted
+/// segment algorithm is validated against.
+///
+/// # Panics
+///
+/// Panics if `nodes.len() > MAX_ENUMERATED_NODES`.
+#[must_use]
+pub fn expected_coverage_enumerate_weighted(
+    pois: &PoiList,
+    nodes: &[DeliveryNode],
+    params: CoverageParams,
+    weights: &AspectWeightMap,
+) -> Coverage {
+    enumerate_inner(pois, nodes, params, Some(weights))
+}
+
+fn enumerate_inner(
+    pois: &PoiList,
+    nodes: &[DeliveryNode],
+    params: CoverageParams,
+    weights: Option<&AspectWeightMap>,
+) -> Coverage {
+    assert!(
+        nodes.len() <= MAX_ENUMERATED_NODES,
+        "enumeration over {} nodes would need 2^{} coverage evaluations",
+        nodes.len(),
+        nodes.len()
+    );
+    let m = nodes.len();
+    let mut total = Coverage::ZERO;
+    for mask in 0u64..(1u64 << m) {
+        let mut prob = 1.0;
+        let mut delivered: Vec<&PhotoMeta> = Vec::new();
+        for (i, node) in nodes.iter().enumerate() {
+            let p = super::clamp_prob(node.delivery_prob);
+            if mask & (1 << i) != 0 {
+                prob *= p;
+                delivered.extend(node.metas.iter());
+            } else {
+                prob *= 1.0 - p;
+            }
+        }
+        if prob == 0.0 {
+            continue;
+        }
+        let c = match weights {
+            Some(w) => Coverage::of_weighted(pois, delivered.iter().copied(), params, w),
+            None => Coverage::of(pois, delivered.iter().copied(), params),
+        };
+        total.point += prob * c.point;
+        total.aspect += prob * c.aspect;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photodtn_coverage::Poi;
+    use photodtn_geo::{Angle, Point};
+
+    fn pois() -> PoiList {
+        PoiList::new(vec![Poi::new(0, Point::new(0.0, 0.0))])
+    }
+
+    fn shot(deg: f64) -> PhotoMeta {
+        let dir = Angle::from_degrees(deg);
+        PhotoMeta::new(Point::new(0.0, 0.0).offset(dir, 50.0), 80.0, Angle::from_degrees(40.0), dir + Angle::PI)
+    }
+
+    #[test]
+    fn single_node_scales_linearly() {
+        let params = CoverageParams::default();
+        let full = Coverage::of(&pois(), [&shot(0.0)], params);
+        let node = DeliveryNode::new(0.3, vec![shot(0.0)]);
+        let e = expected_coverage_enumerate(&pois(), &[node], params);
+        assert!((e.point - 0.3 * full.point).abs() < 1e-12);
+        assert!((e.aspect - 0.3 * full.aspect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn certain_delivery_equals_plain_coverage() {
+        let params = CoverageParams::default();
+        let nodes = [
+            DeliveryNode::new(1.0, vec![shot(0.0)]),
+            DeliveryNode::new(1.0, vec![shot(180.0)]),
+        ];
+        let e = expected_coverage_enumerate(&pois(), &nodes, params);
+        let all: Vec<PhotoMeta> = vec![shot(0.0), shot(180.0)];
+        let c = Coverage::of(&pois(), all.iter(), params);
+        assert!((e.point - c.point).abs() < 1e-12);
+        assert!((e.aspect - c.aspect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_paper_formula_three_nodes() {
+        // Reproduces formula (2): M = {n_0, n_a, n_b} with b_0 = 1.
+        let params = CoverageParams::default();
+        let f0 = vec![shot(90.0)];
+        let fa = vec![shot(0.0)];
+        let fb = vec![shot(180.0)];
+        let (pa, pb) = (0.6, 0.25);
+        let nodes = [
+            DeliveryNode::new(1.0, f0.clone()),
+            DeliveryNode::new(pa, fa.clone()),
+            DeliveryNode::new(pb, fb.clone()),
+        ];
+        let e = expected_coverage_enumerate(&pois(), &nodes, params);
+
+        let c = |sets: Vec<&Vec<PhotoMeta>>| {
+            let metas: Vec<&PhotoMeta> = sets.into_iter().flatten().collect();
+            Coverage::of(&pois(), metas.iter().copied(), params)
+        };
+        let manual_aspect = c(vec![&f0]).aspect * (1.0 - pa) * (1.0 - pb)
+            + c(vec![&f0, &fa]).aspect * pa * (1.0 - pb)
+            + c(vec![&f0, &fb]).aspect * (1.0 - pa) * pb
+            + c(vec![&f0, &fa, &fb]).aspect * pa * pb;
+        assert!((e.aspect - manual_aspect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_node_set_is_zero() {
+        let e = expected_coverage_enumerate(&pois(), &[], CoverageParams::default());
+        assert!(e.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "coverage evaluations")]
+    fn refuses_huge_node_sets() {
+        let nodes = vec![DeliveryNode::new(0.5, vec![]); 21];
+        let _ = expected_coverage_enumerate(&pois(), &nodes, CoverageParams::default());
+    }
+}

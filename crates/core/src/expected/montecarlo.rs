@@ -1,0 +1,101 @@
+//! Monte-Carlo estimator for expected coverage — the third, independent
+//! implementation of Definition 2, used to cross-validate the exact
+//! algorithms and to gauge how many samples a sampling approach would need
+//! (the ablation benchmark `expected_coverage`).
+
+use rand::Rng;
+
+use photodtn_coverage::{Coverage, CoverageParams, PhotoMeta, PoiList};
+
+use super::DeliveryNode;
+
+/// Estimates `C_ex(M)` by sampling `samples` delivery outcomes.
+///
+/// The estimator is unbiased; its standard error shrinks as
+/// `O(1/√samples)`.
+///
+/// # Panics
+///
+/// Panics if `samples == 0`.
+#[must_use]
+pub fn expected_coverage_montecarlo<R: Rng + ?Sized>(
+    pois: &PoiList,
+    nodes: &[DeliveryNode],
+    params: CoverageParams,
+    samples: u32,
+    rng: &mut R,
+) -> Coverage {
+    assert!(samples > 0, "need at least one sample");
+    let mut acc = Coverage::ZERO;
+    let mut delivered: Vec<&PhotoMeta> = Vec::new();
+    for _ in 0..samples {
+        delivered.clear();
+        for node in nodes {
+            let p = super::clamp_prob(node.delivery_prob);
+            if p > 0.0 && rng.gen_bool(p) {
+                delivered.extend(node.metas.iter());
+            }
+        }
+        let c = Coverage::of(pois, delivered.iter().copied(), params);
+        acc.point += c.point;
+        acc.aspect += c.aspect;
+    }
+    Coverage::new(acc.point / f64::from(samples), acc.aspect / f64::from(samples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expected::segment::expected_coverage_exact;
+    use photodtn_coverage::Poi;
+    use photodtn_geo::{Angle, Point};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn pois() -> PoiList {
+        PoiList::new(vec![Poi::new(0, Point::new(0.0, 0.0))])
+    }
+
+    fn shot(deg: f64) -> PhotoMeta {
+        let dir = Angle::from_degrees(deg);
+        PhotoMeta::new(Point::new(0.0, 0.0).offset(dir, 50.0), 80.0, Angle::from_degrees(40.0), dir + Angle::PI)
+    }
+
+    #[test]
+    fn converges_to_exact_value() {
+        let params = CoverageParams::default();
+        let nodes = vec![
+            DeliveryNode::new(0.4, vec![shot(0.0)]),
+            DeliveryNode::new(0.7, vec![shot(120.0)]),
+            DeliveryNode::new(0.2, vec![shot(240.0), shot(100.0)]),
+        ];
+        let exact = expected_coverage_exact(&pois(), &nodes, params);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let est = expected_coverage_montecarlo(&pois(), &nodes, params, 20_000, &mut rng);
+        assert!((est.point - exact.point).abs() < 0.02, "{} vs {}", est.point, exact.point);
+        assert!(
+            (est.aspect - exact.aspect).abs() / exact.aspect < 0.05,
+            "{} vs {}",
+            est.aspect,
+            exact.aspect
+        );
+    }
+
+    #[test]
+    fn deterministic_probabilities_are_exact() {
+        let params = CoverageParams::default();
+        let nodes = vec![DeliveryNode::new(1.0, vec![shot(0.0)])];
+        let exact = expected_coverage_exact(&pois(), &nodes, params);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let est = expected_coverage_montecarlo(&pois(), &nodes, params, 3, &mut rng);
+        assert!((est.point - exact.point).abs() < 1e-12);
+        assert!((est.aspect - exact.aspect).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_rejected() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let _ = expected_coverage_montecarlo(&pois(), &[], CoverageParams::default(), 0, &mut rng);
+    }
+}

@@ -1,0 +1,207 @@
+//! Exact polynomial-time expected coverage by segment decomposition.
+//!
+//! For each PoI, collect the aspect [`ArcSet`] each node covers on it.
+//! Deliveries are independent, so for any aspect direction `v`
+//! `P{v covered} = 1 − Π_{i: v ∈ S_i} (1 − p_i)`, and this product is
+//! piecewise constant between arc endpoints. Splitting the circle at every
+//! endpoint therefore yields the exact integral
+//! `E[C_as(x)] = Σ_segments |seg| · (1 − Π (1 − p_i))`.
+//!
+//! Complexity: `O(k log k + k·c)` per PoI, where `k` is the number of arc
+//! endpoints and `c` the number of covering nodes — versus the `2^m`
+//! coverage evaluations of Definition 2's direct form. The two agree to
+//! floating-point accuracy (see the `expected_equivalence` property
+//! tests), which is the correctness argument for using this in the hot
+//! path.
+
+use photodtn_geo::{Angle, ArcSet, TAU};
+
+use photodtn_coverage::{aspect_set, AspectWeightMap, AspectWeights, Coverage, CoverageParams, PoiList};
+
+use super::DeliveryNode;
+
+/// Computes `C_ex(M)` exactly in polynomial time.
+#[must_use]
+pub fn expected_coverage_exact(
+    pois: &PoiList,
+    nodes: &[DeliveryNode],
+    params: CoverageParams,
+) -> Coverage {
+    exact_inner(pois, nodes, params, None)
+}
+
+/// Computes `C_ex(M)` exactly with per-PoI aspect weights (§II-C
+/// extension); PoIs absent from the map use uniform weights.
+#[must_use]
+pub fn expected_coverage_exact_weighted(
+    pois: &PoiList,
+    nodes: &[DeliveryNode],
+    params: CoverageParams,
+    weights: &AspectWeightMap,
+) -> Coverage {
+    exact_inner(pois, nodes, params, Some(weights))
+}
+
+fn exact_inner(
+    pois: &PoiList,
+    nodes: &[DeliveryNode],
+    params: CoverageParams,
+    weights: Option<&AspectWeightMap>,
+) -> Coverage {
+    let mut total = Coverage::ZERO;
+    for poi in pois {
+        // Covering nodes and their aspect sets on this PoI.
+        let mut coverers: Vec<(f64, ArcSet)> = Vec::new();
+        for node in nodes {
+            let p = super::clamp_prob(node.delivery_prob);
+            if node.metas.iter().any(|m| m.covers(poi)) {
+                let set = aspect_set(poi, node.metas.iter(), params.effective_angle);
+                coverers.push((p, set));
+            }
+        }
+        if coverers.is_empty() {
+            continue;
+        }
+        // E[point] = 1 − Π (1 − p_i)
+        let survival: f64 = coverers.iter().map(|(p, _)| 1.0 - p).product();
+        total.point += poi.weight * (1.0 - survival);
+        // E[aspect] by segment decomposition.
+        let poi_weights = weights.and_then(|m| m.get(&poi.id));
+        total.aspect += poi.weight * integrate_union_probability(&coverers, poi_weights);
+    }
+    total
+}
+
+/// `∫_0^{2π} w(v) · (1 − Π_{i: v ∈ S_i} (1 − p_i)) dv` for
+/// piecewise-constant membership, with `w ≡ 1` when `weights` is `None`.
+fn integrate_union_probability(
+    coverers: &[(f64, ArcSet)],
+    weights: Option<&AspectWeights>,
+) -> f64 {
+    let mut cuts: Vec<f64> = vec![0.0, TAU];
+    for (_, set) in coverers {
+        cuts.extend(set.endpoints());
+    }
+    if let Some(w) = weights {
+        cuts.extend(w.endpoints());
+    }
+    cuts.sort_by(f64::total_cmp);
+    cuts.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+    let mut integral = 0.0;
+    for w in cuts.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        let len = hi - lo;
+        if len <= 0.0 {
+            continue;
+        }
+        let mid = Angle::from_radians(0.5 * (lo + hi));
+        let survival: f64 = coverers
+            .iter()
+            .filter(|(_, set)| set.contains(mid))
+            .map(|(p, _)| 1.0 - p)
+            .product();
+        let weight = weights.map_or(1.0, |w| w.weight_at(mid));
+        integral += len * weight * (1.0 - survival);
+    }
+    integral
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photodtn_coverage::{PhotoMeta, Poi};
+    use photodtn_geo::{Angle, Arc, Point};
+
+    use crate::expected::enumerate::expected_coverage_enumerate;
+
+    fn pois2() -> PoiList {
+        PoiList::new(vec![
+            Poi::new(0, Point::new(0.0, 0.0)),
+            Poi::new(1, Point::new(400.0, 0.0)),
+        ])
+    }
+
+    fn shot(target: Point, deg: f64) -> PhotoMeta {
+        let dir = Angle::from_degrees(deg);
+        PhotoMeta::new(target.offset(dir, 50.0), 80.0, Angle::from_degrees(40.0), dir + Angle::PI)
+    }
+
+    #[test]
+    fn matches_enumeration_small_cases() {
+        let params = CoverageParams::default();
+        let t0 = Point::new(0.0, 0.0);
+        let t1 = Point::new(400.0, 0.0);
+        let nodes = [
+            DeliveryNode::new(1.0, vec![shot(t0, 90.0)]),
+            DeliveryNode::new(0.7, vec![shot(t0, 0.0), shot(t1, 45.0)]),
+            DeliveryNode::new(0.3, vec![shot(t0, 30.0)]),
+            DeliveryNode::new(0.5, vec![shot(t1, 200.0), shot(t0, 180.0)]),
+        ];
+        for m in 0..=nodes.len() {
+            let subset = &nodes[..m];
+            let fast = expected_coverage_exact(&pois2(), subset, params);
+            let slow = expected_coverage_enumerate(&pois2(), subset, params);
+            assert!(
+                (fast.point - slow.point).abs() < 1e-9,
+                "point mismatch at m={m}: {} vs {}",
+                fast.point,
+                slow.point
+            );
+            assert!(
+                (fast.aspect - slow.aspect).abs() < 1e-9,
+                "aspect mismatch at m={m}: {} vs {}",
+                fast.aspect,
+                slow.aspect
+            );
+        }
+    }
+
+    #[test]
+    fn zero_probability_contributes_nothing() {
+        let params = CoverageParams::default();
+        let t0 = Point::new(0.0, 0.0);
+        let nodes = vec![DeliveryNode::new(0.0, vec![shot(t0, 0.0)])];
+        let e = expected_coverage_exact(&pois2(), &nodes, params);
+        assert!(e.is_zero());
+    }
+
+    #[test]
+    fn overlap_discounted() {
+        // Two independent nodes covering the same 60° arc on one PoI:
+        // E[aspect] = 60° · (1 − (1−p)²), not 2 · 60° · p.
+        let params = CoverageParams::default();
+        let t0 = Point::new(0.0, 0.0);
+        let p = 0.5;
+        let nodes = vec![
+            DeliveryNode::new(p, vec![shot(t0, 0.0)]),
+            DeliveryNode::new(p, vec![shot(t0, 0.0)]),
+        ];
+        let e = expected_coverage_exact(&pois2(), &nodes, params);
+        let arc_measure = 60f64.to_radians();
+        assert!((e.aspect - arc_measure * (1.0 - 0.25)).abs() < 1e-9);
+        assert!((e.point - (1.0 - 0.25)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integrate_union_probability_simple() {
+        // One coverer with prob 1 over a 90° arc → integral = π/2.
+        let set = ArcSet::from_arc(Arc::new(Angle::ZERO, std::f64::consts::FRAC_PI_2));
+        let val = integrate_union_probability(&[(1.0, set.clone())], None);
+        assert!((val - std::f64::consts::FRAC_PI_2).abs() < 1e-9);
+        // prob 0.25 scales it
+        let val = integrate_union_probability(&[(0.25, set)], None);
+        assert!((val - 0.25 * std::f64::consts::FRAC_PI_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_pois_scale() {
+        let params = CoverageParams::default();
+        let heavy = PoiList::new(vec![Poi::with_weight(0, Point::new(0.0, 0.0), 4.0)]);
+        let light = PoiList::new(vec![Poi::new(0, Point::new(0.0, 0.0))]);
+        let nodes = vec![DeliveryNode::new(0.5, vec![shot(Point::new(0.0, 0.0), 0.0)])];
+        let h = expected_coverage_exact(&heavy, &nodes, params);
+        let l = expected_coverage_exact(&light, &nodes, params);
+        assert!((h.point - 4.0 * l.point).abs() < 1e-12);
+        assert!((h.aspect - 4.0 * l.aspect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,206 @@
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use photodtn_contacts::NodeId;
+use photodtn_coverage::{PhotoId, PhotoMeta};
+
+use crate::validity::ValidityModel;
+
+/// A cached snapshot of one peer's photo collection (§III-B).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetadataRecord {
+    /// Metadata of every photo the peer held at snapshot time.
+    pub photos: Vec<(PhotoId, PhotoMeta)>,
+    /// When the snapshot was taken (our last direct contact), seconds.
+    pub snapshot_at: f64,
+    /// The peer's self-reported contact rate `λ_a` (s⁻¹) at that time.
+    pub lambda: f64,
+}
+
+/// One node's cache of other nodes' photo metadata, with staleness-based
+/// invalidation (§III-B).
+///
+/// Records are written at direct contacts (a node "sends its photo
+/// metadata and parameter λ learned from historical contacts") and read
+/// during selection; [`valid_records`](MetadataCache::valid_records)
+/// filters by equation (1) at read time and
+/// [`purge_stale`](MetadataCache::purge_stale) evicts lazily.
+///
+/// The command center's record is special: the paper assumes "the command
+/// center does not drop photos, and thus the metadata of `n_0` is always
+/// valid" — model that by caching its record with `lambda = 0`.
+///
+/// # Example
+///
+/// ```
+/// use photodtn_contacts::NodeId;
+/// use photodtn_core::{validity::ValidityModel, MetadataCache};
+///
+/// let mut cache = MetadataCache::new();
+/// cache.update(NodeId(3), vec![], 1.0 / 3600.0, 1000.0);
+/// let model = ValidityModel::paper_default();
+/// assert_eq!(cache.valid_records(&model, 1000.0).count(), 1);
+/// // ~1.6 mean inter-contact times later the record is distrusted
+/// assert_eq!(cache.valid_records(&model, 1000.0 + 3.0 * 3600.0).count(), 0);
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct MetadataCache {
+    records: HashMap<u32, MetadataRecord>,
+}
+
+impl MetadataCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        MetadataCache::default()
+    }
+
+    /// Number of cached records (valid or not).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Stores (replacing) the snapshot received from `peer` at `now`.
+    pub fn update(
+        &mut self,
+        peer: NodeId,
+        photos: Vec<(PhotoId, PhotoMeta)>,
+        lambda: f64,
+        now: f64,
+    ) {
+        self.records
+            .insert(peer.0, MetadataRecord { photos, snapshot_at: now, lambda: lambda.max(0.0) });
+    }
+
+    /// The raw record for `peer`, regardless of validity.
+    #[must_use]
+    pub fn record(&self, peer: NodeId) -> Option<&MetadataRecord> {
+        self.records.get(&peer.0)
+    }
+
+    /// Whether the record for `peer` exists and is still valid at `now`.
+    #[must_use]
+    pub fn is_valid(&self, peer: NodeId, model: &ValidityModel, now: f64) -> bool {
+        self.records
+            .get(&peer.0)
+            .is_some_and(|r| model.is_valid(r.lambda, now - r.snapshot_at))
+    }
+
+    /// Iterates over `(peer, record)` pairs whose records are valid at
+    /// `now` under equation (1).
+    pub fn valid_records<'a>(
+        &'a self,
+        model: &'a ValidityModel,
+        now: f64,
+    ) -> impl Iterator<Item = (NodeId, &'a MetadataRecord)> + 'a {
+        self.records
+            .iter()
+            .filter(move |(_, r)| model.is_valid(r.lambda, now - r.snapshot_at))
+            .map(|(&id, r)| (NodeId(id), r))
+    }
+
+    /// Drops every invalid record, returning how many were evicted.
+    pub fn purge_stale(&mut self, model: &ValidityModel, now: f64) -> usize {
+        let before = self.records.len();
+        self.records.retain(|_, r| model.is_valid(r.lambda, now - r.snapshot_at));
+        before - self.records.len()
+    }
+
+    /// Removes the record for `peer` (e.g. when fresher first-hand
+    /// information supersedes it).
+    pub fn remove(&mut self, peer: NodeId) -> Option<MetadataRecord> {
+        self.records.remove(&peer.0)
+    }
+
+    /// Total cached photo-metadata entries across all records — the
+    /// storage cost of the cache, for accounting ("caching metadata costs
+    /// very little storage space").
+    #[must_use]
+    pub fn cached_entries(&self) -> usize {
+        self.records.values().map(|r| r.photos.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photodtn_geo::{Angle, Point};
+
+    fn meta() -> PhotoMeta {
+        PhotoMeta::new(Point::new(0.0, 0.0), 100.0, Angle::from_degrees(45.0), Angle::ZERO)
+    }
+
+    #[test]
+    fn update_and_query() {
+        let mut c = MetadataCache::new();
+        assert!(c.is_empty());
+        c.update(NodeId(1), vec![(PhotoId(7), meta())], 0.001, 100.0);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.cached_entries(), 1);
+        let r = c.record(NodeId(1)).unwrap();
+        assert_eq!(r.snapshot_at, 100.0);
+        assert_eq!(r.photos.len(), 1);
+        assert!(c.record(NodeId(2)).is_none());
+    }
+
+    #[test]
+    fn update_replaces_snapshot() {
+        let mut c = MetadataCache::new();
+        c.update(NodeId(1), vec![(PhotoId(1), meta())], 0.001, 100.0);
+        c.update(NodeId(1), vec![(PhotoId(2), meta()), (PhotoId(3), meta())], 0.002, 200.0);
+        assert_eq!(c.len(), 1);
+        let r = c.record(NodeId(1)).unwrap();
+        assert_eq!(r.photos.len(), 2);
+        assert_eq!(r.snapshot_at, 200.0);
+        assert_eq!(r.lambda, 0.002);
+    }
+
+    #[test]
+    fn validity_filtering_and_purge() {
+        let model = ValidityModel::paper_default();
+        let mut c = MetadataCache::new();
+        let lambda = 1.0 / 3600.0;
+        c.update(NodeId(1), vec![], lambda, 0.0);
+        c.update(NodeId(2), vec![], lambda, 10_000.0); // fresher
+        let now = 10_001.0;
+        // node 1's record is ~2.8 mean inter-contacts old → stale
+        assert!(!c.is_valid(NodeId(1), &model, now));
+        assert!(c.is_valid(NodeId(2), &model, now));
+        let valid: Vec<NodeId> = c.valid_records(&model, now).map(|(n, _)| n).collect();
+        assert_eq!(valid, vec![NodeId(2)]);
+        assert_eq!(c.purge_stale(&model, now), 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn command_center_record_never_expires() {
+        let model = ValidityModel::paper_default();
+        let mut c = MetadataCache::new();
+        c.update(NodeId(0), vec![(PhotoId(1), meta())], 0.0, 0.0);
+        assert!(c.is_valid(NodeId(0), &model, 1e12));
+    }
+
+    #[test]
+    fn negative_lambda_clamped() {
+        let mut c = MetadataCache::new();
+        c.update(NodeId(1), vec![], -5.0, 0.0);
+        assert_eq!(c.record(NodeId(1)).unwrap().lambda, 0.0);
+    }
+
+    #[test]
+    fn remove_record() {
+        let mut c = MetadataCache::new();
+        c.update(NodeId(1), vec![], 0.0, 0.0);
+        assert!(c.remove(NodeId(1)).is_some());
+        assert!(c.remove(NodeId(1)).is_none());
+        assert!(c.is_empty());
+    }
+}

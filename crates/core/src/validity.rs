@@ -1,0 +1,116 @@
+//! The metadata-validity model of §III-B.
+//!
+//! Cached metadata of node `a` becomes untrustworthy once `a` has probably
+//! met *someone* (and therefore probably changed its photo collection).
+//! With exponential inter-contact times, the probability that `a` met
+//! another node within `t` seconds of our last contact is
+//! `P{T_a < t} = 1 − e^{−λ_a t}` (equation (1)); the cache entry is
+//! invalid when this exceeds the threshold `P_thld` (0.8 in Table I).
+
+use serde::{Deserialize, Serialize};
+
+/// Validity threshold configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ValidityModel {
+    /// `P_thld`: staleness probability above which cached metadata is
+    /// discarded. Table I uses 0.8.
+    pub p_threshold: f64,
+}
+
+impl ValidityModel {
+    /// Creates a model with the given threshold, clamped to `[0, 1]`.
+    #[must_use]
+    pub fn new(p_threshold: f64) -> Self {
+        ValidityModel { p_threshold: p_threshold.clamp(0.0, 1.0) }
+    }
+
+    /// Table I default: `P_thld = 0.8`.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        ValidityModel { p_threshold: 0.8 }
+    }
+
+    /// Probability that a node with contact rate `lambda` (s⁻¹) has met
+    /// another node within `elapsed` seconds — equation (1).
+    #[must_use]
+    pub fn stale_probability(lambda: f64, elapsed: f64) -> f64 {
+        if lambda <= 0.0 || elapsed <= 0.0 {
+            return 0.0;
+        }
+        1.0 - (-lambda * elapsed).exp()
+    }
+
+    /// Whether metadata cached `elapsed` seconds ago from a node with
+    /// contact rate `lambda` is still valid.
+    #[must_use]
+    pub fn is_valid(&self, lambda: f64, elapsed: f64) -> bool {
+        Self::stale_probability(lambda, elapsed) <= self.p_threshold
+    }
+
+    /// The longest age (seconds) at which metadata from a node with rate
+    /// `lambda` remains valid: `t* = −ln(1 − P_thld) / λ`.
+    ///
+    /// Returns `f64::INFINITY` when `lambda` is 0 (a node that never meets
+    /// anyone never invalidates) or when the threshold is 1.
+    #[must_use]
+    pub fn validity_horizon(&self, lambda: f64) -> f64 {
+        if lambda <= 0.0 || self.p_threshold >= 1.0 {
+            return f64::INFINITY;
+        }
+        -(1.0 - self.p_threshold).ln() / lambda
+    }
+}
+
+impl Default for ValidityModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stale_probability_shape() {
+        assert_eq!(ValidityModel::stale_probability(0.0, 100.0), 0.0);
+        assert_eq!(ValidityModel::stale_probability(0.1, 0.0), 0.0);
+        let p1 = ValidityModel::stale_probability(0.01, 10.0);
+        let p2 = ValidityModel::stale_probability(0.01, 100.0);
+        assert!(0.0 < p1 && p1 < p2 && p2 < 1.0);
+        // λt = ln 2 → probability 1/2
+        let half = ValidityModel::stale_probability(0.01, 100.0 * std::f64::consts::LN_2);
+        assert!((half - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validity_threshold() {
+        let m = ValidityModel::paper_default();
+        let lambda = 1.0 / 3600.0; // meets someone hourly on average
+        let horizon = m.validity_horizon(lambda);
+        // just inside the horizon: valid; just outside: invalid
+        assert!(m.is_valid(lambda, horizon * 0.999));
+        assert!(!m.is_valid(lambda, horizon * 1.001));
+        // for P_thld = 0.8, horizon = ln(5)/λ ≈ 1.609/λ
+        assert!((horizon - 5f64.ln() * 3600.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn isolated_node_never_invalidates() {
+        let m = ValidityModel::paper_default();
+        assert!(m.is_valid(0.0, f64::MAX / 2.0));
+        assert_eq!(m.validity_horizon(0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn threshold_extremes() {
+        let never = ValidityModel::new(0.0);
+        assert!(!never.is_valid(0.01, 1.0)); // any staleness > 0 invalidates
+        let always = ValidityModel::new(1.0);
+        assert!(always.is_valid(10.0, 1e12));
+        assert_eq!(always.validity_horizon(1.0), f64::INFINITY);
+        // clamping
+        assert_eq!(ValidityModel::new(7.0).p_threshold, 1.0);
+        assert_eq!(ValidityModel::new(-1.0).p_threshold, 0.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! How good is the paper's greedy heuristic? The reallocation problem is
+//! NP-hard, but tiny instances can be solved exactly by enumerating all
+//! assignments. These tests compare the greedy solution against the true
+//! optimum: for a monotone objective under per-node capacities the
+//! accelerated greedy should stay within a constant factor — empirically
+//! we require ≥ 60 % of the optimal expected point coverage and never a
+//! *worse-than-half* outcome.
+
+use photodtn_contacts::NodeId;
+use photodtn_core::expected::{DeliveryNode, ExpectedEngine};
+use photodtn_core::selection::{reallocate, PeerState, SelectionInput};
+use photodtn_coverage::{Coverage, CoverageParams, Photo, PhotoMeta, Poi, PoiList};
+use photodtn_geo::{Angle, Point};
+use proptest::prelude::*;
+
+fn pois() -> PoiList {
+    PoiList::new(vec![
+        Poi::new(0, Point::new(0.0, 0.0)),
+        Poi::new(1, Point::new(350.0, 0.0)),
+        Poi::new(2, Point::new(0.0, 350.0)),
+    ])
+}
+
+type RawPhoto = (bool, f64, f64, f64, f64, f64);
+
+fn arb_raw_photos() -> impl Strategy<Value = Vec<RawPhoto>> {
+    prop::collection::vec(
+        (
+            any::<bool>(),
+            -80.0..430.0f64,
+            -80.0..430.0f64,
+            30.0..60.0f64,
+            0.0..360.0f64,
+            60.0..160.0f64,
+        ),
+        5..=7,
+    )
+}
+
+fn materialize(raw: &[RawPhoto]) -> (Vec<Photo>, Vec<Photo>) {
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    for (i, &(to_a, x, y, fov, dir, r)) in raw.iter().enumerate() {
+        let photo = Photo::new(
+            i as u64 + 1,
+            PhotoMeta::new(Point::new(x, y), r, Angle::from_degrees(fov), Angle::from_degrees(dir)),
+            0.0,
+        )
+        .with_size(1);
+        if to_a {
+            a.push(photo);
+        } else {
+            b.push(photo);
+        }
+    }
+    (a, b)
+}
+
+/// Scalarizes an expected coverage for factor comparisons: point dominates
+/// but aspects break ties smoothly.
+fn scalar(c: Coverage) -> f64 {
+    c.point * 100.0 + c.aspect
+}
+
+/// Exact optimum by enumerating every assignment of the pool into
+/// {a only, b only, both, neither} under both capacities.
+fn exhaustive_optimum(input: &SelectionInput<'_>) -> Coverage {
+    let pool: Vec<Photo> = {
+        let mut v = input.a.photos.clone();
+        for p in &input.b.photos {
+            if !v.iter().any(|q| q.id == p.id) {
+                v.push(*p);
+            }
+        }
+        v
+    };
+    let k = pool.len();
+    assert!(k <= 8, "exhaustive search is 4^k");
+    let mut best = Coverage::ZERO;
+    for assign in 0..(4u32.pow(k as u32)) {
+        let mut bits = assign;
+        let mut size_a = 0u64;
+        let mut size_b = 0u64;
+        let mut in_a = Vec::new();
+        let mut in_b = Vec::new();
+        for p in &pool {
+            let choice = bits % 4;
+            bits /= 4;
+            if choice == 1 || choice == 3 {
+                size_a += p.size;
+                in_a.push(p.meta);
+            }
+            if choice == 2 || choice == 3 {
+                size_b += p.size;
+                in_b.push(p.meta);
+            }
+        }
+        if size_a > input.a.capacity || size_b > input.b.capacity {
+            continue;
+        }
+        let mut engine = ExpectedEngine::new(input.pois, input.params);
+        for other in &input.others {
+            let n = engine.add_node(other.delivery_prob);
+            engine.add_collection(n, other.metas.iter());
+        }
+        let na = engine.add_node(input.a.delivery_prob);
+        engine.add_collection(na, in_a.iter());
+        let nb = engine.add_node(input.b.delivery_prob);
+        engine.add_collection(nb, in_b.iter());
+        if scalar(engine.total()) > scalar(best) {
+            best = engine.total();
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn greedy_within_factor_of_optimum(
+        raw in arb_raw_photos(),
+        pa in 0.2..1.0f64,
+        pb in 0.1..0.9f64,
+        cap_a in 2u64..5,
+        cap_b in 1u64..4,
+    ) {
+        let pois = pois();
+        let (a_photos, b_photos) = materialize(&raw);
+        let input = SelectionInput {
+            pois: &pois,
+            params: CoverageParams::default(),
+            a: PeerState { node: NodeId(0), delivery_prob: pa, capacity: cap_a, photos: a_photos },
+            b: PeerState { node: NodeId(1), delivery_prob: pb, capacity: cap_b, photos: b_photos },
+            others: vec![DeliveryNode::new(1.0, vec![])],
+        };
+        let greedy = reallocate(&input);
+        let optimum = exhaustive_optimum(&input);
+        let (g, o) = (scalar(greedy.expected), scalar(optimum));
+        prop_assert!(g <= o + 1e-6, "greedy {g} beat the optimum {o}?!");
+        if o > 1e-9 {
+            prop_assert!(
+                g >= 0.6 * o,
+                "greedy {g} below 60% of optimum {o} (greedy {:?} / {:?})",
+                greedy.a_selected, greedy.b_selected
+            );
+        }
+    }
+}
+
+#[test]
+fn greedy_is_optimal_on_a_crafted_instance() {
+    // Two complementary views of each PoI; capacities fit exactly the
+    // optimum allocation, and greedy should find it.
+    let pois = pois();
+    let shot = |id: u64, target: Point, deg: f64| {
+        let dir = Angle::from_degrees(deg);
+        Photo::new(
+            id,
+            PhotoMeta::new(target.offset(dir, 60.0), 90.0, Angle::from_degrees(45.0), dir + Angle::PI),
+            0.0,
+        )
+        .with_size(1)
+    };
+    let t0 = Point::new(0.0, 0.0);
+    let t1 = Point::new(350.0, 0.0);
+    let input = SelectionInput {
+        pois: &pois,
+        params: CoverageParams::default(),
+        a: PeerState {
+            node: NodeId(0),
+            delivery_prob: 0.9,
+            capacity: 2,
+            photos: vec![shot(1, t0, 0.0), shot(2, t0, 5.0)],
+        },
+        b: PeerState {
+            node: NodeId(1),
+            delivery_prob: 0.4,
+            capacity: 2,
+            photos: vec![shot(3, t1, 90.0), shot(4, t1, 95.0)],
+        },
+        others: vec![],
+    };
+    let greedy = reallocate(&input);
+    let optimum = exhaustive_optimum(&input);
+    assert!(
+        (scalar(greedy.expected) - scalar(optimum)).abs() < 1e-6,
+        "greedy {:?} vs optimum {:?}",
+        greedy.expected,
+        optimum
+    );
+}

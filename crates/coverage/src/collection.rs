@@ -1,0 +1,194 @@
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Photo, PhotoId, PhotoMeta};
+
+/// A node's photo collection `F` with byte-level size accounting.
+///
+/// Iteration order is photo-id order, which keeps every simulation
+/// deterministic for a given seed.
+///
+/// # Example
+///
+/// ```
+/// use photodtn_geo::{Angle, Point};
+/// use photodtn_coverage::{Photo, PhotoCollection, PhotoMeta};
+///
+/// let meta = PhotoMeta::new(Point::new(0.0, 0.0), 100.0,
+///                           Angle::from_degrees(45.0), Angle::ZERO);
+/// let mut f = PhotoCollection::new();
+/// assert!(f.insert(Photo::new(7, meta, 0.0).with_size(100)));
+/// assert!(!f.insert(Photo::new(7, meta, 0.0).with_size(100))); // duplicate
+/// assert_eq!(f.total_size(), 100);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhotoCollection {
+    photos: BTreeMap<PhotoId, Photo>,
+    total_size: u64,
+}
+
+impl PhotoCollection {
+    /// Creates an empty collection.
+    #[must_use]
+    pub fn new() -> Self {
+        PhotoCollection::default()
+    }
+
+    /// Number of photos.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.photos.len()
+    }
+
+    /// Whether the collection is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.photos.is_empty()
+    }
+
+    /// Total payload bytes of all photos.
+    #[must_use]
+    pub fn total_size(&self) -> u64 {
+        self.total_size
+    }
+
+    /// Whether the collection holds a photo with this id.
+    #[must_use]
+    pub fn contains(&self, id: PhotoId) -> bool {
+        self.photos.contains_key(&id)
+    }
+
+    /// The photo with this id, if present.
+    #[must_use]
+    pub fn get(&self, id: PhotoId) -> Option<&Photo> {
+        self.photos.get(&id)
+    }
+
+    /// Inserts a photo. Returns `false` (and changes nothing) if a photo
+    /// with the same id is already present — replicas are identical, so
+    /// the existing copy wins.
+    pub fn insert(&mut self, photo: Photo) -> bool {
+        match self.photos.entry(photo.id) {
+            std::collections::btree_map::Entry::Occupied(_) => false,
+            std::collections::btree_map::Entry::Vacant(e) => {
+                self.total_size += photo.size;
+                e.insert(photo);
+                true
+            }
+        }
+    }
+
+    /// Removes and returns a photo.
+    pub fn remove(&mut self, id: PhotoId) -> Option<Photo> {
+        let removed = self.photos.remove(&id);
+        if let Some(p) = &removed {
+            self.total_size -= p.size;
+        }
+        removed
+    }
+
+    /// Removes all photos.
+    pub fn clear(&mut self) {
+        self.photos.clear();
+        self.total_size = 0;
+    }
+
+    /// Iterates over photos in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Photo> + Clone {
+        self.photos.values()
+    }
+
+    /// Iterates over the metadata of all photos, id order.
+    pub fn metas(&self) -> impl Iterator<Item = &PhotoMeta> + Clone {
+        self.photos.values().map(|p| &p.meta)
+    }
+
+    /// Iterates over photo ids, ascending.
+    pub fn ids(&self) -> impl DoubleEndedIterator<Item = PhotoId> + '_ {
+        self.photos.keys().copied()
+    }
+}
+
+impl FromIterator<Photo> for PhotoCollection {
+    fn from_iter<T: IntoIterator<Item = Photo>>(iter: T) -> Self {
+        let mut c = PhotoCollection::new();
+        for p in iter {
+            c.insert(p);
+        }
+        c
+    }
+}
+
+impl Extend<Photo> for PhotoCollection {
+    fn extend<T: IntoIterator<Item = Photo>>(&mut self, iter: T) {
+        for p in iter {
+            self.insert(p);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a PhotoCollection {
+    type Item = &'a Photo;
+    type IntoIter = std::collections::btree_map::Values<'a, PhotoId, Photo>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.photos.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photodtn_geo::{Angle, Point};
+
+    fn photo(id: u64, size: u64) -> Photo {
+        let meta = PhotoMeta::new(Point::new(0.0, 0.0), 100.0, Angle::from_degrees(45.0), Angle::ZERO);
+        Photo::new(id, meta, 0.0).with_size(size)
+    }
+
+    #[test]
+    fn size_accounting() {
+        let mut c = PhotoCollection::new();
+        c.insert(photo(1, 10));
+        c.insert(photo(2, 20));
+        assert_eq!(c.total_size(), 30);
+        assert_eq!(c.len(), 2);
+        c.remove(PhotoId(1));
+        assert_eq!(c.total_size(), 20);
+        c.clear();
+        assert_eq!(c.total_size(), 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut c = PhotoCollection::new();
+        assert!(c.insert(photo(1, 10)));
+        assert!(!c.insert(photo(1, 99)));
+        assert_eq!(c.total_size(), 10);
+    }
+
+    #[test]
+    fn remove_missing_is_none() {
+        let mut c = PhotoCollection::new();
+        assert!(c.remove(PhotoId(42)).is_none());
+    }
+
+    #[test]
+    fn iteration_in_id_order() {
+        let c: PhotoCollection = [photo(3, 1), photo(1, 1), photo(2, 1)].into_iter().collect();
+        let ids: Vec<u64> = c.ids().map(|i| i.0).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        assert_eq!(c.iter().count(), 3);
+        assert_eq!(c.metas().count(), 3);
+    }
+
+    #[test]
+    fn extend_and_contains() {
+        let mut c = PhotoCollection::new();
+        c.extend([photo(5, 2), photo(6, 3)]);
+        assert!(c.contains(PhotoId(5)));
+        assert!(!c.contains(PhotoId(7)));
+        assert_eq!(c.get(PhotoId(6)).unwrap().size, 3);
+    }
+}

@@ -1,0 +1,300 @@
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use photodtn_geo::{Angle, ArcSet};
+
+use crate::{PhotoMeta, Poi, PoiList};
+
+/// Model parameters shared by all coverage computations.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CoverageParams {
+    /// The effective angle `θ`: a photo covers the aspects within `θ` of
+    /// its viewing direction. Table I uses 30° for the simulations; the
+    /// prototype demo (§IV-B) uses 40°.
+    pub effective_angle: Angle,
+}
+
+impl CoverageParams {
+    /// Parameters with a given effective angle.
+    #[must_use]
+    pub fn new(effective_angle: Angle) -> Self {
+        CoverageParams { effective_angle }
+    }
+}
+
+impl Default for CoverageParams {
+    /// Table I defaults: `θ = 30°`.
+    fn default() -> Self {
+        CoverageParams { effective_angle: Angle::from_degrees(30.0) }
+    }
+}
+
+/// Photo coverage `C_ph = (C_pt, C_as)` with **lexicographic** order
+/// (Definition 1).
+///
+/// `point` is the (weighted) number of covered PoIs and `aspect` the
+/// (weighted) total covered aspect measure in radians. Point coverage
+/// dominates: a collection covering more PoIs always has higher coverage,
+/// regardless of aspects.
+///
+/// Comparisons treat point coverages within [`Coverage::POINT_EPS`] as
+/// equal, so floating-point noise in weighted sums cannot flip the
+/// lexicographic order.
+///
+/// # Example
+///
+/// ```
+/// use photodtn_coverage::Coverage;
+/// let a = Coverage::new(2.0, 0.1);
+/// let b = Coverage::new(1.0, 6.0);
+/// assert!(a > b); // more PoIs beats more aspects
+/// ```
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct Coverage {
+    /// Weighted point coverage `Σ w_i · C_pt(x_i)`.
+    pub point: f64,
+    /// Weighted aspect coverage `Σ w_i · C_as(x_i)`, radians.
+    pub aspect: f64,
+}
+
+impl Coverage {
+    /// Tolerance within which two point coverages compare equal.
+    pub const POINT_EPS: f64 = 1e-9;
+    /// Tolerance within which two aspect coverages compare equal.
+    pub const ASPECT_EPS: f64 = 1e-9;
+
+    /// The zero coverage.
+    pub const ZERO: Coverage = Coverage { point: 0.0, aspect: 0.0 };
+
+    /// Creates a coverage value.
+    #[must_use]
+    pub fn new(point: f64, aspect: f64) -> Self {
+        Coverage { point, aspect }
+    }
+
+    /// Computes the photo coverage of a collection of metadata over a PoI
+    /// list (Definition 1 summed over the list, §II-C).
+    #[must_use]
+    pub fn of<'a, M>(pois: &PoiList, metas: M, params: CoverageParams) -> Coverage
+    where
+        M: IntoIterator<Item = &'a PhotoMeta>,
+        M::IntoIter: Clone,
+    {
+        let metas = metas.into_iter();
+        let mut total = Coverage::ZERO;
+        for poi in pois {
+            let set = aspect_set(poi, metas.clone(), params.effective_angle);
+            if covers_point(poi, metas.clone()) {
+                total.point += poi.weight;
+            }
+            total.aspect += poi.weight * set.measure();
+        }
+        total
+    }
+
+    /// Like [`Coverage::of`], but integrating each PoI's covered aspects
+    /// against its [`AspectWeights`](crate::AspectWeights) entry in
+    /// `weights` (§II-C: "assign … different weights to different aspects
+    /// of a PoI"). PoIs absent from the map use uniform weights; point
+    /// coverage is unaffected by aspect weights.
+    #[must_use]
+    pub fn of_weighted<'a, M>(
+        pois: &PoiList,
+        metas: M,
+        params: CoverageParams,
+        weights: &crate::AspectWeightMap,
+    ) -> Coverage
+    where
+        M: IntoIterator<Item = &'a PhotoMeta>,
+        M::IntoIter: Clone,
+    {
+        let metas = metas.into_iter();
+        let mut total = Coverage::ZERO;
+        for poi in pois {
+            let set = aspect_set(poi, metas.clone(), params.effective_angle);
+            if covers_point(poi, metas.clone()) {
+                total.point += poi.weight;
+            }
+            let measure = match weights.get(&poi.id) {
+                Some(w) => w.weighted_measure(&set),
+                None => set.measure(),
+            };
+            total.aspect += poi.weight * measure;
+        }
+        total
+    }
+
+    /// Whether this coverage is (numerically) zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.point.abs() < Self::POINT_EPS && self.aspect.abs() < Self::ASPECT_EPS
+    }
+
+    /// Aspect coverage in degrees (convenience for reporting).
+    #[must_use]
+    pub fn aspect_degrees(&self) -> f64 {
+        self.aspect.to_degrees()
+    }
+}
+
+impl PartialEq for Coverage {
+    fn eq(&self, other: &Self) -> bool {
+        (self.point - other.point).abs() < Self::POINT_EPS
+            && (self.aspect - other.aspect).abs() < Self::ASPECT_EPS
+    }
+}
+
+impl PartialOrd for Coverage {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        if (self.point - other.point).abs() >= Self::POINT_EPS {
+            return self.point.partial_cmp(&other.point);
+        }
+        if (self.aspect - other.aspect).abs() >= Self::ASPECT_EPS {
+            return self.aspect.partial_cmp(&other.aspect);
+        }
+        Some(Ordering::Equal)
+    }
+}
+
+impl Add for Coverage {
+    type Output = Coverage;
+    fn add(self, rhs: Coverage) -> Coverage {
+        Coverage::new(self.point + rhs.point, self.aspect + rhs.aspect)
+    }
+}
+
+impl AddAssign for Coverage {
+    fn add_assign(&mut self, rhs: Coverage) {
+        self.point += rhs.point;
+        self.aspect += rhs.aspect;
+    }
+}
+
+impl Sub for Coverage {
+    type Output = Coverage;
+    fn sub(self, rhs: Coverage) -> Coverage {
+        Coverage::new(self.point - rhs.point, self.aspect - rhs.aspect)
+    }
+}
+
+impl fmt::Display for Coverage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(pt={:.3}, as={:.1}°)", self.point, self.aspect_degrees())
+    }
+}
+
+/// Point coverage of one PoI by a collection: 1 iff any photo's sector
+/// contains it (§II-B).
+pub fn covers_point<'a, M>(poi: &Poi, metas: M) -> bool
+where
+    M: IntoIterator<Item = &'a PhotoMeta>,
+{
+    metas.into_iter().any(|m| m.covers(poi))
+}
+
+/// The set of aspects of `poi` covered by a collection, as an [`ArcSet`];
+/// its measure is the aspect coverage `C_as(x, F)` (§II-B).
+pub fn aspect_set<'a, M>(poi: &Poi, metas: M, effective_angle: Angle) -> ArcSet
+where
+    M: IntoIterator<Item = &'a PhotoMeta>,
+{
+    metas
+        .into_iter()
+        .filter_map(|m| m.aspect_arc(poi, effective_angle))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photodtn_geo::Point;
+
+    fn poi_at_origin() -> PoiList {
+        PoiList::new(vec![Poi::new(0, Point::new(0.0, 0.0))])
+    }
+
+    fn looking_at_origin(from_deg: f64, dist: f64) -> PhotoMeta {
+        let dir = Angle::from_degrees(from_deg);
+        let loc = Point::new(0.0, 0.0).offset(dir, dist);
+        PhotoMeta::new(loc, dist + 10.0, Angle::from_degrees(60.0), dir + Angle::PI)
+    }
+
+    #[test]
+    fn lexicographic_order() {
+        assert!(Coverage::new(2.0, 0.0) > Coverage::new(1.0, 100.0));
+        assert!(Coverage::new(1.0, 2.0) > Coverage::new(1.0, 1.0));
+        assert_eq!(Coverage::new(1.0, 1.0), Coverage::new(1.0 + 1e-12, 1.0));
+        assert!(Coverage::ZERO < Coverage::new(0.0, 0.1));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let c = Coverage::new(1.0, 2.0) + Coverage::new(3.0, 4.0);
+        assert_eq!(c, Coverage::new(4.0, 6.0));
+        let mut d = Coverage::ZERO;
+        d += c;
+        assert_eq!(d, c);
+        assert_eq!(c - Coverage::new(1.0, 2.0), Coverage::new(3.0, 4.0));
+        assert!(Coverage::ZERO.is_zero());
+        assert!(!c.is_zero());
+    }
+
+    #[test]
+    fn coverage_of_single_photo() {
+        let pois = poi_at_origin();
+        let meta = looking_at_origin(0.0, 50.0);
+        let c = Coverage::of(&pois, [&meta], CoverageParams::default());
+        assert_eq!(c.point, 1.0);
+        // one photo covers 2θ = 60° of aspects
+        assert!((c.aspect_degrees() - 60.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn redundant_photos_do_not_add_aspect() {
+        let pois = poi_at_origin();
+        let a = looking_at_origin(0.0, 50.0);
+        let b = looking_at_origin(0.0, 60.0); // same direction, farther
+        let c1 = Coverage::of(&pois, [&a], CoverageParams::default());
+        let c2 = Coverage::of(&pois, [&a, &b], CoverageParams::default());
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn opposite_photos_double_aspect() {
+        let pois = poi_at_origin();
+        let a = looking_at_origin(0.0, 50.0);
+        let b = looking_at_origin(180.0, 50.0);
+        let c = Coverage::of(&pois, [&a, &b], CoverageParams::default());
+        assert_eq!(c.point, 1.0);
+        assert!((c.aspect_degrees() - 120.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weighted_poi_scales_coverage() {
+        let pois = PoiList::new(vec![Poi::with_weight(0, Point::new(0.0, 0.0), 3.0)]);
+        let meta = looking_at_origin(0.0, 50.0);
+        let c = Coverage::of(&pois, [&meta], CoverageParams::default());
+        assert_eq!(c.point, 3.0);
+        assert!((c.aspect_degrees() - 180.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_collection_zero_coverage() {
+        let pois = poi_at_origin();
+        let c = Coverage::of(&pois, std::iter::empty::<&PhotoMeta>(), CoverageParams::default());
+        assert!(c.is_zero());
+    }
+
+    #[test]
+    fn aspect_set_and_covers_point_free_functions() {
+        let poi = Poi::new(0, Point::new(0.0, 0.0));
+        let a = looking_at_origin(90.0, 40.0);
+        assert!(covers_point(&poi, [&a]));
+        let set = aspect_set(&poi, [&a], Angle::from_degrees(20.0));
+        assert!(set.contains(Angle::from_degrees(90.0)));
+        assert!((set.measure().to_degrees() - 40.0).abs() < 1e-6);
+    }
+}

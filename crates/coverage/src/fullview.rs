@@ -1,0 +1,307 @@
+//! Full-view coverage analysis and minimal photo selection.
+//!
+//! The paper borrows *aspect coverage* from Wang et al.'s full-view
+//! coverage work (refs. 23–25 in its bibliography): "a point is full-view
+//! covered if it has 2π aspect coverage". This module provides the
+//! analysis tools a command center runs on a photo set:
+//!
+//! * [`FullViewReport`] — per-PoI coverage status, the largest uncovered
+//!   gap, and which PoIs are full-view covered;
+//! * [`minimal_cover`] — a greedy minimum subset of photos achieving the
+//!   same coverage as the whole collection (classic set-cover greedy,
+//!   `1 + ln n` approximation), used to quantify redundancy in a
+//!   delivered set (the Fig. 8 discussion measures ~12° of overlap);
+//! * [`redundancy_degrees`] — the total overlap between photos'
+//!   aspect contributions.
+
+use photodtn_geo::{Angle, ArcSet, TAU};
+
+use crate::{Coverage, CoverageParams, CoverageProfile, PhotoMeta, PoiId, PoiList};
+
+/// Per-PoI view of how completely a photo collection covers it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PoiViewStatus {
+    /// The PoI.
+    pub poi: PoiId,
+    /// Whether any photo sees the PoI at all.
+    pub point_covered: bool,
+    /// Covered aspect measure, radians.
+    pub aspect: f64,
+    /// Whether the full `2π` of aspects is covered.
+    pub full_view: bool,
+    /// Width of the largest uncovered aspect gap, radians (0 when
+    /// full-view; `2π` when uncovered).
+    pub largest_gap: f64,
+    /// Direction at the middle of the largest gap — where to send the
+    /// next photographer. Zero when full-view covered.
+    pub gap_center: Angle,
+}
+
+/// Collection-level full-view analysis.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FullViewReport {
+    /// One status per PoI, in id order.
+    pub per_poi: Vec<PoiViewStatus>,
+}
+
+impl FullViewReport {
+    /// Analyzes `metas` against `pois`.
+    #[must_use]
+    pub fn analyze<'a, M>(pois: &PoiList, metas: M, params: CoverageParams) -> Self
+    where
+        M: IntoIterator<Item = &'a PhotoMeta>,
+        M::IntoIter: Clone,
+    {
+        let metas = metas.into_iter();
+        let per_poi = pois
+            .iter()
+            .map(|poi| {
+                let set = crate::aspect_set(poi, metas.clone(), params.effective_angle);
+                let point_covered = !set.is_empty();
+                let (largest_gap, gap_center) = largest_gap(&set);
+                PoiViewStatus {
+                    poi: poi.id,
+                    point_covered,
+                    aspect: set.measure(),
+                    full_view: set.is_full(),
+                    largest_gap,
+                    gap_center,
+                }
+            })
+            .collect();
+        FullViewReport { per_poi }
+    }
+
+    /// Number of full-view covered PoIs.
+    #[must_use]
+    pub fn full_view_count(&self) -> usize {
+        self.per_poi.iter().filter(|s| s.full_view).count()
+    }
+
+    /// Number of point-covered PoIs.
+    #[must_use]
+    pub fn point_covered_count(&self) -> usize {
+        self.per_poi.iter().filter(|s| s.point_covered).count()
+    }
+
+    /// PoIs sorted by how much aspect is still missing (most incomplete
+    /// first) — a tasking priority list for the command center.
+    #[must_use]
+    pub fn tasking_priorities(&self) -> Vec<&PoiViewStatus> {
+        let mut covered: Vec<&PoiViewStatus> =
+            self.per_poi.iter().filter(|s| !s.full_view).collect();
+        covered.sort_by(|a, b| a.aspect.total_cmp(&b.aspect).then(a.poi.cmp(&b.poi)));
+        covered
+    }
+}
+
+/// The widest uncovered gap of a covered-aspect set: `(width, center)`.
+fn largest_gap(set: &ArcSet) -> (f64, Angle) {
+    let holes = set.complement();
+    let mut best = (0.0, Angle::ZERO);
+    // Merge the wrap-around pair (last interval ending at 2π + first
+    // starting at 0) into one gap.
+    let intervals: Vec<(f64, f64)> = holes.iter().collect();
+    if intervals.is_empty() {
+        return best;
+    }
+    let wraps = intervals.first().is_some_and(|f| f.0 <= 1e-12)
+        && intervals.last().is_some_and(|l| l.1 >= TAU - 1e-12)
+        && intervals.len() > 1;
+    let n = intervals.len();
+    for (i, &(lo, hi)) in intervals.iter().enumerate() {
+        if wraps && i == 0 {
+            continue; // handled together with the last interval
+        }
+        let (width, center) = if wraps && i == n - 1 {
+            let first = intervals[0];
+            let width = (hi - lo) + (first.1 - first.0);
+            (width, Angle::from_radians(lo + width / 2.0))
+        } else {
+            ((hi - lo), Angle::from_radians((lo + hi) / 2.0))
+        };
+        if width > best.0 {
+            best = (width, center);
+        }
+    }
+    best
+}
+
+/// Greedily selects a minimal subset of `metas` achieving the same
+/// coverage as the full collection; returns indices into `metas` in
+/// selection order.
+///
+/// This is the standard set-cover greedy on the lexicographic coverage
+/// objective; the result is within `1 + ln n` of the true minimum.
+#[must_use]
+pub fn minimal_cover(pois: &PoiList, metas: &[PhotoMeta], params: CoverageParams) -> Vec<usize> {
+    let mut profile = CoverageProfile::new(pois, params);
+    let mut chosen = Vec::new();
+    let mut used = vec![false; metas.len()];
+    loop {
+        let mut best: Option<(Coverage, usize)> = None;
+        for (i, meta) in metas.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let gain = profile.gain_of(meta);
+            if gain <= Coverage::ZERO {
+                continue;
+            }
+            let better = match &best {
+                None => true,
+                Some((bg, _)) => gain > *bg,
+            };
+            if better {
+                best = Some((gain, i));
+            }
+        }
+        let Some((_, i)) = best else { break };
+        profile.add(&metas[i]);
+        used[i] = true;
+        chosen.push(i);
+    }
+    chosen
+}
+
+/// Total pairwise aspect overlap in the collection, in degrees: the sum
+/// of every photo's would-be contribution minus the union — 0 for a
+/// perfectly complementary set.
+///
+/// The paper's Fig. 8 discussion estimates this at ~12° for the photos
+/// our scheme delivers (3.2 photos per PoI covering ~180°).
+#[must_use]
+pub fn redundancy_degrees(pois: &PoiList, metas: &[PhotoMeta], params: CoverageParams) -> f64 {
+    let mut standalone_sum = 0.0;
+    for poi in pois {
+        let mut union = ArcSet::new();
+        for meta in metas {
+            if let Some(arc) = meta.aspect_arc(poi, params.effective_angle) {
+                standalone_sum += poi.weight * ArcSet::from_arc(arc).measure();
+                union.insert(arc);
+            }
+        }
+        standalone_sum -= poi.weight * union.measure();
+    }
+    standalone_sum.to_degrees()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Poi;
+    use photodtn_geo::Point;
+
+    fn one_poi() -> PoiList {
+        PoiList::new(vec![Poi::new(0, Point::new(0.0, 0.0))])
+    }
+
+    fn shot(deg: f64) -> PhotoMeta {
+        let dir = Angle::from_degrees(deg);
+        PhotoMeta::new(
+            Point::new(0.0, 0.0).offset(dir, 50.0),
+            80.0,
+            Angle::from_degrees(40.0),
+            dir + Angle::PI,
+        )
+    }
+
+    #[test]
+    fn report_uncovered_poi() {
+        let report = FullViewReport::analyze(&one_poi(), [], CoverageParams::default());
+        let s = &report.per_poi[0];
+        assert!(!s.point_covered);
+        assert!(!s.full_view);
+        assert_eq!(s.aspect, 0.0);
+        assert!((s.largest_gap - TAU).abs() < 1e-9);
+        assert_eq!(report.full_view_count(), 0);
+        assert_eq!(report.point_covered_count(), 0);
+    }
+
+    #[test]
+    fn report_partial_coverage_and_gap() {
+        // One photo from the east covers aspects around 0° (±30°); the
+        // gap is centered opposite, at 180°.
+        let metas = [shot(0.0)];
+        let report = FullViewReport::analyze(&one_poi(), metas.iter(), CoverageParams::default());
+        let s = &report.per_poi[0];
+        assert!(s.point_covered);
+        assert!(!s.full_view);
+        assert!((s.aspect.to_degrees() - 60.0).abs() < 1e-6);
+        assert!((s.largest_gap.to_degrees() - 300.0).abs() < 1e-6);
+        assert!(s.gap_center.separation(Angle::PI).to_degrees() < 1.0);
+    }
+
+    #[test]
+    fn report_full_view() {
+        let metas: Vec<PhotoMeta> = (0..12).map(|k| shot(k as f64 * 30.0)).collect();
+        let report =
+            FullViewReport::analyze(&one_poi(), metas.iter(), CoverageParams::default());
+        let s = &report.per_poi[0];
+        assert!(s.full_view);
+        assert_eq!(s.largest_gap, 0.0);
+        assert_eq!(report.full_view_count(), 1);
+    }
+
+    #[test]
+    fn wrapping_gap_merged() {
+        // Cover only aspects around 180°: the gap wraps through 0°.
+        let metas = [shot(180.0)];
+        let report = FullViewReport::analyze(&one_poi(), metas.iter(), CoverageParams::default());
+        let s = &report.per_poi[0];
+        assert!((s.largest_gap.to_degrees() - 300.0).abs() < 1e-6);
+        assert!(s.gap_center.separation(Angle::ZERO).to_degrees() < 1.0);
+    }
+
+    #[test]
+    fn tasking_priorities_sorted_by_need() {
+        let pois = PoiList::new(vec![
+            Poi::new(0, Point::new(0.0, 0.0)),
+            Poi::new(1, Point::new(1000.0, 0.0)),
+        ]);
+        // PoI 0 gets two views, PoI 1 none
+        let metas = [shot(0.0), shot(90.0)];
+        let report = FullViewReport::analyze(&pois, metas.iter(), CoverageParams::default());
+        let prio = report.tasking_priorities();
+        assert_eq!(prio.len(), 2);
+        assert_eq!(prio[0].poi, PoiId(1)); // most incomplete first
+    }
+
+    #[test]
+    fn minimal_cover_drops_redundant_photos() {
+        // 3 distinct views + 3 duplicates → minimal cover has 3 photos.
+        let metas = vec![shot(0.0), shot(0.0), shot(120.0), shot(120.0), shot(240.0), shot(240.0)];
+        let pois = one_poi();
+        let params = CoverageParams::default();
+        let chosen = minimal_cover(&pois, &metas, params);
+        assert_eq!(chosen.len(), 3);
+        let sub: Vec<PhotoMeta> = chosen.iter().map(|&i| metas[i]).collect();
+        let full = Coverage::of(&pois, metas.iter(), params);
+        let min = Coverage::of(&pois, sub.iter(), params);
+        assert_eq!(full, min);
+    }
+
+    #[test]
+    fn minimal_cover_of_empty_is_empty() {
+        assert!(minimal_cover(&one_poi(), &[], CoverageParams::default()).is_empty());
+        // photos that cover nothing are never selected
+        let junk = [PhotoMeta::new(
+            Point::new(5000.0, 5000.0),
+            50.0,
+            Angle::from_degrees(40.0),
+            Angle::ZERO,
+        )];
+        assert!(minimal_cover(&one_poi(), &junk, CoverageParams::default()).is_empty());
+    }
+
+    #[test]
+    fn redundancy_zero_for_disjoint_views() {
+        let pois = one_poi();
+        let params = CoverageParams::default();
+        let disjoint = [shot(0.0), shot(90.0), shot(180.0)];
+        assert!(redundancy_degrees(&pois, &disjoint, params).abs() < 1e-6);
+        // a duplicated view is 100 % redundant: 60° of overlap
+        let dup = [shot(0.0), shot(0.0)];
+        assert!((redundancy_degrees(&pois, &dup, params) - 60.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,61 @@
+//! The photo coverage model of Wu et al. (ICDCS'16), §II.
+//!
+//! A crowdsourcing *command center* publishes a list of Points of Interest
+//! ([`Poi`], [`PoiList`]). Participants take photos; each photo is
+//! characterized only by lightweight *metadata* ([`PhotoMeta`]): camera
+//! location `l`, coverage range `r`, field of view `φ` and orientation `d`.
+//! From metadata alone we can decide
+//!
+//! * **point coverage** — is a PoI inside the photo's coverage sector?
+//! * **aspect coverage** — which viewing directions (*aspects*) of the PoI
+//!   does the photo show? A photo covers the arc of aspects within the
+//!   *effective angle* `θ` of its viewing direction.
+//!
+//! The combined [`Coverage`] value `(ΣC_pt, ΣC_as)` over a PoI list is
+//! ordered **lexicographically**: covering a new PoI always beats adding
+//! aspects to already-covered ones.
+//!
+//! [`CoverageProfile`] maintains per-PoI coverage of a growing photo
+//! collection incrementally, which the greedy selection algorithm in
+//! `photodtn-core` queries for marginal gains.
+//!
+//! # Example
+//!
+//! ```
+//! use photodtn_geo::{Angle, Point};
+//! use photodtn_coverage::{CoverageParams, CoverageProfile, PhotoMeta, Poi, PoiList};
+//!
+//! let pois = PoiList::new(vec![Poi::new(0, Point::new(0.0, 0.0))]);
+//! let params = CoverageParams::default();
+//! let mut profile = CoverageProfile::new(&pois, params);
+//!
+//! // A photo taken 50 m east of the PoI, looking west.
+//! let meta = PhotoMeta::new(Point::new(50.0, 0.0), 100.0,
+//!                           Angle::from_degrees(60.0), Angle::from_degrees(180.0));
+//! let gain = profile.add(&meta);
+//! assert_eq!(gain.point, 1.0);              // the PoI is now covered
+//! assert!(gain.aspect.to_degrees() > 0.0);  // and some of its aspects
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collection;
+mod coverage;
+pub mod fullview;
+mod gen;
+mod meta;
+mod photo;
+mod poi;
+mod profile;
+pub mod sensing;
+mod weight;
+
+pub use collection::PhotoCollection;
+pub use coverage::{aspect_set, covers_point, Coverage, CoverageParams};
+pub use gen::{PhotoGenerator, TargetedGenerator, UniformGenerator};
+pub use meta::PhotoMeta;
+pub use photo::{ColorHistogram, Photo, PhotoId, DEFAULT_PHOTO_SIZE};
+pub use poi::{Poi, PoiId, PoiList};
+pub use profile::CoverageProfile;
+pub use weight::{AspectWeightMap, AspectWeights};

@@ -1,0 +1,196 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use photodtn_geo::{Angle, Arc, Point, Sector};
+
+use crate::{Poi, PoiList};
+
+/// Photo metadata: the tuple `(l, r, φ, d)` of §II-A.
+///
+/// Metadata is "just a couple of floating point numbers" — cheap to
+/// transmit, store and analyze — and fully determines the photo's coverage
+/// area, so all coverage computation works on `PhotoMeta` without touching
+/// pixels.
+///
+/// # Example
+///
+/// ```
+/// use photodtn_geo::{Angle, Point};
+/// use photodtn_coverage::PhotoMeta;
+/// let meta = PhotoMeta::new(Point::new(0.0, 0.0), 150.0,
+///                           Angle::from_degrees(45.0), Angle::from_degrees(90.0));
+/// assert!(meta.sector().contains(Point::new(0.0, 100.0)));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PhotoMeta {
+    /// Camera location `l`.
+    pub location: Point,
+    /// Coverage range `r`, meters — beyond it objects are unrecognizable.
+    pub range: f64,
+    /// Field of view `φ`.
+    pub fov: Angle,
+    /// Camera orientation `d`.
+    pub orientation: Angle,
+}
+
+impl PhotoMeta {
+    /// Creates metadata from the four parameters.
+    #[must_use]
+    pub fn new(location: Point, range: f64, fov: Angle, orientation: Angle) -> Self {
+        PhotoMeta { location, range, fov, orientation }
+    }
+
+    /// Creates metadata with the range derived from the field of view as in
+    /// §IV-A: `r = c · cot(φ/2)`, where `c` is an application-dependent
+    /// coefficient (50 m for buildings in the paper's prototype).
+    #[must_use]
+    pub fn with_derived_range(location: Point, c: f64, fov: Angle, orientation: Angle) -> Self {
+        let half = fov.radians() / 2.0;
+        let range = if half > 0.0 { c / half.tan() } else { 0.0 };
+        PhotoMeta { location, range: range.max(0.0), fov, orientation }
+    }
+
+    /// The coverage sector of the photo.
+    #[must_use]
+    pub fn sector(&self) -> Sector {
+        Sector::new(self.location, self.range, self.fov, self.orientation)
+    }
+
+    /// Whether the photo covers PoI `poi` (point coverage of one photo).
+    #[must_use]
+    pub fn covers(&self, poi: &Poi) -> bool {
+        self.sector().contains(poi.location)
+    }
+
+    /// The aspect arc this photo covers on `poi`, or `None` if the PoI is
+    /// outside the coverage area.
+    #[must_use]
+    pub fn aspect_arc(&self, poi: &Poi, effective_angle: Angle) -> Option<Arc> {
+        self.sector().aspect_arc(poi.location, effective_angle)
+    }
+
+    /// Whether the photo covers `poi` with line-of-sight past the given
+    /// occluders (visibility extension; equals [`covers`](Self::covers)
+    /// when `occluders` is empty).
+    #[must_use]
+    pub fn covers_occluded(&self, poi: &Poi, occluders: &[photodtn_geo::Segment]) -> bool {
+        self.sector().contains_occluded(poi.location, occluders)
+    }
+
+    /// The aspect arc on `poi` with occlusion: `None` when the PoI is out
+    /// of the sector or hidden behind an occluder.
+    #[must_use]
+    pub fn aspect_arc_occluded(
+        &self,
+        poi: &Poi,
+        effective_angle: Angle,
+        occluders: &[photodtn_geo::Segment],
+    ) -> Option<Arc> {
+        if !self.covers_occluded(poi, occluders) {
+            return None;
+        }
+        Some(Arc::centered(self.sector().viewing_direction(poi.location), effective_angle))
+    }
+
+    /// Ids of all PoIs in `pois` covered by this photo, using the spatial
+    /// index.
+    pub fn covered_pois<'a>(&'a self, pois: &'a PoiList) -> impl Iterator<Item = &'a Poi> + 'a {
+        let sector = self.sector();
+        pois.in_disc(self.location, self.range)
+            .filter(move |p| sector.contains(p.location))
+    }
+
+    /// Serialized metadata size in bytes, for bandwidth accounting.
+    ///
+    /// Four `f64` fields plus a photo id — 40 bytes — which is why metadata
+    /// exchange is treated as free relative to multi-megabyte photos.
+    #[must_use]
+    pub fn wire_size() -> u64 {
+        40
+    }
+}
+
+impl fmt::Display for PhotoMeta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "meta(l={}, r={:.0}m, fov={}, d={})",
+            self.location, self.range, self.fov, self.orientation
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_range_matches_cot() {
+        // c = 50 m, φ = 60° → r = 50·cot(30°) = 50·√3 ≈ 86.6 m
+        let m = PhotoMeta::with_derived_range(
+            Point::new(0.0, 0.0),
+            50.0,
+            Angle::from_degrees(60.0),
+            Angle::ZERO,
+        );
+        assert!((m.range - 50.0 * 3f64.sqrt()).abs() < 1e-9);
+        // paper: φ ∈ [30°, 60°] with c = 50 gives r ∈ [87 m, 187 m]
+        let wide = PhotoMeta::with_derived_range(
+            Point::new(0.0, 0.0),
+            50.0,
+            Angle::from_degrees(30.0),
+            Angle::ZERO,
+        );
+        assert!((86.0..88.0).contains(&m.range));
+        assert!((186.0..188.0).contains(&wide.range));
+    }
+
+    #[test]
+    fn covers_and_aspect_arc() {
+        let poi = Poi::new(0, Point::new(100.0, 0.0));
+        let m = PhotoMeta::new(
+            Point::new(0.0, 0.0),
+            150.0,
+            Angle::from_degrees(40.0),
+            Angle::ZERO,
+        );
+        assert!(m.covers(&poi));
+        let arc = m.aspect_arc(&poi, Angle::from_degrees(30.0)).unwrap();
+        // Viewing direction: from PoI (east) back to camera = 180°.
+        assert!(arc.contains(Angle::from_degrees(180.0)));
+        assert!((arc.width().to_degrees() - 60.0).abs() < 1e-9);
+        let far = Poi::new(1, Point::new(200.0, 0.0));
+        assert!(!m.covers(&far));
+        assert!(m.aspect_arc(&far, Angle::from_degrees(30.0)).is_none());
+    }
+
+    #[test]
+    fn occlusion_blocks_coverage_and_aspects() {
+        use photodtn_geo::Segment;
+        let poi = Poi::new(0, Point::new(100.0, 0.0));
+        let m = PhotoMeta::new(Point::new(0.0, 0.0), 150.0, Angle::from_degrees(40.0), Angle::ZERO);
+        assert!(m.covers_occluded(&poi, &[]));
+        let wall = Segment::new(Point::new(50.0, -20.0), Point::new(50.0, 20.0));
+        assert!(!m.covers_occluded(&poi, &[wall]));
+        assert!(m.aspect_arc_occluded(&poi, Angle::from_degrees(30.0), &[wall]).is_none());
+        assert!(m.aspect_arc_occluded(&poi, Angle::from_degrees(30.0), &[]).is_some());
+        // occluded implies the occlusion-free arc equals the plain one
+        assert_eq!(
+            m.aspect_arc_occluded(&poi, Angle::from_degrees(30.0), &[]),
+            m.aspect_arc(&poi, Angle::from_degrees(30.0))
+        );
+    }
+
+    #[test]
+    fn covered_pois_filters_by_sector() {
+        let pois = PoiList::new(vec![
+            Poi::new(0, Point::new(100.0, 0.0)),   // in front
+            Poi::new(1, Point::new(-100.0, 0.0)),  // behind
+            Poi::new(2, Point::new(1000.0, 0.0)),  // too far
+        ]);
+        let m = PhotoMeta::new(Point::new(0.0, 0.0), 150.0, Angle::from_degrees(40.0), Angle::ZERO);
+        let ids: Vec<u32> = m.covered_pois(&pois).map(|p| p.id.0).collect();
+        assert_eq!(ids, vec![0]);
+    }
+}

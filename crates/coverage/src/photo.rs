@@ -1,0 +1,151 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::PhotoMeta;
+
+/// Globally unique photo identifier.
+///
+/// Assigned by the photo generation process; encodes nothing — uniqueness
+/// is all that matters for replica tracking.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct PhotoId(pub u64);
+
+impl fmt::Display for PhotoId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "photo{}", self.0)
+    }
+}
+
+/// A compact color descriptor used only by the PhotoNet baseline, which
+/// ranks photos by location/time/color *diversity* rather than coverage.
+///
+/// Real PhotoNet uses pixel histograms; we synthesize histograms such that
+/// photos of the same scene from similar angles get similar descriptors
+/// (the property PhotoNet's distance metric relies on).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ColorHistogram(pub [f32; 8]);
+
+impl ColorHistogram {
+    /// A flat (uninformative) histogram.
+    #[must_use]
+    pub fn flat() -> Self {
+        ColorHistogram([1.0 / 8.0; 8])
+    }
+
+    /// L1 distance between two histograms, in `[0, 2]`.
+    #[must_use]
+    pub fn distance(&self, other: &ColorHistogram) -> f64 {
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .map(|(a, b)| f64::from((a - b).abs()))
+            .sum()
+    }
+
+    /// Normalizes the histogram to sum to 1 (no-op for the zero histogram).
+    #[must_use]
+    pub fn normalized(mut self) -> Self {
+        let sum: f32 = self.0.iter().sum();
+        if sum > 0.0 {
+            for v in &mut self.0 {
+                *v /= sum;
+            }
+        }
+        self
+    }
+}
+
+impl Default for ColorHistogram {
+    fn default() -> Self {
+        ColorHistogram::flat()
+    }
+}
+
+/// A crowdsourced photo: identity, metadata, size and the auxiliary
+/// features baselines need.
+///
+/// The pixel payload itself is never materialized — `size` stands in for it
+/// in all storage and bandwidth accounting (4 MB by default, Table I).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Photo {
+    /// Unique id.
+    pub id: PhotoId,
+    /// Geometric metadata.
+    pub meta: PhotoMeta,
+    /// Payload size in bytes.
+    pub size: u64,
+    /// Time the photo was taken, seconds since the start of the event.
+    pub taken_at: f64,
+    /// Synthetic color features for the PhotoNet baseline.
+    pub histogram: ColorHistogram,
+}
+
+/// Default photo payload size: 4 MB (Table I).
+pub const DEFAULT_PHOTO_SIZE: u64 = 4 * 1024 * 1024;
+
+impl Photo {
+    /// Creates a photo with the default 4 MB size and a flat histogram.
+    #[must_use]
+    pub fn new(id: u64, meta: PhotoMeta, taken_at: f64) -> Self {
+        Photo {
+            id: PhotoId(id),
+            meta,
+            size: DEFAULT_PHOTO_SIZE,
+            taken_at,
+            histogram: ColorHistogram::flat(),
+        }
+    }
+
+    /// Sets the payload size, returning the photo (builder-style).
+    #[must_use]
+    pub fn with_size(mut self, size: u64) -> Self {
+        self.size = size;
+        self
+    }
+
+    /// Sets the color histogram, returning the photo (builder-style).
+    #[must_use]
+    pub fn with_histogram(mut self, histogram: ColorHistogram) -> Self {
+        self.histogram = histogram;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photodtn_geo::{Angle, Point};
+
+    fn meta() -> PhotoMeta {
+        PhotoMeta::new(Point::new(0.0, 0.0), 100.0, Angle::from_degrees(45.0), Angle::ZERO)
+    }
+
+    #[test]
+    fn default_size_is_4mb() {
+        let p = Photo::new(1, meta(), 0.0);
+        assert_eq!(p.size, 4 * 1024 * 1024);
+        assert_eq!(p.with_size(100).size, 100);
+    }
+
+    #[test]
+    fn histogram_distance() {
+        let a = ColorHistogram([1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        let b = ColorHistogram([0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        assert!((a.distance(&b) - 2.0).abs() < 1e-9);
+        assert_eq!(a.distance(&a), 0.0);
+        // triangle inequality on a few points
+        let c = ColorHistogram::flat();
+        assert!(a.distance(&b) <= a.distance(&c) + c.distance(&b) + 1e-9);
+    }
+
+    #[test]
+    fn histogram_normalize() {
+        let h = ColorHistogram([2.0, 2.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]).normalized();
+        assert!((h.0[0] - 0.5).abs() < 1e-6);
+        let z = ColorHistogram([0.0; 8]).normalized();
+        assert_eq!(z.0, [0.0; 8]);
+    }
+}

@@ -1,0 +1,288 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use photodtn_geo::Point;
+
+/// Identifier of a Point of Interest within a [`PoiList`].
+///
+/// Ids are dense indices assigned by the command center when the list is
+/// issued, so they double as vector indices throughout the crate.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct PoiId(pub u32);
+
+impl PoiId {
+    /// The id as a vector index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PoiId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "poi{}", self.0)
+    }
+}
+
+/// A Point of Interest the command center wants observed (§II-A).
+///
+/// The optional `weight` implements the extension discussed in §II-C: a PoI
+/// of weight `w` contributes `w` (instead of 1) to point coverage, and its
+/// aspect measure is scaled by `w`. The default weight is 1.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Poi {
+    /// Identifier; must equal the PoI's index in its [`PoiList`].
+    pub id: PoiId,
+    /// Location `x_i`, meters.
+    pub location: Point,
+    /// Importance weight `w ≥ 0` (1 = default importance).
+    pub weight: f64,
+}
+
+impl Poi {
+    /// Creates a PoI with unit weight.
+    #[must_use]
+    pub fn new(id: u32, location: Point) -> Self {
+        Poi { id: PoiId(id), location, weight: 1.0 }
+    }
+
+    /// Creates a PoI with an explicit importance weight.
+    ///
+    /// Negative weights are clamped to zero.
+    #[must_use]
+    pub fn with_weight(id: u32, location: Point, weight: f64) -> Self {
+        Poi { id: PoiId(id), location, weight: weight.max(0.0) }
+    }
+}
+
+/// The PoI list `X = {x_1, x_2, …}` issued by the command center, with a
+/// uniform-grid spatial index for "which PoIs can this photo cover?"
+/// queries.
+///
+/// # Example
+///
+/// ```
+/// use photodtn_geo::Point;
+/// use photodtn_coverage::{Poi, PoiList};
+/// let list = PoiList::new(vec![
+///     Poi::new(0, Point::new(0.0, 0.0)),
+///     Poi::new(1, Point::new(500.0, 0.0)),
+/// ]);
+/// let near: Vec<_> = list.in_disc(Point::new(10.0, 0.0), 100.0).collect();
+/// assert_eq!(near.len(), 1);
+/// assert_eq!(near[0].id.0, 0);
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct PoiList {
+    pois: Vec<Poi>,
+    /// Grid cell size in meters; chosen from the PoI bounding box.
+    cell: f64,
+    /// Bounding-box origin.
+    origin: Point,
+    /// Grid dimensions.
+    nx: usize,
+    ny: usize,
+    /// `grid[cy * nx + cx]` = indices of PoIs in that cell.
+    grid: Vec<Vec<u32>>,
+}
+
+/// Grid cells target roughly this many PoIs per cell.
+const TARGET_PER_CELL: f64 = 2.0;
+
+impl PoiList {
+    /// Builds a list and its spatial index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a PoI's id does not match its index — ids are how
+    /// coverage vectors are addressed, so a mismatch would silently corrupt
+    /// every downstream metric.
+    #[must_use]
+    pub fn new(pois: Vec<Poi>) -> Self {
+        for (i, p) in pois.iter().enumerate() {
+            assert_eq!(
+                p.id.index(),
+                i,
+                "PoI id {} does not match its index {i}",
+                p.id
+            );
+        }
+        if pois.is_empty() {
+            return PoiList {
+                pois,
+                cell: 1.0,
+                origin: Point::new(0.0, 0.0),
+                nx: 1,
+                ny: 1,
+                grid: vec![Vec::new()],
+            };
+        }
+        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for p in &pois {
+            min_x = min_x.min(p.location.x);
+            min_y = min_y.min(p.location.y);
+            max_x = max_x.max(p.location.x);
+            max_y = max_y.max(p.location.y);
+        }
+        let w = (max_x - min_x).max(1.0);
+        let h = (max_y - min_y).max(1.0);
+        let cells = (pois.len() as f64 / TARGET_PER_CELL).max(1.0);
+        let cell = ((w * h) / cells).sqrt().max(1.0);
+        let nx = (w / cell).ceil() as usize + 1;
+        let ny = (h / cell).ceil() as usize + 1;
+        let mut grid = vec![Vec::new(); nx * ny];
+        let origin = Point::new(min_x, min_y);
+        for (i, p) in pois.iter().enumerate() {
+            let cx = ((p.location.x - origin.x) / cell) as usize;
+            let cy = ((p.location.y - origin.y) / cell) as usize;
+            grid[cy.min(ny - 1) * nx + cx.min(nx - 1)].push(i as u32);
+        }
+        PoiList { pois, cell, origin, nx, ny, grid }
+    }
+
+    /// Number of PoIs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pois.len()
+    }
+
+    /// Whether the list is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pois.is_empty()
+    }
+
+    /// Sum of PoI weights — the maximum attainable (weighted) point
+    /// coverage. Equals `len()` when all weights are 1.
+    #[must_use]
+    pub fn total_weight(&self) -> f64 {
+        self.pois.iter().map(|p| p.weight).sum()
+    }
+
+    /// The PoI with the given id.
+    #[must_use]
+    pub fn get(&self, id: PoiId) -> Option<&Poi> {
+        self.pois.get(id.index())
+    }
+
+    /// Iterates over all PoIs in id order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Poi> {
+        self.pois.iter()
+    }
+
+    /// PoIs within `radius` meters of `center`, via the grid index.
+    ///
+    /// This is the candidate set for a photo taken at `center` with
+    /// coverage range `radius`; the caller still applies the field-of-view
+    /// test.
+    pub fn in_disc(&self, center: Point, radius: f64) -> impl Iterator<Item = &Poi> {
+        let lo_x = ((center.x - radius - self.origin.x) / self.cell).floor().max(0.0) as usize;
+        let lo_y = ((center.y - radius - self.origin.y) / self.cell).floor().max(0.0) as usize;
+        let hi_x = (((center.x + radius - self.origin.x) / self.cell).floor().max(0.0) as usize)
+            .min(self.nx - 1);
+        let hi_y = (((center.y + radius - self.origin.y) / self.cell).floor().max(0.0) as usize)
+            .min(self.ny - 1);
+        let r_sq = radius * radius;
+        (lo_y..=hi_y.max(lo_y))
+            .flat_map(move |cy| (lo_x..=hi_x.max(lo_x)).map(move |cx| cy * self.nx + cx))
+            .filter_map(move |c| self.grid.get(c))
+            .flatten()
+            .map(move |&i| &self.pois[i as usize])
+            .filter(move |p| p.location.distance_sq(center) <= r_sq)
+    }
+}
+
+impl std::ops::Index<PoiId> for PoiList {
+    type Output = Poi;
+    fn index(&self, id: PoiId) -> &Poi {
+        &self.pois[id.index()]
+    }
+}
+
+impl<'a> IntoIterator for &'a PoiList {
+    type Item = &'a Poi;
+    type IntoIter = std::slice::Iter<'a, Poi>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.pois.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_list(n: u32, spacing: f64) -> PoiList {
+        let side = (n as f64).sqrt().ceil() as u32;
+        PoiList::new(
+            (0..n)
+                .map(|i| {
+                    Poi::new(
+                        i,
+                        Point::new((i % side) as f64 * spacing, (i / side) as f64 * spacing),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn empty_list() {
+        let l = PoiList::new(vec![]);
+        assert!(l.is_empty());
+        assert_eq!(l.in_disc(Point::new(0.0, 0.0), 1000.0).count(), 0);
+        assert_eq!(l.total_weight(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match its index")]
+    fn id_mismatch_panics() {
+        let _ = PoiList::new(vec![Poi::new(5, Point::new(0.0, 0.0))]);
+    }
+
+    #[test]
+    fn disc_query_matches_brute_force() {
+        let l = grid_list(100, 100.0);
+        for (cx, cy, r) in [(50.0, 50.0, 120.0), (0.0, 0.0, 250.0), (900.0, 900.0, 80.0), (450.0, 450.0, 1e4)] {
+            let c = Point::new(cx, cy);
+            let mut fast: Vec<u32> = l.in_disc(c, r).map(|p| p.id.0).collect();
+            fast.sort_unstable();
+            let mut brute: Vec<u32> = l
+                .iter()
+                .filter(|p| p.location.distance(c) <= r)
+                .map(|p| p.id.0)
+                .collect();
+            brute.sort_unstable();
+            assert_eq!(fast, brute, "disc query mismatch at ({cx},{cy}) r={r}");
+        }
+    }
+
+    #[test]
+    fn disc_query_outside_bbox() {
+        let l = grid_list(9, 100.0);
+        assert_eq!(l.in_disc(Point::new(-500.0, -500.0), 10.0).count(), 0);
+        assert_eq!(l.in_disc(Point::new(1e6, 1e6), 10.0).count(), 0);
+        // large disc from far away still finds everything
+        assert_eq!(l.in_disc(Point::new(-500.0, -500.0), 1e4).count(), 9);
+    }
+
+    #[test]
+    fn weights() {
+        let l = PoiList::new(vec![
+            Poi::with_weight(0, Point::new(0.0, 0.0), 2.0),
+            Poi::with_weight(1, Point::new(1.0, 0.0), 0.5),
+        ]);
+        assert_eq!(l.total_weight(), 2.5);
+        assert_eq!(Poi::with_weight(2, Point::new(0.0, 0.0), -1.0).weight, 0.0);
+    }
+
+    #[test]
+    fn index_and_get() {
+        let l = grid_list(4, 10.0);
+        assert_eq!(l[PoiId(2)].id, PoiId(2));
+        assert!(l.get(PoiId(10)).is_none());
+    }
+}

@@ -1,0 +1,261 @@
+use serde::{Deserialize, Serialize};
+
+use photodtn_geo::ArcSet;
+
+use crate::{Coverage, CoverageParams, PhotoMeta, PoiId, PoiList};
+
+/// Incrementally maintained coverage of a growing photo collection.
+///
+/// `CoverageProfile` answers, in time proportional to the number of PoIs a
+/// photo touches (usually 0 or 1):
+///
+/// * [`gain_of`](CoverageProfile::gain_of) — the marginal coverage a photo
+///   would add, **without** mutating the profile (the inner loop of every
+///   greedy selection);
+/// * [`add`](CoverageProfile::add) — commit a photo and return its gain.
+///
+/// The profile owns a clone of the PoI list; cloning ~hundreds of PoIs per
+/// contact is negligible next to photo transfers.
+///
+/// # Example
+///
+/// ```
+/// use photodtn_geo::{Angle, Point};
+/// use photodtn_coverage::{CoverageParams, CoverageProfile, PhotoMeta, Poi, PoiList};
+///
+/// let pois = PoiList::new(vec![Poi::new(0, Point::new(0.0, 0.0))]);
+/// let mut profile = CoverageProfile::new(&pois, CoverageParams::default());
+/// let meta = PhotoMeta::new(Point::new(50.0, 0.0), 100.0,
+///                           Angle::from_degrees(60.0), Angle::from_degrees(180.0));
+/// let preview = profile.gain_of(&meta);
+/// let actual = profile.add(&meta);
+/// assert_eq!(preview, actual);
+/// assert_eq!(profile.add(&meta), photodtn_coverage::Coverage::ZERO); // fully redundant now
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CoverageProfile {
+    pois: PoiList,
+    params: CoverageParams,
+    /// Covered aspects per PoI (indexed by `PoiId`).
+    aspects: Vec<ArcSet>,
+    /// Point-coverage flag per PoI.
+    covered: Vec<bool>,
+    total: Coverage,
+}
+
+impl CoverageProfile {
+    /// Creates an empty profile over `pois`.
+    #[must_use]
+    pub fn new(pois: &PoiList, params: CoverageParams) -> Self {
+        CoverageProfile {
+            aspects: vec![ArcSet::new(); pois.len()],
+            covered: vec![false; pois.len()],
+            pois: pois.clone(),
+            params,
+            total: Coverage::ZERO,
+        }
+    }
+
+    /// Creates a profile already containing `metas`.
+    #[must_use]
+    pub fn with_photos<'a, M>(pois: &PoiList, params: CoverageParams, metas: M) -> Self
+    where
+        M: IntoIterator<Item = &'a PhotoMeta>,
+    {
+        let mut p = Self::new(pois, params);
+        for m in metas {
+            p.add(m);
+        }
+        p
+    }
+
+    /// The coverage accumulated so far.
+    #[must_use]
+    pub fn total(&self) -> Coverage {
+        self.total
+    }
+
+    /// The model parameters.
+    #[must_use]
+    pub fn params(&self) -> CoverageParams {
+        self.params
+    }
+
+    /// The PoI list the profile covers.
+    #[must_use]
+    pub fn pois(&self) -> &PoiList {
+        &self.pois
+    }
+
+    /// Number of PoIs with point coverage (unweighted count).
+    #[must_use]
+    pub fn covered_count(&self) -> usize {
+        self.covered.iter().filter(|&&c| c).count()
+    }
+
+    /// Whether PoI `id` has point coverage.
+    #[must_use]
+    pub fn is_covered(&self, id: PoiId) -> bool {
+        self.covered.get(id.index()).copied().unwrap_or(false)
+    }
+
+    /// The covered aspect set of PoI `id` (empty when out of range).
+    #[must_use]
+    pub fn aspects_of(&self, id: PoiId) -> ArcSet {
+        self.aspects.get(id.index()).cloned().unwrap_or_default()
+    }
+
+    /// Marginal coverage `C_ph(F ∪ {f}) − C_ph(F)` the photo would add,
+    /// without mutating the profile.
+    #[must_use]
+    pub fn gain_of(&self, meta: &PhotoMeta) -> Coverage {
+        let mut gain = Coverage::ZERO;
+        for poi in meta.covered_pois(&self.pois) {
+            let i = poi.id.index();
+            if !self.covered[i] {
+                gain.point += poi.weight;
+            }
+            if let Some(arc) = meta.aspect_arc(poi, self.params.effective_angle) {
+                gain.aspect += poi.weight * self.aspects[i].uncovered_measure(arc);
+            }
+        }
+        gain
+    }
+
+    /// Adds a photo to the profile, returning its marginal gain.
+    pub fn add(&mut self, meta: &PhotoMeta) -> Coverage {
+        let mut gain = Coverage::ZERO;
+        // Collect first: `covered_pois` borrows `self.pois` immutably while
+        // we mutate the aspect sets.
+        let touched: Vec<PoiId> = meta.covered_pois(&self.pois).map(|p| p.id).collect();
+        for id in touched {
+            let poi = self.pois[id];
+            let i = id.index();
+            if !self.covered[i] {
+                self.covered[i] = true;
+                gain.point += poi.weight;
+            }
+            if let Some(arc) = meta.aspect_arc(&poi, self.params.effective_angle) {
+                let before = self.aspects[i].measure();
+                self.aspects[i].insert(arc);
+                gain.aspect += poi.weight * (self.aspects[i].measure() - before);
+            }
+        }
+        self.total += gain;
+        gain
+    }
+
+    /// Recomputes the total from scratch; used by debug assertions and
+    /// tests to validate the incremental bookkeeping.
+    #[must_use]
+    pub fn recompute_total(&self) -> Coverage {
+        let mut total = Coverage::ZERO;
+        for poi in &self.pois {
+            let i = poi.id.index();
+            if self.covered[i] {
+                total.point += poi.weight;
+            }
+            total.aspect += poi.weight * self.aspects[i].measure();
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Poi;
+    use photodtn_geo::{Angle, Point};
+
+    fn two_pois() -> PoiList {
+        PoiList::new(vec![
+            Poi::new(0, Point::new(0.0, 0.0)),
+            Poi::new(1, Point::new(1000.0, 0.0)),
+        ])
+    }
+
+    fn shot(target: Point, from_deg: f64, dist: f64) -> PhotoMeta {
+        let dir = Angle::from_degrees(from_deg);
+        PhotoMeta::new(target.offset(dir, dist), dist + 10.0, Angle::from_degrees(60.0), dir + Angle::PI)
+    }
+
+    #[test]
+    fn add_matches_gain_preview() {
+        let pois = two_pois();
+        let mut p = CoverageProfile::new(&pois, CoverageParams::default());
+        let shots = [
+            shot(Point::new(0.0, 0.0), 0.0, 50.0),
+            shot(Point::new(0.0, 0.0), 90.0, 50.0),
+            shot(Point::new(1000.0, 0.0), 45.0, 80.0),
+            shot(Point::new(0.0, 0.0), 10.0, 60.0),
+        ];
+        for s in &shots {
+            let preview = p.gain_of(s);
+            let actual = p.add(s);
+            assert_eq!(preview, actual);
+        }
+        assert_eq!(p.total(), p.recompute_total());
+        assert_eq!(p.covered_count(), 2);
+    }
+
+    #[test]
+    fn redundant_photo_zero_gain() {
+        let pois = two_pois();
+        let mut p = CoverageProfile::new(&pois, CoverageParams::default());
+        let s = shot(Point::new(0.0, 0.0), 0.0, 50.0);
+        assert!(p.add(&s) > Coverage::ZERO);
+        assert_eq!(p.gain_of(&s), Coverage::ZERO);
+        assert_eq!(p.add(&s), Coverage::ZERO);
+    }
+
+    #[test]
+    fn irrelevant_photo_zero_gain() {
+        let pois = two_pois();
+        let p = CoverageProfile::new(&pois, CoverageParams::default());
+        // points away from both PoIs
+        let s = PhotoMeta::new(Point::new(500.0, 500.0), 50.0, Angle::from_degrees(40.0), Angle::ZERO);
+        assert_eq!(p.gain_of(&s), Coverage::ZERO);
+    }
+
+    #[test]
+    fn with_photos_equals_sequential_adds() {
+        let pois = two_pois();
+        let shots = [
+            shot(Point::new(0.0, 0.0), 0.0, 50.0),
+            shot(Point::new(1000.0, 0.0), 180.0, 70.0),
+        ];
+        let a = CoverageProfile::with_photos(&pois, CoverageParams::default(), shots.iter());
+        let mut b = CoverageProfile::new(&pois, CoverageParams::default());
+        for s in &shots {
+            b.add(s);
+        }
+        assert_eq!(a.total(), b.total());
+    }
+
+    #[test]
+    fn profile_matches_batch_coverage() {
+        let pois = two_pois();
+        let shots = [
+            shot(Point::new(0.0, 0.0), 0.0, 50.0),
+            shot(Point::new(0.0, 0.0), 30.0, 60.0),
+            shot(Point::new(1000.0, 0.0), 200.0, 90.0),
+        ];
+        let p = CoverageProfile::with_photos(&pois, CoverageParams::default(), shots.iter());
+        let batch = Coverage::of(&pois, shots.iter(), CoverageParams::default());
+        assert_eq!(p.total(), batch);
+    }
+
+    #[test]
+    fn aspects_of_and_is_covered() {
+        let pois = two_pois();
+        let mut p = CoverageProfile::new(&pois, CoverageParams::default());
+        p.add(&shot(Point::new(0.0, 0.0), 0.0, 50.0));
+        assert!(p.is_covered(PoiId(0)));
+        assert!(!p.is_covered(PoiId(1)));
+        assert!(!p.aspects_of(PoiId(0)).is_empty());
+        assert!(p.aspects_of(PoiId(1)).is_empty());
+        // out-of-range id
+        assert!(!p.is_covered(PoiId(99)));
+        assert!(p.aspects_of(PoiId(99)).is_empty());
+    }
+}

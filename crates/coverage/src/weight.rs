@@ -1,0 +1,153 @@
+use serde::{Deserialize, Serialize};
+
+use photodtn_geo::{Arc, ArcSet};
+
+/// Piecewise-constant importance weights over the aspects of a PoI — the
+/// second extension discussed in §II-C ("a particular angle of a target,
+/// e.g. the main entrance of a building, is more important than others").
+///
+/// Every aspect has weight 1 unless it falls in one of the added regions,
+/// whose multipliers override the default. Overlapping regions: the last
+/// added region wins (regions are applied in insertion order).
+///
+/// # Example
+///
+/// ```
+/// use photodtn_geo::{Angle, Arc, ArcSet};
+/// use photodtn_coverage::AspectWeights;
+///
+/// // The main entrance faces north: triple weight for ±30° around 90°.
+/// let mut w = AspectWeights::uniform();
+/// w.add_region(Arc::centered(Angle::from_degrees(90.0), Angle::from_degrees(30.0)), 3.0);
+///
+/// let covered = ArcSet::from_arc(Arc::centered(Angle::from_degrees(90.0), Angle::from_degrees(15.0)));
+/// // 30° of coverage, all at weight 3 → weighted measure 90°.
+/// assert!((w.weighted_measure(&covered).to_degrees() - 90.0).abs() < 1e-6);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct AspectWeights {
+    /// `(region, multiplier)` in insertion order; later entries override
+    /// earlier ones where they overlap.
+    regions: Vec<(ArcSet, f64)>,
+}
+
+impl AspectWeights {
+    /// Uniform weights (everything weight 1).
+    #[must_use]
+    pub fn uniform() -> Self {
+        AspectWeights { regions: Vec::new() }
+    }
+
+    /// Whether any non-uniform region is present.
+    #[must_use]
+    pub fn is_uniform(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// Adds a weighted region. Negative multipliers are clamped to 0.
+    pub fn add_region(&mut self, arc: Arc, multiplier: f64) {
+        self.regions.push((ArcSet::from_arc(arc), multiplier.max(0.0)));
+    }
+
+    /// The weight at a single aspect direction.
+    #[must_use]
+    pub fn weight_at(&self, aspect: photodtn_geo::Angle) -> f64 {
+        self.regions
+            .iter()
+            .rev()
+            .find(|(r, _)| r.contains(aspect))
+            .map_or(1.0, |&(_, m)| m)
+    }
+
+    /// All region boundary angles (radians, in the canonical zero-split
+    /// representation). The weight function is constant between
+    /// consecutive endpoints, which is what exact segment integration
+    /// needs.
+    #[must_use]
+    pub fn endpoints(&self) -> Vec<f64> {
+        let mut cuts: Vec<f64> = Vec::new();
+        for (region, _) in &self.regions {
+            cuts.extend(region.endpoints());
+        }
+        cuts.sort_by(f64::total_cmp);
+        cuts.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        cuts
+    }
+
+    /// Integrates the weight function over a covered-aspect set:
+    /// `∫_set w(v) dv`, radians (weighted).
+    ///
+    /// With uniform weights this equals `set.measure()`.
+    #[must_use]
+    pub fn weighted_measure(&self, set: &ArcSet) -> f64 {
+        if self.regions.is_empty() {
+            return set.measure();
+        }
+        let mut total = 0.0;
+        // `remaining` is the part of `set` not yet claimed by a region;
+        // walk regions from last (highest precedence) to first.
+        let mut remaining = set.clone();
+        for (region, mult) in self.regions.iter().rev() {
+            let claimed = remaining.intersection(region);
+            total += mult * claimed.measure();
+            remaining = remaining.difference(region);
+        }
+        total + remaining.measure()
+    }
+}
+
+/// Per-PoI aspect-weight assignments, keyed by [`PoiId`](crate::PoiId).
+///
+/// PoIs without an entry use uniform weights. This is the input to the
+/// `*_weighted` evaluation paths in this crate and in `photodtn-core`.
+pub type AspectWeightMap = std::collections::HashMap<crate::PoiId, AspectWeights>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photodtn_geo::Angle;
+
+    fn arc_deg(center: f64, half: f64) -> Arc {
+        Arc::centered(Angle::from_degrees(center), Angle::from_degrees(half))
+    }
+
+    #[test]
+    fn uniform_weights_are_plain_measure() {
+        let w = AspectWeights::uniform();
+        let s = ArcSet::from_arc(arc_deg(45.0, 30.0));
+        assert!((w.weighted_measure(&s) - s.measure()).abs() < 1e-12);
+        assert!(w.is_uniform());
+        assert_eq!(w.weight_at(Angle::from_degrees(45.0)), 1.0);
+    }
+
+    #[test]
+    fn region_scales_overlap_only() {
+        let mut w = AspectWeights::uniform();
+        w.add_region(arc_deg(0.0, 10.0), 2.0);
+        // covered: [350, 30] = 40°; weighted region [350, 10] = 20° at ×2,
+        // rest 20° at ×1 → 60° weighted.
+        let s = ArcSet::from_arc(arc_deg(10.0, 20.0));
+        assert!((w.weighted_measure(&s).to_degrees() - 60.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn later_region_overrides() {
+        let mut w = AspectWeights::uniform();
+        w.add_region(arc_deg(0.0, 20.0), 2.0);
+        w.add_region(arc_deg(0.0, 10.0), 0.0); // forbidden core
+        let s = ArcSet::from_arc(arc_deg(0.0, 20.0)); // 40°
+        // inner 20° at ×0, outer 20° at ×2 → 40°
+        assert!((w.weighted_measure(&s).to_degrees() - 40.0).abs() < 1e-6);
+        assert_eq!(w.weight_at(Angle::from_degrees(5.0)), 0.0);
+        assert_eq!(w.weight_at(Angle::from_degrees(15.0)), 2.0);
+        assert_eq!(w.weight_at(Angle::from_degrees(90.0)), 1.0);
+    }
+
+    #[test]
+    fn negative_multiplier_clamped() {
+        let mut w = AspectWeights::uniform();
+        w.add_region(arc_deg(0.0, 180.0), -3.0);
+        let s = ArcSet::full();
+        assert!(w.weighted_measure(&s) >= 0.0);
+    }
+}

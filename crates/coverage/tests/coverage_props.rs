@@ -1,0 +1,113 @@
+//! Property-based tests for the coverage model: the incremental
+//! [`CoverageProfile`] must agree with batch [`Coverage::of`], and coverage
+//! must obey monotone-submodular structure (the justification for the
+//! greedy selection algorithm in the paper).
+
+use photodtn_coverage::{Coverage, CoverageParams, CoverageProfile, PhotoMeta, Poi, PoiList};
+use photodtn_geo::{Angle, Point};
+use proptest::prelude::*;
+
+fn arb_meta() -> impl Strategy<Value = PhotoMeta> {
+    (
+        0.0..1000.0f64,
+        0.0..1000.0f64,
+        30.0..60.0f64,
+        0.0..360.0f64,
+        50.0..100.0f64,
+    )
+        .prop_map(|(x, y, fov, dir, c)| {
+            PhotoMeta::with_derived_range(
+                Point::new(x, y),
+                c,
+                Angle::from_degrees(fov),
+                Angle::from_degrees(dir),
+            )
+        })
+}
+
+fn arb_metas() -> impl Strategy<Value = Vec<PhotoMeta>> {
+    prop::collection::vec(arb_meta(), 0..12)
+}
+
+fn grid_pois() -> PoiList {
+    PoiList::new(
+        (0..25)
+            .map(|i| Poi::new(i, Point::new((i % 5) as f64 * 200.0 + 100.0, (i / 5) as f64 * 200.0 + 100.0)))
+            .collect(),
+    )
+}
+
+const EPS: f64 = 1e-6;
+
+proptest! {
+    #[test]
+    fn profile_total_matches_batch(metas in arb_metas()) {
+        let pois = grid_pois();
+        let params = CoverageParams::default();
+        let profile = CoverageProfile::with_photos(&pois, params, metas.iter());
+        let batch = Coverage::of(&pois, metas.iter(), params);
+        prop_assert!((profile.total().point - batch.point).abs() < EPS);
+        prop_assert!((profile.total().aspect - batch.aspect).abs() < EPS);
+        // and the incremental bookkeeping is self-consistent
+        let re = profile.recompute_total();
+        prop_assert!((profile.total().point - re.point).abs() < EPS);
+        prop_assert!((profile.total().aspect - re.aspect).abs() < EPS);
+    }
+
+    #[test]
+    fn coverage_is_monotone(metas in arb_metas(), extra in arb_meta()) {
+        let pois = grid_pois();
+        let params = CoverageParams::default();
+        let base = Coverage::of(&pois, metas.iter(), params);
+        let mut more = metas.clone();
+        more.push(extra);
+        let bigger = Coverage::of(&pois, more.iter(), params);
+        prop_assert!(bigger.point + EPS >= base.point);
+        prop_assert!(bigger.aspect + EPS >= base.aspect);
+    }
+
+    #[test]
+    fn marginal_gain_is_diminishing(metas in arb_metas(), extra in arb_meta()) {
+        // Submodularity: gain of `extra` on a subset ≥ gain on the full set.
+        let pois = grid_pois();
+        let params = CoverageParams::default();
+        let half = &metas[..metas.len() / 2];
+        let small = CoverageProfile::with_photos(&pois, params, half.iter());
+        let large = CoverageProfile::with_photos(&pois, params, metas.iter());
+        let g_small = small.gain_of(&extra);
+        let g_large = large.gain_of(&extra);
+        prop_assert!(g_small.point + EPS >= g_large.point);
+        prop_assert!(g_small.aspect + EPS >= g_large.aspect);
+    }
+
+    #[test]
+    fn order_does_not_matter(metas in arb_metas()) {
+        let pois = grid_pois();
+        let params = CoverageParams::default();
+        let forward = CoverageProfile::with_photos(&pois, params, metas.iter());
+        let backward = CoverageProfile::with_photos(&pois, params, metas.iter().rev());
+        prop_assert!((forward.total().point - backward.total().point).abs() < EPS);
+        prop_assert!((forward.total().aspect - backward.total().aspect).abs() < EPS);
+    }
+
+    #[test]
+    fn aspect_bounded_by_point(metas in arb_metas()) {
+        // Each covered PoI contributes at most 2π aspect; uncovered PoIs
+        // contribute none. So aspect ≤ 2π · point (all weights 1 here).
+        let pois = grid_pois();
+        let c = Coverage::of(&pois, metas.iter(), CoverageParams::default());
+        prop_assert!(c.aspect <= std::f64::consts::TAU * c.point + EPS);
+        prop_assert!(c.point <= pois.len() as f64);
+    }
+
+    #[test]
+    fn gain_preview_equals_commit(metas in arb_metas(), extra in arb_meta()) {
+        let pois = grid_pois();
+        let params = CoverageParams::default();
+        let mut p = CoverageProfile::with_photos(&pois, params, metas.iter());
+        let preview = p.gain_of(&extra);
+        let actual = p.add(&extra);
+        prop_assert!((preview.point - actual.point).abs() < EPS);
+        prop_assert!((preview.aspect - actual.aspect).abs() < EPS);
+    }
+}

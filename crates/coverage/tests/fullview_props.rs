@@ -1,0 +1,109 @@
+//! Property tests for the full-view analysis module: report quantities
+//! must be mutually consistent, and the greedy minimal cover must always
+//! achieve the full collection's coverage with no redundant member.
+
+use photodtn_coverage::fullview::{minimal_cover, redundancy_degrees, FullViewReport};
+use photodtn_coverage::{Coverage, CoverageParams, PhotoMeta};
+use photodtn_coverage::{Poi, PoiList};
+use photodtn_geo::{Angle, Point, TAU};
+use proptest::prelude::*;
+
+fn pois() -> PoiList {
+    PoiList::new(vec![
+        Poi::new(0, Point::new(0.0, 0.0)),
+        Poi::new(1, Point::new(400.0, 0.0)),
+        Poi::new(2, Point::new(0.0, 400.0)),
+    ])
+}
+
+fn arb_metas() -> impl Strategy<Value = Vec<PhotoMeta>> {
+    prop::collection::vec(
+        (-100.0..500.0f64, -100.0..500.0f64, 30.0..60.0f64, 0.0..360.0f64, 60.0..160.0f64),
+        0..14,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(x, y, fov, dir, r)| {
+                PhotoMeta::new(
+                    Point::new(x, y),
+                    r,
+                    Angle::from_degrees(fov),
+                    Angle::from_degrees(dir),
+                )
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn report_is_internally_consistent(metas in arb_metas()) {
+        let pois = pois();
+        let params = CoverageParams::default();
+        let report = FullViewReport::analyze(&pois, metas.iter(), params);
+        prop_assert_eq!(report.per_poi.len(), pois.len());
+        for s in &report.per_poi {
+            prop_assert!((0.0..=TAU + 1e-9).contains(&s.aspect));
+            // largest gap ≤ total uncovered measure
+            let uncovered = TAU - s.aspect;
+            prop_assert!(s.largest_gap <= uncovered + 1e-6,
+                "gap {} > uncovered {}", s.largest_gap, uncovered);
+            if s.full_view {
+                prop_assert!(s.point_covered);
+                prop_assert!(s.largest_gap < 1e-6);
+            }
+            if !s.point_covered {
+                prop_assert!(s.aspect < 1e-9);
+                prop_assert!((s.largest_gap - TAU).abs() < 1e-6);
+            }
+        }
+        prop_assert!(report.full_view_count() <= report.point_covered_count());
+        // tasking priorities exclude full-view PoIs and are sorted
+        let prio = report.tasking_priorities();
+        for w in prio.windows(2) {
+            prop_assert!(w[0].aspect <= w[1].aspect + 1e-12);
+        }
+        prop_assert_eq!(prio.len(), pois.len() - report.full_view_count());
+    }
+
+    #[test]
+    fn minimal_cover_achieves_full_coverage(metas in arb_metas()) {
+        let pois = pois();
+        let params = CoverageParams::default();
+        let chosen = minimal_cover(&pois, &metas, params);
+        // no duplicates, all indices valid
+        let mut seen = std::collections::BTreeSet::new();
+        for &i in &chosen {
+            prop_assert!(i < metas.len());
+            prop_assert!(seen.insert(i));
+        }
+        let sub: Vec<PhotoMeta> = chosen.iter().map(|&i| metas[i]).collect();
+        let full = Coverage::of(&pois, metas.iter(), params);
+        let min = Coverage::of(&pois, sub.iter(), params);
+        prop_assert!((full.point - min.point).abs() < 1e-9);
+        prop_assert!((full.aspect - min.aspect).abs() < 1e-6);
+        // every chosen photo is load-bearing: the greedy only picks
+        // positive-gain photos, so |chosen| ≤ photos with any coverage
+        let useful = metas.iter().filter(|m| {
+            pois.iter().any(|p| m.covers(p))
+        }).count();
+        prop_assert!(chosen.len() <= useful);
+    }
+
+    #[test]
+    fn redundancy_nonnegative_and_zero_for_singletons(metas in arb_metas()) {
+        let pois = pois();
+        let params = CoverageParams::default();
+        let r = redundancy_degrees(&pois, &metas, params);
+        prop_assert!(r >= -1e-6, "negative redundancy {r}");
+        if metas.len() <= 1 {
+            prop_assert!(r.abs() < 1e-9);
+        }
+        // duplicating the whole collection adds exactly the collection's
+        // own aspect mass to the redundancy
+        let mut doubled = metas.clone();
+        doubled.extend(metas.iter().copied());
+        let r2 = redundancy_degrees(&pois, &doubled, params);
+        prop_assert!(r2 + 1e-6 >= r);
+    }
+}

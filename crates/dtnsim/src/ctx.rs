@@ -1,0 +1,207 @@
+use rand::rngs::SmallRng;
+
+use photodtn_contacts::NodeId;
+use photodtn_coverage::{
+    Coverage, CoverageParams, CoverageProfile, Photo, PhotoCollection, PoiList,
+};
+use photodtn_prophet::ProphetRouter;
+
+/// The mutable world state a [`Scheme`](crate::Scheme) operates on.
+///
+/// The context owns everything global: participant photo collections, the
+/// command center's received collection (with an incrementally maintained
+/// coverage profile), PROPHET state, and the simulation clock. Schemes
+/// keep their protocol-specific state (metadata caches, spray counters,
+/// …) on their side, keyed by [`NodeId`].
+#[derive(Debug)]
+pub struct SimCtx {
+    pub(crate) pois: PoiList,
+    pub(crate) coverage_params: CoverageParams,
+    pub(crate) storage_bytes: u64,
+    pub(crate) collections: Vec<PhotoCollection>,
+    pub(crate) cc_received: PhotoCollection,
+    pub(crate) cc_profile: CoverageProfile,
+    pub(crate) prophet: ProphetRouter,
+    pub(crate) cc_prophet_id: NodeId,
+    pub(crate) gateways: Vec<NodeId>,
+    pub(crate) rng: SmallRng,
+    pub(crate) now: f64,
+    pub(crate) uploaded_bytes: u64,
+    /// Sum of (delivery time − capture time) over delivered photos.
+    pub(crate) latency_sum: f64,
+    /// Bytes spent exchanging metadata (not photo payloads).
+    pub(crate) metadata_bytes: u64,
+}
+
+impl SimCtx {
+    /// Current simulation time, seconds.
+    #[must_use]
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The PoI list of this run.
+    #[must_use]
+    pub fn pois(&self) -> &PoiList {
+        &self.pois
+    }
+
+    /// Coverage-model parameters.
+    #[must_use]
+    pub fn coverage_params(&self) -> CoverageParams {
+        self.coverage_params
+    }
+
+    /// Per-node storage capacity, bytes.
+    #[must_use]
+    pub fn storage_bytes(&self) -> u64 {
+        self.storage_bytes
+    }
+
+    /// Number of participant nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> u32 {
+        self.collections.len() as u32
+    }
+
+    /// A participant's photo collection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn collection(&self, node: NodeId) -> &PhotoCollection {
+        &self.collections[node.index()]
+    }
+
+    /// Mutable access to a participant's photo collection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn collection_mut(&mut self, node: NodeId) -> &mut PhotoCollection {
+        &mut self.collections[node.index()]
+    }
+
+    /// Mutable access to two distinct participants' collections at once
+    /// (the common case during a contact).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either is out of range.
+    pub fn collections_pair_mut(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+    ) -> (&mut PhotoCollection, &mut PhotoCollection) {
+        assert!(a != b, "a contact needs two distinct nodes");
+        let (lo, hi) = if a < b { (a.index(), b.index()) } else { (b.index(), a.index()) };
+        let (left, right) = self.collections.split_at_mut(hi);
+        let (first, second) = (&mut left[lo], &mut right[0]);
+        if a < b {
+            (first, second)
+        } else {
+            (second, first)
+        }
+    }
+
+    /// Photos the command center has received so far.
+    #[must_use]
+    pub fn cc_collection(&self) -> &PhotoCollection {
+        &self.cc_received
+    }
+
+    /// The photo coverage obtained by the command center so far.
+    #[must_use]
+    pub fn cc_coverage(&self) -> Coverage {
+        self.cc_profile.total()
+    }
+
+    /// Number of PoIs the command center has point-covered.
+    #[must_use]
+    pub fn cc_covered_pois(&self) -> usize {
+        self.cc_profile.covered_count()
+    }
+
+    /// Delivers a photo to the command center. Returns `false` if it was
+    /// already delivered (duplicates are ignored but still cost the
+    /// uplink bandwidth the scheme spent on them).
+    pub fn deliver(&mut self, photo: Photo) -> bool {
+        if self.cc_received.insert(photo) {
+            self.cc_profile.add(&photo.meta);
+            self.latency_sum += (self.now - photo.taken_at).max(0.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Mean capture-to-delivery latency of delivered photos, seconds
+    /// (0 when nothing has been delivered).
+    #[must_use]
+    pub fn mean_delivery_latency(&self) -> f64 {
+        let n = self.cc_received.len();
+        if n == 0 {
+            0.0
+        } else {
+            self.latency_sum / n as f64
+        }
+    }
+
+    /// PROPHET delivery predictability of `node` towards the command
+    /// center at the current time.
+    #[must_use]
+    pub fn delivery_prob(&self, node: NodeId) -> f64 {
+        self.prophet.predictability(node, self.cc_prophet_id, self.now)
+    }
+
+    /// The PROPHET node id representing the command center.
+    #[must_use]
+    pub fn command_center_id(&self) -> NodeId {
+        self.cc_prophet_id
+    }
+
+    /// Whether `node` has a direct uplink to the command center.
+    #[must_use]
+    pub fn is_gateway(&self, node: NodeId) -> bool {
+        self.gateways.contains(&node)
+    }
+
+    /// The gateway set.
+    #[must_use]
+    pub fn gateways(&self) -> &[NodeId] {
+        &self.gateways
+    }
+
+    /// Total bytes schemes reported over the uplink (via
+    /// [`note_upload_bytes`](Self::note_upload_bytes)).
+    #[must_use]
+    pub fn uploaded_bytes(&self) -> u64 {
+        self.uploaded_bytes
+    }
+
+    /// Accounts bytes spent on the uplink (delivered *and* duplicate
+    /// transmissions).
+    pub fn note_upload_bytes(&mut self, bytes: u64) {
+        self.uploaded_bytes += bytes;
+    }
+
+    /// Accounts bytes spent exchanging *metadata* — the paper argues
+    /// metadata is "easy to transmit, store, and analyze"; this counter
+    /// lets experiments verify that the overhead stays negligible next to
+    /// photo payloads.
+    pub fn note_metadata_bytes(&mut self, bytes: u64) {
+        self.metadata_bytes += bytes;
+    }
+
+    /// Total metadata bytes exchanged so far.
+    #[must_use]
+    pub fn metadata_bytes(&self) -> u64 {
+        self.metadata_bytes
+    }
+
+    /// Deterministic per-run random source for scheme decisions.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+}

@@ -1,0 +1,150 @@
+//! Unit tests for [`SimCtx`](crate::SimCtx), constructed through a
+//! minimal simulation world.
+
+use photodtn_contacts::{ContactEvent, ContactTrace, NodeId};
+use photodtn_coverage::{Photo, PhotoMeta};
+use photodtn_geo::{Angle, Point};
+
+use crate::schemes_api::FloodScheme;
+use crate::{Scheme, SimConfig, SimCtx, Simulation};
+
+fn photo(id: u64, taken_at: f64) -> Photo {
+    let meta = PhotoMeta::new(Point::new(0.0, 0.0), 100.0, Angle::from_degrees(45.0), Angle::ZERO);
+    Photo::new(id, meta, taken_at).with_size(1)
+}
+
+/// A probe scheme that runs assertions against the live context.
+struct Probe {
+    checked: bool,
+}
+
+impl Scheme for Probe {
+    fn name(&self) -> &'static str {
+        "probe"
+    }
+    fn on_photo_generated(&mut self, ctx: &mut SimCtx, node: NodeId, p: Photo) {
+        ctx.collection_mut(node).insert(p);
+    }
+    fn on_contact(&mut self, ctx: &mut SimCtx, a: NodeId, b: NodeId, _budget: u64) {
+        if self.checked {
+            return; // run the one-shot assertions only once
+        }
+        self.checked = true;
+        // pair access returns the right collections in both orders
+        let (ca, cb) = ctx.collections_pair_mut(a, b);
+        let (na, nb) = (ca.len(), cb.len());
+        let (cb2, ca2) = ctx.collections_pair_mut(b, a);
+        assert_eq!(ca2.len(), na);
+        assert_eq!(cb2.len(), nb);
+
+        // delivery dedupes and tracks latency
+        let before = ctx.cc_collection().len();
+        assert!(ctx.deliver(photo(999, ctx.now() - 7200.0)));
+        assert!(!ctx.deliver(photo(999, 0.0)));
+        assert_eq!(ctx.cc_collection().len(), before + 1);
+        assert!(ctx.mean_delivery_latency() > 0.0);
+
+        // probabilities are probabilities; cc id is outside participants
+        let p = ctx.delivery_prob(a);
+        assert!((0.0..=1.0).contains(&p));
+        assert_eq!(ctx.command_center_id().0, ctx.num_nodes());
+
+        // gateway bookkeeping is consistent
+        for gw in ctx.gateways().to_vec() {
+            assert!(ctx.is_gateway(gw));
+        }
+
+        // the deterministic rng is usable
+        let _: u32 = rand::Rng::gen_range(ctx.rng(), 0..10);
+
+        // upload accounting accumulates
+        let bytes0 = ctx.uploaded_bytes();
+        ctx.note_upload_bytes(5);
+        assert_eq!(ctx.uploaded_bytes(), bytes0 + 5);
+    }
+    fn on_upload(&mut self, _ctx: &mut SimCtx, _node: NodeId, _budget: u64) {}
+}
+
+fn tiny_world() -> (SimConfig, ContactTrace) {
+    let trace = ContactTrace::new(
+        3,
+        vec![
+            ContactEvent::new(NodeId(0), NodeId(1), 100.0, 200.0),
+            ContactEvent::new(NodeId(1), NodeId(2), 300.0, 400.0),
+        ],
+    );
+    let config = SimConfig::mit_default().with_photos_per_hour(0.0);
+    (config, trace)
+}
+
+#[test]
+fn probe_assertions_run() {
+    let (config, trace) = tiny_world();
+    let mut probe = Probe { checked: false };
+    let _ = Simulation::new(&config, &trace, 1).run(&mut probe);
+    assert!(probe.checked, "probe never saw a contact");
+}
+
+#[test]
+fn coverage_accessors_track_deliveries() {
+    struct Deliverer;
+    impl Scheme for Deliverer {
+        fn name(&self) -> &'static str {
+            "deliverer"
+        }
+        fn on_photo_generated(&mut self, _: &mut SimCtx, _: NodeId, _: Photo) {}
+        fn on_contact(&mut self, ctx: &mut SimCtx, _: NodeId, _: NodeId, _: u64) {
+            // a photo pointed at some PoI, if any exists near the origin
+            let poi = ctx.pois().iter().next().map(|p| p.location);
+            if let Some(target) = poi {
+                let dir = Angle::from_degrees(45.0);
+                let meta = PhotoMeta::new(
+                    target.offset(dir, 50.0),
+                    100.0,
+                    Angle::from_degrees(60.0),
+                    dir + Angle::PI,
+                );
+                ctx.deliver(Photo::new(1, meta, 0.0));
+            }
+        }
+        fn on_upload(&mut self, _: &mut SimCtx, _: NodeId, _: u64) {}
+    }
+    let (config, trace) = tiny_world();
+    let (result, delivered) = Simulation::new(&config, &trace, 1).run_detailed(&mut Deliverer);
+    assert_eq!(delivered.len(), 1);
+    assert!(result.final_sample().point_coverage > 0.0);
+    assert!(result.final_sample().aspect_coverage_deg > 0.0);
+}
+
+#[test]
+#[should_panic(expected = "two distinct nodes")]
+fn pair_access_rejects_same_node() {
+    struct Bad;
+    impl Scheme for Bad {
+        fn name(&self) -> &'static str {
+            "bad"
+        }
+        fn on_photo_generated(&mut self, _: &mut SimCtx, _: NodeId, _: Photo) {}
+        fn on_contact(&mut self, ctx: &mut SimCtx, a: NodeId, _: NodeId, _: u64) {
+            let _ = ctx.collections_pair_mut(a, a);
+        }
+        fn on_upload(&mut self, _: &mut SimCtx, _: NodeId, _: u64) {}
+    }
+    let (config, trace) = tiny_world();
+    let _ = Simulation::new(&config, &trace, 1).run(&mut Bad);
+}
+
+#[test]
+fn flood_latency_metric_positive() {
+    use photodtn_contacts::synth::{CommunityTraceGenerator, TraceStyle};
+    let trace = CommunityTraceGenerator::new(TraceStyle::MitLike)
+        .with_num_nodes(10)
+        .with_duration_hours(20.0)
+        .generate(1);
+    let config = SimConfig::mit_default().with_photos_per_hour(20.0);
+    let result = Simulation::new(&config, &trace, 1).run(&mut FloodScheme);
+    let f = result.final_sample();
+    assert!(f.delivered_photos > 0);
+    assert!(f.mean_latency_hours > 0.0, "delivered photos must have positive latency");
+    assert!(f.mean_latency_hours < 20.0);
+}

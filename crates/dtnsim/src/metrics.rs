@@ -1,0 +1,100 @@
+use serde::{Deserialize, Serialize};
+
+/// One sampled data point of a simulation run — the quantities plotted in
+/// Figs. 5–8 of the paper.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricSample {
+    /// Sample time, hours.
+    pub t_hours: f64,
+    /// Point coverage obtained by the command center, normalized by the
+    /// total PoI weight (`0..=1`).
+    pub point_coverage: f64,
+    /// Aspect coverage per PoI, degrees (`0..=360`), i.e.
+    /// `Σ C_as / |X|` expressed in degrees as in Fig. 8's discussion.
+    pub aspect_coverage_deg: f64,
+    /// Unique photos delivered to the command center.
+    pub delivered_photos: u64,
+    /// Total bytes schemes pushed over the uplink so far (including
+    /// duplicates).
+    pub uploaded_bytes: u64,
+    /// Mean capture-to-delivery latency of delivered photos, hours.
+    pub mean_latency_hours: f64,
+    /// Bytes spent exchanging metadata so far (our scheme's overhead;
+    /// zero for metadata-free baselines).
+    pub metadata_bytes: u64,
+}
+
+/// The full time series of one simulation run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// The scheme that produced this run.
+    pub scheme: String,
+    /// The random seed of the run.
+    pub seed: u64,
+    /// Samples at the configured interval, plus one final sample.
+    pub samples: Vec<MetricSample>,
+}
+
+impl SimResult {
+    /// The last sample (end-of-run state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run produced no samples (a run always produces at
+    /// least the final sample).
+    #[must_use]
+    pub fn final_sample(&self) -> &MetricSample {
+        self.samples.last().expect("a finished run has at least the final sample")
+    }
+
+    /// The sample closest to `t_hours`.
+    #[must_use]
+    pub fn sample_at(&self, t_hours: f64) -> Option<&MetricSample> {
+        self.samples
+            .iter()
+            .min_by(|a, b| (a.t_hours - t_hours).abs().total_cmp(&(b.t_hours - t_hours).abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> SimResult {
+        SimResult {
+            scheme: "test".into(),
+            seed: 0,
+            samples: (0..5)
+                .map(|i| MetricSample {
+                    t_hours: i as f64,
+                    point_coverage: i as f64 / 10.0,
+                    aspect_coverage_deg: i as f64,
+                    delivered_photos: i,
+                    uploaded_bytes: 0,
+                    mean_latency_hours: 0.0,
+                    metadata_bytes: 0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn final_sample_is_last() {
+        assert_eq!(result().final_sample().t_hours, 4.0);
+    }
+
+    #[test]
+    fn sample_at_picks_closest() {
+        let r = result();
+        assert_eq!(r.sample_at(2.2).unwrap().t_hours, 2.0);
+        assert_eq!(r.sample_at(100.0).unwrap().t_hours, 4.0);
+        assert_eq!(r.sample_at(-5.0).unwrap().t_hours, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "final sample")]
+    fn empty_result_panics() {
+        let r = SimResult::default();
+        let _ = r.final_sample();
+    }
+}

@@ -1,0 +1,167 @@
+//! Multi-seed experiment runner with parallel execution and series
+//! averaging — "each data point is the average of 50 simulation runs"
+//! (§V-B).
+
+use photodtn_contacts::ContactTrace;
+
+use crate::{MetricSample, Scheme, SimConfig, SimResult, Simulation};
+
+/// A metric series averaged across seeds, aligned by sample index.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AveragedSeries {
+    /// The scheme name.
+    pub scheme: String,
+    /// Number of runs averaged.
+    pub runs: usize,
+    /// Mean samples (truncated to the shortest run).
+    pub samples: Vec<MetricSample>,
+}
+
+impl AveragedSeries {
+    /// The last averaged sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no runs were averaged.
+    #[must_use]
+    pub fn final_sample(&self) -> &MetricSample {
+        self.samples.last().expect("averaged series is never empty")
+    }
+}
+
+/// Runs `scheme_factory()` once per `(trace, seed)` pair produced by
+/// `trace_for_seed`, in parallel, and averages the series.
+///
+/// Every run gets its own world (PoIs, gateways, photo schedule) derived
+/// from its seed, exactly like independent simulation runs in the paper.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty or a worker thread panics.
+pub fn run_averaged<S, TF, SF>(
+    config: &SimConfig,
+    trace_for_seed: TF,
+    scheme_factory: SF,
+    seeds: &[u64],
+) -> AveragedSeries
+where
+    S: Scheme,
+    TF: Fn(u64) -> ContactTrace + Sync,
+    SF: Fn() -> S + Sync,
+{
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let results: Vec<SimResult> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|&seed| {
+                let config = config.clone();
+                let trace_for_seed = &trace_for_seed;
+                let scheme_factory = &scheme_factory;
+                scope.spawn(move |_| {
+                    let trace = trace_for_seed(seed);
+                    let mut scheme = scheme_factory();
+                    Simulation::new(&config, &trace, seed).run(&mut scheme)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("simulation worker panicked")).collect()
+    })
+    .expect("crossbeam scope failed");
+
+    average(results)
+}
+
+/// Averages already-computed runs (exposed for custom drivers).
+///
+/// # Panics
+///
+/// Panics if `results` is empty.
+#[must_use]
+pub fn average(results: Vec<SimResult>) -> AveragedSeries {
+    assert!(!results.is_empty(), "nothing to average");
+    let scheme = results[0].scheme.clone();
+    let len = results.iter().map(|r| r.samples.len()).min().unwrap_or(0);
+    let runs = results.len();
+    let mut samples = Vec::with_capacity(len);
+    for i in 0..len {
+        let mut acc = MetricSample::default();
+        for r in &results {
+            let s = &r.samples[i];
+            acc.t_hours += s.t_hours;
+            acc.point_coverage += s.point_coverage;
+            acc.aspect_coverage_deg += s.aspect_coverage_deg;
+            acc.delivered_photos += s.delivered_photos;
+            acc.uploaded_bytes += s.uploaded_bytes;
+            acc.mean_latency_hours += s.mean_latency_hours;
+            acc.metadata_bytes += s.metadata_bytes;
+        }
+        let n = runs as f64;
+        samples.push(MetricSample {
+            t_hours: acc.t_hours / n,
+            point_coverage: acc.point_coverage / n,
+            aspect_coverage_deg: acc.aspect_coverage_deg / n,
+            delivered_photos: (acc.delivered_photos as f64 / n).round() as u64,
+            uploaded_bytes: (acc.uploaded_bytes as f64 / n).round() as u64,
+            mean_latency_hours: acc.mean_latency_hours / n,
+            metadata_bytes: (acc.metadata_bytes as f64 / n).round() as u64,
+        });
+    }
+    AveragedSeries { scheme, runs, samples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes_api::FloodScheme;
+    use photodtn_contacts::synth::{CommunityTraceGenerator, TraceStyle};
+
+    fn trace_for_seed(seed: u64) -> ContactTrace {
+        CommunityTraceGenerator::new(TraceStyle::MitLike)
+            .with_num_nodes(8)
+            .with_duration_hours(10.0)
+            .generate(seed)
+    }
+
+    #[test]
+    fn averaging_across_seeds() {
+        let config = SimConfig::mit_default().with_photos_per_hour(20.0);
+        let avg = run_averaged(&config, trace_for_seed, || FloodScheme, &[1, 2, 3]);
+        assert_eq!(avg.runs, 3);
+        assert_eq!(avg.scheme, "best-possible");
+        assert!(!avg.samples.is_empty());
+        assert!(avg.final_sample().delivered_photos > 0);
+    }
+
+    #[test]
+    fn average_of_single_run_is_identity() {
+        let config = SimConfig::mit_default().with_photos_per_hour(20.0);
+        let trace = trace_for_seed(5);
+        let single = Simulation::new(&config, &trace, 5).run(&mut FloodScheme);
+        let avg = average(vec![single.clone()]);
+        assert_eq!(avg.samples, single.samples);
+    }
+
+    #[test]
+    fn average_truncates_to_shortest() {
+        let a = SimResult {
+            scheme: "x".into(),
+            seed: 0,
+            samples: vec![MetricSample { t_hours: 1.0, ..Default::default() }; 5],
+        };
+        let b = SimResult {
+            scheme: "x".into(),
+            seed: 1,
+            samples: vec![MetricSample { t_hours: 3.0, ..Default::default() }; 3],
+        };
+        let avg = average(vec![a, b]);
+        assert_eq!(avg.samples.len(), 3);
+        assert!((avg.samples[0].t_hours - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn empty_seeds_panics() {
+        let config = SimConfig::mit_default();
+        let _ = run_averaged(&config, trace_for_seed, || FloodScheme, &[]);
+    }
+}

@@ -1,0 +1,103 @@
+//! The routing-scheme interface, plus the unconstrained reference scheme.
+
+use photodtn_contacts::NodeId;
+use photodtn_coverage::Photo;
+
+use crate::SimCtx;
+
+/// A photo routing/selection protocol driven by the simulator.
+///
+/// The engine calls the hooks in event order; all world state lives in
+/// [`SimCtx`], protocol state lives in the implementor. Budgets are byte
+/// counts (`bandwidth × usable contact duration`); a scheme must not move
+/// more than its budget in one event — the metrics would silently
+/// overstate its performance otherwise.
+pub trait Scheme {
+    /// Short identifier used in experiment output (e.g. `"ours"`).
+    fn name(&self) -> &'static str;
+
+    /// Whether the scheme promises to honor per-node storage limits.
+    /// Constrained schemes (the default) are checked by a debug
+    /// assertion in the engine; the BestPossible upper bound opts out.
+    fn respects_storage(&self) -> bool {
+        true
+    }
+
+    /// Called once before the first event.
+    fn on_init(&mut self, _ctx: &mut SimCtx) {}
+
+    /// `node` just took `photo`. The scheme decides whether/what to store
+    /// (typically inserting it, evicting something if storage is full).
+    fn on_photo_generated(&mut self, ctx: &mut SimCtx, node: NodeId, photo: Photo);
+
+    /// Nodes `a` and `b` are in contact with `budget` transferable bytes.
+    fn on_contact(&mut self, ctx: &mut SimCtx, a: NodeId, b: NodeId, budget: u64);
+
+    /// `node` has an uplink window to the command center with `budget`
+    /// transferable bytes. Deliver photos with
+    /// [`SimCtx::deliver`]; account spent bytes with
+    /// [`SimCtx::note_upload_bytes`].
+    fn on_upload(&mut self, ctx: &mut SimCtx, node: NodeId, budget: u64);
+}
+
+impl<T: Scheme + ?Sized> Scheme for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn respects_storage(&self) -> bool {
+        (**self).respects_storage()
+    }
+    fn on_init(&mut self, ctx: &mut SimCtx) {
+        (**self).on_init(ctx);
+    }
+    fn on_photo_generated(&mut self, ctx: &mut SimCtx, node: NodeId, photo: Photo) {
+        (**self).on_photo_generated(ctx, node, photo);
+    }
+    fn on_contact(&mut self, ctx: &mut SimCtx, a: NodeId, b: NodeId, budget: u64) {
+        (**self).on_contact(ctx, a, b, budget);
+    }
+    fn on_upload(&mut self, ctx: &mut SimCtx, node: NodeId, budget: u64) {
+        (**self).on_upload(ctx, node, budget);
+    }
+}
+
+/// Epidemic flooding with **no storage or bandwidth constraints** — the
+/// paper's *BestPossible* upper bound ("the only constraint is contact
+/// opportunity").
+///
+/// Not a deployable protocol: it exists to bound what any scheme could
+/// deliver given the same contacts.
+#[derive(Clone, Debug, Default)]
+pub struct FloodScheme;
+
+impl Scheme for FloodScheme {
+    fn name(&self) -> &'static str {
+        "best-possible"
+    }
+
+    fn respects_storage(&self) -> bool {
+        false
+    }
+
+    fn on_photo_generated(&mut self, ctx: &mut SimCtx, node: NodeId, photo: Photo) {
+        ctx.collection_mut(node).insert(photo);
+    }
+
+    fn on_contact(&mut self, ctx: &mut SimCtx, a: NodeId, b: NodeId, _budget: u64) {
+        let (ca, cb) = ctx.collections_pair_mut(a, b);
+        let from_a: Vec<Photo> = ca.iter().copied().collect();
+        let from_b: Vec<Photo> = cb.iter().copied().collect();
+        ca.extend(from_b);
+        cb.extend(from_a);
+    }
+
+    fn on_upload(&mut self, ctx: &mut SimCtx, node: NodeId, _budget: u64) {
+        let photos: Vec<Photo> = ctx.collection(node).iter().copied().collect();
+        let mut bytes = 0;
+        for p in photos {
+            bytes += p.size;
+            ctx.deliver(p);
+        }
+        ctx.note_upload_bytes(bytes);
+    }
+}

@@ -1,0 +1,238 @@
+use std::fmt;
+use std::ops::{Add, Neg, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::TAU;
+
+/// An angle on the circle, stored in radians and normalized to `[0, 2π)`.
+///
+/// The paper expresses aspects as "an angle in `[0, 2π]`. Angle 0 represents
+/// the vector pointing to the right (east on the map)". We keep the
+/// mathematical counter-clockwise convention internally; the clockwise
+/// map convention of the paper only flips signs, which is irrelevant to
+/// coverage *measures*. Use [`Angle::from_degrees_clockwise`] when
+/// transcribing figures from the paper verbatim.
+///
+/// # Example
+///
+/// ```
+/// use photodtn_geo::Angle;
+/// let a = Angle::from_degrees(350.0);
+/// let b = Angle::from_degrees(20.0);
+/// // shortest separation wraps around zero
+/// assert!((a.separation(b).to_degrees() - 30.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Angle(f64);
+
+impl Angle {
+    /// The zero angle (pointing east).
+    pub const ZERO: Angle = Angle(0.0);
+    /// Half a turn, `π` radians.
+    pub const PI: Angle = Angle(std::f64::consts::PI);
+
+    /// Creates an angle from radians, normalizing into `[0, 2π)`.
+    ///
+    /// Non-finite input is mapped to zero; the coverage model never
+    /// produces non-finite directions, so this is a defensive default.
+    #[must_use]
+    pub fn from_radians(rad: f64) -> Self {
+        if !rad.is_finite() {
+            return Angle(0.0);
+        }
+        let mut r = rad % TAU;
+        if r < 0.0 {
+            r += TAU;
+        }
+        // `% TAU` of a value slightly below 0 can round to TAU itself.
+        if r >= TAU {
+            r = 0.0;
+        }
+        Angle(r)
+    }
+
+    /// Creates an angle from degrees (counter-clockwise from east).
+    #[must_use]
+    pub fn from_degrees(deg: f64) -> Self {
+        Self::from_radians(deg.to_radians())
+    }
+
+    /// Creates an angle from degrees measured *clockwise* from east, the
+    /// convention used in the paper's figures.
+    #[must_use]
+    pub fn from_degrees_clockwise(deg: f64) -> Self {
+        Self::from_radians(-deg.to_radians())
+    }
+
+    /// The angle in radians, in `[0, 2π)`.
+    #[must_use]
+    pub fn radians(self) -> f64 {
+        self.0
+    }
+
+    /// The angle in degrees, in `[0, 360)`.
+    #[must_use]
+    pub fn to_degrees(self) -> f64 {
+        self.0.to_degrees()
+    }
+
+    /// Shortest angular separation between two directions, in `[0, π]`.
+    ///
+    /// This is the quantity compared against the *effective angle* `θ` when
+    /// deciding whether a photo covers an aspect.
+    #[must_use]
+    pub fn separation(self, other: Angle) -> Angle {
+        let d = (self.0 - other.0).abs();
+        Angle(d.min(TAU - d))
+    }
+
+    /// Clockwise distance from `self` to `other`, in `[0, 2π)`.
+    #[must_use]
+    pub fn distance_ccw(self, other: Angle) -> f64 {
+        let d = other.0 - self.0;
+        if d < 0.0 {
+            d + TAU
+        } else {
+            d
+        }
+    }
+
+    /// Linear interpolation along the shorter arc from `self` to `other`.
+    ///
+    /// `t = 0` yields `self`, `t = 1` yields `other`.
+    #[must_use]
+    pub fn slerp(self, other: Angle, t: f64) -> Angle {
+        let mut d = other.0 - self.0;
+        if d > std::f64::consts::PI {
+            d -= TAU;
+        } else if d < -std::f64::consts::PI {
+            d += TAU;
+        }
+        Angle::from_radians(self.0 + d * t)
+    }
+
+    /// Sine of the angle.
+    #[must_use]
+    pub fn sin(self) -> f64 {
+        self.0.sin()
+    }
+
+    /// Cosine of the angle.
+    #[must_use]
+    pub fn cos(self) -> f64 {
+        self.0.cos()
+    }
+}
+
+impl Default for Angle {
+    fn default() -> Self {
+        Angle::ZERO
+    }
+}
+
+impl fmt::Debug for Angle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Angle({:.4}rad = {:.2}°)", self.0, self.to_degrees())
+    }
+}
+
+impl fmt::Display for Angle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}°", self.to_degrees())
+    }
+}
+
+impl Add for Angle {
+    type Output = Angle;
+    fn add(self, rhs: Angle) -> Angle {
+        Angle::from_radians(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Angle {
+    type Output = Angle;
+    fn sub(self, rhs: Angle) -> Angle {
+        Angle::from_radians(self.0 - rhs.0)
+    }
+}
+
+impl Neg for Angle {
+    type Output = Angle;
+    fn neg(self) -> Angle {
+        Angle::from_radians(-self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_into_range() {
+        assert_eq!(Angle::from_radians(TAU).radians(), 0.0);
+        assert_eq!(Angle::from_radians(-TAU).radians(), 0.0);
+        assert!((Angle::from_radians(3.0 * TAU + 1.0).radians() - 1.0).abs() < 1e-12);
+        let a = Angle::from_radians(-0.5);
+        assert!(a.radians() >= 0.0 && a.radians() < TAU);
+        assert!((a.radians() - (TAU - 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_maps_to_zero() {
+        assert_eq!(Angle::from_radians(f64::NAN).radians(), 0.0);
+        assert_eq!(Angle::from_radians(f64::INFINITY).radians(), 0.0);
+    }
+
+    #[test]
+    fn degrees_roundtrip() {
+        let a = Angle::from_degrees(123.0);
+        assert!((a.to_degrees() - 123.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clockwise_constructor_mirrors() {
+        let cw = Angle::from_degrees_clockwise(90.0);
+        assert!((cw.to_degrees() - 270.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn separation_is_symmetric_and_wraps() {
+        let a = Angle::from_degrees(10.0);
+        let b = Angle::from_degrees(350.0);
+        assert!((a.separation(b).to_degrees() - 20.0).abs() < 1e-9);
+        assert!((b.separation(a).to_degrees() - 20.0).abs() < 1e-9);
+        assert_eq!(a.separation(a).radians(), 0.0);
+    }
+
+    #[test]
+    fn separation_max_is_pi() {
+        let a = Angle::ZERO;
+        let b = Angle::PI;
+        assert!((a.separation(b).radians() - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ccw_distance() {
+        let a = Angle::from_degrees(350.0);
+        let b = Angle::from_degrees(10.0);
+        assert!((a.distance_ccw(b).to_degrees() - 20.0).abs() < 1e-9);
+        assert!((b.distance_ccw(a).to_degrees() - 340.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slerp_takes_short_way() {
+        let a = Angle::from_degrees(350.0);
+        let b = Angle::from_degrees(10.0);
+        let mid = a.slerp(b, 0.5);
+        assert!(mid.to_degrees() < 1e-9 || mid.to_degrees() > 359.0);
+    }
+
+    #[test]
+    fn arithmetic_wraps() {
+        let s = Angle::from_degrees(350.0) + Angle::from_degrees(20.0);
+        assert!((s.to_degrees() - 10.0).abs() < 1e-9);
+        let d = Angle::from_degrees(10.0) - Angle::from_degrees(20.0);
+        assert!((d.to_degrees() - 350.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,238 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Angle, ANGLE_EPS, TAU};
+
+/// A contiguous arc on the circle: the set of directions swept
+/// counter-clockwise from `start` over `width` radians.
+///
+/// Arcs may wrap around the zero direction. A width of `2π` (or more, which
+/// is clamped) denotes the full circle.
+///
+/// In the coverage model an arc is the set of *aspects* of a PoI covered by
+/// one photo: centered on the viewing direction (PoI → camera), with
+/// half-width equal to the effective angle `θ`.
+///
+/// # Example
+///
+/// ```
+/// use photodtn_geo::{Angle, Arc};
+/// let arc = Arc::centered(Angle::ZERO, Angle::from_degrees(30.0));
+/// assert!(arc.contains(Angle::from_degrees(10.0)));
+/// assert!(arc.contains(Angle::from_degrees(350.0))); // wraps
+/// assert!(!arc.contains(Angle::from_degrees(45.0)));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Arc {
+    start: Angle,
+    width: f64,
+}
+
+impl Arc {
+    /// Creates an arc starting at `start` sweeping `width` radians
+    /// counter-clockwise. Negative widths are treated as empty; widths of
+    /// `2π` or more cover the full circle.
+    #[must_use]
+    pub fn new(start: Angle, width: f64) -> Self {
+        let width = if width.is_finite() { width.clamp(0.0, TAU) } else { 0.0 };
+        Arc { start, width }
+    }
+
+    /// Creates the arc of directions within `half_width` of `center`
+    /// (on either side), i.e. `[center − half_width, center + half_width]`.
+    ///
+    /// This is how a photo's aspect arc is built: `center` is the viewing
+    /// direction and `half_width` the effective angle `θ`.
+    #[must_use]
+    pub fn centered(center: Angle, half_width: Angle) -> Self {
+        let hw = half_width.radians().min(std::f64::consts::PI);
+        Arc::new(center - Angle::from_radians(hw), 2.0 * hw)
+    }
+
+    /// The empty arc.
+    #[must_use]
+    pub fn empty() -> Self {
+        Arc::new(Angle::ZERO, 0.0)
+    }
+
+    /// The full circle.
+    #[must_use]
+    pub fn full() -> Self {
+        Arc::new(Angle::ZERO, TAU)
+    }
+
+    /// Start direction of the arc.
+    #[must_use]
+    pub fn start(self) -> Angle {
+        self.start
+    }
+
+    /// End direction (start + width, wrapped).
+    #[must_use]
+    pub fn end(self) -> Angle {
+        self.start + Angle::from_radians(self.width)
+    }
+
+    /// Angular width in radians, in `[0, 2π]`.
+    #[must_use]
+    pub fn width(self) -> f64 {
+        self.width
+    }
+
+    /// Whether the arc has (numerically) zero width.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.width <= ANGLE_EPS
+    }
+
+    /// Whether the arc covers the full circle (up to tolerance).
+    #[must_use]
+    pub fn is_full(self) -> bool {
+        self.width >= TAU - ANGLE_EPS
+    }
+
+    /// Whether the arc wraps across the zero direction.
+    #[must_use]
+    pub fn wraps(self) -> bool {
+        self.start.radians() + self.width > TAU + ANGLE_EPS
+    }
+
+    /// Whether direction `a` lies on the arc (inclusive of endpoints).
+    #[must_use]
+    pub fn contains(self, a: Angle) -> bool {
+        if self.is_full() {
+            return true;
+        }
+        self.start.distance_ccw(a) <= self.width + ANGLE_EPS
+    }
+
+    /// Splits the arc into at most two non-wrapping `[lo, hi]` intervals
+    /// with `0 ≤ lo ≤ hi ≤ 2π`.
+    ///
+    /// This is the canonical representation used by
+    /// [`ArcSet`](crate::ArcSet).
+    #[must_use]
+    pub fn split(self) -> ArcPieces {
+        if self.is_empty() {
+            return ArcPieces { first: None, second: None };
+        }
+        let s = self.start.radians();
+        let e = s + self.width;
+        if e <= TAU + ANGLE_EPS {
+            ArcPieces { first: Some((s, e.min(TAU))), second: None }
+        } else {
+            ArcPieces {
+                first: Some((0.0, e - TAU)),
+                second: Some((s, TAU)),
+            }
+        }
+    }
+}
+
+impl Default for Arc {
+    fn default() -> Self {
+        Arc::empty()
+    }
+}
+
+impl fmt::Display for Arc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:.1}° +{:.1}°]",
+            self.start.to_degrees(),
+            self.width.to_degrees()
+        )
+    }
+}
+
+/// Result of [`Arc::split`]: up to two linear `[lo, hi]` intervals, sorted
+/// by `lo`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ArcPieces {
+    /// Piece with the smaller lower bound, if the arc is non-empty.
+    pub first: Option<(f64, f64)>,
+    /// Second piece, present only when the arc wraps the zero direction.
+    pub second: Option<(f64, f64)>,
+}
+
+impl IntoIterator for ArcPieces {
+    type Item = (f64, f64);
+    type IntoIter = std::iter::Flatten<std::array::IntoIter<Option<(f64, f64)>, 2>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        [self.first, self.second].into_iter().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centered_contains_center_and_edges() {
+        let a = Arc::centered(Angle::from_degrees(90.0), Angle::from_degrees(15.0));
+        assert!(a.contains(Angle::from_degrees(90.0)));
+        assert!(a.contains(Angle::from_degrees(75.0)));
+        assert!(a.contains(Angle::from_degrees(105.0)));
+        assert!(!a.contains(Angle::from_degrees(110.0)));
+        assert!((a.width().to_degrees() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrap_detection() {
+        let a = Arc::centered(Angle::ZERO, Angle::from_degrees(10.0));
+        assert!(a.wraps());
+        let b = Arc::new(Angle::from_degrees(10.0), 0.1);
+        assert!(!b.wraps());
+    }
+
+    #[test]
+    fn split_non_wrapping() {
+        let a = Arc::new(Angle::from_degrees(10.0), Angle::from_degrees(20.0).radians());
+        let p = a.split();
+        let (lo, hi) = p.first.unwrap();
+        assert!((lo.to_degrees() - 10.0).abs() < 1e-9);
+        assert!((hi.to_degrees() - 30.0).abs() < 1e-9);
+        assert!(p.second.is_none());
+    }
+
+    #[test]
+    fn split_wrapping_produces_two_pieces() {
+        let a = Arc::centered(Angle::ZERO, Angle::from_degrees(10.0));
+        let p = a.split();
+        let (lo1, hi1) = p.first.unwrap();
+        let (lo2, hi2) = p.second.unwrap();
+        assert!((lo1 - 0.0).abs() < 1e-9);
+        assert!((hi1.to_degrees() - 10.0).abs() < 1e-6);
+        assert!((lo2.to_degrees() - 350.0).abs() < 1e-6);
+        assert!((hi2 - TAU).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_and_empty() {
+        assert!(Arc::full().is_full());
+        assert!(Arc::full().contains(Angle::from_degrees(123.0)));
+        assert!(Arc::empty().is_empty());
+        assert!(!Arc::empty().contains(Angle::from_degrees(0.5)));
+        // width is clamped
+        assert!(Arc::new(Angle::ZERO, 100.0).is_full());
+        assert!(Arc::new(Angle::ZERO, -5.0).is_empty());
+    }
+
+    #[test]
+    fn split_pieces_total_width() {
+        for deg in [5.0, 90.0, 180.0, 355.0] {
+            let a = Arc::centered(Angle::from_degrees(3.0), Angle::from_degrees(deg / 2.0));
+            let total: f64 = a.split().into_iter().map(|(lo, hi)| hi - lo).sum();
+            assert!((total - a.width()).abs() < 1e-9, "width mismatch at {deg}");
+        }
+    }
+
+    #[test]
+    fn half_width_clamped_to_pi() {
+        let a = Arc::centered(Angle::ZERO, Angle::from_radians(10.0));
+        assert!(a.is_full());
+    }
+}

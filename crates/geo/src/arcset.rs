@@ -1,0 +1,392 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Angle, Arc, ANGLE_EPS, TAU};
+
+/// A measurable subset of the circle: a union of [`Arc`]s.
+///
+/// `ArcSet` is the workhorse of aspect coverage. The set of covered aspects
+/// of a PoI is the union of one arc per photo that sees it, and the *aspect
+/// coverage* `C_as` is the [`measure`](ArcSet::measure) of that union.
+///
+/// # Representation
+///
+/// Internally the set is a sorted list of disjoint, non-adjacent linear
+/// intervals `[lo, hi]` with `0 ≤ lo < hi ≤ 2π` (arcs wrapping the zero
+/// direction are split at zero). This canonical form makes structural
+/// equality meaningful and all operations linear sweeps.
+///
+/// Endpoints closer than [`ANGLE_EPS`] are merged, so tiny slivers produced
+/// by floating point noise do not accumulate.
+///
+/// # Example
+///
+/// ```
+/// use photodtn_geo::{Angle, Arc, ArcSet};
+///
+/// let mut covered = ArcSet::new();
+/// covered.insert(Arc::centered(Angle::from_degrees(0.0), Angle::from_degrees(30.0)));
+/// covered.insert(Arc::centered(Angle::from_degrees(40.0), Angle::from_degrees(30.0)));
+/// // The two 60°-wide views overlap by 20°: union measures 100°.
+/// assert!((covered.measure().to_degrees() - 100.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ArcSet {
+    /// Sorted, disjoint, non-adjacent `[lo, hi]` with `0 <= lo < hi <= TAU`.
+    intervals: Vec<(f64, f64)>,
+}
+
+impl ArcSet {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        ArcSet { intervals: Vec::new() }
+    }
+
+    /// Creates the set covering the full circle.
+    #[must_use]
+    pub fn full() -> Self {
+        ArcSet { intervals: vec![(0.0, TAU)] }
+    }
+
+    /// Creates a set from a single arc.
+    #[must_use]
+    pub fn from_arc(arc: Arc) -> Self {
+        let mut s = ArcSet::new();
+        s.insert(arc);
+        s
+    }
+
+    /// Whether the set is empty (measure ≈ 0).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Whether the set covers the full circle (measure ≈ 2π).
+    ///
+    /// A PoI whose covered-aspect set is full is *full-view covered* in the
+    /// terminology of Wang et al. that the paper builds on.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.measure() >= TAU - ANGLE_EPS
+    }
+
+    /// Total angular measure of the set, as an [`Angle`]-like magnitude in
+    /// radians (`0 ..= 2π`). Returned as `f64` because it is a measure, not
+    /// a direction.
+    #[must_use]
+    pub fn measure(&self) -> f64 {
+        self.intervals.iter().map(|(lo, hi)| hi - lo).sum()
+    }
+
+    /// Number of disjoint intervals in canonical (zero-split) form.
+    #[must_use]
+    pub fn interval_count(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Whether direction `a` is in the set.
+    #[must_use]
+    pub fn contains(&self, a: Angle) -> bool {
+        let x = a.radians();
+        self.intervals
+            .iter()
+            .any(|&(lo, hi)| x >= lo - ANGLE_EPS && x <= hi + ANGLE_EPS)
+            // the zero direction also matches an interval ending at 2π
+            || (x <= ANGLE_EPS
+                && self
+                    .intervals
+                    .last()
+                    .is_some_and(|&(_, hi)| hi >= TAU - ANGLE_EPS))
+    }
+
+    /// Adds a single arc to the set (in-place union).
+    pub fn insert(&mut self, arc: Arc) {
+        if arc.is_empty() {
+            return;
+        }
+        for (lo, hi) in arc.split() {
+            self.insert_interval(lo, hi);
+        }
+    }
+
+    /// Union with another set, in place.
+    pub fn union_with(&mut self, other: &ArcSet) {
+        for &(lo, hi) in &other.intervals {
+            self.insert_interval(lo, hi);
+        }
+    }
+
+    /// Returns the union of two sets.
+    #[must_use]
+    pub fn union(&self, other: &ArcSet) -> ArcSet {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// Returns the intersection of two sets.
+    #[must_use]
+    pub fn intersection(&self, other: &ArcSet) -> ArcSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.intervals.len() && j < other.intervals.len() {
+            let (alo, ahi) = self.intervals[i];
+            let (blo, bhi) = other.intervals[j];
+            let lo = alo.max(blo);
+            let hi = ahi.min(bhi);
+            if hi - lo > ANGLE_EPS {
+                out.push((lo, hi));
+            }
+            if ahi < bhi {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        ArcSet { intervals: out }
+    }
+
+    /// Returns the complement of the set within the circle.
+    #[must_use]
+    pub fn complement(&self) -> ArcSet {
+        let mut out = Vec::new();
+        let mut cursor = 0.0;
+        for &(lo, hi) in &self.intervals {
+            if lo - cursor > ANGLE_EPS {
+                out.push((cursor, lo));
+            }
+            cursor = hi;
+        }
+        if TAU - cursor > ANGLE_EPS {
+            out.push((cursor, TAU));
+        }
+        ArcSet { intervals: out }
+    }
+
+    /// Returns `self \ other`.
+    #[must_use]
+    pub fn difference(&self, other: &ArcSet) -> ArcSet {
+        self.intersection(&other.complement())
+    }
+
+    /// Measure of the part of `arc` **not** already in the set — the
+    /// marginal aspect-coverage gain of adding one photo.
+    #[must_use]
+    pub fn uncovered_measure(&self, arc: Arc) -> f64 {
+        let add = ArcSet::from_arc(arc);
+        add.difference(self).measure()
+    }
+
+    /// Iterates over the canonical `[lo, hi]` intervals (radians).
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.intervals.iter().copied()
+    }
+
+    /// All interval endpoints in increasing order (radians). Used by the
+    /// segment-decomposition algorithm for expected coverage.
+    #[must_use]
+    pub fn endpoints(&self) -> Vec<f64> {
+        let mut v = Vec::with_capacity(self.intervals.len() * 2);
+        for &(lo, hi) in &self.intervals {
+            v.push(lo);
+            v.push(hi);
+        }
+        v
+    }
+
+    fn insert_interval(&mut self, lo: f64, hi: f64) {
+        debug_assert!(lo >= -ANGLE_EPS && hi <= TAU + ANGLE_EPS && lo <= hi);
+        let lo = lo.max(0.0);
+        let hi = hi.min(TAU);
+        if hi - lo <= ANGLE_EPS {
+            return;
+        }
+        // Find the range of existing intervals overlapping or adjacent to
+        // [lo, hi] and merge them.
+        let start = self
+            .intervals
+            .partition_point(|&(_, h)| h < lo - ANGLE_EPS);
+        let end = self
+            .intervals
+            .partition_point(|&(l, _)| l <= hi + ANGLE_EPS);
+        if start == end {
+            self.intervals.insert(start, (lo, hi));
+            return;
+        }
+        let new_lo = lo.min(self.intervals[start].0);
+        let new_hi = hi.max(self.intervals[end - 1].1);
+        self.intervals.drain(start..end);
+        self.intervals.insert(start, (new_lo, new_hi));
+    }
+}
+
+impl From<Arc> for ArcSet {
+    fn from(arc: Arc) -> Self {
+        ArcSet::from_arc(arc)
+    }
+}
+
+impl FromIterator<Arc> for ArcSet {
+    fn from_iter<T: IntoIterator<Item = Arc>>(iter: T) -> Self {
+        let mut s = ArcSet::new();
+        for a in iter {
+            s.insert(a);
+        }
+        s
+    }
+}
+
+impl Extend<Arc> for ArcSet {
+    fn extend<T: IntoIterator<Item = Arc>>(&mut self, iter: T) {
+        for a in iter {
+            self.insert(a);
+        }
+    }
+}
+
+impl fmt::Display for ArcSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, (lo, hi)) in self.intervals.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "[{:.1}°,{:.1}°]", lo.to_degrees(), hi.to_degrees())?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arc_deg(center: f64, half: f64) -> Arc {
+        Arc::centered(Angle::from_degrees(center), Angle::from_degrees(half))
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = ArcSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.measure(), 0.0);
+        assert!(!s.contains(Angle::ZERO));
+    }
+
+    #[test]
+    fn single_arc_measure() {
+        let s = ArcSet::from_arc(arc_deg(90.0, 20.0));
+        assert!((s.measure().to_degrees() - 40.0).abs() < 1e-9);
+        assert!(s.contains(Angle::from_degrees(80.0)));
+        assert!(!s.contains(Angle::from_degrees(150.0)));
+    }
+
+    #[test]
+    fn overlapping_arcs_merge() {
+        let mut s = ArcSet::new();
+        s.insert(arc_deg(10.0, 10.0));
+        s.insert(arc_deg(25.0, 10.0));
+        assert_eq!(s.interval_count(), 1);
+        assert!((s.measure().to_degrees() - 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_arcs_stay_separate() {
+        let mut s = ArcSet::new();
+        s.insert(arc_deg(10.0, 5.0));
+        s.insert(arc_deg(100.0, 5.0));
+        assert_eq!(s.interval_count(), 2);
+        assert!((s.measure().to_degrees() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrapping_arc_splits_and_contains() {
+        let s = ArcSet::from_arc(arc_deg(0.0, 20.0));
+        assert_eq!(s.interval_count(), 2);
+        assert!(s.contains(Angle::from_degrees(350.0)));
+        assert!(s.contains(Angle::from_degrees(10.0)));
+        assert!(s.contains(Angle::ZERO));
+        assert!((s.measure().to_degrees() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idempotent_union() {
+        let mut s = ArcSet::from_arc(arc_deg(45.0, 30.0));
+        let before = s.clone();
+        s.insert(arc_deg(45.0, 30.0));
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn complement_partitions_circle() {
+        let s = ArcSet::from_arc(arc_deg(90.0, 45.0));
+        let c = s.complement();
+        assert!((s.measure() + c.measure() - TAU).abs() < 1e-9);
+        assert!(s.intersection(&c).is_empty());
+        assert!(s.union(&c).is_full());
+    }
+
+    #[test]
+    fn complement_of_empty_is_full() {
+        assert!(ArcSet::new().complement().is_full());
+        assert!(ArcSet::full().complement().is_empty());
+    }
+
+    #[test]
+    fn intersection_of_overlap() {
+        let a = ArcSet::from_arc(arc_deg(0.0, 30.0));
+        let b = ArcSet::from_arc(arc_deg(40.0, 30.0));
+        let i = a.intersection(&b);
+        // [330,30] ∩ [10,70] = [10,30]
+        assert!((i.measure().to_degrees() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn difference_and_uncovered() {
+        let a = ArcSet::from_arc(arc_deg(0.0, 30.0));
+        let d = a.difference(&ArcSet::from_arc(arc_deg(20.0, 20.0)));
+        // [330,30] minus [0,40] = [330, 360)
+        assert!((d.measure().to_degrees() - 30.0).abs() < 1e-9);
+        let gain = a.uncovered_measure(arc_deg(40.0, 30.0));
+        // adding [10,70] to [330,30] gains [30,70] = 40°
+        assert!((gain.to_degrees() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_circle_from_many_arcs() {
+        let mut s = ArcSet::new();
+        for k in 0..12 {
+            s.insert(arc_deg(k as f64 * 30.0, 16.0));
+        }
+        assert!(s.is_full());
+        assert!((s.measure() - TAU).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_iterator_collect() {
+        let s: ArcSet = (0..4).map(|k| arc_deg(k as f64 * 90.0, 10.0)).collect();
+        assert!((s.measure().to_degrees() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn endpoints_sorted() {
+        let mut s = ArcSet::new();
+        s.insert(arc_deg(100.0, 10.0));
+        s.insert(arc_deg(200.0, 10.0));
+        let e = s.endpoints();
+        assert_eq!(e.len(), 4);
+        assert!(e.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn adjacent_intervals_merge() {
+        let mut s = ArcSet::new();
+        s.insert(Arc::new(Angle::from_degrees(10.0), Angle::from_degrees(10.0).radians()));
+        s.insert(Arc::new(Angle::from_degrees(20.0), Angle::from_degrees(10.0).radians()));
+        assert_eq!(s.interval_count(), 1);
+        assert!((s.measure().to_degrees() - 20.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,220 @@
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::Angle;
+
+/// A location on the plane, in meters.
+///
+/// Camera and PoI positions live in a local tangent-plane coordinate system
+/// (east = +x, north = +y); the simulations use a 6300 m × 6300 m region as
+/// in the paper (§V-A).
+///
+/// # Example
+///
+/// ```
+/// use photodtn_geo::Point;
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// East coordinate, meters.
+    pub x: f64,
+    /// North coordinate, meters.
+    pub y: f64,
+}
+
+/// A displacement between two [`Point`]s, in meters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// East component, meters.
+    pub x: f64,
+    /// North component, meters.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from east/north coordinates (meters).
+    #[must_use]
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`, in meters.
+    #[must_use]
+    pub fn distance(self, other: Point) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Squared Euclidean distance to `other`; avoids the square root when
+    /// only comparisons are needed.
+    #[must_use]
+    pub fn distance_sq(self, other: Point) -> f64 {
+        let d = self - other;
+        d.x * d.x + d.y * d.y
+    }
+
+    /// Direction from `self` towards `other`.
+    ///
+    /// Returns [`Angle::ZERO`] when the points coincide.
+    #[must_use]
+    pub fn bearing(self, other: Point) -> Angle {
+        (other - self).direction()
+    }
+
+    /// The point at `distance` meters from `self` in direction `dir`.
+    #[must_use]
+    pub fn offset(self, dir: Angle, distance: f64) -> Point {
+        self + Vec2::from_polar(dir, distance)
+    }
+}
+
+impl Vec2 {
+    /// Creates a vector from east/north components.
+    #[must_use]
+    pub fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Creates a vector of length `r` pointing in direction `dir`.
+    #[must_use]
+    pub fn from_polar(dir: Angle, r: f64) -> Self {
+        Vec2 {
+            x: r * dir.cos(),
+            y: r * dir.sin(),
+        }
+    }
+
+    /// Euclidean length, meters.
+    #[must_use]
+    pub fn norm(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Direction of this vector; [`Angle::ZERO`] for the zero vector.
+    #[must_use]
+    pub fn direction(self) -> Angle {
+        if self.x == 0.0 && self.y == 0.0 {
+            Angle::ZERO
+        } else {
+            Angle::from_radians(self.y.atan2(self.x))
+        }
+    }
+
+    /// Dot product.
+    #[must_use]
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1}, {:.1})", self.x, self.y)
+    }
+}
+
+impl Add<Vec2> for Point {
+    type Output = Point;
+    fn add(self, rhs: Vec2) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Vec2;
+    fn sub(self, rhs: Point) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    fn div(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_and_bearing() {
+        let a = Point::new(0.0, 0.0);
+        let n = Point::new(0.0, 10.0);
+        assert_eq!(a.distance(n), 10.0);
+        assert!((a.bearing(n).to_degrees() - 90.0).abs() < 1e-9);
+        let w = Point::new(-5.0, 0.0);
+        assert!((a.bearing(w).to_degrees() - 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_vector_direction_is_zero() {
+        assert_eq!(Vec2::new(0.0, 0.0).direction(), Angle::ZERO);
+        assert_eq!(Point::new(1.0, 1.0).bearing(Point::new(1.0, 1.0)), Angle::ZERO);
+    }
+
+    #[test]
+    fn offset_roundtrip() {
+        let p = Point::new(10.0, -3.0);
+        let q = p.offset(Angle::from_degrees(37.0), 42.0);
+        assert!((p.distance(q) - 42.0).abs() < 1e-9);
+        assert!((p.bearing(q).to_degrees() - 37.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let v = Vec2::from_polar(Angle::from_degrees(200.0), 7.0);
+        assert!((v.norm() - 7.0).abs() < 1e-12);
+        assert!((v.direction().to_degrees() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vector_arithmetic() {
+        let v = Vec2::new(1.0, 2.0) + Vec2::new(3.0, -1.0);
+        assert_eq!(v, Vec2::new(4.0, 1.0));
+        assert_eq!(v * 2.0, Vec2::new(8.0, 2.0));
+        assert_eq!(v / 2.0, Vec2::new(2.0, 0.5));
+        assert_eq!(-v, Vec2::new(-4.0, -1.0));
+        assert_eq!(v.dot(Vec2::new(1.0, 1.0)), 5.0);
+    }
+
+    #[test]
+    fn distance_sq_consistent() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert!((a.distance_sq(b) - a.distance(b).powi(2)).abs() < 1e-9);
+    }
+}

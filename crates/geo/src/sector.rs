@@ -1,0 +1,226 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Angle, Arc, Point};
+
+/// The coverage area of a photo: a circular sector (Fig. 1(a) of the paper).
+///
+/// A photo taken at location `l` with coverage range `r`, field-of-view `φ`
+/// and orientation `d` covers exactly the points within distance `r` of `l`
+/// whose bearing from `l` deviates from `d` by at most `φ/2`.
+///
+/// # Example
+///
+/// ```
+/// use photodtn_geo::{Angle, Point, Sector};
+/// let s = Sector::new(
+///     Point::new(0.0, 0.0),
+///     100.0,
+///     Angle::from_degrees(60.0),  // field of view
+///     Angle::from_degrees(90.0),  // pointing north
+/// );
+/// assert!(s.contains(Point::new(0.0, 80.0)));
+/// assert!(!s.contains(Point::new(0.0, 120.0))); // out of range
+/// assert!(!s.contains(Point::new(80.0, 0.0)));  // outside the FoV
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Sector {
+    apex: Point,
+    range: f64,
+    fov: Angle,
+    orientation: Angle,
+}
+
+impl Sector {
+    /// Creates a sector from the photo metadata tuple `(l, r, φ, d)`.
+    ///
+    /// Negative or non-finite ranges are clamped to zero (an empty sector).
+    /// Fields of view wider than `2π` are clamped by [`Angle`]'s
+    /// normalization.
+    #[must_use]
+    pub fn new(apex: Point, range: f64, fov: Angle, orientation: Angle) -> Self {
+        let range = if range.is_finite() { range.max(0.0) } else { 0.0 };
+        Sector { apex, range, fov, orientation }
+    }
+
+    /// Camera location `l`.
+    #[must_use]
+    pub fn apex(self) -> Point {
+        self.apex
+    }
+
+    /// Coverage range `r`, meters.
+    #[must_use]
+    pub fn range(self) -> f64 {
+        self.range
+    }
+
+    /// Field of view `φ`.
+    #[must_use]
+    pub fn fov(self) -> Angle {
+        self.fov
+    }
+
+    /// Orientation `d` (direction the camera points).
+    #[must_use]
+    pub fn orientation(self) -> Angle {
+        self.orientation
+    }
+
+    /// Whether point `p` lies inside the coverage area.
+    #[must_use]
+    pub fn contains(self, p: Point) -> bool {
+        let v = p - self.apex;
+        let dist_sq = v.x * v.x + v.y * v.y;
+        if dist_sq > self.range * self.range {
+            return false;
+        }
+        if dist_sq == 0.0 {
+            // The camera location itself: inside for any non-empty sector.
+            return self.range > 0.0;
+        }
+        let half = self.fov.radians() / 2.0;
+        self.orientation.separation(v.direction()).radians() <= half
+    }
+
+    /// The *viewing direction* of a PoI at `p`: the direction of the vector
+    /// from the PoI to the camera (`x→l` in the paper). This is the center
+    /// of the aspect arc the photo covers.
+    ///
+    /// Returns [`Angle::ZERO`] if the PoI coincides with the camera.
+    #[must_use]
+    pub fn viewing_direction(self, p: Point) -> Angle {
+        p.bearing(self.apex)
+    }
+
+    /// The arc of aspects of a PoI at `p` covered by this photo, given the
+    /// effective angle `θ` — or `None` when the PoI is outside the coverage
+    /// area.
+    ///
+    /// Per §II-B: aspect `v` is covered iff `p` is inside the sector and
+    /// `∠(v, x→l) < θ`.
+    #[must_use]
+    pub fn aspect_arc(self, p: Point, effective_angle: Angle) -> Option<Arc> {
+        if !self.contains(p) {
+            return None;
+        }
+        Some(Arc::centered(self.viewing_direction(p), effective_angle))
+    }
+
+    /// Area of the sector in square meters, `φ/2 · r²`.
+    #[must_use]
+    pub fn area(self) -> f64 {
+        0.5 * self.fov.radians() * self.range * self.range
+    }
+
+    /// Whether `p` is inside the coverage area **and** visible from the
+    /// camera past the given occluders (walls, rubble — see
+    /// [`Segment`](crate::Segment)).
+    ///
+    /// With no occluders this equals [`contains`](Self::contains); every
+    /// added occluder can only shrink the covered set.
+    #[must_use]
+    pub fn contains_occluded(self, p: Point, occluders: &[crate::Segment]) -> bool {
+        self.contains(p) && !occluders.iter().any(|o| o.blocks(self.apex, p))
+    }
+}
+
+impl fmt::Display for Sector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Sector(at {}, r={:.0}m, fov={}, dir={})",
+            self.apex, self.range, self.fov, self.orientation
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn north_sector() -> Sector {
+        Sector::new(
+            Point::new(0.0, 0.0),
+            100.0,
+            Angle::from_degrees(60.0),
+            Angle::from_degrees(90.0),
+        )
+    }
+
+    #[test]
+    fn contains_respects_range_and_fov() {
+        let s = north_sector();
+        assert!(s.contains(Point::new(0.0, 50.0)));
+        assert!(s.contains(Point::new(20.0, 50.0))); // bearing ≈ 68°, within ±30°
+        assert!(!s.contains(Point::new(60.0, 50.0))); // bearing ≈ 40°, outside
+        assert!(!s.contains(Point::new(0.0, 101.0)));
+        // boundary: exactly on range
+        assert!(s.contains(Point::new(0.0, 100.0)));
+    }
+
+    #[test]
+    fn apex_is_inside() {
+        let s = north_sector();
+        assert!(s.contains(Point::new(0.0, 0.0)));
+        let empty = Sector::new(Point::new(0.0, 0.0), 0.0, Angle::from_degrees(60.0), Angle::ZERO);
+        assert!(!empty.contains(Point::new(0.0, 0.0)));
+    }
+
+    #[test]
+    fn viewing_direction_points_from_poi_to_camera() {
+        let s = north_sector();
+        let poi = Point::new(0.0, 50.0);
+        // camera is south of the PoI → viewing direction is 270°
+        assert!((s.viewing_direction(poi).to_degrees() - 270.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aspect_arc_centered_on_viewing_direction() {
+        let s = north_sector();
+        let poi = Point::new(0.0, 50.0);
+        let arc = s.aspect_arc(poi, Angle::from_degrees(40.0)).unwrap();
+        assert!(arc.contains(Angle::from_degrees(270.0)));
+        assert!(arc.contains(Angle::from_degrees(250.0)));
+        assert!(!arc.contains(Angle::from_degrees(200.0)));
+        assert!((arc.width().to_degrees() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aspect_arc_none_outside() {
+        let s = north_sector();
+        assert!(s.aspect_arc(Point::new(0.0, 200.0), Angle::from_degrees(30.0)).is_none());
+    }
+
+    #[test]
+    fn area_formula() {
+        let s = north_sector();
+        let expect = 0.5 * 60f64.to_radians() * 100.0 * 100.0;
+        assert!((s.area() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn occluders_only_shrink_coverage() {
+        use crate::Segment;
+        let s = north_sector();
+        let target = Point::new(0.0, 50.0);
+        assert!(s.contains_occluded(target, &[]));
+        // a wall between camera and target blocks it
+        let wall = Segment::new(Point::new(-10.0, 25.0), Point::new(10.0, 25.0));
+        assert!(!s.contains_occluded(target, &[wall]));
+        // a wall beyond the target does not
+        let behind = Segment::new(Point::new(-10.0, 80.0), Point::new(10.0, 80.0));
+        assert!(s.contains_occluded(target, &[behind]));
+        // anything occluded is also outside => implication holds
+        assert!(!s.contains_occluded(Point::new(0.0, 200.0), &[]));
+    }
+
+    #[test]
+    fn invalid_range_clamped() {
+        let s = Sector::new(Point::new(0.0, 0.0), f64::NAN, Angle::ZERO, Angle::ZERO);
+        assert_eq!(s.range(), 0.0);
+        let s = Sector::new(Point::new(0.0, 0.0), -5.0, Angle::ZERO, Angle::ZERO);
+        assert_eq!(s.range(), 0.0);
+    }
+}

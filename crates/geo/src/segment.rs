@@ -1,0 +1,155 @@
+use serde::{Deserialize, Serialize};
+
+use crate::Point;
+
+/// A line segment on the plane — an *occluder* (wall, building edge) for
+/// line-of-sight tests.
+///
+/// The paper's coverage model assumes free line of sight inside the
+/// camera sector; real disaster scenes have rubble and walls. Segments
+/// plus [`Sector::contains_occluded`](crate::Sector::contains_occluded)
+/// extend the model with visibility, conservatively: anything behind an
+/// occluder is uncovered.
+///
+/// # Example
+///
+/// ```
+/// use photodtn_geo::{Point, Segment};
+/// let wall = Segment::new(Point::new(0.0, -5.0), Point::new(0.0, 5.0));
+/// let ray = Segment::new(Point::new(-3.0, 0.0), Point::new(3.0, 0.0));
+/// assert!(wall.intersects(&ray));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// One endpoint.
+    pub a: Point,
+    /// The other endpoint.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates a segment between two points.
+    #[must_use]
+    pub fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// Segment length, meters.
+    #[must_use]
+    pub fn length(&self) -> f64 {
+        self.a.distance(self.b)
+    }
+
+    /// Whether two segments intersect (including touching endpoints and
+    /// collinear overlap).
+    #[must_use]
+    pub fn intersects(&self, other: &Segment) -> bool {
+        let d1 = orient(other.a, other.b, self.a);
+        let d2 = orient(other.a, other.b, self.b);
+        let d3 = orient(self.a, self.b, other.a);
+        let d4 = orient(self.a, self.b, other.b);
+
+        if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+            && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+        {
+            return true;
+        }
+        // collinear / endpoint-touching cases
+        (d1 == 0.0 && on_segment(other.a, other.b, self.a))
+            || (d2 == 0.0 && on_segment(other.a, other.b, self.b))
+            || (d3 == 0.0 && on_segment(self.a, self.b, other.a))
+            || (d4 == 0.0 && on_segment(self.a, self.b, other.b))
+    }
+
+    /// Whether the open sight line from `eye` to `target` is blocked by
+    /// this segment. Touching the segment exactly at `eye` or `target`
+    /// does **not** count as blocked (cameras can stand against a wall).
+    #[must_use]
+    pub fn blocks(&self, eye: Point, target: Point) -> bool {
+        let ray = Segment::new(eye, target);
+        if !self.intersects(&ray) {
+            return false;
+        }
+        // Un-block sightlines that merely touch the occluder at one of
+        // the ray's endpoints.
+        let touches_eye = orient(self.a, self.b, eye) == 0.0 && on_segment(self.a, self.b, eye);
+        let touches_target =
+            orient(self.a, self.b, target) == 0.0 && on_segment(self.a, self.b, target);
+        if touches_eye || touches_target {
+            // blocked only if the occluder also crosses the interior
+            let mid = Point::new((eye.x + target.x) / 2.0, (eye.y + target.y) / 2.0);
+            return orient(self.a, self.b, mid) == 0.0 && on_segment(self.a, self.b, mid);
+        }
+        true
+    }
+}
+
+/// Cross-product orientation of `c` relative to the directed line `a→b`:
+/// positive = left, negative = right, 0 = collinear.
+fn orient(a: Point, b: Point, c: Point) -> f64 {
+    (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+}
+
+/// For collinear `p` with segment `a–b`: is `p` within the bounding box?
+fn on_segment(a: Point, b: Point, p: Point) -> bool {
+    p.x >= a.x.min(b.x) - 1e-12
+        && p.x <= a.x.max(b.x) + 1e-12
+        && p.y >= a.y.min(b.y) - 1e-12
+        && p.y <= a.y.max(b.y) + 1e-12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn crossing_segments_intersect() {
+        assert!(seg(-1.0, 0.0, 1.0, 0.0).intersects(&seg(0.0, -1.0, 0.0, 1.0)));
+        assert!(!seg(-1.0, 0.0, 1.0, 0.0).intersects(&seg(2.0, -1.0, 2.0, 1.0)));
+    }
+
+    #[test]
+    fn touching_endpoints_intersect() {
+        assert!(seg(0.0, 0.0, 1.0, 0.0).intersects(&seg(1.0, 0.0, 2.0, 1.0)));
+        // T-junction
+        assert!(seg(-1.0, 0.0, 1.0, 0.0).intersects(&seg(0.0, 0.0, 0.0, 2.0)));
+    }
+
+    #[test]
+    fn collinear_overlap_intersects() {
+        assert!(seg(0.0, 0.0, 2.0, 0.0).intersects(&seg(1.0, 0.0, 3.0, 0.0)));
+        assert!(!seg(0.0, 0.0, 1.0, 0.0).intersects(&seg(2.0, 0.0, 3.0, 0.0)));
+    }
+
+    #[test]
+    fn parallel_segments_do_not_intersect() {
+        assert!(!seg(0.0, 0.0, 2.0, 0.0).intersects(&seg(0.0, 1.0, 2.0, 1.0)));
+    }
+
+    #[test]
+    fn wall_blocks_sight_line() {
+        let wall = seg(0.0, -5.0, 0.0, 5.0);
+        assert!(wall.blocks(Point::new(-3.0, 0.0), Point::new(3.0, 0.0)));
+        assert!(!wall.blocks(Point::new(-3.0, 0.0), Point::new(-1.0, 0.0)));
+        // sight line past the wall's end is clear
+        assert!(!wall.blocks(Point::new(-3.0, 6.0), Point::new(3.0, 6.0)));
+    }
+
+    #[test]
+    fn touching_at_eye_or_target_is_clear() {
+        let wall = seg(0.0, -5.0, 0.0, 5.0);
+        // camera standing exactly against the wall, looking away from it
+        assert!(!wall.blocks(Point::new(0.0, 0.0), Point::new(3.0, 0.0)));
+        // target exactly on the wall face
+        assert!(!wall.blocks(Point::new(3.0, 0.0), Point::new(0.0, 0.0)));
+    }
+
+    #[test]
+    fn length() {
+        assert_eq!(seg(0.0, 0.0, 3.0, 4.0).length(), 5.0);
+    }
+}

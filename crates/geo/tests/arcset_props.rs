@@ -1,0 +1,105 @@
+//! Property-based tests for [`photodtn_geo::ArcSet`]: the arc-union algebra
+//! must behave like a measure algebra on the circle, because aspect
+//! coverage (and therefore every result in the paper's evaluation) is
+//! computed from it.
+
+use photodtn_geo::{Angle, Arc, ArcSet, TAU};
+use proptest::prelude::*;
+
+fn arb_arc() -> impl Strategy<Value = Arc> {
+    (0.0..360.0f64, 0.0..360.0f64)
+        .prop_map(|(start, width)| Arc::new(Angle::from_degrees(start), width.to_radians()))
+}
+
+fn arb_arcset() -> impl Strategy<Value = ArcSet> {
+    prop::collection::vec(arb_arc(), 0..8).prop_map(|arcs| arcs.into_iter().collect())
+}
+
+const EPS: f64 = 1e-6;
+
+proptest! {
+    #[test]
+    fn measure_bounded(s in arb_arcset()) {
+        let m = s.measure();
+        prop_assert!((0.0..=TAU + EPS).contains(&m));
+    }
+
+    #[test]
+    fn union_is_monotone(s in arb_arcset(), a in arb_arc()) {
+        let mut t = s.clone();
+        t.insert(a);
+        prop_assert!(t.measure() + EPS >= s.measure());
+        prop_assert!(t.measure() + EPS >= ArcSet::from_arc(a).measure());
+    }
+
+    #[test]
+    fn union_subadditive(s in arb_arcset(), t in arb_arcset()) {
+        let u = s.union(&t);
+        prop_assert!(u.measure() <= s.measure() + t.measure() + EPS);
+        prop_assert!(u.measure() + EPS >= s.measure().max(t.measure()));
+    }
+
+    #[test]
+    fn union_commutative(s in arb_arcset(), t in arb_arcset()) {
+        prop_assert!((s.union(&t).measure() - t.union(&s).measure()).abs() < EPS);
+    }
+
+    #[test]
+    fn union_idempotent(s in arb_arcset()) {
+        prop_assert_eq!(s.union(&s), s.clone());
+    }
+
+    #[test]
+    fn inclusion_exclusion(s in arb_arcset(), t in arb_arcset()) {
+        let u = s.union(&t).measure();
+        let i = s.intersection(&t).measure();
+        prop_assert!((u + i - s.measure() - t.measure()).abs() < 1e-4,
+            "|A∪B| + |A∩B| = |A| + |B| violated: {} + {} vs {} + {}",
+            u, i, s.measure(), t.measure());
+    }
+
+    #[test]
+    fn complement_involution_measure(s in arb_arcset()) {
+        let c = s.complement();
+        prop_assert!((s.measure() + c.measure() - TAU).abs() < 1e-4);
+        let cc = c.complement();
+        prop_assert!((cc.measure() - s.measure()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn difference_law(s in arb_arcset(), t in arb_arcset()) {
+        // |A \ B| = |A| - |A ∩ B|
+        let d = s.difference(&t).measure();
+        let i = s.intersection(&t).measure();
+        prop_assert!((d - (s.measure() - i)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn uncovered_measure_matches_union_gain(s in arb_arcset(), a in arb_arc()) {
+        let gain = s.uncovered_measure(a);
+        let mut t = s.clone();
+        t.insert(a);
+        prop_assert!((gain - (t.measure() - s.measure())).abs() < 1e-4);
+    }
+
+    #[test]
+    fn contains_consistent_with_insert(s in arb_arcset(), a in arb_arc(), frac in 0.0..1.0f64) {
+        prop_assume!(!a.is_empty());
+        let probe = a.start() + Angle::from_radians(a.width() * frac);
+        let mut t = s.clone();
+        t.insert(a);
+        prop_assert!(t.contains(probe));
+    }
+
+    #[test]
+    fn canonical_intervals_sorted_disjoint(s in arb_arcset()) {
+        let iv: Vec<_> = s.iter().collect();
+        for w in iv.windows(2) {
+            prop_assert!(w[0].1 < w[1].0, "intervals overlap or touch: {:?}", iv);
+        }
+        for (lo, hi) in iv {
+            prop_assert!(lo < hi);
+            prop_assert!(lo >= 0.0 && hi <= TAU + EPS);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Property tests for segment intersection and occluded sector coverage.
+
+use photodtn_geo::{Angle, Point, Sector, Segment};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-200.0..200.0f64, -200.0..200.0f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_segment() -> impl Strategy<Value = Segment> {
+    (arb_point(), arb_point()).prop_map(|(a, b)| Segment::new(a, b))
+}
+
+fn arb_sector() -> impl Strategy<Value = Sector> {
+    (arb_point(), 20.0..200.0f64, 20.0..120.0f64, 0.0..360.0f64).prop_map(|(apex, r, fov, dir)| {
+        Sector::new(apex, r, Angle::from_degrees(fov), Angle::from_degrees(dir))
+    })
+}
+
+proptest! {
+    #[test]
+    fn intersection_is_symmetric(a in arb_segment(), b in arb_segment()) {
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+    }
+
+    #[test]
+    fn segment_intersects_itself_and_endpoints(s in arb_segment()) {
+        prop_assert!(s.intersects(&s));
+        prop_assert!(s.intersects(&Segment::new(s.a, s.a)));
+        prop_assert!(s.intersects(&Segment::new(s.b, s.b)));
+    }
+
+    #[test]
+    fn blocking_is_symmetric_in_eye_and_target(w in arb_segment(), p in arb_point(), q in arb_point()) {
+        // visibility is symmetric: if the wall blocks p→q it blocks q→p
+        prop_assert_eq!(w.blocks(p, q), w.blocks(q, p));
+    }
+
+    #[test]
+    fn occluders_never_add_coverage(
+        sector in arb_sector(),
+        p in arb_point(),
+        walls in prop::collection::vec(arb_segment(), 0..4),
+    ) {
+        if sector.contains_occluded(p, &walls) {
+            prop_assert!(sector.contains(p), "occluded-visible point outside the sector");
+        }
+        // adding one more wall can only remove points
+        if !walls.is_empty() && !sector.contains_occluded(p, &walls) {
+            let mut more = walls.clone();
+            more.push(Segment::new(Point::new(-500.0, -500.0), Point::new(-499.0, -500.0)));
+            prop_assert!(!sector.contains_occluded(p, &more));
+        }
+    }
+
+    #[test]
+    fn far_away_walls_never_block(sector in arb_sector(), p in arb_point()) {
+        // a wall entirely outside the scene's bounding box cannot block
+        let far = Segment::new(Point::new(10_000.0, 10_000.0), Point::new(10_001.0, 10_000.0));
+        prop_assert_eq!(sector.contains(p), sector.contains_occluded(p, &[far]));
+    }
+}

@@ -1,0 +1,156 @@
+//! Pluggable buffer-management policies.
+//!
+//! DTN routing papers (including the ones the paper compares against)
+//! differ as much in *what they drop* as in what they forward. This
+//! module factors the drop decision out of the schemes so policies can
+//! be compared on otherwise-identical protocols — e.g.
+//! [`SprayAndWait::with_policies`](crate::SprayAndWait::with_policies).
+
+use photodtn_coverage::{CoverageParams, Photo, PhotoCollection, PhotoId, PoiList};
+
+use crate::value::PhotoValueCache;
+
+/// What to do when a photo arrives at a full buffer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BufferPolicy {
+    /// Refuse the incoming photo (drop-tail). The classic Spray&Wait
+    /// receive behaviour.
+    DropIncoming,
+    /// Evict the oldest stored photo (FIFO). The classic generation
+    /// behaviour.
+    #[default]
+    DropOldest,
+    /// Evict the photo with the least *individual* photo coverage — the
+    /// ModifiedSpray rule, where ties resolve against the incoming photo
+    /// too (a worthless incoming photo is refused rather than displacing
+    /// an equally worthless but older one).
+    DropLeastValue,
+}
+
+impl BufferPolicy {
+    /// Makes room for `incoming` in `collection` under `capacity`.
+    ///
+    /// Returns `Some(evicted_ids)` when the incoming photo should be
+    /// inserted afterwards (possibly evicting nothing if there is room),
+    /// or `None` when the incoming photo is refused. The caller inserts
+    /// the photo and cleans up per-photo bookkeeping for the evicted ids.
+    pub fn make_room(
+        self,
+        collection: &mut PhotoCollection,
+        incoming: &Photo,
+        capacity: u64,
+        values: &mut PhotoValueCache,
+        pois: &PoiList,
+        params: CoverageParams,
+    ) -> Option<Vec<PhotoId>> {
+        if incoming.size > capacity {
+            return None; // can never fit
+        }
+        // Plan the evictions on a scratch copy so a refusal midway leaves
+        // the buffer untouched (relevant with heterogeneous photo sizes).
+        let mut scratch = collection.clone();
+        let mut evicted = Vec::new();
+        while scratch.total_size() + incoming.size > capacity {
+            let victim = match self {
+                BufferPolicy::DropIncoming => None,
+                BufferPolicy::DropOldest => scratch.ids().next(),
+                BufferPolicy::DropLeastValue => {
+                    let incoming_rank = (values.value(incoming, pois, params), incoming.id);
+                    scratch
+                        .iter()
+                        .map(|p| (values.value(p, pois, params), p.id))
+                        .min()
+                        .filter(|victim| *victim < incoming_rank)
+                        .map(|(_, id)| id)
+                }
+            };
+            match victim {
+                Some(id) => {
+                    scratch.remove(id);
+                    evicted.push(id);
+                }
+                None => return None,
+            }
+        }
+        for id in &evicted {
+            collection.remove(*id);
+        }
+        Some(evicted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photodtn_coverage::{PhotoMeta, Poi};
+    use photodtn_geo::{Angle, Point};
+
+    fn pois() -> PoiList {
+        PoiList::new(vec![Poi::new(0, Point::new(0.0, 0.0))])
+    }
+
+    fn covering(id: u64) -> Photo {
+        let meta =
+            PhotoMeta::new(Point::new(50.0, 0.0), 100.0, Angle::from_degrees(40.0), Angle::PI);
+        Photo::new(id, meta, 0.0).with_size(1)
+    }
+
+    fn junk(id: u64) -> Photo {
+        let meta =
+            PhotoMeta::new(Point::new(900.0, 900.0), 50.0, Angle::from_degrees(40.0), Angle::ZERO);
+        Photo::new(id, meta, 0.0).with_size(1)
+    }
+
+    fn run(policy: BufferPolicy, stored: Vec<Photo>, incoming: Photo, cap: u64) -> (Option<Vec<PhotoId>>, PhotoCollection) {
+        let mut c: PhotoCollection = stored.into_iter().collect();
+        let mut values = PhotoValueCache::new();
+        let out = policy.make_room(&mut c, &incoming, cap, &mut values, &pois(), CoverageParams::default());
+        (out, c)
+    }
+
+    #[test]
+    fn room_available_accepts_without_eviction() {
+        for policy in [BufferPolicy::DropIncoming, BufferPolicy::DropOldest, BufferPolicy::DropLeastValue] {
+            let (out, c) = run(policy, vec![junk(1)], junk(2), 2);
+            assert_eq!(out, Some(vec![]), "{policy:?}");
+            assert_eq!(c.len(), 1);
+        }
+    }
+
+    #[test]
+    fn drop_incoming_refuses_when_full() {
+        let (out, c) = run(BufferPolicy::DropIncoming, vec![junk(1), junk(2)], covering(3), 2);
+        assert_eq!(out, None);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn drop_oldest_evicts_smallest_id() {
+        let (out, c) = run(BufferPolicy::DropOldest, vec![junk(1), junk(2)], junk(3), 2);
+        assert_eq!(out, Some(vec![PhotoId(1)]));
+        assert!(c.contains(PhotoId(2)));
+        assert!(!c.contains(PhotoId(1)));
+    }
+
+    #[test]
+    fn drop_least_value_protects_covering_photos() {
+        // full of one junk + one covering photo; a covering incoming
+        // photo evicts the junk, a junk incoming photo is refused when
+        // only better-or-equal-newer photos remain.
+        let (out, _) =
+            run(BufferPolicy::DropLeastValue, vec![junk(1), covering(2)], covering(3), 2);
+        assert_eq!(out, Some(vec![PhotoId(1)]));
+        let (out, _) = run(BufferPolicy::DropLeastValue, vec![covering(1), covering(2)], junk(3), 2);
+        assert_eq!(out, None);
+        // junk vs older junk: ties resolve by id — older junk evicted
+        let (out, _) = run(BufferPolicy::DropLeastValue, vec![junk(1), junk(2)], junk(3), 2);
+        assert_eq!(out, Some(vec![PhotoId(1)]));
+    }
+
+    #[test]
+    fn oversized_incoming_always_refused() {
+        let big = junk(9).with_size(10);
+        let (out, _) = run(BufferPolicy::DropOldest, vec![], big, 2);
+        assert_eq!(out, None);
+    }
+}

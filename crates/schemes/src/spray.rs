@@ -1,0 +1,382 @@
+use std::collections::HashMap;
+
+use photodtn_contacts::NodeId;
+use photodtn_coverage::{Photo, PhotoId};
+use photodtn_sim::{Scheme, SimCtx};
+
+use crate::value::PhotoValueCache;
+
+/// Number of copies each new photo is allowed (§V-B: "binary spray and
+/// wait protocol with four allowed copies").
+pub const SPRAY_COPIES: u32 = 4;
+
+/// Binary Spray&Wait (Spyropoulos et al.) — the content-oblivious DTN
+/// routing baseline.
+///
+/// Each photo starts with [`SPRAY_COPIES`] (4) logical copies at its
+/// source.
+/// In the *spray* phase, a node holding `c > 1` copies hands `⌊c/2⌋` to a
+/// peer that lacks the photo; with `c = 1` the node *waits* and delivers
+/// only directly to the command center. Photos are transmitted in photo-id
+/// (i.e. creation) order. Buffer management is pluggable
+/// ([`with_policies`](Self::with_policies)); the classic defaults are
+/// FIFO at photo generation and drop-tail on reception.
+#[derive(Debug)]
+pub struct SprayAndWait {
+    /// Logical copies held: `(node, photo) → copies`.
+    copies: HashMap<(u32, u64), u32>,
+    generation_policy: crate::policy::BufferPolicy,
+    receive_policy: crate::policy::BufferPolicy,
+    values: PhotoValueCache,
+}
+
+impl Default for SprayAndWait {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SprayAndWait {
+    /// Creates the baseline with the classic policies (FIFO generation,
+    /// drop-tail reception).
+    #[must_use]
+    pub fn new() -> Self {
+        SprayAndWait {
+            copies: HashMap::new(),
+            generation_policy: crate::policy::BufferPolicy::DropOldest,
+            receive_policy: crate::policy::BufferPolicy::DropIncoming,
+            values: PhotoValueCache::new(),
+        }
+    }
+
+    /// Overrides the buffer policies (builder-style) — for buffer-
+    /// management ablations on an otherwise identical protocol.
+    #[must_use]
+    pub fn with_policies(
+        mut self,
+        generation: crate::policy::BufferPolicy,
+        receive: crate::policy::BufferPolicy,
+    ) -> Self {
+        self.generation_policy = generation;
+        self.receive_policy = receive;
+        self
+    }
+
+    fn copies_of(&self, node: NodeId, photo: PhotoId) -> u32 {
+        self.copies.get(&(node.0, photo.0)).copied().unwrap_or(0)
+    }
+
+    /// Applies a buffer policy on `node` for `incoming`; returns whether
+    /// the photo may be inserted, cleaning up copy bookkeeping for
+    /// evicted photos.
+    fn admit(
+        &mut self,
+        ctx: &mut SimCtx,
+        node: NodeId,
+        incoming: &Photo,
+        policy: crate::policy::BufferPolicy,
+    ) -> bool {
+        let capacity = ctx.storage_bytes();
+        let pois = ctx.pois().clone();
+        let params = ctx.coverage_params();
+        let collection = ctx.collection_mut(node);
+        match policy.make_room(collection, incoming, capacity, &mut self.values, &pois, params) {
+            Some(evicted) => {
+                for id in evicted {
+                    self.copies.remove(&(node.0, id.0));
+                }
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl Scheme for SprayAndWait {
+    fn name(&self) -> &'static str {
+        "spray-wait"
+    }
+
+    fn on_photo_generated(&mut self, ctx: &mut SimCtx, node: NodeId, photo: Photo) {
+        if !self.admit(ctx, node, &photo, self.generation_policy) {
+            return;
+        }
+        ctx.collection_mut(node).insert(photo);
+        self.copies.insert((node.0, photo.id.0), SPRAY_COPIES);
+    }
+
+    fn on_contact(&mut self, ctx: &mut SimCtx, a: NodeId, b: NodeId, budget: u64) {
+        let mut remaining = budget;
+        // Spray in both directions, photo-id order, while budget lasts.
+        for (src, dst) in [(a, b), (b, a)] {
+            let sprayable: Vec<Photo> = ctx
+                .collection(src)
+                .iter()
+                .filter(|p| self.copies_of(src, p.id) > 1 && !ctx.collection(dst).contains(p.id))
+                .copied()
+                .collect();
+            for photo in sprayable {
+                if photo.size > remaining {
+                    break;
+                }
+                if !self.admit(ctx, dst, &photo, self.receive_policy) {
+                    continue;
+                }
+                let c = self.copies_of(src, photo.id);
+                let give = c / 2;
+                ctx.collection_mut(dst).insert(photo);
+                self.copies.insert((dst.0, photo.id.0), give);
+                self.copies.insert((src.0, photo.id.0), c - give);
+                remaining -= photo.size;
+            }
+        }
+    }
+
+    fn on_upload(&mut self, ctx: &mut SimCtx, node: NodeId, budget: u64) {
+        let mut remaining = budget;
+        let mut bytes = 0;
+        let photos: Vec<Photo> = ctx.collection(node).iter().copied().collect();
+        for photo in photos {
+            if photo.size > remaining {
+                break;
+            }
+            ctx.deliver(photo);
+            ctx.collection_mut(node).remove(photo.id);
+            self.copies.remove(&(node.0, photo.id.0));
+            remaining -= photo.size;
+            bytes += photo.size;
+        }
+        ctx.note_upload_bytes(bytes);
+    }
+}
+
+/// Spray&Wait with coverage-aware prioritization (§V-B *ModifiedSpray*):
+/// photos are transmitted highest-individual-coverage first, and when a
+/// receiver's storage is full it evicts the photo with the least
+/// individual coverage.
+///
+/// This represents classic utility-driven DTN routing: utility is
+/// per-photo, so redundancy between photos is ignored — the property our
+/// scheme exploits to beat it.
+#[derive(Debug, Default)]
+pub struct ModifiedSpray {
+    copies: HashMap<(u32, u64), u32>,
+    values: PhotoValueCache,
+}
+
+impl ModifiedSpray {
+    /// Creates the baseline.
+    #[must_use]
+    pub fn new() -> Self {
+        ModifiedSpray::default()
+    }
+
+    fn copies_of(&self, node: NodeId, photo: PhotoId) -> u32 {
+        self.copies.get(&(node.0, photo.0)).copied().unwrap_or(0)
+    }
+
+    /// Evicts lowest-value photos from `node` until `need` bytes fit,
+    /// but only while the incoming `(value, id)` beats the victim.
+    /// Returns whether the space was freed.
+    fn make_room(
+        &mut self,
+        ctx: &mut SimCtx,
+        node: NodeId,
+        need: u64,
+        incoming: ((i64, i64), PhotoId),
+    ) -> bool {
+        let capacity = ctx.storage_bytes();
+        let pois = ctx.pois().clone();
+        let params = ctx.coverage_params();
+        loop {
+            if ctx.collection(node).total_size() + need <= capacity {
+                return true;
+            }
+            let worst = ctx
+                .collection(node)
+                .iter()
+                .map(|p| (self.values.value(p, &pois, params), p.id))
+                .min();
+            match worst {
+                Some(victim) if victim < incoming => {
+                    ctx.collection_mut(node).remove(victim.1);
+                    self.copies.remove(&(node.0, victim.1 .0));
+                }
+                _ => return false,
+            }
+        }
+    }
+}
+
+impl Scheme for ModifiedSpray {
+    fn name(&self) -> &'static str {
+        "modified-spray"
+    }
+
+    fn on_photo_generated(&mut self, ctx: &mut SimCtx, node: NodeId, photo: Photo) {
+        let pois = ctx.pois().clone();
+        let params = ctx.coverage_params();
+        let value = self.values.value(&photo, &pois, params);
+        if !self.make_room(ctx, node, photo.size, (value, photo.id)) {
+            return;
+        }
+        ctx.collection_mut(node).insert(photo);
+        self.copies.insert((node.0, photo.id.0), SPRAY_COPIES);
+    }
+
+    fn on_contact(&mut self, ctx: &mut SimCtx, a: NodeId, b: NodeId, budget: u64) {
+        let pois = ctx.pois().clone();
+        let params = ctx.coverage_params();
+        let mut remaining = budget;
+        for (src, dst) in [(a, b), (b, a)] {
+            // Highest individual coverage first.
+            let candidates: Vec<Photo> = ctx
+                .collection(src)
+                .iter()
+                .filter(|p| self.copies_of(src, p.id) > 1 && !ctx.collection(dst).contains(p.id))
+                .copied()
+                .collect();
+            let mut sprayable: Vec<((i64, i64), Photo)> = candidates
+                .into_iter()
+                .map(|p| (self.values.value(&p, &pois, params), p))
+                .collect();
+            sprayable.sort_by(|(va, pa), (vb, pb)| vb.cmp(va).then(pa.id.cmp(&pb.id)));
+            for (value, photo) in sprayable {
+                if photo.size > remaining {
+                    break;
+                }
+                if !self.make_room(ctx, dst, photo.size, (value, photo.id)) {
+                    continue;
+                }
+                let c = self.copies_of(src, photo.id);
+                let give = c / 2;
+                ctx.collection_mut(dst).insert(photo);
+                self.copies.insert((dst.0, photo.id.0), give);
+                self.copies.insert((src.0, photo.id.0), c - give);
+                remaining -= photo.size;
+            }
+        }
+    }
+
+    fn on_upload(&mut self, ctx: &mut SimCtx, node: NodeId, budget: u64) {
+        let pois = ctx.pois().clone();
+        let params = ctx.coverage_params();
+        let mut photos: Vec<((i64, i64), Photo)> = ctx
+            .collection(node)
+            .iter()
+            .map(|p| (self.values.value(p, &pois, params), *p))
+            .collect();
+        photos.sort_by(|(va, pa), (vb, pb)| vb.cmp(va).then(pa.id.cmp(&pb.id)));
+        let mut remaining = budget;
+        let mut bytes = 0;
+        for (_, photo) in photos {
+            if photo.size > remaining {
+                break;
+            }
+            ctx.deliver(photo);
+            ctx.collection_mut(node).remove(photo.id);
+            self.copies.remove(&(node.0, photo.id.0));
+            remaining -= photo.size;
+            bytes += photo.size;
+        }
+        ctx.note_upload_bytes(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photodtn_contacts::synth::{CommunityTraceGenerator, TraceStyle};
+    use photodtn_sim::{SimConfig, Simulation};
+
+    fn trace() -> photodtn_contacts::ContactTrace {
+        CommunityTraceGenerator::new(TraceStyle::MitLike)
+            .with_num_nodes(15)
+            .with_duration_hours(40.0)
+            .generate(3)
+    }
+
+    fn config() -> SimConfig {
+        SimConfig::mit_default().with_photos_per_hour(30.0)
+    }
+
+    #[test]
+    fn spray_wait_runs_and_delivers() {
+        let result = Simulation::new(&config(), &trace(), 1).run(&mut SprayAndWait::new());
+        assert_eq!(result.scheme, "spray-wait");
+        assert!(result.final_sample().delivered_photos > 0);
+    }
+
+    #[test]
+    fn modified_spray_runs_and_delivers() {
+        let result = Simulation::new(&config(), &trace(), 1).run(&mut ModifiedSpray::new());
+        assert_eq!(result.scheme, "modified-spray");
+        assert!(result.final_sample().delivered_photos > 0);
+    }
+
+    #[test]
+    fn both_deterministic() {
+        let r1 = Simulation::new(&config(), &trace(), 2).run(&mut SprayAndWait::new());
+        let r2 = Simulation::new(&config(), &trace(), 2).run(&mut SprayAndWait::new());
+        assert_eq!(r1, r2);
+        let m1 = Simulation::new(&config(), &trace(), 2).run(&mut ModifiedSpray::new());
+        let m2 = Simulation::new(&config(), &trace(), 2).run(&mut ModifiedSpray::new());
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn modified_spray_beats_plain_on_coverage() {
+        // Coverage-aware prioritization must not hurt: over a real
+        // scenario ModifiedSpray ≥ Spray&Wait in point coverage (the
+        // paper's Fig. 5 ordering).
+        let trace = CommunityTraceGenerator::new(TraceStyle::MitLike)
+            .with_num_nodes(20)
+            .with_duration_hours(60.0)
+            .generate(7);
+        let config = config().with_storage_bytes(40 * 1024 * 1024); // tight: 10 photos
+        let plain = Simulation::new(&config, &trace, 3).run(&mut SprayAndWait::new());
+        let modified = Simulation::new(&config, &trace, 3).run(&mut ModifiedSpray::new());
+        assert!(
+            modified.final_sample().point_coverage
+                >= plain.final_sample().point_coverage,
+            "modified {} < plain {}",
+            modified.final_sample().point_coverage,
+            plain.final_sample().point_coverage
+        );
+    }
+
+    #[test]
+    fn value_aware_policies_improve_plain_spray() {
+        // Swapping Spray&Wait's FIFO/drop-tail buffers for the
+        // least-value policy (everything else identical) should not hurt
+        // coverage — isolating the buffer-management contribution.
+        use crate::policy::BufferPolicy;
+        let trace = CommunityTraceGenerator::new(TraceStyle::MitLike)
+            .with_num_nodes(20)
+            .with_duration_hours(60.0)
+            .generate(7);
+        let config = config().with_storage_bytes(40 * 1024 * 1024); // tight
+        let classic = Simulation::new(&config, &trace, 3).run(&mut SprayAndWait::new());
+        let value_aware = Simulation::new(&config, &trace, 3).run(
+            &mut SprayAndWait::new()
+                .with_policies(BufferPolicy::DropLeastValue, BufferPolicy::DropLeastValue),
+        );
+        assert!(
+            value_aware.final_sample().point_coverage
+                >= classic.final_sample().point_coverage - 0.02,
+            "value-aware buffers hurt: {} vs {}",
+            value_aware.final_sample().point_coverage,
+            classic.final_sample().point_coverage
+        );
+    }
+
+    #[test]
+    fn spray_respects_copy_limit() {
+        // With L = 4 copies, a photo can live on at most 4 nodes at once
+        // (before any delivery). Verify via internal copy accounting.
+        let mut s = SprayAndWait::new();
+        s.copies.insert((0, 1), 4);
+        assert_eq!(s.copies_of(NodeId(0), PhotoId(1)), 4);
+        assert_eq!(s.copies_of(NodeId(1), PhotoId(1)), 0);
+    }
+}

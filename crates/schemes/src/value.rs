@@ -1,0 +1,84 @@
+use std::collections::HashMap;
+
+use photodtn_coverage::{Coverage, CoverageParams, Photo, PhotoId, PoiList};
+
+/// Memoized *individual* photo coverage `C_ph({f})`, quantized for total
+/// ordering.
+///
+/// ModifiedSpray ranks photos by their standalone coverage ("transmits the
+/// photo with the most photo coverage first", §V-B) and our scheme uses
+/// the same quantity as a cheap storage-eviction heuristic at photo
+/// generation time. The value of a photo in isolation never changes, so
+/// it is computed once per photo id.
+#[derive(Clone, Debug, Default)]
+pub struct PhotoValueCache {
+    values: HashMap<PhotoId, (i64, i64)>,
+}
+
+impl PhotoValueCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        PhotoValueCache::default()
+    }
+
+    /// The quantized `(point, aspect)` value of `photo` in isolation.
+    pub fn value(&mut self, photo: &Photo, pois: &PoiList, params: CoverageParams) -> (i64, i64) {
+        if let Some(v) = self.values.get(&photo.id) {
+            return *v;
+        }
+        let c = Coverage::of(pois, [&photo.meta], params);
+        const SCALE: f64 = 1e9;
+        let q = ((c.point * SCALE).round() as i64, (c.aspect * SCALE).round() as i64);
+        self.values.insert(photo.id, q);
+        q
+    }
+
+    /// Forgets a photo (e.g. after permanent deletion everywhere).
+    pub fn forget(&mut self, id: PhotoId) {
+        self.values.remove(&id);
+    }
+
+    /// Number of memoized photos.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photodtn_coverage::{PhotoMeta, Poi};
+    use photodtn_geo::{Angle, Point};
+
+    fn pois() -> PoiList {
+        PoiList::new(vec![Poi::new(0, Point::new(0.0, 0.0))])
+    }
+
+    fn shot(id: u64, covers: bool) -> Photo {
+        let dir = if covers { Angle::PI } else { Angle::ZERO };
+        Photo::new(id, PhotoMeta::new(Point::new(50.0, 0.0), 100.0, Angle::from_degrees(40.0), dir), 0.0)
+    }
+
+    #[test]
+    fn values_ordered_and_cached() {
+        let pois = pois();
+        let mut cache = PhotoValueCache::new();
+        let good = cache.value(&shot(1, true), &pois, CoverageParams::default());
+        let bad = cache.value(&shot(2, false), &pois, CoverageParams::default());
+        assert!(good > bad);
+        assert_eq!(bad, (0, 0));
+        assert_eq!(cache.len(), 2);
+        // cached lookup returns the same value
+        assert_eq!(cache.value(&shot(1, true), &pois, CoverageParams::default()), good);
+        cache.forget(PhotoId(1));
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,62 @@
+//! The paper's prototype demonstration (§IV-B, Figs. 2–4), recreated with
+//! synthetic metadata.
+//!
+//! Nine nodes from a Bluetooth-style trace: eight crowdsourcing
+//! participants and one command center (a data mule met four times inside
+//! the demo window, as in the paper). Each participant holds five photos
+//! — one aimed at a historic church, four pointing elsewhere. The last 48
+//! contacts drive the exchange; earlier contacts only train PROPHET. At
+//! most 3 photos move per contact, each device stores at most 5 photos,
+//! and the effective angle is 40°.
+//!
+//! The paper reports (with real photos): our scheme delivers only 6
+//! useful photos covering 346° of the church; PhotoNet delivers 12
+//! covering 160°; Spray&Wait delivers 12 covering 171°. Exact degrees
+//! depend on the random viewpoints, but the shape — ours covers far more
+//! with far fewer photos — reproduces.
+//!
+//! ```sh
+//! cargo run --release --example church_demo
+//! ```
+
+use photodtn::sim::Scheme;
+use photodtn::schemes::{OurScheme, PhotoNet, SprayAndWait};
+use photodtn_bench::demo::DemoWorld;
+
+const SEED: u64 = 2016;
+
+fn main() {
+    let world = DemoWorld::build(SEED);
+    println!(
+        "demo: {} historical contacts for PROPHET, {} demo contacts over {:.1} h, \
+         {} command-center visits",
+        world.history.len(),
+        world.recent.len(),
+        world.recent.duration() / 3600.0,
+        world.upload_contacts(),
+    );
+    let covering = world
+        .photos
+        .iter()
+        .filter(|(_, p)| p.meta.covers(&world.pois[photodtn::coverage::PoiId(0)]))
+        .count();
+    println!("photos: {} total, {covering} actually cover the church\n", world.photos.len());
+
+    println!("{:<14} {:>17} {:>22}", "scheme", "photos delivered", "church aspect covered");
+    run(&world, &mut OurScheme::new());
+    run(&world, &mut PhotoNet::new());
+    run(&world, &mut SprayAndWait::new());
+    println!(
+        "\n(paper, real photos: ours 6 photos / 346°, PhotoNet 12 / 160°, Spray&Wait 12 / 171°)"
+    );
+}
+
+fn run<S: Scheme>(world: &DemoWorld, scheme: &mut S) {
+    let (_, delivered) = world.run(scheme);
+    println!(
+        "{:<14} {:>17} {:>21.0}°",
+        scheme.name(),
+        delivered.len(),
+        world.church_aspect_deg(&delivered)
+    );
+}

@@ -1,0 +1,79 @@
+//! A disaster-recovery scenario, the motivating application of the paper:
+//! the cellular network is down over a town; rescuers and survivors
+//! crowdsource photos of 100 damaged sites; two rescue teams carry
+//! satellite radios (gateways). The command center watches its obtained
+//! coverage grow.
+//!
+//! Compares the paper's scheme against the content-oblivious baseline on
+//! the *same* world and prints the trajectory of both.
+//!
+//! ```sh
+//! cargo run --release --example disaster_recovery
+//! ```
+
+use photodtn::contacts::synth::{CommunityTraceGenerator, TraceStyle};
+use photodtn::schemes::{OurScheme, SprayAndWait};
+use photodtn::sim::{CommandCenterMode, SimConfig, Simulation};
+
+const SEED: u64 = 7;
+
+fn main() {
+    // 40 responders moving around a 3 km × 3 km town for 72 hours,
+    // organized in teams of five (teams meet internally far more often).
+    let mut gen = CommunityTraceGenerator::new(TraceStyle::MitLike);
+    gen.num_nodes = 40;
+    gen.duration_hours = 72.0;
+    gen.community_size = 5;
+    gen.intra_mean_hours = 6.0;
+    gen.inter_mean_hours = 60.0;
+    let trace = gen.generate(SEED);
+
+    let mut config = SimConfig::mit_default()
+        .with_photos_per_hour(120.0)
+        .with_command_center(CommandCenterMode::Gateways {
+            fraction: 0.05, // two satellite radios among 40 responders
+            period: 3600.0, // hourly uplink passes
+            window: 300.0,
+        });
+    config.region = (3000.0, 3000.0);
+    config.num_pois = 100;
+
+    println!(
+        "town scenario: {} responders, {} contacts, {} PoIs, gateways with hourly uplink\n",
+        trace.num_nodes(),
+        trace.len(),
+        config.num_pois
+    );
+
+    let ours = Simulation::new(&config, &trace, SEED).run(&mut OurScheme::new());
+    let spray = Simulation::new(&config, &trace, SEED).run(&mut SprayAndWait::new());
+
+    println!(
+        "{:>6} | {:>23} | {:>23}",
+        "t (h)", "ours: point% aspect°", "spray&wait: point% aspect°"
+    );
+    for (a, b) in ours.samples.iter().zip(&spray.samples).step_by(6) {
+        println!(
+            "{:>6.0} | {:>10.1}% {:>10.1}° | {:>10.1}% {:>10.1}°",
+            a.t_hours,
+            100.0 * a.point_coverage,
+            a.aspect_coverage_deg,
+            100.0 * b.point_coverage,
+            b.aspect_coverage_deg
+        );
+    }
+
+    let (oe, se) = (ours.final_sample(), spray.final_sample());
+    println!(
+        "\nafter 72 h: ours covered {:.1}% of sites with {} photos; \
+         spray&wait covered {:.1}% with {} photos",
+        100.0 * oe.point_coverage,
+        oe.delivered_photos,
+        100.0 * se.point_coverage,
+        se.delivered_photos
+    );
+    assert!(
+        oe.point_coverage >= se.point_coverage,
+        "resource-aware selection should not lose to content-oblivious routing"
+    );
+}

@@ -1,0 +1,80 @@
+//! Mobility-coupled photo generation: photos are taken where the
+//! photographer actually is, not at a random point of the map.
+//!
+//! The same random-waypoint world is simulated twice under the paper's
+//! scheme — once with the default uniform photo placement (Table I's
+//! "photos are randomly generated"), once with photos pinned to the
+//! photographers' tracks. Mobility coupling concentrates photos along
+//! walkable paths, which changes which PoIs ever get covered.
+//!
+//! ```sh
+//! cargo run --release --example mobile_photographers
+//! ```
+
+use photodtn::contacts::synth::WaypointTraceGenerator;
+use photodtn::schemes::OurScheme;
+use photodtn::sim::{CommandCenterMode, SimConfig, Simulation};
+
+const SEED: u64 = 31;
+
+fn main() {
+    // 25 responders walking a 1.2 km × 1.2 km district for 48 h.
+    let mut gen = WaypointTraceGenerator::new(25, 1200.0, 48.0 * 3600.0);
+    gen.radio_range = 40.0;
+    let (trace, tracks) = gen.generate_with_tracks(SEED);
+
+    let mut config = SimConfig::mit_default()
+        .with_photos_per_hour(80.0)
+        .with_command_center(CommandCenterMode::Gateways {
+            fraction: 0.08,
+            period: 2.0 * 3600.0,
+            window: 120.0,
+        });
+    config.region = (1200.0, 1200.0);
+    config.num_pois = 60;
+
+    println!(
+        "waypoint world: {} nodes, {} contacts over {:.0} h\n",
+        trace.num_nodes(),
+        trace.len(),
+        trace.duration() / 3600.0
+    );
+
+    let uniform =
+        Simulation::new(&config, &trace, SEED).run(&mut OurScheme::new());
+    let mobile = Simulation::new(&config, &trace, SEED)
+        .with_mobility_placement(&tracks)
+        .run(&mut OurScheme::new());
+
+    println!(
+        "{:>6} | {:>22} | {:>22}",
+        "t (h)", "uniform placement", "photographer placement"
+    );
+    for (u, m) in uniform.samples.iter().zip(&mobile.samples).step_by(8) {
+        println!(
+            "{:>6.0} | {:>9.1}% {:>10.1}° | {:>9.1}% {:>10.1}°",
+            u.t_hours,
+            100.0 * u.point_coverage,
+            u.aspect_coverage_deg,
+            100.0 * m.point_coverage,
+            m.aspect_coverage_deg,
+        );
+    }
+    let (u, m) = (uniform.final_sample(), mobile.final_sample());
+    println!(
+        "\nuniform: {:.1}% of PoIs, {} photos delivered (mean latency {:.1} h)",
+        100.0 * u.point_coverage,
+        u.delivered_photos,
+        u.mean_latency_hours
+    );
+    println!(
+        "mobile : {:.1}% of PoIs, {} photos delivered (mean latency {:.1} h)",
+        100.0 * m.point_coverage,
+        m.delivered_photos,
+        m.mean_latency_hours
+    );
+    println!(
+        "\nmobility coupling makes coverage path-dependent: PoIs off the walked\n\
+         paths stay dark no matter how clever the routing is."
+    );
+}

@@ -1,0 +1,16 @@
+#!/bin/bash
+# Regenerates every figure of the paper's evaluation plus the extended
+# lineup and the design-choice ablations. Outputs land in results/.
+# Figure binaries accept --runs N (the paper averages 50).
+set -x
+mkdir -p results
+./target/release/fig3 --runs 5                     > results/fig3.txt 2>&1
+./target/release/fig5 --runs 3                     > results/fig5.txt 2>&1
+./target/release/fig5 --runs 2 --extended          > results/fig5_extended.txt 2>&1
+./target/release/fig6 --runs 3                     > results/fig6.txt 2>&1
+./target/release/fig7 --trace mit --runs 2         > results/fig7_mit.txt 2>&1
+./target/release/fig7 --trace cambridge --runs 2   > results/fig7_cambridge.txt 2>&1
+./target/release/fig8 --trace mit --runs 2         > results/fig8_mit.txt 2>&1
+./target/release/fig8 --trace cambridge --runs 2   > results/fig8_cambridge.txt 2>&1
+./target/release/ablations --runs 2                > results/ablations.txt 2>&1
+echo ALL_FIGS_DONE

@@ -1,0 +1,61 @@
+//! # photodtn — resource-aware photo crowdsourcing through DTNs
+//!
+//! A from-scratch Rust reproduction of *"Resource-Aware Photo
+//! Crowdsourcing Through Disruption Tolerant Networks"* (Wu, Wang, Hu,
+//! Zhang, Cao — ICDCS 2016).
+//!
+//! In disaster-recovery or battlefield scenarios the cellular network is
+//! damaged or overloaded, so crowdsourced photos must reach the command
+//! center over a Disruption Tolerant Network with scarce storage and
+//! bandwidth. This crate family implements the paper's answer:
+//!
+//! * a **photo coverage model** ([`coverage`]) that values photos from
+//!   lightweight geometric metadata (location, range, field-of-view,
+//!   orientation) — point coverage and aspect coverage of Points of
+//!   Interest, ordered lexicographically;
+//! * **metadata management** and **expected coverage**
+//!   ([`core`][mod@core]) — gossiped metadata with exponential
+//!   staleness invalidation, and coverage weighted by PROPHET delivery
+//!   probabilities ([`prophet`]);
+//! * the **photo selection algorithm** ([`core::selection`]) that
+//!   greedily reallocates photos at every DTN contact;
+//! * the **substrates** the paper evaluates on: contact traces and
+//!   synthetic trace generators ([`contacts`]), an event-driven DTN
+//!   simulator ([`sim`]) and the full baseline lineup ([`schemes`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use photodtn::contacts::synth::{CommunityTraceGenerator, TraceStyle};
+//! use photodtn::schemes::OurScheme;
+//! use photodtn::sim::{SimConfig, Simulation};
+//!
+//! // A small MIT-Reality-like scenario…
+//! let trace = CommunityTraceGenerator::new(TraceStyle::MitLike)
+//!     .with_num_nodes(12)
+//!     .with_duration_hours(24.0)
+//!     .generate(42);
+//! let config = SimConfig::mit_default().with_photos_per_hour(20.0);
+//!
+//! // …run under the paper's scheme.
+//! let result = Simulation::new(&config, &trace, 42).run(&mut OurScheme::new());
+//! let end = result.final_sample();
+//! println!("point coverage {:.1}%, {} photos delivered",
+//!          100.0 * end.point_coverage, end.delivered_photos);
+//! ```
+//!
+//! See `examples/` for the paper's prototype demo (`church_demo`), a
+//! disaster-recovery scenario (`disaster_recovery`) and trace analysis
+//! (`trace_analysis`); `crates/bench` regenerates every figure of the
+//! paper's evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use photodtn_contacts as contacts;
+pub use photodtn_core as core;
+pub use photodtn_coverage as coverage;
+pub use photodtn_geo as geo;
+pub use photodtn_prophet as prophet;
+pub use photodtn_schemes as schemes;
+pub use photodtn_sim as sim;

@@ -1,0 +1,55 @@
+//! The paper's headline qualitative result (Fig. 5): the scheme ordering
+//!
+//! `BestPossible ≥ Ours ≥ NoMetadata ≥ ModifiedSpray ≥ Spray&Wait`
+//!
+//! holds on a medium MIT-like scenario. Each comparison is averaged over
+//! two seeds and asserted with a small tolerance, so the test is stable
+//! without being vacuous.
+
+use photodtn::contacts::synth::{CommunityTraceGenerator, TraceStyle};
+use photodtn::schemes::{BestPossible, ModifiedSpray, OurScheme, SprayAndWait};
+use photodtn::sim::{Scheme, SimConfig, Simulation};
+
+const SEEDS: [u64; 2] = [1, 2];
+
+fn point_coverage(make: &dyn Fn() -> Box<dyn Scheme>) -> f64 {
+    let config = SimConfig::mit_default().with_photos_per_hour(120.0);
+    let mut total = 0.0;
+    for seed in SEEDS {
+        let trace = CommunityTraceGenerator::new(TraceStyle::MitLike)
+            .with_num_nodes(40)
+            .with_duration_hours(120.0)
+            .generate(seed);
+        let mut scheme = make();
+        total += Simulation::new(&config, &trace, seed)
+            .run(scheme.as_mut())
+            .final_sample()
+            .point_coverage;
+    }
+    total / SEEDS.len() as f64
+}
+
+#[test]
+fn fig5_scheme_ordering_holds() {
+    let best = point_coverage(&|| Box::new(BestPossible));
+    let ours = point_coverage(&|| Box::new(OurScheme::new()));
+    let nometa = point_coverage(&|| Box::new(OurScheme::no_metadata()));
+    let modified = point_coverage(&|| Box::new(ModifiedSpray::new()));
+    let spray = point_coverage(&|| Box::new(SprayAndWait::new()));
+
+    println!(
+        "point coverage: best {best:.3}, ours {ours:.3}, nometa {nometa:.3}, \
+         modified {modified:.3}, spray {spray:.3}"
+    );
+
+    const TOL: f64 = 0.03;
+    assert!(best >= ours - TOL, "BestPossible ({best}) below ours ({ours})");
+    assert!(ours >= nometa - TOL, "ours ({ours}) below NoMetadata ({nometa})");
+    assert!(nometa >= modified - TOL, "NoMetadata ({nometa}) below ModifiedSpray ({modified})");
+    assert!(modified >= spray - TOL, "ModifiedSpray ({modified}) below Spray&Wait ({spray})");
+    // and the headline gap is substantial, as in the paper
+    assert!(
+        ours >= spray + 0.10,
+        "ours ({ours}) should clearly dominate Spray&Wait ({spray})"
+    );
+}

@@ -1,0 +1,65 @@
+//! Table I of the paper pins every simulation parameter; this test pins
+//! our defaults to it so a drive-by "tuning" cannot silently de-calibrate
+//! the reproduction.
+
+use photodtn::contacts::synth::{CommunityTraceGenerator, TraceStyle};
+use photodtn::sim::{CommandCenterMode, SimConfig};
+
+#[test]
+fn simulation_defaults_match_table1() {
+    let c = SimConfig::mit_default();
+    // photo size: 4 MB
+    assert_eq!(c.photo_size, 4 * 1024 * 1024);
+    // effective angle θ = 30°
+    assert!((c.coverage.effective_angle.to_degrees() - 30.0).abs() < 1e-9);
+    // valid threshold P_thld = 0.8
+    assert_eq!(c.validity.p_threshold, 0.8);
+    // PROPHET (P_init, β, γ) = (0.75, 0.25, 0.98)
+    assert_eq!(c.prophet.p_init, 0.75);
+    assert_eq!(c.prophet.beta, 0.25);
+    assert_eq!(c.prophet.gamma, 0.98);
+    // region 6300 m × 6300 m, 250 PoIs, 250 photos/hour, 2 MB/s links
+    assert_eq!(c.region, (6300.0, 6300.0));
+    assert_eq!(c.num_pois, 250);
+    assert_eq!(c.photos_per_hour, 250.0);
+    assert_eq!(c.bandwidth, 2 * 1024 * 1024);
+    // ~2 % of participants can reach the command center
+    match c.command_center {
+        CommandCenterMode::Gateways { fraction, .. } => {
+            assert!((fraction - 0.02).abs() < 1e-12);
+        }
+        CommandCenterMode::TraceNode(_) => panic!("default mode must be gateways"),
+    }
+}
+
+#[test]
+fn trace_presets_match_table1() {
+    // # of nodes 97/54, simulation time 300/200 h (MIT / Cambridge06),
+    // scan intervals 5 min / 2 min.
+    let mit = CommunityTraceGenerator::new(TraceStyle::MitLike);
+    assert_eq!(mit.num_nodes, 97);
+    assert_eq!(mit.duration_hours, 300.0);
+    assert_eq!(mit.scan_interval, 300.0);
+    let cam = CommunityTraceGenerator::new(TraceStyle::CambridgeLike);
+    assert_eq!(cam.num_nodes, 54);
+    assert_eq!(cam.duration_hours, 200.0);
+    assert_eq!(cam.scan_interval, 120.0);
+}
+
+#[test]
+fn photo_parameter_ranges_match_table1() {
+    use photodtn::coverage::{PhotoGenerator, UniformGenerator};
+    use rand::{rngs::SmallRng, SeedableRng};
+    // orientation d ∈ [0°, 360°), fov φ ∈ [30°, 60°],
+    // coverage range r = [50, 100]·cot(φ/2) m
+    let mut gen = UniformGenerator::paper_default();
+    let mut rng = SmallRng::seed_from_u64(0);
+    for _ in 0..500 {
+        let p = gen.next_photo(&mut rng, 0.0);
+        let fov = p.meta.fov.to_degrees();
+        assert!((30.0..=60.0).contains(&fov));
+        let c = p.meta.range * (p.meta.fov.radians() / 2.0).tan();
+        assert!((49.9..=100.1).contains(&c), "range coefficient {c}");
+        assert_eq!(p.size, 4 * 1024 * 1024);
+    }
+}
