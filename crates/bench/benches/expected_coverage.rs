@@ -10,8 +10,8 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use photodtn_core::expected::enumerate::expected_coverage_enumerate;
 use photodtn_core::expected::montecarlo::expected_coverage_montecarlo;
 use photodtn_core::expected::segment::expected_coverage_exact;
-use photodtn_core::expected::DeliveryNode;
-use photodtn_coverage::{CoverageParams, PhotoMeta, Poi, PoiList};
+use photodtn_core::expected::{DeliveryNode, ExpectedEngine};
+use photodtn_coverage::{CoverageParams, PhotoCoverage, PhotoMeta, Poi, PoiList};
 use photodtn_geo::{Angle, Point};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -69,9 +69,59 @@ fn bench_algorithms(c: &mut Criterion) {
     group.finish();
 }
 
+/// Incremental gain preview: linear PoI scan vs the contact-scoped
+/// coverage index, while the PoI count scales.
+///
+/// `gain_of` walks the spatial grid per evaluation; `gain_of_indexed`
+/// consumes a [`PhotoCoverage`] table built once per contact, so each
+/// preview only touches the PoIs the candidate actually covers.
+fn bench_gain_paths(c: &mut Criterion) {
+    let params = CoverageParams::default();
+    let mut group = c.benchmark_group("expected_coverage/gain");
+    for num_pois in [10u32, 100, 1000] {
+        let (pois, nodes) = world(num_pois, 6, 8);
+        let mut engine = ExpectedEngine::new(&pois, params);
+        for n in &nodes {
+            let h = engine.add_node(n.delivery_prob);
+            engine.add_collection(h, n.metas.iter());
+        }
+        let probe = engine.add_node(0.5);
+        let metas: Vec<PhotoMeta> = nodes.iter().flat_map(|n| n.metas.iter().cloned()).collect();
+        let covs: Vec<PhotoCoverage> =
+            metas.iter().map(|m| PhotoCoverage::build(m, &pois, params)).collect();
+        group.bench_with_input(
+            BenchmarkId::new("gain_of_linear", num_pois),
+            &num_pois,
+            |b, _| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for m in &metas {
+                        acc += engine.gain_of(probe, m).aspect;
+                    }
+                    black_box(acc)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("gain_of_indexed", num_pois),
+            &num_pois,
+            |b, _| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for cov in &covs {
+                        acc += engine.gain_of_indexed(probe, cov).aspect;
+                    }
+                    black_box(acc)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_algorithms
+    targets = bench_algorithms, bench_gain_paths
 }
 criterion_main!(benches);

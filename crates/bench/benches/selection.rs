@@ -1,19 +1,27 @@
 //! Ablation benchmark for DESIGN.md decision #3: lazy (accelerated)
 //! greedy vs naive greedy in the per-contact photo reallocation, scaling
-//! the pool size.
+//! the pool size — plus the indexed-vs-linear comparison behind the
+//! spatial coverage index (DESIGN.md decision on the contact-scoped
+//! index), scaling the PoI count.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use photodtn_contacts::NodeId;
-use photodtn_core::selection::{reallocate, reallocate_naive, PeerState, SelectionInput};
+use photodtn_core::selection::{
+    reallocate, reallocate_lazy_linear, reallocate_naive, PeerState, SelectionInput,
+};
 use photodtn_coverage::{CoverageParams, Photo, PhotoMeta, Poi, PoiList};
 use photodtn_geo::{Angle, Point};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 fn world(pool: usize) -> (PoiList, Vec<Photo>, Vec<Photo>) {
+    world_with_pois(250, pool)
+}
+
+fn world_with_pois(num_pois: u32, pool: usize) -> (PoiList, Vec<Photo>, Vec<Photo>) {
     let mut rng = SmallRng::seed_from_u64(5);
     let pois = PoiList::new(
-        (0..250)
+        (0..num_pois)
             .map(|i| Poi::new(i, Point::new(rng.gen_range(0.0..6300.0), rng.gen_range(0.0..6300.0))))
             .collect(),
     );
@@ -66,9 +74,53 @@ fn bench_reallocate(c: &mut Criterion) {
     group.finish();
 }
 
+/// Indexed vs pre-index lazy vs naive greedy while the PoI count scales.
+///
+/// The pool is fixed at 120 photos so the only variable is how much of
+/// the map each gain evaluation has to look at: the linear paths scan
+/// every PoI per candidate, the indexed path only touches the PoIs
+/// inside each candidate's sector bounding box.
+fn bench_poi_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection/poi_scaling");
+    for num_pois in [10u32, 100, 1000] {
+        let (pois, a, b) = world_with_pois(num_pois, 120);
+        let input = SelectionInput {
+            pois: &pois,
+            params: CoverageParams::default(),
+            a: PeerState {
+                node: NodeId(0),
+                delivery_prob: 0.7,
+                capacity: 60 * 4 * 1024 * 1024,
+                photos: a,
+            },
+            b: PeerState {
+                node: NodeId(1),
+                delivery_prob: 0.2,
+                capacity: 60 * 4 * 1024 * 1024,
+                photos: b,
+            },
+            others: vec![],
+        };
+        group.bench_with_input(BenchmarkId::new("indexed", num_pois), &input, |bch, input| {
+            bch.iter(|| black_box(reallocate(input)));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("lazy_linear", num_pois),
+            &input,
+            |bch, input| {
+                bch.iter(|| black_box(reallocate_lazy_linear(input)));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("naive", num_pois), &input, |bch, input| {
+            bch.iter(|| black_box(reallocate_naive(input)));
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_reallocate
+    targets = bench_reallocate, bench_poi_scaling
 }
 criterion_main!(benches);

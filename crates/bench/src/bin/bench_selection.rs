@@ -1,0 +1,142 @@
+//! Selection hot-path harness: times one full contact reallocation on a
+//! large world (1000 PoIs, 200-photo pool, 4 MB photos) for the three
+//! greedy implementations and writes `BENCH_selection.json`.
+//!
+//! Unlike the criterion benches this is a plain binary with hand-rolled
+//! [`std::time::Instant`] timing, so it runs anywhere and emits a
+//! machine-readable artifact the acceptance gate can check: the indexed
+//! production path (`reallocate`) must beat the pre-change exhaustive
+//! greedy (`reallocate_naive`) by at least 3x on this workload.
+//!
+//! ```sh
+//! cargo run --release -p photodtn-bench --bin bench_selection
+//! ```
+
+use std::time::Instant;
+
+use photodtn_contacts::NodeId;
+use photodtn_core::selection::{
+    reallocate, reallocate_lazy_linear, reallocate_naive, PeerState, SelectionInput,
+    SelectionResult,
+};
+use photodtn_coverage::{CoverageParams, Photo, PhotoMeta, Poi, PoiList};
+use photodtn_geo::{Angle, Point};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const NUM_POIS: u32 = 1000;
+const POOL: u64 = 200;
+const PHOTO_BYTES: u64 = 4 * 1024 * 1024;
+const WARMUP: usize = 3;
+const ITERS: usize = 21;
+
+fn world() -> (PoiList, Vec<Photo>, Vec<Photo>) {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let pois = PoiList::new(
+        (0..NUM_POIS)
+            .map(|i| Poi::new(i, Point::new(rng.gen_range(0.0..6300.0), rng.gen_range(0.0..6300.0))))
+            .collect(),
+    );
+    let mut mk = |id: u64| {
+        Photo::new(
+            id,
+            PhotoMeta::new(
+                Point::new(rng.gen_range(0.0..6300.0), rng.gen_range(0.0..6300.0)),
+                rng.gen_range(100.0..300.0),
+                Angle::from_degrees(rng.gen_range(30.0..60.0)),
+                Angle::from_degrees(rng.gen_range(0.0..360.0)),
+            ),
+            0.0,
+        )
+        .with_size(PHOTO_BYTES)
+    };
+    let a: Vec<Photo> = (0..POOL / 2).map(&mut mk).collect();
+    let b: Vec<Photo> = (POOL / 2..POOL).map(&mut mk).collect();
+    (pois, a, b)
+}
+
+/// Median wall time of one `f(input)` call, in nanoseconds.
+fn median_ns(
+    input: &SelectionInput<'_>,
+    f: fn(&SelectionInput<'_>) -> SelectionResult,
+) -> (u128, SelectionResult) {
+    let mut last = f(input);
+    for _ in 1..WARMUP {
+        last = f(input);
+    }
+    let mut times: Vec<u128> = (0..ITERS)
+        .map(|_| {
+            let t = Instant::now();
+            last = f(input);
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    (times[ITERS / 2], last)
+}
+
+fn main() {
+    let (pois, a, b) = world();
+    let input = SelectionInput {
+        pois: &pois,
+        params: CoverageParams::default(),
+        a: PeerState {
+            node: NodeId(0),
+            delivery_prob: 0.7,
+            capacity: (POOL / 2) * PHOTO_BYTES,
+            photos: a,
+        },
+        b: PeerState {
+            node: NodeId(1),
+            delivery_prob: 0.2,
+            capacity: (POOL / 2) * PHOTO_BYTES,
+            photos: b,
+        },
+        others: vec![],
+    };
+
+    println!(
+        "bench_selection: one contact reallocation, {NUM_POIS} PoIs, {POOL}-photo pool, \
+         median of {ITERS} iterations"
+    );
+    println!("{:<14} {:>14} {:>12} {:>12} {:>10}", "strategy", "median ns", "evals", "refreshes", "commits");
+
+    let (naive_ns, naive) = median_ns(&input, reallocate_naive);
+    let (linear_ns, linear) = median_ns(&input, reallocate_lazy_linear);
+    let (indexed_ns, indexed) = median_ns(&input, reallocate);
+    assert_eq!(indexed, naive, "indexed and naive selections diverged");
+    assert_eq!(indexed, linear, "indexed and lazy-linear selections diverged");
+
+    for (name, ns, r) in [
+        ("naive", naive_ns, &naive),
+        ("lazy_linear", linear_ns, &linear),
+        ("indexed", indexed_ns, &indexed),
+    ] {
+        println!(
+            "{:<14} {:>14} {:>12} {:>12} {:>10}",
+            name, ns, r.stats.evaluations, r.stats.refreshes, r.stats.commits
+        );
+    }
+
+    let speedup_vs_naive = naive_ns as f64 / indexed_ns as f64;
+    let speedup_vs_linear = linear_ns as f64 / indexed_ns as f64;
+    println!("\nindexed vs naive:       {speedup_vs_naive:.2}x");
+    println!("indexed vs lazy_linear: {speedup_vs_linear:.2}x");
+
+    let json = format!(
+        "{{\n  \"workload\": {{\n    \"num_pois\": {NUM_POIS},\n    \"pool_photos\": {POOL},\n    \
+         \"photo_bytes\": {PHOTO_BYTES},\n    \"iterations\": {ITERS}\n  }},\n  \
+         \"median_ns_per_reallocation\": {{\n    \"naive\": {naive_ns},\n    \
+         \"lazy_linear\": {linear_ns},\n    \"indexed\": {indexed_ns}\n  }},\n  \
+         \"speedup_indexed_vs_naive\": {speedup_vs_naive:.3},\n  \
+         \"speedup_indexed_vs_lazy_linear\": {speedup_vs_linear:.3},\n  \
+         \"selections_identical\": true\n}}\n"
+    );
+    std::fs::write("BENCH_selection.json", &json).expect("write BENCH_selection.json");
+    eprintln!("bench_selection: wrote BENCH_selection.json");
+
+    assert!(
+        speedup_vs_naive >= 3.0,
+        "acceptance: expected >= 3x speedup over the pre-change engine, got {speedup_vs_naive:.2}x"
+    );
+}

@@ -8,10 +8,12 @@
 //! covers, so a candidate is evaluated in time proportional to the PoIs it
 //! touches.
 
-use photodtn_geo::{Angle, ArcSet};
+use std::cell::RefCell;
+
+use photodtn_geo::{Angle, Arc, ArcSet};
 
 use photodtn_coverage::{
-    AspectWeightMap, AspectWeights, Coverage, CoverageParams, PhotoMeta, PoiList,
+    AspectWeightMap, AspectWeights, Coverage, CoverageParams, PhotoCoverage, PhotoMeta, PoiList,
 };
 
 /// Incrementally maintained `C_ex` over a set of engine-nodes.
@@ -53,6 +55,10 @@ pub struct ExpectedEngine {
     /// Optional per-PoI aspect weights (§II-C extension); `None` means
     /// uniform weights everywhere.
     aspect_weights: Option<AspectWeightMap>,
+    /// Reusable buffers for gain evaluation. Interior mutability keeps
+    /// [`gain_of`](Self::gain_of) a `&self` method while letting repeated
+    /// previews run without heap allocation once the buffers are warm.
+    scratch: RefCell<Scratch>,
 }
 
 /// Per-PoI incremental state.
@@ -63,6 +69,18 @@ struct PoiState {
     coverers: Vec<(usize, ArcSet)>,
     /// `Π (1 − p_i)` over covering nodes.
     point_survival: f64,
+}
+
+/// Reusable gain-evaluation buffers: the candidate's aspect region, the
+/// region minus the node's own coverage, and the cut points of the
+/// survival integral. All three are cleared (not freed) between
+/// evaluations, so the steady state performs no allocation on the
+/// uniform-weight path.
+#[derive(Clone, Debug, Default)]
+struct Scratch {
+    region: ArcSet,
+    novel: ArcSet,
+    cuts: Vec<f64>,
 }
 
 impl ExpectedEngine {
@@ -76,6 +94,7 @@ impl ExpectedEngine {
             probs: Vec::new(),
             total: Coverage::ZERO,
             aspect_weights: None,
+            scratch: RefCell::new(Scratch::default()),
         }
     }
 
@@ -134,31 +153,92 @@ impl ExpectedEngine {
         if p <= 0.0 {
             return Coverage::ZERO;
         }
+        let mut scratch = self.scratch.borrow_mut();
+        let scratch = &mut *scratch;
         let mut gain = Coverage::ZERO;
         for poi in meta.covered_pois(&self.pois) {
-            let state = &self.states[poi.id.index()];
-            let own = state.coverers.iter().find(|(i, _)| *i == node).map(|(_, s)| s);
-            // Point: if this node is not yet a coverer, the survival
-            // product gains a factor (1 − p): E[pt] rises by survival · p.
-            if own.is_none() {
-                gain.point += poi.weight * state.point_survival * p;
-            }
-            // Aspect: on directions newly covered *by this node*, the
-            // survival product gains the factor (1 − p).
-            let Some(arc) = meta.aspect_arc(poi, self.params.effective_angle) else { continue };
-            let mut region = ArcSet::from_arc(arc);
-            if let Some(own_set) = own {
-                region = region.difference(own_set);
-            }
-            if region.is_empty() {
-                continue;
-            }
-            let weights = self.aspect_weights.as_ref().and_then(|m| m.get(&poi.id));
-            gain.aspect += poi.weight
-                * p
-                * integrate_survival(&state.coverers, node, &region, &self.probs, weights);
+            let arc = meta.aspect_arc(poi, self.params.effective_angle);
+            self.gain_at_poi(node, p, poi.id.index(), poi.weight, arc, scratch, &mut gain);
         }
         gain
+    }
+
+    /// Marginal gain of committing an indexed photo to `node` — the fast
+    /// path of the selection loop.
+    ///
+    /// `cov` is the photo's precomputed [`PhotoCoverage`] against the
+    /// engine's PoI list, built once per contact through the spatial grid.
+    /// The evaluation performs no geometry and (on the uniform-weight
+    /// path) no allocation: cost is proportional to the PoIs the photo
+    /// touches, and the result is identical to
+    /// [`gain_of`](Self::gain_of) on the metadata `cov` was built from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cov` references PoIs outside the engine's list, or if
+    /// `node` is not a valid handle.
+    #[must_use]
+    pub fn gain_of_indexed(&self, node: usize, cov: &PhotoCoverage) -> Coverage {
+        let p = self.probs[node];
+        if p <= 0.0 {
+            return Coverage::ZERO;
+        }
+        let mut scratch = self.scratch.borrow_mut();
+        let scratch = &mut *scratch;
+        let mut gain = Coverage::ZERO;
+        for e in cov.entries() {
+            self.gain_at_poi(node, p, e.poi.index(), e.weight, Some(e.arc), scratch, &mut gain);
+        }
+        gain
+    }
+
+    /// The gain contribution of one covered PoI — the single arithmetic
+    /// path shared by [`gain_of`](Self::gain_of) and
+    /// [`gain_of_indexed`](Self::gain_of_indexed), so the two produce
+    /// bit-identical results.
+    #[allow(clippy::too_many_arguments)]
+    fn gain_at_poi(
+        &self,
+        node: usize,
+        p: f64,
+        poi_index: usize,
+        weight: f64,
+        arc: Option<Arc>,
+        scratch: &mut Scratch,
+        gain: &mut Coverage,
+    ) {
+        let state = &self.states[poi_index];
+        let own = state.coverers.iter().find(|(i, _)| *i == node).map(|(_, s)| s);
+        // Point: if this node is not yet a coverer, the survival product
+        // gains a factor (1 − p): E[pt] rises by survival · p.
+        if own.is_none() {
+            gain.point += weight * state.point_survival * p;
+        }
+        // Aspect: on directions newly covered *by this node*, the survival
+        // product gains the factor (1 − p).
+        let Some(arc) = arc else { return };
+        scratch.region.assign_arc(arc);
+        let region = if let Some(own_set) = own {
+            scratch.region.difference_into(own_set, &mut scratch.novel);
+            &scratch.novel
+        } else {
+            &scratch.region
+        };
+        if region.is_empty() {
+            return;
+        }
+        let poi_id = photodtn_coverage::PoiId(poi_index as u32);
+        let weights = self.aspect_weights.as_ref().and_then(|m| m.get(&poi_id));
+        gain.aspect += weight
+            * p
+            * integrate_survival(
+                &state.coverers,
+                node,
+                region,
+                &self.probs,
+                weights,
+                &mut scratch.cuts,
+            );
     }
 
     /// Commits `meta` to `node`, returning the gain (identical to what
@@ -183,6 +263,43 @@ impl ExpectedEngine {
         gain
     }
 
+    /// Commits an indexed photo whose gain was already previewed by
+    /// [`gain_of_indexed`](Self::gain_of_indexed) — the *commit-from-
+    /// preview* step of the selection loop. The previewed gain is applied
+    /// to the running total without being recomputed, halving the
+    /// evaluation cost of every committed photo.
+    ///
+    /// `previewed` must be the gain returned by `gain_of_indexed(node,
+    /// cov)` against the engine's **current** state; passing a stale gain
+    /// corrupts the accumulated total.
+    pub fn commit_indexed(
+        &mut self,
+        node: usize,
+        cov: &PhotoCoverage,
+        previewed: Coverage,
+    ) -> Coverage {
+        let p = self.probs[node];
+        for e in cov.entries() {
+            let state = &mut self.states[e.poi.index()];
+            match state.coverers.iter_mut().find(|(i, _)| *i == node) {
+                Some((_, set)) => set.insert(e.arc),
+                None => {
+                    state.coverers.push((node, ArcSet::from_arc(e.arc)));
+                    state.point_survival *= 1.0 - p;
+                }
+            }
+        }
+        self.total += previewed;
+        previewed
+    }
+
+    /// Previews and commits an indexed photo in one call (the indexed
+    /// equivalent of [`add_photo`](Self::add_photo)).
+    pub fn add_photo_indexed(&mut self, node: usize, cov: &PhotoCoverage) -> Coverage {
+        let gain = self.gain_of_indexed(node, cov);
+        self.commit_indexed(node, cov, gain)
+    }
+
     /// Commits a whole collection to `node`, returning the cumulative
     /// gain.
     pub fn add_collection<'a, M>(&mut self, node: usize, metas: M) -> Coverage
@@ -202,28 +319,42 @@ impl ExpectedEngine {
 ///
 /// `node`'s own set never overlaps `region` (the caller subtracted it), so
 /// excluding it is belt-and-braces.
+///
+/// `cuts` is a caller-owned scratch buffer (cleared here) so the hot path
+/// allocates nothing once the buffer is warm. The unstable sort is
+/// value-equivalent to a stable one: `total_cmp` only ever calls two
+/// *bitwise-identical* floats equal, so reordering "equal" elements cannot
+/// change the sequence.
 fn integrate_survival(
     coverers: &[(usize, ArcSet)],
     node: usize,
     region: &ArcSet,
     probs: &[f64],
     weights: Option<&AspectWeights>,
+    cuts: &mut Vec<f64>,
 ) -> f64 {
     // Fast path: no other coverer and uniform weights — survival is 1
     // everywhere on region.
     if weights.is_none() && coverers.iter().all(|(i, _)| *i == node) {
         return region.measure();
     }
-    let mut cuts: Vec<f64> = region.endpoints();
+    cuts.clear();
+    for (lo, hi) in region.iter() {
+        cuts.push(lo);
+        cuts.push(hi);
+    }
     for (i, set) in coverers {
         if *i != node {
-            cuts.extend(set.endpoints());
+            for (lo, hi) in set.iter() {
+                cuts.push(lo);
+                cuts.push(hi);
+            }
         }
     }
     if let Some(w) = weights {
         cuts.extend(w.endpoints());
     }
-    cuts.sort_by(f64::total_cmp);
+    cuts.sort_unstable_by(|a, b| a.total_cmp(b));
     cuts.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
     let mut integral = 0.0;
     for w in cuts.windows(2) {
@@ -360,6 +491,61 @@ mod tests {
         let gain = engine.gain_of(relay, &shot(t0, 180.0));
         assert!(gain.point.abs() < 1e-12);
         assert!(gain.aspect > 0.0);
+    }
+
+    #[test]
+    fn indexed_path_matches_linear_bitwise() {
+        // The fast path must be *bit-identical* to the metadata scan, not
+        // merely close — selection determinism depends on it.
+        let params = CoverageParams::default();
+        let pois = pois();
+        let t0 = Point::new(0.0, 0.0);
+        let t1 = Point::new(500.0, 0.0);
+        let mut lin = ExpectedEngine::new(&pois, params);
+        let mut idx = ExpectedEngine::new(&pois, params);
+        let shots = [
+            (1.0, shot(t0, 90.0)),
+            (0.7, shot(t0, 0.0)),
+            (0.7, shot(t1, 45.0)),
+            (0.0, shot(t0, 30.0)), // zero-prob node still records arcs
+            (0.3, shot(t0, 90.0)),
+            (0.5, shot(t1, 200.0)),
+        ];
+        for (p, meta) in &shots {
+            let node = lin.add_node(*p);
+            assert_eq!(idx.add_node(*p), node);
+            let cov = PhotoCoverage::build(meta, &pois, params);
+            let g_lin = lin.gain_of(node, meta);
+            let g_idx = idx.gain_of_indexed(node, &cov);
+            assert_eq!(g_lin.point.to_bits(), g_idx.point.to_bits());
+            assert_eq!(g_lin.aspect.to_bits(), g_idx.aspect.to_bits());
+            lin.add_photo(node, meta);
+            idx.add_photo_indexed(node, &cov);
+        }
+        assert_eq!(lin.total().point.to_bits(), idx.total().point.to_bits());
+        assert_eq!(lin.total().aspect.to_bits(), idx.total().aspect.to_bits());
+    }
+
+    #[test]
+    fn commit_from_preview_equals_add_photo() {
+        let params = CoverageParams::default();
+        let pois = pois();
+        let t0 = Point::new(0.0, 0.0);
+        let mut a = ExpectedEngine::new(&pois, params);
+        let mut b = ExpectedEngine::new(&pois, params);
+        let na = a.add_node(0.6);
+        let nb = b.add_node(0.6);
+        for deg in [0.0, 40.0, 180.0, 40.0] {
+            let meta = shot(t0, deg);
+            let cov = PhotoCoverage::build(&meta, &pois, params);
+            let gain_a = a.add_photo(na, &meta);
+            let preview = b.gain_of_indexed(nb, &cov);
+            let gain_b = b.commit_indexed(nb, &cov, preview);
+            assert_eq!(gain_a.point.to_bits(), gain_b.point.to_bits());
+            assert_eq!(gain_a.aspect.to_bits(), gain_b.aspect.to_bits());
+        }
+        assert_eq!(a.total().point.to_bits(), b.total().point.to_bits());
+        assert_eq!(a.total().aspect.to_bits(), b.total().aspect.to_bits());
     }
 
     #[test]

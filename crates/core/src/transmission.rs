@@ -191,6 +191,7 @@ mod tests {
             b_selected: b.iter().map(|&i| PhotoId(i)).collect(),
             a_first,
             expected: photodtn_coverage::Coverage::ZERO,
+            stats: Default::default(),
         }
     }
 

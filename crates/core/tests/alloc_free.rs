@@ -1,0 +1,112 @@
+//! Verifies the engine's gain evaluation is allocation-free in steady
+//! state: after a warm-up pass has sized the scratch buffers, repeated
+//! `gain_of` / `gain_of_indexed` previews must not touch the heap.
+//!
+//! Uses a counting global allocator, so this lives in its own test binary
+//! — the counter would otherwise see allocations from unrelated tests.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+use photodtn_core::expected::ExpectedEngine;
+use photodtn_coverage::{CoverageParams, PhotoCoverage, PhotoMeta, Poi, PoiList};
+use photodtn_geo::{Angle, Point};
+
+fn world() -> (PoiList, Vec<PhotoMeta>) {
+    // A ring of PoIs and a fan of overlapping photos so gains exercise
+    // both the point and the aspect (integration) paths, including the
+    // multi-coverer cut loop.
+    let pois = PoiList::new(
+        (0..40)
+            .map(|i| {
+                let ang = f64::from(i) * std::f64::consts::TAU / 40.0;
+                Poi::new(i, Point::new(400.0 * ang.cos(), 400.0 * ang.sin()))
+            })
+            .collect(),
+    );
+    let metas = (0..25)
+        .map(|i| {
+            let deg = f64::from(i) * 14.4;
+            PhotoMeta::new(
+                Point::new(300.0 * deg.to_radians().cos(), 300.0 * deg.to_radians().sin()),
+                250.0,
+                Angle::from_degrees(60.0),
+                Angle::from_degrees(deg + 180.0),
+            )
+        })
+        .collect();
+    (pois, metas)
+}
+
+#[test]
+fn gain_evaluation_is_allocation_free_when_warm() {
+    let (pois, metas) = world();
+    let params = CoverageParams::default();
+    let covs: Vec<PhotoCoverage> =
+        metas.iter().map(|m| PhotoCoverage::build(m, &pois, params)).collect();
+
+    let mut engine = ExpectedEngine::new(&pois, params);
+    let relay = engine.add_node(0.6);
+    // Commit a few photos so previews hit populated coverer lists (the
+    // expensive integration path), then warm the scratch buffers.
+    for cov in covs.iter().take(8) {
+        engine.add_photo_indexed(relay, cov);
+    }
+    let probe = engine.add_node(0.4);
+    for (meta, cov) in metas.iter().zip(&covs) {
+        let _ = engine.gain_of(probe, meta);
+        let _ = engine.gain_of_indexed(probe, cov);
+    }
+
+    // Steady state: repeated previews must not allocate at all.
+    let before = allocations();
+    let mut acc = 0.0;
+    for _ in 0..50 {
+        for cov in &covs {
+            acc += engine.gain_of_indexed(probe, cov).aspect;
+        }
+    }
+    let indexed_allocs = allocations() - before;
+    assert_eq!(
+        indexed_allocs, 0,
+        "gain_of_indexed allocated {indexed_allocs} times in steady state"
+    );
+
+    // The linear path shares the same scratch buffers; its per-preview
+    // geometry (grid iterators) is allocation-free too.
+    let before = allocations();
+    for _ in 0..50 {
+        for meta in &metas {
+            acc += engine.gain_of(probe, meta).aspect;
+        }
+    }
+    let linear_allocs = allocations() - before;
+    assert_eq!(linear_allocs, 0, "gain_of allocated {linear_allocs} times in steady state");
+
+    assert!(acc.is_finite());
+}

@@ -42,6 +42,7 @@ prop_compose! {
             b_selected: dedup(b_sel, cap_b),
             a_first,
             expected: Coverage::ZERO,
+            stats: Default::default(),
         };
         (a, b, result, cap_a, cap_b, budget)
     }

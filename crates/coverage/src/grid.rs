@@ -1,0 +1,233 @@
+//! The coverage index: per-photo `(PoI, aspect arc)` lists precomputed
+//! through the spatial grid.
+//!
+//! Greedy selection (§III-D) evaluates the marginal gain of every pooled
+//! photo at every step of every contact. Recomputing "which PoIs does this
+//! photo cover, and which aspects of each?" on every evaluation repeats
+//! the same sector-containment trigonometry thousands of times per
+//! contact. A [`PhotoCoverage`] computes that answer **once** — querying
+//! only the grid cells the photo's sector bounding box intersects — and
+//! the expected-coverage engine then consumes the precomputed entries with
+//! no geometry at all in the hot loop.
+//!
+//! # Determinism
+//!
+//! `PhotoCoverage::build` visits PoIs in exactly the same order as
+//! [`PhotoMeta::covered_pois`] (both walk the grid row-major), and stores
+//! the identical `aspect_arc` values. Downstream floating-point
+//! accumulation therefore runs in the same order with the same inputs,
+//! which keeps selection results byte-identical to the unindexed scan.
+
+use photodtn_geo::Arc;
+
+use crate::{CoverageParams, PhotoMeta, PoiId, PoiList};
+
+/// One PoI a photo covers: the PoI's id and weight plus the aspect arc the
+/// photo contributes to it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CoverageEntry {
+    /// The covered PoI.
+    pub poi: PoiId,
+    /// The PoI's importance weight (copied for cache-friendly access).
+    pub weight: f64,
+    /// The aspect arc the photo covers on this PoI.
+    pub arc: Arc,
+}
+
+/// The precomputed coverage list of one photo against one PoI list: every
+/// PoI the photo covers, with the aspect arc it contributes.
+///
+/// Build once per (photo, contact), evaluate many times.
+///
+/// # Example
+///
+/// ```
+/// use photodtn_coverage::{CoverageParams, PhotoCoverage, PhotoMeta, Poi, PoiList};
+/// use photodtn_geo::{Angle, Point};
+///
+/// let pois = PoiList::new(vec![
+///     Poi::new(0, Point::new(100.0, 0.0)),
+///     Poi::new(1, Point::new(-100.0, 0.0)), // behind the camera
+/// ]);
+/// let meta = PhotoMeta::new(Point::new(0.0, 0.0), 150.0,
+///                           Angle::from_degrees(40.0), Angle::ZERO);
+/// let cov = PhotoCoverage::build(&meta, &pois, CoverageParams::default());
+/// assert_eq!(cov.len(), 1);
+/// assert_eq!(cov.entries()[0].poi.0, 0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PhotoCoverage {
+    entries: Vec<CoverageEntry>,
+}
+
+impl PhotoCoverage {
+    /// Computes the coverage list of `meta` over `pois`, querying only the
+    /// grid cells intersecting the photo sector's bounding box.
+    #[must_use]
+    pub fn build(meta: &PhotoMeta, pois: &PoiList, params: CoverageParams) -> Self {
+        let sector = meta.sector();
+        let bbox = sector.bbox();
+        let entries = pois
+            .in_bbox(&bbox)
+            .filter(|p| sector.contains(p.location))
+            .map(|p| CoverageEntry {
+                poi: p.id,
+                weight: p.weight,
+                // Identical to `meta.aspect_arc(p, θ)` for a contained PoI.
+                arc: Arc::centered(sector.viewing_direction(p.location), params.effective_angle),
+            })
+            .collect();
+        PhotoCoverage { entries }
+    }
+
+    /// The coverage entries, ordered as the grid yields them (row-major
+    /// cells, insertion order within a cell).
+    #[must_use]
+    pub fn entries(&self) -> &[CoverageEntry] {
+        &self.entries
+    }
+
+    /// Number of PoIs the photo covers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the photo covers no PoI at all (its gain is always zero).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over the ids of the covered PoIs.
+    pub fn pois(&self) -> impl Iterator<Item = PoiId> + '_ {
+        self.entries.iter().map(|e| e.poi)
+    }
+
+    /// Whether this photo covers the given PoI.
+    #[must_use]
+    pub fn covers(&self, poi: PoiId) -> bool {
+        self.entries.iter().any(|e| e.poi == poi)
+    }
+}
+
+/// Builds the coverage table of a photo pool: one [`PhotoCoverage`] per
+/// photo, in iteration order.
+#[must_use]
+pub fn build_coverage_table<'a, M>(
+    metas: M,
+    pois: &PoiList,
+    params: CoverageParams,
+) -> Vec<PhotoCoverage>
+where
+    M: IntoIterator<Item = &'a PhotoMeta>,
+{
+    metas.into_iter().map(|m| PhotoCoverage::build(m, pois, params)).collect()
+}
+
+/// Debug-build sanity check used by property tests: the indexed coverage
+/// list must equal the brute-force filter over the whole PoI list.
+#[must_use]
+pub fn matches_linear_scan(cov: &PhotoCoverage, meta: &PhotoMeta, pois: &PoiList) -> bool {
+    let brute: Vec<PoiId> = pois.iter().filter(|p| meta.covers(p)).map(|p| p.id).collect();
+    let mut indexed: Vec<PoiId> = cov.pois().collect();
+    indexed.sort_unstable();
+    let mut brute_sorted = brute;
+    brute_sorted.sort_unstable();
+    indexed == brute_sorted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Poi;
+    use photodtn_geo::{Angle, Point};
+
+    fn grid_pois(n: u32, spacing: f64) -> PoiList {
+        let side = (n as f64).sqrt().ceil() as u32;
+        PoiList::new(
+            (0..n)
+                .map(|i| {
+                    Poi::new(i, Point::new((i % side) as f64 * spacing, (i / side) as f64 * spacing))
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn build_matches_covered_pois_order_and_arcs() {
+        let pois = grid_pois(100, 80.0);
+        let params = CoverageParams::default();
+        for (x, y, fov, dir, r) in [
+            (350.0, 350.0, 45.0, 30.0, 250.0),
+            (0.0, 0.0, 60.0, 45.0, 400.0),
+            (700.0, 100.0, 30.0, 180.0, 300.0),
+            (-50.0, -50.0, 359.0, 0.0, 200.0),
+        ] {
+            let meta = PhotoMeta::new(
+                Point::new(x, y),
+                r,
+                Angle::from_degrees(fov),
+                Angle::from_degrees(dir),
+            );
+            let cov = PhotoCoverage::build(&meta, &pois, params);
+            let scan: Vec<(PoiId, Arc)> = meta
+                .covered_pois(&pois)
+                .map(|p| (p.id, meta.aspect_arc(p, params.effective_angle).unwrap()))
+                .collect();
+            let indexed: Vec<(PoiId, Arc)> = cov.entries().iter().map(|e| (e.poi, e.arc)).collect();
+            assert_eq!(indexed, scan, "divergence at ({x},{y}) fov={fov} dir={dir} r={r}");
+        }
+    }
+
+    #[test]
+    fn empty_when_photo_sees_nothing() {
+        let pois = grid_pois(9, 100.0);
+        let meta = PhotoMeta::new(
+            Point::new(5000.0, 5000.0),
+            100.0,
+            Angle::from_degrees(60.0),
+            Angle::ZERO,
+        );
+        let cov = PhotoCoverage::build(&meta, &pois, CoverageParams::default());
+        assert!(cov.is_empty());
+        assert_eq!(cov.len(), 0);
+        assert!(!cov.covers(PoiId(0)));
+    }
+
+    #[test]
+    fn covers_and_weights() {
+        let pois = PoiList::new(vec![
+            Poi::with_weight(0, Point::new(50.0, 0.0), 2.5),
+            Poi::new(1, Point::new(5000.0, 0.0)),
+        ]);
+        let meta =
+            PhotoMeta::new(Point::new(0.0, 0.0), 100.0, Angle::from_degrees(60.0), Angle::ZERO);
+        let cov = PhotoCoverage::build(&meta, &pois, CoverageParams::default());
+        assert!(cov.covers(PoiId(0)));
+        assert!(!cov.covers(PoiId(1)));
+        assert_eq!(cov.entries()[0].weight, 2.5);
+        assert!(matches_linear_scan(&cov, &meta, &pois));
+    }
+
+    #[test]
+    fn table_builder_aligns_with_input() {
+        let pois = grid_pois(16, 100.0);
+        let params = CoverageParams::default();
+        let metas: Vec<PhotoMeta> = (0..5)
+            .map(|i| {
+                PhotoMeta::new(
+                    Point::new(i as f64 * 90.0, 100.0),
+                    150.0,
+                    Angle::from_degrees(50.0),
+                    Angle::from_degrees(i as f64 * 72.0),
+                )
+            })
+            .collect();
+        let table = build_coverage_table(metas.iter(), &pois, params);
+        assert_eq!(table.len(), metas.len());
+        for (m, cov) in metas.iter().zip(&table) {
+            assert!(matches_linear_scan(cov, m, &pois));
+        }
+    }
+}

@@ -44,6 +44,7 @@ mod collection;
 mod coverage;
 pub mod fullview;
 mod gen;
+mod grid;
 mod meta;
 mod photo;
 mod poi;
@@ -54,6 +55,7 @@ mod weight;
 pub use collection::PhotoCollection;
 pub use coverage::{aspect_set, covers_point, Coverage, CoverageParams};
 pub use gen::{PhotoGenerator, TargetedGenerator, UniformGenerator};
+pub use grid::{build_coverage_table, matches_linear_scan, CoverageEntry, PhotoCoverage};
 pub use meta::PhotoMeta;
 pub use photo::{ColorHistogram, Photo, PhotoId, DEFAULT_PHOTO_SIZE};
 pub use poi::{Poi, PoiId, PoiList};

@@ -174,6 +174,30 @@ impl PoiList {
         self.pois.iter()
     }
 
+    /// PoIs in the grid cells intersecting `bbox`, in the same row-major
+    /// cell order as [`in_disc`](Self::in_disc) — a *candidate set*: the
+    /// caller applies the precise containment test.
+    ///
+    /// Because any region's cells are visited in the one global row-major
+    /// order, filtering the output of `in_bbox` over a sub-box of a disc's
+    /// bounding box yields the surviving PoIs in exactly the same order as
+    /// filtering `in_disc` — the property the coverage index relies on to
+    /// keep floating-point accumulation order (and thus selection results)
+    /// identical to the scan it replaces.
+    pub fn in_bbox(&self, bbox: &photodtn_geo::BBox) -> impl Iterator<Item = &Poi> {
+        let lo_x = ((bbox.min.x - self.origin.x) / self.cell).floor().max(0.0) as usize;
+        let lo_y = ((bbox.min.y - self.origin.y) / self.cell).floor().max(0.0) as usize;
+        let hi_x =
+            (((bbox.max.x - self.origin.x) / self.cell).floor().max(0.0) as usize).min(self.nx - 1);
+        let hi_y =
+            (((bbox.max.y - self.origin.y) / self.cell).floor().max(0.0) as usize).min(self.ny - 1);
+        (lo_y..=hi_y.max(lo_y))
+            .flat_map(move |cy| (lo_x..=hi_x.max(lo_x)).map(move |cx| cy * self.nx + cx))
+            .filter_map(move |c| self.grid.get(c))
+            .flatten()
+            .map(move |&i| &self.pois[i as usize])
+    }
+
     /// PoIs within `radius` meters of `center`, via the grid index.
     ///
     /// This is the candidate set for a photo taken at `center` with

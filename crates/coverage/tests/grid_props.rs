@@ -1,0 +1,77 @@
+//! Property tests for the coverage index: the sector-scoped spatial-grid
+//! query behind [`PhotoCoverage`] must return *exactly* the PoIs the
+//! brute-force [`PhotoMeta::covers`] test accepts, in the same order as
+//! [`PhotoMeta::covered_pois`], with identical aspect arcs. Selection
+//! determinism rests on this equivalence.
+
+use photodtn_coverage::{
+    matches_linear_scan, CoverageParams, PhotoCoverage, PhotoMeta, Poi, PoiList,
+};
+use photodtn_geo::{Angle, Point};
+use proptest::prelude::*;
+
+/// Random PoI clouds of varying density: clustered enough that grid cells
+/// hold several PoIs, spread enough that many cells are empty.
+fn arb_pois() -> impl Strategy<Value = PoiList> {
+    prop::collection::vec(
+        (-800.0..800.0f64, -800.0..800.0f64, 0.1..3.0f64),
+        0..60,
+    )
+    .prop_map(|pts| {
+        PoiList::new(
+            pts.into_iter()
+                .enumerate()
+                .map(|(i, (x, y, w))| Poi::with_weight(i as u32, Point::new(x, y), w))
+                .collect(),
+        )
+    })
+}
+
+fn arb_meta() -> impl Strategy<Value = PhotoMeta> {
+    (-900.0..900.0f64, -900.0..900.0f64, 1.0..359.0f64, 0.0..360.0f64, 0.0..500.0f64).prop_map(
+        |(x, y, fov, dir, r)| {
+            PhotoMeta::new(Point::new(x, y), r, Angle::from_degrees(fov), Angle::from_degrees(dir))
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn grid_query_equals_brute_force_set(pois in arb_pois(), meta in arb_meta()) {
+        let cov = PhotoCoverage::build(&meta, &pois, CoverageParams::default());
+        prop_assert!(
+            matches_linear_scan(&cov, &meta, &pois),
+            "indexed {:?} != brute-force {:?}",
+            cov.pois().collect::<Vec<_>>(),
+            pois.iter().filter(|p| meta.covers(p)).map(|p| p.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn grid_query_preserves_scan_order_and_arcs(pois in arb_pois(), meta in arb_meta()) {
+        let params = CoverageParams::default();
+        let cov = PhotoCoverage::build(&meta, &pois, params);
+        let scan: Vec<_> = meta
+            .covered_pois(&pois)
+            .map(|p| (p.id, p.weight, meta.aspect_arc(p, params.effective_angle).unwrap()))
+            .collect();
+        let indexed: Vec<_> = cov.entries().iter().map(|e| (e.poi, e.weight, e.arc)).collect();
+        prop_assert_eq!(indexed, scan);
+    }
+
+    #[test]
+    fn weights_and_flags_consistent(pois in arb_pois(), meta in arb_meta()) {
+        let cov = PhotoCoverage::build(&meta, &pois, CoverageParams::default());
+        prop_assert_eq!(cov.len(), cov.entries().len());
+        #[allow(clippy::len_zero)]
+        {
+            prop_assert_eq!(cov.is_empty(), cov.len() == 0);
+        }
+        for e in cov.entries() {
+            prop_assert!(cov.covers(e.poi));
+            prop_assert_eq!(e.weight, pois[e.poi].weight);
+        }
+    }
+}

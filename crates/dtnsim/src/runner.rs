@@ -35,6 +35,13 @@ impl AveragedSeries {
 /// Every run gets its own world (PoIs, gateways, photo schedule) derived
 /// from its seed, exactly like independent simulation runs in the paper.
 ///
+/// Parallelism is bounded: at most
+/// [`std::thread::available_parallelism`] worker threads pull seeds from
+/// a shared queue, so a 50-seed sweep on a 4-core box runs 4 simulations
+/// at a time instead of oversubscribing with 50 threads. Results are
+/// collected in seed order regardless of completion order, so the
+/// averaged series is identical to a sequential run.
+///
 /// # Panics
 ///
 /// Panics if `seeds` is empty or a worker thread panics.
@@ -49,24 +56,34 @@ where
     TF: Fn(u64) -> ContactTrace + Sync,
     SF: Fn() -> S + Sync,
 {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
     assert!(!seeds.is_empty(), "need at least one seed");
-    let results: Vec<SimResult> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = seeds
-            .iter()
-            .map(|&seed| {
-                let config = config.clone();
-                let trace_for_seed = &trace_for_seed;
-                let scheme_factory = &scheme_factory;
-                scope.spawn(move |_| {
-                    let trace = trace_for_seed(seed);
-                    let mut scheme = scheme_factory();
-                    Simulation::new(&config, &trace, seed).run(&mut scheme)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("simulation worker panicked")).collect()
-    })
-    .expect("crossbeam scope failed");
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get()).min(seeds.len());
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<SimResult>>> =
+        seeds.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&seed) = seeds.get(i) else { break };
+                let trace = trace_for_seed(seed);
+                let mut scheme = scheme_factory();
+                let result = Simulation::new(config, &trace, seed).run(&mut scheme);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    let results: Vec<SimResult> = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("simulation worker panicked before storing its result")
+        })
+        .collect();
 
     average(results)
 }

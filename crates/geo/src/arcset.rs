@@ -58,6 +58,20 @@ impl ArcSet {
         s
     }
 
+    /// Empties the set, keeping its allocation.
+    pub fn clear(&mut self) {
+        self.intervals.clear();
+    }
+
+    /// Replaces the contents with a single arc, reusing the allocation.
+    ///
+    /// Equivalent to `*self = ArcSet::from_arc(arc)` without the fresh
+    /// `Vec` — the building block of allocation-free hot paths.
+    pub fn assign_arc(&mut self, arc: Arc) {
+        self.intervals.clear();
+        self.insert(arc);
+    }
+
     /// Whether the set is empty (measure ≈ 0).
     #[must_use]
     pub fn is_empty(&self) -> bool {
@@ -170,6 +184,46 @@ impl ArcSet {
     #[must_use]
     pub fn difference(&self, other: &ArcSet) -> ArcSet {
         self.intersection(&other.complement())
+    }
+
+    /// Computes `self \ other` into `out`, reusing `out`'s allocation.
+    ///
+    /// Produces exactly the same value as [`difference`](Self::difference)
+    /// (same sweep, same epsilon handling) but generates the complement of
+    /// `other` on the fly instead of materializing it, so no intermediate
+    /// `Vec` is allocated and `out` only grows on first use.
+    pub fn difference_into(&self, other: &ArcSet, out: &mut ArcSet) {
+        out.intervals.clear();
+        // Lazily enumerate the complement intervals of `other`: the gaps
+        // between its intervals plus the leading/trailing gaps, skipping
+        // slivers ≤ ANGLE_EPS exactly like `complement` does.
+        let mut gaps = other
+            .intervals
+            .iter()
+            .copied()
+            .chain(std::iter::once((TAU, TAU)))
+            .scan(0.0_f64, |cursor, (lo, hi)| {
+                let gap = (*cursor, lo);
+                *cursor = hi;
+                Some(gap)
+            })
+            .filter(|&(lo, hi)| hi - lo > ANGLE_EPS);
+        let mut b = gaps.next();
+        let mut i = 0;
+        while i < self.intervals.len() {
+            let Some((blo, bhi)) = b else { break };
+            let (alo, ahi) = self.intervals[i];
+            let lo = alo.max(blo);
+            let hi = ahi.min(bhi);
+            if hi - lo > ANGLE_EPS {
+                out.intervals.push((lo, hi));
+            }
+            if ahi < bhi {
+                i += 1;
+            } else {
+                b = gaps.next();
+            }
+        }
     }
 
     /// Measure of the part of `arc` **not** already in the set — the
@@ -379,6 +433,38 @@ mod tests {
         let e = s.endpoints();
         assert_eq!(e.len(), 4);
         assert!(e.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn assign_arc_equals_from_arc() {
+        let mut s = ArcSet::from_arc(arc_deg(90.0, 45.0));
+        s.assign_arc(arc_deg(0.0, 20.0)); // wrapping arc, 2 pieces
+        assert_eq!(s, ArcSet::from_arc(arc_deg(0.0, 20.0)));
+        s.clear();
+        assert!(s.is_empty());
+        s.assign_arc(arc_deg(200.0, 10.0));
+        assert_eq!(s, ArcSet::from_arc(arc_deg(200.0, 10.0)));
+    }
+
+    #[test]
+    fn difference_into_matches_difference() {
+        let cases = [
+            (ArcSet::from_arc(arc_deg(0.0, 30.0)), ArcSet::from_arc(arc_deg(20.0, 20.0))),
+            (ArcSet::from_arc(arc_deg(90.0, 60.0)), ArcSet::new()),
+            (ArcSet::new(), ArcSet::from_arc(arc_deg(10.0, 10.0))),
+            (ArcSet::full(), ArcSet::from_arc(arc_deg(180.0, 90.0))),
+            (
+                [arc_deg(10.0, 5.0), arc_deg(100.0, 30.0), arc_deg(350.0, 15.0)]
+                    .into_iter()
+                    .collect(),
+                [arc_deg(95.0, 10.0), arc_deg(0.0, 8.0)].into_iter().collect(),
+            ),
+        ];
+        let mut out = ArcSet::new();
+        for (a, b) in &cases {
+            a.difference_into(b, &mut out);
+            assert_eq!(out, a.difference(b), "difference_into diverged for {a} \\ {b}");
+        }
     }
 
     #[test]

@@ -1,0 +1,221 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Angle, Point, Sector};
+
+/// An axis-aligned bounding box, used to restrict spatial-grid queries to
+/// the cells a query region can actually intersect.
+///
+/// The box is closed: points on the boundary are contained. An "empty" box
+/// degenerates to a single point (`min == max`).
+///
+/// # Example
+///
+/// ```
+/// use photodtn_geo::{BBox, Point};
+/// let b = BBox::new(Point::new(0.0, 0.0), Point::new(10.0, 5.0));
+/// assert!(b.contains(Point::new(10.0, 2.5)));
+/// assert!(!b.contains(Point::new(10.1, 2.5)));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BBox {
+    /// Corner with the smallest coordinates.
+    pub min: Point,
+    /// Corner with the largest coordinates.
+    pub max: Point,
+}
+
+impl BBox {
+    /// Creates a box from two corners, swapping coordinates as needed so
+    /// that `min ≤ max` componentwise.
+    #[must_use]
+    pub fn new(a: Point, b: Point) -> Self {
+        BBox {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// The degenerate box holding a single point.
+    #[must_use]
+    pub fn of_point(p: Point) -> Self {
+        BBox { min: p, max: p }
+    }
+
+    /// Grows the box (in place) to contain `p`.
+    pub fn expand(&mut self, p: Point) {
+        self.min = Point::new(self.min.x.min(p.x), self.min.y.min(p.y));
+        self.max = Point::new(self.max.x.max(p.x), self.max.y.max(p.y));
+    }
+
+    /// Whether `p` lies inside or on the boundary.
+    #[must_use]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Box width (`x` extent).
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Box height (`y` extent).
+    #[must_use]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+}
+
+impl fmt::Display for BBox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.min, self.max)
+    }
+}
+
+impl Sector {
+    /// The tight axis-aligned bounding box of the coverage sector.
+    ///
+    /// A sector's extreme points are its apex, the two endpoints of its
+    /// field-of-view edges at full range, and any of the four cardinal
+    /// directions (east/north/west/south) that fall inside the angular
+    /// span — where the bounding circle touches its own bounding box.
+    ///
+    /// For narrow fields of view this box is much smaller than the disc
+    /// bounding box `[l − r, l + r]²`, which is what makes sector-scoped
+    /// grid queries cheaper than disc queries.
+    #[must_use]
+    pub fn bbox(self) -> BBox {
+        let apex = self.apex();
+        let r = self.range();
+        if r <= 0.0 {
+            return BBox::of_point(apex);
+        }
+        let mut b = BBox::of_point(apex);
+        let half = Angle::from_radians(self.fov().radians() / 2.0);
+        b.expand(apex.offset(self.orientation() - half, r));
+        b.expand(apex.offset(self.orientation() + half, r));
+        // Cardinal directions inside the angular span pin the box to the
+        // full circle on that side. (An `Angle` is normalized into
+        // `[0, 2π)`, so `fov` can never be a full 2π; a near-full span
+        // simply includes all four cardinals.)
+        let in_span = |deg: f64| {
+            self.orientation().separation(Angle::from_degrees(deg)).radians()
+                <= self.fov().radians() / 2.0
+        };
+        if in_span(0.0) {
+            b.expand(Point::new(apex.x + r, apex.y));
+        }
+        if in_span(90.0) {
+            b.expand(Point::new(apex.x, apex.y + r));
+        }
+        if in_span(180.0) {
+            b.expand(Point::new(apex.x - r, apex.y));
+        }
+        if in_span(270.0) {
+            b.expand(Point::new(apex.x, apex.y - r));
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_normalizes_corners() {
+        let b = BBox::new(Point::new(5.0, -1.0), Point::new(-2.0, 3.0));
+        assert_eq!(b.min, Point::new(-2.0, -1.0));
+        assert_eq!(b.max, Point::new(5.0, 3.0));
+        assert!((b.width() - 7.0).abs() < 1e-12);
+        assert!((b.height() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expand_grows_monotonically() {
+        let mut b = BBox::of_point(Point::new(0.0, 0.0));
+        b.expand(Point::new(2.0, -3.0));
+        assert!(b.contains(Point::new(1.0, -1.0)));
+        assert!(b.contains(Point::new(2.0, -3.0)));
+        assert!(!b.contains(Point::new(2.1, 0.0)));
+    }
+
+    #[test]
+    fn narrow_sector_bbox_is_tight() {
+        // 40° FoV pointing east from the origin: the box must not extend
+        // west of the apex nor anywhere near the south/north extremes.
+        let s = Sector::new(Point::new(0.0, 0.0), 100.0, Angle::from_degrees(40.0), Angle::ZERO);
+        let b = s.bbox();
+        assert!(b.min.x >= -1e-9);
+        assert!((b.max.x - 100.0).abs() < 1e-9); // east cardinal in span
+        // y extent bounded by the FoV edge endpoints: 100·sin(20°)
+        let edge_y = 100.0 * 20f64.to_radians().sin();
+        assert!((b.max.y - edge_y).abs() < 1e-9);
+        assert!((b.min.y + edge_y).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sector_bbox_subset_of_disc_bbox() {
+        let s = Sector::new(
+            Point::new(10.0, -5.0),
+            80.0,
+            Angle::from_degrees(55.0),
+            Angle::from_degrees(200.0),
+        );
+        let b = s.bbox();
+        assert!(b.min.x >= 10.0 - 80.0 - 1e-9 && b.max.x <= 10.0 + 80.0 + 1e-9);
+        assert!(b.min.y >= -5.0 - 80.0 - 1e-9 && b.max.y <= -5.0 + 80.0 + 1e-9);
+    }
+
+    #[test]
+    fn near_full_fov_gives_disc_bbox() {
+        // Angle normalizes 2π to 0, so the widest representable FoV is
+        // just under 2π — its span still includes all four cardinals.
+        let s = Sector::new(
+            Point::new(1.0, 2.0),
+            50.0,
+            Angle::from_degrees(359.9),
+            Angle::ZERO,
+        );
+        let b = s.bbox();
+        // The 0.1° gap at west keeps min.x a hair inside 1−50; everything
+        // else touches the disc bbox exactly.
+        assert!((b.min.x - (1.0 - 50.0)).abs() < 1e-3);
+        assert!((b.max.x - (1.0 + 50.0)).abs() < 1e-9);
+        assert!((b.min.y - (2.0 - 50.0)).abs() < 1e-9);
+        assert!((b.max.y - (2.0 + 50.0)).abs() < 1e-9);
+        assert!(b.min.x >= 1.0 - 50.0 - 1e-9);
+    }
+
+    #[test]
+    fn empty_sector_bbox_is_apex() {
+        let s = Sector::new(Point::new(3.0, 4.0), 0.0, Angle::from_degrees(60.0), Angle::ZERO);
+        assert_eq!(s.bbox(), BBox::of_point(Point::new(3.0, 4.0)));
+    }
+
+    #[test]
+    fn contained_points_are_in_bbox() {
+        // Deterministic sweep: every point the sector contains must be in
+        // its bbox (the property the grid query relies on).
+        for (fov, dir) in [(30.0, 10.0), (90.0, 123.0), (200.0, 300.0), (359.0, 45.0)] {
+            let s = Sector::new(
+                Point::new(0.0, 0.0),
+                90.0,
+                Angle::from_degrees(fov),
+                Angle::from_degrees(dir),
+            );
+            let b = s.bbox();
+            for i in 0..90 {
+                for j in 0..30 {
+                    let p = Point::new(0.0, 0.0)
+                        .offset(Angle::from_degrees(i as f64 * 4.0), 3.0 * j as f64);
+                    if s.contains(p) {
+                        assert!(b.contains(p), "{p:?} in sector but outside bbox {b}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -36,6 +36,7 @@
 mod angle;
 mod arc;
 mod arcset;
+mod bbox;
 mod point;
 mod sector;
 mod segment;
@@ -43,6 +44,7 @@ mod segment;
 pub use angle::Angle;
 pub use arc::Arc;
 pub use arcset::ArcSet;
+pub use bbox::BBox;
 pub use point::{Point, Vec2};
 pub use sector::Sector;
 pub use segment::Segment;

@@ -102,4 +102,24 @@ proptest! {
             prop_assert!(lo >= 0.0 && hi <= TAU + EPS);
         }
     }
+
+    #[test]
+    fn difference_into_equals_difference(s in arb_arcset(), t in arb_arcset()) {
+        // The allocation-free in-place variant must be *value-identical*
+        // to the allocating one — the expected-coverage fast path depends
+        // on this to keep selection results byte-identical.
+        let mut out = ArcSet::new();
+        s.difference_into(&t, &mut out);
+        prop_assert_eq!(&out, &s.difference(&t));
+        // reuse with stale contents must still be exact
+        s.difference_into(&s, &mut out);
+        prop_assert_eq!(&out, &s.difference(&s));
+    }
+
+    #[test]
+    fn assign_arc_equals_from_arc(s in arb_arcset(), a in arb_arc()) {
+        let mut reused = s;
+        reused.assign_arc(a);
+        prop_assert_eq!(reused, ArcSet::from_arc(a));
+    }
 }

@@ -1,0 +1,56 @@
+//! Property-based tests for [`Sector::bbox`]: the sector-scoped grid query
+//! of the coverage index is only correct if every point a sector contains
+//! lies inside the sector's bounding box.
+
+use photodtn_geo::{Angle, Point, Sector};
+use proptest::prelude::*;
+
+fn arb_sector() -> impl Strategy<Value = Sector> {
+    (-500.0..500.0f64, -500.0..500.0f64, 0.0..300.0f64, 0.0..360.0f64, 0.0..360.0f64).prop_map(
+        |(x, y, r, fov, dir)| {
+            Sector::new(
+                Point::new(x, y),
+                r,
+                Angle::from_degrees(fov),
+                Angle::from_degrees(dir),
+            )
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn bbox_contains_every_covered_point(
+        s in arb_sector(),
+        px in -900.0..900.0f64,
+        py in -900.0..900.0f64,
+    ) {
+        let p = Point::new(px, py);
+        if s.contains(p) {
+            prop_assert!(s.bbox().contains(p), "{p:?} in {s} but outside {}", s.bbox());
+        }
+    }
+
+    #[test]
+    fn bbox_contains_interior_samples(s in arb_sector(), t in 0.0..1.0f64, u in 0.0..1.0f64) {
+        // Sample a point inside the sector by construction: direction
+        // within the FoV, distance within the range.
+        prop_assume!(s.range() > 0.0);
+        // Stay strictly inside the FoV edge and the range so floating-point
+        // rounding of offset/bearing cannot push the sample outside.
+        let half = s.fov().radians() / 2.0;
+        let dir = s.orientation() + Angle::from_radians(0.99 * half * (2.0 * t - 1.0));
+        let p = s.apex().offset(dir, 0.99 * s.range() * u);
+        if s.contains(p) {
+            prop_assert!(s.bbox().contains(p));
+        }
+    }
+
+    #[test]
+    fn bbox_within_disc_bbox(s in arb_sector()) {
+        let b = s.bbox();
+        let (a, r) = (s.apex(), s.range());
+        prop_assert!(b.min.x >= a.x - r - 1e-9 && b.max.x <= a.x + r + 1e-9);
+        prop_assert!(b.min.y >= a.y - r - 1e-9 && b.max.y <= a.y + r + 1e-9);
+    }
+}

@@ -23,7 +23,7 @@
 //! in-network selection coverage-aware.
 
 use photodtn_contacts::NodeId;
-use photodtn_coverage::{Coverage, Photo};
+use photodtn_coverage::{Coverage, Photo, PhotoCoverage};
 use photodtn_core::expected::ExpectedEngine;
 use photodtn_sim::{Scheme, SimCtx};
 
@@ -103,25 +103,34 @@ impl Scheme for CentralizedOracle {
         let metas: Vec<_> = ctx.cc_collection().metas().copied().collect();
         engine.add_collection(server, metas.iter());
 
+        // Snapshot the (id-ordered) collection and index each photo's
+        // coverage once; gains then come from the engine's fast path.
+        let photos: Vec<Photo> = ctx.collection(node).iter().copied().collect();
+        let covs: Vec<PhotoCoverage> =
+            photos.iter().map(|p| PhotoCoverage::build(&p.meta, &pois, params)).collect();
+        let mut taken = vec![false; photos.len()];
+
         let mut remaining = budget;
         let mut bytes = 0;
         loop {
-            let candidate = ctx
-                .collection(node)
+            let candidate = photos
                 .iter()
-                .filter(|p| p.size <= remaining)
-                .map(|p| {
-                    let g = engine.gain_of(server, &p.meta);
-                    ((g.point, g.aspect), *p)
-                })
-                .max_by(|(ga, pa), (gb, pb)| {
-                    ga.0.total_cmp(&gb.0).then(ga.1.total_cmp(&gb.1)).then(pb.id.cmp(&pa.id))
+                .enumerate()
+                .filter(|(i, p)| !taken[*i] && p.size <= remaining)
+                .map(|(i, p)| (engine.gain_of_indexed(server, &covs[i]), p.id, i))
+                .max_by(|(ga, ida, _), (gb, idb, _)| {
+                    ga.point
+                        .total_cmp(&gb.point)
+                        .then(ga.aspect.total_cmp(&gb.aspect))
+                        .then(idb.cmp(ida))
                 });
-            let Some((gain, photo)) = candidate else { break };
-            if Coverage::new(gain.0, gain.1) <= Coverage::ZERO {
+            let Some((gain, _, i)) = candidate else { break };
+            if Coverage::new(gain.point, gain.aspect) <= Coverage::ZERO {
                 break; // nothing this node carries helps the server
             }
-            engine.add_photo(server, &photo.meta);
+            let photo = photos[i];
+            engine.commit_indexed(server, &covs[i], gain);
+            taken[i] = true;
             ctx.deliver(photo);
             ctx.collection_mut(node).remove(photo.id);
             remaining -= photo.size;

@@ -6,7 +6,7 @@ use photodtn_core::selection::{reallocate, PeerState, SelectionInput};
 use photodtn_core::transmission::{execute_plan, plan_transfers};
 use photodtn_core::validity::ValidityModel;
 use photodtn_core::MetadataCache;
-use photodtn_coverage::{Photo, PhotoId, PhotoMeta};
+use photodtn_coverage::{Photo, PhotoCoverage, PhotoId, PhotoMeta};
 use photodtn_sim::{Scheme, SimCtx};
 
 use crate::value::PhotoValueCache;
@@ -235,25 +235,35 @@ impl Scheme for OurScheme {
         engine.add_collection(cc_node, cc_metas.iter());
         let uploader = engine.add_node(1.0);
 
+        // Snapshot the (id-ordered) collection and index each photo's
+        // coverage once; the greedy loop then evaluates gains through the
+        // engine's allocation-free fast path.
+        let photos: Vec<Photo> = ctx.collection(node).iter().copied().collect();
+        let covs: Vec<PhotoCoverage> =
+            photos.iter().map(|p| PhotoCoverage::build(&p.meta, &pois, params)).collect();
+        let mut taken = vec![false; photos.len()];
+
         let mut remaining = budget;
         let mut bytes = 0u64;
         loop {
-            let candidate = ctx
-                .collection(node)
+            let candidate = photos
                 .iter()
-                .filter(|p| p.size <= remaining)
-                .map(|p| {
-                    let g = engine.gain_of(uploader, &p.meta);
-                    ((g.point, g.aspect), p.id, *p)
-                })
+                .enumerate()
+                .filter(|(i, p)| !taken[*i] && p.size <= remaining)
+                .map(|(i, p)| (engine.gain_of_indexed(uploader, &covs[i]), p.id, i))
                 .max_by(|(ga, ida, _), (gb, idb, _)| {
-                    ga.0.total_cmp(&gb.0).then(ga.1.total_cmp(&gb.1)).then(idb.cmp(ida))
+                    ga.point
+                        .total_cmp(&gb.point)
+                        .then(ga.aspect.total_cmp(&gb.aspect))
+                        .then(idb.cmp(ida))
                 });
-            let Some((gain, _, photo)) = candidate else { break };
-            if gain.0 < 1e-9 && gain.1 < 1e-9 {
+            let Some((gain, _, i)) = candidate else { break };
+            if gain.point < 1e-9 && gain.aspect < 1e-9 {
                 break; // nothing left that adds coverage
             }
-            engine.add_photo(uploader, &photo.meta);
+            let photo = photos[i];
+            engine.commit_indexed(uploader, &covs[i], gain);
+            taken[i] = true;
             ctx.deliver(photo);
             ctx.collection_mut(node).remove(photo.id);
             remaining -= photo.size;
