@@ -42,10 +42,16 @@ fn bench_set_ops(c: &mut Criterion) {
     c.bench_function("arcset/intersection", |b| {
         b.iter(|| black_box(left.intersection(&right)))
     });
-    c.bench_function("arcset/difference", |b| b.iter(|| black_box(left.difference(&right))));
-    c.bench_function("arcset/complement", |b| b.iter(|| black_box(left.complement())));
+    c.bench_function("arcset/difference", |b| {
+        b.iter(|| black_box(left.difference(&right)))
+    });
+    c.bench_function("arcset/complement", |b| {
+        b.iter(|| black_box(left.complement()))
+    });
     let probe = Angle::from_degrees(123.0);
-    c.bench_function("arcset/contains", |b| b.iter(|| black_box(left.contains(probe))));
+    c.bench_function("arcset/contains", |b| {
+        b.iter(|| black_box(left.contains(probe)))
+    });
     let arc = Arc::centered(Angle::from_degrees(200.0), Angle::from_degrees(30.0));
     c.bench_function("arcset/uncovered_measure", |b| {
         b.iter(|| black_box(left.uncovered_measure(arc)))

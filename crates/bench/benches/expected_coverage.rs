@@ -20,7 +20,12 @@ fn world(num_pois: u32, nodes: usize, photos_per_node: usize) -> (PoiList, Vec<D
     let mut rng = SmallRng::seed_from_u64(9);
     let pois = PoiList::new(
         (0..num_pois)
-            .map(|i| Poi::new(i, Point::new(rng.gen_range(0.0..2000.0), rng.gen_range(0.0..2000.0))))
+            .map(|i| {
+                Poi::new(
+                    i,
+                    Point::new(rng.gen_range(0.0..2000.0), rng.gen_range(0.0..2000.0)),
+                )
+            })
             .collect(),
     );
     let nodes = (0..nodes)
@@ -55,7 +60,9 @@ fn bench_algorithms(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("montecarlo_1k", m), &m, |b, _| {
             b.iter(|| {
                 let mut rng = SmallRng::seed_from_u64(1);
-                black_box(expected_coverage_montecarlo(&pois, &nodes, params, 1000, &mut rng))
+                black_box(expected_coverage_montecarlo(
+                    &pois, &nodes, params, 1000, &mut rng,
+                ))
             });
         });
     }
@@ -87,8 +94,10 @@ fn bench_gain_paths(c: &mut Criterion) {
         }
         let probe = engine.add_node(0.5);
         let metas: Vec<PhotoMeta> = nodes.iter().flat_map(|n| n.metas.iter().cloned()).collect();
-        let covs: Vec<PhotoCoverage> =
-            metas.iter().map(|m| PhotoCoverage::build(m, &pois, params)).collect();
+        let covs: Vec<PhotoCoverage> = metas
+            .iter()
+            .map(|m| PhotoCoverage::build(m, &pois, params))
+            .collect();
         group.bench_with_input(
             BenchmarkId::new("gain_of_linear", num_pois),
             &num_pois,

@@ -22,7 +22,12 @@ fn world_with_pois(num_pois: u32, pool: usize) -> (PoiList, Vec<Photo>, Vec<Phot
     let mut rng = SmallRng::seed_from_u64(5);
     let pois = PoiList::new(
         (0..num_pois)
-            .map(|i| Poi::new(i, Point::new(rng.gen_range(0.0..6300.0), rng.gen_range(0.0..6300.0))))
+            .map(|i| {
+                Poi::new(
+                    i,
+                    Point::new(rng.gen_range(0.0..6300.0), rng.gen_range(0.0..6300.0)),
+                )
+            })
             .collect(),
     );
     let mut mk = |id: u64| {
@@ -101,9 +106,13 @@ fn bench_poi_scaling(c: &mut Criterion) {
             },
             others: vec![],
         };
-        group.bench_with_input(BenchmarkId::new("indexed", num_pois), &input, |bch, input| {
-            bch.iter(|| black_box(reallocate(input)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("indexed", num_pois),
+            &input,
+            |bch, input| {
+                bch.iter(|| black_box(reallocate(input)));
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("lazy_linear", num_pois),
             &input,

@@ -15,7 +15,14 @@ fn bench_schemes(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("simulator/48h_30nodes");
     group.sample_size(10);
-    for name in ["best-possible", "ours", "no-metadata", "modified-spray", "spray-wait", "photonet"] {
+    for name in [
+        "best-possible",
+        "ours",
+        "no-metadata",
+        "modified-spray",
+        "spray-wait",
+        "photonet",
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, name| {
             b.iter(|| {
                 let mut scheme = scheme_by_name(name);

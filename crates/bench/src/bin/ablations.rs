@@ -23,7 +23,10 @@ fn main() {
     let config = args.config();
 
     println!("Ablation 1: metadata validity threshold P_thld (Table I uses 0.8)");
-    println!("{:>8} | {:>8} {:>9} {:>10}", "P_thld", "point%", "aspect°", "delivered");
+    println!(
+        "{:>8} | {:>8} {:>9} {:>10}",
+        "P_thld", "point%", "aspect°", "delivered"
+    );
     let mut rows = Vec::new();
     for p_thld in [0.01, 0.2, 0.5, 0.8, 0.95, 0.999] {
         eprintln!("ablations: P_thld = {p_thld}…");
@@ -50,7 +53,10 @@ fn main() {
     }
 
     println!("\nAblation 2: relaying command-center acknowledgments");
-    println!("{:>10} | {:>8} {:>9} {:>10}", "ack relay", "point%", "aspect°", "delivered");
+    println!(
+        "{:>10} | {:>8} {:>9} {:>10}",
+        "ack relay", "point%", "aspect°", "delivered"
+    );
     for (label, relay) in [("on", true), ("off", false)] {
         eprintln!("ablations: ack relay {label}…");
         let s = run_averaged(
@@ -82,6 +88,9 @@ fn main() {
     }
 
     if args.json {
-        println!("\nJSON {}", serde_json::to_string_pretty(&rows).expect("rows serialize"));
+        println!(
+            "\nJSON {}",
+            serde_json::to_string_pretty(&rows).expect("rows serialize")
+        );
     }
 }

@@ -34,7 +34,12 @@ fn world() -> (PoiList, Vec<Photo>, Vec<Photo>) {
     let mut rng = SmallRng::seed_from_u64(5);
     let pois = PoiList::new(
         (0..NUM_POIS)
-            .map(|i| Poi::new(i, Point::new(rng.gen_range(0.0..6300.0), rng.gen_range(0.0..6300.0))))
+            .map(|i| {
+                Poi::new(
+                    i,
+                    Point::new(rng.gen_range(0.0..6300.0), rng.gen_range(0.0..6300.0)),
+                )
+            })
             .collect(),
     );
     let mut mk = |id: u64| {
@@ -99,13 +104,19 @@ fn main() {
         "bench_selection: one contact reallocation, {NUM_POIS} PoIs, {POOL}-photo pool, \
          median of {ITERS} iterations"
     );
-    println!("{:<14} {:>14} {:>12} {:>12} {:>10}", "strategy", "median ns", "evals", "refreshes", "commits");
+    println!(
+        "{:<14} {:>14} {:>12} {:>12} {:>10}",
+        "strategy", "median ns", "evals", "refreshes", "commits"
+    );
 
     let (naive_ns, naive) = median_ns(&input, reallocate_naive);
     let (linear_ns, linear) = median_ns(&input, reallocate_lazy_linear);
     let (indexed_ns, indexed) = median_ns(&input, reallocate);
     assert_eq!(indexed, naive, "indexed and naive selections diverged");
-    assert_eq!(indexed, linear, "indexed and lazy-linear selections diverged");
+    assert_eq!(
+        indexed, linear,
+        "indexed and lazy-linear selections diverged"
+    );
 
     for (name, ns, r) in [
         ("naive", naive_ns, &naive),

@@ -21,7 +21,10 @@ use photodtn_sim::Scheme;
 fn main() {
     let args = Args::parse();
 
-    println!("Fig. 3: §IV-B demo, averaged over {} random layouts/traces", args.runs);
+    println!(
+        "Fig. 3: §IV-B demo, averaged over {} random layouts/traces",
+        args.runs
+    );
     println!(
         "{:<12} {:>18} {:>22}",
         "scheme", "photos delivered", "church aspect covered"
@@ -48,7 +51,11 @@ fn main() {
                     &delivered,
                     &format!("Fig. 3 — {name} (seed {seed})"),
                 );
-                let dir = if std::path::Path::new("results").is_dir() { "results/" } else { "" };
+                let dir = if std::path::Path::new("results").is_dir() {
+                    "results/"
+                } else {
+                    ""
+                };
                 let path = format!("{dir}fig3_{name}.svg");
                 if std::fs::write(&path, svg).is_ok() {
                     eprintln!("fig3: wrote {path}");
@@ -56,7 +63,12 @@ fn main() {
             }
         }
         let n = args.runs as f64;
-        println!("{:<12} {:>18.1} {:>21.0}°", name, delivered_sum / n, aspect_sum / n);
+        println!(
+            "{:<12} {:>18.1} {:>21.0}°",
+            name,
+            delivered_sum / n,
+            aspect_sum / n
+        );
         rows.push(serde_json::json!({
             "figure": "fig3",
             "scheme": name,
@@ -67,6 +79,9 @@ fn main() {
     }
     println!("\n(paper: ours 6 / 346°, PhotoNet 12 / 160°, Spray&Wait 12 / 171°)");
     if args.json {
-        println!("\nJSON {}", serde_json::to_string_pretty(&rows).expect("rows serialize"));
+        println!(
+            "\nJSON {}",
+            serde_json::to_string_pretty(&rows).expect("rows serialize")
+        );
     }
 }

@@ -22,7 +22,12 @@ fn main() {
         .iter()
         .map(|name| {
             eprintln!("fig5: running {name} over {} seeds…", seeds.len());
-            run_averaged(&config, |seed| args.trace(seed), || scheme_by_name(name), &seeds)
+            run_averaged(
+                &config,
+                |seed| args.trace(seed),
+                || scheme_by_name(name),
+                &seeds,
+            )
         })
         .collect();
 

@@ -21,7 +21,12 @@ fn main() {
     for (label, cap) in [("10min", 600.0), ("2min", 120.0), ("30s", 30.0)] {
         eprintln!("fig6: ours with {label} contacts…");
         let config = args.config().with_contact_duration_cap(cap);
-        let mut s = run_averaged(&config, |seed| args.trace(seed), || scheme_by_name("ours"), &seeds);
+        let mut s = run_averaged(
+            &config,
+            |seed| args.trace(seed),
+            || scheme_by_name("ours"),
+            &seeds,
+        );
         s.scheme = format!("ours@{label}");
         series.push(s);
     }

@@ -38,7 +38,12 @@ fn main() {
         for gb in storages_gb {
             let config = args.config().with_storage_bytes((gb * GB) as u64);
             eprintln!("fig7: {name} at {gb} GB…");
-            let s = run_averaged(&config, |seed| args.trace(seed), || scheme_by_name(name), &seeds);
+            let s = run_averaged(
+                &config,
+                |seed| args.trace(seed),
+                || scheme_by_name(name),
+                &seeds,
+            );
             let f = s.final_sample();
             println!(
                 "{:<15} {:>6.2}GB | {:>7.1}% {:>8.1}° {:>10}",
@@ -61,6 +66,9 @@ fn main() {
         }
     }
     if args.json {
-        println!("\nJSON {}", serde_json::to_string_pretty(&rows).expect("rows serialize"));
+        println!(
+            "\nJSON {}",
+            serde_json::to_string_pretty(&rows).expect("rows serialize")
+        );
     }
 }

@@ -37,7 +37,12 @@ fn main() {
         for rate in rates {
             let config = args.config().with_photos_per_hour(rate);
             eprintln!("fig8: {name} at {rate} photos/h…");
-            let s = run_averaged(&config, |seed| args.trace(seed), || scheme_by_name(name), &seeds);
+            let s = run_averaged(
+                &config,
+                |seed| args.trace(seed),
+                || scheme_by_name(name),
+                &seeds,
+            );
             let f = s.final_sample();
             // aspect coverage per *covered* PoI — the paper's redundancy
             // discussion divides by covered PoIs (≈180° at 250/h).
@@ -48,7 +53,11 @@ fn main() {
             };
             println!(
                 "{:<15} {:>9.0} | {:>7.1}% {:>8.1}° {:>10} {:>13.0}°",
-                name, rate, 100.0 * f.point_coverage, f.aspect_coverage_deg, f.delivered_photos,
+                name,
+                rate,
+                100.0 * f.point_coverage,
+                f.aspect_coverage_deg,
+                f.delivered_photos,
                 per_covered
             );
             rows.push(serde_json::json!({
@@ -65,6 +74,9 @@ fn main() {
         }
     }
     if args.json {
-        println!("\nJSON {}", serde_json::to_string_pretty(&rows).expect("rows serialize"));
+        println!(
+            "\nJSON {}",
+            serde_json::to_string_pretty(&rows).expect("rows serialize")
+        );
     }
 }

@@ -74,7 +74,12 @@ impl DemoWorld {
         let participants_only = gen.generate(seed);
         let mut mule_visit = |events: &mut Vec<photodtn_contacts::ContactEvent>, t: f64| {
             let peer = NodeId(rng.gen_range(0..PARTICIPANTS));
-            events.push(photodtn_contacts::ContactEvent::new(peer, COMMAND_CENTER, t, t + 600.0));
+            events.push(photodtn_contacts::ContactEvent::new(
+                peer,
+                COMMAND_CENTER,
+                t,
+                t + 600.0,
+            ));
         };
         let (history_base, recent_base) = participants_only.split_tail(44);
         let t0 = recent_base.events().first().map_or(0.0, |e| e.start);
@@ -130,7 +135,14 @@ impl DemoWorld {
             ..SimConfig::mit_default()
         };
 
-        DemoWorld { history, recent, pois, photos, config, seed }
+        DemoWorld {
+            history,
+            recent,
+            pois,
+            photos,
+            config,
+            seed,
+        }
     }
 
     /// Number of upload opportunities in the demo window.
@@ -177,8 +189,10 @@ mod tests {
         let w2 = DemoWorld::build(1);
         assert_eq!(w1.photos.len(), 40);
         assert_eq!(w1.recent.len(), 48);
-        assert_eq!(w1.photos.iter().map(|(n, _)| n).collect::<Vec<_>>(),
-                   w2.photos.iter().map(|(n, _)| n).collect::<Vec<_>>());
+        assert_eq!(
+            w1.photos.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+            w2.photos.iter().map(|(n, _)| n).collect::<Vec<_>>()
+        );
         // a handful of upload opportunities, not dozens
         let uploads = w1.upload_contacts();
         assert!((1..=12).contains(&uploads), "uploads = {uploads}");
@@ -188,10 +202,19 @@ mod tests {
     fn some_photos_cover_the_church_some_do_not() {
         let w = DemoWorld::build(2);
         let church = &w.pois[photodtn_coverage::PoiId(0)];
-        let covering =
-            w.photos.iter().filter(|(_, p)| p.meta.covers(church)).count();
-        assert!(covering >= 6, "expected the aimed photos to cover: {covering}");
-        assert!(covering <= 20, "expected the wandering photos to miss: {covering}");
+        let covering = w
+            .photos
+            .iter()
+            .filter(|(_, p)| p.meta.covers(church))
+            .count();
+        assert!(
+            covering >= 6,
+            "expected the aimed photos to cover: {covering}"
+        );
+        assert!(
+            covering <= 20,
+            "expected the wandering photos to miss: {covering}"
+        );
     }
 
     #[test]

@@ -36,7 +36,13 @@ pub struct Args {
 
 impl Default for Args {
     fn default() -> Self {
-        Args { runs: 3, style: TraceStyle::MitLike, hours: None, json: true, extended: false }
+        Args {
+            runs: 3,
+            style: TraceStyle::MitLike,
+            hours: None,
+            json: true,
+            extended: false,
+        }
     }
 }
 
@@ -79,7 +85,9 @@ impl Args {
                 }
                 "--hours" => {
                     args.hours = Some(
-                        it.next().and_then(|v| v.parse().ok()).expect("--hours needs a number"),
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .expect("--hours needs a number"),
                     );
                 }
                 "--no-json" => args.json = false,
@@ -119,7 +127,13 @@ impl Args {
 }
 
 /// Identifier of every scheme in the Fig. 5–8 lineup.
-pub const LINEUP: &[&str] = &["best-possible", "ours", "no-metadata", "modified-spray", "spray-wait"];
+pub const LINEUP: &[&str] = &[
+    "best-possible",
+    "ours",
+    "no-metadata",
+    "modified-spray",
+    "spray-wait",
+];
 
 /// The extra baselines appended by `--extended`.
 pub const EXTENDED_LINEUP: &[&str] = &["epidemic", "prophet", "oracle"];
@@ -195,7 +209,10 @@ pub fn print_json(figure: &str, args: &Args, series: &[AveragedSeries]) {
             })
         })
         .collect();
-    println!("\nJSON {}", serde_json::to_string_pretty(&rows).expect("series serialize"));
+    println!(
+        "\nJSON {}",
+        serde_json::to_string_pretty(&rows).expect("series serialize")
+    );
 }
 
 #[cfg(test)]

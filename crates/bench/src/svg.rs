@@ -27,7 +27,10 @@ pub fn render_demo(world: &DemoWorld, delivered: &PhotoCollection, title: &str) 
         svg,
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{SIZE}" height="{SIZE}" viewBox="0 0 {SIZE} {SIZE}">"#
     );
-    let _ = writeln!(svg, r##"<rect width="{SIZE}" height="{SIZE}" fill="#fcfcf8"/>"##);
+    let _ = writeln!(
+        svg,
+        r##"<rect width="{SIZE}" height="{SIZE}" fill="#fcfcf8"/>"##
+    );
     let _ = writeln!(
         svg,
         r#"<text x="12" y="24" font-family="sans-serif" font-size="16">{title}</text>"#
@@ -54,7 +57,10 @@ pub fn render_demo(world: &DemoWorld, delivered: &PhotoCollection, title: &str) 
     for (lo, hi) in covered.iter() {
         arc_path(&mut svg, cx, cy, 28.0, lo, hi);
     }
-    let _ = writeln!(svg, r##"<circle cx="{cx:.1}" cy="{cy:.1}" r="6" fill="#1a1a96"/>"##);
+    let _ = writeln!(
+        svg,
+        r##"<circle cx="{cx:.1}" cy="{cy:.1}" r="6" fill="#1a1a96"/>"##
+    );
     let _ = writeln!(
         svg,
         r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="12">church ({:.0}&#176; covered)</text>"#,

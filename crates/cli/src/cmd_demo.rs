@@ -16,7 +16,10 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         world.recent.len(),
         world.upload_contacts()
     );
-    println!("\n{:<12} {:>18} {:>22}", "scheme", "photos delivered", "church aspect covered");
+    println!(
+        "\n{:<12} {:>18} {:>22}",
+        "scheme", "photos delivered", "church aspect covered"
+    );
     let mut schemes: Vec<Box<dyn Scheme>> = vec![
         Box::new(OurScheme::new()),
         Box::new(PhotoNet::new()),

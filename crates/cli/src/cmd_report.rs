@@ -56,12 +56,23 @@ fn print_markdown(rows: &[serde_json::Value]) {
     println!("| figure | trace | scheme | parameters | point % | aspect ° | delivered |");
     println!("|---|---|---|---|---|---|---|");
     for row in rows {
-        let get_s = |k: &str| row.get(k).and_then(|v| v.as_str()).unwrap_or("—").to_string();
+        let get_s = |k: &str| {
+            row.get(k)
+                .and_then(|v| v.as_str())
+                .unwrap_or("—")
+                .to_string()
+        };
         let get_f = |k: &str| row.get(k).and_then(serde_json::Value::as_f64);
         // parameters: any keys beyond the standard set
         let standard = [
-            "figure", "trace", "scheme", "runs", "point_coverage", "aspect_coverage_deg",
-            "delivered_photos", "ablation",
+            "figure",
+            "trace",
+            "scheme",
+            "runs",
+            "point_coverage",
+            "aspect_coverage_deg",
+            "delivered_photos",
+            "ablation",
         ];
         let params: Vec<String> = row
             .as_object()
@@ -79,7 +90,11 @@ fn print_markdown(rows: &[serde_json::Value]) {
                 .map_or_else(|| get_s("ablation"), String::from),
             get_s("trace"),
             get_s("scheme"),
-            if params.is_empty() { "—".to_string() } else { params.join(", ") },
+            if params.is_empty() {
+                "—".to_string()
+            } else {
+                params.join(", ")
+            },
             get_f("point_coverage").map_or("—".into(), |v| format!("{:.1}", 100.0 * v)),
             get_f("aspect_coverage_deg").map_or("—".into(), |v| format!("{v:.1}")),
             row.get("delivered_photos")

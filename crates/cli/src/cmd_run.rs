@@ -19,8 +19,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     // the trace: a file, or a synthetic style
     let trace = match flags.get("trace") {
         Some(path) => {
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
             parse_trace(&text).map_err(|e| e.to_string())?
         }
         None => {
@@ -62,7 +61,10 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let pois = sim.pois().clone();
     let (result, delivered) = sim.run_detailed(&mut scheme);
 
-    println!("{:>7} {:>9} {:>10} {:>11}", "t (h)", "point%", "aspect°", "delivered");
+    println!(
+        "{:>7} {:>9} {:>10} {:>11}",
+        "t (h)", "point%", "aspect°", "delivered"
+    );
     let step = (result.samples.len() / 12).max(1);
     for s in result.samples.iter().step_by(step) {
         println!(
@@ -78,7 +80,11 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         let metas: Vec<PhotoMeta> = delivered.metas().copied().collect();
         let report = FullViewReport::analyze(&pois, metas.iter(), config.coverage);
         println!("\nfull-view report on the delivered set:");
-        println!("  point-covered PoIs : {}/{}", report.point_covered_count(), pois.len());
+        println!(
+            "  point-covered PoIs : {}/{}",
+            report.point_covered_count(),
+            pois.len()
+        );
         println!("  full-view PoIs     : {}", report.full_view_count());
         println!(
             "  aspect redundancy  : {:.1}° total overlap across {} photos",

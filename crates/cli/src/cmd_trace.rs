@@ -26,14 +26,17 @@ fn convert(flags: &Flags) -> Result<(), String> {
         .get(1)
         .ok_or("trace convert: missing FILE argument")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let trace =
-        photodtn_contacts::one_format::parse_one_trace(&text).map_err(|e| e.to_string())?;
+    let trace = photodtn_contacts::one_format::parse_one_trace(&text).map_err(|e| e.to_string())?;
     let out_text = write_trace(&trace);
     match flags.get("out") {
         Some(out) => std::fs::write(out, out_text).map_err(|e| format!("writing {out}: {e}"))?,
         None => print!("{out_text}"),
     }
-    eprintln!("converted {} contacts over {} nodes", trace.len(), trace.num_nodes());
+    eprintln!(
+        "converted {} contacts over {} nodes",
+        trace.len(),
+        trace.num_nodes()
+    );
     Ok(())
 }
 
@@ -65,7 +68,11 @@ fn gen(flags: &Flags) -> Result<(), String> {
         Some(path) => std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?,
         None => print!("{text}"),
     }
-    eprintln!("generated {} contacts over {} nodes", trace.len(), trace.num_nodes());
+    eprintln!(
+        "generated {} contacts over {} nodes",
+        trace.len(),
+        trace.num_nodes()
+    );
     Ok(())
 }
 
@@ -92,7 +99,10 @@ fn info(flags: &Flags) -> Result<(), String> {
     println!("contacts              : {}", s.num_events);
     println!("duration              : {:.1} h", s.duration / 3600.0);
     println!("mean contact duration : {:.1} s", s.mean_contact_duration);
-    println!("mean inter-contact    : {:.2} h", s.mean_inter_contact / 3600.0);
+    println!(
+        "mean inter-contact    : {:.2} h",
+        s.mean_inter_contact / 3600.0
+    );
     println!("contacts/node/hour    : {:.3}", s.contacts_per_node_hour);
     let gaps = inter_contact_times(&trace);
     let lambda = exponential_mle(&gaps);
@@ -120,8 +130,10 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("t.trace");
         let out = path.to_str().unwrap().to_string();
-        run(&argv(&format!("gen --style mit --nodes 10 --hours 20 --seed 3 --out {out}")))
-            .unwrap();
+        run(&argv(&format!(
+            "gen --style mit --nodes 10 --hours 20 --seed 3 --out {out}"
+        )))
+        .unwrap();
         run(&argv(&format!("info {out}"))).unwrap();
         std::fs::remove_file(&path).unwrap();
     }
@@ -158,8 +170,10 @@ mod tests {
     #[test]
     fn waypoint_gen_works() {
         // stdout path (no --out): just exercise generation
-        run(&argv("gen --style waypoint --nodes 5 --hours 1 --seed 2 --out /tmp/photodtn-wp.trace"))
-            .unwrap();
+        run(&argv(
+            "gen --style waypoint --nodes 5 --hours 1 --seed 2 --out /tmp/photodtn-wp.trace",
+        ))
+        .unwrap();
         std::fs::remove_file("/tmp/photodtn-wp.trace").unwrap();
     }
 }

@@ -101,7 +101,11 @@ impl ContactEvent {
 
 impl fmt::Display for ContactEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}–{} @[{:.0}s, {:.0}s]", self.a, self.b, self.start, self.end)
+        write!(
+            f,
+            "{}–{} @[{:.0}s, {:.0}s]",
+            self.a, self.b, self.start, self.end
+        )
     }
 }
 

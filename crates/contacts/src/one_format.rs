@@ -29,7 +29,10 @@ pub struct ParseOneError {
 
 impl ParseOneError {
     fn new(line: usize, message: impl Into<String>) -> Self {
-        ParseOneError { line, message: message.into() }
+        ParseOneError {
+            line,
+            message: message.into(),
+        }
     }
 
     /// 1-based line number of the offending line.
@@ -84,18 +87,27 @@ pub fn parse_one_trace(text: &str) -> Result<ContactTrace, ParseOneError> {
         }
         let fields: Vec<&str> = line.split_whitespace().collect();
         if fields.len() != 5 {
-            return Err(ParseOneError::new(line_no, format!("expected 5 fields, found {}", fields.len())));
+            return Err(ParseOneError::new(
+                line_no,
+                format!("expected 5 fields, found {}", fields.len()),
+            ));
         }
         let time: f64 = fields[0]
             .parse()
             .map_err(|_| ParseOneError::new(line_no, format!("invalid time {:?}", fields[0])))?;
         if !fields[1].eq_ignore_ascii_case("CONN") {
-            return Err(ParseOneError::new(line_no, format!("expected CONN, found {:?}", fields[1])));
+            return Err(ParseOneError::new(
+                line_no,
+                format!("expected CONN, found {:?}", fields[1]),
+            ));
         }
         let a = parse_host(fields[2], line_no)?;
         let b = parse_host(fields[3], line_no)?;
         if a == b {
-            return Err(ParseOneError::new(line_no, format!("self-connection of host {a}")));
+            return Err(ParseOneError::new(
+                line_no,
+                format!("self-connection of host {a}"),
+            ));
         }
         last_time = last_time.max(time);
         max_node = max_node.max(a).max(b);
@@ -112,7 +124,10 @@ pub fn parse_one_trace(text: &str) -> Result<ContactTrace, ParseOneError> {
                 }
             }
             other => {
-                return Err(ParseOneError::new(line_no, format!("expected up/down, found {other:?}")));
+                return Err(ParseOneError::new(
+                    line_no,
+                    format!("expected up/down, found {other:?}"),
+                ));
             }
         }
     }
@@ -166,21 +181,34 @@ mod tests {
 
     #[test]
     fn redundant_up_and_unmatched_down_ignored() {
-        let t = parse_one_trace(
-            "0 CONN 1 2 up\n1 CONN 1 2 up\n5 CONN 1 2 down\n9 CONN 1 2 down\n",
-        )
-        .unwrap();
+        let t = parse_one_trace("0 CONN 1 2 up\n1 CONN 1 2 up\n5 CONN 1 2 down\n9 CONN 1 2 down\n")
+            .unwrap();
         assert_eq!(t.len(), 1);
         assert_eq!(t.events()[0].start, 0.0);
     }
 
     #[test]
     fn error_cases() {
-        assert!(parse_one_trace("1 CONN 1 2\n").unwrap_err().to_string().contains("5 fields"));
-        assert!(parse_one_trace("x CONN 1 2 up\n").unwrap_err().to_string().contains("invalid time"));
-        assert!(parse_one_trace("1 PING 1 2 up\n").unwrap_err().to_string().contains("expected CONN"));
-        assert!(parse_one_trace("1 CONN 1 1 up\n").unwrap_err().to_string().contains("self-connection"));
-        assert!(parse_one_trace("1 CONN 1 2 sideways\n").unwrap_err().to_string().contains("up/down"));
+        assert!(parse_one_trace("1 CONN 1 2\n")
+            .unwrap_err()
+            .to_string()
+            .contains("5 fields"));
+        assert!(parse_one_trace("x CONN 1 2 up\n")
+            .unwrap_err()
+            .to_string()
+            .contains("invalid time"));
+        assert!(parse_one_trace("1 PING 1 2 up\n")
+            .unwrap_err()
+            .to_string()
+            .contains("expected CONN"));
+        assert!(parse_one_trace("1 CONN 1 1 up\n")
+            .unwrap_err()
+            .to_string()
+            .contains("self-connection"));
+        assert!(parse_one_trace("1 CONN 1 2 sideways\n")
+            .unwrap_err()
+            .to_string()
+            .contains("up/down"));
         assert_eq!(parse_one_trace("1 CONN a b up\n").unwrap_err().line(), 1);
     }
 

@@ -89,17 +89,26 @@ pub fn parse_trace(text: &str) -> Result<ContactTrace, ParseTraceError> {
         }
         let fields: Vec<&str> = line.split_whitespace().collect();
         if fields.len() != 4 {
-            return Err(ParseTraceError { line: line_no, kind: ErrorKind::FieldCount(fields.len()) });
+            return Err(ParseTraceError {
+                line: line_no,
+                kind: ErrorKind::FieldCount(fields.len()),
+            });
         }
         let a = parse_u32(fields[0], line_no)?;
         let b = parse_u32(fields[1], line_no)?;
         let start = parse_f64(fields[2], line_no)?;
         let end = parse_f64(fields[3], line_no)?;
         if a == b {
-            return Err(ParseTraceError { line: line_no, kind: ErrorKind::SelfContact(a) });
+            return Err(ParseTraceError {
+                line: line_no,
+                kind: ErrorKind::SelfContact(a),
+            });
         }
         if end < start || !start.is_finite() || !end.is_finite() {
-            return Err(ParseTraceError { line: line_no, kind: ErrorKind::BadInterval(start, end) });
+            return Err(ParseTraceError {
+                line: line_no,
+                kind: ErrorKind::BadInterval(start, end),
+            });
         }
         events.push(ContactEvent::new(NodeId(a), NodeId(b), start, end));
     }
@@ -121,13 +130,17 @@ pub fn write_trace(trace: &ContactTrace) -> String {
 }
 
 fn parse_u32(s: &str, line: usize) -> Result<u32, ParseTraceError> {
-    s.parse::<u32>()
-        .map_err(|_| ParseTraceError { line, kind: ErrorKind::BadNumber(s.to_string()) })
+    s.parse::<u32>().map_err(|_| ParseTraceError {
+        line,
+        kind: ErrorKind::BadNumber(s.to_string()),
+    })
 }
 
 fn parse_f64(s: &str, line: usize) -> Result<f64, ParseTraceError> {
-    s.parse::<f64>()
-        .map_err(|_| ParseTraceError { line, kind: ErrorKind::BadNumber(s.to_string()) })
+    s.parse::<f64>().map_err(|_| ParseTraceError {
+        line,
+        kind: ErrorKind::BadNumber(s.to_string()),
+    })
 }
 
 #[cfg(test)]

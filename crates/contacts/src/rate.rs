@@ -34,7 +34,11 @@ impl RateMatrix {
     /// Creates an estimator observing from `start_time` (seconds).
     #[must_use]
     pub fn new(start_time: f64) -> Self {
-        RateMatrix { start_time, pair_counts: HashMap::new(), node_counts: HashMap::new() }
+        RateMatrix {
+            start_time,
+            pair_counts: HashMap::new(),
+            node_counts: HashMap::new(),
+        }
     }
 
     /// Builds an estimator from a full historical trace (observation

@@ -38,8 +38,11 @@ pub fn summarize(trace: &ContactTrace) -> TraceSummary {
         trace.events().iter().map(|e| e.duration()).sum::<f64>() / num_events as f64
     };
     let gaps = inter_contact_times(trace);
-    let mean_inter_contact =
-        if gaps.is_empty() { 0.0 } else { gaps.iter().sum::<f64>() / gaps.len() as f64 };
+    let mean_inter_contact = if gaps.is_empty() {
+        0.0
+    } else {
+        gaps.iter().sum::<f64>() / gaps.len() as f64
+    };
     let hours = duration / 3600.0;
     let contacts_per_node_hour = if hours > 0.0 && trace.num_nodes() > 0 {
         // each contact involves two nodes
@@ -63,7 +66,10 @@ pub fn summarize(trace: &ContactTrace) -> TraceSummary {
 pub fn inter_contact_times(trace: &ContactTrace) -> Vec<f64> {
     let mut per_pair: HashMap<(u32, u32), Vec<(f64, f64)>> = HashMap::new();
     for e in trace {
-        per_pair.entry((e.a.0, e.b.0)).or_default().push((e.start, e.end));
+        per_pair
+            .entry((e.a.0, e.b.0))
+            .or_default()
+            .push((e.start, e.end));
     }
     let mut gaps = Vec::new();
     for intervals in per_pair.values_mut() {
@@ -192,8 +198,9 @@ mod tests {
     fn ks_accepts_true_exponential() {
         let mut rng = SmallRng::seed_from_u64(9);
         let lambda = 0.01;
-        let samples: Vec<f64> =
-            (0..2000).map(|_| -rng.gen_range(f64::MIN_POSITIVE..1.0f64).ln() / lambda).collect();
+        let samples: Vec<f64> = (0..2000)
+            .map(|_| -rng.gen_range(f64::MIN_POSITIVE..1.0f64).ln() / lambda)
+            .collect();
         let fit = exponential_mle(&samples);
         assert!((fit - lambda).abs() / lambda < 0.1);
         let ks = ks_statistic_exponential(&samples, fit);

@@ -130,7 +130,11 @@ impl CommunityTraceGenerator {
         let inter = 1.0 / (self.inter_mean_hours * 3600.0);
         for a in 0..self.num_nodes {
             for b in (a + 1)..self.num_nodes {
-                let rate = if community[a as usize] == community[b as usize] { intra } else { inter };
+                let rate = if community[a as usize] == community[b as usize] {
+                    intra
+                } else {
+                    inter
+                };
                 gen.set_rate(NodeId(a), NodeId(b), rate);
             }
         }
@@ -205,7 +209,7 @@ mod tests {
         assert_eq!(c.len(), 97);
         let max = *c.iter().max().unwrap();
         assert_eq!(max, 96 / 8); // ceil(97/8) - 1 communities
-        // each community ≤ community_size
+                                 // each community ≤ community_size
         for k in 0..=max {
             let size = c.iter().filter(|&&x| x == k).count();
             assert!(size <= 8);

@@ -56,7 +56,10 @@ impl PairwiseExponentialGenerator {
     #[must_use]
     pub fn new(num_nodes: u32, duration: f64) -> Self {
         assert!(num_nodes >= 2, "need at least two nodes");
-        assert!(duration.is_finite() && duration > 0.0, "invalid duration {duration}");
+        assert!(
+            duration.is_finite() && duration > 0.0,
+            "invalid duration {duration}"
+        );
         let pairs = (num_nodes as usize) * (num_nodes as usize - 1) / 2;
         PairwiseExponentialGenerator {
             num_nodes,
@@ -195,7 +198,10 @@ mod tests {
         let gaps = stats::pair_inter_contact_times(&trace, NodeId(0), NodeId(1));
         assert!(gaps.len() > 500, "only {} gaps", gaps.len());
         let fit = stats::exponential_mle(&gaps);
-        assert!((fit - lambda).abs() / lambda < 0.15, "fit {fit} vs true {lambda}");
+        assert!(
+            (fit - lambda).abs() / lambda < 0.15,
+            "fit {fit} vs true {lambda}"
+        );
         let ks = stats::ks_statistic_exponential(&gaps, fit);
         assert!(ks < 0.06, "KS {ks}");
     }
@@ -220,7 +226,11 @@ mod tests {
         assert!(!trace.is_empty());
         for e in &trace {
             let rem = e.start % 300.0;
-            assert!(rem.abs() < 1e-6 || (300.0 - rem).abs() < 1e-6, "start {} not on scan", e.start);
+            assert!(
+                rem.abs() < 1e-6 || (300.0 - rem).abs() < 1e-6,
+                "start {} not on scan",
+                e.start
+            );
             assert!(e.duration() > 0.0);
         }
         // discretization loses short encounters: fewer recorded contacts

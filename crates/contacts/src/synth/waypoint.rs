@@ -84,8 +84,14 @@ impl WaypointTraceGenerator {
         // Simulate all node tracks.
         let mut states: Vec<NodeState> = (0..n)
             .map(|_| NodeState {
-                pos: (rng.gen_range(0.0..self.region), rng.gen_range(0.0..self.region)),
-                dest: (rng.gen_range(0.0..self.region), rng.gen_range(0.0..self.region)),
+                pos: (
+                    rng.gen_range(0.0..self.region),
+                    rng.gen_range(0.0..self.region),
+                ),
+                dest: (
+                    rng.gen_range(0.0..self.region),
+                    rng.gen_range(0.0..self.region),
+                ),
                 speed: rng.gen_range(self.speed.0..=self.speed.1),
                 pause_left: 0.0,
             })
@@ -131,7 +137,13 @@ impl WaypointTraceGenerator {
             }
             // advance movement
             for s in &mut states {
-                s.advance(self.sample_interval, self.region, self.speed, self.pause, &mut rng);
+                s.advance(
+                    self.sample_interval,
+                    self.region,
+                    self.speed,
+                    self.pause,
+                    &mut rng,
+                );
             }
         }
         // close open contacts at the end of the window
@@ -140,7 +152,12 @@ impl WaypointTraceGenerator {
                 if let Some(start) = in_contact[a * n + b] {
                     let end = (steps as f64) * self.sample_interval;
                     if end > start {
-                        events.push(ContactEvent::new(NodeId(a as u32), NodeId(b as u32), start, end));
+                        events.push(ContactEvent::new(
+                            NodeId(a as u32),
+                            NodeId(b as u32),
+                            start,
+                            end,
+                        ));
                     }
                 }
             }
@@ -230,7 +247,11 @@ impl NodeState {
             if reach >= dist {
                 // arrive, pause, pick a new waypoint
                 self.pos = self.dest;
-                remaining -= if self.speed > 0.0 { dist / self.speed } else { remaining };
+                remaining -= if self.speed > 0.0 {
+                    dist / self.speed
+                } else {
+                    remaining
+                };
                 self.pause_left = rng.gen_range(pause.0..=pause.1);
                 self.dest = (rng.gen_range(0.0..region), rng.gen_range(0.0..region));
                 self.speed = rng.gen_range(speed.0..=speed.1);
@@ -262,8 +283,12 @@ mod tests {
 
     #[test]
     fn denser_region_more_contacts() {
-        let sparse = WaypointTraceGenerator::new(10, 2000.0, 4.0 * 3600.0).generate(1).len();
-        let dense = WaypointTraceGenerator::new(10, 400.0, 4.0 * 3600.0).generate(1).len();
+        let sparse = WaypointTraceGenerator::new(10, 2000.0, 4.0 * 3600.0)
+            .generate(1)
+            .len();
+        let dense = WaypointTraceGenerator::new(10, 400.0, 4.0 * 3600.0)
+            .generate(1)
+            .len();
         assert!(dense > sparse, "dense {dense} vs sparse {sparse}");
     }
 
@@ -319,7 +344,11 @@ mod tests {
             let (ax, ay) = tracks.position(e.a, e.start);
             let (bx, by) = tracks.position(e.b, e.start);
             let d = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
-            assert!(d <= g.radio_range + 1.0, "nodes {}m apart at contact start", d);
+            assert!(
+                d <= g.radio_range + 1.0,
+                "nodes {}m apart at contact start",
+                d
+            );
         }
     }
 }

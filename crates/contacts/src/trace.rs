@@ -100,8 +100,14 @@ impl ContactTrace {
     pub fn split_tail(&self, tail: usize) -> (ContactTrace, ContactTrace) {
         let cut = self.events.len().saturating_sub(tail);
         (
-            ContactTrace { num_nodes: self.num_nodes, events: self.events[..cut].to_vec() },
-            ContactTrace { num_nodes: self.num_nodes, events: self.events[cut..].to_vec() },
+            ContactTrace {
+                num_nodes: self.num_nodes,
+                events: self.events[..cut].to_vec(),
+            },
+            ContactTrace {
+                num_nodes: self.num_nodes,
+                events: self.events[cut..].to_vec(),
+            },
         )
     }
 
@@ -115,7 +121,10 @@ impl ContactTrace {
             .iter()
             .map(|e| ContactEvent::new(e.a, e.b, e.start, e.start + seconds.max(0.0)))
             .collect();
-        ContactTrace { num_nodes: self.num_nodes, events }
+        ContactTrace {
+            num_nodes: self.num_nodes,
+            events,
+        }
     }
 
     /// Returns a copy with all event times shifted by `delta` seconds
@@ -128,7 +137,10 @@ impl ContactTrace {
             .iter()
             .map(|e| ContactEvent::new(e.a, e.b, e.start + delta, e.end + delta))
             .collect();
-        ContactTrace { num_nodes: self.num_nodes, events }
+        ContactTrace {
+            num_nodes: self.num_nodes,
+            events,
+        }
     }
 
     /// Returns a copy restricted to the first `hours` hours of the trace.
@@ -137,7 +149,12 @@ impl ContactTrace {
         let cutoff = hours * 3600.0;
         ContactTrace {
             num_nodes: self.num_nodes,
-            events: self.events.iter().filter(|e| e.start < cutoff).copied().collect(),
+            events: self
+                .events
+                .iter()
+                .filter(|e| e.start < cutoff)
+                .copied()
+                .collect(),
         }
     }
 }
@@ -212,7 +229,10 @@ mod tests {
     #[test]
     fn uniform_duration() {
         let t = sample().with_uniform_duration(30.0);
-        assert!(t.events().iter().all(|e| (e.duration() - 30.0).abs() < 1e-12));
+        assert!(t
+            .events()
+            .iter()
+            .all(|e| (e.duration() - 30.0).abs() < 1e-12));
     }
 
     #[test]

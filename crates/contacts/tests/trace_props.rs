@@ -7,16 +7,14 @@ use photodtn_contacts::{parse_trace, write_trace, ContactEvent, ContactTrace, No
 use proptest::prelude::*;
 
 fn arb_trace() -> impl Strategy<Value = ContactTrace> {
-    prop::collection::vec((0u32..12, 0u32..12, 0.0..1e5f64, 0.0..1e4f64), 0..40).prop_map(
-        |raw| {
-            let events: Vec<ContactEvent> = raw
-                .into_iter()
-                .filter(|(a, b, _, _)| a != b)
-                .map(|(a, b, start, dur)| ContactEvent::new(NodeId(a), NodeId(b), start, start + dur))
-                .collect();
-            ContactTrace::new(12, events)
-        },
-    )
+    prop::collection::vec((0u32..12, 0u32..12, 0.0..1e5f64, 0.0..1e4f64), 0..40).prop_map(|raw| {
+        let events: Vec<ContactEvent> = raw
+            .into_iter()
+            .filter(|(a, b, _, _)| a != b)
+            .map(|(a, b, start, dur)| ContactEvent::new(NodeId(a), NodeId(b), start, start + dur))
+            .collect();
+        ContactTrace::new(12, events)
+    })
 }
 
 proptest! {

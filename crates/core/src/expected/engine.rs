@@ -88,7 +88,13 @@ impl ExpectedEngine {
     #[must_use]
     pub fn new(pois: &PoiList, params: CoverageParams) -> Self {
         ExpectedEngine {
-            states: vec![PoiState { coverers: Vec::new(), point_survival: 1.0 }; pois.len()],
+            states: vec![
+                PoiState {
+                    coverers: Vec::new(),
+                    point_survival: 1.0
+                };
+                pois.len()
+            ],
             pois: pois.clone(),
             params,
             probs: Vec::new(),
@@ -187,7 +193,15 @@ impl ExpectedEngine {
         let scratch = &mut *scratch;
         let mut gain = Coverage::ZERO;
         for e in cov.entries() {
-            self.gain_at_poi(node, p, e.poi.index(), e.weight, Some(e.arc), scratch, &mut gain);
+            self.gain_at_poi(
+                node,
+                p,
+                e.poi.index(),
+                e.weight,
+                Some(e.arc),
+                scratch,
+                &mut gain,
+            );
         }
         gain
     }
@@ -208,7 +222,11 @@ impl ExpectedEngine {
         gain: &mut Coverage,
     ) {
         let state = &self.states[poi_index];
-        let own = state.coverers.iter().find(|(i, _)| *i == node).map(|(_, s)| s);
+        let own = state
+            .coverers
+            .iter()
+            .find(|(i, _)| *i == node)
+            .map(|(_, s)| s);
         // Point: if this node is not yet a coverer, the survival product
         // gains a factor (1 − p): E[pt] rises by survival · p.
         if own.is_none() {
@@ -249,7 +267,9 @@ impl ExpectedEngine {
         let touched: Vec<_> = meta.covered_pois(&self.pois).map(|poi| poi.id).collect();
         for id in touched {
             let poi = self.pois[id];
-            let Some(arc) = meta.aspect_arc(&poi, self.params.effective_angle) else { continue };
+            let Some(arc) = meta.aspect_arc(&poi, self.params.effective_angle) else {
+                continue;
+            };
             let state = &mut self.states[id.index()];
             match state.coverers.iter_mut().find(|(i, _)| *i == node) {
                 Some((_, set)) => set.insert(arc),
@@ -395,7 +415,12 @@ mod tests {
 
     fn shot(target: Point, deg: f64) -> PhotoMeta {
         let dir = Angle::from_degrees(deg);
-        PhotoMeta::new(target.offset(dir, 50.0), 80.0, Angle::from_degrees(40.0), dir + Angle::PI)
+        PhotoMeta::new(
+            target.offset(dir, 50.0),
+            80.0,
+            Angle::from_degrees(40.0),
+            dir + Angle::PI,
+        )
     }
 
     #[test]
@@ -414,8 +439,10 @@ mod tests {
             let n = engine.add_node(*p);
             engine.add_collection(n, metas.iter());
         }
-        let nodes: Vec<DeliveryNode> =
-            plan.iter().map(|(p, m)| DeliveryNode::new(*p, m.clone())).collect();
+        let nodes: Vec<DeliveryNode> = plan
+            .iter()
+            .map(|(p, m)| DeliveryNode::new(*p, m.clone()))
+            .collect();
         let batch = expected_coverage_exact(&pois(), &nodes, params);
         assert!((engine.total().point - batch.point).abs() < 1e-9);
         assert!((engine.total().aspect - batch.aspect).abs() < 1e-9);

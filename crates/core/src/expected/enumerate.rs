@@ -95,7 +95,12 @@ mod tests {
 
     fn shot(deg: f64) -> PhotoMeta {
         let dir = Angle::from_degrees(deg);
-        PhotoMeta::new(Point::new(0.0, 0.0).offset(dir, 50.0), 80.0, Angle::from_degrees(40.0), dir + Angle::PI)
+        PhotoMeta::new(
+            Point::new(0.0, 0.0).offset(dir, 50.0),
+            80.0,
+            Angle::from_degrees(40.0),
+            dir + Angle::PI,
+        )
     }
 
     #[test]

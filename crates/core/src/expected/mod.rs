@@ -60,7 +60,10 @@ impl DeliveryNode {
     /// Creates a node, clamping the probability into `[0, 1]`.
     #[must_use]
     pub fn new(delivery_prob: f64, metas: Vec<PhotoMeta>) -> Self {
-        DeliveryNode { delivery_prob: clamp_prob(delivery_prob), metas }
+        DeliveryNode {
+            delivery_prob: clamp_prob(delivery_prob),
+            metas,
+        }
     }
 }
 

@@ -40,7 +40,10 @@ pub fn expected_coverage_montecarlo<R: Rng + ?Sized>(
         acc.point += c.point;
         acc.aspect += c.aspect;
     }
-    Coverage::new(acc.point / f64::from(samples), acc.aspect / f64::from(samples))
+    Coverage::new(
+        acc.point / f64::from(samples),
+        acc.aspect / f64::from(samples),
+    )
 }
 
 #[cfg(test)]
@@ -58,7 +61,12 @@ mod tests {
 
     fn shot(deg: f64) -> PhotoMeta {
         let dir = Angle::from_degrees(deg);
-        PhotoMeta::new(Point::new(0.0, 0.0).offset(dir, 50.0), 80.0, Angle::from_degrees(40.0), dir + Angle::PI)
+        PhotoMeta::new(
+            Point::new(0.0, 0.0).offset(dir, 50.0),
+            80.0,
+            Angle::from_degrees(40.0),
+            dir + Angle::PI,
+        )
     }
 
     #[test]
@@ -72,7 +80,12 @@ mod tests {
         let exact = expected_coverage_exact(&pois(), &nodes, params);
         let mut rng = SmallRng::seed_from_u64(1);
         let est = expected_coverage_montecarlo(&pois(), &nodes, params, 20_000, &mut rng);
-        assert!((est.point - exact.point).abs() < 0.02, "{} vs {}", est.point, exact.point);
+        assert!(
+            (est.point - exact.point).abs() < 0.02,
+            "{} vs {}",
+            est.point,
+            exact.point
+        );
         assert!(
             (est.aspect - exact.aspect).abs() / exact.aspect < 0.05,
             "{} vs {}",

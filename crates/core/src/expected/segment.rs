@@ -16,7 +16,9 @@
 
 use photodtn_geo::{Angle, ArcSet, TAU};
 
-use photodtn_coverage::{aspect_set, AspectWeightMap, AspectWeights, Coverage, CoverageParams, PoiList};
+use photodtn_coverage::{
+    aspect_set, AspectWeightMap, AspectWeights, Coverage, CoverageParams, PoiList,
+};
 
 use super::DeliveryNode;
 
@@ -74,10 +76,7 @@ fn exact_inner(
 
 /// `∫_0^{2π} w(v) · (1 − Π_{i: v ∈ S_i} (1 − p_i)) dv` for
 /// piecewise-constant membership, with `w ≡ 1` when `weights` is `None`.
-fn integrate_union_probability(
-    coverers: &[(f64, ArcSet)],
-    weights: Option<&AspectWeights>,
-) -> f64 {
+fn integrate_union_probability(coverers: &[(f64, ArcSet)], weights: Option<&AspectWeights>) -> f64 {
     let mut cuts: Vec<f64> = vec![0.0, TAU];
     for (_, set) in coverers {
         cuts.extend(set.endpoints());
@@ -123,7 +122,12 @@ mod tests {
 
     fn shot(target: Point, deg: f64) -> PhotoMeta {
         let dir = Angle::from_degrees(deg);
-        PhotoMeta::new(target.offset(dir, 50.0), 80.0, Angle::from_degrees(40.0), dir + Angle::PI)
+        PhotoMeta::new(
+            target.offset(dir, 50.0),
+            80.0,
+            Angle::from_degrees(40.0),
+            dir + Angle::PI,
+        )
     }
 
     #[test]
@@ -198,7 +202,10 @@ mod tests {
         let params = CoverageParams::default();
         let heavy = PoiList::new(vec![Poi::with_weight(0, Point::new(0.0, 0.0), 4.0)]);
         let light = PoiList::new(vec![Poi::new(0, Point::new(0.0, 0.0))]);
-        let nodes = vec![DeliveryNode::new(0.5, vec![shot(Point::new(0.0, 0.0), 0.0)])];
+        let nodes = vec![DeliveryNode::new(
+            0.5,
+            vec![shot(Point::new(0.0, 0.0), 0.0)],
+        )];
         let h = expected_coverage_exact(&heavy, &nodes, params);
         let l = expected_coverage_exact(&light, &nodes, params);
         assert!((h.point - 4.0 * l.point).abs() < 1e-12);

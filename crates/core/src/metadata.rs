@@ -76,8 +76,14 @@ impl MetadataCache {
         lambda: f64,
         now: f64,
     ) {
-        self.records
-            .insert(peer.0, MetadataRecord { photos, snapshot_at: now, lambda: lambda.max(0.0) });
+        self.records.insert(
+            peer.0,
+            MetadataRecord {
+                photos,
+                snapshot_at: now,
+                lambda: lambda.max(0.0),
+            },
+        );
     }
 
     /// The raw record for `peer`, regardless of validity.
@@ -110,7 +116,8 @@ impl MetadataCache {
     /// Drops every invalid record, returning how many were evicted.
     pub fn purge_stale(&mut self, model: &ValidityModel, now: f64) -> usize {
         let before = self.records.len();
-        self.records.retain(|_, r| model.is_valid(r.lambda, now - r.snapshot_at));
+        self.records
+            .retain(|_, r| model.is_valid(r.lambda, now - r.snapshot_at));
         before - self.records.len()
     }
 
@@ -135,7 +142,12 @@ mod tests {
     use photodtn_geo::{Angle, Point};
 
     fn meta() -> PhotoMeta {
-        PhotoMeta::new(Point::new(0.0, 0.0), 100.0, Angle::from_degrees(45.0), Angle::ZERO)
+        PhotoMeta::new(
+            Point::new(0.0, 0.0),
+            100.0,
+            Angle::from_degrees(45.0),
+            Angle::ZERO,
+        )
     }
 
     #[test]
@@ -155,7 +167,12 @@ mod tests {
     fn update_replaces_snapshot() {
         let mut c = MetadataCache::new();
         c.update(NodeId(1), vec![(PhotoId(1), meta())], 0.001, 100.0);
-        c.update(NodeId(1), vec![(PhotoId(2), meta()), (PhotoId(3), meta())], 0.002, 200.0);
+        c.update(
+            NodeId(1),
+            vec![(PhotoId(2), meta()), (PhotoId(3), meta())],
+            0.002,
+            200.0,
+        );
         assert_eq!(c.len(), 1);
         let r = c.record(NodeId(1)).unwrap();
         assert_eq!(r.photos.len(), 2);

@@ -31,8 +31,8 @@
 //! [`SelectionResult`]s.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::collections::BTreeMap;
+use std::collections::BinaryHeap;
 
 use photodtn_contacts::NodeId;
 use photodtn_coverage::{
@@ -237,7 +237,11 @@ fn run_with(
         Ordering::Less => false,
         Ordering::Equal => input.a.node <= input.b.node,
     };
-    let (first, second) = if a_first { (&input.a, &input.b) } else { (&input.b, &input.a) };
+    let (first, second) = if a_first {
+        (&input.a, &input.b)
+    } else {
+        (&input.b, &input.a)
+    };
 
     let mut select = |engine: &mut ExpectedEngine, peer: &PeerState, stats: &mut SelectionStats| {
         match strategy {
@@ -251,9 +255,18 @@ fn run_with(
     let first_sel = select(&mut engine, first, &mut stats);
     let second_sel = select(&mut engine, second, &mut stats);
 
-    let (a_selected, b_selected) =
-        if a_first { (first_sel, second_sel) } else { (second_sel, first_sel) };
-    SelectionResult { a_selected, b_selected, a_first, expected: engine.total(), stats }
+    let (a_selected, b_selected) = if a_first {
+        (first_sel, second_sel)
+    } else {
+        (second_sel, first_sel)
+    };
+    SelectionResult {
+        a_selected,
+        b_selected,
+        a_first,
+        expected: engine.total(),
+        stats,
+    }
 }
 
 /// Indexed lazy greedy fill of one peer's storage (problem (3) of the
@@ -311,8 +324,7 @@ fn select_lazy_indexed(
         }
         // Fresh iff no PoI this photo touches changed after the entry's
         // gain was computed.
-        let fresh =
-            top.gen == cur_gen || cov.pois().all(|pid| poi_gen[pid.index()] <= top.gen);
+        let fresh = top.gen == cur_gen || cov.pois().all(|pid| poi_gen[pid.index()] <= top.gen);
         if !fresh {
             stats.evaluations += 1;
             stats.refreshes += 1;
@@ -546,13 +558,22 @@ mod tests {
 
     fn shot(id: u64, target: Point, deg: f64) -> Photo {
         let dir = Angle::from_degrees(deg);
-        let meta =
-            PhotoMeta::new(target.offset(dir, 50.0), 80.0, Angle::from_degrees(40.0), dir + Angle::PI);
+        let meta = PhotoMeta::new(
+            target.offset(dir, 50.0),
+            80.0,
+            Angle::from_degrees(40.0),
+            dir + Angle::PI,
+        );
         Photo::new(id, meta, 0.0).with_size(1)
     }
 
     fn peer(node: u32, p: f64, cap: u64, photos: Vec<Photo>) -> PeerState {
-        PeerState { node: NodeId(node), delivery_prob: p, capacity: cap, photos }
+        PeerState {
+            node: NodeId(node),
+            delivery_prob: p,
+            capacity: cap,
+            photos,
+        }
     }
 
     #[test]
@@ -588,9 +609,19 @@ mod tests {
                 0,
                 pa,
                 caps.0,
-                vec![shot(1, t0, 0.0), shot(2, t0, 120.0), shot(3, t1, 10.0), shot(4, t1, 15.0)],
+                vec![
+                    shot(1, t0, 0.0),
+                    shot(2, t0, 120.0),
+                    shot(3, t1, 10.0),
+                    shot(4, t1, 15.0),
+                ],
             ),
-            b: peer(1, pb, caps.1, vec![shot(5, t0, 240.0), shot(6, t1, 200.0), shot(7, t0, 0.0)]),
+            b: peer(
+                1,
+                pb,
+                caps.1,
+                vec![shot(5, t0, 240.0), shot(6, t1, 200.0), shot(7, t0, 0.0)],
+            ),
             others: vec![DeliveryNode::new(1.0, vec![shot(8, t0, 60.0).meta])],
         };
         for caps in [(2, 2), (3, 1), (7, 7), (0, 3)] {
@@ -599,8 +630,14 @@ mod tests {
                 let lazy = reallocate(&input);
                 let naive = reallocate_naive(&input);
                 let linear = reallocate_lazy_linear(&input);
-                assert_eq!(lazy, naive, "indexed/naive divergence at caps {caps:?} p=({pa},{pb})");
-                assert_eq!(lazy, linear, "indexed/linear divergence at caps {caps:?} p=({pa},{pb})");
+                assert_eq!(
+                    lazy, naive,
+                    "indexed/naive divergence at caps {caps:?} p=({pa},{pb})"
+                );
+                assert_eq!(
+                    lazy, linear,
+                    "indexed/linear divergence at caps {caps:?} p=({pa},{pb})"
+                );
             }
         }
     }
@@ -768,7 +805,12 @@ mod tests {
         // a wide shot midway that covers both targets
         let both = Photo::new(
             1,
-            PhotoMeta::new(Point::new(300.0, 10.0), 320.0, Angle::from_degrees(180.0), Angle::from_degrees(270.0)),
+            PhotoMeta::new(
+                Point::new(300.0, 10.0),
+                320.0,
+                Angle::from_degrees(180.0),
+                Angle::from_degrees(270.0),
+            ),
             0.0,
         )
         .with_size(3);
@@ -784,8 +826,16 @@ mod tests {
         };
         let raw = reallocate(&input);
         let dense = reallocate_density(&input);
-        assert_eq!(raw.a_selected, vec![PhotoId(1)], "raw greedy takes the big photo");
-        assert_eq!(dense.a_selected.len(), 3, "density greedy takes the three small ones");
+        assert_eq!(
+            raw.a_selected,
+            vec![PhotoId(1)],
+            "raw greedy takes the big photo"
+        );
+        assert_eq!(
+            dense.a_selected.len(),
+            3,
+            "density greedy takes the three small ones"
+        );
         assert!(!dense.a_selected.contains(&PhotoId(1)));
         assert!(dense.expected > raw.expected);
     }
@@ -799,7 +849,12 @@ mod tests {
         let input = SelectionInput {
             pois: &pois,
             params: CoverageParams::default(),
-            a: peer(0, 0.7, 3, vec![shot(1, t0, 0.0), shot(2, t1, 90.0), shot(3, t0, 200.0)]),
+            a: peer(
+                0,
+                0.7,
+                3,
+                vec![shot(1, t0, 0.0), shot(2, t1, 90.0), shot(3, t0, 200.0)],
+            ),
             b: peer(1, 0.2, 2, vec![shot(4, t1, 270.0)]),
             others: vec![],
         };

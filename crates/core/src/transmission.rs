@@ -71,14 +71,22 @@ pub fn plan_transfers(
     let (first_is_a, first_sel, second_sel) = result.phases();
     let mut steps = Vec::new();
     let mut push_phase = |selection: &[PhotoId], to_a: bool| {
-        let (receiver, sender) = if to_a { (a_photos, b_photos) } else { (b_photos, a_photos) };
+        let (receiver, sender) = if to_a {
+            (a_photos, b_photos)
+        } else {
+            (b_photos, a_photos)
+        };
         for &id in selection {
             if receiver.contains(id) {
                 continue;
             }
             // The pool is F_a ∪ F_b, so the other node must hold it.
             if let Some(p) = sender.get(id) {
-                steps.push(Transfer { photo: id, to_a, size: p.size });
+                steps.push(Transfer {
+                    photo: id,
+                    to_a,
+                    size: p.size,
+                });
             }
         }
     };
@@ -129,7 +137,9 @@ pub fn execute_plan(
             } else {
                 (&mut *b_photos, &mut *a_photos, b_capacity, &b_keep, &a_keep)
             };
-            let Some(photo) = sender.get(t.photo).copied() else { continue };
+            let Some(photo) = sender.get(t.photo).copied() else {
+                continue;
+            };
             if receiver.contains(t.photo) {
                 continue;
             }
@@ -176,8 +186,12 @@ mod tests {
     use photodtn_geo::{Angle, Point};
 
     fn photo(id: u64, size: u64) -> Photo {
-        let meta =
-            PhotoMeta::new(Point::new(0.0, 0.0), 100.0, Angle::from_degrees(45.0), Angle::ZERO);
+        let meta = PhotoMeta::new(
+            Point::new(0.0, 0.0),
+            100.0,
+            Angle::from_degrees(45.0),
+            Angle::ZERO,
+        );
         Photo::new(id, meta, 0.0).with_size(size)
     }
 
@@ -205,8 +219,16 @@ mod tests {
         assert_eq!(
             plan.steps,
             vec![
-                Transfer { photo: PhotoId(3), to_a: true, size: 10 },
-                Transfer { photo: PhotoId(2), to_a: false, size: 10 },
+                Transfer {
+                    photo: PhotoId(3),
+                    to_a: true,
+                    size: 10
+                },
+                Transfer {
+                    photo: PhotoId(2),
+                    to_a: false,
+                    size: 10
+                },
             ]
         );
         assert_eq!(plan.total_bytes(), 20);

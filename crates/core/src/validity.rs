@@ -21,7 +21,9 @@ impl ValidityModel {
     /// Creates a model with the given threshold, clamped to `[0, 1]`.
     #[must_use]
     pub fn new(p_threshold: f64) -> Self {
-        ValidityModel { p_threshold: p_threshold.clamp(0.0, 1.0) }
+        ValidityModel {
+            p_threshold: p_threshold.clamp(0.0, 1.0),
+        }
     }
 
     /// Table I default: `P_thld = 0.8`.

@@ -53,7 +53,10 @@ fn world() -> (PoiList, Vec<PhotoMeta>) {
         .map(|i| {
             let deg = f64::from(i) * 14.4;
             PhotoMeta::new(
-                Point::new(300.0 * deg.to_radians().cos(), 300.0 * deg.to_radians().sin()),
+                Point::new(
+                    300.0 * deg.to_radians().cos(),
+                    300.0 * deg.to_radians().sin(),
+                ),
                 250.0,
                 Angle::from_degrees(60.0),
                 Angle::from_degrees(deg + 180.0),
@@ -67,8 +70,10 @@ fn world() -> (PoiList, Vec<PhotoMeta>) {
 fn gain_evaluation_is_allocation_free_when_warm() {
     let (pois, metas) = world();
     let params = CoverageParams::default();
-    let covs: Vec<PhotoCoverage> =
-        metas.iter().map(|m| PhotoCoverage::build(m, &pois, params)).collect();
+    let covs: Vec<PhotoCoverage> = metas
+        .iter()
+        .map(|m| PhotoCoverage::build(m, &pois, params))
+        .collect();
 
     let mut engine = ExpectedEngine::new(&pois, params);
     let relay = engine.add_node(0.6);
@@ -106,7 +111,10 @@ fn gain_evaluation_is_allocation_free_when_warm() {
         }
     }
     let linear_allocs = allocations() - before;
-    assert_eq!(linear_allocs, 0, "gain_of allocated {linear_allocs} times in steady state");
+    assert_eq!(
+        linear_allocs, 0,
+        "gain_of allocated {linear_allocs} times in steady state"
+    );
 
     assert!(acc.is_finite());
 }

@@ -28,11 +28,21 @@ fn pois() -> PoiList {
 }
 
 fn arb_meta() -> impl Strategy<Value = PhotoMeta> {
-    (-100.0..400.0f64, -100.0..400.0f64, 30.0..60.0f64, 0.0..360.0f64, 60.0..150.0f64).prop_map(
-        |(x, y, fov, dir, r)| {
-            PhotoMeta::new(Point::new(x, y), r, Angle::from_degrees(fov), Angle::from_degrees(dir))
-        },
+    (
+        -100.0..400.0f64,
+        -100.0..400.0f64,
+        30.0..60.0f64,
+        0.0..360.0f64,
+        60.0..150.0f64,
     )
+        .prop_map(|(x, y, fov, dir, r)| {
+            PhotoMeta::new(
+                Point::new(x, y),
+                r,
+                Angle::from_degrees(fov),
+                Angle::from_degrees(dir),
+            )
+        })
 }
 
 fn arb_node() -> impl Strategy<Value = DeliveryNode> {

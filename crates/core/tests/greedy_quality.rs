@@ -43,7 +43,12 @@ fn materialize(raw: &[RawPhoto]) -> (Vec<Photo>, Vec<Photo>) {
     for (i, &(to_a, x, y, fov, dir, r)) in raw.iter().enumerate() {
         let photo = Photo::new(
             i as u64 + 1,
-            PhotoMeta::new(Point::new(x, y), r, Angle::from_degrees(fov), Angle::from_degrees(dir)),
+            PhotoMeta::new(
+                Point::new(x, y),
+                r,
+                Angle::from_degrees(fov),
+                Angle::from_degrees(dir),
+            ),
             0.0,
         )
         .with_size(1);
@@ -157,7 +162,12 @@ fn greedy_is_optimal_on_a_crafted_instance() {
         let dir = Angle::from_degrees(deg);
         Photo::new(
             id,
-            PhotoMeta::new(target.offset(dir, 60.0), 90.0, Angle::from_degrees(45.0), dir + Angle::PI),
+            PhotoMeta::new(
+                target.offset(dir, 60.0),
+                90.0,
+                Angle::from_degrees(45.0),
+                dir + Angle::PI,
+            ),
             0.0,
         )
         .with_size(1)

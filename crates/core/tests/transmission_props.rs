@@ -10,7 +10,12 @@ use proptest::prelude::*;
 use std::collections::BTreeSet;
 
 fn photo(id: u64) -> Photo {
-    let meta = PhotoMeta::new(Point::new(0.0, 0.0), 100.0, Angle::from_degrees(45.0), Angle::ZERO);
+    let meta = PhotoMeta::new(
+        Point::new(0.0, 0.0),
+        100.0,
+        Angle::from_degrees(45.0),
+        Angle::ZERO,
+    );
     Photo::new(id, meta, 0.0).with_size(1)
 }
 

@@ -5,9 +5,7 @@
 
 use photodtn_contacts::NodeId;
 use photodtn_core::expected::enumerate::expected_coverage_enumerate_weighted;
-use photodtn_core::expected::segment::{
-    expected_coverage_exact, expected_coverage_exact_weighted,
-};
+use photodtn_core::expected::segment::{expected_coverage_exact, expected_coverage_exact_weighted};
 use photodtn_core::expected::{DeliveryNode, ExpectedEngine};
 use photodtn_core::selection::{reallocate, reallocate_weighted, PeerState, SelectionInput};
 use photodtn_coverage::{
@@ -24,11 +22,21 @@ fn pois() -> PoiList {
 }
 
 fn arb_meta() -> impl Strategy<Value = PhotoMeta> {
-    (-100.0..400.0f64, -100.0..300.0f64, 30.0..60.0f64, 0.0..360.0f64, 60.0..150.0f64).prop_map(
-        |(x, y, fov, dir, r)| {
-            PhotoMeta::new(Point::new(x, y), r, Angle::from_degrees(fov), Angle::from_degrees(dir))
-        },
+    (
+        -100.0..400.0f64,
+        -100.0..300.0f64,
+        30.0..60.0f64,
+        0.0..360.0f64,
+        60.0..150.0f64,
     )
+        .prop_map(|(x, y, fov, dir, r)| {
+            PhotoMeta::new(
+                Point::new(x, y),
+                r,
+                Angle::from_degrees(fov),
+                Angle::from_degrees(dir),
+            )
+        })
 }
 
 fn arb_nodes() -> impl Strategy<Value = Vec<DeliveryNode>> {
@@ -36,7 +44,11 @@ fn arb_nodes() -> impl Strategy<Value = Vec<DeliveryNode>> {
         (0.0..=1.0f64, prop::collection::vec(arb_meta(), 0..4)),
         0..6,
     )
-    .prop_map(|v| v.into_iter().map(|(p, m)| DeliveryNode::new(p, m)).collect())
+    .prop_map(|v| {
+        v.into_iter()
+            .map(|(p, m)| DeliveryNode::new(p, m))
+            .collect()
+    })
 }
 
 fn arb_weights() -> impl Strategy<Value = AspectWeightMap> {
@@ -44,10 +56,12 @@ fn arb_weights() -> impl Strategy<Value = AspectWeightMap> {
         |regions| {
             let mut map = AspectWeightMap::new();
             for (poi, center, half, mult) in regions {
-                map.entry(PoiId(poi)).or_insert_with(AspectWeights::uniform).add_region(
-                    Arc::centered(Angle::from_degrees(center), Angle::from_degrees(half)),
-                    mult,
-                );
+                map.entry(PoiId(poi))
+                    .or_insert_with(AspectWeights::uniform)
+                    .add_region(
+                        Arc::centered(Angle::from_degrees(center), Angle::from_degrees(half)),
+                        mult,
+                    );
             }
             map
         },
@@ -123,7 +137,12 @@ fn weighted_selection_prefers_weighted_aspects() {
         let dir = Angle::from_degrees(deg);
         Photo::new(
             id,
-            PhotoMeta::new(target.offset(dir, 60.0), 90.0, Angle::from_degrees(45.0), dir + Angle::PI),
+            PhotoMeta::new(
+                target.offset(dir, 60.0),
+                90.0,
+                Angle::from_degrees(45.0),
+                dir + Angle::PI,
+            ),
             0.0,
         )
         .with_size(1)
@@ -137,7 +156,12 @@ fn weighted_selection_prefers_weighted_aspects() {
             capacity: 1,
             photos: vec![shot(1, 270.0), shot(2, 90.0)], // south-side first by id
         },
-        b: PeerState { node: NodeId(1), delivery_prob: 0.0, capacity: 0, photos: vec![] },
+        b: PeerState {
+            node: NodeId(1),
+            delivery_prob: 0.0,
+            capacity: 0,
+            photos: vec![],
+        },
         others: vec![],
     };
     let plain = reallocate(&input);
@@ -145,7 +169,10 @@ fn weighted_selection_prefers_weighted_aspects() {
 
     let mut weights = AspectWeightMap::new();
     let mut w = AspectWeights::uniform();
-    w.add_region(Arc::centered(Angle::from_degrees(90.0), Angle::from_degrees(40.0)), 5.0);
+    w.add_region(
+        Arc::centered(Angle::from_degrees(90.0), Angle::from_degrees(40.0)),
+        5.0,
+    );
     weights.insert(PoiId(0), w);
     let weighted = reallocate_weighted(&input, &weights);
     assert_eq!(weighted.a_selected, vec![photodtn_coverage::PhotoId(2)]);

@@ -142,7 +142,12 @@ mod tests {
     use photodtn_geo::{Angle, Point};
 
     fn photo(id: u64, size: u64) -> Photo {
-        let meta = PhotoMeta::new(Point::new(0.0, 0.0), 100.0, Angle::from_degrees(45.0), Angle::ZERO);
+        let meta = PhotoMeta::new(
+            Point::new(0.0, 0.0),
+            100.0,
+            Angle::from_degrees(45.0),
+            Angle::ZERO,
+        );
         Photo::new(id, meta, 0.0).with_size(size)
     }
 
@@ -176,7 +181,9 @@ mod tests {
 
     #[test]
     fn iteration_in_id_order() {
-        let c: PhotoCollection = [photo(3, 1), photo(1, 1), photo(2, 1)].into_iter().collect();
+        let c: PhotoCollection = [photo(3, 1), photo(1, 1), photo(2, 1)]
+            .into_iter()
+            .collect();
         let ids: Vec<u64> = c.ids().map(|i| i.0).collect();
         assert_eq!(ids, vec![1, 2, 3]);
         assert_eq!(c.iter().count(), 3);

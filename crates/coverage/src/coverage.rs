@@ -28,7 +28,9 @@ impl CoverageParams {
 impl Default for CoverageParams {
     /// Table I defaults: `θ = 30°`.
     fn default() -> Self {
-        CoverageParams { effective_angle: Angle::from_degrees(30.0) }
+        CoverageParams {
+            effective_angle: Angle::from_degrees(30.0),
+        }
     }
 }
 
@@ -67,7 +69,10 @@ impl Coverage {
     pub const ASPECT_EPS: f64 = 1e-9;
 
     /// The zero coverage.
-    pub const ZERO: Coverage = Coverage { point: 0.0, aspect: 0.0 };
+    pub const ZERO: Coverage = Coverage {
+        point: 0.0,
+        aspect: 0.0,
+    };
 
     /// Creates a coverage value.
     #[must_use]
@@ -182,7 +187,12 @@ impl Sub for Coverage {
 
 impl fmt::Display for Coverage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "(pt={:.3}, as={:.1}°)", self.point, self.aspect_degrees())
+        write!(
+            f,
+            "(pt={:.3}, as={:.1}°)",
+            self.point,
+            self.aspect_degrees()
+        )
     }
 }
 
@@ -284,7 +294,11 @@ mod tests {
     #[test]
     fn empty_collection_zero_coverage() {
         let pois = poi_at_origin();
-        let c = Coverage::of(&pois, std::iter::empty::<&PhotoMeta>(), CoverageParams::default());
+        let c = Coverage::of(
+            &pois,
+            std::iter::empty::<&PhotoMeta>(),
+            CoverageParams::default(),
+        );
         assert!(c.is_zero());
     }
 

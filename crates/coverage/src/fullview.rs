@@ -235,8 +235,7 @@ mod tests {
     #[test]
     fn report_full_view() {
         let metas: Vec<PhotoMeta> = (0..12).map(|k| shot(k as f64 * 30.0)).collect();
-        let report =
-            FullViewReport::analyze(&one_poi(), metas.iter(), CoverageParams::default());
+        let report = FullViewReport::analyze(&one_poi(), metas.iter(), CoverageParams::default());
         let s = &report.per_poi[0];
         assert!(s.full_view);
         assert_eq!(s.largest_gap, 0.0);
@@ -270,7 +269,14 @@ mod tests {
     #[test]
     fn minimal_cover_drops_redundant_photos() {
         // 3 distinct views + 3 duplicates → minimal cover has 3 photos.
-        let metas = vec![shot(0.0), shot(0.0), shot(120.0), shot(120.0), shot(240.0), shot(240.0)];
+        let metas = vec![
+            shot(0.0),
+            shot(0.0),
+            shot(120.0),
+            shot(120.0),
+            shot(240.0),
+            shot(240.0),
+        ];
         let pois = one_poi();
         let params = CoverageParams::default();
         let chosen = minimal_cover(&pois, &metas, params);

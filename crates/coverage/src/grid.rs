@@ -122,14 +122,21 @@ pub fn build_coverage_table<'a, M>(
 where
     M: IntoIterator<Item = &'a PhotoMeta>,
 {
-    metas.into_iter().map(|m| PhotoCoverage::build(m, pois, params)).collect()
+    metas
+        .into_iter()
+        .map(|m| PhotoCoverage::build(m, pois, params))
+        .collect()
 }
 
 /// Debug-build sanity check used by property tests: the indexed coverage
 /// list must equal the brute-force filter over the whole PoI list.
 #[must_use]
 pub fn matches_linear_scan(cov: &PhotoCoverage, meta: &PhotoMeta, pois: &PoiList) -> bool {
-    let brute: Vec<PoiId> = pois.iter().filter(|p| meta.covers(p)).map(|p| p.id).collect();
+    let brute: Vec<PoiId> = pois
+        .iter()
+        .filter(|p| meta.covers(p))
+        .map(|p| p.id)
+        .collect();
     let mut indexed: Vec<PoiId> = cov.pois().collect();
     indexed.sort_unstable();
     let mut brute_sorted = brute;
@@ -148,7 +155,10 @@ mod tests {
         PoiList::new(
             (0..n)
                 .map(|i| {
-                    Poi::new(i, Point::new((i % side) as f64 * spacing, (i / side) as f64 * spacing))
+                    Poi::new(
+                        i,
+                        Point::new((i % side) as f64 * spacing, (i / side) as f64 * spacing),
+                    )
                 })
                 .collect(),
         )
@@ -176,7 +186,10 @@ mod tests {
                 .map(|p| (p.id, meta.aspect_arc(p, params.effective_angle).unwrap()))
                 .collect();
             let indexed: Vec<(PoiId, Arc)> = cov.entries().iter().map(|e| (e.poi, e.arc)).collect();
-            assert_eq!(indexed, scan, "divergence at ({x},{y}) fov={fov} dir={dir} r={r}");
+            assert_eq!(
+                indexed, scan,
+                "divergence at ({x},{y}) fov={fov} dir={dir} r={r}"
+            );
         }
     }
 
@@ -201,8 +214,12 @@ mod tests {
             Poi::with_weight(0, Point::new(50.0, 0.0), 2.5),
             Poi::new(1, Point::new(5000.0, 0.0)),
         ]);
-        let meta =
-            PhotoMeta::new(Point::new(0.0, 0.0), 100.0, Angle::from_degrees(60.0), Angle::ZERO);
+        let meta = PhotoMeta::new(
+            Point::new(0.0, 0.0),
+            100.0,
+            Angle::from_degrees(60.0),
+            Angle::ZERO,
+        );
         let cov = PhotoCoverage::build(&meta, &pois, CoverageParams::default());
         assert!(cov.covers(PoiId(0)));
         assert!(!cov.covers(PoiId(1)));

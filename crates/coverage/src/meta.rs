@@ -38,7 +38,12 @@ impl PhotoMeta {
     /// Creates metadata from the four parameters.
     #[must_use]
     pub fn new(location: Point, range: f64, fov: Angle, orientation: Angle) -> Self {
-        PhotoMeta { location, range, fov, orientation }
+        PhotoMeta {
+            location,
+            range,
+            fov,
+            orientation,
+        }
     }
 
     /// Creates metadata with the range derived from the field of view as in
@@ -48,7 +53,12 @@ impl PhotoMeta {
     pub fn with_derived_range(location: Point, c: f64, fov: Angle, orientation: Angle) -> Self {
         let half = fov.radians() / 2.0;
         let range = if half > 0.0 { c / half.tan() } else { 0.0 };
-        PhotoMeta { location, range: range.max(0.0), fov, orientation }
+        PhotoMeta {
+            location,
+            range: range.max(0.0),
+            fov,
+            orientation,
+        }
     }
 
     /// The coverage sector of the photo.
@@ -90,7 +100,10 @@ impl PhotoMeta {
         if !self.covers_occluded(poi, occluders) {
             return None;
         }
-        Some(Arc::centered(self.sector().viewing_direction(poi.location), effective_angle))
+        Some(Arc::centered(
+            self.sector().viewing_direction(poi.location),
+            effective_angle,
+        ))
     }
 
     /// Ids of all PoIs in `pois` covered by this photo, using the spatial
@@ -169,12 +182,21 @@ mod tests {
     fn occlusion_blocks_coverage_and_aspects() {
         use photodtn_geo::Segment;
         let poi = Poi::new(0, Point::new(100.0, 0.0));
-        let m = PhotoMeta::new(Point::new(0.0, 0.0), 150.0, Angle::from_degrees(40.0), Angle::ZERO);
+        let m = PhotoMeta::new(
+            Point::new(0.0, 0.0),
+            150.0,
+            Angle::from_degrees(40.0),
+            Angle::ZERO,
+        );
         assert!(m.covers_occluded(&poi, &[]));
         let wall = Segment::new(Point::new(50.0, -20.0), Point::new(50.0, 20.0));
         assert!(!m.covers_occluded(&poi, &[wall]));
-        assert!(m.aspect_arc_occluded(&poi, Angle::from_degrees(30.0), &[wall]).is_none());
-        assert!(m.aspect_arc_occluded(&poi, Angle::from_degrees(30.0), &[]).is_some());
+        assert!(m
+            .aspect_arc_occluded(&poi, Angle::from_degrees(30.0), &[wall])
+            .is_none());
+        assert!(m
+            .aspect_arc_occluded(&poi, Angle::from_degrees(30.0), &[])
+            .is_some());
         // occluded implies the occlusion-free arc equals the plain one
         assert_eq!(
             m.aspect_arc_occluded(&poi, Angle::from_degrees(30.0), &[]),
@@ -185,11 +207,16 @@ mod tests {
     #[test]
     fn covered_pois_filters_by_sector() {
         let pois = PoiList::new(vec![
-            Poi::new(0, Point::new(100.0, 0.0)),   // in front
-            Poi::new(1, Point::new(-100.0, 0.0)),  // behind
-            Poi::new(2, Point::new(1000.0, 0.0)),  // too far
+            Poi::new(0, Point::new(100.0, 0.0)),  // in front
+            Poi::new(1, Point::new(-100.0, 0.0)), // behind
+            Poi::new(2, Point::new(1000.0, 0.0)), // too far
         ]);
-        let m = PhotoMeta::new(Point::new(0.0, 0.0), 150.0, Angle::from_degrees(40.0), Angle::ZERO);
+        let m = PhotoMeta::new(
+            Point::new(0.0, 0.0),
+            150.0,
+            Angle::from_degrees(40.0),
+            Angle::ZERO,
+        );
         let ids: Vec<u32> = m.covered_pois(&pois).map(|p| p.id.0).collect();
         assert_eq!(ids, vec![0]);
     }

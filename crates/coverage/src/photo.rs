@@ -120,7 +120,12 @@ mod tests {
     use photodtn_geo::{Angle, Point};
 
     fn meta() -> PhotoMeta {
-        PhotoMeta::new(Point::new(0.0, 0.0), 100.0, Angle::from_degrees(45.0), Angle::ZERO)
+        PhotoMeta::new(
+            Point::new(0.0, 0.0),
+            100.0,
+            Angle::from_degrees(45.0),
+            Angle::ZERO,
+        )
     }
 
     #[test]

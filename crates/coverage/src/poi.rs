@@ -46,7 +46,11 @@ impl Poi {
     /// Creates a PoI with unit weight.
     #[must_use]
     pub fn new(id: u32, location: Point) -> Self {
-        Poi { id: PoiId(id), location, weight: 1.0 }
+        Poi {
+            id: PoiId(id),
+            location,
+            weight: 1.0,
+        }
     }
 
     /// Creates a PoI with an explicit importance weight.
@@ -54,7 +58,11 @@ impl Poi {
     /// Negative weights are clamped to zero.
     #[must_use]
     pub fn with_weight(id: u32, location: Point, weight: f64) -> Self {
-        Poi { id: PoiId(id), location, weight: weight.max(0.0) }
+        Poi {
+            id: PoiId(id),
+            location,
+            weight: weight.max(0.0),
+        }
     }
 }
 
@@ -141,7 +149,14 @@ impl PoiList {
             let cy = ((p.location.y - origin.y) / cell) as usize;
             grid[cy.min(ny - 1) * nx + cx.min(nx - 1)].push(i as u32);
         }
-        PoiList { pois, cell, origin, nx, ny, grid }
+        PoiList {
+            pois,
+            cell,
+            origin,
+            nx,
+            ny,
+            grid,
+        }
     }
 
     /// Number of PoIs.
@@ -204,11 +219,19 @@ impl PoiList {
     /// coverage range `radius`; the caller still applies the field-of-view
     /// test.
     pub fn in_disc(&self, center: Point, radius: f64) -> impl Iterator<Item = &Poi> {
-        let lo_x = ((center.x - radius - self.origin.x) / self.cell).floor().max(0.0) as usize;
-        let lo_y = ((center.y - radius - self.origin.y) / self.cell).floor().max(0.0) as usize;
-        let hi_x = (((center.x + radius - self.origin.x) / self.cell).floor().max(0.0) as usize)
+        let lo_x = ((center.x - radius - self.origin.x) / self.cell)
+            .floor()
+            .max(0.0) as usize;
+        let lo_y = ((center.y - radius - self.origin.y) / self.cell)
+            .floor()
+            .max(0.0) as usize;
+        let hi_x = (((center.x + radius - self.origin.x) / self.cell)
+            .floor()
+            .max(0.0) as usize)
             .min(self.nx - 1);
-        let hi_y = (((center.y + radius - self.origin.y) / self.cell).floor().max(0.0) as usize)
+        let hi_y = (((center.y + radius - self.origin.y) / self.cell)
+            .floor()
+            .max(0.0) as usize)
             .min(self.ny - 1);
         let r_sq = radius * radius;
         (lo_y..=hi_y.max(lo_y))
@@ -270,7 +293,12 @@ mod tests {
     #[test]
     fn disc_query_matches_brute_force() {
         let l = grid_list(100, 100.0);
-        for (cx, cy, r) in [(50.0, 50.0, 120.0), (0.0, 0.0, 250.0), (900.0, 900.0, 80.0), (450.0, 450.0, 1e4)] {
+        for (cx, cy, r) in [
+            (50.0, 50.0, 120.0),
+            (0.0, 0.0, 250.0),
+            (900.0, 900.0, 80.0),
+            (450.0, 450.0, 1e4),
+        ] {
             let c = Point::new(cx, cy);
             let mut fast: Vec<u32> = l.in_disc(c, r).map(|p| p.id.0).collect();
             fast.sort_unstable();

@@ -176,7 +176,12 @@ mod tests {
 
     fn shot(target: Point, from_deg: f64, dist: f64) -> PhotoMeta {
         let dir = Angle::from_degrees(from_deg);
-        PhotoMeta::new(target.offset(dir, dist), dist + 10.0, Angle::from_degrees(60.0), dir + Angle::PI)
+        PhotoMeta::new(
+            target.offset(dir, dist),
+            dist + 10.0,
+            Angle::from_degrees(60.0),
+            dir + Angle::PI,
+        )
     }
 
     #[test]
@@ -213,7 +218,12 @@ mod tests {
         let pois = two_pois();
         let p = CoverageProfile::new(&pois, CoverageParams::default());
         // points away from both PoIs
-        let s = PhotoMeta::new(Point::new(500.0, 500.0), 50.0, Angle::from_degrees(40.0), Angle::ZERO);
+        let s = PhotoMeta::new(
+            Point::new(500.0, 500.0),
+            50.0,
+            Angle::from_degrees(40.0),
+            Angle::ZERO,
+        );
         assert_eq!(p.gain_of(&s), Coverage::ZERO);
     }
 

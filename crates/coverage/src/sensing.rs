@@ -52,13 +52,21 @@ impl SensorModel {
     /// orientation within 5°, exact field of view.
     #[must_use]
     pub fn nexus4() -> Self {
-        SensorModel { gps_sigma: 4.0, orientation_max_err_deg: 5.0, fov_rel_err: 0.0 }
+        SensorModel {
+            gps_sigma: 4.0,
+            orientation_max_err_deg: 5.0,
+            fov_rel_err: 0.0,
+        }
     }
 
     /// A perfect sensor (no noise) — useful as a control.
     #[must_use]
     pub fn perfect() -> Self {
-        SensorModel { gps_sigma: 0.0, orientation_max_err_deg: 0.0, fov_rel_err: 0.0 }
+        SensorModel {
+            gps_sigma: 0.0,
+            orientation_max_err_deg: 0.0,
+            fov_rel_err: 0.0,
+        }
     }
 
     /// Produces the metadata the phone would record for a photo whose true
@@ -77,8 +85,7 @@ impl SensorModel {
         };
         let fov = if self.fov_rel_err > 0.0 {
             Angle::from_radians(
-                truth.fov.radians()
-                    * (1.0 + rng.gen_range(-self.fov_rel_err..=self.fov_rel_err)),
+                truth.fov.radians() * (1.0 + rng.gen_range(-self.fov_rel_err..=self.fov_rel_err)),
             )
         } else {
             truth.fov
@@ -111,7 +118,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn truth() -> PhotoMeta {
-        PhotoMeta::new(Point::new(100.0, 100.0), 120.0, Angle::from_degrees(50.0), Angle::from_degrees(45.0))
+        PhotoMeta::new(
+            Point::new(100.0, 100.0),
+            120.0,
+            Angle::from_degrees(50.0),
+            Angle::from_degrees(45.0),
+        )
     }
 
     #[test]
@@ -152,7 +164,10 @@ mod tests {
             / n as f64;
         // Rayleigh mean = σ·√(π/2) ≈ 5.01 m for σ = 4 m — inside the
         // paper's quoted 5–8.5 m band.
-        assert!((4.0..6.5).contains(&mean_radial), "mean radial error {mean_radial}");
+        assert!(
+            (4.0..6.5).contains(&mean_radial),
+            "mean radial error {mean_radial}"
+        );
     }
 
     #[test]
@@ -160,7 +175,11 @@ mod tests {
         // With fov error, range must be recomputed from the same c.
         let mut rng = SmallRng::seed_from_u64(4);
         let t = truth();
-        let m = SensorModel { gps_sigma: 0.0, orientation_max_err_deg: 0.0, fov_rel_err: 0.1 };
+        let m = SensorModel {
+            gps_sigma: 0.0,
+            orientation_max_err_deg: 0.0,
+            fov_rel_err: 0.1,
+        };
         let o = m.observe(&t, &mut rng);
         let c_true = t.range * (t.fov.radians() / 2.0).tan();
         let c_obs = o.range * (o.fov.radians() / 2.0).tan();

@@ -35,7 +35,9 @@ impl AspectWeights {
     /// Uniform weights (everything weight 1).
     #[must_use]
     pub fn uniform() -> Self {
-        AspectWeights { regions: Vec::new() }
+        AspectWeights {
+            regions: Vec::new(),
+        }
     }
 
     /// Whether any non-uniform region is present.
@@ -46,7 +48,8 @@ impl AspectWeights {
 
     /// Adds a weighted region. Negative multipliers are clamped to 0.
     pub fn add_region(&mut self, arc: Arc, multiplier: f64) {
-        self.regions.push((ArcSet::from_arc(arc), multiplier.max(0.0)));
+        self.regions
+            .push((ArcSet::from_arc(arc), multiplier.max(0.0)));
     }
 
     /// The weight at a single aspect direction.
@@ -136,7 +139,7 @@ mod tests {
         w.add_region(arc_deg(0.0, 20.0), 2.0);
         w.add_region(arc_deg(0.0, 10.0), 0.0); // forbidden core
         let s = ArcSet::from_arc(arc_deg(0.0, 20.0)); // 40°
-        // inner 20° at ×0, outer 20° at ×2 → 40°
+                                                      // inner 20° at ×0, outer 20° at ×2 → 40°
         assert!((w.weighted_measure(&s).to_degrees() - 40.0).abs() < 1e-6);
         assert_eq!(w.weight_at(Angle::from_degrees(5.0)), 0.0);
         assert_eq!(w.weight_at(Angle::from_degrees(15.0)), 2.0);

@@ -32,7 +32,15 @@ fn arb_metas() -> impl Strategy<Value = Vec<PhotoMeta>> {
 fn grid_pois() -> PoiList {
     PoiList::new(
         (0..25)
-            .map(|i| Poi::new(i, Point::new((i % 5) as f64 * 200.0 + 100.0, (i / 5) as f64 * 200.0 + 100.0)))
+            .map(|i| {
+                Poi::new(
+                    i,
+                    Point::new(
+                        (i % 5) as f64 * 200.0 + 100.0,
+                        (i / 5) as f64 * 200.0 + 100.0,
+                    ),
+                )
+            })
             .collect(),
     )
 }

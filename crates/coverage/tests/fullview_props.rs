@@ -18,7 +18,13 @@ fn pois() -> PoiList {
 
 fn arb_metas() -> impl Strategy<Value = Vec<PhotoMeta>> {
     prop::collection::vec(
-        (-100.0..500.0f64, -100.0..500.0f64, 30.0..60.0f64, 0.0..360.0f64, 60.0..160.0f64),
+        (
+            -100.0..500.0f64,
+            -100.0..500.0f64,
+            30.0..60.0f64,
+            0.0..360.0f64,
+            60.0..160.0f64,
+        ),
         0..14,
     )
     .prop_map(|raw| {

@@ -13,26 +13,34 @@ use proptest::prelude::*;
 /// Random PoI clouds of varying density: clustered enough that grid cells
 /// hold several PoIs, spread enough that many cells are empty.
 fn arb_pois() -> impl Strategy<Value = PoiList> {
-    prop::collection::vec(
-        (-800.0..800.0f64, -800.0..800.0f64, 0.1..3.0f64),
-        0..60,
+    prop::collection::vec((-800.0..800.0f64, -800.0..800.0f64, 0.1..3.0f64), 0..60).prop_map(
+        |pts| {
+            PoiList::new(
+                pts.into_iter()
+                    .enumerate()
+                    .map(|(i, (x, y, w))| Poi::with_weight(i as u32, Point::new(x, y), w))
+                    .collect(),
+            )
+        },
     )
-    .prop_map(|pts| {
-        PoiList::new(
-            pts.into_iter()
-                .enumerate()
-                .map(|(i, (x, y, w))| Poi::with_weight(i as u32, Point::new(x, y), w))
-                .collect(),
-        )
-    })
 }
 
 fn arb_meta() -> impl Strategy<Value = PhotoMeta> {
-    (-900.0..900.0f64, -900.0..900.0f64, 1.0..359.0f64, 0.0..360.0f64, 0.0..500.0f64).prop_map(
-        |(x, y, fov, dir, r)| {
-            PhotoMeta::new(Point::new(x, y), r, Angle::from_degrees(fov), Angle::from_degrees(dir))
-        },
+    (
+        -900.0..900.0f64,
+        -900.0..900.0f64,
+        1.0..359.0f64,
+        0.0..360.0f64,
+        0.0..500.0f64,
     )
+        .prop_map(|(x, y, fov, dir, r)| {
+            PhotoMeta::new(
+                Point::new(x, y),
+                r,
+                Angle::from_degrees(fov),
+                Angle::from_degrees(dir),
+            )
+        })
 }
 
 proptest! {

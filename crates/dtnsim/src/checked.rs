@@ -44,7 +44,11 @@ impl<S: Scheme> Checked<S> {
     /// Wraps `inner`.
     #[must_use]
     pub fn new(inner: S) -> Self {
-        Checked { inner, last_now: f64::NEG_INFINITY, last_delivered: 0 }
+        Checked {
+            inner,
+            last_now: f64::NEG_INFINITY,
+            last_delivered: 0,
+        }
     }
 
     /// Unwraps the inner scheme.

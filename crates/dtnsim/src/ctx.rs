@@ -95,7 +95,11 @@ impl SimCtx {
         b: NodeId,
     ) -> (&mut PhotoCollection, &mut PhotoCollection) {
         assert!(a != b, "a contact needs two distinct nodes");
-        let (lo, hi) = if a < b { (a.index(), b.index()) } else { (b.index(), a.index()) };
+        let (lo, hi) = if a < b {
+            (a.index(), b.index())
+        } else {
+            (b.index(), a.index())
+        };
         let (left, right) = self.collections.split_at_mut(hi);
         let (first, second) = (&mut left[lo], &mut right[0]);
         if a < b {
@@ -152,7 +156,8 @@ impl SimCtx {
     /// center at the current time.
     #[must_use]
     pub fn delivery_prob(&self, node: NodeId) -> f64 {
-        self.prophet.predictability(node, self.cc_prophet_id, self.now)
+        self.prophet
+            .predictability(node, self.cc_prophet_id, self.now)
     }
 
     /// The PROPHET node id representing the command center.

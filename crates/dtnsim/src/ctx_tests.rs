@@ -9,7 +9,12 @@ use crate::schemes_api::FloodScheme;
 use crate::{Scheme, SimConfig, SimCtx, Simulation};
 
 fn photo(id: u64, taken_at: f64) -> Photo {
-    let meta = PhotoMeta::new(Point::new(0.0, 0.0), 100.0, Angle::from_degrees(45.0), Angle::ZERO);
+    let meta = PhotoMeta::new(
+        Point::new(0.0, 0.0),
+        100.0,
+        Angle::from_degrees(45.0),
+        Angle::ZERO,
+    );
     Photo::new(id, meta, taken_at).with_size(1)
 }
 
@@ -145,6 +150,9 @@ fn flood_latency_metric_positive() {
     let result = Simulation::new(&config, &trace, 1).run(&mut FloodScheme);
     let f = result.final_sample();
     assert!(f.delivered_photos > 0);
-    assert!(f.mean_latency_hours > 0.0, "delivered photos must have positive latency");
+    assert!(
+        f.mean_latency_hours > 0.0,
+        "delivered photos must have positive latency"
+    );
     assert!(f.mean_latency_hours < 20.0);
 }

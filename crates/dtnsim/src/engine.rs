@@ -85,7 +85,10 @@ impl Simulation {
         // Contacts (and, in TraceNode mode, uplink windows).
         let cc_trace_node = match config.command_center {
             CommandCenterMode::TraceNode(n) => {
-                assert!(n.0 < trace.num_nodes(), "command-center node {n} outside trace");
+                assert!(
+                    n.0 < trace.num_nodes(),
+                    "command-center node {n} outside trace"
+                );
                 Some(n)
             }
             CommandCenterMode::Gateways { .. } => None,
@@ -108,7 +111,11 @@ impl Simulation {
 
         // Gateways and their periodic uplink windows.
         let gateways = match config.command_center {
-            CommandCenterMode::Gateways { fraction, period, window } => {
+            CommandCenterMode::Gateways {
+                fraction,
+                period,
+                window,
+            } => {
                 let count = ((f64::from(num_participants) * fraction).round() as usize).max(1);
                 let mut ids: Vec<u32> = (0..num_participants).collect();
                 // Fisher–Yates prefix shuffle for a deterministic sample.
@@ -116,11 +123,17 @@ impl Simulation {
                     let j = rng.gen_range(i..ids.len());
                     ids.swap(i, j);
                 }
-                let gws: Vec<NodeId> = ids[..count.min(ids.len())].iter().map(|&i| NodeId(i)).collect();
+                let gws: Vec<NodeId> = ids[..count.min(ids.len())]
+                    .iter()
+                    .map(|&i| NodeId(i))
+                    .collect();
                 for &gw in &gws {
                     let mut t = rng.gen_range(0.0..period.max(1.0));
                     while t < duration {
-                        events.push(Event { t, kind: EventKind::Upload(gw, window) });
+                        events.push(Event {
+                            t,
+                            kind: EventKind::Upload(gw, window),
+                        });
                         t += period.max(1.0);
                     }
                 }
@@ -144,7 +157,10 @@ impl Simulation {
                     }
                 };
                 let photo = photo_gen.next_photo(&mut rng, t);
-                events.push(Event { t, kind: EventKind::Generate(node, photo) });
+                events.push(Event {
+                    t,
+                    kind: EventKind::Generate(node, photo),
+                });
                 t += sample_exp(&mut rng, rate);
             }
         }
@@ -152,8 +168,7 @@ impl Simulation {
         // Node failures: a sampled fraction of participants dies at a
         // uniform random time; their events (and stored photos) vanish.
         if config.failure_fraction > 0.0 {
-            let count =
-                (f64::from(num_participants) * config.failure_fraction).round() as usize;
+            let count = (f64::from(num_participants) * config.failure_fraction).round() as usize;
             let mut ids: Vec<u32> = (0..num_participants)
                 .filter(|&i| Some(NodeId(i)) != cc_trace_node)
                 .collect();
@@ -171,7 +186,10 @@ impl Simulation {
         }
 
         // Deterministic total order: time, then kind discriminant, then ids.
-        events.sort_by(|x, y| x.t.total_cmp(&y.t).then_with(|| kind_key(&x.kind).cmp(&kind_key(&y.kind))));
+        events.sort_by(|x, y| {
+            x.t.total_cmp(&y.t)
+                .then_with(|| kind_key(&x.kind).cmp(&kind_key(&y.kind)))
+        });
 
         Simulation {
             config: config.clone(),
@@ -203,11 +221,18 @@ impl Simulation {
         at: f64,
     ) -> Self {
         for (node, photo) in photos {
-            assert!(node.0 < self.num_participants, "seeded photo owner {node} outside trace");
-            self.events.push(Event { t: at, kind: EventKind::Generate(node, photo) });
+            assert!(
+                node.0 < self.num_participants,
+                "seeded photo owner {node} outside trace"
+            );
+            self.events.push(Event {
+                t: at,
+                kind: EventKind::Generate(node, photo),
+            });
         }
         self.events.sort_by(|x, y| {
-            x.t.total_cmp(&y.t).then_with(|| kind_key(&x.kind).cmp(&kind_key(&y.kind)))
+            x.t.total_cmp(&y.t)
+                .then_with(|| kind_key(&x.kind).cmp(&kind_key(&y.kind)))
         });
         self
     }
@@ -342,7 +367,11 @@ impl Simulation {
         ctx.now = self.duration;
         samples.push(sample_of(&ctx, self.duration));
         (
-            SimResult { scheme: scheme.name().to_string(), seed: self.seed, samples },
+            SimResult {
+                scheme: scheme.name().to_string(),
+                seed: self.seed,
+                samples,
+            },
             ctx.cc_received,
         )
     }
@@ -471,7 +500,13 @@ mod tests {
             fn name(&self) -> &'static str {
                 "probe"
             }
-            fn on_photo_generated(&mut self, _: &mut SimCtx, _: NodeId, _: photodtn_coverage::Photo) {}
+            fn on_photo_generated(
+                &mut self,
+                _: &mut SimCtx,
+                _: NodeId,
+                _: photodtn_coverage::Photo,
+            ) {
+            }
             fn on_contact(&mut self, _: &mut SimCtx, _: NodeId, _: NodeId, budget: u64) {
                 self.max_budget = self.max_budget.max(budget);
             }
@@ -512,8 +547,9 @@ mod tests {
             }
         }
         // and the simulation still runs
-        let result =
-            Simulation::new(&config, &trace, 3).with_mobility_placement(&tracks).run(&mut FloodScheme);
+        let result = Simulation::new(&config, &trace, 3)
+            .with_mobility_placement(&tracks)
+            .run(&mut FloodScheme);
         assert!(!result.samples.is_empty());
     }
 
@@ -525,9 +561,7 @@ mod tests {
             .run(&mut FloodScheme);
         assert!(capped.final_sample().t_hours <= 10.0 + 1e-9);
         assert!(full.final_sample().t_hours > capped.final_sample().t_hours);
-        assert!(
-            capped.final_sample().delivered_photos <= full.final_sample().delivered_photos
-        );
+        assert!(capped.final_sample().delivered_photos <= full.final_sample().delivered_photos);
     }
 
     #[test]

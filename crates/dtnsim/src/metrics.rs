@@ -44,15 +44,19 @@ impl SimResult {
     /// least the final sample).
     #[must_use]
     pub fn final_sample(&self) -> &MetricSample {
-        self.samples.last().expect("a finished run has at least the final sample")
+        self.samples
+            .last()
+            .expect("a finished run has at least the final sample")
     }
 
     /// The sample closest to `t_hours`.
     #[must_use]
     pub fn sample_at(&self, t_hours: f64) -> Option<&MetricSample> {
-        self.samples
-            .iter()
-            .min_by(|a, b| (a.t_hours - t_hours).abs().total_cmp(&(b.t_hours - t_hours).abs()))
+        self.samples.iter().min_by(|a, b| {
+            (a.t_hours - t_hours)
+                .abs()
+                .total_cmp(&(b.t_hours - t_hours).abs())
+        })
     }
 }
 

@@ -60,10 +60,11 @@ where
     use std::sync::Mutex;
 
     assert!(!seeds.is_empty(), "need at least one seed");
-    let workers = std::thread::available_parallelism().map_or(1, |n| n.get()).min(seeds.len());
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(seeds.len());
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<SimResult>>> =
-        seeds.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<SimResult>>> = seeds.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
@@ -123,7 +124,11 @@ pub fn average(results: Vec<SimResult>) -> AveragedSeries {
             metadata_bytes: (acc.metadata_bytes as f64 / n).round() as u64,
         });
     }
-    AveragedSeries { scheme, runs, samples }
+    AveragedSeries {
+        scheme,
+        runs,
+        samples,
+    }
 }
 
 #[cfg(test)]
@@ -163,12 +168,24 @@ mod tests {
         let a = SimResult {
             scheme: "x".into(),
             seed: 0,
-            samples: vec![MetricSample { t_hours: 1.0, ..Default::default() }; 5],
+            samples: vec![
+                MetricSample {
+                    t_hours: 1.0,
+                    ..Default::default()
+                };
+                5
+            ],
         };
         let b = SimResult {
             scheme: "x".into(),
             seed: 1,
-            samples: vec![MetricSample { t_hours: 3.0, ..Default::default() }; 3],
+            samples: vec![
+                MetricSample {
+                    t_hours: 3.0,
+                    ..Default::default()
+                };
+                3
+            ],
         };
         let avg = average(vec![a, b]);
         assert_eq!(avg.samples.len(), 3);

@@ -35,7 +35,11 @@ impl Arc {
     /// `2π` or more cover the full circle.
     #[must_use]
     pub fn new(start: Angle, width: f64) -> Self {
-        let width = if width.is_finite() { width.clamp(0.0, TAU) } else { 0.0 };
+        let width = if width.is_finite() {
+            width.clamp(0.0, TAU)
+        } else {
+            0.0
+        };
         Arc { start, width }
     }
 
@@ -115,12 +119,18 @@ impl Arc {
     #[must_use]
     pub fn split(self) -> ArcPieces {
         if self.is_empty() {
-            return ArcPieces { first: None, second: None };
+            return ArcPieces {
+                first: None,
+                second: None,
+            };
         }
         let s = self.start.radians();
         let e = s + self.width;
         if e <= TAU + ANGLE_EPS {
-            ArcPieces { first: Some((s, e.min(TAU))), second: None }
+            ArcPieces {
+                first: Some((s, e.min(TAU))),
+                second: None,
+            }
         } else {
             ArcPieces {
                 first: Some((0.0, e - TAU)),
@@ -190,7 +200,10 @@ mod tests {
 
     #[test]
     fn split_non_wrapping() {
-        let a = Arc::new(Angle::from_degrees(10.0), Angle::from_degrees(20.0).radians());
+        let a = Arc::new(
+            Angle::from_degrees(10.0),
+            Angle::from_degrees(20.0).radians(),
+        );
         let p = a.split();
         let (lo, hi) = p.first.unwrap();
         assert!((lo.to_degrees() - 10.0).abs() < 1e-9);

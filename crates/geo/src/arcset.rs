@@ -41,13 +41,17 @@ impl ArcSet {
     /// Creates an empty set.
     #[must_use]
     pub fn new() -> Self {
-        ArcSet { intervals: Vec::new() }
+        ArcSet {
+            intervals: Vec::new(),
+        }
     }
 
     /// Creates the set covering the full circle.
     #[must_use]
     pub fn full() -> Self {
-        ArcSet { intervals: vec![(0.0, TAU)] }
+        ArcSet {
+            intervals: vec![(0.0, TAU)],
+        }
     }
 
     /// Creates a set from a single arc.
@@ -260,9 +264,7 @@ impl ArcSet {
         }
         // Find the range of existing intervals overlapping or adjacent to
         // [lo, hi] and merge them.
-        let start = self
-            .intervals
-            .partition_point(|&(_, h)| h < lo - ANGLE_EPS);
+        let start = self.intervals.partition_point(|&(_, h)| h < lo - ANGLE_EPS);
         let end = self
             .intervals
             .partition_point(|&(l, _)| l <= hi + ANGLE_EPS);
@@ -449,29 +451,48 @@ mod tests {
     #[test]
     fn difference_into_matches_difference() {
         let cases = [
-            (ArcSet::from_arc(arc_deg(0.0, 30.0)), ArcSet::from_arc(arc_deg(20.0, 20.0))),
+            (
+                ArcSet::from_arc(arc_deg(0.0, 30.0)),
+                ArcSet::from_arc(arc_deg(20.0, 20.0)),
+            ),
             (ArcSet::from_arc(arc_deg(90.0, 60.0)), ArcSet::new()),
             (ArcSet::new(), ArcSet::from_arc(arc_deg(10.0, 10.0))),
             (ArcSet::full(), ArcSet::from_arc(arc_deg(180.0, 90.0))),
             (
-                [arc_deg(10.0, 5.0), arc_deg(100.0, 30.0), arc_deg(350.0, 15.0)]
+                [
+                    arc_deg(10.0, 5.0),
+                    arc_deg(100.0, 30.0),
+                    arc_deg(350.0, 15.0),
+                ]
+                .into_iter()
+                .collect(),
+                [arc_deg(95.0, 10.0), arc_deg(0.0, 8.0)]
                     .into_iter()
                     .collect(),
-                [arc_deg(95.0, 10.0), arc_deg(0.0, 8.0)].into_iter().collect(),
             ),
         ];
         let mut out = ArcSet::new();
         for (a, b) in &cases {
             a.difference_into(b, &mut out);
-            assert_eq!(out, a.difference(b), "difference_into diverged for {a} \\ {b}");
+            assert_eq!(
+                out,
+                a.difference(b),
+                "difference_into diverged for {a} \\ {b}"
+            );
         }
     }
 
     #[test]
     fn adjacent_intervals_merge() {
         let mut s = ArcSet::new();
-        s.insert(Arc::new(Angle::from_degrees(10.0), Angle::from_degrees(10.0).radians()));
-        s.insert(Arc::new(Angle::from_degrees(20.0), Angle::from_degrees(10.0).radians()));
+        s.insert(Arc::new(
+            Angle::from_degrees(10.0),
+            Angle::from_degrees(10.0).radians(),
+        ));
+        s.insert(Arc::new(
+            Angle::from_degrees(20.0),
+            Angle::from_degrees(10.0).radians(),
+        ));
         assert_eq!(s.interval_count(), 1);
         assert!((s.measure().to_degrees() - 20.0).abs() < 1e-9);
     }

@@ -101,7 +101,9 @@ impl Sector {
         // `[0, 2π)`, so `fov` can never be a full 2π; a near-full span
         // simply includes all four cardinals.)
         let in_span = |deg: f64| {
-            self.orientation().separation(Angle::from_degrees(deg)).radians()
+            self.orientation()
+                .separation(Angle::from_degrees(deg))
+                .radians()
                 <= self.fov().radians() / 2.0
         };
         if in_span(0.0) {
@@ -146,11 +148,16 @@ mod tests {
     fn narrow_sector_bbox_is_tight() {
         // 40° FoV pointing east from the origin: the box must not extend
         // west of the apex nor anywhere near the south/north extremes.
-        let s = Sector::new(Point::new(0.0, 0.0), 100.0, Angle::from_degrees(40.0), Angle::ZERO);
+        let s = Sector::new(
+            Point::new(0.0, 0.0),
+            100.0,
+            Angle::from_degrees(40.0),
+            Angle::ZERO,
+        );
         let b = s.bbox();
         assert!(b.min.x >= -1e-9);
         assert!((b.max.x - 100.0).abs() < 1e-9); // east cardinal in span
-        // y extent bounded by the FoV edge endpoints: 100·sin(20°)
+                                                 // y extent bounded by the FoV edge endpoints: 100·sin(20°)
         let edge_y = 100.0 * 20f64.to_radians().sin();
         assert!((b.max.y - edge_y).abs() < 1e-9);
         assert!((b.min.y + edge_y).abs() < 1e-9);
@@ -191,7 +198,12 @@ mod tests {
 
     #[test]
     fn empty_sector_bbox_is_apex() {
-        let s = Sector::new(Point::new(3.0, 4.0), 0.0, Angle::from_degrees(60.0), Angle::ZERO);
+        let s = Sector::new(
+            Point::new(3.0, 4.0),
+            0.0,
+            Angle::from_degrees(60.0),
+            Angle::ZERO,
+        );
         assert_eq!(s.bbox(), BBox::of_point(Point::new(3.0, 4.0)));
     }
 

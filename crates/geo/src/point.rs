@@ -183,7 +183,10 @@ mod tests {
     #[test]
     fn zero_vector_direction_is_zero() {
         assert_eq!(Vec2::new(0.0, 0.0).direction(), Angle::ZERO);
-        assert_eq!(Point::new(1.0, 1.0).bearing(Point::new(1.0, 1.0)), Angle::ZERO);
+        assert_eq!(
+            Point::new(1.0, 1.0).bearing(Point::new(1.0, 1.0)),
+            Angle::ZERO
+        );
     }
 
     #[test]

@@ -40,8 +40,17 @@ impl Sector {
     /// normalization.
     #[must_use]
     pub fn new(apex: Point, range: f64, fov: Angle, orientation: Angle) -> Self {
-        let range = if range.is_finite() { range.max(0.0) } else { 0.0 };
-        Sector { apex, range, fov, orientation }
+        let range = if range.is_finite() {
+            range.max(0.0)
+        } else {
+            0.0
+        };
+        Sector {
+            apex,
+            range,
+            fov,
+            orientation,
+        }
     }
 
     /// Camera location `l`.
@@ -164,7 +173,12 @@ mod tests {
     fn apex_is_inside() {
         let s = north_sector();
         assert!(s.contains(Point::new(0.0, 0.0)));
-        let empty = Sector::new(Point::new(0.0, 0.0), 0.0, Angle::from_degrees(60.0), Angle::ZERO);
+        let empty = Sector::new(
+            Point::new(0.0, 0.0),
+            0.0,
+            Angle::from_degrees(60.0),
+            Angle::ZERO,
+        );
         assert!(!empty.contains(Point::new(0.0, 0.0)));
     }
 
@@ -190,7 +204,9 @@ mod tests {
     #[test]
     fn aspect_arc_none_outside() {
         let s = north_sector();
-        assert!(s.aspect_arc(Point::new(0.0, 200.0), Angle::from_degrees(30.0)).is_none());
+        assert!(s
+            .aspect_arc(Point::new(0.0, 200.0), Angle::from_degrees(30.0))
+            .is_none());
     }
 
     #[test]

@@ -6,16 +6,21 @@ use photodtn_geo::{Angle, Point, Sector};
 use proptest::prelude::*;
 
 fn arb_sector() -> impl Strategy<Value = Sector> {
-    (-500.0..500.0f64, -500.0..500.0f64, 0.0..300.0f64, 0.0..360.0f64, 0.0..360.0f64).prop_map(
-        |(x, y, r, fov, dir)| {
+    (
+        -500.0..500.0f64,
+        -500.0..500.0f64,
+        0.0..300.0f64,
+        0.0..360.0f64,
+        0.0..360.0f64,
+    )
+        .prop_map(|(x, y, r, fov, dir)| {
             Sector::new(
                 Point::new(x, y),
                 r,
                 Angle::from_degrees(fov),
                 Angle::from_degrees(dir),
             )
-        },
-    )
+        })
 }
 
 proptest! {

@@ -59,7 +59,12 @@ impl ProphetParams {
     /// Table I values: `(0.75, 0.25, 0.98)` with a one-hour aging unit.
     #[must_use]
     pub fn paper_default() -> Self {
-        ProphetParams { p_init: 0.75, beta: 0.25, gamma: 0.98, time_unit: 3600.0 }
+        ProphetParams {
+            p_init: 0.75,
+            beta: 0.25,
+            gamma: 0.98,
+            time_unit: 3600.0,
+        }
     }
 
     /// Validates parameter ranges.
@@ -114,7 +119,9 @@ impl ProphetTable {
     /// unknown). Does not mutate the table — aging is applied lazily.
     #[must_use]
     pub fn predictability(&self, dest: NodeId, now: f64, params: &ProphetParams) -> f64 {
-        self.entries.get(&dest.0).map_or(0.0, |e| aged(e, now, params))
+        self.entries
+            .get(&dest.0)
+            .map_or(0.0, |e| aged(e, now, params))
     }
 
     /// Number of known destinations.
@@ -131,14 +138,23 @@ impl ProphetTable {
 
     /// Applies the encounter rule for a meeting with `peer` at `now`.
     pub fn encounter(&mut self, peer: NodeId, now: f64, params: &ProphetParams) {
-        let e = self.entries.entry(peer.0).or_insert(Entry { p: 0.0, last_aged: now });
+        let e = self.entries.entry(peer.0).or_insert(Entry {
+            p: 0.0,
+            last_aged: now,
+        });
         let p = aged(e, now, params);
         e.p = p + (1.0 - p) * params.p_init;
         e.last_aged = now;
     }
 
     /// Applies the transitivity rule using the peer's table at `now`.
-    pub fn transitive(&mut self, peer: NodeId, peer_table: &ProphetTable, now: f64, params: &ProphetParams) {
+    pub fn transitive(
+        &mut self,
+        peer: NodeId,
+        peer_table: &ProphetTable,
+        now: f64,
+        params: &ProphetParams,
+    ) {
         let p_ab = self.predictability(peer, now, params);
         if p_ab <= 0.0 {
             return;
@@ -152,7 +168,10 @@ impl ProphetTable {
             if candidate <= 0.0 {
                 continue;
             }
-            let e = self.entries.entry(dest).or_insert(Entry { p: 0.0, last_aged: now });
+            let e = self.entries.entry(dest).or_insert(Entry {
+                p: 0.0,
+                last_aged: now,
+            });
             let current = aged(e, now, params);
             e.p = current.max(candidate);
             e.last_aged = now;
@@ -182,7 +201,10 @@ impl ProphetRouter {
     #[must_use]
     pub fn new(num_nodes: u32, params: ProphetParams) -> Self {
         params.validate().expect("invalid PROPHET parameters");
-        ProphetRouter { params, tables: vec![ProphetTable::new(); num_nodes as usize] }
+        ProphetRouter {
+            params,
+            tables: vec![ProphetTable::new(); num_nodes as usize],
+        }
     }
 
     /// The protocol parameters.
@@ -251,11 +273,36 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_params() {
-        assert!(ProphetParams { p_init: 0.0, ..params() }.validate().is_err());
-        assert!(ProphetParams { p_init: 1.5, ..params() }.validate().is_err());
-        assert!(ProphetParams { beta: -0.1, ..params() }.validate().is_err());
-        assert!(ProphetParams { gamma: 1.0, ..params() }.validate().is_err());
-        assert!(ProphetParams { time_unit: 0.0, ..params() }.validate().is_err());
+        assert!(ProphetParams {
+            p_init: 0.0,
+            ..params()
+        }
+        .validate()
+        .is_err());
+        assert!(ProphetParams {
+            p_init: 1.5,
+            ..params()
+        }
+        .validate()
+        .is_err());
+        assert!(ProphetParams {
+            beta: -0.1,
+            ..params()
+        }
+        .validate()
+        .is_err());
+        assert!(ProphetParams {
+            gamma: 1.0,
+            ..params()
+        }
+        .validate()
+        .is_err());
+        assert!(ProphetParams {
+            time_unit: 0.0,
+            ..params()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

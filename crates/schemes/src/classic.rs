@@ -34,7 +34,9 @@ impl Scheme for Epidemic {
         let capacity = ctx.storage_bytes();
         let collection = ctx.collection_mut(node);
         while collection.total_size() + photo.size > capacity {
-            let Some(oldest) = collection.ids().next() else { return };
+            let Some(oldest) = collection.ids().next() else {
+                return;
+            };
             collection.remove(oldest);
         }
         collection.insert(photo);
@@ -102,7 +104,9 @@ impl Scheme for DirectDelivery {
         let capacity = ctx.storage_bytes();
         let collection = ctx.collection_mut(node);
         while collection.total_size() + photo.size > capacity {
-            let Some(oldest) = collection.ids().next() else { return };
+            let Some(oldest) = collection.ids().next() else {
+                return;
+            };
             collection.remove(oldest);
         }
         collection.insert(photo);
@@ -158,7 +162,10 @@ mod tests {
             epi.final_sample().point_coverage,
             spray.final_sample().point_coverage,
         );
-        assert!(e <= b + 1e-9, "epidemic {e} beat unconstrained flooding {b}");
+        assert!(
+            e <= b + 1e-9,
+            "epidemic {e} beat unconstrained flooding {b}"
+        );
         assert!(e + 0.05 >= s, "epidemic {e} clearly below spray {s}");
     }
 

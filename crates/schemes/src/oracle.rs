@@ -23,8 +23,8 @@
 //! in-network selection coverage-aware.
 
 use photodtn_contacts::NodeId;
-use photodtn_coverage::{Coverage, Photo, PhotoCoverage};
 use photodtn_core::expected::ExpectedEngine;
+use photodtn_coverage::{Coverage, Photo, PhotoCoverage};
 use photodtn_sim::{Scheme, SimCtx};
 
 use crate::value::PhotoValueCache;
@@ -57,8 +57,10 @@ impl Scheme for CentralizedOracle {
         let collection = ctx.collection_mut(node);
         while collection.total_size() + photo.size > capacity {
             let new_value = self.values.value(&photo, &pois, params);
-            let worst =
-                collection.iter().map(|p| (self.values.value(p, &pois, params), p.id)).min();
+            let worst = collection
+                .iter()
+                .map(|p| (self.values.value(p, &pois, params), p.id))
+                .min();
             match worst {
                 Some((value, id)) if (value, id) < (new_value, photo.id) => {
                     collection.remove(id);
@@ -106,8 +108,10 @@ impl Scheme for CentralizedOracle {
         // Snapshot the (id-ordered) collection and index each photo's
         // coverage once; gains then come from the engine's fast path.
         let photos: Vec<Photo> = ctx.collection(node).iter().copied().collect();
-        let covs: Vec<PhotoCoverage> =
-            photos.iter().map(|p| PhotoCoverage::build(&p.meta, &pois, params)).collect();
+        let covs: Vec<PhotoCoverage> = photos
+            .iter()
+            .map(|p| PhotoCoverage::build(&p.meta, &pois, params))
+            .collect();
         let mut taken = vec![false; photos.len()];
 
         let mut remaining = budget;
@@ -165,9 +169,7 @@ mod tests {
         let best = Simulation::new(&config(), &trace, 1).run(&mut BestPossible);
         assert_eq!(oracle.scheme, "oracle");
         assert!(oracle.final_sample().delivered_photos > 0);
-        assert!(
-            oracle.final_sample().point_coverage <= best.final_sample().point_coverage + 1e-9
-        );
+        assert!(oracle.final_sample().point_coverage <= best.final_sample().point_coverage + 1e-9);
     }
 
     #[test]

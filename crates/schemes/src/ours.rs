@@ -65,7 +65,11 @@ impl OurScheme {
     /// management; selection sees only the two contacting nodes.
     #[must_use]
     pub fn no_metadata() -> Self {
-        OurScheme { use_metadata: false, relay_acks: false, ..Self::new() }
+        OurScheme {
+            use_metadata: false,
+            relay_acks: false,
+            ..Self::new()
+        }
     }
 
     /// Overrides the validity threshold (builder-style).
@@ -99,22 +103,32 @@ impl OurScheme {
         // peer id -> (snapshot time, metas, is_cc)
         let mut merged: HashMap<u32, (f64, Vec<PhotoMeta>)> = HashMap::new();
         for endpoint in [a, b] {
-            let Some(cache) = self.caches.get(&endpoint.0) else { continue };
+            let Some(cache) = self.caches.get(&endpoint.0) else {
+                continue;
+            };
             for (peer, record) in cache.valid_records(&self.validity, now) {
                 if peer == a || peer == b {
                     continue; // live collections take precedence
                 }
-                let entry = merged.entry(peer.0).or_insert((f64::NEG_INFINITY, Vec::new()));
+                let entry = merged
+                    .entry(peer.0)
+                    .or_insert((f64::NEG_INFINITY, Vec::new()));
                 if record.snapshot_at > entry.0 {
-                    *entry = (record.snapshot_at, record.photos.iter().map(|(_, m)| *m).collect());
+                    *entry = (
+                        record.snapshot_at,
+                        record.photos.iter().map(|(_, m)| *m).collect(),
+                    );
                 }
             }
         }
         merged
             .into_iter()
             .map(|(peer, (_, metas))| {
-                let prob =
-                    if NodeId(peer) == cc { 1.0 } else { ctx.delivery_prob(NodeId(peer)) };
+                let prob = if NodeId(peer) == cc {
+                    1.0
+                } else {
+                    ctx.delivery_prob(NodeId(peer))
+                };
                 DeliveryNode::new(prob, metas)
             })
             .collect()
@@ -127,8 +141,11 @@ impl OurScheme {
             return;
         }
         let now = ctx.now();
-        let snapshot: Vec<(PhotoId, PhotoMeta)> =
-            ctx.collection(peer).iter().map(|p| (p.id, p.meta)).collect();
+        let snapshot: Vec<(PhotoId, PhotoMeta)> = ctx
+            .collection(peer)
+            .iter()
+            .map(|p| (p.id, p.meta))
+            .collect();
         ctx.note_metadata_bytes(snapshot.len() as u64 * PhotoMeta::wire_size() + 8);
         let lambda = self.rates.node_rate(peer, now);
         let cc = ctx.command_center_id();
@@ -142,7 +159,9 @@ impl OurScheme {
         let cache = self.cache_mut(owner);
         cache.update(peer, snapshot, lambda, now);
         if let Some(peer_cc) = relayed_cc {
-            let ours_older = cache.record(cc).is_none_or(|r| r.snapshot_at < peer_cc.snapshot_at);
+            let ours_older = cache
+                .record(cc)
+                .is_none_or(|r| r.snapshot_at < peer_cc.snapshot_at);
             if ours_older {
                 cache.update(cc, peer_cc.photos, 0.0, peer_cc.snapshot_at);
             }
@@ -239,8 +258,10 @@ impl Scheme for OurScheme {
         // coverage once; the greedy loop then evaluates gains through the
         // engine's allocation-free fast path.
         let photos: Vec<Photo> = ctx.collection(node).iter().copied().collect();
-        let covs: Vec<PhotoCoverage> =
-            photos.iter().map(|p| PhotoCoverage::build(&p.meta, &pois, params)).collect();
+        let covs: Vec<PhotoCoverage> = photos
+            .iter()
+            .map(|p| PhotoCoverage::build(&p.meta, &pois, params))
+            .collect();
         let mut taken = vec![false; photos.len()];
 
         let mut remaining = budget;
@@ -304,7 +325,10 @@ mod tests {
     fn runs_and_delivers() {
         let result = Simulation::new(&config(), &trace(), 1).run(&mut OurScheme::new());
         assert_eq!(result.scheme, "ours");
-        assert!(result.final_sample().delivered_photos > 0, "must deliver photos");
+        assert!(
+            result.final_sample().delivered_photos > 0,
+            "must deliver photos"
+        );
         assert!(result.final_sample().point_coverage > 0.0);
     }
 
@@ -346,8 +370,7 @@ mod tests {
             f.uploaded_bytes
         );
         // metadata-free baselines report zero
-        let spray = Simulation::new(&config(), &trace(), 6)
-            .run(&mut crate::SprayAndWait::new());
+        let spray = Simulation::new(&config(), &trace(), 6).run(&mut crate::SprayAndWait::new());
         assert_eq!(spray.final_sample().metadata_bytes, 0);
     }
 
@@ -356,8 +379,8 @@ mod tests {
         // "the number of delivered photos in our scheme … is dramatically
         // less" — flooding delivers everything it can.
         let trace = trace();
-        let flood = Simulation::new(&config(), &trace, 4)
-            .run(&mut photodtn_sim::schemes_api::FloodScheme);
+        let flood =
+            Simulation::new(&config(), &trace, 4).run(&mut photodtn_sim::schemes_api::FloodScheme);
         let ours = Simulation::new(&config(), &trace, 4).run(&mut OurScheme::new());
         assert!(
             ours.final_sample().delivered_photos <= flood.final_sample().delivered_photos,

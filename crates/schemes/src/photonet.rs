@@ -30,7 +30,10 @@ impl PhotoNet {
     /// Creates the baseline with the default normalizers (1 km, 1 h).
     #[must_use]
     pub fn new() -> Self {
-        PhotoNet { location_scale: 1000.0, time_scale: 3600.0 }
+        PhotoNet {
+            location_scale: 1000.0,
+            time_scale: 3600.0,
+        }
     }
 
     /// Feature distance between two photos.
@@ -109,7 +112,9 @@ impl Scheme for PhotoNet {
                     .filter(|p| !ctx.collection(dst).contains(p.id) && p.size <= remaining)
                     .map(|p| (self.novelty(p, ctx.collection(dst)), *p))
                     .max_by(|(na, pa), (nb, pb)| na.total_cmp(nb).then(pb.id.cmp(&pa.id)));
-                let Some((novelty, photo)) = candidate else { break };
+                let Some((novelty, photo)) = candidate else {
+                    break;
+                };
                 if novelty <= 0.0 {
                     break; // receiver already has an identical-feature photo
                 }
@@ -153,7 +158,12 @@ mod tests {
     fn photo(id: u64, x: f64, t: f64) -> Photo {
         Photo::new(
             id,
-            PhotoMeta::new(Point::new(x, 0.0), 100.0, Angle::from_degrees(45.0), Angle::ZERO),
+            PhotoMeta::new(
+                Point::new(x, 0.0),
+                100.0,
+                Angle::from_degrees(45.0),
+                Angle::ZERO,
+            ),
             t,
         )
         .with_size(1)
@@ -177,7 +187,9 @@ mod tests {
     #[test]
     fn novelty_prefers_distant_photos() {
         let pn = PhotoNet::new();
-        let collection: PhotoCollection = [photo(1, 0.0, 0.0), photo(2, 100.0, 0.0)].into_iter().collect();
+        let collection: PhotoCollection = [photo(1, 0.0, 0.0), photo(2, 100.0, 0.0)]
+            .into_iter()
+            .collect();
         let near = photo(3, 10.0, 0.0);
         let far = photo(4, 5000.0, 0.0);
         assert!(pn.novelty(&far, &collection) > pn.novelty(&near, &collection));
@@ -188,10 +200,18 @@ mod tests {
     #[test]
     fn eviction_removes_most_redundant() {
         let pn = PhotoNet::new();
-        let collection: PhotoCollection =
-            [photo(1, 0.0, 0.0), photo(2, 5.0, 0.0), photo(3, 4000.0, 0.0)].into_iter().collect();
+        let collection: PhotoCollection = [
+            photo(1, 0.0, 0.0),
+            photo(2, 5.0, 0.0),
+            photo(3, 4000.0, 0.0),
+        ]
+        .into_iter()
+        .collect();
         let (_, victim) = pn.most_redundant(&collection).unwrap();
-        assert!(victim.id.0 == 1 || victim.id.0 == 2, "redundant pair is 1/2, not 3");
+        assert!(
+            victim.id.0 == 1 || victim.id.0 == 2,
+            "redundant pair is 1/2, not 3"
+        );
     }
 
     #[test]

@@ -90,27 +90,51 @@ mod tests {
     }
 
     fn covering(id: u64) -> Photo {
-        let meta =
-            PhotoMeta::new(Point::new(50.0, 0.0), 100.0, Angle::from_degrees(40.0), Angle::PI);
+        let meta = PhotoMeta::new(
+            Point::new(50.0, 0.0),
+            100.0,
+            Angle::from_degrees(40.0),
+            Angle::PI,
+        );
         Photo::new(id, meta, 0.0).with_size(1)
     }
 
     fn junk(id: u64) -> Photo {
-        let meta =
-            PhotoMeta::new(Point::new(900.0, 900.0), 50.0, Angle::from_degrees(40.0), Angle::ZERO);
+        let meta = PhotoMeta::new(
+            Point::new(900.0, 900.0),
+            50.0,
+            Angle::from_degrees(40.0),
+            Angle::ZERO,
+        );
         Photo::new(id, meta, 0.0).with_size(1)
     }
 
-    fn run(policy: BufferPolicy, stored: Vec<Photo>, incoming: Photo, cap: u64) -> (Option<Vec<PhotoId>>, PhotoCollection) {
+    fn run(
+        policy: BufferPolicy,
+        stored: Vec<Photo>,
+        incoming: Photo,
+        cap: u64,
+    ) -> (Option<Vec<PhotoId>>, PhotoCollection) {
         let mut c: PhotoCollection = stored.into_iter().collect();
         let mut values = PhotoValueCache::new();
-        let out = policy.make_room(&mut c, &incoming, cap, &mut values, &pois(), CoverageParams::default());
+        let out = policy.make_room(
+            &mut c,
+            &incoming,
+            cap,
+            &mut values,
+            &pois(),
+            CoverageParams::default(),
+        );
         (out, c)
     }
 
     #[test]
     fn room_available_accepts_without_eviction() {
-        for policy in [BufferPolicy::DropIncoming, BufferPolicy::DropOldest, BufferPolicy::DropLeastValue] {
+        for policy in [
+            BufferPolicy::DropIncoming,
+            BufferPolicy::DropOldest,
+            BufferPolicy::DropLeastValue,
+        ] {
             let (out, c) = run(policy, vec![junk(1)], junk(2), 2);
             assert_eq!(out, Some(vec![]), "{policy:?}");
             assert_eq!(c.len(), 1);
@@ -119,7 +143,12 @@ mod tests {
 
     #[test]
     fn drop_incoming_refuses_when_full() {
-        let (out, c) = run(BufferPolicy::DropIncoming, vec![junk(1), junk(2)], covering(3), 2);
+        let (out, c) = run(
+            BufferPolicy::DropIncoming,
+            vec![junk(1), junk(2)],
+            covering(3),
+            2,
+        );
         assert_eq!(out, None);
         assert_eq!(c.len(), 2);
     }
@@ -137,13 +166,27 @@ mod tests {
         // full of one junk + one covering photo; a covering incoming
         // photo evicts the junk, a junk incoming photo is refused when
         // only better-or-equal-newer photos remain.
-        let (out, _) =
-            run(BufferPolicy::DropLeastValue, vec![junk(1), covering(2)], covering(3), 2);
+        let (out, _) = run(
+            BufferPolicy::DropLeastValue,
+            vec![junk(1), covering(2)],
+            covering(3),
+            2,
+        );
         assert_eq!(out, Some(vec![PhotoId(1)]));
-        let (out, _) = run(BufferPolicy::DropLeastValue, vec![covering(1), covering(2)], junk(3), 2);
+        let (out, _) = run(
+            BufferPolicy::DropLeastValue,
+            vec![covering(1), covering(2)],
+            junk(3),
+            2,
+        );
         assert_eq!(out, None);
         // junk vs older junk: ties resolve by id — older junk evicted
-        let (out, _) = run(BufferPolicy::DropLeastValue, vec![junk(1), junk(2)], junk(3), 2);
+        let (out, _) = run(
+            BufferPolicy::DropLeastValue,
+            vec![junk(1), junk(2)],
+            junk(3),
+            2,
+        );
         assert_eq!(out, Some(vec![PhotoId(1)]));
     }
 

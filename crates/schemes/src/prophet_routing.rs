@@ -37,7 +37,9 @@ impl Scheme for ProphetRouting {
         let capacity = ctx.storage_bytes();
         let collection = ctx.collection_mut(node);
         while collection.total_size() + photo.size > capacity {
-            let Some(oldest) = collection.ids().next() else { return };
+            let Some(oldest) = collection.ids().next() else {
+                return;
+            };
             collection.remove(oldest);
         }
         collection.insert(photo);

@@ -80,7 +80,14 @@ impl SprayAndWait {
         let pois = ctx.pois().clone();
         let params = ctx.coverage_params();
         let collection = ctx.collection_mut(node);
-        match policy.make_room(collection, incoming, capacity, &mut self.values, &pois, params) {
+        match policy.make_room(
+            collection,
+            incoming,
+            capacity,
+            &mut self.values,
+            &pois,
+            params,
+        ) {
             Some(evicted) => {
                 for id in evicted {
                     self.copies.remove(&(node.0, id.0));
@@ -337,8 +344,7 @@ mod tests {
         let plain = Simulation::new(&config, &trace, 3).run(&mut SprayAndWait::new());
         let modified = Simulation::new(&config, &trace, 3).run(&mut ModifiedSpray::new());
         assert!(
-            modified.final_sample().point_coverage
-                >= plain.final_sample().point_coverage,
+            modified.final_sample().point_coverage >= plain.final_sample().point_coverage,
             "modified {} < plain {}",
             modified.final_sample().point_coverage,
             plain.final_sample().point_coverage

@@ -29,7 +29,10 @@ impl PhotoValueCache {
         }
         let c = Coverage::of(pois, [&photo.meta], params);
         const SCALE: f64 = 1e9;
-        let q = ((c.point * SCALE).round() as i64, (c.aspect * SCALE).round() as i64);
+        let q = (
+            (c.point * SCALE).round() as i64,
+            (c.aspect * SCALE).round() as i64,
+        );
         self.values.insert(photo.id, q);
         q
     }
@@ -64,7 +67,11 @@ mod tests {
 
     fn shot(id: u64, covers: bool) -> Photo {
         let dir = if covers { Angle::PI } else { Angle::ZERO };
-        Photo::new(id, PhotoMeta::new(Point::new(50.0, 0.0), 100.0, Angle::from_degrees(40.0), dir), 0.0)
+        Photo::new(
+            id,
+            PhotoMeta::new(Point::new(50.0, 0.0), 100.0, Angle::from_degrees(40.0), dir),
+            0.0,
+        )
     }
 
     #[test]
@@ -77,7 +84,10 @@ mod tests {
         assert_eq!(bad, (0, 0));
         assert_eq!(cache.len(), 2);
         // cached lookup returns the same value
-        assert_eq!(cache.value(&shot(1, true), &pois, CoverageParams::default()), good);
+        assert_eq!(
+            cache.value(&shot(1, true), &pois, CoverageParams::default()),
+            good
+        );
         cache.forget(PhotoId(1));
         assert_eq!(cache.len(), 1);
     }

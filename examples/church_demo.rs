@@ -19,8 +19,8 @@
 //! cargo run --release --example church_demo
 //! ```
 
-use photodtn::sim::Scheme;
 use photodtn::schemes::{OurScheme, PhotoNet, SprayAndWait};
+use photodtn::sim::Scheme;
 use photodtn_bench::demo::DemoWorld;
 
 const SEED: u64 = 2016;
@@ -40,9 +40,15 @@ fn main() {
         .iter()
         .filter(|(_, p)| p.meta.covers(&world.pois[photodtn::coverage::PoiId(0)]))
         .count();
-    println!("photos: {} total, {covering} actually cover the church\n", world.photos.len());
+    println!(
+        "photos: {} total, {covering} actually cover the church\n",
+        world.photos.len()
+    );
 
-    println!("{:<14} {:>17} {:>22}", "scheme", "photos delivered", "church aspect covered");
+    println!(
+        "{:<14} {:>17} {:>22}",
+        "scheme", "photos delivered", "church aspect covered"
+    );
     run(&world, &mut OurScheme::new());
     run(&world, &mut PhotoNet::new());
     run(&world, &mut SprayAndWait::new());

@@ -40,8 +40,7 @@ fn main() {
         trace.duration() / 3600.0
     );
 
-    let uniform =
-        Simulation::new(&config, &trace, SEED).run(&mut OurScheme::new());
+    let uniform = Simulation::new(&config, &trace, SEED).run(&mut OurScheme::new());
     let mobile = Simulation::new(&config, &trace, SEED)
         .with_mobility_placement(&tracks)
         .run(&mut OurScheme::new());

@@ -29,7 +29,10 @@ fn main() {
 
     let mut profile = CoverageProfile::new(&pois, params);
     println!("photo from the east : gain {}", profile.add(&shot(0.0)));
-    println!("same shot again     : gain {}  (fully redundant)", profile.add(&shot(0.0)));
+    println!(
+        "same shot again     : gain {}  (fully redundant)",
+        profile.add(&shot(0.0))
+    );
     println!("photo from the west : gain {}", profile.add(&shot(180.0)));
     let total: Coverage = profile.total();
     println!(

@@ -36,7 +36,12 @@ fn main() {
     let validity = ValidityModel::paper_default();
     let now = mit.duration();
     let mut horizons: Vec<(f64, u32)> = (0..mit.num_nodes())
-        .map(|n| (validity.validity_horizon(rates.node_rate(NodeId(n), now)), n))
+        .map(|n| {
+            (
+                validity.validity_horizon(rates.node_rate(NodeId(n), now)),
+                n,
+            )
+        })
         .collect();
     horizons.sort_by(|a, b| a.0.total_cmp(&b.0));
     let busiest = horizons.first().unwrap();

@@ -36,7 +36,12 @@ fn main() {
         let dir = Angle::from_degrees(deg);
         Photo::new(
             id,
-            PhotoMeta::new(target.offset(dir, 60.0), 100.0, Angle::from_degrees(50.0), dir + Angle::PI),
+            PhotoMeta::new(
+                target.offset(dir, 60.0),
+                100.0,
+                Angle::from_degrees(50.0),
+                dir + Angle::PI,
+            ),
             0.0,
         )
         .with_size(1)
@@ -51,25 +56,46 @@ fn main() {
     let input = SelectionInput {
         pois: &pois,
         params,
-        a: PeerState { node: NodeId(0), delivery_prob: 0.9, capacity: 2, photos: pool.clone() },
-        b: PeerState { node: NodeId(1), delivery_prob: 0.0, capacity: 0, photos: vec![] },
+        a: PeerState {
+            node: NodeId(0),
+            delivery_prob: 0.9,
+            capacity: 2,
+            photos: pool.clone(),
+        },
+        b: PeerState {
+            node: NodeId(1),
+            delivery_prob: 0.0,
+            capacity: 0,
+            photos: vec![],
+        },
         others: vec![],
     };
     let result = reallocate(&input);
     println!("relay capacity 2, hospital weight 3×:");
     for id in &result.a_selected {
-        let p = pool.iter().find(|p| p.id == *id).expect("selected from pool");
+        let p = pool
+            .iter()
+            .find(|p| p.id == *id)
+            .expect("selected from pool");
         let covers_hospital = p.meta.covers(&pois[photodtn::coverage::PoiId(0)]);
         println!(
             "  selected {:?} — covers the {}",
             id,
-            if covers_hospital { "hospital" } else { "warehouse" }
+            if covers_hospital {
+                "hospital"
+            } else {
+                "warehouse"
+            }
         );
     }
     let hospital_shots = result
         .a_selected
         .iter()
-        .filter(|id| pool[(id.0 - 1) as usize].meta.covers(&pois[photodtn::coverage::PoiId(0)]))
+        .filter(|id| {
+            pool[(id.0 - 1) as usize]
+                .meta
+                .covers(&pois[photodtn::coverage::PoiId(0)])
+        })
         .count();
     // With 3× weight, one hospital photo (3.0 point) beats a warehouse
     // photo (1.0), but the second hospital photo (aspects only) loses to
@@ -83,12 +109,19 @@ fn main() {
     // Aspect weighting: the hospital's main entrance faces north. Score
     // the two candidate hospital views with an entrance-weighted measure.
     let mut entrance = AspectWeights::uniform();
-    entrance.add_region(Arc::centered(Angle::from_degrees(90.0), Angle::from_degrees(45.0)), 4.0);
+    entrance.add_region(
+        Arc::centered(Angle::from_degrees(90.0), Angle::from_degrees(45.0)),
+        4.0,
+    );
 
     println!("\nentrance-weighted aspect scores (entrance faces north, 4× weight):");
     for deg in [90.0, 270.0] {
         let meta = shot(9, hospital, deg).meta;
-        let covered = aspect_set(&pois[photodtn::coverage::PoiId(0)], [&meta], params.effective_angle);
+        let covered = aspect_set(
+            &pois[photodtn::coverage::PoiId(0)],
+            [&meta],
+            params.effective_angle,
+        );
         println!(
             "  photo from {deg:>5.0}°: plain {:>5.1}°, entrance-weighted {:>6.1}°",
             covered.measure().to_degrees(),
@@ -111,7 +144,12 @@ fn main() {
             capacity: 1,
             photos: vec![shot(11, hospital, 270.0), shot(12, hospital, 90.0)],
         },
-        b: PeerState { node: NodeId(1), delivery_prob: 0.0, capacity: 0, photos: vec![] },
+        b: PeerState {
+            node: NodeId(1),
+            delivery_prob: 0.0,
+            capacity: 0,
+            photos: vec![],
+        },
         others: vec![],
     };
     let plain = reallocate(&duel);

@@ -25,13 +25,29 @@ fn check_invariants(result: &SimResult) {
     assert!(!result.samples.is_empty());
     for w in result.samples.windows(2) {
         // the command center never loses photos or coverage
-        assert!(w[1].delivered_photos >= w[0].delivered_photos, "{}", result.scheme);
-        assert!(w[1].point_coverage >= w[0].point_coverage - 1e-12, "{}", result.scheme);
-        assert!(w[1].aspect_coverage_deg >= w[0].aspect_coverage_deg - 1e-9, "{}", result.scheme);
+        assert!(
+            w[1].delivered_photos >= w[0].delivered_photos,
+            "{}",
+            result.scheme
+        );
+        assert!(
+            w[1].point_coverage >= w[0].point_coverage - 1e-12,
+            "{}",
+            result.scheme
+        );
+        assert!(
+            w[1].aspect_coverage_deg >= w[0].aspect_coverage_deg - 1e-9,
+            "{}",
+            result.scheme
+        );
     }
     for s in &result.samples {
         assert!((0.0..=1.0).contains(&s.point_coverage), "{}", result.scheme);
-        assert!((0.0..=360.0 + 1e-9).contains(&s.aspect_coverage_deg), "{}", result.scheme);
+        assert!(
+            (0.0..=360.0 + 1e-9).contains(&s.aspect_coverage_deg),
+            "{}",
+            result.scheme
+        );
     }
 }
 
@@ -76,11 +92,18 @@ fn best_possible_dominates_everyone() {
 fn delivered_photos_exist_and_are_unique() {
     let (result, delivered) =
         Simulation::new(&config(), &trace(), 5).run_detailed(&mut OurScheme::new());
-    assert_eq!(result.final_sample().delivered_photos as usize, delivered.len());
+    assert_eq!(
+        result.final_sample().delivered_photos as usize,
+        delivered.len()
+    );
     // PhotoCollection keys by id, so uniqueness is structural; verify the
     // count is also consistent with the metric stream.
-    let max_during_run =
-        result.samples.iter().map(|s| s.delivered_photos).max().unwrap_or(0);
+    let max_during_run = result
+        .samples
+        .iter()
+        .map(|s| s.delivered_photos)
+        .max()
+        .unwrap_or(0);
     assert_eq!(max_during_run as usize, delivered.len());
 }
 
@@ -109,8 +132,7 @@ fn short_contacts_never_help_ours() {
     let unhurried = Simulation::new(&long, &trace, 9).run(&mut OurScheme::new());
     let hurried = Simulation::new(&short, &trace, 9).run(&mut OurScheme::new());
     assert!(
-        unhurried.final_sample().point_coverage
-            >= hurried.final_sample().point_coverage - 0.02,
+        unhurried.final_sample().point_coverage >= hurried.final_sample().point_coverage - 0.02,
         "capped contacts improved coverage: {} vs {}",
         unhurried.final_sample().point_coverage,
         hurried.final_sample().point_coverage

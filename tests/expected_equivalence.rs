@@ -22,7 +22,10 @@ fn world() -> (PoiList, Vec<DeliveryNode>) {
     let pois = PoiList::new(
         (0..100)
             .map(|i| {
-                Poi::new(i, Point::new(rng.gen_range(0.0..2000.0), rng.gen_range(0.0..2000.0)))
+                Poi::new(
+                    i,
+                    Point::new(rng.gen_range(0.0..2000.0), rng.gen_range(0.0..2000.0)),
+                )
             })
             .collect(),
     );
@@ -38,8 +41,9 @@ fn world() -> (PoiList, Vec<DeliveryNode>) {
     let mut gen = UniformGenerator::new(2000.0, 2000.0);
     let nodes = (0..8u32)
         .map(|n| {
-            let metas =
-                (0..6).map(|_| gen.next_photo(&mut rng, 0.0).meta).collect::<Vec<_>>();
+            let metas = (0..6)
+                .map(|_| gen.next_photo(&mut rng, 0.0).meta)
+                .collect::<Vec<_>>();
             DeliveryNode::new(prophet.predictability(NodeId(n), NodeId(9), now), metas)
         })
         .collect();
@@ -52,8 +56,18 @@ fn three_implementations_agree_on_realistic_instance() {
     let params = CoverageParams::default();
     let fast = expected_coverage_exact(&pois, &nodes, params);
     let slow = expected_coverage_enumerate(&pois, &nodes, params);
-    assert!((fast.point - slow.point).abs() < 1e-8, "{} vs {}", fast.point, slow.point);
-    assert!((fast.aspect - slow.aspect).abs() < 1e-8, "{} vs {}", fast.aspect, slow.aspect);
+    assert!(
+        (fast.point - slow.point).abs() < 1e-8,
+        "{} vs {}",
+        fast.point,
+        slow.point
+    );
+    assert!(
+        (fast.aspect - slow.aspect).abs() < 1e-8,
+        "{} vs {}",
+        fast.aspect,
+        slow.aspect
+    );
 
     let mut engine = ExpectedEngine::new(&pois, params);
     for n in &nodes {
@@ -71,33 +85,62 @@ fn reallocation_never_decreases_expected_coverage() {
     let mut rng = SmallRng::seed_from_u64(44);
     let mut gen = UniformGenerator::new(2000.0, 2000.0).with_first_id(10_000);
     let mk = |gen: &mut UniformGenerator, rng: &mut SmallRng, n: usize| -> Vec<Photo> {
-        (0..n).map(|_| gen.next_photo(rng, 0.0).with_size(1)).collect()
+        (0..n)
+            .map(|_| gen.next_photo(rng, 0.0).with_size(1))
+            .collect()
     };
     let a_photos = mk(&mut gen, &mut rng, 10);
     let b_photos = mk(&mut gen, &mut rng, 10);
 
     // expected coverage before the contact: everyone keeps what they have
     let mut before_nodes = nodes.clone();
-    before_nodes.push(DeliveryNode::new(0.8, a_photos.iter().map(|p| p.meta).collect()));
-    before_nodes.push(DeliveryNode::new(0.3, b_photos.iter().map(|p| p.meta).collect()));
+    before_nodes.push(DeliveryNode::new(
+        0.8,
+        a_photos.iter().map(|p| p.meta).collect(),
+    ));
+    before_nodes.push(DeliveryNode::new(
+        0.3,
+        b_photos.iter().map(|p| p.meta).collect(),
+    ));
     let before = expected_coverage_exact(&pois, &before_nodes, params);
 
     let input = SelectionInput {
         pois: &pois,
         params,
-        a: PeerState { node: NodeId(0), delivery_prob: 0.8, capacity: 10, photos: a_photos.clone() },
-        b: PeerState { node: NodeId(1), delivery_prob: 0.3, capacity: 10, photos: b_photos.clone() },
+        a: PeerState {
+            node: NodeId(0),
+            delivery_prob: 0.8,
+            capacity: 10,
+            photos: a_photos.clone(),
+        },
+        b: PeerState {
+            node: NodeId(1),
+            delivery_prob: 0.3,
+            capacity: 10,
+            photos: b_photos.clone(),
+        },
         others: nodes.clone(),
     };
     let result = reallocate(&input);
 
     // expected coverage of the reallocated collections
     let lookup = |id: &photodtn::coverage::PhotoId| {
-        a_photos.iter().chain(&b_photos).find(|p| p.id == *id).expect("photo in pool").meta
+        a_photos
+            .iter()
+            .chain(&b_photos)
+            .find(|p| p.id == *id)
+            .expect("photo in pool")
+            .meta
     };
     let mut after_nodes = nodes;
-    after_nodes.push(DeliveryNode::new(0.8, result.a_selected.iter().map(lookup).collect()));
-    after_nodes.push(DeliveryNode::new(0.3, result.b_selected.iter().map(lookup).collect()));
+    after_nodes.push(DeliveryNode::new(
+        0.8,
+        result.a_selected.iter().map(lookup).collect(),
+    ));
+    after_nodes.push(DeliveryNode::new(
+        0.3,
+        result.b_selected.iter().map(lookup).collect(),
+    ));
     let after = expected_coverage_exact(&pois, &after_nodes, params);
 
     assert!(

@@ -34,7 +34,11 @@ fn every_scheme_survives_churn_under_invariant_checks() {
     ];
     for scheme in &mut schemes {
         let result = Simulation::new(&config, &trace, 4).run(scheme.as_mut());
-        assert!(result.final_sample().t_hours <= 24.0 + 1e-9, "{}", result.scheme);
+        assert!(
+            result.final_sample().t_hours <= 24.0 + 1e-9,
+            "{}",
+            result.scheme
+        );
         // the world is dense enough that even with 30 % churn something
         // gets through for every replicating scheme
         if result.scheme != "direct" {
@@ -61,7 +65,10 @@ fn churn_degrades_ours_gracefully() {
     let none = coverage_at(0.0);
     let some = coverage_at(0.3);
     let most = coverage_at(0.8);
-    assert!(none >= some - 0.02, "30% churn should not beat a healthy network");
+    assert!(
+        none >= some - 0.02,
+        "30% churn should not beat a healthy network"
+    );
     assert!(some >= most - 0.02, "80% churn should not beat 30%");
     assert!(none > 0.0);
 }
@@ -78,5 +85,8 @@ fn deadline_monotone_in_time() {
     };
     let early = coverage_at(8.0);
     let late = coverage_at(24.0);
-    assert!(late >= early - 1e-9, "more time cannot reduce coverage: {early} vs {late}");
+    assert!(
+        late >= early - 1e-9,
+        "more time cannot reduce coverage: {early} vs {late}"
+    );
 }

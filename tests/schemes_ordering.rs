@@ -43,10 +43,22 @@ fn fig5_scheme_ordering_holds() {
     );
 
     const TOL: f64 = 0.03;
-    assert!(best >= ours - TOL, "BestPossible ({best}) below ours ({ours})");
-    assert!(ours >= nometa - TOL, "ours ({ours}) below NoMetadata ({nometa})");
-    assert!(nometa >= modified - TOL, "NoMetadata ({nometa}) below ModifiedSpray ({modified})");
-    assert!(modified >= spray - TOL, "ModifiedSpray ({modified}) below Spray&Wait ({spray})");
+    assert!(
+        best >= ours - TOL,
+        "BestPossible ({best}) below ours ({ours})"
+    );
+    assert!(
+        ours >= nometa - TOL,
+        "ours ({ours}) below NoMetadata ({nometa})"
+    );
+    assert!(
+        nometa >= modified - TOL,
+        "NoMetadata ({nometa}) below ModifiedSpray ({modified})"
+    );
+    assert!(
+        modified >= spray - TOL,
+        "ModifiedSpray ({modified}) below Spray&Wait ({spray})"
+    );
     // and the headline gap is substantial, as in the paper
     assert!(
         ours >= spray + 0.10,
