@@ -21,11 +21,25 @@ impl Flags {
     ///
     /// Returns a message when a value flag has no value.
     pub fn parse(argv: &[String]) -> Result<Self, String> {
+        Self::parse_with(argv, &[])
+    }
+
+    /// Parses an argv slice with subcommand-specific extra switches.
+    ///
+    /// `extra_switches` are treated as value-less on top of the shared
+    /// [`SWITCHES`] set, so a name can take a value in one subcommand
+    /// (`run --faults 0.5`) and act as a toggle in another
+    /// (`report --faults`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a value flag has no value.
+    pub fn parse_with(argv: &[String], extra_switches: &[&str]) -> Result<Self, String> {
         let mut flags = Flags::default();
         let mut it = argv.iter().peekable();
         while let Some(arg) = it.next() {
             if let Some(name) = arg.strip_prefix("--") {
-                if SWITCHES.contains(&name) {
+                if SWITCHES.contains(&name) || extra_switches.contains(&name) {
                     flags.switches.push(name.to_string());
                 } else {
                     let value = it
@@ -100,5 +114,15 @@ mod tests {
     #[test]
     fn missing_value_is_an_error() {
         assert!(Flags::parse(&argv("--seed")).is_err());
+    }
+
+    #[test]
+    fn extra_switches_are_per_call() {
+        let f = Flags::parse_with(&argv("--faults file.txt"), &["faults"]).unwrap();
+        assert!(f.has("faults"));
+        assert_eq!(f.positionals(), &["file.txt"]);
+        // without the extra switch, the same name consumes a value
+        let f = Flags::parse(&argv("--faults 0.5")).unwrap();
+        assert_eq!(f.get("faults"), Some("0.5"));
     }
 }

@@ -4,7 +4,9 @@
 use crate::args::Flags;
 
 pub fn run(argv: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(argv)?;
+    // `--faults` is a toggle here (extra fault-counter columns), unlike
+    // `run --faults K` where it takes an intensity value.
+    let flags = Flags::parse_with(argv, &["faults"])?;
     if flags.positionals().is_empty() {
         return Err("report: pass one or more result files (e.g. results/fig5.txt)".into());
     }
@@ -16,7 +18,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     if rows.is_empty() {
         return Err("report: no JSON blocks found in the given files".into());
     }
-    print_markdown(&rows);
+    print_markdown(&rows, flags.has("faults"));
     Ok(())
 }
 
@@ -52,9 +54,26 @@ fn extract_rows(text: &str) -> Vec<serde_json::Value> {
     rows
 }
 
-fn print_markdown(rows: &[serde_json::Value]) {
-    println!("| figure | trace | scheme | parameters | point % | aspect ° | delivered |");
-    println!("|---|---|---|---|---|---|---|");
+/// Fault-counter keys emitted by `run --faults … --json`; folded into
+/// dedicated columns with `report --faults`, hidden otherwise.
+const FAULT_KEYS: [&str; 5] = [
+    "contacts_interrupted",
+    "transfers_lost",
+    "transfers_corrupt",
+    "node_crashes",
+    "uplinks_degraded",
+];
+
+fn print_markdown(rows: &[serde_json::Value], show_faults: bool) {
+    let mut header =
+        String::from("| figure | trace | scheme | parameters | point % | aspect ° | delivered |");
+    let mut rule = String::from("|---|---|---|---|---|---|---|");
+    if show_faults {
+        header.push_str(" interrupted | lost | corrupt | crashes | degraded |");
+        rule.push_str("---|---|---|---|---|");
+    }
+    println!("{header}");
+    println!("{rule}");
     for row in rows {
         let get_s = |k: &str| {
             row.get(k)
@@ -78,12 +97,14 @@ fn print_markdown(rows: &[serde_json::Value]) {
             .as_object()
             .map(|o| {
                 o.iter()
-                    .filter(|(k, _)| !standard.contains(&k.as_str()))
+                    .filter(|(k, _)| {
+                        !standard.contains(&k.as_str()) && !FAULT_KEYS.contains(&k.as_str())
+                    })
                     .map(|(k, v)| format!("{k}={v}"))
                     .collect()
             })
             .unwrap_or_default();
-        println!(
+        let mut line = format!(
             "| {} | {} | {} | {} | {} | {} | {} |",
             row.get("figure")
                 .and_then(|v| v.as_str())
@@ -101,6 +122,13 @@ fn print_markdown(rows: &[serde_json::Value]) {
                 .and_then(serde_json::Value::as_f64)
                 .map_or("—".into(), |v| format!("{v:.0}")),
         );
+        if show_faults {
+            for key in FAULT_KEYS {
+                let cell = get_f(key).map_or("—".into(), |v| format!("{v:.0}"));
+                line.push_str(&format!(" {cell} |"));
+            }
+        }
+        println!("{line}");
     }
 }
 
@@ -143,6 +171,24 @@ JSON [
         let path = dir.join("r.txt");
         std::fs::write(&path, SAMPLE).unwrap();
         run(&[path.to_str().unwrap().to_string()]).unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fault_columns_toggle() {
+        const FAULTED: &str = r#"JSON [
+  { "figure": "chaos", "trace": "mit", "scheme": "ours", "point_coverage": 0.5,
+    "aspect_coverage_deg": 90.0, "delivered_photos": 10,
+    "fault_intensity": 0.6, "transfers_lost": 12, "node_crashes": 3 }
+]"#;
+        let dir = std::env::temp_dir().join("photodtn-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("faulted.txt");
+        std::fs::write(&path, FAULTED).unwrap();
+        let arg = path.to_str().unwrap().to_string();
+        // both with and without the toggle must render
+        run(std::slice::from_ref(&arg)).unwrap();
+        run(&["--faults".to_string(), arg]).unwrap();
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -5,7 +5,7 @@ use photodtn_contacts::parse_trace;
 use photodtn_contacts::synth::{CommunityTraceGenerator, TraceStyle};
 use photodtn_coverage::fullview::{redundancy_degrees, FullViewReport};
 use photodtn_coverage::PhotoMeta;
-use photodtn_sim::{SimConfig, Simulation};
+use photodtn_sim::{FaultConfig, SimConfig, Simulation};
 
 use crate::args::Flags;
 
@@ -50,9 +50,18 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     if flags.get("failures").is_some() {
         config = config.with_failure_fraction(flags.num("failures", 0.0)?);
     }
+    let fault_intensity: f64 = flags.num("faults", 0.0)?;
+    if !(0.0..=1.0).contains(&fault_intensity) {
+        return Err(format!(
+            "run: --faults must be an intensity in 0..=1, got {fault_intensity}"
+        ));
+    }
+    if fault_intensity > 0.0 {
+        config = config.with_faults(FaultConfig::chaos(fault_intensity));
+    }
 
     let mut scheme = scheme_by_name(scheme_name);
-    let mut sim = Simulation::new(&config, &trace, seed);
+    let mut sim = Simulation::try_new(&config, &trace, seed).map_err(|e| format!("run: {e}"))?;
     eprintln!(
         "running {scheme_name} on {} nodes / {} events (seed {seed})…",
         trace.num_nodes(),
@@ -74,6 +83,16 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             s.aspect_coverage_deg,
             s.delivered_photos
         );
+    }
+
+    if !config.faults.is_noop() {
+        let f = result.final_sample();
+        println!("\nfault injection (intensity {fault_intensity}):");
+        println!("  contacts interrupted : {}", f.contacts_interrupted);
+        println!("  transfers lost       : {}", f.transfers_lost);
+        println!("  transfers corrupt    : {}", f.transfers_corrupt);
+        println!("  node crashes         : {}", f.node_crashes);
+        println!("  uplinks degraded     : {}", f.uplinks_degraded);
     }
 
     if flags.has("report") {
@@ -104,8 +123,9 @@ pub fn run(argv: &[String]) -> Result<(), String> {
 
     if flags.has("json") {
         let f = result.final_sample();
-        println!(
-            "{}",
+        // Only emit the fault counters when injection is on, so zero-fault
+        // output stays byte-compatible with earlier versions.
+        let value = if config.faults.is_noop() {
             serde_json::json!({
                 "scheme": result.scheme,
                 "seed": seed,
@@ -113,7 +133,22 @@ pub fn run(argv: &[String]) -> Result<(), String> {
                 "aspect_coverage_deg": f.aspect_coverage_deg,
                 "delivered_photos": f.delivered_photos,
             })
-        );
+        } else {
+            serde_json::json!({
+                "scheme": result.scheme,
+                "seed": seed,
+                "point_coverage": f.point_coverage,
+                "aspect_coverage_deg": f.aspect_coverage_deg,
+                "delivered_photos": f.delivered_photos,
+                "fault_intensity": fault_intensity,
+                "contacts_interrupted": f.contacts_interrupted,
+                "transfers_lost": f.transfers_lost,
+                "transfers_corrupt": f.transfers_corrupt,
+                "node_crashes": f.node_crashes,
+                "uplinks_degraded": f.uplinks_degraded,
+            })
+        };
+        println!("{value}");
     }
     Ok(())
 }
@@ -147,5 +182,31 @@ mod tests {
     #[test]
     fn bad_trace_file() {
         assert!(run(&argv("--trace /nonexistent.trace")).is_err());
+    }
+
+    #[test]
+    fn faulted_run_emits_counters() {
+        run(&argv(
+            "--scheme ours --style mit --nodes 8 --hours 6 --photos-per-hour 10 \
+             --faults 0.6 --seed 3 --json",
+        ))
+        .unwrap();
+    }
+
+    #[test]
+    fn faults_out_of_range_rejected() {
+        let err = run(&argv("--style mit --nodes 6 --hours 2 --faults 1.5")).unwrap_err();
+        assert!(err.contains("--faults"), "{err}");
+    }
+
+    #[test]
+    fn empty_trace_is_a_clean_error_not_a_panic() {
+        let dir = std::env::temp_dir().join("photodtn-run-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.trace");
+        std::fs::write(&path, "# a trace with no contacts\n").unwrap();
+        let err = run(&["--trace".into(), path.to_str().unwrap().into()]).unwrap_err();
+        assert!(err.contains("no nodes"), "{err}");
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -69,17 +69,22 @@ USAGE:
   photodtn run --scheme NAME [--trace FILE | --style mit|cambridge]
                [--seed N] [--hours H] [--photos-per-hour R]
                [--storage-gb G] [--deadline H] [--failures F]
-               [--report] [--json]
+               [--faults K] [--report] [--json]
       Run one crowdsourcing simulation and print the coverage series.
       --report adds a full-view analysis of the delivered photos.
+      --faults K enables deterministic fault injection at chaos
+      intensity K in 0..=1 (contact interruptions, transfer loss and
+      corruption, node crash/reboot churn, degraded uplinks) and prints
+      the fault counters.
 
   photodtn demo [--seed N]
       Run the paper's \u{a7}IV-B prototype demo (Fig. 3) with our scheme,
       PhotoNet and Spray&Wait.
 
-  photodtn report FILE...
+  photodtn report [--faults] FILE...
       Consolidate the JSON blocks from figure-binary outputs into one
-      markdown table.
+      markdown table. --faults adds fault-counter columns for rows
+      produced by fault-injected runs.
 
   photodtn schemes
       List available scheme names.

@@ -92,9 +92,15 @@ pub fn parse_one_trace(text: &str) -> Result<ContactTrace, ParseOneError> {
                 format!("expected 5 fields, found {}", fields.len()),
             ));
         }
+        // Reject non-finite timestamps outright: NaN sails through both
+        // `last_time.max(time)` (max ignores NaN) and the `time > start`
+        // pairing check (NaN comparisons are false), silently dropping or
+        // warping contacts.
         let time: f64 = fields[0]
             .parse()
-            .map_err(|_| ParseOneError::new(line_no, format!("invalid time {:?}", fields[0])))?;
+            .ok()
+            .filter(|t: &f64| t.is_finite())
+            .ok_or_else(|| ParseOneError::new(line_no, format!("invalid time {:?}", fields[0])))?;
         if !fields[1].eq_ignore_ascii_case("CONN") {
             return Err(ParseOneError::new(
                 line_no,
@@ -210,6 +216,19 @@ mod tests {
             .to_string()
             .contains("up/down"));
         assert_eq!(parse_one_trace("1 CONN a b up\n").unwrap_err().line(), 1);
+    }
+
+    #[test]
+    fn non_finite_times_rejected() {
+        for bad in ["NaN CONN 1 2 up", "inf CONN 1 2 up", "-inf CONN 1 2 down"] {
+            assert!(
+                parse_one_trace(bad)
+                    .unwrap_err()
+                    .to_string()
+                    .contains("invalid time"),
+                "{bad:?} must be rejected"
+            );
+        }
     }
 
     #[test]

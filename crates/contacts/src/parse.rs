@@ -137,10 +137,16 @@ fn parse_u32(s: &str, line: usize) -> Result<u32, ParseTraceError> {
 }
 
 fn parse_f64(s: &str, line: usize) -> Result<f64, ParseTraceError> {
-    s.parse::<f64>().map_err(|_| ParseTraceError {
-        line,
-        kind: ErrorKind::BadNumber(s.to_string()),
-    })
+    // NaN/inf parse successfully but poison every downstream comparison
+    // (the `end < start` interval check is silently false for NaN), so
+    // reject them here as malformed input.
+    match s.parse::<f64>() {
+        Ok(v) if v.is_finite() => Ok(v),
+        _ => Err(ParseTraceError {
+            line,
+            kind: ErrorKind::BadNumber(s.to_string()),
+        }),
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +200,16 @@ mod tests {
 
         let e = parse_trace("nodes banana\n").unwrap_err();
         assert!(e.to_string().contains("invalid number"));
+    }
+
+    #[test]
+    fn non_finite_times_rejected() {
+        // NaN slips past `end < start` (NaN comparisons are false), so it
+        // must die in number parsing instead.
+        for bad in ["0 1 NaN 5", "0 1 0 nan", "0 1 inf 5", "0 1 0 -inf"] {
+            let e = parse_trace(bad).unwrap_err();
+            assert!(e.to_string().contains("invalid number"), "{bad:?} gave {e}");
+        }
     }
 
     #[test]

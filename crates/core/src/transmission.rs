@@ -46,15 +46,43 @@ impl TransferPlan {
     }
 }
 
+/// Fate of one in-flight photo transmission over a (possibly faulty)
+/// link. The default, [`TransferFate::Intact`], is a perfect link.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransferFate {
+    /// The photo arrived intact.
+    #[default]
+    Intact,
+    /// The photo was lost in flight; the bytes were spent but nothing
+    /// arrived.
+    Lost,
+    /// The photo arrived corrupted; the receiver detects this (checksum)
+    /// and discards it without storing it.
+    Corrupt,
+}
+
+impl TransferFate {
+    /// Whether the photo arrived and was kept.
+    #[must_use]
+    pub fn arrived(self) -> bool {
+        self == TransferFate::Intact
+    }
+}
+
 /// Outcome of executing a plan under a byte budget.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct ContactOutcome {
-    /// Bytes actually transmitted.
+    /// Bytes actually transmitted — including bytes burned on lost or
+    /// corrupt transmissions.
     pub bytes_transferred: u64,
-    /// Photos actually transmitted.
+    /// Photos transmitted *and stored* by their receiver.
     pub photos_transferred: u32,
     /// Photos evicted to make room.
     pub photos_evicted: u32,
+    /// Transmissions lost in flight (bytes spent, nothing arrived).
+    pub photos_lost: u32,
+    /// Transmissions that arrived corrupted and were discarded.
+    pub photos_corrupt: u32,
     /// Whether the budget truncated the plan.
     pub truncated: bool,
 }
@@ -115,6 +143,38 @@ pub fn execute_plan(
     b_capacity: u64,
     budget_bytes: u64,
 ) -> ContactOutcome {
+    execute_plan_with(
+        plan,
+        result,
+        a_photos,
+        a_capacity,
+        b_photos,
+        b_capacity,
+        budget_bytes,
+        |_| TransferFate::Intact,
+    )
+}
+
+/// Like [`execute_plan`], but every actual transmission is routed through
+/// `link`, which decides its [`TransferFate`] — the hook a fault injector
+/// uses to lose or corrupt individual transfers.
+///
+/// `link` is called once per transmission *attempt* (after the receiver
+/// has secured storage for the photo), in transmission order, so a
+/// deterministic `link` yields a deterministic outcome. Lost and corrupt
+/// transmissions consume budget — the bytes went over the air — but the
+/// photo is not stored, and the transfer is not retried.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_plan_with(
+    plan: &TransferPlan,
+    result: &SelectionResult,
+    a_photos: &mut PhotoCollection,
+    a_capacity: u64,
+    b_photos: &mut PhotoCollection,
+    b_capacity: u64,
+    budget_bytes: u64,
+    mut link: impl FnMut(&Transfer) -> TransferFate,
+) -> ContactOutcome {
     let a_keep: BTreeSet<PhotoId> = result.a_selected.iter().copied().collect();
     let b_keep: BTreeSet<PhotoId> = result.b_selected.iter().copied().collect();
     let mut out = ContactOutcome::default();
@@ -165,11 +225,17 @@ pub fn execute_plan(
                 deferred.push(*t);
                 continue;
             }
-            receiver.insert(photo);
             budget -= photo.size;
             out.bytes_transferred += photo.size;
-            out.photos_transferred += 1;
-            progressed = true;
+            match link(t) {
+                TransferFate::Intact => {
+                    receiver.insert(photo);
+                    out.photos_transferred += 1;
+                    progressed = true;
+                }
+                TransferFate::Lost => out.photos_lost += 1,
+                TransferFate::Corrupt => out.photos_corrupt += 1,
+            }
         }
         if out.truncated || deferred.is_empty() || !progressed {
             break;
@@ -313,6 +379,48 @@ mod tests {
         assert!(plan.steps.is_empty());
         let out = execute_plan(&plan, &r, &mut a, 10, &mut b, 10, 10);
         assert_eq!(out, ContactOutcome::default());
+    }
+
+    #[test]
+    fn lost_transfers_burn_budget_without_storing() {
+        let mut a = collection(&[]);
+        let mut b = collection(&[(1, 10), (2, 10), (3, 10)]);
+        let r = result(&[1, 2, 3], &[], true);
+        let plan = plan_transfers(&r, &a, &b);
+        // Lose the first transfer, corrupt the second, let the third pass.
+        let mut step = 0;
+        let out = execute_plan_with(&plan, &r, &mut a, 100, &mut b, 100, 25, |_| {
+            step += 1;
+            match step {
+                1 => TransferFate::Lost,
+                2 => TransferFate::Corrupt,
+                _ => TransferFate::Intact,
+            }
+        });
+        // 25-byte budget: two failed 10-byte sends leave room for nothing
+        // more — the clean third transfer no longer fits.
+        assert_eq!(out.photos_lost, 1);
+        assert_eq!(out.photos_corrupt, 1);
+        assert_eq!(out.photos_transferred, 0);
+        assert_eq!(out.bytes_transferred, 20);
+        assert!(out.truncated);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn perfect_link_matches_execute_plan() {
+        let build = || (collection(&[(1, 10)]), collection(&[(2, 10)]));
+        let r = result(&[1, 2], &[1], true);
+        let (mut a1, mut b1) = build();
+        let plan = plan_transfers(&r, &a1, &b1);
+        let plain = execute_plan(&plan, &r, &mut a1, 100, &mut b1, 100, 1000);
+        let (mut a2, mut b2) = build();
+        let with = execute_plan_with(&plan, &r, &mut a2, 100, &mut b2, 100, 1000, |_| {
+            TransferFate::Intact
+        });
+        assert_eq!(plain, with);
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
     }
 
     #[test]

@@ -6,22 +6,41 @@
 //! — the counter would otherwise see allocations from unrelated tests.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 struct CountingAlloc;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+thread_local! {
+    // Count only while the measuring thread is inside a measured section:
+    // the libtest harness and the runtime occasionally allocate from
+    // *other* threads mid-measurement, which is noise for this assertion
+    // (and made the test flaky). The const initializer and the Drop-less
+    // Cell guarantee the gate itself never allocates.
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn counting() -> bool {
+    // try_with: the allocator can be called during TLS teardown.
+    COUNTING.try_with(Cell::get).unwrap_or(false)
+}
+
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if counting() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.alloc(layout) }
     }
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         unsafe { System.dealloc(ptr, layout) }
     }
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if counting() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -31,6 +50,15 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn allocations() -> u64 {
     ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Runs `f` with this thread's allocations counted, returning the count.
+fn measured(f: impl FnOnce()) -> u64 {
+    let before = allocations();
+    COUNTING.with(|c| c.set(true));
+    f();
+    COUNTING.with(|c| c.set(false));
+    allocations() - before
 }
 
 use photodtn_core::expected::ExpectedEngine;
@@ -89,14 +117,14 @@ fn gain_evaluation_is_allocation_free_when_warm() {
     }
 
     // Steady state: repeated previews must not allocate at all.
-    let before = allocations();
     let mut acc = 0.0;
-    for _ in 0..50 {
-        for cov in &covs {
-            acc += engine.gain_of_indexed(probe, cov).aspect;
+    let indexed_allocs = measured(|| {
+        for _ in 0..50 {
+            for cov in &covs {
+                acc += engine.gain_of_indexed(probe, cov).aspect;
+            }
         }
-    }
-    let indexed_allocs = allocations() - before;
+    });
     assert_eq!(
         indexed_allocs, 0,
         "gain_of_indexed allocated {indexed_allocs} times in steady state"
@@ -104,13 +132,13 @@ fn gain_evaluation_is_allocation_free_when_warm() {
 
     // The linear path shares the same scratch buffers; its per-preview
     // geometry (grid iterators) is allocation-free too.
-    let before = allocations();
-    for _ in 0..50 {
-        for meta in &metas {
-            acc += engine.gain_of(probe, meta).aspect;
+    let linear_allocs = measured(|| {
+        for _ in 0..50 {
+            for meta in &metas {
+                acc += engine.gain_of(probe, meta).aspect;
+            }
         }
-    }
-    let linear_allocs = allocations() - before;
+    });
     assert_eq!(
         linear_allocs, 0,
         "gain_of allocated {linear_allocs} times in steady state"

@@ -1,17 +1,28 @@
 //! A scheme wrapper that validates global invariants after every hook —
 //! the simulator's built-in failure detector for scheme implementations.
 
-use photodtn_contacts::NodeId;
-use photodtn_coverage::Photo;
+use std::collections::BTreeSet;
 
+use photodtn_contacts::NodeId;
+use photodtn_coverage::{Photo, PhotoId};
+
+use crate::faults::FaultStats;
 use crate::{Scheme, SimCtx};
 
 /// Wraps any scheme and asserts, after every event it handles:
 ///
 /// * every participant's storage is within capacity (when the scheme
-///   [`respects_storage`](Scheme::respects_storage));
+///   [`respects_storage`](Scheme::respects_storage)) — including under
+///   crash/reboot churn;
 /// * the command center's collection only grows;
-/// * time never runs backwards between hooks.
+/// * time never runs backwards between hooks;
+/// * fault counters never decrease;
+/// * no photo that existed *only* in a crashed node's wiped buffer is
+///   ever delivered afterwards — delivery from beyond the grave would
+///   mean a scheme (or the engine) resurrected destroyed data. Corrupt
+///   transmissions are discarded before [`SimCtx::deliver`] runs, so the
+///   growth check also guarantees no corrupt photo enters the command
+///   center's collection.
 ///
 /// # Panics
 ///
@@ -38,6 +49,10 @@ pub struct Checked<S> {
     inner: S,
     last_now: f64,
     last_delivered: usize,
+    last_stats: FaultStats,
+    /// Photos destroyed by crashes before reaching anyone else: they can
+    /// never legitimately appear at the command center.
+    lost_forever: BTreeSet<PhotoId>,
 }
 
 impl<S: Scheme> Checked<S> {
@@ -48,6 +63,8 @@ impl<S: Scheme> Checked<S> {
             inner,
             last_now: f64::NEG_INFINITY,
             last_delivered: 0,
+            last_stats: FaultStats::default(),
+            lost_forever: BTreeSet::new(),
         }
     }
 
@@ -86,6 +103,51 @@ impl<S: Scheme> Checked<S> {
             self.last_delivered
         );
         self.last_delivered = delivered;
+
+        let stats = *ctx.faults().stats();
+        for (name, before, after) in [
+            (
+                "contacts_interrupted",
+                self.last_stats.contacts_interrupted,
+                stats.contacts_interrupted,
+            ),
+            (
+                "transfers_lost",
+                self.last_stats.transfers_lost,
+                stats.transfers_lost,
+            ),
+            (
+                "transfers_corrupt",
+                self.last_stats.transfers_corrupt,
+                stats.transfers_corrupt,
+            ),
+            (
+                "node_crashes",
+                self.last_stats.node_crashes,
+                stats.node_crashes,
+            ),
+            (
+                "uplinks_degraded",
+                self.last_stats.uplinks_degraded,
+                stats.uplinks_degraded,
+            ),
+        ] {
+            assert!(
+                after >= before,
+                "{}: fault counter {name} decreased ({before} -> {after}) after {hook}",
+                self.inner.name()
+            );
+        }
+        self.last_stats = stats;
+
+        for &id in &self.lost_forever {
+            assert!(
+                !ctx.cc_collection().contains(id),
+                "{}: photo {id:?} was wiped by a crash before reaching anyone, \
+                 yet the command center holds it after {hook}",
+                self.inner.name()
+            );
+        }
     }
 }
 
@@ -116,6 +178,24 @@ impl<S: Scheme> Scheme for Checked<S> {
     fn on_upload(&mut self, ctx: &mut SimCtx, node: NodeId, budget: u64) {
         self.inner.on_upload(ctx, node, budget);
         self.verify(ctx, "on_upload");
+    }
+
+    fn on_node_crashed(&mut self, ctx: &mut SimCtx, node: NodeId) {
+        // The buffer is still intact here (the engine wipes it right
+        // after this hook): record which photos exist *only* on the
+        // crashing node — if any of them ever shows up at the command
+        // center, someone resurrected destroyed data.
+        for id in ctx.collection(node).ids() {
+            let replicated_elsewhere = ctx.cc_collection().contains(id)
+                || (0..ctx.num_nodes())
+                    .map(NodeId)
+                    .any(|n| n != node && ctx.collection(n).contains(id));
+            if !replicated_elsewhere {
+                self.lost_forever.insert(id);
+            }
+        }
+        self.inner.on_node_crashed(ctx, node);
+        self.verify(ctx, "on_node_crashed");
     }
 }
 

@@ -5,6 +5,8 @@ use photodtn_core::validity::ValidityModel;
 use photodtn_coverage::CoverageParams;
 use photodtn_prophet::ProphetParams;
 
+use crate::faults::FaultConfig;
+
 /// How the command center is attached to the network.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum CommandCenterMode {
@@ -63,6 +65,11 @@ pub struct SimConfig {
     /// a disaster scenario) at a uniform random time during the run,
     /// taking their stored photos with them. 0 disables failures.
     pub failure_fraction: f64,
+    /// Fault-injection rates (interruption, loss/corruption, churn,
+    /// degraded uplinks). The default is all-zero — no faults, and
+    /// bit-identical results to a build without the injector.
+    #[serde(default)]
+    pub faults: FaultConfig,
 }
 
 impl SimConfig {
@@ -88,6 +95,7 @@ impl SimConfig {
             sample_interval: 3600.0,
             deadline_hours: None,
             failure_fraction: 0.0,
+            faults: FaultConfig::default(),
         }
     }
 
@@ -138,6 +146,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_failure_fraction(mut self, fraction: f64) -> Self {
         self.failure_fraction = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the fault-injection configuration (builder-style).
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
         self
     }
 

@@ -1,10 +1,13 @@
 use rand::rngs::SmallRng;
 
 use photodtn_contacts::NodeId;
+use photodtn_core::transmission::TransferFate;
 use photodtn_coverage::{
     Coverage, CoverageParams, CoverageProfile, Photo, PhotoCollection, PoiList,
 };
 use photodtn_prophet::ProphetRouter;
+
+use crate::faults::FaultState;
 
 /// The mutable world state a [`Scheme`](crate::Scheme) operates on.
 ///
@@ -31,6 +34,32 @@ pub struct SimCtx {
     pub(crate) latency_sum: f64,
     /// Bytes spent exchanging metadata (not photo payloads).
     pub(crate) metadata_bytes: u64,
+    /// Per-run fault-injection state (inert when faults are disabled).
+    pub(crate) faults: FaultState,
+}
+
+/// What happened to one photo uploaded through
+/// [`SimCtx::upload_photo`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UploadOutcome {
+    /// The photo arrived and was new to the command center.
+    Delivered,
+    /// The photo arrived but had already been delivered earlier.
+    Duplicate,
+    /// The transmission was lost on the uplink.
+    Lost,
+    /// The photo arrived corrupted; the command center discarded it.
+    Corrupt,
+}
+
+impl UploadOutcome {
+    /// Whether the sender received an acknowledgement — i.e. the command
+    /// center now holds the photo (freshly or from before), so the local
+    /// copy may safely be dropped.
+    #[must_use]
+    pub fn acked(self) -> bool {
+        matches!(self, UploadOutcome::Delivered | UploadOutcome::Duplicate)
+    }
 }
 
 impl SimCtx {
@@ -125,6 +154,77 @@ impl SimCtx {
     #[must_use]
     pub fn cc_covered_pois(&self) -> usize {
         self.cc_profile.covered_count()
+    }
+
+    /// The fault-injection state of this run (for inspecting the active
+    /// [`FaultConfig`](crate::FaultConfig) and the running counters).
+    #[must_use]
+    pub fn faults(&self) -> &FaultState {
+        &self.faults
+    }
+
+    /// Rolls the fate of one photo transmission over a DTN contact link.
+    ///
+    /// Schemes call this once per photo they transmit during
+    /// [`on_contact`](crate::Scheme::on_contact); a non-
+    /// [`Intact`](TransferFate::Intact) fate means the bytes were spent
+    /// but the photo must not be stored at the receiver. When faults are
+    /// disabled this always returns `Intact` without consuming
+    /// randomness. For planner-driven schemes prefer
+    /// [`faults_and_pair_mut`](Self::faults_and_pair_mut) +
+    /// [`execute_plan_with`](photodtn_core::transmission::execute_plan_with).
+    pub fn contact_transfer(&mut self) -> TransferFate {
+        self.faults.roll_transfer()
+    }
+
+    /// Mutable access to the fault state *and* two distinct participants'
+    /// collections at once, so a scheme can feed
+    /// [`FaultState::roll_transfer`] into
+    /// [`execute_plan_with`](photodtn_core::transmission::execute_plan_with)
+    /// while both collections are borrowed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either is out of range.
+    pub fn faults_and_pair_mut(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+    ) -> (&mut FaultState, &mut PhotoCollection, &mut PhotoCollection) {
+        assert!(a != b, "a contact needs two distinct nodes");
+        let (lo, hi) = if a < b {
+            (a.index(), b.index())
+        } else {
+            (b.index(), a.index())
+        };
+        let (left, right) = self.collections.split_at_mut(hi);
+        let (first, second) = (&mut left[lo], &mut right[0]);
+        if a < b {
+            (&mut self.faults, first, second)
+        } else {
+            (&mut self.faults, second, first)
+        }
+    }
+
+    /// Uploads one photo to the command center over a (possibly faulty)
+    /// uplink, rolling its transmission fate first.
+    ///
+    /// Lost and corrupt uploads burn the bandwidth the caller charged but
+    /// never reach the command center's collection. Use
+    /// [`UploadOutcome::acked`] to decide whether the local copy may be
+    /// dropped.
+    pub fn upload_photo(&mut self, photo: Photo) -> UploadOutcome {
+        match self.faults.roll_transfer() {
+            TransferFate::Lost => UploadOutcome::Lost,
+            TransferFate::Corrupt => UploadOutcome::Corrupt,
+            TransferFate::Intact => {
+                if self.deliver(photo) {
+                    UploadOutcome::Delivered
+                } else {
+                    UploadOutcome::Duplicate
+                }
+            }
+        }
     }
 
     /// Delivers a photo to the command center. Returns `false` if it was

@@ -7,7 +7,39 @@ use photodtn_coverage::{
 };
 use photodtn_prophet::ProphetRouter;
 
+use crate::faults::{FaultPlan, FaultState};
 use crate::{CommandCenterMode, MetricSample, Scheme, SimConfig, SimCtx, SimResult};
+
+/// Why a [`Simulation`] could not be built from `(config, trace)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimBuildError {
+    /// The contact trace contains no nodes, so there is nobody to
+    /// simulate.
+    EmptyTrace,
+    /// [`CommandCenterMode::TraceNode`] names a node outside the trace.
+    CommandCenterOutsideTrace {
+        /// The configured command-center node id.
+        node: NodeId,
+        /// How many nodes the trace actually has (valid ids are
+        /// `0..num_nodes`).
+        num_nodes: u32,
+    },
+}
+
+impl std::fmt::Display for SimBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimBuildError::EmptyTrace => write!(f, "trace has no nodes"),
+            SimBuildError::CommandCenterOutsideTrace { node, num_nodes } => write!(
+                f,
+                "command-center node {node} outside trace (nodes 0..{num_nodes})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimBuildError {}
 
 /// A fully instantiated simulation world: PoIs placed, gateways chosen,
 /// photo arrivals scheduled, events merged and sorted.
@@ -25,6 +57,8 @@ pub struct Simulation {
     seed: u64,
     /// Contacts replayed into PROPHET before the first event.
     warmup_contacts: Vec<(NodeId, NodeId, f64)>,
+    /// Scheduled crash/reboot outages (empty when churn is disabled).
+    fault_plan: FaultPlan,
 }
 
 #[derive(Clone, Debug)]
@@ -35,6 +69,13 @@ enum EventKind {
     Contact(NodeId, NodeId, f64),
     /// Uplink window of `node` with a usable duration (seconds).
     Upload(NodeId, f64),
+    /// `node` crashes: its photo buffer (and optionally PROPHET state)
+    /// is wiped and it stays down until the matching [`Reboot`].
+    ///
+    /// [`Reboot`]: EventKind::Reboot
+    Crash(NodeId),
+    /// `node` comes back up, empty.
+    Reboot(NodeId),
 }
 
 #[derive(Clone, Debug)]
@@ -53,10 +94,27 @@ impl Simulation {
     /// # Panics
     ///
     /// Panics if the trace has no nodes, or if a
-    /// [`CommandCenterMode::TraceNode`] id is outside the trace.
+    /// [`CommandCenterMode::TraceNode`] id is outside the trace. Use
+    /// [`try_new`](Self::try_new) to handle those cases as errors.
     #[must_use]
     pub fn new(config: &SimConfig, trace: &ContactTrace, seed: u64) -> Self {
-        assert!(trace.num_nodes() > 0, "trace has no nodes");
+        match Self::try_new(config, trace, seed) {
+            Ok(sim) => sim,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`new`](Self::new): returns a typed
+    /// [`SimBuildError`] instead of panicking on an invalid
+    /// `(config, trace)` combination.
+    pub fn try_new(
+        config: &SimConfig,
+        trace: &ContactTrace,
+        seed: u64,
+    ) -> Result<Self, SimBuildError> {
+        if trace.num_nodes() == 0 {
+            return Err(SimBuildError::EmptyTrace);
+        }
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xD1F7_0A11_5EED_0001);
         // The crowdsourcing deadline truncates the run (§III-A).
         let duration = match config.deadline_hours {
@@ -85,10 +143,12 @@ impl Simulation {
         // Contacts (and, in TraceNode mode, uplink windows).
         let cc_trace_node = match config.command_center {
             CommandCenterMode::TraceNode(n) => {
-                assert!(
-                    n.0 < trace.num_nodes(),
-                    "command-center node {n} outside trace"
-                );
+                if n.0 >= trace.num_nodes() {
+                    return Err(SimBuildError::CommandCenterOutsideTrace {
+                        node: n,
+                        num_nodes: trace.num_nodes(),
+                    });
+                }
                 Some(n)
             }
             CommandCenterMode::Gateways { .. } => None,
@@ -182,7 +242,31 @@ impl Simulation {
             events.retain(|e| match &e.kind {
                 EventKind::Generate(n, _) | EventKind::Upload(n, _) => !dead(*n, e.t),
                 EventKind::Contact(a, b, _) => !dead(*a, e.t) && !dead(*b, e.t),
+                // Churn events are scheduled after this filter runs.
+                EventKind::Crash(_) | EventKind::Reboot(_) => true,
             });
+        }
+
+        // Crash/reboot churn: sampled from its own RNG stream so enabling
+        // it never perturbs world generation above, and vice versa.
+        let fault_plan = FaultPlan::build(
+            &config.faults,
+            num_participants,
+            cc_trace_node,
+            duration,
+            seed,
+        );
+        for (node, crash, reboot) in fault_plan.crashes() {
+            events.push(Event {
+                t: crash,
+                kind: EventKind::Crash(node),
+            });
+            if reboot < duration {
+                events.push(Event {
+                    t: reboot,
+                    kind: EventKind::Reboot(node),
+                });
+            }
         }
 
         // Deterministic total order: time, then kind discriminant, then ids.
@@ -191,7 +275,7 @@ impl Simulation {
                 .then_with(|| kind_key(&x.kind).cmp(&kind_key(&y.kind)))
         });
 
-        Simulation {
+        Ok(Simulation {
             config: config.clone(),
             events,
             pois,
@@ -200,7 +284,15 @@ impl Simulation {
             duration,
             seed,
             warmup_contacts: Vec::new(),
-        }
+            fault_plan,
+        })
+    }
+
+    /// The scheduled crash/reboot outages of this world (empty when churn
+    /// is disabled).
+    #[must_use]
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
     }
 
     /// Replaces the randomly placed PoIs with an explicit list (e.g. the
@@ -328,6 +420,7 @@ impl Simulation {
             uploaded_bytes: 0,
             latency_sum: 0.0,
             metadata_bytes: 0,
+            faults: FaultState::new(self.config.faults, self.num_participants, self.seed),
         };
         for &(a, b, t) in &self.warmup_contacts {
             ctx.prophet.contact(a, b, t);
@@ -344,6 +437,10 @@ impl Simulation {
             ctx.now = event.t;
             match &event.kind {
                 EventKind::Generate(node, photo) => {
+                    // A crashed phone takes no photos.
+                    if ctx.faults.is_down(*node) {
+                        continue;
+                    }
                     scheme.on_photo_generated(&mut ctx, *node, *photo);
                     debug_assert!(
                         !scheme.respects_storage()
@@ -353,14 +450,46 @@ impl Simulation {
                     );
                 }
                 EventKind::Contact(a, b, dur) => {
+                    // A contact with a crashed endpoint never happens —
+                    // not even for PROPHET, whose predictabilities about
+                    // the crashed node therefore go stale (§III-B).
+                    if ctx.faults.is_down(*a) || ctx.faults.is_down(*b) {
+                        ctx.faults.stats.contacts_skipped_down += 1;
+                        continue;
+                    }
                     ctx.prophet.contact(*a, *b, event.t);
                     let budget = (self.config.bandwidth as f64 * dur) as u64;
+                    let budget = ctx.faults.roll_contact_budget(budget);
                     scheme.on_contact(&mut ctx, *a, *b, budget);
                 }
                 EventKind::Upload(node, dur) => {
-                    ctx.prophet.contact(*node, cc_prophet_id, event.t);
+                    if ctx.faults.is_down(*node) {
+                        ctx.faults.stats.contacts_skipped_down += 1;
+                        continue;
+                    }
                     let budget = (self.config.bandwidth as f64 * dur) as u64;
+                    // A dropped window means the link never came up at
+                    // all, so PROPHET learns nothing from it either.
+                    let Some(budget) = ctx.faults.roll_uplink_budget(budget) else {
+                        continue;
+                    };
+                    ctx.prophet.contact(*node, cc_prophet_id, event.t);
                     scheme.on_upload(&mut ctx, *node, budget);
+                }
+                EventKind::Crash(node) => {
+                    // Let the scheme observe the pre-wipe buffer (Checked
+                    // uses this to track which photos just became
+                    // unrecoverable), then lose everything the node held.
+                    scheme.on_node_crashed(&mut ctx, *node);
+                    ctx.collections[node.index()].clear();
+                    if self.config.faults.wipe_routing_state {
+                        ctx.prophet.reset_node(*node);
+                    }
+                    ctx.faults.set_down(*node, true);
+                    ctx.faults.stats.node_crashes += 1;
+                }
+                EventKind::Reboot(node) => {
+                    ctx.faults.set_down(*node, false);
                 }
             }
         }
@@ -382,12 +511,15 @@ fn kind_key(k: &EventKind) -> (u8, u32, u32) {
         EventKind::Generate(n, p) => (0, n.0, p.id.0 as u32),
         EventKind::Contact(a, b, _) => (1, a.0, b.0),
         EventKind::Upload(n, _) => (2, n.0, 0),
+        EventKind::Crash(n) => (3, n.0, 0),
+        EventKind::Reboot(n) => (4, n.0, 0),
     }
 }
 
 fn sample_of(ctx: &SimCtx, t: f64) -> MetricSample {
     let total_weight = ctx.pois.total_weight().max(f64::MIN_POSITIVE);
     let cov = ctx.cc_coverage();
+    let stats = ctx.faults.stats();
     MetricSample {
         t_hours: t / 3600.0,
         point_coverage: cov.point / total_weight,
@@ -396,6 +528,11 @@ fn sample_of(ctx: &SimCtx, t: f64) -> MetricSample {
         uploaded_bytes: ctx.uploaded_bytes(),
         mean_latency_hours: ctx.mean_delivery_latency() / 3600.0,
         metadata_bytes: ctx.metadata_bytes(),
+        contacts_interrupted: stats.contacts_interrupted,
+        transfers_lost: stats.transfers_lost,
+        transfers_corrupt: stats.transfers_corrupt,
+        node_crashes: stats.node_crashes,
+        uplinks_degraded: stats.uplinks_degraded,
     }
 }
 

@@ -43,14 +43,16 @@ mod ctx;
 #[cfg(test)]
 mod ctx_tests;
 mod engine;
+pub mod faults;
 mod metrics;
 mod runner;
 pub mod schemes_api;
 
 pub use checked::Checked;
 pub use config::{CommandCenterMode, SimConfig};
-pub use ctx::SimCtx;
-pub use engine::Simulation;
+pub use ctx::{SimCtx, UploadOutcome};
+pub use engine::{SimBuildError, Simulation};
+pub use faults::{FaultConfig, FaultPlan, FaultState, FaultStats};
 pub use metrics::{MetricSample, SimResult};
 pub use runner::{run_averaged, AveragedSeries};
 pub use schemes_api::Scheme;

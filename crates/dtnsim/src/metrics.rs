@@ -22,6 +22,21 @@ pub struct MetricSample {
     /// Bytes spent exchanging metadata so far (our scheme's overhead;
     /// zero for metadata-free baselines).
     pub metadata_bytes: u64,
+    /// Contacts whose byte budget was cut short by fault injection.
+    #[serde(default)]
+    pub contacts_interrupted: u64,
+    /// Photo transmissions lost in flight so far.
+    #[serde(default)]
+    pub transfers_lost: u64,
+    /// Photo transmissions that arrived corrupted and were discarded.
+    #[serde(default)]
+    pub transfers_corrupt: u64,
+    /// Node crashes executed so far.
+    #[serde(default)]
+    pub node_crashes: u64,
+    /// Uplink windows dropped or degraded so far.
+    #[serde(default)]
+    pub uplinks_degraded: u64,
 }
 
 /// The full time series of one simulation run.
@@ -74,9 +89,7 @@ mod tests {
                     point_coverage: i as f64 / 10.0,
                     aspect_coverage_deg: i as f64,
                     delivered_photos: i,
-                    uploaded_bytes: 0,
-                    mean_latency_hours: 0.0,
-                    metadata_bytes: 0,
+                    ..MetricSample::default()
                 })
                 .collect(),
         }

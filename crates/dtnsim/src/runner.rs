@@ -112,16 +112,27 @@ pub fn average(results: Vec<SimResult>) -> AveragedSeries {
             acc.uploaded_bytes += s.uploaded_bytes;
             acc.mean_latency_hours += s.mean_latency_hours;
             acc.metadata_bytes += s.metadata_bytes;
+            acc.contacts_interrupted += s.contacts_interrupted;
+            acc.transfers_lost += s.transfers_lost;
+            acc.transfers_corrupt += s.transfers_corrupt;
+            acc.node_crashes += s.node_crashes;
+            acc.uplinks_degraded += s.uplinks_degraded;
         }
         let n = runs as f64;
+        let mean_u64 = |total: u64| (total as f64 / n).round() as u64;
         samples.push(MetricSample {
             t_hours: acc.t_hours / n,
             point_coverage: acc.point_coverage / n,
             aspect_coverage_deg: acc.aspect_coverage_deg / n,
-            delivered_photos: (acc.delivered_photos as f64 / n).round() as u64,
-            uploaded_bytes: (acc.uploaded_bytes as f64 / n).round() as u64,
+            delivered_photos: mean_u64(acc.delivered_photos),
+            uploaded_bytes: mean_u64(acc.uploaded_bytes),
             mean_latency_hours: acc.mean_latency_hours / n,
-            metadata_bytes: (acc.metadata_bytes as f64 / n).round() as u64,
+            metadata_bytes: mean_u64(acc.metadata_bytes),
+            contacts_interrupted: mean_u64(acc.contacts_interrupted),
+            transfers_lost: mean_u64(acc.transfers_lost),
+            transfers_corrupt: mean_u64(acc.transfers_corrupt),
+            node_crashes: mean_u64(acc.node_crashes),
+            uplinks_degraded: mean_u64(acc.uplinks_degraded),
         });
     }
     AveragedSeries {

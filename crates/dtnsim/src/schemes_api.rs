@@ -38,6 +38,20 @@ pub trait Scheme {
     /// [`SimCtx::deliver`]; account spent bytes with
     /// [`SimCtx::note_upload_bytes`].
     fn on_upload(&mut self, ctx: &mut SimCtx, node: NodeId, budget: u64);
+
+    /// `node` is about to crash (fault injection): the engine will wipe
+    /// its photo buffer — and optionally its PROPHET state — right after
+    /// this hook returns, and the node stays unreachable until it
+    /// reboots, empty.
+    ///
+    /// The buffer is still intact here so schemes can drop per-node
+    /// protocol state (metadata caches, spray counters) that the crash
+    /// invalidates. The default does nothing: keeping stale state about a
+    /// crashed peer is *allowed* — §III-B's validity model exists exactly
+    /// because remote state goes stale — but keeping state the node
+    /// itself was supposed to hold in RAM is a bug this hook lets schemes
+    /// avoid.
+    fn on_node_crashed(&mut self, _ctx: &mut SimCtx, _node: NodeId) {}
 }
 
 impl<T: Scheme + ?Sized> Scheme for Box<T> {
@@ -58,6 +72,9 @@ impl<T: Scheme + ?Sized> Scheme for Box<T> {
     }
     fn on_upload(&mut self, ctx: &mut SimCtx, node: NodeId, budget: u64) {
         (**self).on_upload(ctx, node, budget);
+    }
+    fn on_node_crashed(&mut self, ctx: &mut SimCtx, node: NodeId) {
+        (**self).on_node_crashed(ctx, node);
     }
 }
 
@@ -84,11 +101,21 @@ impl Scheme for FloodScheme {
     }
 
     fn on_contact(&mut self, ctx: &mut SimCtx, a: NodeId, b: NodeId, _budget: u64) {
-        let (ca, cb) = ctx.collections_pair_mut(a, b);
+        // Unconstrained by storage and bandwidth, but still subject to
+        // the physical link: lost/corrupt transmissions don't arrive.
+        let (faults, ca, cb) = ctx.faults_and_pair_mut(a, b);
         let from_a: Vec<Photo> = ca.iter().copied().collect();
         let from_b: Vec<Photo> = cb.iter().copied().collect();
-        ca.extend(from_b);
-        cb.extend(from_a);
+        for p in from_b {
+            if !ca.contains(p.id) && faults.roll_transfer().arrived() {
+                ca.insert(p);
+            }
+        }
+        for p in from_a {
+            if !cb.contains(p.id) && faults.roll_transfer().arrived() {
+                cb.insert(p);
+            }
+        }
     }
 
     fn on_upload(&mut self, ctx: &mut SimCtx, node: NodeId, _budget: u64) {
@@ -96,7 +123,7 @@ impl Scheme for FloodScheme {
         let mut bytes = 0;
         for p in photos {
             bytes += p.size;
-            ctx.deliver(p);
+            ctx.upload_photo(p);
         }
         ctx.note_upload_bytes(bytes);
     }

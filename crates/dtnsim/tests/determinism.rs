@@ -1,0 +1,98 @@
+//! Determinism regression: the same `(config, trace, seed)` — and hence
+//! the same derived fault plan — must produce identical `SimResult`s for
+//! every scheme, with and without fault injection. Each fault source
+//! draws from its own salted RNG stream, so this is what makes chaos
+//! failures replayable from a one-line seed report.
+
+use photodtn_contacts::synth::{CommunityTraceGenerator, TraceStyle};
+use photodtn_contacts::ContactTrace;
+use photodtn_schemes::{
+    BestPossible, CentralizedOracle, DirectDelivery, Epidemic, ModifiedSpray, OurScheme, PhotoNet,
+    ProphetRouting, SprayAndWait,
+};
+use photodtn_sim::{FaultConfig, Scheme, SimConfig, Simulation};
+
+fn lineup() -> Vec<Box<dyn Scheme + Send>> {
+    vec![
+        Box::new(BestPossible),
+        Box::new(OurScheme::new()),
+        Box::new(OurScheme::no_metadata()),
+        Box::new(ModifiedSpray::new()),
+        Box::new(SprayAndWait::new()),
+        Box::new(PhotoNet::new()),
+        Box::new(Epidemic::new()),
+        Box::new(DirectDelivery::new()),
+        Box::new(CentralizedOracle::new()),
+        Box::new(ProphetRouting::new()),
+    ]
+}
+
+fn small_trace(seed: u64) -> ContactTrace {
+    CommunityTraceGenerator::new(TraceStyle::MitLike)
+        .with_num_nodes(16)
+        .with_duration_hours(36.0)
+        .generate(seed)
+}
+
+fn small_config() -> SimConfig {
+    let mut config = SimConfig::mit_default()
+        .with_photos_per_hour(30.0)
+        .with_storage_bytes(40 * 4 * 1024 * 1024);
+    config.num_pois = 60;
+    config
+}
+
+/// Every scheme, run twice on identical inputs, faulted and unfaulted:
+/// the full `SimResult` (every sample, every counter) must be equal.
+#[test]
+fn every_scheme_repeats_exactly() {
+    let trace = small_trace(3);
+    for intensity in [0.0, 0.5] {
+        let config = small_config().with_faults(FaultConfig::chaos(intensity));
+        for (first, second) in lineup().into_iter().zip(lineup()) {
+            let name = first.name();
+            let mut a = first;
+            let mut b = second;
+            let r1 = Simulation::new(&config, &trace, 42).run(&mut a);
+            let r2 = Simulation::new(&config, &trace, 42).run(&mut b);
+            assert_eq!(r1, r2, "{name} at intensity {intensity} diverged");
+        }
+    }
+}
+
+/// Zero-intensity injection is indistinguishable from no injector at all:
+/// `chaos(0.0)` consumes no randomness anywhere, so results are identical
+/// to a config that never mentions faults.
+#[test]
+fn zero_intensity_faults_change_nothing() {
+    let trace = small_trace(8);
+    assert!(FaultConfig::chaos(0.0).is_noop());
+    let plain = small_config();
+    let zeroed = small_config().with_faults(FaultConfig::chaos(0.0));
+    for (first, second) in lineup().into_iter().zip(lineup()) {
+        let name = first.name();
+        let mut a = first;
+        let mut b = second;
+        let r1 = Simulation::new(&plain, &trace, 5).run(&mut a);
+        let r2 = Simulation::new(&zeroed, &trace, 5).run(&mut b);
+        assert_eq!(r1, r2, "{name}: zero-rate faults perturbed the run");
+    }
+}
+
+/// The derived fault plan itself is a pure function of
+/// `(config, num_nodes, duration, seed)`.
+#[test]
+fn fault_plans_repeat_exactly() {
+    let trace = small_trace(2);
+    let config = small_config().with_faults(FaultConfig::chaos(0.8));
+    let s1 = Simulation::try_new(&config, &trace, 7).unwrap();
+    let s2 = Simulation::try_new(&config, &trace, 7).unwrap();
+    assert_eq!(s1.fault_plan(), s2.fault_plan());
+    assert!(s1.fault_plan().crash_count() > 0);
+    let other_seed = Simulation::try_new(&config, &trace, 8).unwrap();
+    assert_ne!(
+        s1.fault_plan(),
+        other_seed.fault_plan(),
+        "different seeds should draw different outage schedules"
+    );
+}

@@ -254,6 +254,19 @@ impl ProphetRouter {
     pub fn table(&self, node: NodeId) -> &ProphetTable {
         &self.tables[node.index()]
     }
+
+    /// Erases `node`'s own delivery-predictability table — the device
+    /// rebooted and lost its protocol state. Other nodes' predictability
+    /// *towards* `node` is untouched: their information about it is now
+    /// stale, exactly the situation the metadata-validity model exists
+    /// to handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn reset_node(&mut self, node: NodeId) {
+        self.tables[node.index()] = ProphetTable::new();
+    }
 }
 
 #[cfg(test)]

@@ -58,8 +58,10 @@ impl Scheme for Epidemic {
                 if ctx.collection(dst).total_size() + photo.size > ctx.storage_bytes() {
                     continue; // receiver full: epidemic does not evict for peers
                 }
-                ctx.collection_mut(dst).insert(photo);
                 remaining -= photo.size;
+                if ctx.contact_transfer().arrived() {
+                    ctx.collection_mut(dst).insert(photo);
+                }
             }
         }
     }
@@ -72,8 +74,9 @@ impl Scheme for Epidemic {
             if photo.size > remaining {
                 break;
             }
-            ctx.deliver(photo);
-            ctx.collection_mut(node).remove(photo.id);
+            if ctx.upload_photo(photo).acked() {
+                ctx.collection_mut(node).remove(photo.id);
+            }
             remaining -= photo.size;
             bytes += photo.size;
         }
@@ -124,8 +127,9 @@ impl Scheme for DirectDelivery {
             if photo.size > remaining {
                 break;
             }
-            ctx.deliver(photo);
-            ctx.collection_mut(node).remove(photo.id);
+            if ctx.upload_photo(photo).acked() {
+                ctx.collection_mut(node).remove(photo.id);
+            }
             remaining -= photo.size;
             bytes += photo.size;
         }

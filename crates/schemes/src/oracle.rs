@@ -89,8 +89,10 @@ impl Scheme for CentralizedOracle {
                 if ctx.collection(dst).total_size() + photo.size > ctx.storage_bytes() {
                     continue;
                 }
-                ctx.collection_mut(dst).insert(photo);
                 remaining -= photo.size;
+                if ctx.contact_transfer().arrived() {
+                    ctx.collection_mut(dst).insert(photo);
+                }
             }
         }
     }
@@ -135,8 +137,9 @@ impl Scheme for CentralizedOracle {
             let photo = photos[i];
             engine.commit_indexed(server, &covs[i], gain);
             taken[i] = true;
-            ctx.deliver(photo);
-            ctx.collection_mut(node).remove(photo.id);
+            if ctx.upload_photo(photo).acked() {
+                ctx.collection_mut(node).remove(photo.id);
+            }
             remaining -= photo.size;
             bytes += photo.size;
         }

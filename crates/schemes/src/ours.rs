@@ -3,7 +3,7 @@ use std::collections::HashMap;
 use photodtn_contacts::{NodeId, RateMatrix};
 use photodtn_core::expected::{DeliveryNode, ExpectedEngine};
 use photodtn_core::selection::{reallocate, PeerState, SelectionInput};
-use photodtn_core::transmission::{execute_plan, plan_transfers};
+use photodtn_core::transmission::{execute_plan_with, plan_transfers};
 use photodtn_core::validity::ValidityModel;
 use photodtn_core::MetadataCache;
 use photodtn_coverage::{Photo, PhotoCoverage, PhotoId, PhotoMeta};
@@ -233,9 +233,14 @@ impl Scheme for OurScheme {
         };
         let result = reallocate(&input);
         let capacity = ctx.storage_bytes();
-        let (ca, cb) = ctx.collections_pair_mut(a, b);
+        let (faults, ca, cb) = ctx.faults_and_pair_mut(a, b);
         let plan = plan_transfers(&result, ca, cb);
-        execute_plan(&plan, &result, ca, capacity, cb, capacity, budget);
+        // Transmit in selection order over the (possibly faulty) link:
+        // lost/corrupt sends burn budget but never store (§III-D —
+        // whatever prefix survives is still the most valuable one).
+        execute_plan_with(&plan, &result, ca, capacity, cb, capacity, budget, |_| {
+            faults.roll_transfer()
+        });
 
         // Exchange metadata snapshots of the post-contact collections.
         self.exchange_metadata(ctx, a, b);
@@ -285,8 +290,12 @@ impl Scheme for OurScheme {
             let photo = photos[i];
             engine.commit_indexed(uploader, &covs[i], gain);
             taken[i] = true;
-            ctx.deliver(photo);
-            ctx.collection_mut(node).remove(photo.id);
+            // The uplink burns the bytes either way; only an acknowledged
+            // arrival lets the node drop its local copy (§III-B — the
+            // returned metadata is the acknowledgment).
+            if ctx.upload_photo(photo).acked() {
+                ctx.collection_mut(node).remove(photo.id);
+            }
             remaining -= photo.size;
             bytes += photo.size;
         }
@@ -301,6 +310,13 @@ impl Scheme for OurScheme {
             ctx.note_metadata_bytes(snapshot.len() as u64 * PhotoMeta::wire_size() + 8);
             self.cache_mut(node).update(cc, snapshot, 0.0, now);
         }
+    }
+
+    fn on_node_crashed(&mut self, _ctx: &mut SimCtx, node: NodeId) {
+        // The metadata cache lives in the node's RAM: a crash destroys it.
+        // Other nodes' cached records *about* this node survive and go
+        // stale — exactly what the §III-B validity model must absorb.
+        self.caches.remove(&node.0);
     }
 }
 

@@ -104,12 +104,19 @@ impl Scheme for PhotoNet {
         let mut remaining = budget;
         for (src, dst) in [(a, b), (b, a)] {
             // Greedy max–min: repeatedly send the sender photo most novel
-            // with respect to the receiver's *current* collection.
+            // with respect to the receiver's *current* collection. Photos
+            // whose transmission the link ate are not retried this
+            // contact (they would be re-picked forever otherwise).
+            let mut failed: Vec<photodtn_coverage::PhotoId> = Vec::new();
             loop {
                 let candidate = ctx
                     .collection(src)
                     .iter()
-                    .filter(|p| !ctx.collection(dst).contains(p.id) && p.size <= remaining)
+                    .filter(|p| {
+                        !ctx.collection(dst).contains(p.id)
+                            && p.size <= remaining
+                            && !failed.contains(&p.id)
+                    })
                     .map(|p| (self.novelty(p, ctx.collection(dst)), *p))
                     .max_by(|(na, pa), (nb, pb)| na.total_cmp(nb).then(pb.id.cmp(&pa.id)));
                 let Some((novelty, photo)) = candidate else {
@@ -121,8 +128,12 @@ impl Scheme for PhotoNet {
                 if !self.make_room(ctx, dst, photo.size, novelty) {
                     break;
                 }
-                ctx.collection_mut(dst).insert(photo);
                 remaining -= photo.size;
+                if ctx.contact_transfer().arrived() {
+                    ctx.collection_mut(dst).insert(photo);
+                } else {
+                    failed.push(photo.id);
+                }
             }
         }
     }
@@ -130,16 +141,20 @@ impl Scheme for PhotoNet {
     fn on_upload(&mut self, ctx: &mut SimCtx, node: NodeId, budget: u64) {
         let mut remaining = budget;
         let mut bytes = 0;
+        let mut failed: Vec<photodtn_coverage::PhotoId> = Vec::new();
         loop {
             let candidate = ctx
                 .collection(node)
                 .iter()
-                .filter(|p| p.size <= remaining)
+                .filter(|p| p.size <= remaining && !failed.contains(&p.id))
                 .map(|p| (self.novelty(p, ctx.cc_collection()), *p))
                 .max_by(|(na, pa), (nb, pb)| na.total_cmp(nb).then(pb.id.cmp(&pa.id)));
             let Some((_, photo)) = candidate else { break };
-            ctx.deliver(photo);
-            ctx.collection_mut(node).remove(photo.id);
+            if ctx.upload_photo(photo).acked() {
+                ctx.collection_mut(node).remove(photo.id);
+            } else {
+                failed.push(photo.id);
+            }
             remaining -= photo.size;
             bytes += photo.size;
         }

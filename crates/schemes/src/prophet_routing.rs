@@ -66,8 +66,10 @@ impl Scheme for ProphetRouting {
                 if ctx.collection(dst).total_size() + photo.size > ctx.storage_bytes() {
                     continue;
                 }
-                ctx.collection_mut(dst).insert(photo);
                 remaining -= photo.size;
+                if ctx.contact_transfer().arrived() {
+                    ctx.collection_mut(dst).insert(photo);
+                }
             }
         }
     }
@@ -80,8 +82,9 @@ impl Scheme for ProphetRouting {
             if photo.size > remaining {
                 break;
             }
-            ctx.deliver(photo);
-            ctx.collection_mut(node).remove(photo.id);
+            if ctx.upload_photo(photo).acked() {
+                ctx.collection_mut(node).remove(photo.id);
+            }
             remaining -= photo.size;
             bytes += photo.size;
         }

@@ -129,12 +129,17 @@ impl Scheme for SprayAndWait {
                 if !self.admit(ctx, dst, &photo, self.receive_policy) {
                     continue;
                 }
+                remaining -= photo.size;
+                // The handoff consumes budget even if the link eats it;
+                // a failed handoff moves no copies.
+                if !ctx.contact_transfer().arrived() {
+                    continue;
+                }
                 let c = self.copies_of(src, photo.id);
                 let give = c / 2;
                 ctx.collection_mut(dst).insert(photo);
                 self.copies.insert((dst.0, photo.id.0), give);
                 self.copies.insert((src.0, photo.id.0), c - give);
-                remaining -= photo.size;
             }
         }
     }
@@ -147,13 +152,19 @@ impl Scheme for SprayAndWait {
             if photo.size > remaining {
                 break;
             }
-            ctx.deliver(photo);
-            ctx.collection_mut(node).remove(photo.id);
-            self.copies.remove(&(node.0, photo.id.0));
+            if ctx.upload_photo(photo).acked() {
+                ctx.collection_mut(node).remove(photo.id);
+                self.copies.remove(&(node.0, photo.id.0));
+            }
             remaining -= photo.size;
             bytes += photo.size;
         }
         ctx.note_upload_bytes(bytes);
+    }
+
+    fn on_node_crashed(&mut self, _ctx: &mut SimCtx, node: NodeId) {
+        // Copy counters live on the node; the wipe takes them too.
+        self.copies.retain(|&(n, _), _| n != node.0);
     }
 }
 
@@ -255,12 +266,15 @@ impl Scheme for ModifiedSpray {
                 if !self.make_room(ctx, dst, photo.size, (value, photo.id)) {
                     continue;
                 }
+                remaining -= photo.size;
+                if !ctx.contact_transfer().arrived() {
+                    continue;
+                }
                 let c = self.copies_of(src, photo.id);
                 let give = c / 2;
                 ctx.collection_mut(dst).insert(photo);
                 self.copies.insert((dst.0, photo.id.0), give);
                 self.copies.insert((src.0, photo.id.0), c - give);
-                remaining -= photo.size;
             }
         }
     }
@@ -280,13 +294,18 @@ impl Scheme for ModifiedSpray {
             if photo.size > remaining {
                 break;
             }
-            ctx.deliver(photo);
-            ctx.collection_mut(node).remove(photo.id);
-            self.copies.remove(&(node.0, photo.id.0));
+            if ctx.upload_photo(photo).acked() {
+                ctx.collection_mut(node).remove(photo.id);
+                self.copies.remove(&(node.0, photo.id.0));
+            }
             remaining -= photo.size;
             bytes += photo.size;
         }
         ctx.note_upload_bytes(bytes);
+    }
+
+    fn on_node_crashed(&mut self, _ctx: &mut SimCtx, node: NodeId) {
+        self.copies.retain(|&(n, _), _| n != node.0);
     }
 }
 
