@@ -1,0 +1,294 @@
+//! End-to-end simulation throughput harness: times whole `Simulation`
+//! runs per scheme on a large synthetic trace and writes `BENCH_sim.json`
+//! (median events/sec and ns/contact).
+//!
+//! Like `bench_selection` this is a plain binary with hand-rolled
+//! [`std::time::Instant`] timing so it runs anywhere, and it deliberately
+//! uses only APIs that exist in pre-optimization builds
+//! (`Simulation::new` / `run` / `event_count`), so the *same source*
+//! compiles against an old checkout to produce baseline numbers:
+//!
+//! ```sh
+//! # in the old checkout (bench_sim.rs copied in):
+//! cargo run --release -p photodtn-bench --bin bench_sim -- \
+//!     --emit-baseline /tmp/bench_before.txt
+//! # in the current checkout:
+//! cargo run --release -p photodtn-bench --bin bench_sim -- \
+//!     --baseline /tmp/bench_before.txt
+//! ```
+//!
+//! With `--baseline` the output JSON carries before/after medians and
+//! speedups. `--smoke` shrinks the workload for CI: it only checks that
+//! the harness runs end-to-end and emits valid JSON — no timing
+//! thresholds, because CI machines are noisy.
+
+use std::time::Instant;
+
+use photodtn_bench::scheme_by_name;
+use photodtn_contacts::synth::{CommunityTraceGenerator, TraceStyle};
+use photodtn_contacts::ContactTrace;
+use photodtn_sim::{SimConfig, Simulation};
+
+/// Schemes timed by the harness: ours (the acceptance target), its
+/// ablation, and the strongest baselines by per-contact work.
+const SCHEMES: [&str; 5] = [
+    "ours",
+    "no-metadata",
+    "oracle",
+    "modified-spray",
+    "epidemic",
+];
+
+struct Workload {
+    nodes: u32,
+    hours: f64,
+    num_pois: u32,
+    photos_per_hour: f64,
+    /// Mean intra-community inter-contact time, hours. The MIT-like
+    /// preset is sparse; the large workload densifies contacts so the
+    /// per-contact costs under test dominate photo generation.
+    intra_mean_hours: f64,
+    inter_mean_hours: f64,
+    trace_seed: u64,
+    run_seed: u64,
+    iters: usize,
+}
+
+impl Workload {
+    fn large() -> Self {
+        Workload {
+            nodes: 30,
+            hours: 48.0,
+            num_pois: 800,
+            photos_per_hour: 30.0,
+            intra_mean_hours: 6.0,
+            inter_mean_hours: 200.0,
+            trace_seed: 11,
+            run_seed: 42,
+            iters: 5,
+        }
+    }
+
+    fn smoke() -> Self {
+        Workload {
+            nodes: 8,
+            hours: 6.0,
+            num_pois: 60,
+            photos_per_hour: 10.0,
+            intra_mean_hours: 6.0,
+            inter_mean_hours: 200.0,
+            trace_seed: 11,
+            run_seed: 42,
+            iters: 1,
+        }
+    }
+
+    fn trace(&self) -> ContactTrace {
+        let mut gen = CommunityTraceGenerator::new(TraceStyle::MitLike)
+            .with_num_nodes(self.nodes)
+            .with_duration_hours(self.hours);
+        gen.intra_mean_hours = self.intra_mean_hours;
+        gen.inter_mean_hours = self.inter_mean_hours;
+        gen.generate(self.trace_seed)
+    }
+
+    fn config(&self) -> SimConfig {
+        let mut config = SimConfig::mit_default()
+            .with_photos_per_hour(self.photos_per_hour)
+            .with_storage_bytes(40 * 4 * 1024 * 1024);
+        config.num_pois = self.num_pois;
+        config
+    }
+}
+
+struct Timing {
+    scheme: &'static str,
+    median_ns: u128,
+    events: u64,
+    contacts: u64,
+}
+
+impl Timing {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / (self.median_ns as f64 / 1e9)
+    }
+
+    fn ns_per_contact(&self) -> f64 {
+        self.median_ns as f64 / self.contacts as f64
+    }
+}
+
+/// Median wall time of a full run of `scheme` (fresh `Simulation` and
+/// scheme instance per iteration; construction is outside the timer).
+fn time_scheme(workload: &Workload, trace: &ContactTrace, scheme: &'static str) -> Timing {
+    let config = workload.config();
+    // warmup: populate allocator/page caches
+    let mut events = 0u64;
+    {
+        let mut s = scheme_by_name(scheme);
+        let mut sim = Simulation::new(&config, trace, workload.run_seed);
+        events = events.max(sim.event_count() as u64);
+        let _ = sim.run(&mut *s);
+    }
+    let mut times: Vec<u128> = (0..workload.iters)
+        .map(|_| {
+            let mut s = scheme_by_name(scheme);
+            let mut sim = Simulation::new(&config, trace, workload.run_seed);
+            let t = Instant::now();
+            let _ = sim.run(&mut *s);
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    Timing {
+        scheme,
+        median_ns: times[times.len() / 2],
+        events,
+        // Contact count comes from the trace, which is identical across
+        // builds, so before/after ns/contact divide by the same number.
+        contacts: trace.len() as u64,
+    }
+}
+
+fn baseline_from(path: &str) -> Vec<(String, u128)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench_sim: reading baseline {path}: {e}"));
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| {
+            let mut it = l.split_whitespace();
+            let name = it.next().expect("baseline line: scheme name").to_string();
+            let ns: u128 = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("baseline line: median ns");
+            (name, ns)
+        })
+        .collect()
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let has = |name: &str| argv.iter().any(|a| a == name);
+    let value_of = |name: &str| {
+        argv.iter()
+            .position(|a| a == name)
+            .and_then(|i| argv.get(i + 1))
+            .cloned()
+    };
+
+    let smoke = has("--smoke");
+    let workload = if smoke {
+        Workload::smoke()
+    } else {
+        Workload::large()
+    };
+    let trace = workload.trace();
+    println!(
+        "bench_sim: {} nodes / {:.0} h / {} PoIs / {} contacts, median of {} full runs per scheme",
+        workload.nodes,
+        workload.hours,
+        workload.num_pois,
+        trace.len(),
+        workload.iters
+    );
+
+    let timings: Vec<Timing> = SCHEMES
+        .iter()
+        .map(|s| {
+            let t = time_scheme(&workload, &trace, s);
+            println!(
+                "{:<16} {:>14} ns  {:>10.0} events/s  {:>12.0} ns/contact",
+                t.scheme,
+                t.median_ns,
+                t.events_per_sec(),
+                t.ns_per_contact()
+            );
+            t
+        })
+        .collect();
+
+    // --emit-baseline FILE: plain "scheme median_ns" lines for an old
+    // build to hand to a new one; deliberately not JSON so the old binary
+    // needs no parser.
+    if let Some(path) = value_of("--emit-baseline") {
+        let mut out = String::new();
+        for t in &timings {
+            out.push_str(&format!("{} {}\n", t.scheme, t.median_ns));
+        }
+        std::fs::write(&path, out).expect("write baseline");
+        eprintln!("bench_sim: wrote baseline {path}");
+        return;
+    }
+
+    let baseline = value_of("--baseline").map(|p| baseline_from(&p));
+
+    // Hand-rolled JSON, matching bench_selection's artifact style.
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"workload\": {{\n    \"nodes\": {},\n    \"hours\": {},\n    \"num_pois\": {},\n    \
+         \"photos_per_hour\": {},\n    \"contacts\": {},\n    \"iterations\": {},\n    \
+         \"smoke\": {}\n  }},\n",
+        workload.nodes,
+        workload.hours,
+        workload.num_pois,
+        workload.photos_per_hour,
+        trace.len(),
+        workload.iters,
+        smoke
+    ));
+    json.push_str("  \"schemes\": {\n");
+    for (i, t) in timings.iter().enumerate() {
+        let before = baseline
+            .as_ref()
+            .and_then(|b| b.iter().find(|(n, _)| n == t.scheme))
+            .map(|(_, ns)| *ns);
+        json.push_str(&format!(
+            "    \"{}\": {{\n      \"events\": {},\n      \"contacts\": {},\n      \
+             \"after\": {{ \"median_ns\": {}, \"events_per_sec\": {:.1}, \
+             \"ns_per_contact\": {:.1} }}",
+            t.scheme,
+            t.events,
+            t.contacts,
+            t.median_ns,
+            t.events_per_sec(),
+            t.ns_per_contact()
+        ));
+        if let Some(before_ns) = before {
+            let before_eps = t.events as f64 / (before_ns as f64 / 1e9);
+            let before_npc = before_ns as f64 / t.contacts as f64;
+            let speedup = before_ns as f64 / t.median_ns as f64;
+            json.push_str(&format!(
+                ",\n      \"before\": {{ \"median_ns\": {before_ns}, \
+                 \"events_per_sec\": {before_eps:.1}, \"ns_per_contact\": {before_npc:.1} }},\n      \
+                 \"speedup\": {speedup:.3}"
+            ));
+        }
+        json.push_str("\n    }");
+        json.push_str(if i + 1 < timings.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    eprintln!("bench_sim: wrote BENCH_sim.json");
+
+    if let Some(baseline) = &baseline {
+        for t in &timings {
+            if let Some((_, before_ns)) = baseline.iter().find(|(n, _)| n == t.scheme) {
+                let speedup = *before_ns as f64 / t.median_ns as f64;
+                println!("{:<16} speedup {speedup:.2}x", t.scheme);
+            }
+        }
+        if !smoke {
+            let ours = timings.iter().find(|t| t.scheme == "ours").unwrap();
+            let (_, before_ns) = baseline
+                .iter()
+                .find(|(n, _)| n == "ours")
+                .expect("baseline has ours");
+            let speedup = *before_ns as f64 / ours.median_ns as f64;
+            assert!(
+                speedup >= 3.0,
+                "acceptance: expected >= 3x events/sec for ours, got {speedup:.2}x"
+            );
+        }
+    }
+}

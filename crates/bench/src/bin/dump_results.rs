@@ -1,0 +1,91 @@
+//! Dumps every scheme's full `SimResult` as JSON for byte-identity
+//! comparison across builds.
+//!
+//! Runs the exact determinism-test matrix (the 10-scheme lineup on the
+//! MIT-like 16-node/36-hour trace, fault intensities 0.0 and 0.5, run
+//! seed 42) and writes one `<scheme>_<intensity>.json` per cell into the
+//! directory given as the first argument. Running this against two
+//! builds and `diff -r`-ing the directories proves the optimized
+//! simulator produces byte-identical results — every sample, every
+//! counter.
+//!
+//! Uses only APIs that exist in pre-optimization builds so the same
+//! source compiles against an old checkout.
+
+use photodtn_bench::scheme_by_name;
+use photodtn_contacts::synth::{CommunityTraceGenerator, TraceStyle};
+use photodtn_sim::{FaultConfig, MetricSample, SimConfig, SimResult, Simulation};
+
+const SCHEMES: [&str; 10] = [
+    "best-possible",
+    "ours",
+    "no-metadata",
+    "modified-spray",
+    "spray-wait",
+    "photonet",
+    "epidemic",
+    "direct",
+    "oracle",
+    "prophet",
+];
+
+/// Hand-rolled JSON (the vendored serde_json cannot serialize arbitrary
+/// types). `{:?}` on finite `f64`s is the shortest round-trip
+/// representation — a valid JSON number, and bit-exact for comparison.
+fn sample_json(s: &MetricSample) -> String {
+    format!(
+        "    {{ \"t_hours\": {:?}, \"point_coverage\": {:?}, \"aspect_coverage_deg\": {:?}, \
+         \"delivered_photos\": {}, \"uploaded_bytes\": {}, \"mean_latency_hours\": {:?}, \
+         \"metadata_bytes\": {}, \"contacts_interrupted\": {}, \"transfers_lost\": {}, \
+         \"transfers_corrupt\": {}, \"node_crashes\": {}, \"uplinks_degraded\": {} }}",
+        s.t_hours,
+        s.point_coverage,
+        s.aspect_coverage_deg,
+        s.delivered_photos,
+        s.uploaded_bytes,
+        s.mean_latency_hours,
+        s.metadata_bytes,
+        s.contacts_interrupted,
+        s.transfers_lost,
+        s.transfers_corrupt,
+        s.node_crashes,
+        s.uplinks_degraded
+    )
+}
+
+fn result_json(r: &SimResult) -> String {
+    let samples: Vec<String> = r.samples.iter().map(sample_json).collect();
+    format!(
+        "{{\n  \"scheme\": \"{}\",\n  \"seed\": {},\n  \"samples\": [\n{}\n  ]\n}}\n",
+        r.scheme,
+        r.seed,
+        samples.join(",\n")
+    )
+}
+
+fn main() {
+    let outdir = std::env::args().nth(1).expect("usage: dump_results OUTDIR");
+    std::fs::create_dir_all(&outdir).expect("create output directory");
+
+    let trace = CommunityTraceGenerator::new(TraceStyle::MitLike)
+        .with_num_nodes(16)
+        .with_duration_hours(36.0)
+        .generate(3);
+
+    for intensity in [0.0_f64, 0.5] {
+        let mut config = SimConfig::mit_default()
+            .with_photos_per_hour(30.0)
+            .with_storage_bytes(40 * 4 * 1024 * 1024)
+            .with_faults(FaultConfig::chaos(intensity));
+        config.num_pois = 60;
+
+        for name in SCHEMES {
+            let mut scheme = scheme_by_name(name);
+            let result = Simulation::new(&config, &trace, 42).run(&mut *scheme);
+            let json = result_json(&result);
+            let path = format!("{outdir}/{name}_{intensity}.json");
+            std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            eprintln!("dump_results: wrote {path}");
+        }
+    }
+}

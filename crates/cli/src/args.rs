@@ -12,7 +12,7 @@ pub struct Flags {
 }
 
 /// Flags that take no value, per subcommand namespace.
-const SWITCHES: &[&str] = &["json", "report", "no-json"];
+const SWITCHES: &[&str] = &["json", "report", "no-json", "perf"];
 
 impl Flags {
     /// Parses an argv slice.

@@ -5,7 +5,8 @@ use crate::args::Flags;
 
 pub fn run(argv: &[String]) -> Result<(), String> {
     // `--faults` is a toggle here (extra fault-counter columns), unlike
-    // `run --faults K` where it takes an intensity value.
+    // `run --faults K` where it takes an intensity value. `--perf` adds
+    // wall-clock/cache columns from `run --perf --json` output.
     let flags = Flags::parse_with(argv, &["faults"])?;
     if flags.positionals().is_empty() {
         return Err("report: pass one or more result files (e.g. results/fig5.txt)".into());
@@ -18,7 +19,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     if rows.is_empty() {
         return Err("report: no JSON blocks found in the given files".into());
     }
-    print_markdown(&rows, flags.has("faults"));
+    print_markdown(&rows, flags.has("faults"), flags.has("perf"));
     Ok(())
 }
 
@@ -64,13 +65,28 @@ const FAULT_KEYS: [&str; 5] = [
     "uplinks_degraded",
 ];
 
-fn print_markdown(rows: &[serde_json::Value], show_faults: bool) {
+/// Performance keys emitted by `run --perf --json`; folded into dedicated
+/// columns with `report --perf`, hidden otherwise.
+const PERF_KEYS: [&str; 6] = [
+    "wall_seconds",
+    "events",
+    "events_per_sec",
+    "cache_hits",
+    "cache_misses",
+    "cache_hit_rate",
+];
+
+fn print_markdown(rows: &[serde_json::Value], show_faults: bool, show_perf: bool) {
     let mut header =
         String::from("| figure | trace | scheme | parameters | point % | aspect ° | delivered |");
     let mut rule = String::from("|---|---|---|---|---|---|---|");
     if show_faults {
         header.push_str(" interrupted | lost | corrupt | crashes | degraded |");
         rule.push_str("---|---|---|---|---|");
+    }
+    if show_perf {
+        header.push_str(" wall s | events/s | cache hit % |");
+        rule.push_str("---|---|---|");
     }
     println!("{header}");
     println!("{rule}");
@@ -98,7 +114,9 @@ fn print_markdown(rows: &[serde_json::Value], show_faults: bool) {
             .map(|o| {
                 o.iter()
                     .filter(|(k, _)| {
-                        !standard.contains(&k.as_str()) && !FAULT_KEYS.contains(&k.as_str())
+                        !standard.contains(&k.as_str())
+                            && !FAULT_KEYS.contains(&k.as_str())
+                            && !PERF_KEYS.contains(&k.as_str())
                     })
                     .map(|(k, v)| format!("{k}={v}"))
                     .collect()
@@ -127,6 +145,12 @@ fn print_markdown(rows: &[serde_json::Value], show_faults: bool) {
                 let cell = get_f(key).map_or("—".into(), |v| format!("{v:.0}"));
                 line.push_str(&format!(" {cell} |"));
             }
+        }
+        if show_perf {
+            let wall = get_f("wall_seconds").map_or("—".into(), |v| format!("{v:.3}"));
+            let eps = get_f("events_per_sec").map_or("—".into(), |v| format!("{v:.0}"));
+            let hit = get_f("cache_hit_rate").map_or("—".into(), |v| format!("{:.1}", 100.0 * v));
+            line.push_str(&format!(" {wall} | {eps} | {hit} |"));
         }
         println!("{line}");
     }
@@ -189,6 +213,25 @@ JSON [
         // both with and without the toggle must render
         run(std::slice::from_ref(&arg)).unwrap();
         run(&["--faults".to_string(), arg]).unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn perf_columns_toggle() {
+        const PERF: &str = r#"JSON [
+  { "figure": "bench", "trace": "mit", "scheme": "ours", "point_coverage": 0.5,
+    "aspect_coverage_deg": 90.0, "delivered_photos": 10,
+    "wall_seconds": 1.25, "events": 1000, "events_per_sec": 800.0,
+    "cache_hits": 90, "cache_misses": 10, "cache_hit_rate": 0.9 }
+]"#;
+        let dir = std::env::temp_dir().join("photodtn-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("perf.txt");
+        std::fs::write(&path, PERF).unwrap();
+        let arg = path.to_str().unwrap().to_string();
+        // both with and without the toggle must render
+        run(std::slice::from_ref(&arg)).unwrap();
+        run(&["--perf".to_string(), arg]).unwrap();
         std::fs::remove_file(&path).unwrap();
     }
 

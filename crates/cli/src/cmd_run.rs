@@ -67,8 +67,8 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         trace.num_nodes(),
         sim.event_count()
     );
-    let pois = sim.pois().clone();
-    let (result, delivered) = sim.run_detailed(&mut scheme);
+    let pois = sim.pois_shared();
+    let (result, delivered, stats) = sim.run_instrumented(&mut scheme);
 
     println!(
         "{:>7} {:>9} {:>10} {:>11}",
@@ -93,6 +93,29 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         println!("  transfers corrupt    : {}", f.transfers_corrupt);
         println!("  node crashes         : {}", f.node_crashes);
         println!("  uplinks degraded     : {}", f.uplinks_degraded);
+    }
+
+    if flags.has("perf") {
+        println!("\nperformance (wall clock; not part of the deterministic result):");
+        println!("  wall clock     : {:.3} s", stats.wall_seconds());
+        println!(
+            "  events         : {} ({:.0} events/s)",
+            stats.events,
+            stats.events_per_sec()
+        );
+        println!(
+            "  contacts       : {} ({:.0} ns/contact)",
+            stats.contacts,
+            stats.ns_per_contact()
+        );
+        println!("  uploads        : {}", stats.uploads);
+        println!(
+            "  coverage cache : {} hits / {} misses ({:.1}% hit rate, {} evictions)",
+            stats.cache.hits,
+            stats.cache.misses,
+            100.0 * stats.cache.hit_rate(),
+            stats.cache.evictions
+        );
     }
 
     if flags.has("report") {
@@ -125,7 +148,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         let f = result.final_sample();
         // Only emit the fault counters when injection is on, so zero-fault
         // output stays byte-compatible with earlier versions.
-        let value = if config.faults.is_noop() {
+        let mut value = if config.faults.is_noop() {
             serde_json::json!({
                 "scheme": result.scheme,
                 "seed": seed,
@@ -148,6 +171,28 @@ pub fn run(argv: &[String]) -> Result<(), String> {
                 "uplinks_degraded": f.uplinks_degraded,
             })
         };
+        // Perf numbers are wall-clock (nondeterministic), so they join
+        // the JSON only on request — default output stays byte-stable.
+        if flags.has("perf") {
+            let serde_json::Value::Object(obj) = &mut value else {
+                unreachable!("run JSON is an object");
+            };
+            obj.insert("cache_hits".into(), serde_json::json!(stats.cache.hits));
+            obj.insert("cache_misses".into(), serde_json::json!(stats.cache.misses));
+            obj.insert(
+                "cache_hit_rate".into(),
+                serde_json::json!(stats.cache.hit_rate()),
+            );
+            obj.insert("events".into(), serde_json::json!(stats.events));
+            obj.insert(
+                "events_per_sec".into(),
+                serde_json::json!(stats.events_per_sec()),
+            );
+            obj.insert(
+                "wall_seconds".into(),
+                serde_json::json!(stats.wall_seconds()),
+            );
+        }
         println!("{value}");
     }
     Ok(())
@@ -165,7 +210,7 @@ mod tests {
     fn small_run_each_knob() {
         run(&argv(
             "--scheme spray-wait --style mit --nodes 8 --hours 6 --photos-per-hour 10 \
-             --storage-gb 0.1 --deadline 5 --failures 0.2 --seed 2 --report --json",
+             --storage-gb 0.1 --deadline 5 --failures 0.2 --seed 2 --report --json --perf",
         ))
         .unwrap();
     }

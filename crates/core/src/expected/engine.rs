@@ -9,6 +9,7 @@
 //! touches.
 
 use std::cell::RefCell;
+use std::sync::Arc as StdArc;
 
 use photodtn_geo::{Angle, Arc, ArcSet};
 
@@ -47,7 +48,7 @@ use photodtn_coverage::{
 /// ```
 #[derive(Clone, Debug)]
 pub struct ExpectedEngine {
-    pois: PoiList,
+    pois: StdArc<PoiList>,
     params: CoverageParams,
     probs: Vec<f64>,
     states: Vec<PoiState>,
@@ -87,6 +88,14 @@ impl ExpectedEngine {
     /// Creates an engine with no nodes.
     #[must_use]
     pub fn new(pois: &PoiList, params: CoverageParams) -> Self {
+        Self::new_shared(StdArc::new(pois.clone()), params)
+    }
+
+    /// Creates an engine over a shared PoI list without cloning it — the
+    /// hot-path constructor: a per-contact engine costs one refcount bump
+    /// instead of a deep `PoiList` copy.
+    #[must_use]
+    pub fn new_shared(pois: StdArc<PoiList>, params: CoverageParams) -> Self {
         ExpectedEngine {
             states: vec![
                 PoiState {
@@ -95,13 +104,41 @@ impl ExpectedEngine {
                 };
                 pois.len()
             ],
-            pois: pois.clone(),
+            pois,
             params,
             probs: Vec::new(),
             total: Coverage::ZERO,
             aspect_weights: None,
             scratch: RefCell::new(Scratch::default()),
         }
+    }
+
+    /// Clears all nodes and committed photos, returning the engine to its
+    /// just-constructed state while **retaining every allocation**: the
+    /// per-PoI coverer vectors, the scratch buffers, and the node table
+    /// keep their capacity, so a reused engine stays on the
+    /// zero-allocation warm path across contacts. PoI list, coverage
+    /// parameters, and aspect weights are kept.
+    pub fn reset(&mut self) {
+        self.probs.clear();
+        for state in &mut self.states {
+            state.coverers.clear();
+            state.point_survival = 1.0;
+        }
+        self.total = Coverage::ZERO;
+    }
+
+    /// The engine's PoI list.
+    #[must_use]
+    pub fn pois(&self) -> &PoiList {
+        &self.pois
+    }
+
+    /// The shared handle to the engine's PoI list (for `Arc::ptr_eq`
+    /// same-world checks by callers that reuse engines across runs).
+    #[must_use]
+    pub fn pois_shared(&self) -> &StdArc<PoiList> {
+        &self.pois
     }
 
     /// Applies per-PoI aspect weights (builder-style). Must be called
@@ -573,6 +610,56 @@ mod tests {
         }
         assert_eq!(a.total().point.to_bits(), b.total().point.to_bits());
         assert_eq!(a.total().aspect.to_bits(), b.total().aspect.to_bits());
+    }
+
+    #[test]
+    fn reset_engine_is_bitwise_fresh() {
+        // Engine reuse across contacts/uploads depends on reset being
+        // indistinguishable from construction.
+        let params = CoverageParams::default();
+        let pois = pois();
+        let t0 = Point::new(0.0, 0.0);
+        let t1 = Point::new(500.0, 0.0);
+        let shots = [
+            (1.0, shot(t0, 90.0)),
+            (0.7, shot(t1, 45.0)),
+            (0.3, shot(t0, 90.0)),
+        ];
+        let mut reused = ExpectedEngine::new(&pois, params);
+        // Dirty it with an unrelated first run.
+        let n = reused.add_node(0.9);
+        reused.add_photo(n, &shot(t1, 10.0));
+        reused.add_photo(n, &shot(t0, 200.0));
+        reused.reset();
+        assert!(reused.total().is_zero());
+        assert_eq!(reused.node_count(), 0);
+
+        let mut fresh = ExpectedEngine::new(&pois, params);
+        for (p, meta) in &shots {
+            let a = fresh.add_node(*p);
+            let b = reused.add_node(*p);
+            assert_eq!(a, b);
+            let ga = fresh.add_photo(a, meta);
+            let gb = reused.add_photo(b, meta);
+            assert_eq!(ga.point.to_bits(), gb.point.to_bits());
+            assert_eq!(ga.aspect.to_bits(), gb.aspect.to_bits());
+        }
+        assert_eq!(
+            fresh.total().point.to_bits(),
+            reused.total().point.to_bits()
+        );
+        assert_eq!(
+            fresh.total().aspect.to_bits(),
+            reused.total().aspect.to_bits()
+        );
+    }
+
+    #[test]
+    fn new_shared_avoids_clone_and_exposes_handle() {
+        let pois = StdArc::new(pois());
+        let engine = ExpectedEngine::new_shared(StdArc::clone(&pois), CoverageParams::default());
+        assert!(StdArc::ptr_eq(engine.pois_shared(), &pois));
+        assert_eq!(engine.pois().len(), pois.len());
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod segment;
 
 pub use engine::ExpectedEngine;
 
-use photodtn_coverage::PhotoMeta;
+use photodtn_coverage::{PhotoId, PhotoMeta};
 
 /// One node's contribution to expected coverage: its delivery probability
 /// and the metadata of the photos it holds.
@@ -54,6 +54,14 @@ pub struct DeliveryNode {
     pub delivery_prob: f64,
     /// Metadata of the node's photo collection.
     pub metas: Vec<PhotoMeta>,
+    /// Photo ids parallel to `metas`, when the caller knows them.
+    ///
+    /// Ids never change coverage math — they only let callers that keep a
+    /// per-run [`PhotoCoverage`](photodtn_coverage::PhotoCoverage) cache
+    /// (keyed by id) commit this node's photos through the indexed engine
+    /// path instead of re-resolving geometry per contact. `None` falls
+    /// back to the metadata scan; both paths are bit-identical.
+    pub ids: Option<Vec<PhotoId>>,
 }
 
 impl DeliveryNode {
@@ -63,6 +71,21 @@ impl DeliveryNode {
         DeliveryNode {
             delivery_prob: clamp_prob(delivery_prob),
             metas,
+            ids: None,
+        }
+    }
+
+    /// Creates a node whose photo ids are known, enabling cached indexed
+    /// commits. `photos` supplies `(id, meta)` pairs.
+    ///
+    /// The clamping matches [`new`](Self::new).
+    #[must_use]
+    pub fn with_ids(delivery_prob: f64, photos: Vec<(PhotoId, PhotoMeta)>) -> Self {
+        let (ids, metas) = photos.into_iter().unzip();
+        DeliveryNode {
+            delivery_prob: clamp_prob(delivery_prob),
+            metas,
+            ids: Some(ids),
         }
     }
 }

@@ -30,9 +30,11 @@
 //! heap stale after each commit. All three produce identical
 //! [`SelectionResult`]s.
 
+use std::borrow::Borrow;
 use std::cmp::Ordering;
 use std::collections::BTreeMap;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use photodtn_contacts::NodeId;
 use photodtn_coverage::{
@@ -269,6 +271,143 @@ fn run_with(
     }
 }
 
+/// A reusable reallocation context for one simulated world.
+///
+/// [`reallocate`] constructs a fresh [`ExpectedEngine`] (cloning the PoI
+/// list), a fresh generation array, and a fresh item table on **every**
+/// contact. A `SelectionSession` hoists all three to per-run lifetime:
+/// the engine is [`reset`](ExpectedEngine::reset) instead of rebuilt
+/// (keeping its scratch buffers warm, preserving the zero-allocation
+/// preview property across contacts), and photo coverage tables are
+/// supplied by the caller — typically from a per-run
+/// [`CoverageTableCache`](photodtn_coverage::CoverageTableCache) — so
+/// each table is built once per run instead of once per contact.
+///
+/// [`reallocate_with`](Self::reallocate_with) is bit-identical to
+/// [`reallocate`] on the same input (equivalence-tested below): it runs
+/// the identical indexed lazy greedy; only the provenance of the
+/// allocations differs.
+#[derive(Debug)]
+pub struct SelectionSession {
+    engine: ExpectedEngine,
+    poi_gen: Vec<u32>,
+    items: Vec<(Photo, Arc<PhotoCoverage>)>,
+}
+
+impl SelectionSession {
+    /// Creates a session over a shared PoI list.
+    #[must_use]
+    pub fn new(pois: Arc<PoiList>, params: CoverageParams) -> Self {
+        let poi_gen = vec![0u32; pois.len()];
+        SelectionSession {
+            engine: ExpectedEngine::new_shared(pois, params),
+            poi_gen,
+            items: Vec::new(),
+        }
+    }
+
+    /// The shared handle to the session's PoI list, for callers that must
+    /// check (via [`Arc::ptr_eq`]) that a long-lived session still matches
+    /// the world it is used in.
+    #[must_use]
+    pub fn pois_shared(&self) -> &Arc<PoiList> {
+        self.engine.pois_shared()
+    }
+
+    /// Runs the indexed greedy reallocation, resolving coverage tables
+    /// through `coverage` (called once per distinct pooled or third-party
+    /// photo).
+    ///
+    /// `coverage(id, meta)` must return the photo's [`PhotoCoverage`]
+    /// against the session's PoI list — either freshly built or from a
+    /// cache; the two are interchangeable because `PhotoCoverage::build`
+    /// is deterministic and metadata is immutable.
+    ///
+    /// `input.pois` must be the session's own PoI list.
+    pub fn reallocate_with<F>(
+        &mut self,
+        input: &SelectionInput<'_>,
+        mut coverage: F,
+    ) -> SelectionResult
+    where
+        F: FnMut(PhotoId, &photodtn_coverage::PhotoMeta) -> Arc<PhotoCoverage>,
+    {
+        debug_assert_eq!(
+            input.pois.len(),
+            self.poi_gen.len(),
+            "session used with a different world"
+        );
+        self.engine.reset();
+        for other in &input.others {
+            let n = self.engine.add_node(other.delivery_prob);
+            match &other.ids {
+                // Ids known: commit through the indexed path on cached
+                // tables (bit-identical to the metadata scan).
+                Some(ids) => {
+                    for (id, meta) in ids.iter().zip(&other.metas) {
+                        let cov = coverage(*id, meta);
+                        self.engine.add_photo_indexed(n, &cov);
+                    }
+                }
+                None => {
+                    self.engine.add_collection(n, other.metas.iter());
+                }
+            }
+        }
+
+        let pool: BTreeMap<PhotoId, Photo> = input
+            .a
+            .photos
+            .iter()
+            .chain(input.b.photos.iter())
+            .map(|p| (p.id, *p))
+            .collect();
+        self.items.clear();
+        self.items
+            .extend(pool.values().map(|p| (*p, coverage(p.id, &p.meta))));
+
+        let mut stats = SelectionStats::default();
+        let a_first = match input.a.delivery_prob.total_cmp(&input.b.delivery_prob) {
+            Ordering::Greater => true,
+            Ordering::Less => false,
+            Ordering::Equal => input.a.node <= input.b.node,
+        };
+        let (first, second) = if a_first {
+            (&input.a, &input.b)
+        } else {
+            (&input.b, &input.a)
+        };
+        let first_sel = select_lazy_indexed(
+            &mut self.engine,
+            first,
+            &self.items,
+            false,
+            &mut self.poi_gen,
+            &mut stats,
+        );
+        let second_sel = select_lazy_indexed(
+            &mut self.engine,
+            second,
+            &self.items,
+            false,
+            &mut self.poi_gen,
+            &mut stats,
+        );
+        let (a_selected, b_selected) = if a_first {
+            (first_sel, second_sel)
+        } else {
+            (second_sel, first_sel)
+        };
+        SelectionResult {
+            a_selected,
+            b_selected,
+            a_first,
+            expected: self.engine.total(),
+            stats,
+        }
+    }
+}
+
 /// Indexed lazy greedy fill of one peer's storage (problem (3) of the
 /// paper) — the production hot path.
 ///
@@ -286,10 +425,10 @@ fn run_with(
 ///   entry whose PoIs are unstamped since its evaluation is exact — this
 ///   replaces the O(pool) whole-heap invalidation sweep after every
 ///   commit.
-fn select_lazy_indexed(
+fn select_lazy_indexed<C: Borrow<PhotoCoverage>>(
     engine: &mut ExpectedEngine,
     peer: &PeerState,
-    items: &[(Photo, PhotoCoverage)],
+    items: &[(Photo, C)],
     per_byte: bool,
     poi_gen: &mut [u32],
     stats: &mut SelectionStats,
@@ -304,7 +443,7 @@ fn select_lazy_indexed(
         .enumerate()
         .map(|(i, (p, cov))| {
             stats.evaluations += 1;
-            let raw = engine.gain_of_indexed(node, cov);
+            let raw = engine.gain_of_indexed(node, cov.borrow());
             IndexedEntry {
                 gain: rank(raw, p.size, per_byte),
                 raw,
@@ -319,6 +458,7 @@ fn select_lazy_indexed(
             break;
         }
         let (photo, cov) = &items[top.idx as usize];
+        let cov = cov.borrow();
         if photo.size > remaining {
             continue; // cannot fit now or ever (remaining only shrinks)
         }
@@ -859,6 +999,76 @@ mod tests {
             others: vec![],
         };
         assert_eq!(reallocate(&input), reallocate_density(&input));
+    }
+
+    #[test]
+    fn session_matches_reallocate_across_reuse() {
+        // A reused session (reset engine, cached coverage tables,
+        // id-tagged third parties) must be bit-identical to the fresh
+        // per-contact path, on every contact it serves.
+        let pois = Arc::new(pois());
+        let params = CoverageParams::default();
+        let t0 = Point::new(0.0, 0.0);
+        let t1 = Point::new(600.0, 0.0);
+        let mut session = SelectionSession::new(Arc::clone(&pois), params);
+        let mut cache = photodtn_coverage::CoverageTableCache::new(4); // tiny: forces evictions
+        let cc = shot(8, t0, 60.0);
+        let contacts = [
+            ((2u64, 2u64), (0.9, 0.2)),
+            ((3, 1), (0.2, 0.9)),
+            ((7, 7), (0.5, 0.5)),
+            ((0, 3), (0.5, 0.5)),
+        ];
+        for (caps, (pa, pb)) in contacts {
+            let a = peer(
+                0,
+                pa,
+                caps.0,
+                vec![
+                    shot(1, t0, 0.0),
+                    shot(2, t0, 120.0),
+                    shot(3, t1, 10.0),
+                    shot(4, t1, 15.0),
+                ],
+            );
+            let b = peer(
+                1,
+                pb,
+                caps.1,
+                vec![shot(5, t0, 240.0), shot(6, t1, 200.0), shot(7, t0, 0.0)],
+            );
+            let fresh_input = SelectionInput {
+                pois: &pois,
+                params,
+                a: a.clone(),
+                b: b.clone(),
+                others: vec![DeliveryNode::new(1.0, vec![cc.meta])],
+            };
+            let session_input = SelectionInput {
+                pois: &pois,
+                params,
+                a,
+                b,
+                others: vec![DeliveryNode::with_ids(1.0, vec![(cc.id, cc.meta)])],
+            };
+            let reference = reallocate(&fresh_input);
+            let reused = session.reallocate_with(&session_input, |id, meta| {
+                cache.get_or_build(id, meta, &pois, params)
+            });
+            assert_eq!(reference, reused, "divergence at caps {caps:?}");
+            assert_eq!(
+                reference.expected.point.to_bits(),
+                reused.expected.point.to_bits()
+            );
+            assert_eq!(
+                reference.expected.aspect.to_bits(),
+                reused.expected.aspect.to_bits()
+            );
+        }
+        // 8 distinct photos cycling through 4 slots: the cache thrashes
+        // (every lookup rebuilds) yet results stayed bit-identical.
+        assert!(cache.stats().evictions > 0);
+        assert_eq!(cache.stats().hits, 0);
     }
 
     #[test]

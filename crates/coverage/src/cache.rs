@@ -1,0 +1,250 @@
+//! Cross-contact cache of [`PhotoCoverage`] tables.
+//!
+//! Photo metadata is immutable, so for a fixed PoI list and coverage
+//! parameters a photo's coverage table is a pure function of its
+//! [`PhotoId`]. Building the table once per *run* instead of once per
+//! *contact* removes the dominant per-event geometry cost from the
+//! simulation hot path. The cache hands out [`Arc`]s so a table can be
+//! shared between the selection items, the upload loop, and the cache
+//! itself without cloning the entry vector.
+//!
+//! Eviction is FIFO on insertion order — fully deterministic, so a run
+//! with a tiny cache produces byte-identical results to a run with an
+//! unbounded one (an evicted table is simply rebuilt, and
+//! [`PhotoCoverage::build`] is deterministic).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use serde::Serialize;
+
+use crate::{CoverageParams, PhotoCoverage, PhotoId, PhotoMeta, PoiList};
+
+/// Running counters of a [`CoverageTableCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to build a table.
+    pub misses: u64,
+    /// Entries dropped to stay within the capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when never queried).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bounded, per-run cache of coverage tables keyed by [`PhotoId`].
+///
+/// The caller guarantees all lookups use the same PoI list and parameters
+/// (one cache per simulated world); ids are globally unique, so a hit can
+/// never alias a different photo's table.
+#[derive(Debug)]
+pub struct CoverageTableCache {
+    tables: HashMap<PhotoId, Arc<PhotoCoverage>>,
+    /// Insertion order, oldest first — the FIFO eviction queue.
+    order: VecDeque<PhotoId>,
+    capacity: usize,
+    stats: CacheStats,
+}
+
+impl CoverageTableCache {
+    /// Default capacity: comfortably above any workload's live photo count
+    /// while bounding worst-case memory (a table is typically well under
+    /// a kilobyte).
+    pub const DEFAULT_CAPACITY: usize = 16_384;
+
+    /// Creates a cache holding at most `capacity` tables. A capacity of
+    /// zero disables caching entirely (every lookup is a miss that stores
+    /// nothing).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        CoverageTableCache {
+            tables: HashMap::new(),
+            order: VecDeque::new(),
+            capacity,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Returns the cached table for `id`, building (and caching) it from
+    /// `meta` on a miss.
+    pub fn get_or_build(
+        &mut self,
+        id: PhotoId,
+        meta: &PhotoMeta,
+        pois: &PoiList,
+        params: CoverageParams,
+    ) -> Arc<PhotoCoverage> {
+        if let Some(table) = self.tables.get(&id) {
+            self.stats.hits += 1;
+            return Arc::clone(table);
+        }
+        self.stats.misses += 1;
+        let table = Arc::new(PhotoCoverage::build(meta, pois, params));
+        if self.capacity == 0 {
+            return table;
+        }
+        while self.tables.len() >= self.capacity {
+            // order and tables move in lockstep, so the queue is non-empty.
+            if let Some(oldest) = self.order.pop_front() {
+                self.tables.remove(&oldest);
+                self.stats.evictions += 1;
+            } else {
+                break;
+            }
+        }
+        self.tables.insert(id, Arc::clone(&table));
+        self.order.push_back(id);
+        table
+    }
+
+    /// Counter snapshot.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of tables currently cached.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when no tables are cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// The capacity bound this cache was created with.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drops all cached tables, keeping capacity and counters.
+    pub fn clear(&mut self) {
+        self.tables.clear();
+        self.order.clear();
+    }
+}
+
+impl Default for CoverageTableCache {
+    fn default() -> Self {
+        CoverageTableCache::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photodtn_geo::{Angle, Point};
+
+    use crate::Poi;
+
+    fn world() -> PoiList {
+        PoiList::new(
+            (0..10)
+                .map(|i| Poi::new(i, Point::new(f64::from(i) * 60.0, 0.0)))
+                .collect(),
+        )
+    }
+
+    fn meta(i: u64) -> PhotoMeta {
+        PhotoMeta::new(
+            Point::new(i as f64 * 60.0, 40.0),
+            120.0,
+            Angle::from_degrees(60.0),
+            Angle::from_degrees(270.0),
+        )
+    }
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let pois = world();
+        let params = CoverageParams::default();
+        let mut cache = CoverageTableCache::new(8);
+        let a = cache.get_or_build(PhotoId(1), &meta(1), &pois, params);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 1,
+                evictions: 0
+            }
+        );
+        let b = cache.get_or_build(PhotoId(1), &meta(1), &pois, params);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn cached_equals_fresh_build() {
+        let pois = world();
+        let params = CoverageParams::default();
+        let mut cache = CoverageTableCache::default();
+        for i in 0..10 {
+            let m = meta(i);
+            let cached = cache.get_or_build(PhotoId(i), &m, &pois, params);
+            let fresh = PhotoCoverage::build(&m, &pois, params);
+            assert_eq!(*cached, fresh);
+            // and again through the hit path
+            let hit = cache.get_or_build(PhotoId(i), &m, &pois, params);
+            assert_eq!(*hit, fresh);
+        }
+    }
+
+    #[test]
+    fn eviction_respects_capacity_fifo() {
+        let pois = world();
+        let params = CoverageParams::default();
+        let mut cache = CoverageTableCache::new(3);
+        for i in 0..5 {
+            cache.get_or_build(PhotoId(i), &meta(i), &pois, params);
+        }
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats().evictions, 2);
+        // oldest (0, 1) evicted; 2..5 retained
+        cache.get_or_build(PhotoId(4), &meta(4), &pois, params);
+        assert_eq!(cache.stats().hits, 1);
+        cache.get_or_build(PhotoId(0), &meta(0), &pois, params);
+        assert_eq!(cache.stats().misses, 6);
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let pois = world();
+        let params = CoverageParams::default();
+        let mut cache = CoverageTableCache::new(0);
+        for _ in 0..3 {
+            cache.get_or_build(PhotoId(7), &meta(7), &pois, params);
+        }
+        assert!(cache.is_empty());
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 3,
+                evictions: 0
+            }
+        );
+    }
+}

@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod collection;
 mod coverage;
 pub mod fullview;
@@ -52,6 +53,7 @@ mod profile;
 pub mod sensing;
 mod weight;
 
+pub use cache::{CacheStats, CoverageTableCache};
 pub use collection::PhotoCollection;
 pub use coverage::{aspect_set, covers_point, Coverage, CoverageParams};
 pub use gen::{PhotoGenerator, TargetedGenerator, UniformGenerator};

@@ -1,0 +1,106 @@
+//! Property tests for [`CoverageTableCache`]: a cached table must be
+//! indistinguishable from a freshly built one for arbitrary photo/PoI
+//! sets, under arbitrary (including adversarially small) capacity bounds,
+//! and the hit/miss/eviction counters must follow directly from the
+//! lookup sequence.
+
+use photodtn_coverage::{
+    CoverageParams, CoverageTableCache, PhotoCoverage, PhotoId, PhotoMeta, Poi, PoiList,
+};
+use photodtn_geo::{Angle, Point};
+use proptest::prelude::*;
+
+fn arb_pois() -> impl Strategy<Value = PoiList> {
+    prop::collection::vec((-800.0..800.0f64, -800.0..800.0f64, 0.1..3.0f64), 0..40).prop_map(
+        |pts| {
+            PoiList::new(
+                pts.into_iter()
+                    .enumerate()
+                    .map(|(i, (x, y, w))| Poi::with_weight(i as u32, Point::new(x, y), w))
+                    .collect(),
+            )
+        },
+    )
+}
+
+fn arb_meta() -> impl Strategy<Value = PhotoMeta> {
+    (
+        -900.0..900.0f64,
+        -900.0..900.0f64,
+        1.0..359.0f64,
+        0.0..360.0f64,
+        0.0..500.0f64,
+    )
+        .prop_map(|(x, y, fov, dir, r)| {
+            PhotoMeta::new(
+                Point::new(x, y),
+                r,
+                Angle::from_degrees(fov),
+                Angle::from_degrees(dir),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // The core correctness property behind using the cache on the
+    // simulation hot path: for any lookup sequence (with repeats) and any
+    // capacity, `get_or_build` returns exactly `PhotoCoverage::build`.
+    #[test]
+    fn cached_tables_equal_fresh_builds(
+        pois in arb_pois(),
+        metas in prop::collection::vec(arb_meta(), 1..20),
+        lookups in prop::collection::vec(0..20usize, 1..60),
+        capacity in 0..8usize,
+    ) {
+        let params = CoverageParams::default();
+        let mut cache = CoverageTableCache::new(capacity);
+        for idx in lookups {
+            let i = idx % metas.len();
+            let m = &metas[i];
+            let cached = cache.get_or_build(PhotoId(i as u64), m, &pois, params);
+            let fresh = PhotoCoverage::build(m, &pois, params);
+            prop_assert_eq!(&*cached, &fresh);
+        }
+    }
+
+    // Counters are an exact function of the lookup sequence: every lookup
+    // is a hit or a miss, the cache never exceeds its capacity, and with
+    // enough capacity only first-time lookups miss.
+    #[test]
+    fn counters_and_bound_are_exact(
+        pois in arb_pois(),
+        metas in prop::collection::vec(arb_meta(), 1..12),
+        lookups in prop::collection::vec(0..12usize, 1..80),
+        capacity in 1..6usize,
+    ) {
+        let params = CoverageParams::default();
+        let mut cache = CoverageTableCache::new(capacity);
+        for (n, idx) in lookups.iter().enumerate() {
+            let i = idx % metas.len();
+            cache.get_or_build(PhotoId(i as u64), &metas[i], &pois, params);
+            let s = cache.stats();
+            prop_assert_eq!(s.hits + s.misses, n as u64 + 1);
+            prop_assert!(cache.len() <= capacity);
+            // evicted = stored - retained; everything missed was stored
+            prop_assert_eq!(s.evictions, s.misses - cache.len() as u64);
+        }
+
+        // With capacity for every photo, replaying the same sequence
+        // misses exactly once per distinct id.
+        let mut roomy = CoverageTableCache::new(metas.len());
+        for idx in &lookups {
+            let i = idx % metas.len();
+            roomy.get_or_build(PhotoId(i as u64), &metas[i], &pois, params);
+        }
+        let distinct = {
+            let mut ids: Vec<usize> = lookups.iter().map(|i| i % metas.len()).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids.len() as u64
+        };
+        prop_assert_eq!(roomy.stats().misses, distinct);
+        prop_assert_eq!(roomy.stats().evictions, 0);
+    }
+}

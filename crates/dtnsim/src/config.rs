@@ -70,6 +70,15 @@ pub struct SimConfig {
     /// bit-identical results to a build without the injector.
     #[serde(default)]
     pub faults: FaultConfig,
+    /// Capacity bound of the per-run coverage-table cache (entries).
+    /// Zero disables caching; any value produces byte-identical results
+    /// (evicted tables are deterministically rebuilt), only speed differs.
+    #[serde(default = "default_coverage_cache_capacity")]
+    pub coverage_cache_capacity: usize,
+}
+
+fn default_coverage_cache_capacity() -> usize {
+    photodtn_coverage::CoverageTableCache::DEFAULT_CAPACITY
 }
 
 impl SimConfig {
@@ -96,6 +105,7 @@ impl SimConfig {
             deadline_hours: None,
             failure_fraction: 0.0,
             faults: FaultConfig::default(),
+            coverage_cache_capacity: default_coverage_cache_capacity(),
         }
     }
 
@@ -153,6 +163,14 @@ impl SimConfig {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Sets the coverage-table cache capacity (builder-style); zero
+    /// disables caching.
+    #[must_use]
+    pub fn with_coverage_cache_capacity(mut self, entries: usize) -> Self {
+        self.coverage_cache_capacity = entries;
         self
     }
 

@@ -1,9 +1,13 @@
+use std::cell::RefCell;
+use std::sync::Arc;
+
 use rand::rngs::SmallRng;
 
 use photodtn_contacts::NodeId;
 use photodtn_core::transmission::TransferFate;
 use photodtn_coverage::{
-    Coverage, CoverageParams, CoverageProfile, Photo, PhotoCollection, PoiList,
+    CacheStats, Coverage, CoverageParams, CoverageProfile, CoverageTableCache, Photo,
+    PhotoCollection, PhotoCoverage, PhotoId, PhotoMeta, PoiList,
 };
 use photodtn_prophet::ProphetRouter;
 
@@ -18,7 +22,12 @@ use crate::faults::FaultState;
 /// …) on their side, keyed by [`NodeId`].
 #[derive(Debug)]
 pub struct SimCtx {
-    pub(crate) pois: PoiList,
+    pub(crate) pois: Arc<PoiList>,
+    /// Per-run coverage-table cache: each photo's [`PhotoCoverage`] is
+    /// built at most once per run and shared by `Arc` thereafter.
+    /// `RefCell` so schemes can look tables up through `&SimCtx` while
+    /// holding other immutable borrows of the context.
+    pub(crate) cov_cache: RefCell<CoverageTableCache>,
     pub(crate) coverage_params: CoverageParams,
     pub(crate) storage_bytes: u64,
     pub(crate) collections: Vec<PhotoCollection>,
@@ -73,6 +82,33 @@ impl SimCtx {
     #[must_use]
     pub fn pois(&self) -> &PoiList {
         &self.pois
+    }
+
+    /// A shared handle to the PoI list, for schemes that need to keep a
+    /// reference across calls (e.g. inside a persistent
+    /// [`ExpectedEngine`](photodtn_core::expected::ExpectedEngine))
+    /// without cloning the list itself.
+    #[must_use]
+    pub fn pois_shared(&self) -> Arc<PoiList> {
+        Arc::clone(&self.pois)
+    }
+
+    /// The coverage table of one photo, built at most once per run.
+    ///
+    /// The first lookup of a [`PhotoId`] builds the table from `meta`;
+    /// later lookups return the cached [`Arc`]. Callers must pass the
+    /// photo's true metadata — tables are keyed by id alone.
+    #[must_use]
+    pub fn photo_coverage(&self, id: PhotoId, meta: &PhotoMeta) -> Arc<PhotoCoverage> {
+        self.cov_cache
+            .borrow_mut()
+            .get_or_build(id, meta, &self.pois, self.coverage_params)
+    }
+
+    /// Hit/miss/eviction counters of the per-run coverage-table cache.
+    #[must_use]
+    pub fn coverage_cache_stats(&self) -> CacheStats {
+        self.cov_cache.borrow().stats()
     }
 
     /// Coverage-model parameters.

@@ -1,14 +1,20 @@
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::time::Instant;
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use photodtn_contacts::{ContactTrace, NodeId};
 use photodtn_coverage::{
-    CoverageProfile, PhotoCollection, PhotoGenerator, Poi, PoiList, UniformGenerator,
+    CoverageProfile, CoverageTableCache, PhotoCollection, PhotoGenerator, Poi, PoiList,
+    UniformGenerator,
 };
 use photodtn_prophet::ProphetRouter;
 
 use crate::faults::{FaultPlan, FaultState};
-use crate::{CommandCenterMode, MetricSample, Scheme, SimConfig, SimCtx, SimResult};
+use crate::queue::{EventKind, EventQueue};
+use crate::{CommandCenterMode, MetricSample, RunStats, Scheme, SimConfig, SimCtx, SimResult};
 
 /// Why a [`Simulation`] could not be built from `(config, trace)`.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -49,8 +55,8 @@ impl std::error::Error for SimBuildError {}
 #[derive(Debug)]
 pub struct Simulation {
     config: SimConfig,
-    events: Vec<Event>,
-    pois: PoiList,
+    events: EventQueue,
+    pois: Arc<PoiList>,
     gateways: Vec<NodeId>,
     num_participants: u32,
     duration: f64,
@@ -59,29 +65,6 @@ pub struct Simulation {
     warmup_contacts: Vec<(NodeId, NodeId, f64)>,
     /// Scheduled crash/reboot outages (empty when churn is disabled).
     fault_plan: FaultPlan,
-}
-
-#[derive(Clone, Debug)]
-enum EventKind {
-    /// `node` takes `photo`.
-    Generate(NodeId, photodtn_coverage::Photo),
-    /// DTN contact with a usable duration (seconds).
-    Contact(NodeId, NodeId, f64),
-    /// Uplink window of `node` with a usable duration (seconds).
-    Upload(NodeId, f64),
-    /// `node` crashes: its photo buffer (and optionally PROPHET state)
-    /// is wiped and it stays down until the matching [`Reboot`].
-    ///
-    /// [`Reboot`]: EventKind::Reboot
-    Crash(NodeId),
-    /// `node` comes back up, empty.
-    Reboot(NodeId),
-}
-
-#[derive(Clone, Debug)]
-struct Event {
-    t: f64,
-    kind: EventKind,
 }
 
 impl Simulation {
@@ -122,8 +105,10 @@ impl Simulation {
             None => trace.duration(),
         };
 
-        // Place PoIs uniformly in the region.
-        let pois = PoiList::new(
+        // Place PoIs uniformly in the region. The list is immutable for
+        // the whole run and shared (`Arc`) with the context, the schemes,
+        // and their engines — nobody clones it per event.
+        let pois = Arc::new(PoiList::new(
             (0..config.num_pois)
                 .map(|i| {
                     Poi::new(
@@ -135,10 +120,10 @@ impl Simulation {
                     )
                 })
                 .collect(),
-        );
+        ));
 
         let num_participants = trace.num_nodes();
-        let mut events: Vec<Event> = Vec::new();
+        let mut events = EventQueue::new();
 
         // Contacts (and, in TraceNode mode, uplink windows).
         let cc_trace_node = match config.command_center {
@@ -166,7 +151,7 @@ impl Simulation {
                 Some(cc) if e.b == cc => EventKind::Upload(e.a, usable),
                 _ => EventKind::Contact(e.a, e.b, usable),
             };
-            events.push(Event { t: e.start, kind });
+            events.push(e.start, kind);
         }
 
         // Gateways and their periodic uplink windows.
@@ -190,10 +175,7 @@ impl Simulation {
                 for &gw in &gws {
                     let mut t = rng.gen_range(0.0..period.max(1.0));
                     while t < duration {
-                        events.push(Event {
-                            t,
-                            kind: EventKind::Upload(gw, window),
-                        });
+                        events.push(t, EventKind::Upload(gw, window));
                         t += period.max(1.0);
                     }
                 }
@@ -217,10 +199,7 @@ impl Simulation {
                     }
                 };
                 let photo = photo_gen.next_photo(&mut rng, t);
-                events.push(Event {
-                    t,
-                    kind: EventKind::Generate(node, photo),
-                });
+                events.push(t, EventKind::Generate(node, photo));
                 t += sample_exp(&mut rng, rate);
             }
         }
@@ -239,9 +218,9 @@ impl Simulation {
                 failure_time[ids[k] as usize] = rng.gen_range(0.0..duration.max(1.0));
             }
             let dead = |n: NodeId, t: f64| t >= failure_time[n.index()];
-            events.retain(|e| match &e.kind {
-                EventKind::Generate(n, _) | EventKind::Upload(n, _) => !dead(*n, e.t),
-                EventKind::Contact(a, b, _) => !dead(*a, e.t) && !dead(*b, e.t),
+            events.retain(|t, kind| match kind {
+                EventKind::Generate(n, _) | EventKind::Upload(n, _) => !dead(*n, t),
+                EventKind::Contact(a, b, _) => !dead(*a, t) && !dead(*b, t),
                 // Churn events are scheduled after this filter runs.
                 EventKind::Crash(_) | EventKind::Reboot(_) => true,
             });
@@ -257,23 +236,15 @@ impl Simulation {
             seed,
         );
         for (node, crash, reboot) in fault_plan.crashes() {
-            events.push(Event {
-                t: crash,
-                kind: EventKind::Crash(node),
-            });
+            events.push(crash, EventKind::Crash(node));
             if reboot < duration {
-                events.push(Event {
-                    t: reboot,
-                    kind: EventKind::Reboot(node),
-                });
+                events.push(reboot, EventKind::Reboot(node));
             }
         }
 
-        // Deterministic total order: time, then kind discriminant, then ids.
-        events.sort_by(|x, y| {
-            x.t.total_cmp(&y.t)
-                .then_with(|| kind_key(&x.kind).cmp(&kind_key(&y.kind)))
-        });
+        // No sort: the queue's (t, kind_key, seq) total order — identical
+        // to the old stable sort by (t, kind_key) — is materialized
+        // lazily before the run.
 
         Ok(Simulation {
             config: config.clone(),
@@ -299,7 +270,7 @@ impl Simulation {
     /// single church PoI of the §IV-B demo).
     #[must_use]
     pub fn with_pois(mut self, pois: PoiList) -> Self {
-        self.pois = pois;
+        self.pois = Arc::new(pois);
         self
     }
 
@@ -317,15 +288,11 @@ impl Simulation {
                 node.0 < self.num_participants,
                 "seeded photo owner {node} outside trace"
             );
-            self.events.push(Event {
-                t: at,
-                kind: EventKind::Generate(node, photo),
-            });
+            // O(log n) each; the batch is folded into the ordered run by
+            // one linear merge at the next materialization — the old code
+            // re-sorted the entire schedule here.
+            self.events.push(at, EventKind::Generate(node, photo));
         }
-        self.events.sort_by(|x, y| {
-            x.t.total_cmp(&y.t)
-                .then_with(|| kind_key(&x.kind).cmp(&kind_key(&y.kind)))
-        });
         self
     }
 
@@ -365,7 +332,7 @@ impl Simulation {
             tracks.num_nodes(),
             self.num_participants
         );
-        for event in &mut self.events {
+        for event in self.events.ordered_mut() {
             if let EventKind::Generate(node, photo) = &mut event.kind {
                 let (x, y) = tracks.position(*node, event.t);
                 photo.meta.location = photodtn_geo::Point::new(x, y);
@@ -378,6 +345,12 @@ impl Simulation {
     #[must_use]
     pub fn pois(&self) -> &PoiList {
         &self.pois
+    }
+
+    /// A shared handle to the PoI list (no deep copy).
+    #[must_use]
+    pub fn pois_shared(&self) -> Arc<PoiList> {
+        Arc::clone(&self.pois)
     }
 
     /// The gateway set of this world.
@@ -404,9 +377,28 @@ impl Simulation {
         &mut self,
         scheme: &mut S,
     ) -> (SimResult, PhotoCollection) {
+        let (result, delivered, _) = self.run_instrumented(scheme);
+        (result, delivered)
+    }
+
+    /// Like [`run_detailed`](Self::run_detailed), but additionally
+    /// returns throughput instrumentation ([`RunStats`]: wall-clock,
+    /// event/contact/upload counts, coverage-cache counters).
+    ///
+    /// The stats are a side channel on purpose: wall-clock is
+    /// nondeterministic, so folding it into [`SimResult`] would break the
+    /// byte-identical determinism contract.
+    pub fn run_instrumented<S: Scheme + ?Sized>(
+        &mut self,
+        scheme: &mut S,
+    ) -> (SimResult, PhotoCollection, RunStats) {
+        let started = Instant::now();
+        self.events.ensure_ordered();
+        let mut stats = RunStats::default();
         let cc_prophet_id = NodeId(self.num_participants);
         let mut ctx = SimCtx {
-            pois: self.pois.clone(),
+            pois: Arc::clone(&self.pois),
+            cov_cache: RefCell::new(CoverageTableCache::new(self.config.coverage_cache_capacity)),
             coverage_params: self.config.coverage,
             storage_bytes: self.config.storage_bytes,
             collections: vec![PhotoCollection::new(); self.num_participants as usize],
@@ -429,7 +421,8 @@ impl Simulation {
 
         let mut samples = Vec::new();
         let mut next_sample = self.config.sample_interval.max(1.0);
-        for event in &self.events {
+        for event in self.events.ordered() {
+            stats.events += 1;
             while event.t >= next_sample {
                 samples.push(sample_of(&ctx, next_sample));
                 next_sample += self.config.sample_interval.max(1.0);
@@ -460,6 +453,7 @@ impl Simulation {
                     ctx.prophet.contact(*a, *b, event.t);
                     let budget = (self.config.bandwidth as f64 * dur) as u64;
                     let budget = ctx.faults.roll_contact_budget(budget);
+                    stats.contacts += 1;
                     scheme.on_contact(&mut ctx, *a, *b, budget);
                 }
                 EventKind::Upload(node, dur) => {
@@ -474,6 +468,7 @@ impl Simulation {
                         continue;
                     };
                     ctx.prophet.contact(*node, cc_prophet_id, event.t);
+                    stats.uploads += 1;
                     scheme.on_upload(&mut ctx, *node, budget);
                 }
                 EventKind::Crash(node) => {
@@ -495,6 +490,8 @@ impl Simulation {
         }
         ctx.now = self.duration;
         samples.push(sample_of(&ctx, self.duration));
+        stats.cache = ctx.coverage_cache_stats();
+        stats.wall_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         (
             SimResult {
                 scheme: scheme.name().to_string(),
@@ -502,17 +499,8 @@ impl Simulation {
                 samples,
             },
             ctx.cc_received,
+            stats,
         )
-    }
-}
-
-fn kind_key(k: &EventKind) -> (u8, u32, u32) {
-    match k {
-        EventKind::Generate(n, p) => (0, n.0, p.id.0 as u32),
-        EventKind::Contact(a, b, _) => (1, a.0, b.0),
-        EventKind::Upload(n, _) => (2, n.0, 0),
-        EventKind::Crash(n) => (3, n.0, 0),
-        EventKind::Reboot(n) => (4, n.0, 0),
     }
 }
 
@@ -676,7 +664,7 @@ mod tests {
         let mut config = small_config();
         config.region = (500.0, 500.0);
         let sim = Simulation::new(&config, &trace, 3).with_mobility_placement(&tracks);
-        for e in &sim.events {
+        for e in sim.events.ordered() {
             if let EventKind::Generate(node, photo) = &e.kind {
                 let (x, y) = tracks.position(*node, e.t);
                 assert!((photo.meta.location.x - x).abs() < 1e-9);

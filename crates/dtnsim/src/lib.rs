@@ -45,6 +45,7 @@ mod ctx_tests;
 mod engine;
 pub mod faults;
 mod metrics;
+mod queue;
 mod runner;
 pub mod schemes_api;
 
@@ -53,6 +54,7 @@ pub use config::{CommandCenterMode, SimConfig};
 pub use ctx::{SimCtx, UploadOutcome};
 pub use engine::{SimBuildError, Simulation};
 pub use faults::{FaultConfig, FaultPlan, FaultState, FaultStats};
-pub use metrics::{MetricSample, SimResult};
+pub use metrics::{MetricSample, RunStats, SimResult};
+pub use photodtn_coverage::CacheStats;
 pub use runner::{run_averaged, AveragedSeries};
 pub use schemes_api::Scheme;

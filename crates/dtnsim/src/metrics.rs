@@ -1,5 +1,7 @@
 use serde::{Deserialize, Serialize};
 
+use photodtn_coverage::CacheStats;
+
 /// One sampled data point of a simulation run — the quantities plotted in
 /// Figs. 5–8 of the paper.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
@@ -72,6 +74,57 @@ impl SimResult {
                 .abs()
                 .total_cmp(&(b.t_hours - t_hours).abs())
         })
+    }
+}
+
+/// Performance counters of one simulation run, returned by
+/// [`Simulation::run_instrumented`](crate::Simulation::run_instrumented)
+/// as a *side channel* next to the [`SimResult`].
+///
+/// Wall-clock time is nondeterministic, so none of this ever enters
+/// [`SimResult`] — the determinism tests compare results byte-for-byte
+/// across runs and builds, and performance numbers must not disturb that
+/// contract.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct RunStats {
+    /// Wall-clock duration of the run, nanoseconds.
+    pub wall_ns: u64,
+    /// Events executed (generates + contacts + uploads + crash/reboot).
+    pub events: u64,
+    /// Contact events executed.
+    pub contacts: u64,
+    /// Uplink-window events executed.
+    pub uploads: u64,
+    /// Coverage-table cache counters of the run.
+    pub cache: CacheStats,
+}
+
+impl RunStats {
+    /// Events executed per wall-clock second (0 if the run took no
+    /// measurable time).
+    #[must_use]
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.events as f64 / (self.wall_ns as f64 / 1e9)
+        }
+    }
+
+    /// Mean wall-clock nanoseconds per contact event (0 without contacts).
+    #[must_use]
+    pub fn ns_per_contact(&self) -> f64 {
+        if self.contacts == 0 {
+            0.0
+        } else {
+            self.wall_ns as f64 / self.contacts as f64
+        }
+    }
+
+    /// Wall-clock duration, seconds.
+    #[must_use]
+    pub fn wall_seconds(&self) -> f64 {
+        self.wall_ns as f64 / 1e9
     }
 }
 

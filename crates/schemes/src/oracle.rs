@@ -22,6 +22,8 @@
 //! already evicted. That is precisely the paper's argument for making the
 //! in-network selection coverage-aware.
 
+use std::sync::Arc;
+
 use photodtn_contacts::NodeId;
 use photodtn_core::expected::ExpectedEngine;
 use photodtn_coverage::{Coverage, Photo, PhotoCoverage};
@@ -33,6 +35,9 @@ use crate::value::PhotoValueCache;
 #[derive(Debug, Default)]
 pub struct CentralizedOracle {
     values: PhotoValueCache,
+    /// Persistent upload engine, reset per uplink window (rebound when
+    /// the world's PoI list changes identity, i.e. a new run).
+    engine: Option<ExpectedEngine>,
 }
 
 impl CentralizedOracle {
@@ -52,7 +57,7 @@ impl Scheme for CentralizedOracle {
         // Keep the per-node storage discipline of our scheme: evict the
         // lowest standalone-value photo under pressure.
         let capacity = ctx.storage_bytes();
-        let pois = ctx.pois().clone();
+        let pois = ctx.pois_shared();
         let params = ctx.coverage_params();
         let collection = ctx.collection_mut(node);
         while collection.total_size() + photo.size > capacity {
@@ -99,20 +104,28 @@ impl Scheme for CentralizedOracle {
 
     fn on_upload(&mut self, ctx: &mut SimCtx, node: NodeId, budget: u64) {
         // The server knows exactly what it has and asks for the photos
-        // with the highest marginal coverage, greedily.
-        let pois = ctx.pois().clone();
+        // with the highest marginal coverage, greedily. The engine is
+        // reset per window, not rebuilt (the command-center collection is
+        // re-added fresh: commits also fire for lost/corrupt uploads).
+        let pois = ctx.pois_shared();
         let params = ctx.coverage_params();
-        let mut engine = ExpectedEngine::new(&pois, params);
+        let engine = match &mut self.engine {
+            Some(e) if Arc::ptr_eq(e.pois_shared(), &pois) => {
+                e.reset();
+                e
+            }
+            other => other.insert(ExpectedEngine::new_shared(Arc::clone(&pois), params)),
+        };
         let server = engine.add_node(1.0);
-        let metas: Vec<_> = ctx.cc_collection().metas().copied().collect();
-        engine.add_collection(server, metas.iter());
+        engine.add_collection(server, ctx.cc_collection().metas());
 
-        // Snapshot the (id-ordered) collection and index each photo's
-        // coverage once; gains then come from the engine's fast path.
+        // Snapshot the (id-ordered) collection and resolve each photo's
+        // coverage through the per-run cache; gains then come from the
+        // engine's fast path.
         let photos: Vec<Photo> = ctx.collection(node).iter().copied().collect();
-        let covs: Vec<PhotoCoverage> = photos
+        let covs: Vec<Arc<PhotoCoverage>> = photos
             .iter()
-            .map(|p| PhotoCoverage::build(&p.meta, &pois, params))
+            .map(|p| ctx.photo_coverage(p.id, &p.meta))
             .collect();
         let mut taken = vec![false; photos.len()];
 

@@ -1,12 +1,13 @@
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use photodtn_contacts::{NodeId, RateMatrix};
 use photodtn_core::expected::{DeliveryNode, ExpectedEngine};
-use photodtn_core::selection::{reallocate, PeerState, SelectionInput};
+use photodtn_core::selection::{PeerState, SelectionInput, SelectionSession};
 use photodtn_core::transmission::{execute_plan_with, plan_transfers};
 use photodtn_core::validity::ValidityModel;
 use photodtn_core::MetadataCache;
-use photodtn_coverage::{Photo, PhotoCoverage, PhotoId, PhotoMeta};
+use photodtn_coverage::{Photo, PhotoCoverage, PhotoId, PhotoMeta, PoiList};
 use photodtn_sim::{Scheme, SimCtx};
 
 use crate::value::PhotoValueCache;
@@ -45,6 +46,12 @@ pub struct OurScheme {
     caches: HashMap<u32, MetadataCache>,
     rates: RateMatrix,
     values: PhotoValueCache,
+    /// Per-run selection context, lazily bound to the current world's PoI
+    /// list (a new run — new `Arc` — replaces it).
+    session: Option<SelectionSession>,
+    /// Persistent greedy-upload engine, reset per uplink window instead
+    /// of rebuilt (same `Arc`-staleness rule as `session`).
+    upload_engine: Option<ExpectedEngine>,
 }
 
 impl OurScheme {
@@ -58,6 +65,8 @@ impl OurScheme {
             caches: HashMap::new(),
             rates: RateMatrix::new(0.0),
             values: PhotoValueCache::new(),
+            session: None,
+            upload_engine: None,
         }
     }
 
@@ -91,6 +100,23 @@ impl OurScheme {
         self.caches.entry(node.0).or_default()
     }
 
+    /// The per-run [`SelectionSession`], (re)created when the world's PoI
+    /// list changes identity (i.e. a new simulation run started).
+    fn session_for(
+        &mut self,
+        pois: &Arc<PoiList>,
+        params: photodtn_coverage::CoverageParams,
+    ) -> &mut SelectionSession {
+        let stale = self
+            .session
+            .as_ref()
+            .is_none_or(|s| !Arc::ptr_eq(s.pois_shared(), pois));
+        if stale {
+            self.session = Some(SelectionSession::new(Arc::clone(pois), params));
+        }
+        self.session.as_mut().expect("just ensured")
+    }
+
     /// Collects the valid third-party records both endpoints know about,
     /// converting them to [`DeliveryNode`]s (§III-C: "M contains all nodes
     /// of which n_a and n_b have valid metadata", plus `n_0`).
@@ -100,8 +126,8 @@ impl OurScheme {
         }
         let now = ctx.now();
         let cc = ctx.command_center_id();
-        // peer id -> (snapshot time, metas, is_cc)
-        let mut merged: HashMap<u32, (f64, Vec<PhotoMeta>)> = HashMap::new();
+        // peer id -> (snapshot time, (id, meta) records)
+        let mut merged: HashMap<u32, (f64, Vec<(PhotoId, PhotoMeta)>)> = HashMap::new();
         for endpoint in [a, b] {
             let Some(cache) = self.caches.get(&endpoint.0) else {
                 continue;
@@ -114,22 +140,21 @@ impl OurScheme {
                     .entry(peer.0)
                     .or_insert((f64::NEG_INFINITY, Vec::new()));
                 if record.snapshot_at > entry.0 {
-                    *entry = (
-                        record.snapshot_at,
-                        record.photos.iter().map(|(_, m)| *m).collect(),
-                    );
+                    *entry = (record.snapshot_at, record.photos.clone());
                 }
             }
         }
         merged
             .into_iter()
-            .map(|(peer, (_, metas))| {
+            .map(|(peer, (_, photos))| {
                 let prob = if NodeId(peer) == cc {
                     1.0
                 } else {
                     ctx.delivery_prob(NodeId(peer))
                 };
-                DeliveryNode::new(prob, metas)
+                // Ids are known here, so the session can commit these
+                // photos through the cached indexed path.
+                DeliveryNode::with_ids(prob, photos)
             })
             .collect()
     }
@@ -187,7 +212,7 @@ impl Scheme for OurScheme {
 
     fn on_photo_generated(&mut self, ctx: &mut SimCtx, node: NodeId, photo: Photo) {
         let capacity = ctx.storage_bytes();
-        let pois = ctx.pois().clone();
+        let pois = ctx.pois_shared();
         let params = ctx.coverage_params();
         let collection = ctx.collection_mut(node);
         // Make room by evicting the lowest standalone-coverage photo while
@@ -213,7 +238,7 @@ impl Scheme for OurScheme {
         self.rates.record(a, b, now);
 
         let others = self.gather_others(ctx, a, b);
-        let pois = ctx.pois().clone();
+        let pois = ctx.pois_shared();
         let input = SelectionInput {
             pois: &pois,
             params: ctx.coverage_params(),
@@ -231,7 +256,8 @@ impl Scheme for OurScheme {
             },
             others,
         };
-        let result = reallocate(&input);
+        let session = self.session_for(&pois, input.params);
+        let result = session.reallocate_with(&input, |id, meta| ctx.photo_coverage(id, meta));
         let capacity = ctx.storage_bytes();
         let (faults, ca, cb) = ctx.faults_and_pair_mut(a, b);
         let plan = plan_transfers(&result, ca, cb);
@@ -249,23 +275,32 @@ impl Scheme for OurScheme {
 
     fn on_upload(&mut self, ctx: &mut SimCtx, node: NodeId, budget: u64) {
         let now = ctx.now();
-        let pois = ctx.pois().clone();
+        let pois = ctx.pois_shared();
         let params = ctx.coverage_params();
 
         // Greedy marginal-gain order against what the command center has.
-        let mut engine = ExpectedEngine::new(&pois, params);
+        // The engine persists across uplink windows (reset, not rebuilt);
+        // the command-center collection is re-added per window because
+        // commits also fire for lost/corrupt uploads, so carrying engine
+        // state over would drift from what the command center truly has.
+        let engine = match &mut self.upload_engine {
+            Some(e) if Arc::ptr_eq(e.pois_shared(), &pois) => {
+                e.reset();
+                e
+            }
+            other => other.insert(ExpectedEngine::new_shared(Arc::clone(&pois), params)),
+        };
         let cc_node = engine.add_node(1.0);
-        let cc_metas: Vec<PhotoMeta> = ctx.cc_collection().metas().copied().collect();
-        engine.add_collection(cc_node, cc_metas.iter());
+        engine.add_collection(cc_node, ctx.cc_collection().metas());
         let uploader = engine.add_node(1.0);
 
-        // Snapshot the (id-ordered) collection and index each photo's
-        // coverage once; the greedy loop then evaluates gains through the
-        // engine's allocation-free fast path.
+        // Snapshot the (id-ordered) collection and resolve each photo's
+        // coverage table through the per-run cache; the greedy loop then
+        // evaluates gains through the engine's allocation-free fast path.
         let photos: Vec<Photo> = ctx.collection(node).iter().copied().collect();
-        let covs: Vec<PhotoCoverage> = photos
+        let covs: Vec<Arc<PhotoCoverage>> = photos
             .iter()
-            .map(|p| PhotoCoverage::build(&p.meta, &pois, params))
+            .map(|p| ctx.photo_coverage(p.id, &p.meta))
             .collect();
         let mut taken = vec![false; photos.len()];
 

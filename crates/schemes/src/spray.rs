@@ -77,7 +77,7 @@ impl SprayAndWait {
         policy: crate::policy::BufferPolicy,
     ) -> bool {
         let capacity = ctx.storage_bytes();
-        let pois = ctx.pois().clone();
+        let pois = ctx.pois_shared();
         let params = ctx.coverage_params();
         let collection = ctx.collection_mut(node);
         match policy.make_room(
@@ -204,7 +204,7 @@ impl ModifiedSpray {
         incoming: ((i64, i64), PhotoId),
     ) -> bool {
         let capacity = ctx.storage_bytes();
-        let pois = ctx.pois().clone();
+        let pois = ctx.pois_shared();
         let params = ctx.coverage_params();
         loop {
             if ctx.collection(node).total_size() + need <= capacity {
@@ -232,7 +232,7 @@ impl Scheme for ModifiedSpray {
     }
 
     fn on_photo_generated(&mut self, ctx: &mut SimCtx, node: NodeId, photo: Photo) {
-        let pois = ctx.pois().clone();
+        let pois = ctx.pois_shared();
         let params = ctx.coverage_params();
         let value = self.values.value(&photo, &pois, params);
         if !self.make_room(ctx, node, photo.size, (value, photo.id)) {
@@ -243,7 +243,7 @@ impl Scheme for ModifiedSpray {
     }
 
     fn on_contact(&mut self, ctx: &mut SimCtx, a: NodeId, b: NodeId, budget: u64) {
-        let pois = ctx.pois().clone();
+        let pois = ctx.pois_shared();
         let params = ctx.coverage_params();
         let mut remaining = budget;
         for (src, dst) in [(a, b), (b, a)] {
@@ -280,7 +280,7 @@ impl Scheme for ModifiedSpray {
     }
 
     fn on_upload(&mut self, ctx: &mut SimCtx, node: NodeId, budget: u64) {
-        let pois = ctx.pois().clone();
+        let pois = ctx.pois_shared();
         let params = ctx.coverage_params();
         let mut photos: Vec<((i64, i64), Photo)> = ctx
             .collection(node)
