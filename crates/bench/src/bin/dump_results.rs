@@ -9,12 +9,17 @@
 //! simulator produces byte-identical results — every sample, every
 //! counter.
 //!
+//! With `--trace TRACEDIR` every cell additionally records its full
+//! event stream to `TRACEDIR/<scheme>_<intensity>.jsonl`. Diffing the
+//! *result* directories of a traced and an untraced invocation proves
+//! the tracing subsystem is a pure observer (CI does exactly that).
+//!
 //! Uses only APIs that exist in pre-optimization builds so the same
 //! source compiles against an old checkout.
 
 use photodtn_bench::scheme_by_name;
 use photodtn_contacts::synth::{CommunityTraceGenerator, TraceStyle};
-use photodtn_sim::{FaultConfig, MetricSample, SimConfig, SimResult, Simulation};
+use photodtn_sim::{FaultConfig, JsonlSink, MetricSample, SimConfig, SimResult, Simulation};
 
 const SCHEMES: [&str; 10] = [
     "best-possible",
@@ -64,8 +69,18 @@ fn result_json(r: &SimResult) -> String {
 }
 
 fn main() {
-    let outdir = std::env::args().nth(1).expect("usage: dump_results OUTDIR");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: dump_results OUTDIR [--trace TRACEDIR]";
+    let outdir = args.first().cloned().unwrap_or_else(|| panic!("{usage}"));
+    let tracedir = match args.get(1).map(String::as_str) {
+        Some("--trace") => Some(args.get(2).cloned().unwrap_or_else(|| panic!("{usage}"))),
+        Some(other) => panic!("unknown argument {other:?}\n{usage}"),
+        None => None,
+    };
     std::fs::create_dir_all(&outdir).expect("create output directory");
+    if let Some(dir) = &tracedir {
+        std::fs::create_dir_all(dir).expect("create trace directory");
+    }
 
     let trace = CommunityTraceGenerator::new(TraceStyle::MitLike)
         .with_num_nodes(16)
@@ -81,7 +96,14 @@ fn main() {
 
         for name in SCHEMES {
             let mut scheme = scheme_by_name(name);
-            let result = Simulation::new(&config, &trace, 42).run(&mut *scheme);
+            let mut sim = Simulation::new(&config, &trace, 42);
+            if let Some(dir) = &tracedir {
+                let trace_path = format!("{dir}/{name}_{intensity}.jsonl");
+                let sink = JsonlSink::create(&trace_path)
+                    .unwrap_or_else(|e| panic!("creating {trace_path}: {e}"));
+                sim.set_trace_sink(Box::new(sink));
+            }
+            let result = sim.run(&mut *scheme);
             let json = result_json(&result);
             let path = format!("{outdir}/{name}_{intensity}.json");
             std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));

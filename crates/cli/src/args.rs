@@ -1,7 +1,25 @@
 //! Minimal flag parser shared by the subcommands (no external dependency
 //! — the option space is tiny and errors must be first-class).
+//!
+//! Each subcommand declares a [`Spec`] naming the flags it understands.
+//! Anything else is rejected with a "did you mean" suggestion instead of
+//! being silently swallowed (the old parser treated every unknown
+//! `--name` as a value flag, so `photodtn run --sheme oracle` happily
+//! ran the default scheme).
 
 use std::collections::HashMap;
+
+/// The flag vocabulary of one subcommand: names that take a value and
+/// names that act as toggles. A name may be a value flag in one
+/// subcommand (`run --faults 0.5`) and a switch in another
+/// (`report --faults`).
+#[derive(Debug, Clone, Copy)]
+pub struct Spec {
+    /// Flags that consume the following argument as their value.
+    pub values: &'static [&'static str],
+    /// Flags that take no value.
+    pub switches: &'static [&'static str],
+}
 
 /// Parsed flags: `--key value` pairs, `--key` booleans, and positionals.
 #[derive(Debug, Default)]
@@ -11,44 +29,36 @@ pub struct Flags {
     positionals: Vec<String>,
 }
 
-/// Flags that take no value, per subcommand namespace.
-const SWITCHES: &[&str] = &["json", "report", "no-json", "perf"];
-
 impl Flags {
-    /// Parses an argv slice.
+    /// Parses an argv slice against a subcommand's [`Spec`].
     ///
     /// # Errors
     ///
-    /// Returns a message when a value flag has no value.
-    pub fn parse(argv: &[String]) -> Result<Self, String> {
-        Self::parse_with(argv, &[])
-    }
-
-    /// Parses an argv slice with subcommand-specific extra switches.
-    ///
-    /// `extra_switches` are treated as value-less on top of the shared
-    /// [`SWITCHES`] set, so a name can take a value in one subcommand
-    /// (`run --faults 0.5`) and act as a toggle in another
-    /// (`report --faults`).
-    ///
-    /// # Errors
-    ///
-    /// Returns a message when a value flag has no value.
-    pub fn parse_with(argv: &[String], extra_switches: &[&str]) -> Result<Self, String> {
+    /// Returns a message when a flag is not in the spec (with a
+    /// nearest-name suggestion when one is close enough), when a value
+    /// flag has no value, or when its value looks like another flag.
+    pub fn parse(argv: &[String], spec: &Spec) -> Result<Self, String> {
         let mut flags = Flags::default();
-        let mut it = argv.iter().peekable();
+        let mut it = argv.iter();
         while let Some(arg) = it.next() {
-            if let Some(name) = arg.strip_prefix("--") {
-                if SWITCHES.contains(&name) || extra_switches.contains(&name) {
-                    flags.switches.push(name.to_string());
-                } else {
-                    let value = it
-                        .next()
-                        .ok_or_else(|| format!("flag --{name} needs a value"))?;
-                    flags.values.insert(name.to_string(), value.clone());
-                }
-            } else {
+            let Some(name) = arg.strip_prefix("--") else {
                 flags.positionals.push(arg.clone());
+                continue;
+            };
+            if spec.switches.contains(&name) {
+                flags.switches.push(name.to_string());
+            } else if spec.values.contains(&name) {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                if value.starts_with("--") {
+                    return Err(format!(
+                        "flag --{name} needs a value, but the next argument is {value:?}"
+                    ));
+                }
+                flags.values.insert(name.to_string(), value.clone());
+            } else {
+                return Err(unknown_flag(name, spec));
             }
         }
         Ok(flags)
@@ -84,9 +94,44 @@ impl Flags {
     }
 }
 
+/// Builds the unknown-flag error, suggesting the closest known name when
+/// one is within a small edit distance.
+fn unknown_flag(name: &str, spec: &Spec) -> String {
+    let suggestion = spec
+        .values
+        .iter()
+        .chain(spec.switches.iter())
+        .map(|known| (edit_distance(name, known), *known))
+        .min()
+        .filter(|(d, known)| *d <= (known.len() / 2).max(2))
+        .map(|(_, known)| format!(" (did you mean --{known}?)"));
+    format!("unknown flag --{name}{}", suggestion.unwrap_or_default())
+}
+
+/// Levenshtein distance over bytes — flag names are ASCII.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    const SPEC: Spec = Spec {
+        values: &["seed", "style", "hours", "faults"],
+        switches: &["json", "report"],
+    };
 
     fn argv(s: &str) -> Vec<String> {
         s.split_whitespace().map(String::from).collect()
@@ -94,7 +139,7 @@ mod tests {
 
     #[test]
     fn parses_values_switches_positionals() {
-        let f = Flags::parse(&argv("gen --seed 7 --json file.txt --style mit")).unwrap();
+        let f = Flags::parse(&argv("gen --seed 7 --json file.txt --style mit"), &SPEC).unwrap();
         assert_eq!(f.positionals(), &["gen", "file.txt"]);
         assert_eq!(f.get("seed"), Some("7"));
         assert_eq!(f.get("style"), Some("mit"));
@@ -104,25 +149,58 @@ mod tests {
 
     #[test]
     fn numeric_parsing_with_default() {
-        let f = Flags::parse(&argv("--seed 7")).unwrap();
+        let f = Flags::parse(&argv("--seed 7"), &SPEC).unwrap();
         assert_eq!(f.num("seed", 0u64).unwrap(), 7);
         assert_eq!(f.num("hours", 12.5f64).unwrap(), 12.5);
-        let bad = Flags::parse(&argv("--seed banana")).unwrap();
+        let bad = Flags::parse(&argv("--seed banana"), &SPEC).unwrap();
         assert!(bad.num("seed", 0u64).is_err());
     }
 
     #[test]
     fn missing_value_is_an_error() {
-        assert!(Flags::parse(&argv("--seed")).is_err());
+        assert!(Flags::parse(&argv("--seed"), &SPEC).is_err());
     }
 
     #[test]
-    fn extra_switches_are_per_call() {
-        let f = Flags::parse_with(&argv("--faults file.txt"), &["faults"]).unwrap();
+    fn value_that_looks_like_a_flag_is_an_error() {
+        let err = Flags::parse(&argv("--seed --json"), &SPEC).unwrap_err();
+        assert!(err.contains("--seed"), "{err}");
+        assert!(err.contains("--json"), "{err}");
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected_with_suggestion() {
+        let err = Flags::parse(&argv("--sed 7"), &SPEC).unwrap_err();
+        assert!(err.contains("unknown flag --sed"), "{err}");
+        assert!(err.contains("did you mean --seed?"), "{err}");
+    }
+
+    #[test]
+    fn unknown_flag_far_from_everything_gets_no_suggestion() {
+        let err = Flags::parse(&argv("--zzzzzzzzzz 7"), &SPEC).unwrap_err();
+        assert!(err.contains("unknown flag --zzzzzzzzzz"), "{err}");
+        assert!(!err.contains("did you mean"), "{err}");
+    }
+
+    #[test]
+    fn same_name_can_be_value_or_switch_per_spec() {
+        const REPORT: Spec = Spec {
+            values: &[],
+            switches: &["faults"],
+        };
+        let f = Flags::parse(&argv("--faults file.txt"), &REPORT).unwrap();
         assert!(f.has("faults"));
         assert_eq!(f.positionals(), &["file.txt"]);
-        // without the extra switch, the same name consumes a value
-        let f = Flags::parse(&argv("--faults 0.5")).unwrap();
+        // In the run-style spec the same name consumes a value.
+        let f = Flags::parse(&argv("--faults 0.5"), &SPEC).unwrap();
         assert_eq!(f.get("faults"), Some("0.5"));
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("seed", "seed"), 0);
+        assert_eq!(edit_distance("sed", "seed"), 1);
+        assert_eq!(edit_distance("", "seed"), 4);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
     }
 }

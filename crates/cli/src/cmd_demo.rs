@@ -4,10 +4,15 @@ use photodtn_bench::demo::DemoWorld;
 use photodtn_schemes::{OurScheme, PhotoNet, SprayAndWait};
 use photodtn_sim::Scheme;
 
-use crate::args::Flags;
+use crate::args::{Flags, Spec};
+
+const SPEC: Spec = Spec {
+    values: &["seed"],
+    switches: &[],
+};
 
 pub fn run(argv: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(argv)?;
+    let flags = Flags::parse(argv, &SPEC)?;
     let seed: u64 = flags.num("seed", 2016)?;
     let world = DemoWorld::build(seed);
 

@@ -1,0 +1,420 @@
+//! `photodtn inspect EVENTS.jsonl` — summarizes a trace written by
+//! `photodtn run --trace-out`.
+//!
+//! The input is one JSON object per line, externally tagged with the
+//! event kind (`{"ContactBegin":{…}}`). The inspector never needs the
+//! simulator types: it aggregates straight off the JSON, so it also
+//! works on traces produced by older or newer binaries as long as the
+//! field names line up.
+
+use std::collections::BTreeMap;
+
+use crate::args::{Flags, Spec};
+
+const SPEC: Spec = Spec {
+    values: &["bins", "top"],
+    switches: &[],
+};
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(argv, &SPEC)?;
+    let path = flags
+        .positionals()
+        .first()
+        .ok_or("inspect: pass an events file written by `run --trace-out`")?;
+    let bins: usize = flags.num("bins", 10usize)?;
+    let top: usize = flags.num("top", 12usize)?;
+    if bins == 0 {
+        return Err("inspect: --bins must be at least 1".into());
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let summary = Summary::from_jsonl(&text)?;
+    print!("{}", summary.render(bins, top));
+    Ok(())
+}
+
+/// One trace event: its kind tag and payload.
+fn parse_event(line: &str) -> Option<(String, serde_json::Value)> {
+    let value: serde_json::Value = serde_json::from_str(line).ok()?;
+    let obj = value.as_object()?;
+    let kind = obj.keys().next()?.clone();
+    let body = obj.values().next()?.clone();
+    Some((kind, body))
+}
+
+#[derive(Debug, Default, Clone)]
+struct NodeStats {
+    generated: u64,
+    generation_lost: u64,
+    upload_windows: u64,
+    uploaded_bytes: u64,
+    uploads_delivered: u64,
+    uploads_lost: u64,
+    uploads_corrupt: u64,
+    crashes: u64,
+    photos_lost_in_crashes: u64,
+}
+
+#[derive(Debug, Default, Clone)]
+struct PairStats {
+    meetings: u64,
+    budget_bytes: u64,
+    interrupted: u64,
+    metadata_bytes: u64,
+}
+
+#[derive(Debug, Default)]
+struct Summary {
+    scheme: String,
+    seed: u64,
+    nodes: u64,
+    storage_bytes: u64,
+    duration_hours: f64,
+    delivered: u64,
+    uploaded_bytes: u64,
+    counts: BTreeMap<String, u64>,
+    node_stats: BTreeMap<u64, NodeStats>,
+    pair_stats: BTreeMap<(u64, u64), PairStats>,
+    latencies_hours: Vec<f64>,
+    buffer_bytes: Vec<f64>,
+    selection_evaluations: u64,
+    selection_refreshes: u64,
+    selection_commits: u64,
+    selections: u64,
+    metadata_snapshot_bytes: u64,
+    metadata_purged: u64,
+    unparsed_lines: u64,
+}
+
+impl Summary {
+    fn from_jsonl(text: &str) -> Result<Self, String> {
+        let mut s = Summary::default();
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            let Some((kind, body)) = parse_event(line) else {
+                s.unparsed_lines += 1;
+                continue;
+            };
+            s.ingest(&kind, &body);
+            *s.counts.entry(kind).or_insert(0) += 1;
+        }
+        if s.counts.is_empty() {
+            return Err("inspect: no trace events found in the file".into());
+        }
+        Ok(s)
+    }
+
+    fn ingest(&mut self, kind: &str, body: &serde_json::Value) {
+        let u = |key: &str| {
+            body.get(key)
+                .and_then(serde_json::Value::as_u64)
+                .unwrap_or(0)
+        };
+        let f = |key: &str| {
+            body.get(key)
+                .and_then(serde_json::Value::as_f64)
+                .unwrap_or(0.0)
+        };
+        match kind {
+            "RunBegin" => {
+                self.scheme = body
+                    .get("scheme")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("?")
+                    .to_string();
+                self.seed = u("seed");
+                self.nodes = u("nodes");
+                self.storage_bytes = u("storage_bytes");
+            }
+            "RunEnd" => {
+                self.duration_hours = f("t") / 3600.0;
+                self.delivered = u("delivered");
+                self.uploaded_bytes = u("uploaded_bytes");
+            }
+            "PhotoGenerated" => self.node_mut(u("node")).generated += 1,
+            "PhotoGenerationLost" => self.node_mut(u("node")).generation_lost += 1,
+            "UploadBegin" => self.node_mut(u("node")).upload_windows += 1,
+            "UploadEnd" => {
+                let n = self.node_mut(u("node"));
+                n.uploaded_bytes += u("bytes");
+                n.uploads_delivered += u("delivered");
+                n.uploads_lost += u("lost");
+                n.uploads_corrupt += u("corrupt");
+            }
+            "NodeCrashed" => {
+                let n = self.node_mut(u("node"));
+                n.crashes += 1;
+                n.photos_lost_in_crashes += u("photos_lost");
+            }
+            "ContactBegin" => {
+                let p = self.pair_mut(u("a"), u("b"));
+                p.meetings += 1;
+                p.budget_bytes += u("budget_bytes");
+                p.interrupted += body
+                    .get("interrupted")
+                    .and_then(serde_json::Value::as_bool)
+                    .unwrap_or(false) as u64;
+            }
+            "ContactEnd" => self.pair_mut(u("a"), u("b")).metadata_bytes += u("metadata_bytes"),
+            "Delivered" => self.latencies_hours.push(f("latency_hours")),
+            "BufferSnapshot" => self.buffer_bytes.push(f("bytes")),
+            "Selection" => {
+                self.selections += 1;
+                self.selection_evaluations += u("evaluations");
+                self.selection_refreshes += u("refreshes");
+                self.selection_commits += u("commits");
+            }
+            "MetadataSnapshot" => self.metadata_snapshot_bytes += u("bytes"),
+            "MetadataInvalidated" => self.metadata_purged += u("purged"),
+            _ => {}
+        }
+    }
+
+    fn node_mut(&mut self, node: u64) -> &mut NodeStats {
+        self.node_stats.entry(node).or_default()
+    }
+
+    fn pair_mut(&mut self, a: u64, b: u64) -> &mut PairStats {
+        let key = (a.min(b), a.max(b));
+        self.pair_stats.entry(key).or_default()
+    }
+
+    fn render(&self, bins: usize, top: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "run: scheme {} seed {} ({} nodes, {:.1} MB storage each, {:.1} h)\n",
+            self.scheme,
+            self.seed,
+            self.nodes,
+            self.storage_bytes as f64 / 1e6,
+            self.duration_hours,
+        ));
+        out.push_str(&format!(
+            "     {} photos delivered, {:.1} MB uploaded\n",
+            self.delivered,
+            self.uploaded_bytes as f64 / 1e6,
+        ));
+        if self.unparsed_lines > 0 {
+            out.push_str(&format!(
+                "     ({} unparseable lines skipped)\n",
+                self.unparsed_lines
+            ));
+        }
+
+        out.push_str("\nevents:\n");
+        let mut counts: Vec<(&String, &u64)> = self.counts.iter().collect();
+        counts.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+        for (kind, count) in counts {
+            out.push_str(&format!("  {kind:<20} {count:>9}\n"));
+        }
+
+        if self.selections > 0 {
+            out.push_str(&format!(
+                "\nselection: {} contact sessions, {} gain evaluations, \
+                 {} refreshes, {} commits\n",
+                self.selections,
+                self.selection_evaluations,
+                self.selection_refreshes,
+                self.selection_commits,
+            ));
+        }
+        if self.metadata_snapshot_bytes > 0 || self.metadata_purged > 0 {
+            out.push_str(&format!(
+                "metadata: {:.2} MB snapshots exchanged, {} cache entries purged as stale\n",
+                self.metadata_snapshot_bytes as f64 / 1e6,
+                self.metadata_purged,
+            ));
+        }
+
+        out.push_str("\nper-node (by uploaded bytes):\n");
+        out.push_str(&format!(
+            "  {:>4} {:>9} {:>8} {:>8} {:>11} {:>9} {:>7}\n",
+            "node", "generated", "genlost", "uplinks", "uploaded MB", "delivered", "crashes"
+        ));
+        let mut nodes: Vec<(&u64, &NodeStats)> = self.node_stats.iter().collect();
+        nodes.sort_by(|a, b| {
+            b.1.uploaded_bytes
+                .cmp(&a.1.uploaded_bytes)
+                .then(a.0.cmp(b.0))
+        });
+        for (node, n) in nodes.iter().take(top) {
+            out.push_str(&format!(
+                "  {:>4} {:>9} {:>8} {:>8} {:>11.1} {:>9} {:>7}\n",
+                node,
+                n.generated,
+                n.generation_lost,
+                n.upload_windows,
+                n.uploaded_bytes as f64 / 1e6,
+                n.uploads_delivered,
+                n.crashes,
+            ));
+        }
+        if nodes.len() > top {
+            out.push_str(&format!(
+                "  … {} more nodes (raise --top)\n",
+                nodes.len() - top
+            ));
+        }
+
+        out.push_str("\nper-contact-pair (by meetings):\n");
+        out.push_str(&format!(
+            "  {:>9} {:>9} {:>11} {:>11} {:>11}\n",
+            "pair", "meetings", "budget MB", "interrupted", "metadata kB"
+        ));
+        let mut pairs: Vec<(&(u64, u64), &PairStats)> = self.pair_stats.iter().collect();
+        pairs.sort_by(|a, b| b.1.meetings.cmp(&a.1.meetings).then(a.0.cmp(b.0)));
+        for ((a, b), p) in pairs.iter().take(top) {
+            out.push_str(&format!(
+                "  {:>9} {:>9} {:>11.1} {:>11} {:>11.1}\n",
+                format!("{a}-{b}"),
+                p.meetings,
+                p.budget_bytes as f64 / 1e6,
+                p.interrupted,
+                p.metadata_bytes as f64 / 1e3,
+            ));
+        }
+        if pairs.len() > top {
+            out.push_str(&format!(
+                "  … {} more pairs (raise --top)\n",
+                pairs.len() - top
+            ));
+        }
+
+        if !self.latencies_hours.is_empty() {
+            out.push_str("\ndelivery latency (hours):\n");
+            out.push_str(&histogram(&self.latencies_hours, bins));
+        }
+        if !self.buffer_bytes.is_empty() {
+            let mb: Vec<f64> = self.buffer_bytes.iter().map(|b| b / 1e6).collect();
+            out.push_str("\nbuffer occupancy at sample times (MB):\n");
+            out.push_str(&histogram(&mb, bins));
+        }
+        out
+    }
+}
+
+/// Renders an equal-width-bin histogram with `#` bars.
+fn histogram(values: &[f64], bins: usize) -> String {
+    const BAR_WIDTH: f64 = 40.0;
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = max - min;
+    let bins = if span == 0.0 { 1 } else { bins };
+    let width = if span == 0.0 { 1.0 } else { span / bins as f64 };
+    let mut counts = vec![0u64; bins];
+    for v in values {
+        let i = (((v - min) / width) as usize).min(bins - 1);
+        counts[i] += 1;
+    }
+    let peak = counts.iter().copied().max().unwrap_or(1).max(1);
+    let mut out = String::new();
+    for (i, count) in counts.iter().enumerate() {
+        let lo = min + i as f64 * width;
+        let hi = lo + width;
+        let bar = "#".repeat((*count as f64 / peak as f64 * BAR_WIDTH).ceil() as usize);
+        out.push_str(&format!("  [{lo:>9.2}, {hi:>9.2})  {count:>7}  {bar}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{"RunBegin":{"scheme":"ours","seed":7,"nodes":3,"storage_bytes":10000000}}
+{"PhotoGenerated":{"t":10.0,"node":1,"photo":4,"size":4000000,"stored":true}}
+{"PhotoGenerated":{"t":20.0,"node":2,"photo":5,"size":4000000,"stored":true}}
+{"ContactBegin":{"t":30.0,"a":1,"b":2,"link_bytes":9000000,"budget_bytes":4500000,"interrupted":true}}
+{"Selection":{"t":30.0,"a":1,"b":2,"a_first":true,"a_selected":[4],"b_selected":[5],"expected_point":0.5,"expected_aspect_deg":90.0,"evaluations":12,"refreshes":2,"commits":2}}
+{"ContactEnd":{"t":30.0,"a":1,"b":2,"metadata_bytes":136,"transfers_lost":0,"transfers_corrupt":0}}
+{"UploadBegin":{"t":60.0,"node":1,"link_bytes":9000000,"budget_bytes":9000000,"degraded":false}}
+{"UploadCommit":{"t":60.0,"node":1,"photo":4,"bytes":4000000,"gain_point":0.5,"gain_aspect_deg":90.0,"outcome":"Delivered"}}
+{"Delivered":{"t":60.0,"photo":4,"latency_hours":0.014}}
+{"UploadEnd":{"t":60.0,"node":1,"bytes":4000000,"delivered":1,"lost":0,"corrupt":0}}
+{"BufferSnapshot":{"t":3600.0,"node":1,"photos":0,"bytes":0}}
+{"BufferSnapshot":{"t":3600.0,"node":2,"photos":1,"bytes":4000000}}
+{"RunEnd":{"t":7200.0,"delivered":1,"uploaded_bytes":4000000}}
+"#;
+
+    #[test]
+    fn summarizes_a_small_trace() {
+        let s = Summary::from_jsonl(SAMPLE).unwrap();
+        assert_eq!(s.scheme, "ours");
+        assert_eq!(s.seed, 7);
+        assert_eq!(s.delivered, 1);
+        assert_eq!(s.counts["PhotoGenerated"], 2);
+        assert_eq!(s.node_stats[&1].uploaded_bytes, 4000000);
+        assert_eq!(s.node_stats[&1].uploads_delivered, 1);
+        assert_eq!(s.pair_stats[&(1, 2)].meetings, 1);
+        assert_eq!(s.pair_stats[&(1, 2)].interrupted, 1);
+        assert_eq!(s.pair_stats[&(1, 2)].metadata_bytes, 136);
+        assert_eq!(s.selections, 1);
+        assert_eq!(s.selection_evaluations, 12);
+        assert_eq!(s.latencies_hours, vec![0.014]);
+        assert_eq!(s.buffer_bytes, vec![0.0, 4000000.0]);
+        let rendered = s.render(5, 12);
+        assert!(rendered.contains("scheme ours seed 7"), "{rendered}");
+        assert!(rendered.contains("delivery latency"), "{rendered}");
+        assert!(rendered.contains("buffer occupancy"), "{rendered}");
+    }
+
+    #[test]
+    fn pair_key_is_order_normalized() {
+        let mut s = Summary::default();
+        s.ingest(
+            "ContactBegin",
+            &serde_json::json!({"t": 1.0, "a": 5, "b": 2, "link_bytes": 10,
+                                "budget_bytes": 10, "interrupted": false}),
+        );
+        s.ingest(
+            "ContactBegin",
+            &serde_json::json!({"t": 2.0, "a": 2, "b": 5, "link_bytes": 10,
+                                "budget_bytes": 10, "interrupted": false}),
+        );
+        assert_eq!(s.pair_stats[&(2, 5)].meetings, 2);
+    }
+
+    #[test]
+    fn unparseable_lines_are_counted_not_fatal() {
+        let text = format!("not json at all\n{SAMPLE}");
+        let s = Summary::from_jsonl(&text).unwrap();
+        assert_eq!(s.unparsed_lines, 1);
+        assert_eq!(s.delivered, 1);
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(Summary::from_jsonl("").is_err());
+        assert!(Summary::from_jsonl("\n\n").is_err());
+    }
+
+    #[test]
+    fn histogram_handles_constant_values() {
+        let h = histogram(&[2.0, 2.0, 2.0], 10);
+        assert_eq!(h.lines().count(), 1);
+        assert!(h.contains('#'), "{h}");
+    }
+
+    #[test]
+    fn command_end_to_end() {
+        let dir = std::env::temp_dir().join("photodtn-inspect-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        std::fs::write(&path, SAMPLE).unwrap();
+        run(&[path.to_str().unwrap().to_string()]).unwrap();
+        run(&[
+            path.to_str().unwrap().to_string(),
+            "--bins".to_string(),
+            "3".to_string(),
+        ])
+        .unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_and_bad_flags_error() {
+        assert!(run(&[]).is_err());
+        assert!(run(&["/nonexistent/events.jsonl".to_string()]).is_err());
+        let err = run(&["--bin".to_string(), "3".to_string()]).unwrap_err();
+        assert!(err.contains("did you mean --bins?"), "{err}");
+    }
+}

@@ -1,13 +1,18 @@
 //! `photodtn report FILE…` — consolidates the `JSON [...]` blocks emitted
 //! by the figure binaries into one markdown summary table.
 
-use crate::args::Flags;
+use crate::args::{Flags, Spec};
+
+/// `--faults` is a toggle here (extra fault-counter columns), unlike
+/// `run --faults K` where it takes an intensity value. `--perf` adds
+/// wall-clock/cache columns from `run --perf --json` output.
+const SPEC: Spec = Spec {
+    values: &[],
+    switches: &["faults", "perf"],
+};
 
 pub fn run(argv: &[String]) -> Result<(), String> {
-    // `--faults` is a toggle here (extra fault-counter columns), unlike
-    // `run --faults K` where it takes an intensity value. `--perf` adds
-    // wall-clock/cache columns from `run --perf --json` output.
-    let flags = Flags::parse_with(argv, &["faults"])?;
+    let flags = Flags::parse(argv, &SPEC)?;
     if flags.positionals().is_empty() {
         return Err("report: pass one or more result files (e.g. results/fig5.txt)".into());
     }
@@ -19,22 +24,39 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     if rows.is_empty() {
         return Err("report: no JSON blocks found in the given files".into());
     }
-    print_markdown(&rows, flags.has("faults"), flags.has("perf"));
+    print!(
+        "{}",
+        render_markdown(&rows, flags.has("faults"), flags.has("perf"))
+    );
     Ok(())
 }
 
 /// Pulls every `JSON [ … ]` block out of a figure binary's output.
+///
+/// The end of a block is found by bracket balance, tracking JSON string
+/// and escape state so brackets *inside* string values (a scheme named
+/// `"ours[v2]"`, a trace path with `{}`) don't unbalance the scan.
 fn extract_rows(text: &str) -> Vec<serde_json::Value> {
     let mut rows = Vec::new();
     let mut rest = text;
     while let Some(pos) = rest.find("JSON ") {
         let tail = &rest[pos + 5..];
-        // the block is a pretty-printed array: find its end by bracket
-        // balance
         let mut depth = 0usize;
+        let mut in_string = false;
+        let mut escaped = false;
         let mut end = None;
         for (i, c) in tail.char_indices() {
+            if in_string {
+                match c {
+                    _ if escaped => escaped = false,
+                    '\\' => escaped = true,
+                    '"' => in_string = false,
+                    _ => {}
+                }
+                continue;
+            }
             match c {
+                '"' => in_string = true,
                 '[' | '{' => depth += 1,
                 ']' | '}' => {
                     depth = depth.saturating_sub(1);
@@ -76,7 +98,8 @@ const PERF_KEYS: [&str; 6] = [
     "cache_hit_rate",
 ];
 
-fn print_markdown(rows: &[serde_json::Value], show_faults: bool, show_perf: bool) {
+fn render_markdown(rows: &[serde_json::Value], show_faults: bool, show_perf: bool) -> String {
+    let mut out = String::new();
     let mut header =
         String::from("| figure | trace | scheme | parameters | point % | aspect ° | delivered |");
     let mut rule = String::from("|---|---|---|---|---|---|---|");
@@ -88,8 +111,10 @@ fn print_markdown(rows: &[serde_json::Value], show_faults: bool, show_perf: bool
         header.push_str(" wall s | events/s | cache hit % |");
         rule.push_str("---|---|---|");
     }
-    println!("{header}");
-    println!("{rule}");
+    out.push_str(&header);
+    out.push('\n');
+    out.push_str(&rule);
+    out.push('\n');
     for row in rows {
         let get_s = |k: &str| {
             row.get(k)
@@ -152,8 +177,10 @@ fn print_markdown(rows: &[serde_json::Value], show_faults: bool, show_perf: bool
             let hit = get_f("cache_hit_rate").map_or("—".into(), |v| format!("{:.1}", 100.0 * v));
             line.push_str(&format!(" {wall} | {eps} | {hit} |"));
         }
-        println!("{line}");
+        out.push_str(&line);
+        out.push('\n');
     }
+    out
 }
 
 #[cfg(test)]
@@ -189,6 +216,36 @@ JSON [
     }
 
     #[test]
+    fn brackets_inside_string_values_do_not_truncate_the_block() {
+        // Regression: the old scanner counted brackets inside JSON
+        // strings, so a `]` in a value ended the block early and the
+        // whole array failed to parse.
+        const TRICKY: &str = r#"JSON [
+  { "figure": "fig5", "trace": "paths/{mit}.trace", "scheme": "ours[v2]",
+    "note": "closes ] then } and escapes \" fine",
+    "point_coverage": 0.5, "aspect_coverage_deg": 90.0,
+    "delivered_photos": 10 }
+]"#;
+        let rows = extract_rows(TRICKY);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0]["scheme"], "ours[v2]");
+        assert_eq!(rows[0]["trace"], "paths/{mit}.trace");
+    }
+
+    #[test]
+    fn escaped_quote_at_end_of_string_keeps_state() {
+        // `"a\""` — the escaped quote must not close the string early,
+        // and the real closing quote must.
+        const ESCAPES: &str = r#"JSON [
+  { "figure": "f", "trace": "a\"]b", "scheme": "s", "point_coverage": 0.1,
+    "aspect_coverage_deg": 1.0, "delivered_photos": 1 }
+]"#;
+        let rows = extract_rows(ESCAPES);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0]["trace"], "a\"]b");
+    }
+
+    #[test]
     fn report_command_roundtrip() {
         let dir = std::env::temp_dir().join("photodtn-report-test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -196,6 +253,54 @@ JSON [
         std::fs::write(&path, SAMPLE).unwrap();
         run(&[path.to_str().unwrap().to_string()]).unwrap();
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn golden_plain_table() {
+        let rows = extract_rows(SAMPLE);
+        let got = render_markdown(&rows, false, false);
+        let want = "\
+| figure | trace | scheme | parameters | point % | aspect ° | delivered |
+|---|---|---|---|---|---|---|
+| fig5 | mit | ours | — | 95.0 | 180.5 | 1234 |
+| p_thld | — | — | p_thld=0.8 | 100.0 | 343.0 | 2332 |
+";
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn golden_faults_table() {
+        const FAULTED: &str = r#"JSON [
+  { "figure": "chaos", "trace": "mit", "scheme": "ours", "point_coverage": 0.5,
+    "aspect_coverage_deg": 90.0, "delivered_photos": 10,
+    "fault_intensity": 0.6, "transfers_lost": 12, "node_crashes": 3 }
+]"#;
+        let rows = extract_rows(FAULTED);
+        let got = render_markdown(&rows, true, false);
+        let want = "\
+| figure | trace | scheme | parameters | point % | aspect ° | delivered | interrupted | lost | corrupt | crashes | degraded |
+|---|---|---|---|---|---|---|---|---|---|---|---|
+| chaos | mit | ours | fault_intensity=0.6 | 50.0 | 90.0 | 10 | — | 12 | — | 3 | — |
+";
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn golden_perf_table() {
+        const PERF: &str = r#"JSON [
+  { "figure": "bench", "trace": "mit", "scheme": "ours", "point_coverage": 0.5,
+    "aspect_coverage_deg": 90.0, "delivered_photos": 10,
+    "wall_seconds": 1.25, "events": 1000, "events_per_sec": 800.0,
+    "cache_hits": 90, "cache_misses": 10, "cache_hit_rate": 0.9 }
+]"#;
+        let rows = extract_rows(PERF);
+        let got = render_markdown(&rows, false, true);
+        let want = "\
+| figure | trace | scheme | parameters | point % | aspect ° | delivered | wall s | events/s | cache hit % |
+|---|---|---|---|---|---|---|---|---|---|
+| bench | mit | ours | — | 50.0 | 90.0 | 10 | 1.250 | 800 | 90.0 |
+";
+        assert_eq!(got, want);
     }
 
     #[test]
@@ -245,5 +350,12 @@ JSON [
         std::fs::write(&path, "no json here").unwrap();
         assert!(run(&[path.to_str().unwrap().to_string()]).is_err());
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected() {
+        let err = run(&["--fautls".to_string(), "x.txt".to_string()]).unwrap_err();
+        assert!(err.contains("unknown flag --fautls"), "{err}");
+        assert!(err.contains("did you mean --faults?"), "{err}");
     }
 }

@@ -5,14 +5,32 @@ use photodtn_contacts::parse_trace;
 use photodtn_contacts::synth::{CommunityTraceGenerator, TraceStyle};
 use photodtn_coverage::fullview::{redundancy_degrees, FullViewReport};
 use photodtn_coverage::PhotoMeta;
-use photodtn_sim::{FaultConfig, SimConfig, Simulation};
+use photodtn_sim::{FaultConfig, JsonlSink, SimConfig, Simulation};
 
-use crate::args::Flags;
+use crate::args::{Flags, Spec};
 
 const GB: f64 = 1024.0 * 1024.0 * 1024.0;
 
+const SPEC: Spec = Spec {
+    values: &[
+        "scheme",
+        "seed",
+        "trace",
+        "style",
+        "hours",
+        "nodes",
+        "photos-per-hour",
+        "storage-gb",
+        "deadline",
+        "failures",
+        "faults",
+        "trace-out",
+    ],
+    switches: &["report", "json", "perf"],
+};
+
 pub fn run(argv: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(argv)?;
+    let flags = Flags::parse(argv, &SPEC)?;
     let scheme_name = flags.get("scheme").unwrap_or("ours");
     let seed: u64 = flags.num("seed", 1)?;
 
@@ -62,6 +80,11 @@ pub fn run(argv: &[String]) -> Result<(), String> {
 
     let mut scheme = scheme_by_name(scheme_name);
     let mut sim = Simulation::try_new(&config, &trace, seed).map_err(|e| format!("run: {e}"))?;
+    if let Some(path) = flags.get("trace-out") {
+        let sink = JsonlSink::create(path).map_err(|e| format!("run: opening {path}: {e}"))?;
+        sim.set_trace_sink(Box::new(sink));
+        eprintln!("tracing run events to {path}");
+    }
     eprintln!(
         "running {scheme_name} on {} nodes / {} events (seed {seed})…",
         trace.num_nodes(),

@@ -6,10 +6,15 @@ use photodtn_contacts::stats::{
 use photodtn_contacts::synth::{CommunityTraceGenerator, TraceStyle, WaypointTraceGenerator};
 use photodtn_contacts::{parse_trace, write_trace, ContactTrace};
 
-use crate::args::Flags;
+use crate::args::{Flags, Spec};
+
+const SPEC: Spec = Spec {
+    values: &["out", "seed", "hours", "nodes", "style", "region"],
+    switches: &[],
+};
 
 pub fn run(argv: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(argv)?;
+    let flags = Flags::parse(argv, &SPEC)?;
     match flags.positionals().first().map(String::as_str) {
         Some("gen") => gen(&flags),
         Some("info") => info(&flags),

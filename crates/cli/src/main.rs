@@ -14,6 +14,7 @@ use std::process::ExitCode;
 
 mod args;
 mod cmd_demo;
+mod cmd_inspect;
 mod cmd_report;
 mod cmd_run;
 mod cmd_trace;
@@ -35,6 +36,7 @@ fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("trace") => cmd_trace::run(&argv[1..]),
         Some("run") => cmd_run::run(&argv[1..]),
         Some("demo") => cmd_demo::run(&argv[1..]),
+        Some("inspect") => cmd_inspect::run(&argv[1..]),
         Some("report") => cmd_report::run(&argv[1..]),
         Some("schemes") => {
             for name in photodtn_bench::LINEUP
@@ -69,13 +71,22 @@ USAGE:
   photodtn run --scheme NAME [--trace FILE | --style mit|cambridge]
                [--seed N] [--hours H] [--photos-per-hour R]
                [--storage-gb G] [--deadline H] [--failures F]
-               [--faults K] [--report] [--json]
+               [--faults K] [--trace-out FILE] [--report] [--json]
       Run one crowdsourcing simulation and print the coverage series.
       --report adds a full-view analysis of the delivered photos.
       --faults K enables deterministic fault injection at chaos
       intensity K in 0..=1 (contact interruptions, transfer loss and
       corruption, node crash/reboot churn, degraded uplinks) and prints
       the fault counters.
+      --trace-out FILE records every engine decision (contacts,
+      selections, metadata exchanges, uploads, faults) as JSON lines
+      for `photodtn inspect`; the simulated result is byte-identical
+      with or without it.
+
+  photodtn inspect EVENTS.jsonl [--bins N] [--top N]
+      Summarize a --trace-out file: run header, event counts,
+      per-node and per-contact-pair tables, and latency /
+      buffer-occupancy histograms.
 
   photodtn demo [--seed N]
       Run the paper's \u{a7}IV-B prototype demo (Fig. 3) with our scheme,

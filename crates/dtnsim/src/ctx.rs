@@ -12,6 +12,7 @@ use photodtn_coverage::{
 use photodtn_prophet::ProphetRouter;
 
 use crate::faults::FaultState;
+use crate::trace::{TraceEvent, Tracer};
 
 /// The mutable world state a [`Scheme`](crate::Scheme) operates on.
 ///
@@ -45,11 +46,13 @@ pub struct SimCtx {
     pub(crate) metadata_bytes: u64,
     /// Per-run fault-injection state (inert when faults are disabled).
     pub(crate) faults: FaultState,
+    /// Per-run trace emission front end (inert without a sink).
+    pub(crate) tracer: Tracer,
 }
 
 /// What happened to one photo uploaded through
 /// [`SimCtx::upload_photo`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize)]
 pub enum UploadOutcome {
     /// The photo arrived and was new to the command center.
     Delivered,
@@ -269,7 +272,14 @@ impl SimCtx {
     pub fn deliver(&mut self, photo: Photo) -> bool {
         if self.cc_received.insert(photo) {
             self.cc_profile.add(&photo.meta);
-            self.latency_sum += (self.now - photo.taken_at).max(0.0);
+            let latency = (self.now - photo.taken_at).max(0.0);
+            self.latency_sum += latency;
+            let t = self.now;
+            self.tracer.emit_with(|| TraceEvent::Delivered {
+                t,
+                photo: photo.id.0,
+                latency_hours: latency / 3600.0,
+            });
             true
         } else {
             false
@@ -344,5 +354,26 @@ impl SimCtx {
     /// Deterministic per-run random source for scheme decisions.
     pub fn rng(&mut self) -> &mut SmallRng {
         &mut self.rng
+    }
+
+    /// Whether a [`TraceSink`](crate::TraceSink) is attached to this run.
+    ///
+    /// Schemes should guard any non-trivial event construction (cloning
+    /// photo-id lists, …) behind this so untraced runs pay nothing.
+    #[must_use]
+    pub fn trace_enabled(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    /// Records one trace event (dropped silently when no sink is
+    /// attached — pair with [`trace_enabled`](Self::trace_enabled) to
+    /// skip construction entirely).
+    ///
+    /// Emission must stay *read-only*: build events from observed state,
+    /// never consume [`rng`](Self::rng) or mutate the world for one —
+    /// the determinism contract requires byte-identical results with
+    /// tracing on or off.
+    pub fn trace(&mut self, event: TraceEvent) {
+        self.tracer.emit_with(|| event);
     }
 }

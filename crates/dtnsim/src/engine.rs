@@ -14,6 +14,7 @@ use photodtn_prophet::ProphetRouter;
 
 use crate::faults::{FaultPlan, FaultState};
 use crate::queue::{EventKind, EventQueue};
+use crate::trace::{TraceEvent, TraceSink, Tracer};
 use crate::{CommandCenterMode, MetricSample, RunStats, Scheme, SimConfig, SimCtx, SimResult};
 
 /// Why a [`Simulation`] could not be built from `(config, trace)`.
@@ -65,6 +66,9 @@ pub struct Simulation {
     warmup_contacts: Vec<(NodeId, NodeId, f64)>,
     /// Scheduled crash/reboot outages (empty when churn is disabled).
     fault_plan: FaultPlan,
+    /// Optional structured-trace sink, observed (never consulted) by
+    /// runs; kept across runs so one sink can capture several.
+    trace_sink: Option<Box<dyn TraceSink>>,
 }
 
 impl Simulation {
@@ -242,9 +246,11 @@ impl Simulation {
             }
         }
 
-        // No sort: the queue's (t, kind_key, seq) total order — identical
-        // to the old stable sort by (t, kind_key) — is materialized
-        // lazily before the run.
+        // Materialize the (t, kind_key, seq) total order — identical to
+        // the old stable sort by (t, kind_key) — here at construction,
+        // so `run()` starts executing immediately. Late pushes (e.g.
+        // `with_seeded_photos`) re-materialize with one linear merge.
+        events.ensure_ordered();
 
         Ok(Simulation {
             config: config.clone(),
@@ -256,7 +262,22 @@ impl Simulation {
             seed,
             warmup_contacts: Vec::new(),
             fault_plan,
+            trace_sink: None,
         })
+    }
+
+    /// Attaches a structured-trace sink (builder-style); every later run
+    /// emits [`TraceEvent`]s into it. Tracing is purely observational —
+    /// results stay byte-identical to an untraced run.
+    #[must_use]
+    pub fn with_trace_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.trace_sink = Some(sink);
+        self
+    }
+
+    /// Attaches (or replaces) the structured-trace sink in place.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace_sink = Some(sink);
     }
 
     /// The scheduled crash/reboot outages of this world (empty when churn
@@ -413,7 +434,22 @@ impl Simulation {
             latency_sum: 0.0,
             metadata_bytes: 0,
             faults: FaultState::new(self.config.faults, self.num_participants, self.seed),
+            tracer: Tracer::new(self.trace_sink.take()),
         };
+        {
+            let (scheme_name, seed, nodes, storage_bytes) = (
+                scheme.name(),
+                self.seed,
+                self.num_participants,
+                self.config.storage_bytes,
+            );
+            ctx.tracer.emit_with(|| TraceEvent::RunBegin {
+                scheme: scheme_name.to_string(),
+                seed,
+                nodes,
+                storage_bytes,
+            });
+        }
         for &(a, b, t) in &self.warmup_contacts {
             ctx.prophet.contact(a, b, t);
         }
@@ -425,16 +461,37 @@ impl Simulation {
             stats.events += 1;
             while event.t >= next_sample {
                 samples.push(sample_of(&ctx, next_sample));
+                if ctx.tracer.enabled() {
+                    emit_buffer_snapshots(&mut ctx, next_sample);
+                }
                 next_sample += self.config.sample_interval.max(1.0);
             }
             ctx.now = event.t;
+            let t = event.t;
             match &event.kind {
                 EventKind::Generate(node, photo) => {
                     // A crashed phone takes no photos.
                     if ctx.faults.is_down(*node) {
+                        let (node, photo_id) = (node.0, photo.id.0);
+                        ctx.tracer.emit_with(|| TraceEvent::PhotoGenerationLost {
+                            t,
+                            node,
+                            photo: photo_id,
+                        });
                         continue;
                     }
                     scheme.on_photo_generated(&mut ctx, *node, *photo);
+                    if ctx.tracer.enabled() {
+                        let stored = ctx.collection(*node).contains(photo.id);
+                        let (node, photo_id, size) = (node.0, photo.id.0, photo.size);
+                        ctx.tracer.emit_with(|| TraceEvent::PhotoGenerated {
+                            t,
+                            node,
+                            photo: photo_id,
+                            size,
+                            stored,
+                        });
+                    }
                     debug_assert!(
                         !scheme.respects_storage()
                             || ctx.collection(*node).total_size() <= self.config.storage_bytes,
@@ -448,34 +505,137 @@ impl Simulation {
                     // the crashed node therefore go stale (§III-B).
                     if ctx.faults.is_down(*a) || ctx.faults.is_down(*b) {
                         ctx.faults.stats.contacts_skipped_down += 1;
+                        let (a, b) = (a.0, b.0);
+                        ctx.tracer
+                            .emit_with(|| TraceEvent::ContactSkippedDown { t, a, b });
                         continue;
                     }
                     ctx.prophet.contact(*a, *b, event.t);
-                    let budget = (self.config.bandwidth as f64 * dur) as u64;
-                    let budget = ctx.faults.roll_contact_budget(budget);
+                    if ctx.tracer.enabled() {
+                        let (p_a, p_b) = (ctx.delivery_prob(*a), ctx.delivery_prob(*b));
+                        let (a, b) = (a.0, b.0);
+                        ctx.tracer
+                            .emit_with(|| TraceEvent::ProphetUpdate { t, a, b, p_a, p_b });
+                    }
+                    let link = (self.config.bandwidth as f64 * dur) as u64;
+                    let budget = ctx.faults.roll_contact_budget(link);
+                    {
+                        let (a, b) = (a.0, b.0);
+                        ctx.tracer.emit_with(|| TraceEvent::ContactBegin {
+                            t,
+                            a,
+                            b,
+                            link_bytes: link,
+                            budget_bytes: budget,
+                            interrupted: budget < link,
+                        });
+                    }
                     stats.contacts += 1;
+                    let before = ctx.tracer.enabled().then_some((
+                        ctx.metadata_bytes,
+                        ctx.faults.stats.transfers_lost,
+                        ctx.faults.stats.transfers_corrupt,
+                    ));
                     scheme.on_contact(&mut ctx, *a, *b, budget);
+                    if let Some((md, lost, corrupt)) = before {
+                        let metadata_bytes = ctx.metadata_bytes - md;
+                        let transfers_lost = ctx.faults.stats.transfers_lost - lost;
+                        let transfers_corrupt = ctx.faults.stats.transfers_corrupt - corrupt;
+                        let (a, b) = (a.0, b.0);
+                        ctx.tracer.emit_with(|| TraceEvent::ContactEnd {
+                            t,
+                            a,
+                            b,
+                            metadata_bytes,
+                            transfers_lost,
+                            transfers_corrupt,
+                        });
+                    }
                 }
                 EventKind::Upload(node, dur) => {
                     if ctx.faults.is_down(*node) {
                         ctx.faults.stats.contacts_skipped_down += 1;
+                        let node = node.0;
+                        ctx.tracer
+                            .emit_with(|| TraceEvent::UploadSkippedDown { t, node });
                         continue;
                     }
-                    let budget = (self.config.bandwidth as f64 * dur) as u64;
+                    let link = (self.config.bandwidth as f64 * dur) as u64;
                     // A dropped window means the link never came up at
                     // all, so PROPHET learns nothing from it either.
-                    let Some(budget) = ctx.faults.roll_uplink_budget(budget) else {
+                    let Some(budget) = ctx.faults.roll_uplink_budget(link) else {
+                        let node = node.0;
+                        ctx.tracer.emit_with(|| TraceEvent::UplinkDropped {
+                            t,
+                            node,
+                            link_bytes: link,
+                        });
                         continue;
                     };
                     ctx.prophet.contact(*node, cc_prophet_id, event.t);
+                    if ctx.tracer.enabled() {
+                        let p_a = ctx.delivery_prob(*node);
+                        let (a, b) = (node.0, cc_prophet_id.0);
+                        ctx.tracer.emit_with(|| TraceEvent::ProphetUpdate {
+                            t,
+                            a,
+                            b,
+                            p_a,
+                            p_b: 1.0,
+                        });
+                    }
+                    {
+                        let node = node.0;
+                        ctx.tracer.emit_with(|| TraceEvent::UploadBegin {
+                            t,
+                            node,
+                            link_bytes: link,
+                            budget_bytes: budget,
+                            degraded: budget < link,
+                        });
+                    }
                     stats.uploads += 1;
+                    let before = ctx.tracer.enabled().then(|| {
+                        (
+                            ctx.uploaded_bytes,
+                            ctx.cc_received.len() as u64,
+                            ctx.faults.stats.transfers_lost,
+                            ctx.faults.stats.transfers_corrupt,
+                        )
+                    });
                     scheme.on_upload(&mut ctx, *node, budget);
+                    if let Some((bytes, delivered, lost, corrupt)) = before {
+                        let bytes = ctx.uploaded_bytes - bytes;
+                        let delivered = ctx.cc_received.len() as u64 - delivered;
+                        let lost = ctx.faults.stats.transfers_lost - lost;
+                        let corrupt = ctx.faults.stats.transfers_corrupt - corrupt;
+                        let node = node.0;
+                        ctx.tracer.emit_with(|| TraceEvent::UploadEnd {
+                            t,
+                            node,
+                            bytes,
+                            delivered,
+                            lost,
+                            corrupt,
+                        });
+                    }
                 }
                 EventKind::Crash(node) => {
                     // Let the scheme observe the pre-wipe buffer (Checked
                     // uses this to track which photos just became
                     // unrecoverable), then lose everything the node held.
                     scheme.on_node_crashed(&mut ctx, *node);
+                    if ctx.tracer.enabled() {
+                        let buffer = &ctx.collections[node.index()];
+                        let (photos_lost, bytes_lost) = (buffer.len() as u64, buffer.total_size());
+                        let node = node.0;
+                        ctx.tracer.emit_with(|| TraceEvent::NodeCrashed {
+                            t,
+                            node,
+                            photos_lost,
+                            bytes_lost,
+                        });
+                    }
                     ctx.collections[node.index()].clear();
                     if self.config.faults.wipe_routing_state {
                         ctx.prophet.reset_node(*node);
@@ -485,11 +645,30 @@ impl Simulation {
                 }
                 EventKind::Reboot(node) => {
                     ctx.faults.set_down(*node, false);
+                    let node = node.0;
+                    ctx.tracer
+                        .emit_with(|| TraceEvent::NodeRebooted { t, node });
                 }
             }
         }
         ctx.now = self.duration;
         samples.push(sample_of(&ctx, self.duration));
+        if ctx.tracer.enabled() {
+            emit_buffer_snapshots(&mut ctx, self.duration);
+            let (t, delivered, uploaded_bytes) = (
+                self.duration,
+                ctx.cc_received.len() as u64,
+                ctx.uploaded_bytes,
+            );
+            ctx.tracer.emit_with(|| TraceEvent::RunEnd {
+                t,
+                delivered,
+                uploaded_bytes,
+            });
+        }
+        // Give the (flushed) sink back to the Simulation so successive
+        // runs — e.g. several schemes over one world — share it.
+        self.trace_sink = std::mem::take(&mut ctx.tracer).into_sink();
         stats.cache = ctx.coverage_cache_stats();
         stats.wall_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         (
@@ -521,6 +700,24 @@ fn sample_of(ctx: &SimCtx, t: f64) -> MetricSample {
         transfers_corrupt: stats.transfers_corrupt,
         node_crashes: stats.node_crashes,
         uplinks_degraded: stats.uplinks_degraded,
+    }
+}
+
+/// Emits one [`TraceEvent::BufferSnapshot`] per participant (call only
+/// when tracing is enabled — iterating every node is not free).
+fn emit_buffer_snapshots(ctx: &mut SimCtx, t: f64) {
+    for i in 0..ctx.collections.len() {
+        let (photos, bytes) = {
+            let c = &ctx.collections[i];
+            (c.len() as u64, c.total_size())
+        };
+        let node = i as u32;
+        ctx.tracer.emit_with(|| TraceEvent::BufferSnapshot {
+            t,
+            node,
+            photos,
+            bytes,
+        });
     }
 }
 

@@ -48,6 +48,7 @@ mod metrics;
 mod queue;
 mod runner;
 pub mod schemes_api;
+pub mod trace;
 
 pub use checked::Checked;
 pub use config::{CommandCenterMode, SimConfig};
@@ -58,3 +59,4 @@ pub use metrics::{MetricSample, RunStats, SimResult};
 pub use photodtn_coverage::CacheStats;
 pub use runner::{run_averaged, AveragedSeries};
 pub use schemes_api::Scheme;
+pub use trace::{JsonlSink, NullSink, TraceEvent, TraceSink, VecSink};

@@ -167,4 +167,63 @@ mod tests {
         let r = SimResult::default();
         let _ = r.final_sample();
     }
+
+    #[test]
+    fn metric_sample_roundtrips_through_json() {
+        let sample = MetricSample {
+            t_hours: 12.5,
+            point_coverage: 0.875,
+            aspect_coverage_deg: 211.25,
+            delivered_photos: 42,
+            uploaded_bytes: 176160768,
+            mean_latency_hours: 3.5,
+            metadata_bytes: 8192,
+            contacts_interrupted: 3,
+            transfers_lost: 2,
+            transfers_corrupt: 1,
+            node_crashes: 4,
+            uplinks_degraded: 5,
+        };
+        let text = serde_json::to_string(&sample).unwrap();
+        let back: MetricSample = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, sample);
+    }
+
+    #[test]
+    fn sim_result_roundtrips_through_json() {
+        let r = result();
+        let text = serde_json::to_string(&r).unwrap();
+        let back: SimResult = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn old_json_without_fault_fields_still_loads() {
+        // Results serialized before fault injection existed lack the five
+        // fault counters; `#[serde(default)]` must fill them with zeros so
+        // archived result files keep loading.
+        let old = r#"{
+            "t_hours": 24.0,
+            "point_coverage": 0.5,
+            "aspect_coverage_deg": 180.0,
+            "delivered_photos": 100,
+            "uploaded_bytes": 1000,
+            "mean_latency_hours": 2.0,
+            "metadata_bytes": 50
+        }"#;
+        let sample: MetricSample = serde_json::from_str(old).unwrap();
+        assert_eq!(sample.t_hours, 24.0);
+        assert_eq!(sample.delivered_photos, 100);
+        assert_eq!(sample.contacts_interrupted, 0);
+        assert_eq!(sample.transfers_lost, 0);
+        assert_eq!(sample.transfers_corrupt, 0);
+        assert_eq!(sample.node_crashes, 0);
+        assert_eq!(sample.uplinks_degraded, 0);
+
+        let old_result = format!(r#"{{ "scheme": "ours", "seed": 7, "samples": [{old}] }}"#);
+        let r: SimResult = serde_json::from_str(&old_result).unwrap();
+        assert_eq!(r.scheme, "ours");
+        assert_eq!(r.final_sample().delivered_photos, 100);
+        assert_eq!(r.final_sample().node_crashes, 0);
+    }
 }

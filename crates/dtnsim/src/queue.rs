@@ -14,15 +14,25 @@
 //!
 //! The old queue re-sorted the entire vector after every batch of pushes
 //! (`O(N log N)` per batch, `O(N² log N)` if pushes arrive one at a
-//! time). Here a push is an `O(log n)` [`BinaryHeap`] insert into a
-//! *pending* set, and ordering is materialized lazily: before iteration,
-//! the pending events are drained in order and merged with the
-//! already-ordered run in one `O(n + k)` pass. Work counters expose how
-//! many element moves materialization performed, so a regression test can
-//! pin the complexity without timing anything.
+//! time). Here a push is an `O(1)` append to an unsorted *pending*
+//! batch, and ordering is materialized lazily: before iteration, the
+//! pending batch is sorted once (`O(k log k)` for `k` pending events)
+//! and merged with the already-ordered run in one `O(n + k)` pass. Work
+//! counters expose how many element moves materialization performed, so
+//! a regression test can pin the complexity without timing anything.
+//!
+//! An earlier revision kept the pending set in a [`BinaryHeap`]
+//! (`O(log n)` per push, full heap drain per materialization). That
+//! moved the whole `N log N` ordering cost from construction into the
+//! first `run()` — where schemes with near-zero per-event work
+//! (epidemic) paid it as a measured 0.90x events/sec regression. The
+//! sorted-batch design does the same total work as the original
+//! push-then-sort `Vec`, and [`Simulation`](crate::Simulation)
+//! construction materializes eagerly so the hot loop never sorts.
+//!
+//! [`BinaryHeap`]: std::collections::BinaryHeap
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 use photodtn_contacts::NodeId;
 use photodtn_coverage::Photo;
@@ -74,34 +84,13 @@ impl ScheduledEvent {
     }
 }
 
-/// Min-heap adapter: `BinaryHeap` is a max-heap, so compare reversed.
-#[derive(Clone, Debug)]
-struct Pending(ScheduledEvent);
-
-impl PartialEq for Pending {
-    fn eq(&self, other: &Self) -> bool {
-        self.0.order(&other.0) == Ordering::Equal
-    }
-}
-impl Eq for Pending {}
-impl PartialOrd for Pending {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Pending {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other.0.order(&self.0)
-    }
-}
-
 /// Priority queue over [`ScheduledEvent`]s with lazy ordered
 /// materialization (see the module docs for the ordering contract).
 #[derive(Debug, Default)]
 pub(crate) struct EventQueue {
-    /// Pushed but not yet merged into `ordered`; a min-heap on the total
-    /// order.
-    pending: BinaryHeap<Pending>,
+    /// Pushed but not yet merged into `ordered`; unsorted, sorted once
+    /// per materialization.
+    pending: Vec<ScheduledEvent>,
     /// The materialized ascending run.
     ordered: Vec<ScheduledEvent>,
     next_seq: u64,
@@ -116,13 +105,12 @@ impl EventQueue {
         EventQueue::default()
     }
 
-    /// Schedules an event: `O(log n)`, no sorting.
+    /// Schedules an event: `O(1)` amortized, no sorting.
     pub(crate) fn push(&mut self, t: f64, kind: EventKind) {
         let key = kind_key(&kind);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.pending
-            .push(Pending(ScheduledEvent { t, kind, key, seq }));
+        self.pending.push(ScheduledEvent { t, kind, key, seq });
     }
 
     /// Number of scheduled events (pending + materialized).
@@ -133,7 +121,7 @@ impl EventQueue {
     /// Drops every event `f` rejects, wherever it currently lives.
     pub(crate) fn retain(&mut self, mut f: impl FnMut(f64, &EventKind) -> bool) {
         self.ordered.retain(|e| f(e.t, &e.kind));
-        self.pending.retain(|p| f(p.0.t, &p.0.kind));
+        self.pending.retain(|e| f(e.t, &e.kind));
     }
 
     /// Merges all pending events into the ordered run. Idempotent; called
@@ -145,11 +133,10 @@ impl EventQueue {
             return;
         }
         self.materializations += 1;
-        // Draining a min-heap yields ascending order.
-        let mut fresh = Vec::with_capacity(self.pending.len());
-        while let Some(Pending(e)) = self.pending.pop() {
-            fresh.push(e);
-        }
+        // Sort the pending batch by the total order. `seq` is unique, so
+        // the order is total and an unstable sort is deterministic.
+        let mut fresh = std::mem::take(&mut self.pending);
+        fresh.sort_unstable_by(ScheduledEvent::order);
         if self.ordered.is_empty() {
             self.merge_moves += fresh.len() as u64;
             self.ordered = fresh;

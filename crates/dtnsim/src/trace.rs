@@ -1,0 +1,409 @@
+//! Structured run tracing: typed [`TraceEvent`] records emitted at every
+//! engine decision point, fed into a pluggable [`TraceSink`].
+//!
+//! Tracing follows the same contract as [`RunStats`](crate::RunStats)
+//! and fault injection:
+//!
+//! * **Read-only.** Emission sites only *observe* simulation state; they
+//!   never mutate it and never consume randomness, so the same
+//!   `(config, trace, seed)` produces a byte-identical
+//!   [`SimResult`](crate::SimResult) with tracing on or off (CI diffs
+//!   `dump_results` output across both modes to enforce this).
+//! * **Inert when disabled.** Without a sink every emission site is one
+//!   branch on an `Option` — no event is even constructed. The
+//!   `bench_sim` regression gate (which runs untraced) keeps the
+//!   disabled path honest.
+//!
+//! Events use plain integers for node and photo ids so the JSONL output
+//! is self-contained and stable across crate-internal type changes.
+
+use std::cell::{Ref, RefCell};
+use std::io::Write;
+use std::rc::Rc;
+
+use serde::Serialize;
+
+use crate::UploadOutcome;
+
+/// One structured record of a simulation decision point.
+///
+/// Times `t` are simulation seconds except where a field name says
+/// otherwise. Byte counters named `link_bytes` are the fault-free link
+/// capacity; `budget_bytes` is what fault injection left of it.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+#[allow(missing_docs)] // field names are the documentation of record
+pub enum TraceEvent {
+    /// A run started (always the first event of a run).
+    RunBegin {
+        scheme: String,
+        seed: u64,
+        nodes: u32,
+        storage_bytes: u64,
+    },
+    /// A participant took a photo. `stored` is false when the scheme
+    /// discarded it (e.g. it was the least valuable under a full buffer).
+    PhotoGenerated {
+        t: f64,
+        node: u32,
+        photo: u64,
+        size: u64,
+        stored: bool,
+    },
+    /// A photo was never taken because its photographer was crashed.
+    PhotoGenerationLost { t: f64, node: u32, photo: u64 },
+    /// A contact never happened because an endpoint was crashed.
+    ContactSkippedDown { t: f64, a: u32, b: u32 },
+    /// PROPHET updated its predictabilities for a meeting pair; `p_a` /
+    /// `p_b` are each endpoint's delivery predictability towards the
+    /// command center *after* the update.
+    ProphetUpdate {
+        t: f64,
+        a: u32,
+        b: u32,
+        p_a: f64,
+        p_b: f64,
+    },
+    /// A contact's byte budget was fixed; `interrupted` marks a
+    /// fault-injection truncation (`budget_bytes < link_bytes`).
+    ContactBegin {
+        t: f64,
+        a: u32,
+        b: u32,
+        link_bytes: u64,
+        budget_bytes: u64,
+        interrupted: bool,
+    },
+    /// The scheme finished handling a contact; counters are deltas over
+    /// this contact only.
+    ContactEnd {
+        t: f64,
+        a: u32,
+        b: u32,
+        metadata_bytes: u64,
+        transfers_lost: u64,
+        transfers_corrupt: u64,
+    },
+    /// One greedy reallocation outcome (§III-D): the photos selected into
+    /// each endpoint in selection order, the expected coverage `C_ex` of
+    /// the final allocation (raw weighted sums, aspect in degrees), and
+    /// the work counters of the run.
+    Selection {
+        t: f64,
+        a: u32,
+        b: u32,
+        a_first: bool,
+        a_selected: Vec<u64>,
+        b_selected: Vec<u64>,
+        expected_point: f64,
+        expected_aspect_deg: f64,
+        evaluations: u64,
+        refreshes: u64,
+        commits: u64,
+    },
+    /// `to` cached a metadata snapshot of `from`'s collection (§III-B).
+    MetadataSnapshot {
+        t: f64,
+        from: u32,
+        to: u32,
+        entries: u64,
+        bytes: u64,
+    },
+    /// `node` purged cached metadata records that went invalid (§III-B
+    /// validity model).
+    MetadataInvalidated { t: f64, node: u32, purged: u64 },
+    /// An uplink window was dropped whole by fault injection — the link
+    /// never came up, PROPHET learned nothing.
+    UplinkDropped { t: f64, node: u32, link_bytes: u64 },
+    /// An uplink window opened; `degraded` marks a fault-injection budget
+    /// cut.
+    UploadBegin {
+        t: f64,
+        node: u32,
+        link_bytes: u64,
+        budget_bytes: u64,
+        degraded: bool,
+    },
+    /// An uplink window never opened because the node was crashed.
+    UploadSkippedDown { t: f64, node: u32 },
+    /// One photo committed to the uplink by the greedy upload loop, with
+    /// its marginal coverage gain against the command center's collection
+    /// at commit time and its transmission outcome.
+    UploadCommit {
+        t: f64,
+        node: u32,
+        photo: u64,
+        bytes: u64,
+        gain_point: f64,
+        gain_aspect_deg: f64,
+        outcome: UploadOutcome,
+    },
+    /// The scheme finished an uplink window; counters are deltas over
+    /// this window only.
+    UploadEnd {
+        t: f64,
+        node: u32,
+        bytes: u64,
+        delivered: u64,
+        lost: u64,
+        corrupt: u64,
+    },
+    /// A new photo reached the command center.
+    Delivered {
+        t: f64,
+        photo: u64,
+        latency_hours: f64,
+    },
+    /// A node crashed, wiping its buffer (fault injection).
+    NodeCrashed {
+        t: f64,
+        node: u32,
+        photos_lost: u64,
+        bytes_lost: u64,
+    },
+    /// A crashed node came back empty.
+    NodeRebooted { t: f64, node: u32 },
+    /// Per-node buffer occupancy, sampled at the metric interval.
+    BufferSnapshot {
+        t: f64,
+        node: u32,
+        photos: u64,
+        bytes: u64,
+    },
+    /// The run finished (always the last event of a run).
+    RunEnd {
+        t: f64,
+        delivered: u64,
+        uploaded_bytes: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's simulation time, seconds (`RunBegin` reads as 0).
+    #[must_use]
+    pub fn time(&self) -> f64 {
+        match self {
+            TraceEvent::RunBegin { .. } => 0.0,
+            TraceEvent::PhotoGenerated { t, .. }
+            | TraceEvent::PhotoGenerationLost { t, .. }
+            | TraceEvent::ContactSkippedDown { t, .. }
+            | TraceEvent::ProphetUpdate { t, .. }
+            | TraceEvent::ContactBegin { t, .. }
+            | TraceEvent::ContactEnd { t, .. }
+            | TraceEvent::Selection { t, .. }
+            | TraceEvent::MetadataSnapshot { t, .. }
+            | TraceEvent::MetadataInvalidated { t, .. }
+            | TraceEvent::UplinkDropped { t, .. }
+            | TraceEvent::UploadBegin { t, .. }
+            | TraceEvent::UploadSkippedDown { t, .. }
+            | TraceEvent::UploadCommit { t, .. }
+            | TraceEvent::UploadEnd { t, .. }
+            | TraceEvent::Delivered { t, .. }
+            | TraceEvent::NodeCrashed { t, .. }
+            | TraceEvent::NodeRebooted { t, .. }
+            | TraceEvent::BufferSnapshot { t, .. }
+            | TraceEvent::RunEnd { t, .. } => *t,
+        }
+    }
+}
+
+/// Where trace events go. Implementations must not feed anything back
+/// into the simulation — the determinism contract (byte-identical
+/// [`SimResult`](crate::SimResult) with tracing on or off) depends on
+/// sinks being pure observers.
+pub trait TraceSink: std::fmt::Debug {
+    /// Records one event. Called in simulation order.
+    fn record(&mut self, event: &TraceEvent);
+
+    /// Flushes any buffered output (called once at the end of a run).
+    fn flush(&mut self) {}
+}
+
+/// A sink that drops everything — behaviourally identical to running
+/// with no sink at all, but exercises the emission paths.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _event: &TraceEvent) {}
+}
+
+/// Writes one JSON object per event (JSON Lines) through a buffered
+/// writer. I/O errors are reported to stderr once and further writes are
+/// dropped — observability must never abort a simulation.
+#[derive(Debug)]
+pub struct JsonlSink {
+    out: std::io::BufWriter<std::fs::File>,
+    failed: bool,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the JSONL file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the file cannot be created.
+    pub fn create(path: &str) -> std::io::Result<Self> {
+        Ok(JsonlSink {
+            out: std::io::BufWriter::new(std::fs::File::create(path)?),
+            failed: false,
+        })
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&mut self, event: &TraceEvent) {
+        if self.failed {
+            return;
+        }
+        let line = serde_json::to_string(event).expect("TraceEvent serialization is infallible");
+        if let Err(e) = writeln!(self.out, "{line}") {
+            eprintln!("trace: write failed ({e}); disabling trace output");
+            self.failed = true;
+        }
+    }
+
+    fn flush(&mut self) {
+        if let Err(e) = self.out.flush() {
+            if !self.failed {
+                eprintln!("trace: flush failed ({e})");
+                self.failed = true;
+            }
+        }
+    }
+}
+
+/// Collects events in memory behind a shared handle — clone the sink
+/// before handing it to the simulation, then read the clone afterwards.
+/// For tests and in-process analysis.
+#[derive(Clone, Debug, Default)]
+pub struct VecSink {
+    events: Rc<RefCell<Vec<TraceEvent>>>,
+}
+
+impl VecSink {
+    /// An empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+
+    /// The events recorded so far (shared view).
+    #[must_use]
+    pub fn events(&self) -> Ref<'_, Vec<TraceEvent>> {
+        self.events.borrow()
+    }
+
+    /// Drains the recorded events out of the shared buffer.
+    #[must_use]
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events.borrow_mut())
+    }
+}
+
+impl TraceSink for VecSink {
+    fn record(&mut self, event: &TraceEvent) {
+        self.events.borrow_mut().push(event.clone());
+    }
+}
+
+/// The per-run emission front end held by
+/// [`SimCtx`](crate::SimCtx): a single `Option` branch when disabled,
+/// a virtual dispatch when enabled.
+#[derive(Default)]
+pub(crate) struct Tracer {
+    sink: Option<Box<dyn TraceSink>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.sink.is_some())
+            .finish()
+    }
+}
+
+impl Tracer {
+    pub(crate) fn new(sink: Option<Box<dyn TraceSink>>) -> Self {
+        Tracer { sink }
+    }
+
+    #[inline]
+    pub(crate) fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Emits lazily: `f` only runs when a sink is attached, so disabled
+    /// runs never even construct the event.
+    #[inline]
+    pub(crate) fn emit_with(&mut self, f: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = &mut self.sink {
+            sink.record(&f());
+        }
+    }
+
+    /// Flushes and releases the sink (so the owning
+    /// [`Simulation`](crate::Simulation) can keep it across runs).
+    pub(crate) fn into_sink(mut self) -> Option<Box<dyn TraceSink>> {
+        if let Some(sink) = &mut self.sink {
+            sink.flush();
+        }
+        self.sink
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sink_shares_events_across_clones() {
+        let sink = VecSink::new();
+        let mut handle = sink.clone();
+        handle.record(&TraceEvent::NodeRebooted { t: 1.0, node: 3 });
+        assert_eq!(sink.events().len(), 1);
+        assert_eq!(
+            sink.take(),
+            vec![TraceEvent::NodeRebooted { t: 1.0, node: 3 }]
+        );
+        assert!(sink.events().is_empty());
+    }
+
+    #[test]
+    fn tracer_disabled_never_runs_the_closure() {
+        let mut tracer = Tracer::default();
+        assert!(!tracer.enabled());
+        tracer.emit_with(|| panic!("must not construct events when disabled"));
+    }
+
+    #[test]
+    fn events_serialize_as_tagged_json_objects() {
+        let event = TraceEvent::ContactBegin {
+            t: 12.5,
+            a: 1,
+            b: 2,
+            link_bytes: 1000,
+            budget_bytes: 800,
+            interrupted: true,
+        };
+        let json = serde_json::to_string(&event).unwrap();
+        assert!(json.starts_with("{\"ContactBegin\":{"), "{json}");
+        assert!(json.contains("\"interrupted\":true"), "{json}");
+    }
+
+    #[test]
+    fn time_accessor_covers_all_variants() {
+        let event = TraceEvent::RunEnd {
+            t: 9.0,
+            delivered: 1,
+            uploaded_bytes: 2,
+        };
+        assert_eq!(event.time(), 9.0);
+        let begin = TraceEvent::RunBegin {
+            scheme: "x".into(),
+            seed: 1,
+            nodes: 2,
+            storage_bytes: 3,
+        };
+        assert_eq!(begin.time(), 0.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! The tracing subsystem must be a pure observer: attaching a sink to a
+//! run must not change the `SimResult` in any way, for any scheme, with
+//! or without fault injection. Tracing reads engine state but never
+//! mutates it and never consumes randomness, so traced and untraced runs
+//! walk the exact same event sequence.
+
+use std::io::BufRead;
+
+use photodtn_contacts::synth::{CommunityTraceGenerator, TraceStyle};
+use photodtn_contacts::ContactTrace;
+use photodtn_schemes::{
+    BestPossible, CentralizedOracle, DirectDelivery, Epidemic, ModifiedSpray, OurScheme, PhotoNet,
+    ProphetRouting, SprayAndWait,
+};
+use photodtn_sim::{FaultConfig, JsonlSink, Scheme, SimConfig, Simulation, TraceEvent, VecSink};
+
+fn lineup() -> Vec<Box<dyn Scheme + Send>> {
+    vec![
+        Box::new(BestPossible),
+        Box::new(OurScheme::new()),
+        Box::new(OurScheme::no_metadata()),
+        Box::new(ModifiedSpray::new()),
+        Box::new(SprayAndWait::new()),
+        Box::new(PhotoNet::new()),
+        Box::new(Epidemic::new()),
+        Box::new(DirectDelivery::new()),
+        Box::new(CentralizedOracle::new()),
+        Box::new(ProphetRouting::new()),
+    ]
+}
+
+fn small_trace(seed: u64) -> ContactTrace {
+    CommunityTraceGenerator::new(TraceStyle::MitLike)
+        .with_num_nodes(16)
+        .with_duration_hours(36.0)
+        .generate(seed)
+}
+
+fn small_config() -> SimConfig {
+    let mut config = SimConfig::mit_default()
+        .with_photos_per_hour(30.0)
+        .with_storage_bytes(40 * 4 * 1024 * 1024);
+    config.num_pois = 60;
+    config
+}
+
+/// Every scheme, faulted and unfaulted: a run with a sink attached must
+/// produce the exact `SimResult` of a run without one.
+#[test]
+fn tracing_never_changes_the_result() {
+    let trace = small_trace(3);
+    for intensity in [0.0, 0.5] {
+        let config = small_config().with_faults(FaultConfig::chaos(intensity));
+        for (first, second) in lineup().into_iter().zip(lineup()) {
+            let name = first.name();
+            let mut untraced_scheme = first;
+            let mut traced_scheme = second;
+            let untraced = Simulation::new(&config, &trace, 42).run(&mut untraced_scheme);
+
+            let handle = VecSink::new();
+            let traced = Simulation::new(&config, &trace, 42)
+                .with_trace_sink(Box::new(handle.clone()))
+                .run(&mut traced_scheme);
+
+            assert_eq!(
+                untraced, traced,
+                "{name} at intensity {intensity}: tracing perturbed the result"
+            );
+            assert!(
+                !handle.events().is_empty(),
+                "{name}: the traced run recorded no events"
+            );
+        }
+    }
+}
+
+/// Events come out in simulated-time order (ties are fine — many events
+/// share a contact's timestamp), bracketed by `RunBegin` and `RunEnd`.
+#[test]
+fn event_times_are_monotone_and_bracketed() {
+    let trace = small_trace(5);
+    let config = small_config().with_faults(FaultConfig::chaos(0.5));
+    let handle = VecSink::new();
+    let mut scheme = OurScheme::new();
+    Simulation::new(&config, &trace, 7)
+        .with_trace_sink(Box::new(handle.clone()))
+        .run(&mut scheme);
+
+    let events = handle.take();
+    assert!(matches!(events.first(), Some(TraceEvent::RunBegin { .. })));
+    assert!(matches!(events.last(), Some(TraceEvent::RunEnd { .. })));
+    let mut last = 0.0f64;
+    for event in events.iter() {
+        let t = event.time();
+        assert!(
+            t >= last,
+            "event time went backwards: {t} after {last} ({event:?})"
+        );
+        last = t;
+    }
+}
+
+/// A faulted `ours` run exercises the whole event vocabulary that the
+/// `inspect` subcommand aggregates over.
+#[test]
+fn faulted_ours_run_emits_every_major_event_kind() {
+    let trace = small_trace(3);
+    let config = small_config().with_faults(FaultConfig::chaos(0.5));
+    let handle = VecSink::new();
+    let mut scheme = OurScheme::new();
+    Simulation::new(&config, &trace, 42)
+        .with_trace_sink(Box::new(handle.clone()))
+        .run(&mut scheme);
+
+    let events = handle.take();
+    let has = |pred: &dyn Fn(&TraceEvent) -> bool| events.iter().any(pred);
+    assert!(has(&|e| matches!(e, TraceEvent::PhotoGenerated { .. })));
+    assert!(has(&|e| matches!(e, TraceEvent::ContactBegin { .. })));
+    assert!(has(&|e| matches!(e, TraceEvent::ContactEnd { .. })));
+    assert!(has(&|e| matches!(e, TraceEvent::Selection { .. })));
+    assert!(has(&|e| matches!(e, TraceEvent::MetadataSnapshot { .. })));
+    assert!(has(&|e| matches!(e, TraceEvent::UploadBegin { .. })));
+    assert!(has(&|e| matches!(e, TraceEvent::UploadCommit { .. })));
+    assert!(has(&|e| matches!(e, TraceEvent::UploadEnd { .. })));
+    assert!(has(&|e| matches!(e, TraceEvent::Delivered { .. })));
+    assert!(has(&|e| matches!(e, TraceEvent::BufferSnapshot { .. })));
+    assert!(has(&|e| matches!(e, TraceEvent::NodeCrashed { .. })));
+    assert!(has(&|e| matches!(e, TraceEvent::ProphetUpdate { .. })));
+}
+
+/// The JSONL sink writes one parseable, externally-tagged object per
+/// line, and the file survives for offline analysis.
+#[test]
+fn jsonl_sink_writes_parseable_lines() {
+    let dir = std::env::temp_dir().join("photodtn-trace-determinism");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("events.jsonl");
+    let path_str = path.to_str().unwrap();
+
+    let trace = small_trace(2);
+    let config = small_config();
+    let mut scheme = OurScheme::new();
+    let sink = JsonlSink::create(path_str).unwrap();
+    Simulation::new(&config, &trace, 9)
+        .with_trace_sink(Box::new(sink))
+        .run(&mut scheme);
+
+    let file = std::fs::File::open(&path).unwrap();
+    let mut lines = 0usize;
+    for line in std::io::BufReader::new(file).lines() {
+        let line = line.unwrap();
+        let value: serde_json::Value = serde_json::from_str(&line)
+            .unwrap_or_else(|e| panic!("unparseable trace line {line:?}: {e:?}"));
+        let obj = value.as_object().expect("every event is an object");
+        assert_eq!(obj.len(), 1, "externally tagged: exactly one key");
+        lines += 1;
+    }
+    assert!(
+        lines > 10,
+        "expected a real event stream, got {lines} lines"
+    );
+    std::fs::remove_file(&path).unwrap();
+}

@@ -8,7 +8,7 @@ use photodtn_core::transmission::{execute_plan_with, plan_transfers};
 use photodtn_core::validity::ValidityModel;
 use photodtn_core::MetadataCache;
 use photodtn_coverage::{Photo, PhotoCoverage, PhotoId, PhotoMeta, PoiList};
-use photodtn_sim::{Scheme, SimCtx};
+use photodtn_sim::{Scheme, SimCtx, TraceEvent};
 
 use crate::value::PhotoValueCache;
 
@@ -171,7 +171,17 @@ impl OurScheme {
             .iter()
             .map(|p| (p.id, p.meta))
             .collect();
-        ctx.note_metadata_bytes(snapshot.len() as u64 * PhotoMeta::wire_size() + 8);
+        let snapshot_bytes = snapshot.len() as u64 * PhotoMeta::wire_size() + 8;
+        ctx.note_metadata_bytes(snapshot_bytes);
+        if ctx.trace_enabled() {
+            ctx.trace(TraceEvent::MetadataSnapshot {
+                t: now,
+                from: peer.0,
+                to: owner.0,
+                entries: snapshot.len() as u64,
+                bytes: snapshot_bytes,
+            });
+        }
         let lambda = self.rates.node_rate(peer, now);
         let cc = ctx.command_center_id();
         // Relay the peer's command-center knowledge if fresher than ours.
@@ -191,7 +201,14 @@ impl OurScheme {
                 cache.update(cc, peer_cc.photos, 0.0, peer_cc.snapshot_at);
             }
         }
-        cache.purge_stale(&validity, now);
+        let purged = cache.purge_stale(&validity, now);
+        if purged > 0 && ctx.trace_enabled() {
+            ctx.trace(TraceEvent::MetadataInvalidated {
+                t: now,
+                node: owner.0,
+                purged: purged as u64,
+            });
+        }
     }
 }
 
@@ -258,6 +275,21 @@ impl Scheme for OurScheme {
         };
         let session = self.session_for(&pois, input.params);
         let result = session.reallocate_with(&input, |id, meta| ctx.photo_coverage(id, meta));
+        if ctx.trace_enabled() {
+            ctx.trace(TraceEvent::Selection {
+                t: now,
+                a: a.0,
+                b: b.0,
+                a_first: result.a_first,
+                a_selected: result.a_selected.iter().map(|p| p.0).collect(),
+                b_selected: result.b_selected.iter().map(|p| p.0).collect(),
+                expected_point: result.expected.point,
+                expected_aspect_deg: result.expected.aspect.to_degrees(),
+                evaluations: result.stats.evaluations,
+                refreshes: result.stats.refreshes,
+                commits: result.stats.commits,
+            });
+        }
         let capacity = ctx.storage_bytes();
         let (faults, ca, cb) = ctx.faults_and_pair_mut(a, b);
         let plan = plan_transfers(&result, ca, cb);
@@ -328,7 +360,19 @@ impl Scheme for OurScheme {
             // The uplink burns the bytes either way; only an acknowledged
             // arrival lets the node drop its local copy (§III-B — the
             // returned metadata is the acknowledgment).
-            if ctx.upload_photo(photo).acked() {
+            let outcome = ctx.upload_photo(photo);
+            if ctx.trace_enabled() {
+                ctx.trace(TraceEvent::UploadCommit {
+                    t: now,
+                    node: node.0,
+                    photo: photo.id.0,
+                    bytes: photo.size,
+                    gain_point: gain.point,
+                    gain_aspect_deg: gain.aspect.to_degrees(),
+                    outcome,
+                });
+            }
+            if outcome.acked() {
                 ctx.collection_mut(node).remove(photo.id);
             }
             remaining -= photo.size;
