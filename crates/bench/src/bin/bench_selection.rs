@@ -1,43 +1,92 @@
 //! Selection hot-path harness: times one full contact reallocation on a
-//! large world (1000 PoIs, 200-photo pool, 4 MB photos) for the three
-//! greedy implementations and writes `BENCH_selection.json`.
+//! large world (1000 PoIs, 200-photo pool, 150-photo command-center
+//! collection, 4 MB photos) for every greedy implementation and writes
+//! `BENCH_selection.json`.
 //!
 //! Unlike the criterion benches this is a plain binary with hand-rolled
 //! [`std::time::Instant`] timing, so it runs anywhere and emits a
-//! machine-readable artifact the acceptance gate can check: the indexed
-//! production path (`reallocate`) must beat the pre-change exhaustive
-//! greedy (`reallocate_naive`) by at least 3x on this workload.
+//! machine-readable artifact the acceptance gates can check:
+//!
+//! * `indexed` (the per-contact production path, [`reallocate`]) must
+//!   beat the exhaustive greedy (`reallocate_naive`) by at least 3x;
+//! * `incremental` (the steady-state [`SelectionSession`] path: warm
+//!   coverage-table cache + checkpointed third-party base) must beat
+//!   `indexed_scalar` — the pre-SIMD per-contact path, i.e. the PR-1
+//!   baseline measured in this same process — by at least 3x.
+//!
+//! Both baselines are timed in-process on the same workload, so the
+//! gates are machine-independent. `--smoke` shrinks the workload for CI
+//! while keeping both gates armed.
 //!
 //! ```sh
 //! cargo run --release -p photodtn-bench --bin bench_selection
+//! cargo run --release -p photodtn-bench --bin bench_selection -- --smoke
 //! ```
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use photodtn_contacts::NodeId;
+use photodtn_core::expected::DeliveryNode;
 use photodtn_core::selection::{
-    reallocate, reallocate_lazy_linear, reallocate_naive, PeerState, SelectionInput,
-    SelectionResult,
+    reallocate, reallocate_indexed_scalar, reallocate_lazy_linear, reallocate_naive, PeerState,
+    SelectionInput, SelectionResult, SelectionSession,
 };
-use photodtn_coverage::{CoverageParams, Photo, PhotoMeta, Poi, PoiList};
+use photodtn_coverage::{
+    CoverageParams, CoverageTableCache, Photo, PhotoId, PhotoMeta, Poi, PoiList,
+};
 use photodtn_geo::{Angle, Point};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-const NUM_POIS: u32 = 1000;
-const POOL: u64 = 200;
 const PHOTO_BYTES: u64 = 4 * 1024 * 1024;
-const WARMUP: usize = 3;
-const ITERS: usize = 21;
 
-fn world() -> (PoiList, Vec<Photo>, Vec<Photo>) {
+struct Workload {
+    num_pois: u32,
+    /// Pooled photos across the two contacting peers.
+    pool: u64,
+    /// Photos the command center (the third-party base) already holds —
+    /// the part of the per-contact cost the incremental path eliminates.
+    cc_photos: u64,
+    warmup: usize,
+    iters: usize,
+    smoke: bool,
+}
+
+impl Workload {
+    fn large() -> Self {
+        Workload {
+            num_pois: 1000,
+            pool: 200,
+            cc_photos: 150,
+            warmup: 3,
+            iters: 21,
+            smoke: false,
+        }
+    }
+
+    fn smoke() -> Self {
+        Workload {
+            num_pois: 300,
+            pool: 64,
+            cc_photos: 64,
+            warmup: 2,
+            iters: 9,
+            smoke: true,
+        }
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn world(w: &Workload) -> (PoiList, Vec<Photo>, Vec<Photo>, Vec<(PhotoId, PhotoMeta)>) {
     let mut rng = SmallRng::seed_from_u64(5);
+    let side = if w.smoke { 3400.0 } else { 6300.0 };
     let pois = PoiList::new(
-        (0..NUM_POIS)
+        (0..w.num_pois)
             .map(|i| {
                 Poi::new(
                     i,
-                    Point::new(rng.gen_range(0.0..6300.0), rng.gen_range(0.0..6300.0)),
+                    Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)),
                 )
             })
             .collect(),
@@ -46,7 +95,7 @@ fn world() -> (PoiList, Vec<Photo>, Vec<Photo>) {
         Photo::new(
             id,
             PhotoMeta::new(
-                Point::new(rng.gen_range(0.0..6300.0), rng.gen_range(0.0..6300.0)),
+                Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)),
                 rng.gen_range(100.0..300.0),
                 Angle::from_degrees(rng.gen_range(30.0..60.0)),
                 Angle::from_degrees(rng.gen_range(0.0..360.0)),
@@ -55,99 +104,159 @@ fn world() -> (PoiList, Vec<Photo>, Vec<Photo>) {
         )
         .with_size(PHOTO_BYTES)
     };
-    let a: Vec<Photo> = (0..POOL / 2).map(&mut mk).collect();
-    let b: Vec<Photo> = (POOL / 2..POOL).map(&mut mk).collect();
-    (pois, a, b)
+    let a: Vec<Photo> = (0..w.pool / 2).map(&mut mk).collect();
+    let b: Vec<Photo> = (w.pool / 2..w.pool).map(&mut mk).collect();
+    let cc: Vec<(PhotoId, PhotoMeta)> = (w.pool..w.pool + w.cc_photos)
+        .map(|id| {
+            let p = mk(id);
+            (p.id, p.meta)
+        })
+        .collect();
+    (pois, a, b, cc)
 }
 
-/// Median wall time of one `f(input)` call, in nanoseconds.
-fn median_ns(
-    input: &SelectionInput<'_>,
-    f: fn(&SelectionInput<'_>) -> SelectionResult,
-) -> (u128, SelectionResult) {
-    let mut last = f(input);
-    for _ in 1..WARMUP {
-        last = f(input);
+/// Median wall time of one `f()` call, in nanoseconds.
+fn median_ns<F: FnMut() -> SelectionResult>(w: &Workload, mut f: F) -> (u128, SelectionResult) {
+    let mut last = f();
+    for _ in 1..w.warmup {
+        last = f();
     }
-    let mut times: Vec<u128> = (0..ITERS)
+    let mut times: Vec<u128> = (0..w.iters)
         .map(|_| {
             let t = Instant::now();
-            last = f(input);
+            last = f();
             t.elapsed().as_nanos()
         })
         .collect();
     times.sort_unstable();
-    (times[ITERS / 2], last)
+    (times[w.iters / 2], last)
 }
 
 fn main() {
-    let (pois, a, b) = world();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let has = |name: &str| argv.iter().any(|a| a == name);
+    let workload = if has("--smoke") {
+        Workload::smoke()
+    } else {
+        Workload::large()
+    };
+    let w = &workload;
+
+    let (pois, a, b, cc) = world(w);
+    let pois = Arc::new(pois);
+    let params = CoverageParams::default();
     let input = SelectionInput {
         pois: &pois,
-        params: CoverageParams::default(),
+        params,
         a: PeerState {
             node: NodeId(0),
             delivery_prob: 0.7,
-            capacity: (POOL / 2) * PHOTO_BYTES,
+            capacity: (w.pool / 2) * PHOTO_BYTES,
             photos: a,
         },
         b: PeerState {
             node: NodeId(1),
             delivery_prob: 0.2,
-            capacity: (POOL / 2) * PHOTO_BYTES,
+            capacity: (w.pool / 2) * PHOTO_BYTES,
             photos: b,
         },
-        others: vec![],
+        // The command center's collection: id-tagged, so the session path
+        // can both resolve cached tables and checkpoint the committed
+        // base. The per-contact paths ignore the ids (metadata scan).
+        others: vec![DeliveryNode::with_ids(1.0, cc)],
     };
 
     println!(
-        "bench_selection: one contact reallocation, {NUM_POIS} PoIs, {POOL}-photo pool, \
-         median of {ITERS} iterations"
+        "bench_selection: one contact reallocation, {} PoIs, {}-photo pool, \
+         {}-photo command-center base, median of {} iterations",
+        w.num_pois, w.pool, w.cc_photos, w.iters
     );
     println!(
-        "{:<14} {:>14} {:>12} {:>12} {:>10}",
+        "{:<16} {:>14} {:>12} {:>12} {:>10}",
         "strategy", "median ns", "evals", "refreshes", "commits"
     );
 
-    let (naive_ns, naive) = median_ns(&input, reallocate_naive);
-    let (linear_ns, linear) = median_ns(&input, reallocate_lazy_linear);
-    let (indexed_ns, indexed) = median_ns(&input, reallocate);
+    let (naive_ns, naive) = median_ns(w, || reallocate_naive(&input));
+    let (linear_ns, linear) = median_ns(w, || reallocate_lazy_linear(&input));
+    let (scalar_ns, scalar) = median_ns(w, || reallocate_indexed_scalar(&input));
+    let (indexed_ns, indexed) = median_ns(w, || reallocate(&input));
+
+    // Steady state of the production simulator wiring: a per-run session
+    // (checkpointed command-center base, warm engine scratch) over a
+    // per-run coverage-table cache. The warmup iterations populate both;
+    // the timed iterations pay neither table builds nor base commits.
+    let mut session = SelectionSession::new(Arc::clone(&pois), params);
+    let mut cache = CoverageTableCache::new(4096);
+    let (incr_ns, incr) = median_ns(w, || {
+        session.reallocate_with(&input, |id, meta| {
+            cache.get_or_build(id, meta, &pois, params)
+        })
+    });
+
+    for (name, ns, r) in [
+        ("naive", naive_ns, &naive),
+        ("lazy_linear", linear_ns, &linear),
+        ("indexed_scalar", scalar_ns, &scalar),
+        ("indexed", indexed_ns, &indexed),
+        ("incremental", incr_ns, &incr),
+    ] {
+        println!(
+            "{:<16} {:>14} {:>12} {:>12} {:>10}",
+            name, ns, r.stats.evaluations, r.stats.refreshes, r.stats.commits
+        );
+    }
+
     assert_eq!(indexed, naive, "indexed and naive selections diverged");
     assert_eq!(
         indexed, linear,
         "indexed and lazy-linear selections diverged"
     );
-
-    for (name, ns, r) in [
-        ("naive", naive_ns, &naive),
-        ("lazy_linear", linear_ns, &linear),
-        ("indexed", indexed_ns, &indexed),
-    ] {
-        println!(
-            "{:<14} {:>14} {:>12} {:>12} {:>10}",
-            name, ns, r.stats.evaluations, r.stats.refreshes, r.stats.commits
-        );
-    }
+    assert_eq!(
+        indexed, scalar,
+        "indexed and indexed-scalar selections diverged"
+    );
+    assert_eq!(indexed, incr, "indexed and incremental selections diverged");
+    assert_eq!(
+        indexed.expected.point.to_bits(),
+        incr.expected.point.to_bits(),
+        "incremental expected point coverage not bit-identical"
+    );
+    assert_eq!(
+        indexed.expected.aspect.to_bits(),
+        incr.expected.aspect.to_bits(),
+        "incremental expected aspect coverage not bit-identical"
+    );
 
     let speedup_vs_naive = naive_ns as f64 / indexed_ns as f64;
     let speedup_vs_linear = linear_ns as f64 / indexed_ns as f64;
-    println!("\nindexed vs naive:       {speedup_vs_naive:.2}x");
-    println!("indexed vs lazy_linear: {speedup_vs_linear:.2}x");
+    let speedup_incr = scalar_ns as f64 / incr_ns as f64;
+    println!("\nindexed vs naive:              {speedup_vs_naive:.2}x");
+    println!("indexed vs lazy_linear:        {speedup_vs_linear:.2}x");
+    println!("incremental vs indexed_scalar: {speedup_incr:.2}x");
 
     let json = format!(
-        "{{\n  \"workload\": {{\n    \"num_pois\": {NUM_POIS},\n    \"pool_photos\": {POOL},\n    \
-         \"photo_bytes\": {PHOTO_BYTES},\n    \"iterations\": {ITERS}\n  }},\n  \
+        "{{\n  \"workload\": {{\n    \"num_pois\": {},\n    \"pool_photos\": {},\n    \
+         \"cc_photos\": {},\n    \"photo_bytes\": {PHOTO_BYTES},\n    \"iterations\": {},\n    \
+         \"smoke\": {}\n  }},\n  \
          \"median_ns_per_reallocation\": {{\n    \"naive\": {naive_ns},\n    \
-         \"lazy_linear\": {linear_ns},\n    \"indexed\": {indexed_ns}\n  }},\n  \
+         \"lazy_linear\": {linear_ns},\n    \"indexed_scalar\": {scalar_ns},\n    \
+         \"indexed\": {indexed_ns},\n    \"incremental\": {incr_ns}\n  }},\n  \
          \"speedup_indexed_vs_naive\": {speedup_vs_naive:.3},\n  \
          \"speedup_indexed_vs_lazy_linear\": {speedup_vs_linear:.3},\n  \
-         \"selections_identical\": true\n}}\n"
+         \"speedup_incremental_vs_indexed_scalar\": {speedup_incr:.3},\n  \
+         \"selections_identical\": true\n}}\n",
+        w.num_pois, w.pool, w.cc_photos, w.iters, w.smoke
     );
     std::fs::write("BENCH_selection.json", &json).expect("write BENCH_selection.json");
     eprintln!("bench_selection: wrote BENCH_selection.json");
 
     assert!(
         speedup_vs_naive >= 3.0,
-        "acceptance: expected >= 3x speedup over the pre-change engine, got {speedup_vs_naive:.2}x"
+        "acceptance: expected >= 3x speedup over the exhaustive greedy, got {speedup_vs_naive:.2}x"
+    );
+    assert!(
+        speedup_incr >= 3.0,
+        "acceptance: expected >= 3x steady-state speedup over the pre-SIMD indexed baseline, \
+         got {speedup_incr:.2}x"
     );
 }

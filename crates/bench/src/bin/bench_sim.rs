@@ -233,6 +233,38 @@ fn main() {
         })
         .collect();
 
+    // Nodes-vs-throughput scaling curve for the headline scheme: per-node
+    // contact rates are fixed, so the contact count (and the per-contact
+    // pool the selection core chews through) grows with the node count —
+    // the curve shows how throughput holds up as the world scales.
+    let scaling_nodes: &[u32] = if smoke { &[4, 8] } else { &[12, 24, 36, 48] };
+    println!("\nscaling (ours):");
+    let scaling: Vec<(u32, Timing)> = scaling_nodes
+        .iter()
+        .map(|&n| {
+            let wl = Workload {
+                nodes: n,
+                iters: 3, // time_scheme tops this up to ~150 ms of samples
+                ..if smoke {
+                    Workload::smoke()
+                } else {
+                    Workload::large()
+                }
+            };
+            let trace = wl.trace();
+            let t = time_scheme(&wl, &trace, "ours");
+            println!(
+                "{:>6} nodes {:>14} ns  {:>10.0} events/s  {:>12.0} ns/contact  ({} contacts)",
+                n,
+                t.median_ns,
+                t.events_per_sec(),
+                t.ns_per_contact(),
+                t.contacts
+            );
+            (n, t)
+        })
+        .collect();
+
     // --emit-baseline FILE: plain "scheme median_ns" lines for an old
     // build to hand to a new one; deliberately not JSON so the old binary
     // needs no parser.
@@ -294,7 +326,23 @@ fn main() {
         json.push_str("\n    }");
         json.push_str(if i + 1 < timings.len() { ",\n" } else { "\n" });
     }
-    json.push_str("  }\n}\n");
+    json.push_str("  },\n");
+    json.push_str("  \"scaling\": {\n    \"scheme\": \"ours\",\n    \"points\": [\n");
+    for (i, (n, t)) in scaling.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{ \"nodes\": {}, \"contacts\": {}, \"events\": {}, \"median_ns\": {}, \
+             \"min_ns\": {}, \"events_per_sec\": {:.1}, \"ns_per_contact\": {:.1} }}{}\n",
+            n,
+            t.contacts,
+            t.events,
+            t.median_ns,
+            t.min_ns,
+            t.events_per_sec(),
+            t.ns_per_contact(),
+            if i + 1 < scaling.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ]\n  }\n}\n");
     std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
     eprintln!("bench_sim: wrote BENCH_sim.json");
 

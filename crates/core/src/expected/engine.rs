@@ -11,11 +11,39 @@
 use std::cell::RefCell;
 use std::sync::Arc as StdArc;
 
-use photodtn_geo::{Angle, Arc, ArcSet};
+use photodtn_geo::{Angle, Arc, ArcSet, AspectBits, ASPECT_BIN_WIDTH};
 
 use photodtn_coverage::{
     AspectWeightMap, AspectWeights, Coverage, CoverageParams, PhotoCoverage, PhotoMeta, PoiList,
 };
+
+/// How the engine computes aspect-coverage measures.
+///
+/// See `DESIGN.md` ("Aspect quantization contract") for the full contract.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AspectMode {
+    /// Exact interval arithmetic over [`ArcSet`]s — the reference path.
+    /// Bit-identical to the pre-quantization engine; all determinism dumps
+    /// are produced in this mode.
+    Exact,
+    /// Fixed-width 128-bin bitsets ([`AspectBits`]): O(1) union/measure,
+    /// aspect measures quantized to the bin width (`2π/128` ≈ 2.8°).
+    /// Point coverage is never quantized. Selection tie-breaking uses the
+    /// same comparator in both modes.
+    Quantized,
+}
+
+impl Default for AspectMode {
+    /// [`AspectMode::Exact`] unless the `quantized-aspects` cargo feature
+    /// flips the fleet default to the bitset path.
+    fn default() -> Self {
+        if cfg!(feature = "quantized-aspects") {
+            AspectMode::Quantized
+        } else {
+            AspectMode::Exact
+        }
+    }
+}
 
 /// Incrementally maintained `C_ex` over a set of engine-nodes.
 ///
@@ -56,20 +84,67 @@ pub struct ExpectedEngine {
     /// Optional per-PoI aspect weights (§II-C extension); `None` means
     /// uniform weights everywhere.
     aspect_weights: Option<AspectWeightMap>,
+    /// Aspect arithmetic mode (exact intervals vs quantized bitsets).
+    mode: AspectMode,
+    /// Checkpoint of the committed base layer, when one is active. While
+    /// set, every commit records an [`UndoOp`] so
+    /// [`rollback`](Self::rollback) can restore the base state bitwise.
+    base: Option<BaseMark>,
+    /// Undo log of commits since the checkpoint, applied in reverse.
+    undo: Vec<UndoOp>,
     /// Reusable buffers for gain evaluation. Interior mutability keeps
     /// [`gain_of`](Self::gain_of) a `&self` method while letting repeated
     /// previews run without heap allocation once the buffers are warm.
     scratch: RefCell<Scratch>,
 }
 
+/// One node's aspect coverage of one PoI.
+#[derive(Clone, Debug)]
+struct Coverer {
+    /// The engine-node; membership implies it point-covers this PoI.
+    node: usize,
+    /// Exact covered-aspect set (authoritative in [`AspectMode::Exact`]).
+    set: ArcSet,
+    /// Under-approximating bitset of `set`: every inner bin (dilated by
+    /// the margin) lies inside `set`, so `outer(arc) ⊆ inner` proves a
+    /// candidate arc is fully covered — an O(1) skip that cannot change
+    /// exact-mode results.
+    inner: AspectBits,
+    /// Rounded quantization of `set` (authoritative in
+    /// [`AspectMode::Quantized`]): the union of the rounded bits of every
+    /// committed arc.
+    rounded: AspectBits,
+}
+
 /// Per-PoI incremental state.
 #[derive(Clone, Debug, Default)]
 struct PoiState {
-    /// `(engine-node, aspects that node covers)`; membership implies the
-    /// node point-covers this PoI.
-    coverers: Vec<(usize, ArcSet)>,
+    /// The nodes covering this PoI, with their aspect coverage.
+    coverers: Vec<Coverer>,
     /// `Π (1 − p_i)` over covering nodes.
     point_survival: f64,
+}
+
+/// Snapshot header of [`ExpectedEngine::checkpoint`].
+#[derive(Clone, Copy, Debug)]
+struct BaseMark {
+    nodes: usize,
+    total: Coverage,
+}
+
+/// One reversible commit effect. Stored values are the exact pre-commit
+/// bits, so rollback restores them bit-for-bit.
+#[derive(Clone, Debug)]
+enum UndoOp {
+    /// A commit pushed a new coverer onto `states[poi]`.
+    NewCoverer { poi: u32, prev_survival: f64 },
+    /// A commit extended the aspect set of `states[poi].coverers[idx]`.
+    Extended {
+        poi: u32,
+        idx: u32,
+        prev_set: ArcSet,
+        prev_rounded: AspectBits,
+    },
 }
 
 /// Reusable gain-evaluation buffers: the candidate's aspect region, the
@@ -109,8 +184,34 @@ impl ExpectedEngine {
             probs: Vec::new(),
             total: Coverage::ZERO,
             aspect_weights: None,
+            mode: AspectMode::default(),
+            base: None,
+            undo: Vec::new(),
             scratch: RefCell::new(Scratch::default()),
         }
+    }
+
+    /// Selects the aspect arithmetic mode (builder-style). Must be called
+    /// before any photo is committed: the accumulated total and per-PoI
+    /// state are only meaningful under a single mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if photos were already committed.
+    #[must_use]
+    pub fn with_aspect_mode(mut self, mode: AspectMode) -> Self {
+        assert!(
+            self.total.is_zero() && self.states.iter().all(|s| s.coverers.is_empty()),
+            "aspect mode must be set before committing photos"
+        );
+        self.mode = mode;
+        self
+    }
+
+    /// The engine's aspect arithmetic mode.
+    #[must_use]
+    pub fn aspect_mode(&self) -> AspectMode {
+        self.mode
     }
 
     /// Clears all nodes and committed photos, returning the engine to its
@@ -126,6 +227,66 @@ impl ExpectedEngine {
             state.point_survival = 1.0;
         }
         self.total = Coverage::ZERO;
+        self.base = None;
+        self.undo.clear();
+    }
+
+    /// Marks the current committed state as the *base layer*. Subsequent
+    /// commits are recorded in an undo log; [`rollback`](Self::rollback)
+    /// restores the engine to this point bitwise. Calling `checkpoint`
+    /// again re-bases on the current state (absorbing anything committed
+    /// since the previous checkpoint into the base).
+    ///
+    /// This is what lets callers keep an append-only base collection (the
+    /// command center's photos across upload windows, a repeated metadata
+    /// layer across contacts) committed once instead of rebuilding the
+    /// whole engine per window.
+    pub fn checkpoint(&mut self) {
+        self.base = Some(BaseMark {
+            nodes: self.probs.len(),
+            total: self.total,
+        });
+        self.undo.clear();
+    }
+
+    /// Whether a checkpoint is active.
+    #[must_use]
+    pub fn has_checkpoint(&self) -> bool {
+        self.base.is_some()
+    }
+
+    /// Reverts every commit and node added since the last
+    /// [`checkpoint`](Self::checkpoint), restoring the engine to a state
+    /// bit-identical to the one checkpointed (pinned by tests). The
+    /// checkpoint stays active for the next round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no checkpoint is active.
+    pub fn rollback(&mut self) {
+        let base = self.base.expect("rollback without an active checkpoint");
+        while let Some(op) = self.undo.pop() {
+            match op {
+                UndoOp::NewCoverer { poi, prev_survival } => {
+                    let state = &mut self.states[poi as usize];
+                    state.coverers.pop();
+                    state.point_survival = prev_survival;
+                }
+                UndoOp::Extended {
+                    poi,
+                    idx,
+                    prev_set,
+                    prev_rounded,
+                } => {
+                    let c = &mut self.states[poi as usize].coverers[idx as usize];
+                    c.inner = AspectBits::inner_of_set(&prev_set);
+                    c.set = prev_set;
+                    c.rounded = prev_rounded;
+                }
+            }
+        }
+        self.probs.truncate(base.nodes);
+        self.total = base.total;
     }
 
     /// The engine's PoI list.
@@ -259,11 +420,7 @@ impl ExpectedEngine {
         gain: &mut Coverage,
     ) {
         let state = &self.states[poi_index];
-        let own = state
-            .coverers
-            .iter()
-            .find(|(i, _)| *i == node)
-            .map(|(_, s)| s);
+        let own = state.coverers.iter().find(|c| c.node == node);
         // Point: if this node is not yet a coverer, the survival product
         // gains a factor (1 − p): E[pt] rises by survival · p.
         if own.is_none() {
@@ -272,9 +429,26 @@ impl ExpectedEngine {
         // Aspect: on directions newly covered *by this node*, the survival
         // product gains the factor (1 − p).
         let Some(arc) = arc else { return };
+        let poi_id = photodtn_coverage::PoiId(poi_index as u32);
+        let weights = self.aspect_weights.as_ref().and_then(|m| m.get(&poi_id));
+        if self.mode == AspectMode::Quantized {
+            gain.aspect +=
+                weight * p * quantized_aspect_gain(state, node, own, arc, &self.probs, weights);
+            return;
+        }
+        if let Some(own_c) = own {
+            // O(1) full-coverage short-circuit: if every bin the arc
+            // touches is an inner bin of the node's own set, the exact
+            // difference below is provably empty.
+            if own_c.inner.contains_all(AspectBits::outer_of_arc(arc)) {
+                return;
+            }
+        }
         scratch.region.assign_arc(arc);
-        let region = if let Some(own_set) = own {
-            scratch.region.difference_into(own_set, &mut scratch.novel);
+        let region = if let Some(own_c) = own {
+            scratch
+                .region
+                .difference_into(&own_c.set, &mut scratch.novel);
             &scratch.novel
         } else {
             &scratch.region
@@ -282,8 +456,6 @@ impl ExpectedEngine {
         if region.is_empty() {
             return;
         }
-        let poi_id = photodtn_coverage::PoiId(poi_index as u32);
-        let weights = self.aspect_weights.as_ref().and_then(|m| m.get(&poi_id));
         gain.aspect += weight
             * p
             * integrate_survival(
@@ -294,6 +466,47 @@ impl ExpectedEngine {
                 weights,
                 &mut scratch.cuts,
             );
+    }
+
+    /// Records one committed arc on `(node, poi_index)`, logging an undo
+    /// entry when a checkpoint is active — the single mutation path shared
+    /// by [`add_photo`](Self::add_photo) and
+    /// [`commit_indexed`](Self::commit_indexed).
+    fn commit_arc(&mut self, node: usize, poi_index: usize, arc: Arc, p: f64) {
+        let recording = self.base.is_some();
+        let state = &mut self.states[poi_index];
+        match state.coverers.iter().position(|c| c.node == node) {
+            Some(k) => {
+                if recording {
+                    self.undo.push(UndoOp::Extended {
+                        poi: poi_index as u32,
+                        idx: k as u32,
+                        prev_set: state.coverers[k].set.clone(),
+                        prev_rounded: state.coverers[k].rounded,
+                    });
+                }
+                let c = &mut state.coverers[k];
+                c.set.insert(arc);
+                c.inner = AspectBits::inner_of_set(&c.set);
+                c.rounded.insert_arc_rounded(arc);
+            }
+            None => {
+                if recording {
+                    self.undo.push(UndoOp::NewCoverer {
+                        poi: poi_index as u32,
+                        prev_survival: state.point_survival,
+                    });
+                }
+                let set = ArcSet::from_arc(arc);
+                state.coverers.push(Coverer {
+                    node,
+                    inner: AspectBits::inner_of_set(&set),
+                    rounded: AspectBits::rounded_of_arc(arc),
+                    set,
+                });
+                state.point_survival *= 1.0 - p;
+            }
+        }
     }
 
     /// Commits `meta` to `node`, returning the gain (identical to what
@@ -307,14 +520,7 @@ impl ExpectedEngine {
             let Some(arc) = meta.aspect_arc(&poi, self.params.effective_angle) else {
                 continue;
             };
-            let state = &mut self.states[id.index()];
-            match state.coverers.iter_mut().find(|(i, _)| *i == node) {
-                Some((_, set)) => set.insert(arc),
-                None => {
-                    state.coverers.push((node, ArcSet::from_arc(arc)));
-                    state.point_survival *= 1.0 - p;
-                }
-            }
+            self.commit_arc(node, id.index(), arc, p);
         }
         self.total += gain;
         gain
@@ -337,14 +543,7 @@ impl ExpectedEngine {
     ) -> Coverage {
         let p = self.probs[node];
         for e in cov.entries() {
-            let state = &mut self.states[e.poi.index()];
-            match state.coverers.iter_mut().find(|(i, _)| *i == node) {
-                Some((_, set)) => set.insert(e.arc),
-                None => {
-                    state.coverers.push((node, ArcSet::from_arc(e.arc)));
-                    state.point_survival *= 1.0 - p;
-                }
-            }
+            self.commit_arc(node, e.poi.index(), e.arc, p);
         }
         self.total += previewed;
         previewed
@@ -383,7 +582,7 @@ impl ExpectedEngine {
 /// *bitwise-identical* floats equal, so reordering "equal" elements cannot
 /// change the sequence.
 fn integrate_survival(
-    coverers: &[(usize, ArcSet)],
+    coverers: &[Coverer],
     node: usize,
     region: &ArcSet,
     probs: &[f64],
@@ -392,7 +591,7 @@ fn integrate_survival(
 ) -> f64 {
     // Fast path: no other coverer and uniform weights — survival is 1
     // everywhere on region.
-    if weights.is_none() && coverers.iter().all(|(i, _)| *i == node) {
+    if weights.is_none() && coverers.iter().all(|c| c.node == node) {
         return region.measure();
     }
     cuts.clear();
@@ -400,9 +599,9 @@ fn integrate_survival(
         cuts.push(lo);
         cuts.push(hi);
     }
-    for (i, set) in coverers {
-        if *i != node {
-            for (lo, hi) in set.iter() {
+    for c in coverers {
+        if c.node != node {
+            for (lo, hi) in c.set.iter() {
                 cuts.push(lo);
                 cuts.push(hi);
             }
@@ -426,11 +625,51 @@ fn integrate_survival(
         }
         let survival: f64 = coverers
             .iter()
-            .filter(|(i, set)| *i != node && set.contains(mid))
-            .map(|(i, _)| 1.0 - probs[*i])
+            .filter(|c| c.node != node && c.set.contains(mid))
+            .map(|c| 1.0 - probs[c.node])
             .product();
         let weight = weights.map_or(1.0, |w| w.weight_at(mid));
         integral += len * weight * survival;
+    }
+    integral
+}
+
+/// The quantized-mode aspect gain at one PoI:
+/// `Σ_{bin ∈ rounded(arc) \ rounded(own)} Δ · w(bin) · Π_{j ≠ node, bin ∈ rounded(S_j)} (1 − p_j)`.
+///
+/// All sets live in the same 128-bin quantization, so the novel region is
+/// one `AND NOT` and the no-other-coverer fast path is a popcount. With
+/// aspect weights, a bin's weight is sampled at its midpoint.
+fn quantized_aspect_gain(
+    state: &PoiState,
+    node: usize,
+    own: Option<&Coverer>,
+    arc: Arc,
+    probs: &[f64],
+    weights: Option<&AspectWeights>,
+) -> f64 {
+    let mut novel = AspectBits::rounded_of_arc(arc);
+    if let Some(own_c) = own {
+        novel = novel.minus(own_c.rounded);
+    }
+    if novel.is_empty() {
+        return 0.0;
+    }
+    if weights.is_none() && state.coverers.iter().all(|c| c.node == node) {
+        return novel.measure();
+    }
+    let mut integral = 0.0;
+    for bin in novel.iter_bins() {
+        let survival: f64 = state
+            .coverers
+            .iter()
+            .filter(|c| c.node != node && c.rounded.get(bin))
+            .map(|c| 1.0 - probs[c.node])
+            .product();
+        let weight = weights.map_or(1.0, |w| {
+            w.weight_at(Angle::from_radians((bin as f64 + 0.5) * ASPECT_BIN_WIDTH))
+        });
+        integral += ASPECT_BIN_WIDTH * weight * survival;
     }
     integral
 }
@@ -471,7 +710,9 @@ mod tests {
             (0.3, vec![shot(t0, 30.0), shot(t0, 90.0)]),
             (0.5, vec![shot(t1, 200.0)]),
         ];
-        let mut engine = ExpectedEngine::new(&pois(), params);
+        // Pin Exact: under `--features quantized-aspects` the default
+        // flips to Quantized, whose aspect totals differ by design.
+        let mut engine = ExpectedEngine::new(&pois(), params).with_aspect_mode(AspectMode::Exact);
         for (p, metas) in &plan {
             let n = engine.add_node(*p);
             engine.add_collection(n, metas.iter());
@@ -660,6 +901,138 @@ mod tests {
         let engine = ExpectedEngine::new_shared(StdArc::clone(&pois), CoverageParams::default());
         assert!(StdArc::ptr_eq(engine.pois_shared(), &pois));
         assert_eq!(engine.pois().len(), pois.len());
+    }
+
+    /// Bit-compares two engines by driving identical queries through them.
+    fn assert_same_behavior(a: &ExpectedEngine, b: &ExpectedEngine, probe: &[(usize, PhotoMeta)]) {
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.total().point.to_bits(), b.total().point.to_bits());
+        assert_eq!(a.total().aspect.to_bits(), b.total().aspect.to_bits());
+        for (node, meta) in probe {
+            let ga = a.gain_of(*node, meta);
+            let gb = b.gain_of(*node, meta);
+            assert_eq!(ga.point.to_bits(), gb.point.to_bits());
+            assert_eq!(ga.aspect.to_bits(), gb.aspect.to_bits());
+        }
+    }
+
+    #[test]
+    fn rollback_restores_checkpoint_bitwise() {
+        let params = CoverageParams::default();
+        let pois = pois();
+        let t0 = Point::new(0.0, 0.0);
+        let t1 = Point::new(500.0, 0.0);
+        let base_shots = [shot(t0, 90.0), shot(t1, 45.0)];
+
+        // Reference: the base layer alone.
+        let mut reference = ExpectedEngine::new(&pois, params);
+        let cc_ref = reference.add_node(1.0);
+        reference.add_collection(cc_ref, base_shots.iter());
+
+        // Checkpointed engine: base layer, checkpoint, then a noisy session
+        // touching both existing and new (node, poi) pairs.
+        let mut engine = ExpectedEngine::new(&pois, params);
+        let cc = engine.add_node(1.0);
+        engine.add_collection(cc, base_shots.iter());
+        engine.checkpoint();
+        for round in 0..3 {
+            let uploader = engine.add_node(0.7);
+            engine.add_photo(uploader, &shot(t0, 90.0)); // duplicate of base
+            engine.add_photo(uploader, &shot(t0, 200.0)); // new aspects
+            engine.add_photo(cc, &shot(t1, 300.0)); // extends a base coverer
+            engine.add_photo(uploader, &shot(t1, 300.0));
+            engine.rollback();
+            let probe = vec![
+                (cc, shot(t0, 123.0)),
+                (cc, shot(t1, 300.0)),
+                (cc, shot(t0, 90.0)),
+            ];
+            assert_same_behavior(&engine, &reference, &probe);
+            assert!(engine.has_checkpoint(), "checkpoint lost in round {round}");
+        }
+
+        // After rollback the engine must behave exactly like the reference
+        // when the session is replayed (commits included).
+        let ua = engine.add_node(0.4);
+        let ub = reference.add_node(0.4);
+        assert_eq!(ua, ub);
+        let ga = engine.add_photo(ua, &shot(t0, 10.0));
+        let gb = reference.add_photo(ub, &shot(t0, 10.0));
+        assert_eq!(ga.point.to_bits(), gb.point.to_bits());
+        assert_eq!(ga.aspect.to_bits(), gb.aspect.to_bits());
+    }
+
+    #[test]
+    fn checkpoint_rebases_on_current_state() {
+        let params = CoverageParams::default();
+        let pois = pois();
+        let t0 = Point::new(0.0, 0.0);
+        let mut engine = ExpectedEngine::new(&pois, params);
+        let cc = engine.add_node(1.0);
+        engine.checkpoint();
+        engine.add_photo(cc, &shot(t0, 90.0));
+        // Re-checkpoint absorbs the commit into the base …
+        engine.checkpoint();
+        let n = engine.add_node(0.5);
+        engine.add_photo(n, &shot(t0, 200.0));
+        engine.rollback();
+        // … so rollback keeps the first photo.
+        assert_eq!(engine.node_count(), 1);
+        assert!(engine.total().point > 0.0);
+        assert!(engine.gain_of(cc, &shot(t0, 90.0)).is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "rollback without an active checkpoint")]
+    fn rollback_without_checkpoint_panics() {
+        let mut engine = ExpectedEngine::new(&pois(), CoverageParams::default());
+        engine.rollback();
+    }
+
+    #[test]
+    fn reset_clears_checkpoint() {
+        let mut engine = ExpectedEngine::new(&pois(), CoverageParams::default());
+        engine.checkpoint();
+        assert!(engine.has_checkpoint());
+        engine.reset();
+        assert!(!engine.has_checkpoint());
+    }
+
+    #[test]
+    fn quantized_mode_close_to_exact() {
+        let params = CoverageParams::default();
+        let pois = pois();
+        let t0 = Point::new(0.0, 0.0);
+        let t1 = Point::new(500.0, 0.0);
+        let mut exact = ExpectedEngine::new(&pois, params).with_aspect_mode(AspectMode::Exact);
+        let mut quant = ExpectedEngine::new(&pois, params).with_aspect_mode(AspectMode::Quantized);
+        assert_eq!(quant.aspect_mode(), AspectMode::Quantized);
+        let shots = [
+            (1.0, shot(t0, 90.0)),
+            (0.7, shot(t0, 0.0)),
+            (0.7, shot(t1, 45.0)),
+            (0.3, shot(t0, 100.0)),
+            (0.5, shot(t1, 200.0)),
+        ];
+        // Aspect measures agree within a few bin widths per committed arc;
+        // point coverage (never quantized) stays bit-identical.
+        let tolerance = 4.0 * ASPECT_BIN_WIDTH;
+        for (p, meta) in &shots {
+            let ne = exact.add_node(*p);
+            let nq = quant.add_node(*p);
+            assert_eq!(ne, nq);
+            let ge = exact.add_photo(ne, meta);
+            let gq = quant.add_photo(nq, meta);
+            assert_eq!(ge.point.to_bits(), gq.point.to_bits());
+            assert!(
+                (ge.aspect - gq.aspect).abs() <= tolerance,
+                "aspect gain diverged beyond quantization tolerance: {} vs {}",
+                ge.aspect,
+                gq.aspect
+            );
+        }
+        assert_eq!(exact.total().point.to_bits(), quant.total().point.to_bits());
+        assert!((exact.total().aspect - quant.total().aspect).abs() <= 5.0 * tolerance);
     }
 
     #[test]

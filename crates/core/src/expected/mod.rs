@@ -38,7 +38,7 @@ pub mod enumerate;
 pub mod montecarlo;
 pub mod segment;
 
-pub use engine::ExpectedEngine;
+pub use engine::{AspectMode, ExpectedEngine};
 
 use photodtn_coverage::{PhotoId, PhotoMeta};
 

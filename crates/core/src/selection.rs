@@ -143,6 +143,10 @@ enum Strategy {
     /// Lazy greedy over precomputed [`PhotoCoverage`] lists with per-PoI
     /// generation tracking — the production path.
     LazyIndexed,
+    /// [`Strategy::LazyIndexed`] with coverage tables built through the
+    /// scalar reference path ([`PhotoCoverage::build_scalar`]) — the
+    /// pre-SIMD data path, kept as a benchmark baseline.
+    LazyIndexedScalar,
 }
 
 /// Runs the greedy reallocation with indexed lazy gain evaluation.
@@ -164,6 +168,16 @@ pub fn reallocate_naive(input: &SelectionInput<'_>) -> SelectionResult {
 #[must_use]
 pub fn reallocate_lazy_linear(input: &SelectionInput<'_>) -> SelectionResult {
     run(input, Strategy::LazyLinear, false)
+}
+
+/// Runs the indexed lazy greedy with coverage tables built through the
+/// scalar reference path ([`PhotoCoverage::build_scalar`]) instead of the
+/// batched prefilter — i.e. the full pre-SIMD data path. Kept as the
+/// benchmark baseline the batched/incremental speedups are gated against;
+/// bit-identical to [`reallocate`].
+#[must_use]
+pub fn reallocate_indexed_scalar(input: &SelectionInput<'_>) -> SelectionResult {
+    run(input, Strategy::LazyIndexedScalar, false)
 }
 
 /// Runs the greedy reallocation ranking candidates by **gain per byte**
@@ -221,12 +235,21 @@ fn run_with(
     // The contact-scoped coverage index: each pooled photo's (PoI, arc)
     // list, computed once through the spatial grid and reused across both
     // peers' selection phases and every gain evaluation within them.
-    let items: Vec<(Photo, PhotoCoverage)> = if strategy == Strategy::LazyIndexed {
-        pool.values()
+    let items: Vec<(Photo, PhotoCoverage)> = match strategy {
+        Strategy::LazyIndexed => pool
+            .values()
             .map(|p| (*p, PhotoCoverage::build(&p.meta, input.pois, input.params)))
-            .collect()
-    } else {
-        Vec::new()
+            .collect(),
+        Strategy::LazyIndexedScalar => pool
+            .values()
+            .map(|p| {
+                (
+                    *p,
+                    PhotoCoverage::build_scalar(&p.meta, input.pois, input.params),
+                )
+            })
+            .collect(),
+        Strategy::Naive | Strategy::LazyLinear => Vec::new(),
     };
     // Per-PoI "last changed at commit #" stamps, reused across phases.
     let mut poi_gen = vec![0u32; input.pois.len()];
@@ -249,7 +272,7 @@ fn run_with(
         match strategy {
             Strategy::Naive => select_naive(engine, peer, &pool, per_byte, stats),
             Strategy::LazyLinear => select_lazy_linear(engine, peer, &pool, per_byte, stats),
-            Strategy::LazyIndexed => {
+            Strategy::LazyIndexed | Strategy::LazyIndexedScalar => {
                 select_lazy_indexed(engine, peer, &items, per_byte, &mut poi_gen, stats)
             }
         }
@@ -292,6 +315,10 @@ pub struct SelectionSession {
     engine: ExpectedEngine,
     poi_gen: Vec<u32>,
     items: Vec<(Photo, Arc<PhotoCoverage>)>,
+    /// Signature of the checkpointed third-party base: `(delivery-prob
+    /// bits, photo ids)` per other node, in commit order. Empty when no
+    /// base is checkpointed (first contact, or id-less records).
+    base_sig: Vec<(u64, Vec<PhotoId>)>,
 }
 
 impl SelectionSession {
@@ -303,7 +330,20 @@ impl SelectionSession {
             engine: ExpectedEngine::new_shared(pois, params),
             poi_gen,
             items: Vec::new(),
+            base_sig: Vec::new(),
         }
+    }
+
+    /// Whether the checkpointed third-party base can serve this contact:
+    /// same nodes, same probabilities, same photo id sequences. Ids
+    /// determine coverage (metadata is immutable), so an exact signature
+    /// match makes rollback bit-identical to a rebuild.
+    fn base_matches(&self, others: &[DeliveryNode]) -> bool {
+        self.engine.has_checkpoint()
+            && self.base_sig.len() == others.len()
+            && self.base_sig.iter().zip(others).all(|((prob, ids), o)| {
+                o.delivery_prob.to_bits() == *prob && o.ids.as_deref() == Some(ids.as_slice())
+            })
     }
 
     /// The shared handle to the session's PoI list, for callers that must
@@ -337,21 +377,42 @@ impl SelectionSession {
             self.poi_gen.len(),
             "session used with a different world"
         );
-        self.engine.reset();
-        for other in &input.others {
-            let n = self.engine.add_node(other.delivery_prob);
-            match &other.ids {
-                // Ids known: commit through the indexed path on cached
-                // tables (bit-identical to the metadata scan).
-                Some(ids) => {
-                    for (id, meta) in ids.iter().zip(&other.metas) {
-                        let cov = coverage(*id, meta);
-                        self.engine.add_photo_indexed(n, &cov);
+        // The committed third-party base is kept behind an engine
+        // checkpoint. When this contact's `others` exactly match the
+        // checkpointed base (nodes, probabilities, id sequences),
+        // rollback discards the previous contact's peer commits and
+        // reuses the base bitwise; otherwise rebuild and re-checkpoint.
+        if self.base_matches(&input.others) {
+            self.engine.rollback();
+        } else {
+            self.engine.reset();
+            self.base_sig.clear();
+            let mut id_complete = true;
+            for other in &input.others {
+                let n = self.engine.add_node(other.delivery_prob);
+                match &other.ids {
+                    // Ids known: commit through the indexed path on cached
+                    // tables (bit-identical to the metadata scan).
+                    Some(ids) => {
+                        for (id, meta) in ids.iter().zip(&other.metas) {
+                            let cov = coverage(*id, meta);
+                            self.engine.add_photo_indexed(n, &cov);
+                        }
+                        self.base_sig
+                            .push((other.delivery_prob.to_bits(), ids.clone()));
+                    }
+                    None => {
+                        self.engine.add_collection(n, other.metas.iter());
+                        id_complete = false;
                     }
                 }
-                None => {
-                    self.engine.add_collection(n, other.metas.iter());
-                }
+            }
+            // Id-less records cannot be signature-checked, so such a base
+            // is never reused.
+            if id_complete {
+                self.engine.checkpoint();
+            } else {
+                self.base_sig.clear();
             }
         }
 

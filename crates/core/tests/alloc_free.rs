@@ -146,3 +146,85 @@ fn gain_evaluation_is_allocation_free_when_warm() {
 
     assert!(acc.is_finite());
 }
+
+#[test]
+fn batched_candidate_scratch_is_allocation_free_when_warm() {
+    // The SIMD prefilter gathers per-photo candidates into thread-local
+    // SoA scratch buffers. Once a first pass has sized them, the whole
+    // steady-state gather + prefilter cycle (what `PhotoCoverage::build`
+    // runs per photo) must never touch the heap.
+    use photodtn_coverage::batch::{sector_prefilter, with_scratch, SectorKernel};
+    let (_, metas) = world();
+    // Source lanes standing in for the grid's per-cell candidate slices.
+    let n = 600usize;
+    let items_src: Vec<u32> = (0..n as u32).collect();
+    let xs_src: Vec<f32> = (0..n).map(|i| (i as f32 * 7.3) % 800.0 - 400.0).collect();
+    let ys_src: Vec<f32> = (0..n).map(|i| (i as f32 * 3.1) % 800.0 - 400.0).collect();
+    let gather = |s: &mut photodtn_coverage::batch::BatchScratch, kernel: &SectorKernel| {
+        // several extends, like a bbox spanning several grid cells
+        for (chunk_i, chunk_x) in items_src.chunks(37).zip(xs_src.chunks(37)) {
+            s.items.extend_from_slice(chunk_i);
+            s.xs.extend_from_slice(chunk_x);
+        }
+        for chunk_y in ys_src.chunks(37) {
+            s.ys.extend_from_slice(chunk_y);
+        }
+        s.keep.resize(s.items.len(), 0);
+        sector_prefilter(kernel, &s.xs, &s.ys, &mut s.keep);
+        s.keep.iter().map(|&k| u64::from(k)).sum::<u64>()
+    };
+    let kernels: Vec<SectorKernel> = metas
+        .iter()
+        .map(|m| SectorKernel::new(&m.sector()))
+        .collect();
+    // warm-up sizes the scratch to the largest candidate set
+    let mut kept = with_scratch(|s| gather(s, &kernels[0]));
+    let scratch_allocs = measured(|| {
+        for _ in 0..50 {
+            for kernel in &kernels {
+                kept += with_scratch(|s| gather(s, kernel));
+            }
+        }
+    });
+    assert!(kept > 0, "prefilter must keep some candidates");
+    assert_eq!(
+        scratch_allocs, 0,
+        "warm SoA scratch allocated {scratch_allocs} times in steady state"
+    );
+}
+
+#[test]
+fn quantized_gain_path_is_allocation_free_when_warm() {
+    // The bitset-based aspect gain (Quantized mode) must stay on the
+    // stack: the per-bin survival loop walks fixed-width AspectBits with
+    // no interval buffers at all.
+    use photodtn_core::expected::AspectMode;
+    let (pois, metas) = world();
+    let params = CoverageParams::default();
+    let covs: Vec<PhotoCoverage> = metas
+        .iter()
+        .map(|m| PhotoCoverage::build(m, &pois, params))
+        .collect();
+    let mut engine = ExpectedEngine::new(&pois, params).with_aspect_mode(AspectMode::Quantized);
+    let relay = engine.add_node(0.6);
+    for cov in covs.iter().take(8) {
+        engine.add_photo_indexed(relay, cov);
+    }
+    let probe = engine.add_node(0.4);
+    for cov in &covs {
+        let _ = engine.gain_of_indexed(probe, cov);
+    }
+    let mut acc = 0.0;
+    let quantized_allocs = measured(|| {
+        for _ in 0..50 {
+            for cov in &covs {
+                acc += engine.gain_of_indexed(probe, cov).aspect;
+            }
+        }
+    });
+    assert_eq!(
+        quantized_allocs, 0,
+        "quantized gain_of_indexed allocated {quantized_allocs} times in steady state"
+    );
+    assert!(acc.is_finite());
+}

@@ -9,7 +9,7 @@ use photodtn_contacts::NodeId;
 use photodtn_core::expected::enumerate::expected_coverage_enumerate;
 use photodtn_core::expected::montecarlo::expected_coverage_montecarlo;
 use photodtn_core::expected::segment::expected_coverage_exact;
-use photodtn_core::expected::{DeliveryNode, ExpectedEngine};
+use photodtn_core::expected::{AspectMode, DeliveryNode, ExpectedEngine};
 use photodtn_core::selection::{
     reallocate, reallocate_lazy_linear, reallocate_naive, PeerState, SelectionInput,
 };
@@ -71,7 +71,10 @@ proptest! {
     #[test]
     fn engine_equals_segment(nodes in arb_nodes()) {
         let params = CoverageParams::default();
-        let mut engine = ExpectedEngine::new(&pois(), params);
+        // Pin Exact: this equivalence is the exact-arithmetic contract,
+        // and `quantized-aspects` flips the engine's default mode.
+        let mut engine = ExpectedEngine::new(&pois(), params)
+            .with_aspect_mode(AspectMode::Exact);
         for n in &nodes {
             let h = engine.add_node(n.delivery_prob);
             engine.add_collection(h, n.metas.iter());

@@ -1,0 +1,240 @@
+//! Batched, SIMD-friendly sector containment prefilter.
+//!
+//! [`PhotoCoverage::build`](crate::PhotoCoverage::build) must decide, for
+//! every candidate PoI the grid yields, whether it lies inside the photo
+//! sector. The exact test ([`Sector::contains`]) costs an `atan2` per
+//! candidate; on the selection hot path that trigonometry dominates the
+//! whole coverage-table build.
+//!
+//! This module replaces the per-candidate trigonometry with a two-phase
+//! test:
+//!
+//! 1. **Conservative `f32` prefilter** ([`sector_prefilter`]): candidates
+//!    are gathered into flat structure-of-arrays `f32` lanes (built once
+//!    per [`PoiList`](crate::PoiList), sliced per grid cell) and tested
+//!    eight at a time with a branch-free, autovectorizable loop. The
+//!    field-of-view check uses a dot-product comparison (`cos` is
+//!    monotone on `[0, π]`), so no `atan2` at all. Slack margins make the
+//!    filter *conservative*: every point the exact test accepts passes
+//!    the prefilter (no false negatives), verified by property tests.
+//! 2. **Exact `f64` re-test**: survivors run the unchanged
+//!    [`Sector::contains`] in the original candidate order, so the
+//!    resulting entries are bit-for-bit identical to the scalar path.
+//!
+//! The kernel is `#[inline(never)]` so its machine code can be inspected
+//! (`objdump`/`perf`) and benchmarked in isolation
+//! (`cargo bench -p photodtn-bench --bench simd_kernel`).
+
+use std::cell::RefCell;
+
+use photodtn_geo::Sector;
+
+/// Lane width of the batched kernel: candidates are processed in chunks of
+/// eight `f32` values (one AVX2 register; two NEON registers).
+pub const LANES: usize = 8;
+
+/// Absolute slack (meters, in dot-product space) of the conservative
+/// field-of-view test. Covers the `f64→f32` coordinate conversion error for
+/// coordinates up to ~10⁶ m with two orders of magnitude to spare.
+const SLACK_ABS: f32 = 1.0;
+
+/// Relative slack of the conservative field-of-view test.
+const SLACK_REL: f32 = 1e-4;
+
+/// Precomputed per-sector constants of the prefilter kernel.
+#[derive(Clone, Copy, Debug)]
+pub struct SectorKernel {
+    apex_x: f32,
+    apex_y: f32,
+    /// `r²` padded by the conservative range slack.
+    r_sq_pad: f32,
+    cos_dir: f32,
+    sin_dir: f32,
+    /// `cos(fov/2)` minus the relative slack; the FoV test accepts when
+    /// `dot ≥ ch_eff·dist − SLACK_ABS`.
+    ch_eff: f32,
+}
+
+impl SectorKernel {
+    /// Builds the kernel constants for one photo sector.
+    #[must_use]
+    pub fn new(sector: &Sector) -> Self {
+        let apex = sector.apex();
+        let r = sector.range();
+        let half = sector.fov().radians() / 2.0;
+        SectorKernel {
+            apex_x: apex.x as f32,
+            apex_y: apex.y as f32,
+            r_sq_pad: (r * r * (1.0 + 1e-4) + r + 1.0) as f32,
+            cos_dir: sector.orientation().cos() as f32,
+            sin_dir: sector.orientation().sin() as f32,
+            ch_eff: half.cos() as f32 - SLACK_REL,
+        }
+    }
+
+    /// The conservative containment test of one lane. Branch-free; `true`
+    /// whenever the exact [`Sector::contains`] would be `true` (and for a
+    /// thin slack margin around the sector boundary).
+    #[inline(always)]
+    fn lane(&self, x: f32, y: f32) -> bool {
+        let dx = x - self.apex_x;
+        let dy = y - self.apex_y;
+        let dsq = dx * dx + dy * dy;
+        let dot = dx * self.cos_dir + dy * self.sin_dir;
+        let dist = dsq.sqrt();
+        (dsq <= self.r_sq_pad) & (dot >= self.ch_eff * dist - SLACK_ABS)
+    }
+}
+
+/// Runs the conservative sector prefilter over flat coordinate lanes,
+/// writing `1` into `keep[i]` when candidate `i` may lie inside the sector
+/// and `0` when it provably does not.
+///
+/// The main loop processes [`LANES`] candidates per iteration over
+/// fixed-size array views, which LLVM autovectorizes (no unstable
+/// intrinsics involved); the tail runs the same lane test scalar.
+///
+/// # Panics
+///
+/// Panics if the three slices have different lengths.
+#[inline(never)]
+pub fn sector_prefilter(kernel: &SectorKernel, xs: &[f32], ys: &[f32], keep: &mut [u8]) {
+    assert!(xs.len() == ys.len() && xs.len() == keep.len());
+    let chunks = xs
+        .chunks_exact(LANES)
+        .zip(ys.chunks_exact(LANES))
+        .zip(keep.chunks_exact_mut(LANES));
+    for ((xc, yc), kc) in chunks {
+        // Fixed-size views let the compiler drop bounds checks and emit
+        // one vectorized block for the eight lanes.
+        let xc: &[f32; LANES] = xc.try_into().unwrap();
+        let yc: &[f32; LANES] = yc.try_into().unwrap();
+        let kc: &mut [u8; LANES] = kc.try_into().unwrap();
+        for j in 0..LANES {
+            kc[j] = u8::from(kernel.lane(xc[j], yc[j]));
+        }
+    }
+    let tail = xs.len() - xs.len() % LANES;
+    for j in tail..xs.len() {
+        keep[j] = u8::from(kernel.lane(xs[j], ys[j]));
+    }
+}
+
+/// Reusable structure-of-arrays candidate buffers of the batched build:
+/// the per-photo candidate set gathered from the grid cells, plus the
+/// kernel's output mask.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    /// Dense PoI indices of the candidates, in grid (row-major cell) order.
+    pub items: Vec<u32>,
+    /// `f32` coordinate lanes aligned with `items`.
+    pub xs: Vec<f32>,
+    /// `f32` coordinate lanes aligned with `items`.
+    pub ys: Vec<f32>,
+    /// Kernel output: `keep[i] != 0` ⇒ candidate `i` needs the exact test.
+    pub keep: Vec<u8>,
+}
+
+impl BatchScratch {
+    /// Empties the candidate buffers, keeping their allocations.
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.xs.clear();
+        self.ys.clear();
+        self.keep.clear();
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<BatchScratch> = RefCell::new(BatchScratch::default());
+}
+
+/// Runs `f` with the thread-local [`BatchScratch`], cleared. The buffers
+/// keep their capacity across calls, so steady-state coverage builds do
+/// not allocate for candidate gathering (pinned by the `alloc_free` test).
+pub fn with_scratch<R>(f: impl FnOnce(&mut BatchScratch) -> R) -> R {
+    SCRATCH.with(|s| {
+        let mut s = s.borrow_mut();
+        s.clear();
+        f(&mut s)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photodtn_geo::{Angle, Point};
+
+    fn sector(x: f64, y: f64, r: f64, fov_deg: f64, dir_deg: f64) -> Sector {
+        Sector::new(
+            Point::new(x, y),
+            r,
+            Angle::from_degrees(fov_deg),
+            Angle::from_degrees(dir_deg),
+        )
+    }
+
+    /// The one property everything rests on: the prefilter never rejects a
+    /// point the exact test accepts.
+    #[test]
+    fn prefilter_has_no_false_negatives() {
+        let sectors = [
+            sector(0.0, 0.0, 100.0, 60.0, 0.0),
+            sector(-250.0, 400.0, 300.0, 45.0, 200.0),
+            sector(1e5, -1e5, 500.0, 359.0, 90.0),
+            sector(3.0, 4.0, 0.0, 90.0, 0.0),
+            sector(10.0, 10.0, 50.0, 0.0, 180.0),
+        ];
+        for s in &sectors {
+            let k = SectorKernel::new(s);
+            let apex = s.apex();
+            let mut xs = Vec::new();
+            let mut ys = Vec::new();
+            let mut pts = Vec::new();
+            // a dense polar sweep around the apex, crossing both boundaries
+            for ring in 0..20 {
+                let d = s.range() * f64::from(ring) / 16.0 + 0.01;
+                for step in 0..72 {
+                    let a = f64::from(step) * 5f64.to_radians();
+                    let p = Point::new(apex.x + d * a.cos(), apex.y + d * a.sin());
+                    xs.push(p.x as f32);
+                    ys.push(p.y as f32);
+                    pts.push(p);
+                }
+            }
+            let mut keep = vec![0u8; xs.len()];
+            sector_prefilter(&k, &xs, &ys, &mut keep);
+            for (i, p) in pts.iter().enumerate() {
+                if s.contains(*p) {
+                    assert!(keep[i] != 0, "false negative at {p:?} for {s} (lane {i})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tail_lanes_match_full_chunks() {
+        let s = sector(0.0, 0.0, 200.0, 90.0, 45.0);
+        let k = SectorKernel::new(&s);
+        let xs: Vec<f32> = (0..13).map(|i| i as f32 * 20.0 - 60.0).collect();
+        let ys: Vec<f32> = (0..13).map(|i| i as f32 * 15.0 - 30.0).collect();
+        let mut keep = vec![0u8; 13];
+        sector_prefilter(&k, &xs, &ys, &mut keep);
+        for i in 0..13 {
+            let expect = u8::from(k.lane(xs[i], ys[i]));
+            assert_eq!(keep[i], expect, "lane {i} diverged between paths");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_keeps_capacity() {
+        with_scratch(|s| {
+            s.items.extend_from_slice(&[1, 2, 3]);
+            s.xs.extend_from_slice(&[0.0; 3]);
+        });
+        with_scratch(|s| {
+            assert!(s.items.is_empty());
+            assert!(s.items.capacity() >= 3);
+        });
+    }
+}

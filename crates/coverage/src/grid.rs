@@ -63,8 +63,55 @@ pub struct PhotoCoverage {
 impl PhotoCoverage {
     /// Computes the coverage list of `meta` over `pois`, querying only the
     /// grid cells intersecting the photo sector's bounding box.
+    ///
+    /// Candidates are gathered into flat SoA lanes and screened by the
+    /// batched conservative prefilter ([`crate::batch`]); only survivors
+    /// run the exact `f64` containment test, in the original grid order,
+    /// so the result is bit-for-bit identical to
+    /// [`build_scalar`](Self::build_scalar).
     #[must_use]
     pub fn build(meta: &PhotoMeta, pois: &PoiList, params: CoverageParams) -> Self {
+        let sector = meta.sector();
+        let bbox = sector.bbox();
+        let kernel = crate::batch::SectorKernel::new(&sector);
+        let entries = crate::batch::with_scratch(|scratch| {
+            for c in pois.bbox_cells(&bbox) {
+                let (items, xs, ys) = pois.cell_slices(c);
+                scratch.items.extend_from_slice(items);
+                scratch.xs.extend_from_slice(xs);
+                scratch.ys.extend_from_slice(ys);
+            }
+            scratch.keep.resize(scratch.items.len(), 0);
+            crate::batch::sector_prefilter(&kernel, &scratch.xs, &scratch.ys, &mut scratch.keep);
+            let mut entries = Vec::new();
+            for (&i, &keep) in scratch.items.iter().zip(&scratch.keep) {
+                if keep == 0 {
+                    continue;
+                }
+                let p = pois.by_index(i);
+                if sector.contains(p.location) {
+                    entries.push(CoverageEntry {
+                        poi: p.id,
+                        weight: p.weight,
+                        // Identical to `meta.aspect_arc(p, θ)` for a
+                        // contained PoI.
+                        arc: Arc::centered(
+                            sector.viewing_direction(p.location),
+                            params.effective_angle,
+                        ),
+                    });
+                }
+            }
+            entries
+        });
+        PhotoCoverage { entries }
+    }
+
+    /// The scalar reference build: the pre-SIMD data path, kept as the
+    /// bit-exact oracle for the batched [`build`](Self::build) (property
+    /// tests assert equality) and as the baseline of `bench_selection`.
+    #[must_use]
+    pub fn build_scalar(meta: &PhotoMeta, pois: &PoiList, params: CoverageParams) -> Self {
         let sector = meta.sector();
         let bbox = sector.bbox();
         let entries = pois
@@ -73,7 +120,6 @@ impl PhotoCoverage {
             .map(|p| CoverageEntry {
                 poi: p.id,
                 weight: p.weight,
-                // Identical to `meta.aspect_arc(p, θ)` for a contained PoI.
                 arc: Arc::centered(sector.viewing_direction(p.location), params.effective_angle),
             })
             .collect();

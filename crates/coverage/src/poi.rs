@@ -93,8 +93,17 @@ pub struct PoiList {
     /// Grid dimensions.
     nx: usize,
     ny: usize,
-    /// `grid[cy * nx + cx]` = indices of PoIs in that cell.
-    grid: Vec<Vec<u32>>,
+    /// CSR offsets: cell `c` holds the PoI indices
+    /// `cell_items[cell_start[c]..cell_start[c + 1]]`.
+    cell_start: Vec<u32>,
+    /// PoI indices in row-major cell order (insertion order within a cell).
+    cell_items: Vec<u32>,
+    /// `f32` coordinate lanes aligned with `cell_items` — the SoA input of
+    /// the batched sector prefilter ([`crate::batch`]). `f32` is only ever
+    /// a conservative prefilter; every exact test runs on the `f64`
+    /// locations in `pois`.
+    lane_x: Vec<f32>,
+    lane_y: Vec<f32>,
 }
 
 /// Grid cells target roughly this many PoIs per cell.
@@ -125,7 +134,10 @@ impl PoiList {
                 origin: Point::new(0.0, 0.0),
                 nx: 1,
                 ny: 1,
-                grid: vec![Vec::new()],
+                cell_start: vec![0, 0],
+                cell_items: Vec::new(),
+                lane_x: Vec::new(),
+                lane_y: Vec::new(),
             };
         }
         let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
@@ -142,12 +154,33 @@ impl PoiList {
         let cell = ((w * h) / cells).sqrt().max(1.0);
         let nx = (w / cell).ceil() as usize + 1;
         let ny = (h / cell).ceil() as usize + 1;
-        let mut grid = vec![Vec::new(); nx * ny];
         let origin = Point::new(min_x, min_y);
-        for (i, p) in pois.iter().enumerate() {
+        let cell_of = |p: &Poi| {
             let cx = ((p.location.x - origin.x) / cell) as usize;
             let cy = ((p.location.y - origin.y) / cell) as usize;
-            grid[cy.min(ny - 1) * nx + cx.min(nx - 1)].push(i as u32);
+            cy.min(ny - 1) * nx + cx.min(nx - 1)
+        };
+        // Counting sort into CSR form: two passes preserve the insertion
+        // order within each cell, which the order-determinism contract of
+        // `in_bbox` depends on.
+        let mut cell_start = vec![0u32; nx * ny + 1];
+        for p in &pois {
+            cell_start[cell_of(p) + 1] += 1;
+        }
+        for c in 1..cell_start.len() {
+            cell_start[c] += cell_start[c - 1];
+        }
+        let mut cursor: Vec<u32> = cell_start[..nx * ny].to_vec();
+        let mut cell_items = vec![0u32; pois.len()];
+        let mut lane_x = vec![0f32; pois.len()];
+        let mut lane_y = vec![0f32; pois.len()];
+        for (i, p) in pois.iter().enumerate() {
+            let slot = &mut cursor[cell_of(p)];
+            let k = *slot as usize;
+            cell_items[k] = i as u32;
+            lane_x[k] = p.location.x as f32;
+            lane_y[k] = p.location.y as f32;
+            *slot += 1;
         }
         PoiList {
             pois,
@@ -155,7 +188,10 @@ impl PoiList {
             origin,
             nx,
             ny,
-            grid,
+            cell_start,
+            cell_items,
+            lane_x,
+            lane_y,
         }
     }
 
@@ -200,6 +236,14 @@ impl PoiList {
     /// keep floating-point accumulation order (and thus selection results)
     /// identical to the scan it replaces.
     pub fn in_bbox(&self, bbox: &photodtn_geo::BBox) -> impl Iterator<Item = &Poi> {
+        self.bbox_cells(bbox)
+            .flat_map(move |c| self.cell_slices(c).0)
+            .map(move |&i| &self.pois[i as usize])
+    }
+
+    /// Row-major indices of the grid cells intersecting `bbox` — the one
+    /// global cell order every candidate query walks.
+    pub(crate) fn bbox_cells(&self, bbox: &photodtn_geo::BBox) -> impl Iterator<Item = usize> + '_ {
         let lo_x = ((bbox.min.x - self.origin.x) / self.cell).floor().max(0.0) as usize;
         let lo_y = ((bbox.min.y - self.origin.y) / self.cell).floor().max(0.0) as usize;
         let hi_x =
@@ -208,9 +252,27 @@ impl PoiList {
             (((bbox.max.y - self.origin.y) / self.cell).floor().max(0.0) as usize).min(self.ny - 1);
         (lo_y..=hi_y.max(lo_y))
             .flat_map(move |cy| (lo_x..=hi_x.max(lo_x)).map(move |cx| cy * self.nx + cx))
-            .filter_map(move |c| self.grid.get(c))
-            .flatten()
-            .map(move |&i| &self.pois[i as usize])
+    }
+
+    /// The PoI indices of cell `c` plus the aligned `f32` coordinate lanes,
+    /// all three sliced over the same CSR range. Empty slices for an
+    /// out-of-range cell index (a clamped query box can step past the last
+    /// row, exactly like the old `grid.get(c)` lookup tolerated).
+    pub(crate) fn cell_slices(&self, c: usize) -> (&[u32], &[f32], &[f32]) {
+        let (Some(&lo), Some(&hi)) = (self.cell_start.get(c), self.cell_start.get(c + 1)) else {
+            return (&[], &[], &[]);
+        };
+        let (lo, hi) = (lo as usize, hi as usize);
+        (
+            &self.cell_items[lo..hi],
+            &self.lane_x[lo..hi],
+            &self.lane_y[lo..hi],
+        )
+    }
+
+    /// The PoI at dense index `i` (the index stored in the CSR cells).
+    pub(crate) fn by_index(&self, i: u32) -> &Poi {
+        &self.pois[i as usize]
     }
 
     /// PoIs within `radius` meters of `center`, via the grid index.
@@ -219,26 +281,12 @@ impl PoiList {
     /// coverage range `radius`; the caller still applies the field-of-view
     /// test.
     pub fn in_disc(&self, center: Point, radius: f64) -> impl Iterator<Item = &Poi> {
-        let lo_x = ((center.x - radius - self.origin.x) / self.cell)
-            .floor()
-            .max(0.0) as usize;
-        let lo_y = ((center.y - radius - self.origin.y) / self.cell)
-            .floor()
-            .max(0.0) as usize;
-        let hi_x = (((center.x + radius - self.origin.x) / self.cell)
-            .floor()
-            .max(0.0) as usize)
-            .min(self.nx - 1);
-        let hi_y = (((center.y + radius - self.origin.y) / self.cell)
-            .floor()
-            .max(0.0) as usize)
-            .min(self.ny - 1);
+        let bbox = photodtn_geo::BBox::new(
+            Point::new(center.x - radius, center.y - radius),
+            Point::new(center.x + radius, center.y + radius),
+        );
         let r_sq = radius * radius;
-        (lo_y..=hi_y.max(lo_y))
-            .flat_map(move |cy| (lo_x..=hi_x.max(lo_x)).map(move |cx| cy * self.nx + cx))
-            .filter_map(move |c| self.grid.get(c))
-            .flatten()
-            .map(move |&i| &self.pois[i as usize])
+        self.in_bbox(&bbox)
             .filter(move |p| p.location.distance_sq(center) <= r_sq)
     }
 }

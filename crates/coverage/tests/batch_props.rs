@@ -1,0 +1,116 @@
+//! Property tests for the batched (SIMD-prefiltered) coverage build: it
+//! must be **bit-for-bit identical** to the scalar reference path on any
+//! world — same PoIs, same order, same `f64` arc endpoints — because the
+//! determinism dumps and every bitwise selection pin rest on that
+//! equality. Also pins the prefilter's one-sided contract directly: it
+//! may keep extra candidates, never drop a covered one.
+
+use photodtn_coverage::batch::{sector_prefilter, SectorKernel};
+use photodtn_coverage::{CoverageParams, PhotoCoverage, PhotoMeta, Poi, PoiList};
+use photodtn_geo::{Angle, Point};
+use proptest::prelude::*;
+
+/// Worlds up to metropolitan scale (±10⁶ m): the conservative `f32`
+/// slack margins of the prefilter are derived for this coordinate range.
+fn arb_world(scale: f64) -> impl Strategy<Value = (PoiList, Vec<PhotoMeta>)> {
+    let pois = prop::collection::vec((-scale..scale, -scale..scale, 0.1..3.0f64), 0..60);
+    let metas = prop::collection::vec(
+        (
+            -scale..scale,
+            -scale..scale,
+            0.0..360.0f64,
+            0.0..360.0f64,
+            0.0..500.0f64,
+        ),
+        1..8,
+    );
+    (pois, metas).prop_map(|(pts, shots)| {
+        let pois = PoiList::new(
+            pts.into_iter()
+                .enumerate()
+                .map(|(i, (x, y, w))| Poi::with_weight(i as u32, Point::new(x, y), w))
+                .collect(),
+        );
+        let metas = shots
+            .into_iter()
+            .map(|(x, y, fov, dir, r)| {
+                PhotoMeta::new(
+                    Point::new(x, y),
+                    r,
+                    Angle::from_degrees(fov),
+                    Angle::from_degrees(dir),
+                )
+            })
+            .collect();
+        (pois, metas)
+    })
+}
+
+fn assert_builds_identical(pois: &PoiList, metas: &[PhotoMeta]) -> Result<(), TestCaseError> {
+    let params = CoverageParams::default();
+    for meta in metas {
+        let batched = PhotoCoverage::build(meta, pois, params);
+        let scalar = PhotoCoverage::build_scalar(meta, pois, params);
+        prop_assert_eq!(
+            batched.len(),
+            scalar.len(),
+            "entry counts diverged for {:?}",
+            meta
+        );
+        for (b, s) in batched.entries().iter().zip(scalar.entries()) {
+            prop_assert_eq!(b.poi, s.poi);
+            prop_assert_eq!(b.weight.to_bits(), s.weight.to_bits());
+            prop_assert_eq!(
+                b.arc.start().radians().to_bits(),
+                s.arc.start().radians().to_bits(),
+                "arc start not bit-identical at poi {:?}",
+                b.poi
+            );
+            prop_assert_eq!(b.arc.width().to_bits(), s.arc.width().to_bits());
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn batched_build_bit_identical_to_scalar((pois, metas) in arb_world(900.0)) {
+        assert_builds_identical(&pois, &metas)?;
+    }
+
+    #[test]
+    fn batched_build_bit_identical_at_large_coordinates((pois, metas) in arb_world(1e6)) {
+        // The f32 lanes lose precision out here; the conservative slack
+        // must absorb it so the exact f64 re-test still sees every
+        // candidate.
+        assert_builds_identical(&pois, &metas)?;
+    }
+
+    #[test]
+    fn prefilter_never_drops_a_covered_candidate(
+        (pois, metas) in arb_world(900.0),
+    ) {
+        // The one-sided contract, tested against the exact sector test
+        // directly (not through the grid): keep[i] == 0 implies the exact
+        // test rejects too.
+        for meta in &metas {
+            let sector = meta.sector();
+            let kernel = SectorKernel::new(&sector);
+            let xs: Vec<f32> = pois.iter().map(|p| p.location.x as f32).collect();
+            let ys: Vec<f32> = pois.iter().map(|p| p.location.y as f32).collect();
+            let mut keep = vec![0u8; xs.len()];
+            sector_prefilter(&kernel, &xs, &ys, &mut keep);
+            for (p, &k) in pois.iter().zip(&keep) {
+                if sector.contains(p.location) {
+                    prop_assert!(
+                        k != 0,
+                        "prefilter dropped covered PoI {:?} of {:?}",
+                        p.id, meta
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,370 @@
+use std::fmt;
+
+use crate::{Arc, ArcSet, ANGLE_EPS, TAU};
+
+/// Number of fixed-width aspect bins the circle is divided into.
+pub const ASPECT_BINS: usize = 128;
+
+/// Angular width of one aspect bin, `2π / 128` radians (≈ 2.8°).
+pub const ASPECT_BIN_WIDTH: f64 = TAU / ASPECT_BINS as f64;
+
+/// A fixed-width bitset over [`ASPECT_BINS`] equal aspect bins of the
+/// circle: bin `k` is the half-open interval `[k·Δ, (k+1)·Δ)` with
+/// `Δ =` [`ASPECT_BIN_WIDTH`].
+///
+/// Union, difference and measure are O(1) word operations, which is what
+/// makes the quantized aspect-coverage path of the expected-coverage
+/// engine cheap. Three quantizations of the same angular set are used,
+/// with different guarantees:
+///
+/// * **Rounded** ([`insert_arc_rounded`](Self::insert_arc_rounded)):
+///   interval endpoints are rounded to the *nearest* bin boundary
+///   (half-up, via [`f64::round`]). Measure error per maximal interval is
+///   at most one bin width; this is the representation the quantized
+///   engine mode computes with.
+/// * **Outer** ([`outer_of_arc`](Self::outer_of_arc)): every bin that
+///   intersects the set is included, so the exact set is a subset of the
+///   bins. An over-approximation.
+/// * **Inner** ([`inner_of_set`](Self::inner_of_set)): only bins lying
+///   entirely inside the set *with a safety margin* are included, so the
+///   bins (dilated by the margin) are a subset of the exact set. An
+///   under-approximation.
+///
+/// `outer(A) ⊆ inner(B)` therefore proves `A ⊆ B` exactly (up to the
+/// margin), which the engine uses as an O(1) "arc already fully covered"
+/// short-circuit that cannot change exact-mode results.
+///
+/// # Example
+///
+/// ```
+/// use photodtn_geo::{Angle, Arc, AspectBits};
+/// let mut bits = AspectBits::new();
+/// bits.insert_arc_rounded(Arc::centered(Angle::ZERO, Angle::from_degrees(45.0)));
+/// assert!((bits.measure().to_degrees() - 90.0).abs() < 3.0);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq)]
+pub struct AspectBits {
+    words: [u64; 2],
+}
+
+impl AspectBits {
+    /// The empty bitset.
+    #[must_use]
+    pub fn new() -> Self {
+        AspectBits { words: [0; 2] }
+    }
+
+    /// The full circle (all bins set).
+    #[must_use]
+    pub fn full() -> Self {
+        AspectBits { words: [!0; 2] }
+    }
+
+    /// Whether no bin is set.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.words == [0; 2]
+    }
+
+    /// Clears all bins.
+    pub fn clear(&mut self) {
+        self.words = [0; 2];
+    }
+
+    /// Number of set bins.
+    #[must_use]
+    pub fn count(self) -> u32 {
+        self.words[0].count_ones() + self.words[1].count_ones()
+    }
+
+    /// Angular measure represented by the set bins, in radians.
+    #[must_use]
+    pub fn measure(self) -> f64 {
+        f64::from(self.count()) * ASPECT_BIN_WIDTH
+    }
+
+    /// Whether bin `bin` is set.
+    #[must_use]
+    pub fn get(self, bin: usize) -> bool {
+        debug_assert!(bin < ASPECT_BINS);
+        self.words[bin / 64] & (1 << (bin % 64)) != 0
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: AspectBits) {
+        self.words[0] |= other.words[0];
+        self.words[1] |= other.words[1];
+    }
+
+    /// `self \ other` (bins in `self` but not in `other`).
+    #[must_use]
+    pub fn minus(self, other: AspectBits) -> AspectBits {
+        AspectBits {
+            words: [
+                self.words[0] & !other.words[0],
+                self.words[1] & !other.words[1],
+            ],
+        }
+    }
+
+    /// Intersection of the two bin sets.
+    #[must_use]
+    pub fn intersect(self, other: AspectBits) -> AspectBits {
+        AspectBits {
+            words: [
+                self.words[0] & other.words[0],
+                self.words[1] & other.words[1],
+            ],
+        }
+    }
+
+    /// Whether the two bin sets share any bin.
+    #[must_use]
+    pub fn intersects(self, other: AspectBits) -> bool {
+        (self.words[0] & other.words[0]) | (self.words[1] & other.words[1]) != 0
+    }
+
+    /// Whether every bin of `other` is set in `self`.
+    #[must_use]
+    pub fn contains_all(self, other: AspectBits) -> bool {
+        other.minus(self).is_empty()
+    }
+
+    /// Iterates over the indices of the set bins, in increasing order.
+    pub fn iter_bins(self) -> BinIter {
+        BinIter {
+            words: self.words,
+            word: 0,
+        }
+    }
+
+    /// Sets bins `lo..hi` (half-open; `0 ≤ lo ≤ hi ≤ 128`).
+    fn set_range(&mut self, lo: usize, hi: usize) {
+        debug_assert!(lo <= hi && hi <= ASPECT_BINS);
+        for (w, word) in self.words.iter_mut().enumerate() {
+            let base = w * 64;
+            let a = lo.clamp(base, base + 64) - base;
+            let b = hi.clamp(base, base + 64) - base;
+            if a < b {
+                let span = b - a;
+                let mask = if span == 64 {
+                    !0
+                } else {
+                    ((1u64 << span) - 1) << a
+                };
+                *word |= mask;
+            }
+        }
+    }
+
+    /// Adds a non-wrapping interval `[lo, hi] ⊆ [0, 2π]` with endpoints
+    /// rounded to the nearest bin boundary (ties round up).
+    pub fn insert_rounded(&mut self, lo: f64, hi: f64) {
+        let qlo = ((lo / ASPECT_BIN_WIDTH).round() as i64).clamp(0, ASPECT_BINS as i64) as usize;
+        let qhi = ((hi / ASPECT_BIN_WIDTH).round() as i64).clamp(0, ASPECT_BINS as i64) as usize;
+        if qlo < qhi {
+            self.set_range(qlo, qhi);
+        }
+    }
+
+    /// Adds every bin intersecting the non-wrapping interval `[lo, hi]`
+    /// (over-approximation).
+    pub fn insert_outer(&mut self, lo: f64, hi: f64) {
+        if hi <= lo {
+            return;
+        }
+        let qlo = ((lo / ASPECT_BIN_WIDTH).floor() as i64).clamp(0, ASPECT_BINS as i64) as usize;
+        let qhi = ((hi / ASPECT_BIN_WIDTH).ceil() as i64).clamp(0, ASPECT_BINS as i64) as usize;
+        self.set_range(qlo, qhi.max(qlo));
+    }
+
+    /// Adds every bin contained in `[lo + margin, hi − margin]`
+    /// (under-approximation by at least `margin` on each side).
+    pub fn insert_inner(&mut self, lo: f64, hi: f64, margin: f64) {
+        let qlo = (((lo + margin) / ASPECT_BIN_WIDTH).ceil() as i64).clamp(0, ASPECT_BINS as i64)
+            as usize;
+        let qhi = (((hi - margin) / ASPECT_BIN_WIDTH).floor() as i64).clamp(0, ASPECT_BINS as i64)
+            as usize;
+        if qlo < qhi {
+            self.set_range(qlo, qhi);
+        }
+    }
+
+    /// Adds an arc with rounded quantization (wrap handled by splitting at
+    /// the zero direction, like [`ArcSet`]).
+    pub fn insert_arc_rounded(&mut self, arc: Arc) {
+        for (lo, hi) in arc.split() {
+            self.insert_rounded(lo, hi);
+        }
+    }
+
+    /// The rounded quantization of a single arc.
+    #[must_use]
+    pub fn rounded_of_arc(arc: Arc) -> Self {
+        let mut b = AspectBits::new();
+        b.insert_arc_rounded(arc);
+        b
+    }
+
+    /// The outer (over-approximating) quantization of a single arc: the
+    /// exact arc is a subset of the returned bins.
+    #[must_use]
+    pub fn outer_of_arc(arc: Arc) -> Self {
+        let mut b = AspectBits::new();
+        for (lo, hi) in arc.split() {
+            b.insert_outer(lo, hi);
+        }
+        b
+    }
+
+    /// The inner (under-approximating) quantization of an [`ArcSet`]: every
+    /// returned bin, dilated by [`ANGLE_EPS`] on each side, lies inside the
+    /// set. Intervals meeting at the zero split are treated independently,
+    /// which only makes the approximation more conservative.
+    #[must_use]
+    pub fn inner_of_set(set: &ArcSet) -> Self {
+        let mut b = AspectBits::new();
+        for (lo, hi) in set.iter() {
+            b.insert_inner(lo, hi, 2.0 * ANGLE_EPS);
+        }
+        b
+    }
+}
+
+impl fmt::Debug for AspectBits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "AspectBits[{:016x}{:016x}]",
+            self.words[1], self.words[0]
+        )
+    }
+}
+
+/// Iterator over the set bins of an [`AspectBits`], from
+/// [`AspectBits::iter_bins`].
+pub struct BinIter {
+    words: [u64; 2],
+    word: usize,
+}
+
+impl Iterator for BinIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.word < 2 {
+            let w = self.words[self.word];
+            if w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                self.words[self.word] = w & (w - 1);
+                return Some(self.word * 64 + bit);
+            }
+            self.word += 1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Angle;
+
+    fn arc_deg(center: f64, half: f64) -> Arc {
+        Arc::centered(Angle::from_degrees(center), Angle::from_degrees(half))
+    }
+
+    #[test]
+    fn empty_and_full() {
+        assert!(AspectBits::new().is_empty());
+        assert_eq!(AspectBits::new().count(), 0);
+        assert_eq!(AspectBits::full().count(), ASPECT_BINS as u32);
+        assert!((AspectBits::full().measure() - TAU).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rounded_measure_close_to_exact() {
+        for (c, h) in [(0.0, 20.0), (90.0, 45.0), (355.0, 30.0), (180.0, 90.0)] {
+            let arc = arc_deg(c, h);
+            let bits = AspectBits::rounded_of_arc(arc);
+            let exact = ArcSet::from_arc(arc).measure();
+            assert!(
+                (bits.measure() - exact).abs() <= 2.0 * ASPECT_BIN_WIDTH,
+                "rounded measure off at center={c} half={h}"
+            );
+        }
+    }
+
+    #[test]
+    fn outer_contains_rounded_and_inner() {
+        let arc = arc_deg(123.0, 31.0);
+        let outer = AspectBits::outer_of_arc(arc);
+        let rounded = AspectBits::rounded_of_arc(arc);
+        let inner = AspectBits::inner_of_set(&ArcSet::from_arc(arc));
+        assert!(outer.contains_all(rounded));
+        assert!(outer.contains_all(inner));
+        assert!(rounded.contains_all(inner));
+    }
+
+    #[test]
+    fn inner_bins_lie_inside_set() {
+        let set: ArcSet = [arc_deg(10.0, 25.0), arc_deg(200.0, 40.0), arc_deg(0.0, 8.0)]
+            .into_iter()
+            .collect();
+        let inner = AspectBits::inner_of_set(&set);
+        for bin in inner.iter_bins() {
+            let mid = (bin as f64 + 0.5) * ASPECT_BIN_WIDTH;
+            assert!(
+                set.contains(Angle::from_radians(mid)),
+                "inner bin {bin} midpoint outside set"
+            );
+        }
+    }
+
+    #[test]
+    fn outer_covers_arc_directions() {
+        let arc = arc_deg(350.0, 25.0); // wraps zero
+        let outer = AspectBits::outer_of_arc(arc);
+        for k in 0..720 {
+            let a = Angle::from_degrees(f64::from(k) / 2.0);
+            if arc.contains(a) {
+                let bin = ((a.radians() / ASPECT_BIN_WIDTH) as usize).min(ASPECT_BINS - 1);
+                assert!(outer.get(bin), "direction {k}/2° on arc but bin unset");
+            }
+        }
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = AspectBits::rounded_of_arc(arc_deg(0.0, 45.0));
+        let b = AspectBits::rounded_of_arc(arc_deg(45.0, 45.0));
+        let mut u = a;
+        u.union_with(b);
+        assert!(u.contains_all(a) && u.contains_all(b));
+        assert_eq!(u.count(), a.count() + b.minus(a).count());
+        assert!(a.intersects(b)); // the two 90° arcs overlap near 0°+45°
+        assert_eq!(a.intersect(b).count() + a.minus(b).count(), a.count());
+        let far = AspectBits::rounded_of_arc(arc_deg(180.0, 10.0));
+        assert!(!a.intersects(far));
+    }
+
+    #[test]
+    fn iter_bins_roundtrip() {
+        let bits = AspectBits::rounded_of_arc(arc_deg(350.0, 20.0));
+        let mut rebuilt = AspectBits::new();
+        let collected: Vec<usize> = bits.iter_bins().collect();
+        assert!(collected.windows(2).all(|w| w[0] < w[1]));
+        for bin in &collected {
+            rebuilt.set_range(*bin, bin + 1);
+        }
+        assert_eq!(rebuilt, bits);
+        assert_eq!(collected.len(), bits.count() as usize);
+    }
+
+    #[test]
+    fn full_arc_sets_every_bin() {
+        assert_eq!(AspectBits::rounded_of_arc(Arc::full()), AspectBits::full());
+        assert_eq!(AspectBits::outer_of_arc(Arc::full()), AspectBits::full());
+        assert!(AspectBits::rounded_of_arc(Arc::empty()).is_empty());
+    }
+}

@@ -36,6 +36,7 @@
 mod angle;
 mod arc;
 mod arcset;
+mod aspectbits;
 mod bbox;
 mod point;
 mod sector;
@@ -44,6 +45,7 @@ mod segment;
 pub use angle::Angle;
 pub use arc::Arc;
 pub use arcset::ArcSet;
+pub use aspectbits::{AspectBits, BinIter, ASPECT_BINS, ASPECT_BIN_WIDTH};
 pub use bbox::BBox;
 pub use point::{Point, Vec2};
 pub use sector::Sector;

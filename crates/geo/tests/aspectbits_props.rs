@@ -1,0 +1,129 @@
+//! Property tests pinning the fixed-width aspect bitset
+//! ([`AspectBits`]) against the exact interval arithmetic ([`ArcSet`]) it
+//! approximates. The quantization contract (see DESIGN.md, "Aspect
+//! quantization contract"):
+//!
+//! * **rounded** — endpoints round to the nearest bin boundary; the union
+//!   measure tracks the exact one within one bin width per inserted arc;
+//! * **outer** — never misses a direction the arc covers
+//!   (over-approximation, no false negatives);
+//! * **inner** — every bin lies entirely inside the exact set
+//!   (under-approximation, no false positives), which is what makes the
+//!   engine's full-coverage skip exact-safe: `outer(arc) ⊆ inner(own)`
+//!   proves the arc adds nothing.
+
+use photodtn_geo::{Angle, Arc, ArcSet, AspectBits, ASPECT_BINS, ASPECT_BIN_WIDTH};
+use proptest::prelude::*;
+
+fn arb_arc() -> impl Strategy<Value = Arc> {
+    (0.0..360.0f64, 0.0..360.0f64)
+        .prop_map(|(start, width)| Arc::new(Angle::from_degrees(start), width.to_radians()))
+}
+
+fn arb_arcs() -> impl Strategy<Value = Vec<Arc>> {
+    prop::collection::vec(arb_arc(), 0..8)
+}
+
+/// The bin a direction falls into.
+fn bin_of(a: Angle) -> usize {
+    ((a.radians() / ASPECT_BIN_WIDTH) as usize).min(ASPECT_BINS - 1)
+}
+
+proptest! {
+    #[test]
+    fn rounded_union_measure_tracks_exact(arcs in arb_arcs()) {
+        let set: ArcSet = arcs.iter().copied().collect();
+        let mut bits = AspectBits::new();
+        for a in &arcs {
+            bits.insert_arc_rounded(*a);
+        }
+        // Each rounded endpoint moves at most half a bin, so each arc
+        // contributes at most one bin width of symmetric difference.
+        let tol = (arcs.len() as f64 + 1.0) * ASPECT_BIN_WIDTH;
+        prop_assert!(
+            (bits.measure() - set.measure()).abs() <= tol,
+            "quantized measure {} drifted from exact {} (tol {})",
+            bits.measure(), set.measure(), tol
+        );
+    }
+
+    #[test]
+    fn measure_is_count_times_bin_width(arcs in arb_arcs()) {
+        let mut bits = AspectBits::new();
+        for a in &arcs {
+            bits.insert_arc_rounded(*a);
+        }
+        let expect = f64::from(bits.count()) * ASPECT_BIN_WIDTH;
+        prop_assert!((bits.measure() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outer_contains_rounded_contains_inner(a in arb_arc()) {
+        let outer = AspectBits::outer_of_arc(a);
+        let rounded = AspectBits::rounded_of_arc(a);
+        let inner = AspectBits::inner_of_set(&ArcSet::from_arc(a));
+        prop_assert!(outer.contains_all(rounded), "outer must contain rounded");
+        prop_assert!(rounded.contains_all(inner), "rounded must contain inner");
+    }
+
+    #[test]
+    fn outer_covers_every_direction_in_arc(a in arb_arc(), frac in 0.0..1.0f64) {
+        prop_assume!(!a.is_empty());
+        // No false negatives: any direction the exact arc covers falls in
+        // an outer bin — including across the 0/2π wrap.
+        let dir = a.start() + Angle::from_radians(a.width() * frac);
+        let outer = AspectBits::outer_of_arc(a);
+        prop_assert!(
+            outer.get(bin_of(dir)),
+            "direction {dir:?} of arc {a:?} missing from outer bits"
+        );
+    }
+
+    #[test]
+    fn inner_bins_lie_inside_the_set(arcs in arb_arcs()) {
+        let set: ArcSet = arcs.iter().copied().collect();
+        let inner = AspectBits::inner_of_set(&set);
+        // No false positives: every inner bin's midpoint is truly covered.
+        for bin in inner.iter_bins() {
+            let mid = Angle::from_radians((bin as f64 + 0.5) * ASPECT_BIN_WIDTH);
+            prop_assert!(
+                set.contains(mid),
+                "inner bin {bin} midpoint {mid:?} outside the exact set"
+            );
+        }
+    }
+
+    #[test]
+    fn set_ops_match_per_bin_semantics(a1 in arb_arc(), a2 in arb_arc()) {
+        let x = AspectBits::rounded_of_arc(a1);
+        let y = AspectBits::rounded_of_arc(a2);
+        let mut union = x;
+        union.union_with(y);
+        let minus = x.minus(y);
+        let inter = x.intersect(y);
+        for bin in 0..ASPECT_BINS {
+            prop_assert_eq!(union.get(bin), x.get(bin) || y.get(bin));
+            prop_assert_eq!(minus.get(bin), x.get(bin) && !y.get(bin));
+            prop_assert_eq!(inter.get(bin), x.get(bin) && y.get(bin));
+        }
+        prop_assert_eq!(x.intersects(y), !inter.is_empty());
+        prop_assert_eq!(x.contains_all(y), y.minus(x).is_empty());
+        prop_assert_eq!(inter.count() + minus.count(), x.count());
+    }
+
+    #[test]
+    fn iter_bins_roundtrips(arcs in arb_arcs()) {
+        let mut bits = AspectBits::new();
+        for a in &arcs {
+            bits.insert_arc_rounded(*a);
+        }
+        let listed: Vec<usize> = bits.iter_bins().collect();
+        prop_assert_eq!(listed.len(), bits.count() as usize);
+        for w in listed.windows(2) {
+            prop_assert!(w[0] < w[1], "iter_bins must ascend");
+        }
+        for bin in &listed {
+            prop_assert!(bits.get(*bin));
+        }
+    }
+}

@@ -26,6 +26,7 @@ mod photonet;
 pub mod policy;
 mod prophet_routing;
 mod spray;
+mod upload_base;
 mod value;
 
 pub use classic::{DirectDelivery, Epidemic};

@@ -25,19 +25,20 @@
 use std::sync::Arc;
 
 use photodtn_contacts::NodeId;
-use photodtn_core::expected::ExpectedEngine;
 use photodtn_coverage::{Coverage, Photo, PhotoCoverage};
 use photodtn_sim::{Scheme, SimCtx};
 
+use crate::upload_base::UploadBase;
 use crate::value::PhotoValueCache;
 
 /// Centralized photo selection with global knowledge (SmartPhoto regime).
 #[derive(Debug, Default)]
 pub struct CentralizedOracle {
     values: PhotoValueCache,
-    /// Persistent upload engine, reset per uplink window (rebound when
-    /// the world's PoI list changes identity, i.e. a new run).
-    engine: Option<ExpectedEngine>,
+    /// Persistent upload engine whose server base is maintained
+    /// incrementally across uplink windows (rebound when the world's PoI
+    /// list changes identity, i.e. a new run).
+    upload: UploadBase,
 }
 
 impl CentralizedOracle {
@@ -104,20 +105,11 @@ impl Scheme for CentralizedOracle {
 
     fn on_upload(&mut self, ctx: &mut SimCtx, node: NodeId, budget: u64) {
         // The server knows exactly what it has and asks for the photos
-        // with the highest marginal coverage, greedily. The engine is
-        // reset per window, not rebuilt (the command-center collection is
-        // re-added fresh: commits also fire for lost/corrupt uploads).
-        let pois = ctx.pois_shared();
-        let params = ctx.coverage_params();
-        let engine = match &mut self.engine {
-            Some(e) if Arc::ptr_eq(e.pois_shared(), &pois) => {
-                e.reset();
-                e
-            }
-            other => other.insert(ExpectedEngine::new_shared(Arc::clone(&pois), params)),
-        };
-        let server = engine.add_node(1.0);
-        engine.add_collection(server, ctx.cc_collection().metas());
+        // with the highest marginal coverage, greedily. The server base
+        // persists across windows behind a checkpoint; rollback discards
+        // the previous window's commits (which also fire for lost/corrupt
+        // uploads, so they must never leak into the base).
+        let (engine, server) = self.upload.prepare(ctx);
 
         // Snapshot the (id-ordered) collection and resolve each photo's
         // coverage through the per-run cache; gains then come from the

@@ -2,7 +2,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use photodtn_contacts::{NodeId, RateMatrix};
-use photodtn_core::expected::{DeliveryNode, ExpectedEngine};
+use photodtn_core::expected::DeliveryNode;
 use photodtn_core::selection::{PeerState, SelectionInput, SelectionSession};
 use photodtn_core::transmission::{execute_plan_with, plan_transfers};
 use photodtn_core::validity::ValidityModel;
@@ -10,6 +10,7 @@ use photodtn_core::MetadataCache;
 use photodtn_coverage::{Photo, PhotoCoverage, PhotoId, PhotoMeta, PoiList};
 use photodtn_sim::{Scheme, SimCtx, TraceEvent};
 
+use crate::upload_base::UploadBase;
 use crate::value::PhotoValueCache;
 
 /// The paper's resource-aware photo selection scheme (§III), wired into
@@ -49,9 +50,10 @@ pub struct OurScheme {
     /// Per-run selection context, lazily bound to the current world's PoI
     /// list (a new run — new `Arc` — replaces it).
     session: Option<SelectionSession>,
-    /// Persistent greedy-upload engine, reset per uplink window instead
-    /// of rebuilt (same `Arc`-staleness rule as `session`).
-    upload_engine: Option<ExpectedEngine>,
+    /// Persistent greedy-upload engine whose command-center base is
+    /// maintained incrementally across uplink windows (checkpoint +
+    /// rollback; same `Arc`-staleness rule as `session`).
+    upload: UploadBase,
 }
 
 impl OurScheme {
@@ -66,7 +68,7 @@ impl OurScheme {
             rates: RateMatrix::new(0.0),
             values: PhotoValueCache::new(),
             session: None,
-            upload_engine: None,
+            upload: UploadBase::default(),
         }
     }
 
@@ -307,23 +309,14 @@ impl Scheme for OurScheme {
 
     fn on_upload(&mut self, ctx: &mut SimCtx, node: NodeId, budget: u64) {
         let now = ctx.now();
-        let pois = ctx.pois_shared();
-        let params = ctx.coverage_params();
 
         // Greedy marginal-gain order against what the command center has.
-        // The engine persists across uplink windows (reset, not rebuilt);
-        // the command-center collection is re-added per window because
-        // commits also fire for lost/corrupt uploads, so carrying engine
-        // state over would drift from what the command center truly has.
-        let engine = match &mut self.upload_engine {
-            Some(e) if Arc::ptr_eq(e.pois_shared(), &pois) => {
-                e.reset();
-                e
-            }
-            other => other.insert(ExpectedEngine::new_shared(Arc::clone(&pois), params)),
-        };
-        let cc_node = engine.add_node(1.0);
-        engine.add_collection(cc_node, ctx.cc_collection().metas());
+        // The engine persists across uplink windows with its command-
+        // center base checkpointed: rollback discards the previous
+        // window's commits (which also fire for lost/corrupt uploads, so
+        // they must never leak into the base), and only the photos the
+        // command center gained since last window are committed on top.
+        let (engine, _cc_node) = self.upload.prepare(ctx);
         let uploader = engine.add_node(1.0);
 
         // Snapshot the (id-ordered) collection and resolve each photo's

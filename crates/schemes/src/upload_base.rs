@@ -1,0 +1,86 @@
+//! Incremental command-center base for greedy upload selection.
+//!
+//! Every uplink window evaluates marginal gains *on top of what the
+//! command center already holds*. Rebuilding that base per window costs
+//! one commit per command-center photo — and the command-center
+//! collection only ever grows, so almost all of that work repeats the
+//! previous window verbatim.
+//!
+//! [`UploadBase`] keeps the base alive across windows behind an
+//! [`ExpectedEngine`] checkpoint: each window rolls back the previous
+//! uploader's commits, appends only the photos the command center gained
+//! since the last window, and re-checkpoints. Rollback restores the base
+//! bitwise (the engine stores the exact pre-commit `f64` state), so the
+//! incremental path is byte-identical to a fresh rebuild.
+//!
+//! Two situations fall back to a full rebuild:
+//!
+//! * the world's PoI list changed identity (a new simulation run);
+//! * the command center's id-ordered photo sequence is not an append of
+//!   the checkpointed one (an older id arrived from another node, so the
+//!   new photos would interleave rather than extend the commit order).
+
+use std::sync::Arc;
+
+use photodtn_core::expected::ExpectedEngine;
+use photodtn_coverage::PhotoId;
+use photodtn_sim::SimCtx;
+
+/// A persistent upload-selection engine whose command-center base is
+/// maintained incrementally across uplink windows.
+#[derive(Debug, Default)]
+pub(crate) struct UploadBase {
+    engine: Option<ExpectedEngine>,
+    /// Photo ids committed into the checkpointed base, in id order
+    /// (the command-center collection's iteration order).
+    cc_ids: Vec<PhotoId>,
+}
+
+impl UploadBase {
+    /// Positions the engine on the current command-center collection and
+    /// returns it together with the command-center node index.
+    ///
+    /// On return the engine holds exactly one node (the command center,
+    /// delivery probability 1) with the full command-center collection
+    /// committed, and a fresh checkpoint marking that base — the caller
+    /// adds the uploader node and commits freely; the next call rolls all
+    /// of it back.
+    pub(crate) fn prepare(&mut self, ctx: &SimCtx) -> (&mut ExpectedEngine, usize) {
+        let pois = ctx.pois_shared();
+        let stale = self
+            .engine
+            .as_ref()
+            .is_none_or(|e| !Arc::ptr_eq(e.pois_shared(), &pois));
+        if stale {
+            self.engine = Some(ExpectedEngine::new_shared(
+                Arc::clone(&pois),
+                ctx.coverage_params(),
+            ));
+            self.cc_ids.clear();
+        }
+        let engine = self.engine.as_mut().expect("just ensured");
+        let cc = ctx.cc_collection();
+        let append_only = cc
+            .ids()
+            .take(self.cc_ids.len())
+            .eq(self.cc_ids.iter().copied());
+        let (cc_node, skip) = if engine.has_checkpoint() && append_only {
+            engine.rollback();
+            (0, self.cc_ids.len())
+        } else {
+            engine.reset();
+            self.cc_ids.clear();
+            (engine.add_node(1.0), 0)
+        };
+        // Commit only the photos the base does not yet contain, through
+        // the per-run coverage-table cache (bit-identical to the scalar
+        // metadata scan by the coverage determinism contract).
+        for p in cc.iter().skip(skip) {
+            let cov = ctx.photo_coverage(p.id, &p.meta);
+            engine.add_photo_indexed(cc_node, &cov);
+            self.cc_ids.push(p.id);
+        }
+        engine.checkpoint();
+        (engine, cc_node)
+    }
+}
