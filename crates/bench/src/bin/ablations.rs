@@ -12,10 +12,9 @@
 //! cargo run --release -p photodtn-bench --bin ablations -- --runs 2
 //! ```
 
-use photodtn_bench::Args;
+use photodtn_bench::{run_averaged_or_exit, Args};
 use photodtn_core::validity::ValidityModel;
 use photodtn_schemes::OurScheme;
-use photodtn_sim::run_averaged;
 
 fn main() {
     let args = Args::parse();
@@ -30,7 +29,8 @@ fn main() {
     let mut rows = Vec::new();
     for p_thld in [0.01, 0.2, 0.5, 0.8, 0.95, 0.999] {
         eprintln!("ablations: P_thld = {p_thld}…");
-        let s = run_averaged(
+        let s = run_averaged_or_exit(
+            "ablations",
             &config,
             |seed| args.trace(seed),
             || OurScheme::new().with_validity(ValidityModel::new(p_thld)),
@@ -59,7 +59,8 @@ fn main() {
     );
     for (label, relay) in [("on", true), ("off", false)] {
         eprintln!("ablations: ack relay {label}…");
-        let s = run_averaged(
+        let s = run_averaged_or_exit(
+            "ablations",
             &config,
             |seed| args.trace(seed),
             || {

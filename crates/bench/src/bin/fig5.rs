@@ -9,8 +9,7 @@
 //! cargo run --release -p photodtn-bench --bin fig5 -- --runs 5
 //! ```
 
-use photodtn_bench::{print_json, print_series_table, scheme_by_name, Args};
-use photodtn_sim::run_averaged;
+use photodtn_bench::{print_json, print_series_table, run_averaged_or_exit, scheme_by_name, Args};
 
 fn main() {
     let args = Args::parse();
@@ -22,7 +21,8 @@ fn main() {
         .iter()
         .map(|name| {
             eprintln!("fig5: running {name} over {} seeds…", seeds.len());
-            run_averaged(
+            run_averaged_or_exit(
+                "fig5",
                 &config,
                 |seed| args.trace(seed),
                 || scheme_by_name(name),

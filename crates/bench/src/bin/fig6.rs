@@ -10,8 +10,7 @@
 //! cargo run --release -p photodtn-bench --bin fig6 -- --runs 3
 //! ```
 
-use photodtn_bench::{print_json, print_series_table, scheme_by_name, Args};
-use photodtn_sim::run_averaged;
+use photodtn_bench::{print_json, print_series_table, run_averaged_or_exit, scheme_by_name, Args};
 
 fn main() {
     let args = Args::parse();
@@ -21,7 +20,8 @@ fn main() {
     for (label, cap) in [("10min", 600.0), ("2min", 120.0), ("30s", 30.0)] {
         eprintln!("fig6: ours with {label} contacts…");
         let config = args.config().with_contact_duration_cap(cap);
-        let mut s = run_averaged(
+        let mut s = run_averaged_or_exit(
+            "fig6",
             &config,
             |seed| args.trace(seed),
             || scheme_by_name("ours"),
@@ -32,7 +32,8 @@ fn main() {
     }
     eprintln!("fig6: modified-spray reference at 10min…");
     let config = args.config().with_contact_duration_cap(600.0);
-    let mut reference = run_averaged(
+    let mut reference = run_averaged_or_exit(
+        "fig6",
         &config,
         |seed| args.trace(seed),
         || scheme_by_name("modified-spray"),

@@ -13,8 +13,7 @@
 //! cargo run --release -p photodtn-bench --bin fig7 -- --trace mit --runs 2
 //! ```
 
-use photodtn_bench::{scheme_by_name, Args, LINEUP};
-use photodtn_sim::run_averaged;
+use photodtn_bench::{run_averaged_or_exit, scheme_by_name, Args, LINEUP};
 
 const GB: f64 = 1024.0 * 1024.0 * 1024.0;
 
@@ -38,7 +37,8 @@ fn main() {
         for gb in storages_gb {
             let config = args.config().with_storage_bytes((gb * GB) as u64);
             eprintln!("fig7: {name} at {gb} GB…");
-            let s = run_averaged(
+            let s = run_averaged_or_exit(
+                "fig7",
                 &config,
                 |seed| args.trace(seed),
                 || scheme_by_name(name),

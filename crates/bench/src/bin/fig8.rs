@@ -14,8 +14,7 @@
 //! cargo run --release -p photodtn-bench --bin fig8 -- --trace mit --runs 2
 //! ```
 
-use photodtn_bench::{scheme_by_name, Args, LINEUP};
-use photodtn_sim::run_averaged;
+use photodtn_bench::{run_averaged_or_exit, scheme_by_name, Args, LINEUP};
 
 fn main() {
     let args = Args::parse();
@@ -37,7 +36,8 @@ fn main() {
         for rate in rates {
             let config = args.config().with_photos_per_hour(rate);
             eprintln!("fig8: {name} at {rate} photos/h…");
-            let s = run_averaged(
+            let s = run_averaged_or_exit(
+                "fig8",
                 &config,
                 |seed| args.trace(seed),
                 || scheme_by_name(name),

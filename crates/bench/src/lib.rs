@@ -15,7 +15,7 @@ pub mod svg;
 use photodtn_contacts::synth::{CommunityTraceGenerator, TraceStyle};
 use photodtn_contacts::ContactTrace;
 use photodtn_schemes::{ModifiedSpray, OurScheme, PhotoNet, SprayAndWait};
-use photodtn_sim::{AveragedSeries, Scheme, SimConfig};
+use photodtn_sim::{try_run_averaged, AveragedSeries, Scheme, SimConfig};
 
 /// Command-line options shared by all figure binaries.
 #[derive(Clone, Debug)]
@@ -138,14 +138,27 @@ pub const LINEUP: &[&str] = &[
 /// The extra baselines appended by `--extended`.
 pub const EXTENDED_LINEUP: &[&str] = &["epidemic", "prophet", "oracle"];
 
-/// Instantiates a scheme by its lineup name.
-///
-/// # Panics
-///
-/// Panics on an unknown name.
+/// Every name [`scheme_by_name`] understands, for validation and error
+/// messages.
+pub const ALL_SCHEME_NAMES: &[&str] = &[
+    "best-possible",
+    "ours",
+    "no-metadata",
+    "modified-spray",
+    "spray-wait",
+    "photonet",
+    "epidemic",
+    "direct",
+    "oracle",
+    "prophet",
+];
+
+/// Instantiates a scheme by its lineup name, or `None` for an unknown
+/// name (so callers can validate a sweep spec up front instead of
+/// panicking mid-batch).
 #[must_use]
-pub fn scheme_by_name(name: &str) -> Box<dyn Scheme + Send> {
-    match name {
+pub fn try_scheme_by_name(name: &str) -> Option<Box<dyn Scheme + Send>> {
+    Some(match name {
         "best-possible" => Box::new(photodtn_schemes::BestPossible),
         "ours" => Box::new(OurScheme::new()),
         "no-metadata" => Box::new(OurScheme::no_metadata()),
@@ -156,7 +169,58 @@ pub fn scheme_by_name(name: &str) -> Box<dyn Scheme + Send> {
         "direct" => Box::new(photodtn_schemes::DirectDelivery::new()),
         "oracle" => Box::new(photodtn_schemes::CentralizedOracle::new()),
         "prophet" => Box::new(photodtn_schemes::ProphetRouting::new()),
-        other => panic!("unknown scheme {other:?}"),
+        _ => return None,
+    })
+}
+
+/// Instantiates a scheme by its lineup name.
+///
+/// # Panics
+///
+/// Panics on an unknown name.
+#[must_use]
+pub fn scheme_by_name(name: &str) -> Box<dyn Scheme + Send> {
+    try_scheme_by_name(name).unwrap_or_else(|| panic!("unknown scheme {name:?}"))
+}
+
+/// Runs one averaged experiment under supervisor panic isolation.
+///
+/// A panicking seed no longer aborts the whole figure binary: the
+/// failure is attributed on stderr (scheme, seed, payload) and the
+/// experiment degrades to the surviving seeds' average. The process
+/// exits (code 1) only when *every* seed failed — there is nothing left
+/// to plot.
+pub fn run_averaged_or_exit<S, TF, SF>(
+    tag: &str,
+    config: &SimConfig,
+    trace_for_seed: TF,
+    scheme_factory: SF,
+    seeds: &[u64],
+) -> AveragedSeries
+where
+    S: Scheme,
+    TF: Fn(u64) -> ContactTrace + Sync,
+    SF: Fn() -> S + Sync,
+{
+    match try_run_averaged(config, trace_for_seed, scheme_factory, seeds) {
+        Ok(series) => series,
+        Err(err) => {
+            eprintln!("{tag}: {err}");
+            match err.surviving {
+                Some(series) => {
+                    eprintln!(
+                        "{tag}: continuing with the {} surviving seed(s) of {}",
+                        series.runs,
+                        seeds.len()
+                    );
+                    series
+                }
+                None => {
+                    eprintln!("{tag}: every seed failed; nothing to average");
+                    std::process::exit(1);
+                }
+            }
+        }
     }
 }
 

@@ -26,7 +26,7 @@ const SPEC: Spec = Spec {
         "faults",
         "trace-out",
     ],
-    switches: &["report", "json", "perf"],
+    switches: &["report", "json", "perf", "trace-sync"],
 };
 
 pub fn run(argv: &[String]) -> Result<(), String> {
@@ -81,9 +81,13 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let mut scheme = scheme_by_name(scheme_name);
     let mut sim = Simulation::try_new(&config, &trace, seed).map_err(|e| format!("run: {e}"))?;
     if let Some(path) = flags.get("trace-out") {
-        let sink = JsonlSink::create(path).map_err(|e| format!("run: opening {path}: {e}"))?;
+        let sink = JsonlSink::create(path)
+            .map_err(|e| format!("run: opening {path}: {e}"))?
+            .with_sync(flags.has("trace-sync"));
         sim.set_trace_sink(Box::new(sink));
         eprintln!("tracing run events to {path}");
+    } else if flags.has("trace-sync") {
+        return Err("run: --trace-sync requires --trace-out".into());
     }
     eprintln!(
         "running {scheme_name} on {} nodes / {} events (seed {seed})…",

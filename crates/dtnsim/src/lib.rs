@@ -48,6 +48,7 @@ mod metrics;
 mod queue;
 mod runner;
 pub mod schemes_api;
+pub mod supervisor;
 pub mod trace;
 
 pub use checked::Checked;
@@ -57,6 +58,9 @@ pub use engine::{SimBuildError, Simulation};
 pub use faults::{FaultConfig, FaultPlan, FaultState, FaultStats};
 pub use metrics::{MetricSample, RunStats, SimResult};
 pub use photodtn_coverage::CacheStats;
-pub use runner::{run_averaged, AveragedSeries};
+pub use runner::{run_averaged, try_run_averaged, AveragedError, AveragedSeries, SeedFailure};
 pub use schemes_api::Scheme;
+pub use supervisor::{
+    run_batch, BatchPolicy, BatchReport, CellError, CellFailure, CellId, CellState, FailureKind,
+};
 pub use trace::{JsonlSink, NullSink, TraceEvent, TraceSink, VecSink};

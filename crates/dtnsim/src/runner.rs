@@ -2,8 +2,11 @@
 //! averaging — "each data point is the average of 50 simulation runs"
 //! (§V-B).
 
+use std::time::Duration;
+
 use photodtn_contacts::ContactTrace;
 
+use crate::supervisor::{run_batch_scoped, FailureKind};
 use crate::{MetricSample, Scheme, SimConfig, SimResult, Simulation};
 
 /// A metric series averaged across seeds, aligned by sample index.
@@ -29,6 +32,60 @@ impl AveragedSeries {
     }
 }
 
+/// One seed's failure inside an averaged run, with attribution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SeedFailure {
+    /// The scheme that was running.
+    pub scheme: String,
+    /// The seed whose run failed.
+    pub seed: u64,
+    /// Failure classification.
+    pub kind: FailureKind,
+    /// The panic payload / error message.
+    pub message: String,
+}
+
+impl std::fmt::Display for SeedFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "scheme {:?} seed {}: {}: {}",
+            self.scheme, self.seed, self.kind, self.message
+        )
+    }
+}
+
+/// Error of [`try_run_averaged`]: at least one seed failed.
+///
+/// Surviving seeds' average stays available in `surviving`, so a caller
+/// can degrade to partial results instead of losing the batch.
+#[derive(Clone, Debug)]
+pub struct AveragedError {
+    /// Every failed seed, in seed order.
+    pub failures: Vec<SeedFailure>,
+    /// The average over the seeds that completed (`None` when all
+    /// failed).
+    pub surviving: Option<AveragedSeries>,
+}
+
+impl std::fmt::Display for AveragedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let survivors = self.surviving.as_ref().map_or(0, |s| s.runs);
+        write!(
+            f,
+            "{} of {} seeds failed",
+            self.failures.len(),
+            self.failures.len() + survivors
+        )?;
+        for failure in &self.failures {
+            write!(f, "\n  {failure}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for AveragedError {}
+
 /// Runs `scheme_factory()` once per `(trace, seed)` pair produced by
 /// `trace_for_seed`, in parallel, and averages the series.
 ///
@@ -42,9 +99,72 @@ impl AveragedSeries {
 /// collected in seed order regardless of completion order, so the
 /// averaged series is identical to a sequential run.
 ///
+/// A panicking seed no longer poisons the pool: each seed runs under
+/// [`supervisor`](crate::supervisor) panic isolation, the other seeds
+/// complete, and the error names every failing `(scheme, seed)` pair and
+/// carries the surviving seeds' average.
+///
+/// # Errors
+///
+/// Returns [`AveragedError`] when any seed fails.
+///
 /// # Panics
 ///
-/// Panics if `seeds` is empty or a worker thread panics.
+/// Panics if `seeds` is empty.
+pub fn try_run_averaged<S, TF, SF>(
+    config: &SimConfig,
+    trace_for_seed: TF,
+    scheme_factory: SF,
+    seeds: &[u64],
+) -> Result<AveragedSeries, AveragedError>
+where
+    S: Scheme,
+    TF: Fn(u64) -> ContactTrace + Sync,
+    SF: Fn() -> S + Sync,
+{
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let scheme_name = scheme_factory().name();
+    // max_attempts = 1: this runner only fails by panicking, which is
+    // deterministic and never retried anyway.
+    let outcomes = run_batch_scoped(seeds, 0, 1, Duration::ZERO, &|&seed: &u64| {
+        let trace = trace_for_seed(seed);
+        let mut scheme = scheme_factory();
+        Ok(Simulation::new(config, &trace, seed).run(&mut scheme))
+    });
+
+    let mut results = Vec::new();
+    let mut failures = Vec::new();
+    for (&seed, (outcome, _attempts)) in seeds.iter().zip(outcomes) {
+        match outcome {
+            Ok(result) => results.push(result),
+            Err(err) => failures.push(SeedFailure {
+                scheme: scheme_name.to_string(),
+                seed,
+                kind: err.kind,
+                message: err.message,
+            }),
+        }
+    }
+    if failures.is_empty() {
+        Ok(average(results))
+    } else {
+        Err(AveragedError {
+            failures,
+            surviving: if results.is_empty() {
+                None
+            } else {
+                Some(average(results))
+            },
+        })
+    }
+}
+
+/// [`try_run_averaged`] for callers that treat any seed failure as fatal.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty or any seed fails, naming every failing
+/// `(scheme, seed)` pair.
 pub fn run_averaged<S, TF, SF>(
     config: &SimConfig,
     trace_for_seed: TF,
@@ -56,37 +176,10 @@ where
     TF: Fn(u64) -> ContactTrace + Sync,
     SF: Fn() -> S + Sync,
 {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
-
-    assert!(!seeds.is_empty(), "need at least one seed");
-    let workers = std::thread::available_parallelism()
-        .map_or(1, |n| n.get())
-        .min(seeds.len());
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<SimResult>>> = seeds.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&seed) = seeds.get(i) else { break };
-                let trace = trace_for_seed(seed);
-                let mut scheme = scheme_factory();
-                let result = Simulation::new(config, &trace, seed).run(&mut scheme);
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
-            });
-        }
-    });
-    let results: Vec<SimResult> = slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("simulation worker panicked before storing its result")
-        })
-        .collect();
-
-    average(results)
+    match try_run_averaged(config, trace_for_seed, scheme_factory, seeds) {
+        Ok(avg) => avg,
+        Err(err) => panic!("run_averaged: {err}"),
+    }
 }
 
 /// Averages already-computed runs (exposed for custom drivers).
@@ -208,5 +301,70 @@ mod tests {
     fn empty_seeds_panics() {
         let config = SimConfig::mit_default();
         let _ = run_averaged(&config, trace_for_seed, || FloodScheme, &[]);
+    }
+
+    #[test]
+    fn one_panicking_seed_does_not_abort_the_pool() {
+        let config = SimConfig::mit_default().with_photos_per_hour(20.0);
+        let err = try_run_averaged(
+            &config,
+            |seed| {
+                if seed == 2 {
+                    panic!("injected trace failure for seed {seed}");
+                }
+                trace_for_seed(seed)
+            },
+            || FloodScheme,
+            &[1, 2, 3],
+        )
+        .unwrap_err();
+        assert_eq!(err.failures.len(), 1);
+        let failure = &err.failures[0];
+        assert_eq!(failure.scheme, "best-possible");
+        assert_eq!(failure.seed, 2);
+        assert_eq!(failure.kind, FailureKind::Panic);
+        assert!(
+            failure
+                .message
+                .contains("injected trace failure for seed 2"),
+            "{failure}"
+        );
+        let surviving = err.surviving.as_ref().expect("two seeds survived");
+        assert_eq!(surviving.runs, 2);
+        assert!(surviving.final_sample().delivered_photos > 0);
+        let shown = err.to_string();
+        assert!(shown.contains("1 of 3 seeds failed"), "{shown}");
+        assert!(shown.contains("seed 2"), "{shown}");
+    }
+
+    #[test]
+    fn all_seeds_failing_leaves_no_survivors() {
+        let config = SimConfig::mit_default();
+        let err = try_run_averaged(
+            &config,
+            |_seed| -> ContactTrace { panic!("every trace fails") },
+            || FloodScheme,
+            &[1, 2],
+        )
+        .unwrap_err();
+        assert_eq!(err.failures.len(), 2);
+        assert!(err.surviving.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "seed 2: panic: injected")]
+    fn run_averaged_panics_with_attribution() {
+        let config = SimConfig::mit_default();
+        let _ = run_averaged(
+            &config,
+            |seed| {
+                if seed == 2 {
+                    panic!("injected");
+                }
+                trace_for_seed(seed)
+            },
+            || FloodScheme,
+            &[1, 2],
+        );
     }
 }

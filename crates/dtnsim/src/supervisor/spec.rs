@@ -1,0 +1,866 @@
+//! Declarative sweep specs: a TOML grid file expanded into the
+//! (scheme × config-variant × seed) cell list the supervisor executes.
+//!
+//! The workspace builds offline, so this module carries its own parser
+//! for the TOML subset a sweep needs — sections, `key = value` pairs,
+//! strings, integers, floats, booleans and flat arrays — with strict
+//! rejection of unknown sections/keys (same ethos as the CLI flag
+//! parser: a typo must be an error, not a silently ignored knob).
+//!
+//! ```toml
+//! [sweep]
+//! schemes = ["ours", "spray-wait"]
+//! seeds = [1, 2, 3]
+//!
+//! [trace]
+//! style = "mit"        # or: file = "contacts.trace"
+//! nodes = 24
+//! hours = 48.0
+//!
+//! [config]
+//! photos_per_hour = 60.0
+//! storage_gb = 0.6
+//!
+//! [grid]               # every key is an axis; variants = cross product
+//! fault_intensity = [0.0, 0.5]
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use photodtn_contacts::synth::{CommunityTraceGenerator, TraceStyle};
+use photodtn_contacts::ContactTrace;
+
+use super::journal::fingerprint;
+use super::{CellError, CellId};
+use crate::{FaultConfig, SimConfig};
+
+const GB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+/// The config keys a `[config]` section or `[grid]` axis may set.
+const CONFIG_KEYS: &[&str] = &[
+    "photos_per_hour",
+    "storage_gb",
+    "deadline_hours",
+    "failure_fraction",
+    "fault_intensity",
+    "contact_cap_secs",
+];
+
+/// A parse/validation error, with the offending line when known.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecError {
+    /// 1-based line number (0 when the error is not tied to a line).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl SpecError {
+    fn at(line: usize, message: impl Into<String>) -> Self {
+        SpecError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    fn global(message: impl Into<String>) -> Self {
+        SpecError {
+            line: 0,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A TOML-subset value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// A flat array of scalars.
+    Array(Vec<Value>),
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+            Value::Array(_) => "array",
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+}
+
+/// Parses the TOML subset into `section -> key -> value` maps.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] naming the offending line on any syntax
+/// error, duplicate key, or key outside a section.
+pub fn parse_toml(text: &str) -> Result<BTreeMap<String, BTreeMap<String, Value>>, SpecError> {
+    let mut doc: BTreeMap<String, BTreeMap<String, Value>> = BTreeMap::new();
+    let mut section: Option<String> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let Some(name) = rest.strip_suffix(']') else {
+                return Err(SpecError::at(line_no, "unterminated section header"));
+            };
+            let name = name.trim();
+            if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                return Err(SpecError::at(line_no, format!("bad section name {name:?}")));
+            }
+            if doc.contains_key(name) {
+                return Err(SpecError::at(
+                    line_no,
+                    format!("duplicate section [{name}]"),
+                ));
+            }
+            doc.insert(name.to_string(), BTreeMap::new());
+            section = Some(name.to_string());
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            return Err(SpecError::at(
+                line_no,
+                format!("expected `key = value`, got {line:?}"),
+            ));
+        };
+        let key = line[..eq].trim();
+        if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(SpecError::at(line_no, format!("bad key {key:?}")));
+        }
+        let Some(section) = &section else {
+            return Err(SpecError::at(
+                line_no,
+                format!("key {key:?} outside any [section]"),
+            ));
+        };
+        let (value, rest) = parse_value(line[eq + 1..].trim_start(), line_no)?;
+        let rest = rest.trim_start();
+        if !rest.is_empty() && !rest.starts_with('#') {
+            return Err(SpecError::at(
+                line_no,
+                format!("trailing garbage after value: {rest:?}"),
+            ));
+        }
+        let table = doc.get_mut(section).expect("section inserted above");
+        if table.insert(key.to_string(), value).is_some() {
+            return Err(SpecError::at(line_no, format!("duplicate key {key:?}")));
+        }
+    }
+    Ok(doc)
+}
+
+/// Parses one value at the start of `input`; returns it and the rest.
+fn parse_value(input: &str, line_no: usize) -> Result<(Value, &str), SpecError> {
+    let input = input.trim_start();
+    let Some(first) = input.chars().next() else {
+        return Err(SpecError::at(line_no, "missing value"));
+    };
+    match first {
+        '"' => {
+            let mut out = String::new();
+            let mut chars = input[1..].char_indices();
+            while let Some((j, c)) = chars.next() {
+                match c {
+                    '"' => return Ok((Value::Str(out), &input[1 + j + 1..])),
+                    '\\' => match chars.next() {
+                        Some((_, '"')) => out.push('"'),
+                        Some((_, '\\')) => out.push('\\'),
+                        Some((_, 'n')) => out.push('\n'),
+                        Some((_, 't')) => out.push('\t'),
+                        other => {
+                            return Err(SpecError::at(
+                                line_no,
+                                format!("unsupported escape {other:?}"),
+                            ))
+                        }
+                    },
+                    c => out.push(c),
+                }
+            }
+            Err(SpecError::at(line_no, "unterminated string"))
+        }
+        '[' => {
+            let mut items = Vec::new();
+            let mut rest = input[1..].trim_start();
+            loop {
+                if let Some(after) = rest.strip_prefix(']') {
+                    return Ok((Value::Array(items), after));
+                }
+                let (item, after) = parse_value(rest, line_no)?;
+                if matches!(item, Value::Array(_)) {
+                    return Err(SpecError::at(line_no, "nested arrays are not supported"));
+                }
+                items.push(item);
+                rest = after.trim_start();
+                if let Some(after) = rest.strip_prefix(',') {
+                    rest = after.trim_start();
+                } else if !rest.starts_with(']') {
+                    return Err(SpecError::at(
+                        line_no,
+                        format!("expected `,` or `]` in array, got {rest:?}"),
+                    ));
+                }
+            }
+        }
+        _ => {
+            let end = input
+                .find(|c: char| c == ',' || c == ']' || c == '#' || c.is_whitespace())
+                .unwrap_or(input.len());
+            let token = &input[..end];
+            let rest = &input[end..];
+            match token {
+                "true" => return Ok((Value::Bool(true), rest)),
+                "false" => return Ok((Value::Bool(false), rest)),
+                "" => return Err(SpecError::at(line_no, "missing value")),
+                _ => {}
+            }
+            if !token.contains(['.', 'e', 'E']) {
+                if let Ok(i) = token.parse::<i64>() {
+                    return Ok((Value::Int(i), rest));
+                }
+            }
+            match token.parse::<f64>() {
+                Ok(f) if f.is_finite() => Ok((Value::Float(f), rest)),
+                _ => Err(SpecError::at(line_no, format!("bad value {token:?}"))),
+            }
+        }
+    }
+}
+
+/// Where each cell's contact trace comes from.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceSource {
+    /// A synthetic community trace, seeded per cell.
+    Synthetic {
+        /// Trace family.
+        style: TraceStyle,
+        /// Node-count override.
+        nodes: Option<u32>,
+        /// Duration override, hours.
+        hours: Option<f64>,
+    },
+    /// A trace file, parsed per cell (reads are classified
+    /// [`FailureKind::TraceIo`](super::FailureKind::TraceIo) — transient,
+    /// retried).
+    File(PathBuf),
+}
+
+/// A parsed, validated sweep spec.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepSpec {
+    /// Scheme names (validated by the caller against its scheme factory).
+    pub schemes: Vec<String>,
+    /// Seeds of every scheme × variant combination.
+    pub seeds: Vec<u64>,
+    /// Trace source shared by all cells.
+    pub trace: TraceSource,
+    /// Base config before grid overrides.
+    pub base: SimConfig,
+    /// Grid axes: key → values (cross product forms the variants).
+    pub grid: BTreeMap<String, Vec<f64>>,
+    /// FNV-1a fingerprint of the raw spec text (journal compatibility).
+    pub fingerprint: u64,
+}
+
+impl SweepSpec {
+    /// Parses and validates a sweep spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] on syntax errors, unknown
+    /// sections/keys, type mismatches, or an empty grid dimension.
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
+        let mut doc = parse_toml(text)?;
+        for section in doc.keys() {
+            if !matches!(section.as_str(), "sweep" | "trace" | "config" | "grid") {
+                return Err(SpecError::global(format!(
+                    "unknown section [{section}] (expected sweep/trace/config/grid)"
+                )));
+            }
+        }
+
+        let mut sweep = doc.remove("sweep").ok_or_else(|| {
+            SpecError::global("missing [sweep] section (schemes = [...], seeds = [...])")
+        })?;
+        let schemes = take_string_array(&mut sweep, "schemes")?
+            .ok_or_else(|| SpecError::global("[sweep] needs schemes = [\"...\"]"))?;
+        if schemes.is_empty() {
+            return Err(SpecError::global("[sweep] schemes must be non-empty"));
+        }
+        let seeds = match take_int_array(&mut sweep, "seeds")? {
+            Some(seeds) => seeds,
+            None => match sweep.remove("seed_count") {
+                Some(Value::Int(n)) if n > 0 => (1..=n as u64).collect(),
+                Some(v) => {
+                    return Err(SpecError::global(format!(
+                        "[sweep] seed_count must be a positive integer, got {}",
+                        v.type_name()
+                    )))
+                }
+                None => {
+                    return Err(SpecError::global(
+                        "[sweep] needs seeds = [...] or seed_count = N",
+                    ))
+                }
+            },
+        };
+        if seeds.is_empty() {
+            return Err(SpecError::global("[sweep] seeds must be non-empty"));
+        }
+        reject_unknown(&sweep, "sweep")?;
+
+        let mut trace_tbl = doc.remove("trace").unwrap_or_default();
+        let trace = if let Some(file) = take_string(&mut trace_tbl, "file")? {
+            for key in ["style", "nodes", "hours"] {
+                if trace_tbl.contains_key(key) {
+                    return Err(SpecError::global(format!(
+                        "[trace] file = ... conflicts with {key}"
+                    )));
+                }
+            }
+            TraceSource::File(PathBuf::from(file))
+        } else {
+            let style = match take_string(&mut trace_tbl, "style")?.as_deref() {
+                None | Some("mit") => TraceStyle::MitLike,
+                Some("cambridge") => TraceStyle::CambridgeLike,
+                Some(other) => {
+                    return Err(SpecError::global(format!(
+                        "[trace] unknown style {other:?} (mit or cambridge)"
+                    )))
+                }
+            };
+            let nodes = match trace_tbl.remove("nodes") {
+                None => None,
+                Some(Value::Int(n)) if n > 0 => Some(n as u32),
+                Some(v) => {
+                    return Err(SpecError::global(format!(
+                        "[trace] nodes must be a positive integer, got {}",
+                        v.type_name()
+                    )))
+                }
+            };
+            let hours = match trace_tbl.remove("hours") {
+                None => None,
+                Some(v) => Some(v.as_f64().ok_or_else(|| {
+                    SpecError::global(format!(
+                        "[trace] hours must be a number, got {}",
+                        v.type_name()
+                    ))
+                })?),
+            };
+            TraceSource::Synthetic {
+                style,
+                nodes,
+                hours,
+            }
+        };
+        reject_unknown(&trace_tbl, "trace")?;
+
+        let style_base = match &trace {
+            TraceSource::Synthetic {
+                style: TraceStyle::CambridgeLike,
+                ..
+            } => SimConfig::cambridge_default(),
+            _ => SimConfig::mit_default(),
+        };
+        let mut base = style_base;
+        let mut config_tbl = doc.remove("config").unwrap_or_default();
+        for key in CONFIG_KEYS {
+            if let Some(v) = config_tbl.remove(*key) {
+                let value = v.as_f64().ok_or_else(|| {
+                    SpecError::global(format!(
+                        "[config] {key} must be a number, got {}",
+                        v.type_name()
+                    ))
+                })?;
+                base = apply_config(base, key, value)?;
+            }
+        }
+        reject_unknown(&config_tbl, "config")?;
+
+        let mut grid = BTreeMap::new();
+        if let Some(grid_tbl) = doc.remove("grid") {
+            for (key, value) in grid_tbl {
+                if !CONFIG_KEYS.contains(&key.as_str()) {
+                    return Err(SpecError::global(format!(
+                        "[grid] unknown axis {key:?} (expected one of {CONFIG_KEYS:?})"
+                    )));
+                }
+                let Value::Array(items) = value else {
+                    return Err(SpecError::global(format!(
+                        "[grid] {key} must be an array of numbers"
+                    )));
+                };
+                let values: Vec<f64> = items
+                    .iter()
+                    .map(|v| {
+                        v.as_f64().ok_or_else(|| {
+                            SpecError::global(format!(
+                                "[grid] {key} must contain only numbers, got {}",
+                                v.type_name()
+                            ))
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                if values.is_empty() {
+                    return Err(SpecError::global(format!("[grid] {key} must be non-empty")));
+                }
+                grid.insert(key, values);
+            }
+        }
+
+        Ok(SweepSpec {
+            schemes,
+            seeds,
+            trace,
+            base,
+            grid,
+            fingerprint: fingerprint(text),
+        })
+    }
+
+    /// Expands the spec into the executable plan.
+    #[must_use]
+    pub fn plan(&self) -> SweepPlan {
+        // Cross product of the grid axes, keys in sorted order so the
+        // variant list is deterministic.
+        let axes: Vec<(&String, &Vec<f64>)> = self.grid.iter().collect();
+        let mut variants: Vec<(String, SimConfig)> = Vec::new();
+        let mut index = vec![0usize; axes.len()];
+        loop {
+            let mut name_parts = Vec::new();
+            let mut config = self.base.clone();
+            for (axis, &i) in axes.iter().zip(&index) {
+                let value = axis.1[i];
+                name_parts.push(format!("{}={}", axis.0, value));
+                config = apply_config(config, axis.0, value)
+                    .expect("grid keys validated against CONFIG_KEYS at parse time");
+            }
+            let name = if name_parts.is_empty() {
+                "base".to_string()
+            } else {
+                name_parts.join(",")
+            };
+            variants.push((name, config));
+            // Odometer increment; done when it wraps (or there are no
+            // axes, where the single base variant is the whole grid).
+            let mut carry = true;
+            for (slot, axis) in index.iter_mut().zip(&axes) {
+                *slot += 1;
+                if *slot < axis.1.len() {
+                    carry = false;
+                    break;
+                }
+                *slot = 0;
+            }
+            if carry {
+                break;
+            }
+        }
+        variants.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let mut cells = Vec::with_capacity(self.schemes.len() * variants.len() * self.seeds.len());
+        for scheme in &self.schemes {
+            for (variant, _) in &variants {
+                for &seed in &self.seeds {
+                    cells.push(CellId {
+                        scheme: scheme.clone(),
+                        variant: variant.clone(),
+                        seed,
+                    });
+                }
+            }
+        }
+        SweepPlan {
+            fingerprint: self.fingerprint,
+            cells,
+            variants: variants.into_iter().collect(),
+            trace: self.trace.clone(),
+        }
+    }
+}
+
+/// The executable form of a spec: the cell list plus per-variant configs
+/// and the trace recipe.
+#[derive(Clone, Debug)]
+pub struct SweepPlan {
+    /// Spec fingerprint (must match the journal on resume).
+    pub fingerprint: u64,
+    /// Every cell of the grid, in spec order.
+    pub cells: Vec<CellId>,
+    /// Variant name → resolved config.
+    pub variants: BTreeMap<String, SimConfig>,
+    /// Trace recipe shared by all cells.
+    pub trace: TraceSource,
+}
+
+impl SweepPlan {
+    /// The resolved config of a variant.
+    #[must_use]
+    pub fn config_of(&self, variant: &str) -> Option<&SimConfig> {
+        self.variants.get(variant)
+    }
+
+    /// Builds the contact trace for one cell.
+    ///
+    /// # Errors
+    ///
+    /// File traces return a retryable
+    /// [`FailureKind::TraceIo`](super::FailureKind::TraceIo) error when
+    /// the read or parse fails.
+    pub fn build_trace(&self, seed: u64) -> Result<ContactTrace, CellError> {
+        match &self.trace {
+            TraceSource::Synthetic {
+                style,
+                nodes,
+                hours,
+            } => {
+                let mut gen = CommunityTraceGenerator::new(*style);
+                if let Some(n) = nodes {
+                    gen = gen.with_num_nodes(*n);
+                }
+                if let Some(h) = hours {
+                    gen = gen.with_duration_hours(*h);
+                }
+                Ok(gen.generate(seed))
+            }
+            TraceSource::File(path) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| CellError::trace_io(format!("reading {}: {e}", path.display())))?;
+                photodtn_contacts::parse_trace(&text)
+                    .map_err(|e| CellError::trace_io(format!("parsing {}: {e}", path.display())))
+            }
+        }
+    }
+}
+
+fn apply_config(config: SimConfig, key: &str, value: f64) -> Result<SimConfig, SpecError> {
+    let check_range = |lo: f64, hi: f64| -> Result<(), SpecError> {
+        if (lo..=hi).contains(&value) {
+            Ok(())
+        } else {
+            Err(SpecError::global(format!(
+                "{key} = {value} out of range {lo}..={hi}"
+            )))
+        }
+    };
+    Ok(match key {
+        "photos_per_hour" => {
+            check_range(0.0, f64::MAX)?;
+            config.with_photos_per_hour(value)
+        }
+        "storage_gb" => {
+            check_range(0.0, f64::MAX)?;
+            config.with_storage_bytes((value * GB) as u64)
+        }
+        "deadline_hours" => {
+            check_range(0.0, f64::MAX)?;
+            config.with_deadline_hours(value)
+        }
+        "failure_fraction" => {
+            check_range(0.0, 1.0)?;
+            config.with_failure_fraction(value)
+        }
+        "fault_intensity" => {
+            check_range(0.0, 1.0)?;
+            if value > 0.0 {
+                config.with_faults(FaultConfig::chaos(value))
+            } else {
+                config.with_faults(FaultConfig::default())
+            }
+        }
+        "contact_cap_secs" => {
+            check_range(0.0, f64::MAX)?;
+            config.with_contact_duration_cap(value)
+        }
+        other => {
+            return Err(SpecError::global(format!("unknown config key {other:?}")));
+        }
+    })
+}
+
+fn reject_unknown(table: &BTreeMap<String, Value>, section: &str) -> Result<(), SpecError> {
+    if let Some(key) = table.keys().next() {
+        return Err(SpecError::global(format!(
+            "[{section}] unknown key {key:?}"
+        )));
+    }
+    Ok(())
+}
+
+fn take_string(
+    table: &mut BTreeMap<String, Value>,
+    key: &str,
+) -> Result<Option<String>, SpecError> {
+    match table.remove(key) {
+        None => Ok(None),
+        Some(Value::Str(s)) => Ok(Some(s)),
+        Some(v) => Err(SpecError::global(format!(
+            "{key} must be a string, got {}",
+            v.type_name()
+        ))),
+    }
+}
+
+fn take_string_array(
+    table: &mut BTreeMap<String, Value>,
+    key: &str,
+) -> Result<Option<Vec<String>>, SpecError> {
+    match table.remove(key) {
+        None => Ok(None),
+        Some(Value::Array(items)) => items
+            .into_iter()
+            .map(|v| match v {
+                Value::Str(s) => Ok(s),
+                other => Err(SpecError::global(format!(
+                    "{key} must contain strings, got {}",
+                    other.type_name()
+                ))),
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map(Some),
+        Some(v) => Err(SpecError::global(format!(
+            "{key} must be an array, got {}",
+            v.type_name()
+        ))),
+    }
+}
+
+fn take_int_array(
+    table: &mut BTreeMap<String, Value>,
+    key: &str,
+) -> Result<Option<Vec<u64>>, SpecError> {
+    match table.remove(key) {
+        None => Ok(None),
+        Some(Value::Array(items)) => items
+            .into_iter()
+            .map(|v| match v {
+                Value::Int(i) if i >= 0 => Ok(i as u64),
+                other => Err(SpecError::global(format!(
+                    "{key} must contain non-negative integers, got {other:?}"
+                ))),
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map(Some),
+        Some(v) => Err(SpecError::global(format!(
+            "{key} must be an array, got {}",
+            v.type_name()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = r#"
+# A sweep over two schemes and two fault intensities.
+[sweep]
+schemes = ["ours", "spray-wait"]
+seeds = [1, 2, 3]
+
+[trace]
+style = "mit"
+nodes = 24
+hours = 48.0
+
+[config]
+photos_per_hour = 60.0
+storage_gb = 0.6
+
+[grid]
+fault_intensity = [0.0, 0.5]
+"#;
+
+    #[test]
+    fn parses_and_expands_the_example() {
+        let spec = SweepSpec::parse(SPEC).unwrap();
+        assert_eq!(spec.schemes, vec!["ours", "spray-wait"]);
+        assert_eq!(spec.seeds, vec![1, 2, 3]);
+        assert_eq!(spec.base.photos_per_hour, 60.0);
+        let plan = spec.plan();
+        // 2 schemes × 2 variants × 3 seeds
+        assert_eq!(plan.cells.len(), 12);
+        assert_eq!(plan.variants.len(), 2);
+        assert!(plan.config_of("fault_intensity=0").is_some());
+        let faulty = plan.config_of("fault_intensity=0.5").unwrap();
+        assert!(!faulty.faults.is_noop());
+        let clean = plan.config_of("fault_intensity=0").unwrap();
+        assert!(clean.faults.is_noop());
+        // Spec order: scheme-major, then variant, then seed.
+        assert_eq!(plan.cells[0].scheme, "ours");
+        assert_eq!(plan.cells[0].variant, "fault_intensity=0");
+        assert_eq!(plan.cells[0].seed, 1);
+    }
+
+    #[test]
+    fn multi_axis_grid_is_a_cross_product() {
+        let text = r#"
+[sweep]
+schemes = ["ours"]
+seed_count = 2
+
+[grid]
+storage_gb = [0.3, 0.6]
+photos_per_hour = [50, 250]
+"#;
+        let plan = SweepSpec::parse(text).unwrap().plan();
+        assert_eq!(plan.variants.len(), 4);
+        assert_eq!(plan.cells.len(), 8);
+        let names: Vec<&String> = plan.variants.keys().collect();
+        assert!(names
+            .iter()
+            .all(|n| n.contains("storage_gb=") && n.contains("photos_per_hour=")));
+        let c = plan.config_of("photos_per_hour=50,storage_gb=0.3").unwrap();
+        assert_eq!(c.photos_per_hour, 50.0);
+        assert_eq!(c.storage_bytes, (0.3 * GB) as u64);
+    }
+
+    #[test]
+    fn no_grid_gives_single_base_variant() {
+        let text = "[sweep]\nschemes = [\"ours\"]\nseeds = [7]\n";
+        let plan = SweepSpec::parse(text).unwrap().plan();
+        assert_eq!(plan.variants.len(), 1);
+        assert!(plan.config_of("base").is_some());
+        assert_eq!(plan.cells.len(), 1);
+        assert_eq!(plan.cells[0].variant, "base");
+    }
+
+    #[test]
+    fn synthetic_trace_builds_deterministically() {
+        let spec = SweepSpec::parse(SPEC).unwrap();
+        let plan = spec.plan();
+        let a = plan.build_trace(1).unwrap();
+        let b = plan.build_trace(1).unwrap();
+        assert_eq!(a.num_nodes(), 24);
+        assert_eq!(a.events().len(), b.events().len());
+    }
+
+    #[test]
+    fn file_trace_io_error_is_retryable() {
+        let text = "[sweep]\nschemes = [\"ours\"]\nseeds = [1]\n[trace]\nfile = \"/nonexistent/x.trace\"\n";
+        let plan = SweepSpec::parse(text).unwrap().plan();
+        let err = plan.build_trace(1).unwrap_err();
+        assert!(err.kind.retryable());
+        assert!(err.message.contains("/nonexistent/x.trace"), "{err}");
+    }
+
+    #[test]
+    fn strict_rejection_of_unknown_names() {
+        for (text, needle) in [
+            ("[sweeep]\nschemes = [\"ours\"]\n", "unknown section"),
+            (
+                "[sweep]\nschemes = [\"ours\"]\nseeds = [1]\nscheems = [\"x\"]\n",
+                "unknown key",
+            ),
+            (
+                "[sweep]\nschemes = [\"ours\"]\nseeds = [1]\n[grid]\nstorage = [1]\n",
+                "unknown axis",
+            ),
+            (
+                "[sweep]\nschemes = [\"ours\"]\nseeds = [1]\n[trace]\nstyle = \"bogus\"\n",
+                "unknown style",
+            ),
+        ] {
+            let err = SweepSpec::parse(text).unwrap_err();
+            assert!(err.to_string().contains(needle), "{text}: {err}");
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        for (text, needle) in [
+            ("", "missing [sweep]"),
+            ("[sweep]\nseeds = [1]\n", "needs schemes"),
+            ("[sweep]\nschemes = [\"ours\"]\n", "needs seeds"),
+            ("[sweep]\nschemes = []\nseeds = [1]\n", "non-empty"),
+            (
+                "[sweep]\nschemes = [\"ours\"]\nseeds = [1]\n[config]\nfault_intensity = 1.5\n",
+                "out of range",
+            ),
+            (
+                "[sweep]\nschemes = [\"ours\"]\nseeds = [1]\n[trace]\nfile = \"x\"\nstyle = \"mit\"\n",
+                "conflicts",
+            ),
+            (
+                "[sweep]\nschemes = [\"ours\"]\nseeds = [-1]\n",
+                "non-negative",
+            ),
+        ] {
+            let err = SweepSpec::parse(text).unwrap_err();
+            assert!(err.to_string().contains(needle), "{text:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn toml_subset_syntax() {
+        let doc = parse_toml(
+            "# comment\n[s]\na = 1\nb = 2.5 # trailing\nc = \"x \\\" y\"\nd = [1, 2,]\ne = true\n",
+        )
+        .unwrap();
+        let s = &doc["s"];
+        assert_eq!(s["a"], Value::Int(1));
+        assert_eq!(s["b"], Value::Float(2.5));
+        assert_eq!(s["c"], Value::Str("x \" y".into()));
+        assert_eq!(s["d"], Value::Array(vec![Value::Int(1), Value::Int(2)]));
+        assert_eq!(s["e"], Value::Bool(true));
+    }
+
+    #[test]
+    fn toml_syntax_errors_carry_line_numbers() {
+        for (text, line) in [
+            ("[s\n", 1),
+            ("[s]\nkey value\n", 2),
+            ("[s]\na = \"unterminated\n", 2),
+            ("[s]\na = [1, [2]]\n", 2),
+            ("key = 1\n", 1),
+            ("[s]\na = 1\na = 2\n", 3),
+            ("[s]\na = 1 extra\n", 2),
+        ] {
+            let err = parse_toml(text).unwrap_err();
+            assert_eq!(err.line, line, "{text:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_text() {
+        let a = SweepSpec::parse(SPEC).unwrap();
+        let b = SweepSpec::parse(&format!("{SPEC}\n# edited")).unwrap();
+        assert_ne!(a.fingerprint, b.fingerprint);
+    }
+}

@@ -230,10 +230,18 @@ impl TraceSink for NullSink {
 /// Writes one JSON object per event (JSON Lines) through a buffered
 /// writer. I/O errors are reported to stderr once and further writes are
 /// dropped — observability must never abort a simulation.
+///
+/// Durability: the sink flushes on [`TraceEvent::RunEnd`] and again on
+/// drop, so a panic mid-run (which drops the simulation context and the
+/// sink with it) still leaves a line-complete JSONL file covering every
+/// event recorded before the panic. [`with_sync`](JsonlSink::with_sync)
+/// additionally `sync_all`s the file at those points for
+/// crash-of-the-process durability.
 #[derive(Debug)]
 pub struct JsonlSink {
     out: std::io::BufWriter<std::fs::File>,
     failed: bool,
+    sync: bool,
 }
 
 impl JsonlSink {
@@ -246,7 +254,16 @@ impl JsonlSink {
         Ok(JsonlSink {
             out: std::io::BufWriter::new(std::fs::File::create(path)?),
             failed: false,
+            sync: false,
         })
+    }
+
+    /// Enables `sync_all` at every flush point (run end and drop), making
+    /// the trace durable against process kill at the cost of an fsync.
+    #[must_use]
+    pub fn with_sync(mut self, sync: bool) -> Self {
+        self.sync = sync;
+        self
     }
 }
 
@@ -259,16 +276,37 @@ impl TraceSink for JsonlSink {
         if let Err(e) = writeln!(self.out, "{line}") {
             eprintln!("trace: write failed ({e}); disabling trace output");
             self.failed = true;
+            return;
+        }
+        if matches!(event, TraceEvent::RunEnd { .. }) {
+            self.flush();
         }
     }
 
     fn flush(&mut self) {
-        if let Err(e) = self.out.flush() {
-            if !self.failed {
-                eprintln!("trace: flush failed ({e})");
-                self.failed = true;
-            }
+        if self.failed {
+            return;
         }
+        let outcome = self.out.flush().and_then(|()| {
+            if self.sync {
+                self.out.get_ref().sync_all()
+            } else {
+                Ok(())
+            }
+        });
+        if let Err(e) = outcome {
+            eprintln!("trace: flush failed ({e})");
+            self.failed = true;
+        }
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        // A panic mid-run drops the simulation context (and this sink)
+        // without reaching the run-end flush; flushing here keeps the
+        // trace line-complete up to the last recorded event.
+        self.flush();
     }
 }
 

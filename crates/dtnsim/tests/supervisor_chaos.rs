@@ -1,0 +1,303 @@
+//! Self-chaos harness for the sweep supervisor: inject panicking, hanging
+//! and flaky-IO cells into real simulation batches and verify isolation,
+//! watchdog timeouts, retry policy and journaled resume.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use photodtn_contacts::synth::{CommunityTraceGenerator, TraceStyle};
+use photodtn_contacts::{ContactTrace, NodeId};
+use photodtn_coverage::Photo;
+use photodtn_sim::schemes_api::FloodScheme;
+use photodtn_sim::supervisor::{journal, run_batch};
+use photodtn_sim::{
+    BatchPolicy, CellError, CellId, FailureKind, Scheme, SimConfig, SimCtx, SimResult, Simulation,
+};
+
+fn trace_for_seed(seed: u64) -> ContactTrace {
+    CommunityTraceGenerator::new(TraceStyle::MitLike)
+        .with_num_nodes(8)
+        .with_duration_hours(10.0)
+        .generate(seed)
+}
+
+fn config() -> SimConfig {
+    SimConfig::mit_default().with_photos_per_hour(20.0)
+}
+
+fn cell(scheme: &str, seed: u64) -> CellId {
+    CellId {
+        scheme: scheme.into(),
+        variant: "base".into(),
+        seed,
+    }
+}
+
+/// Delegates to [`FloodScheme`] but panics on its first contact.
+struct PanicOnContact(FloodScheme);
+
+impl Scheme for PanicOnContact {
+    fn name(&self) -> &'static str {
+        "panic-on-contact"
+    }
+    fn respects_storage(&self) -> bool {
+        false
+    }
+    fn on_photo_generated(&mut self, ctx: &mut SimCtx, node: NodeId, photo: Photo) {
+        self.0.on_photo_generated(ctx, node, photo);
+    }
+    fn on_contact(&mut self, _ctx: &mut SimCtx, a: NodeId, b: NodeId, _budget: u64) {
+        panic!("chaos: deterministic scheme panic at contact ({a:?}, {b:?})");
+    }
+    fn on_upload(&mut self, ctx: &mut SimCtx, node: NodeId, budget: u64) {
+        self.0.on_upload(ctx, node, budget);
+    }
+}
+
+/// Runs the real simulator for a cell, dispatching on the scheme name so
+/// chaos cells can be injected into an otherwise healthy batch.
+fn run_real_cell(cell: &CellId) -> Result<SimResult, CellError> {
+    let config = config();
+    let trace = trace_for_seed(cell.seed);
+    match cell.scheme.as_str() {
+        "best-possible" => Ok(Simulation::new(&config, &trace, cell.seed).run(&mut FloodScheme)),
+        "panic-on-contact" => {
+            Ok(Simulation::new(&config, &trace, cell.seed).run(&mut PanicOnContact(FloodScheme)))
+        }
+        "hang" => loop {
+            // A hung scheme: never returns. The watchdog abandons this
+            // thread; it dies with the test process.
+            std::thread::sleep(Duration::from_millis(25));
+        },
+        other => panic!("unknown chaos scheme {other:?}"),
+    }
+}
+
+#[test]
+fn panicking_scheme_is_isolated_and_attributed() {
+    let cells = vec![
+        cell("best-possible", 1),
+        cell("panic-on-contact", 1),
+        cell("best-possible", 2),
+    ];
+    let report = run_batch(
+        &cells,
+        Arc::new(run_real_cell),
+        &BatchPolicy::default(),
+        |_, _| {},
+    );
+    assert!(!report.all_ok());
+    assert!(!report.total_failure(), "healthy cells must survive");
+    assert_eq!(report.completed().count(), 2);
+    let failures = report.failures();
+    assert_eq!(failures.len(), 1);
+    let failure = failures[0];
+    assert_eq!(failure.cell.scheme, "panic-on-contact");
+    assert_eq!(failure.cell.seed, 1);
+    assert_eq!(failure.kind, FailureKind::Panic);
+    assert_eq!(failure.attempts, 1, "deterministic panics never retry");
+    assert!(
+        failure
+            .message
+            .contains("chaos: deterministic scheme panic"),
+        "{}",
+        failure.message
+    );
+    for (c, r) in report.completed() {
+        assert_eq!(c.scheme, "best-possible");
+        assert!(r.final_sample().delivered_photos > 0);
+    }
+}
+
+#[test]
+fn hung_scheme_hits_the_watchdog_deadline() {
+    let cells = vec![cell("hang", 1), cell("best-possible", 1)];
+    let policy = BatchPolicy {
+        deadline: Some(Duration::from_millis(300)),
+        ..BatchPolicy::default()
+    };
+    let start = Instant::now();
+    let report = run_batch(&cells, Arc::new(run_real_cell), &policy, |_, _| {});
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "watchdog must abandon the hung cell, took {elapsed:?}"
+    );
+    assert_eq!(report.completed().count(), 1, "healthy cell completes");
+    let failures = report.failures();
+    assert_eq!(failures.len(), 1);
+    assert_eq!(failures[0].cell.scheme, "hang");
+    assert_eq!(failures[0].kind, FailureKind::Timeout);
+    assert!(
+        failures[0].message.contains("deadline"),
+        "{}",
+        failures[0].message
+    );
+}
+
+#[test]
+fn flaky_io_cell_succeeds_after_retry_with_backoff() {
+    let cells = vec![cell("best-possible", 1)];
+    let attempts_seen = Arc::new(AtomicU32::new(0));
+    let counter = Arc::clone(&attempts_seen);
+    let policy = BatchPolicy {
+        max_attempts: 3,
+        backoff: Duration::from_millis(20),
+        ..BatchPolicy::default()
+    };
+    let start = Instant::now();
+    let report = run_batch(
+        &cells,
+        Arc::new(move |c: &CellId| {
+            // First two attempts flake like a transient trace-file read
+            // failure; the third succeeds.
+            if counter.fetch_add(1, Ordering::SeqCst) < 2 {
+                return Err(CellError::trace_io("simulated transient read failure"));
+            }
+            run_real_cell(c)
+        }),
+        &policy,
+        |_, _| {},
+    );
+    let elapsed = start.elapsed();
+    assert!(report.all_ok(), "{:?}", report.failures());
+    assert_eq!(attempts_seen.load(Ordering::SeqCst), 3);
+    // Backoff before attempt 2 is 20ms, before attempt 3 is 40ms.
+    assert!(
+        elapsed >= Duration::from_millis(60),
+        "exponential backoff must actually wait, took {elapsed:?}"
+    );
+}
+
+#[test]
+fn retryable_failures_exhaust_attempts_and_report_the_count() {
+    let cells = vec![cell("best-possible", 1)];
+    let calls = Arc::new(AtomicU32::new(0));
+    let counter = Arc::clone(&calls);
+    let policy = BatchPolicy {
+        max_attempts: 3,
+        backoff: Duration::from_millis(1),
+        ..BatchPolicy::default()
+    };
+    let report = run_batch(
+        &cells,
+        Arc::new(move |_: &CellId| -> Result<SimResult, CellError> {
+            counter.fetch_add(1, Ordering::SeqCst);
+            Err(CellError::trace_io("disk is gone"))
+        }),
+        &policy,
+        |_, _| {},
+    );
+    assert!(report.total_failure());
+    let failures = report.failures();
+    assert_eq!(failures[0].kind, FailureKind::TraceIo);
+    assert_eq!(failures[0].attempts, 3);
+    assert_eq!(calls.load(Ordering::SeqCst), 3);
+}
+
+#[test]
+fn deterministic_panics_are_not_retried_even_with_retry_budget() {
+    let cells = vec![cell("panic-on-contact", 1)];
+    let calls = Arc::new(AtomicU32::new(0));
+    let counter = Arc::clone(&calls);
+    let policy = BatchPolicy {
+        max_attempts: 5,
+        backoff: Duration::from_millis(1),
+        ..BatchPolicy::default()
+    };
+    let report = run_batch(
+        &cells,
+        Arc::new(move |c: &CellId| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            run_real_cell(c)
+        }),
+        &policy,
+        |_, _| {},
+    );
+    let failures = report.failures();
+    assert_eq!(failures[0].kind, FailureKind::Panic);
+    assert_eq!(failures[0].attempts, 1);
+    assert_eq!(
+        calls.load(Ordering::SeqCst),
+        1,
+        "a deterministic panic must run exactly once"
+    );
+}
+
+#[test]
+fn journaled_batch_resumes_skipping_done_cells() {
+    let dir = std::env::temp_dir().join(format!("photodtn-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path: PathBuf = dir.join("resume.jsonl");
+    let fp = journal::fingerprint("chaos spec");
+    let cells: Vec<CellId> = (1..=4).map(|s| cell("best-possible", s)).collect();
+
+    // First run: journal every resolution, then pretend the process died
+    // after two cells by truncating the journal to its first three lines
+    // (header + 2 results).
+    let journal_handle = Arc::new(Mutex::new(
+        journal::Journal::create(&path, fp, cells.len() as u64, false).unwrap(),
+    ));
+    let sink = Arc::clone(&journal_handle);
+    let full = run_batch(
+        &cells,
+        Arc::new(run_real_cell),
+        &BatchPolicy::default(),
+        move |c, s| {
+            sink.lock().unwrap().record(c, s).unwrap();
+        },
+    );
+    assert!(full.all_ok());
+    drop(journal_handle);
+    let text = std::fs::read_to_string(&path).unwrap();
+    let keep: Vec<&str> = text.lines().take(3).collect();
+    std::fs::write(&path, keep.join("\n") + "\n").unwrap();
+
+    // Resume: load the journal, run only the remaining cells, merge.
+    let state = journal::load(&path, fp).unwrap();
+    assert_eq!(state.done.len(), 2);
+    let remaining: Vec<CellId> = cells
+        .iter()
+        .filter(|c| !state.done.contains_key(c))
+        .cloned()
+        .collect();
+    assert_eq!(remaining.len(), 2);
+    let rerun_count = Arc::new(AtomicU32::new(0));
+    let counter = Arc::clone(&rerun_count);
+    let partial = run_batch(
+        &remaining,
+        Arc::new(move |c: &CellId| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            run_real_cell(c)
+        }),
+        &BatchPolicy::default(),
+        |_, _| {},
+    );
+    assert_eq!(
+        rerun_count.load(Ordering::SeqCst),
+        2,
+        "journaled cells must not rerun"
+    );
+
+    // Merged results must be identical to the uninterrupted batch —
+    // determinism makes resumed cells exact replays.
+    let mut merged: Vec<(CellId, SimResult)> = state
+        .done
+        .into_iter()
+        .chain(
+            partial
+                .outcomes
+                .iter()
+                .map(|(c, s)| (c.clone(), s.result().expect("rerun cells succeed").clone())),
+        )
+        .collect();
+    merged.sort_by(|a, b| a.0.cmp(&b.0));
+    let full_results: Vec<(CellId, SimResult)> = full
+        .outcomes
+        .iter()
+        .map(|(c, s)| (c.clone(), s.result().unwrap().clone()))
+        .collect();
+    assert_eq!(merged, full_results);
+}

@@ -1,0 +1,127 @@
+//! Regression tests for `JsonlSink` durability: a panic mid-run must not
+//! silently truncate the trace tail — the file has to stay line-complete
+//! up to the last recorded event.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+use photodtn_contacts::synth::{CommunityTraceGenerator, TraceStyle};
+use photodtn_contacts::{ContactTrace, NodeId};
+use photodtn_coverage::Photo;
+use photodtn_sim::schemes_api::FloodScheme;
+use photodtn_sim::{JsonlSink, Scheme, SimConfig, SimCtx, Simulation};
+
+/// Delegates to [`FloodScheme`] but panics on the Nth contact.
+struct PanicOnContact {
+    inner: FloodScheme,
+    remaining: u32,
+}
+
+impl Scheme for PanicOnContact {
+    fn name(&self) -> &'static str {
+        "panic-on-contact"
+    }
+    fn respects_storage(&self) -> bool {
+        false
+    }
+    fn on_photo_generated(&mut self, ctx: &mut SimCtx, node: NodeId, photo: Photo) {
+        self.inner.on_photo_generated(ctx, node, photo);
+    }
+    fn on_contact(&mut self, ctx: &mut SimCtx, a: NodeId, b: NodeId, budget: u64) {
+        if self.remaining == 0 {
+            panic!("injected mid-run panic at contact ({a:?}, {b:?})");
+        }
+        self.remaining -= 1;
+        self.inner.on_contact(ctx, a, b, budget);
+    }
+    fn on_upload(&mut self, ctx: &mut SimCtx, node: NodeId, budget: u64) {
+        self.inner.on_upload(ctx, node, budget);
+    }
+}
+
+fn trace() -> ContactTrace {
+    CommunityTraceGenerator::new(TraceStyle::MitLike)
+        .with_num_nodes(8)
+        .with_duration_hours(10.0)
+        .generate(1)
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("photodtn-trace-durability-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(name)
+}
+
+/// Every line must parse as one JSON object; returns the event-tag names.
+fn parse_lines(path: &PathBuf) -> Vec<String> {
+    let text = std::fs::read_to_string(path).expect("trace file readable");
+    assert!(
+        text.ends_with('\n') || text.is_empty(),
+        "trace must end on a line boundary"
+    );
+    text.lines()
+        .enumerate()
+        .map(|(i, line)| {
+            let value: serde_json::Value = serde_json::from_str(line)
+                .unwrap_or_else(|e| panic!("line {} is not complete JSON ({e}): {line:?}", i + 1));
+            match value {
+                serde_json::Value::Object(map) => {
+                    map.keys().next().expect("tagged event object").clone()
+                }
+                other => panic!("line {} is not an object: {other:?}", i + 1),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn panic_mid_run_leaves_a_line_complete_trace() {
+    let path = temp_path("panicked.jsonl");
+    let config = SimConfig::mit_default().with_photos_per_hour(20.0);
+    let contact_trace = trace();
+    let mut sim = Simulation::new(&config, &contact_trace, 1);
+    sim.set_trace_sink(Box::new(
+        JsonlSink::create(path.to_str().unwrap()).expect("create sink"),
+    ));
+    let mut scheme = PanicOnContact {
+        inner: FloodScheme,
+        remaining: 5,
+    };
+    let outcome = catch_unwind(AssertUnwindSafe(|| sim.run(&mut scheme)));
+    assert!(outcome.is_err(), "the injected panic must fire");
+
+    // The panic unwound through the engine, dropping the sink mid-run;
+    // the Drop flush must have preserved everything recorded so far.
+    let tags = parse_lines(&path);
+    assert_eq!(tags.first().map(String::as_str), Some("RunBegin"));
+    assert!(
+        tags.iter().filter(|t| *t == "ContactBegin").count() >= 5,
+        "the contacts before the panic must be on disk: {tags:?}"
+    );
+    assert!(
+        !tags.iter().any(|t| t == "RunEnd"),
+        "the run never finished, so RunEnd must be absent"
+    );
+}
+
+#[test]
+fn run_end_flushes_without_dropping_the_sink() {
+    let path = temp_path("completed.jsonl");
+    let config = SimConfig::mit_default().with_photos_per_hour(20.0);
+    let contact_trace = trace();
+    let mut sim = Simulation::new(&config, &contact_trace, 1);
+    sim.set_trace_sink(Box::new(
+        JsonlSink::create(path.to_str().unwrap())
+            .expect("create sink")
+            .with_sync(true),
+    ));
+    let _ = sim.run(&mut FloodScheme);
+
+    // The sink is still alive inside `sim` — the RunEnd flush (with
+    // sync_all enabled) must already have put the full trace on disk.
+    let tags = parse_lines(&path);
+    assert_eq!(tags.first().map(String::as_str), Some("RunBegin"));
+    assert_eq!(tags.last().map(String::as_str), Some("RunEnd"));
+    drop(sim);
+}
