@@ -14,8 +14,13 @@
 //! *result* directories of a traced and an untraced invocation proves
 //! the tracing subsystem is a pure observer (CI does exactly that).
 //!
-//! Uses only APIs that exist in pre-optimization builds so the same
-//! source compiles against an old checkout.
+//! With `--shards N` every cell runs through the sharded parallel
+//! executor. Diffing against an unsharded invocation's directory proves
+//! the cross-shard merge is byte-exact (CI does exactly that too).
+//!
+//! The core dump path sticks to long-stable APIs so the source drops
+//! into older checkouts with little friction; `--shards` naturally needs
+//! a build that has `SimConfig::with_shards`.
 
 use photodtn_bench::scheme_by_name;
 use photodtn_contacts::synth::{CommunityTraceGenerator, TraceStyle};
@@ -70,13 +75,30 @@ fn result_json(r: &SimResult) -> String {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: dump_results OUTDIR [--trace TRACEDIR]";
+    let usage = "usage: dump_results OUTDIR [--trace TRACEDIR] [--shards N]";
     let outdir = args.first().cloned().unwrap_or_else(|| panic!("{usage}"));
-    let tracedir = match args.get(1).map(String::as_str) {
-        Some("--trace") => Some(args.get(2).cloned().unwrap_or_else(|| panic!("{usage}"))),
-        Some(other) => panic!("unknown argument {other:?}\n{usage}"),
-        None => None,
-    };
+    let mut tracedir = None;
+    let mut shards = 1usize;
+    let mut it = args.iter().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace" => {
+                tracedir = Some(it.next().cloned().unwrap_or_else(|| panic!("{usage}")));
+            }
+            "--shards" => {
+                shards = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("{usage}"));
+            }
+            other => panic!("unknown argument {other:?}\n{usage}"),
+        }
+    }
+    assert!(
+        !(shards > 1 && tracedir.is_some()),
+        "--shards and --trace are mutually exclusive: a trace sink forces \
+         the sequential path, so the sharded executor would not run"
+    );
     std::fs::create_dir_all(&outdir).expect("create output directory");
     if let Some(dir) = &tracedir {
         std::fs::create_dir_all(dir).expect("create trace directory");
@@ -91,7 +113,8 @@ fn main() {
         let mut config = SimConfig::mit_default()
             .with_photos_per_hour(30.0)
             .with_storage_bytes(40 * 4 * 1024 * 1024)
-            .with_faults(FaultConfig::chaos(intensity));
+            .with_faults(FaultConfig::chaos(intensity))
+            .with_shards(shards);
         config.num_pois = 60;
 
         for name in SCHEMES {

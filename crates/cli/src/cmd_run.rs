@@ -2,7 +2,7 @@
 
 use photodtn_bench::scheme_by_name;
 use photodtn_contacts::parse_trace;
-use photodtn_contacts::synth::{CommunityTraceGenerator, TraceStyle};
+use photodtn_contacts::synth::{CommunityTraceGenerator, MetroTraceGenerator, TraceStyle};
 use photodtn_coverage::fullview::{redundancy_degrees, FullViewReport};
 use photodtn_coverage::PhotoMeta;
 use photodtn_sim::{FaultConfig, JsonlSink, SimConfig, Simulation};
@@ -25,6 +25,7 @@ const SPEC: Spec = Spec {
         "failures",
         "faults",
         "trace-out",
+        "shards",
     ],
     switches: &["report", "json", "perf", "trace-sync"],
 };
@@ -40,21 +41,33 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
             parse_trace(&text).map_err(|e| e.to_string())?
         }
-        None => {
-            let style = match flags.get("style").unwrap_or("mit") {
-                "mit" => TraceStyle::MitLike,
-                "cambridge" => TraceStyle::CambridgeLike,
-                other => return Err(format!("run: unknown style {other:?}")),
-            };
-            let mut gen = CommunityTraceGenerator::new(style);
-            if flags.get("hours").is_some() {
-                gen = gen.with_duration_hours(flags.num("hours", 0.0)?);
+        None => match flags.get("style").unwrap_or("mit") {
+            "metro" => {
+                let mut gen = MetroTraceGenerator::new();
+                if flags.get("hours").is_some() {
+                    gen = gen.with_duration_hours(flags.num("hours", 0.0)?);
+                }
+                if flags.get("nodes").is_some() {
+                    gen = gen.with_num_nodes(flags.num("nodes", 0u32)?);
+                }
+                gen.generate(seed)
             }
-            if flags.get("nodes").is_some() {
-                gen = gen.with_num_nodes(flags.num("nodes", 0u32)?);
+            style => {
+                let style = match style {
+                    "mit" => TraceStyle::MitLike,
+                    "cambridge" => TraceStyle::CambridgeLike,
+                    other => return Err(format!("run: unknown style {other:?}")),
+                };
+                let mut gen = CommunityTraceGenerator::new(style);
+                if flags.get("hours").is_some() {
+                    gen = gen.with_duration_hours(flags.num("hours", 0.0)?);
+                }
+                if flags.get("nodes").is_some() {
+                    gen = gen.with_num_nodes(flags.num("nodes", 0u32)?);
+                }
+                gen.generate(seed)
             }
-            gen.generate(seed)
-        }
+        },
     };
 
     let mut config = SimConfig::mit_default();
@@ -77,6 +90,11 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     if fault_intensity > 0.0 {
         config = config.with_faults(FaultConfig::chaos(fault_intensity));
     }
+    // 0 auto-sizes to the machine's cores; 1 (the default) stays on the
+    // plain sequential path.
+    if flags.get("shards").is_some() {
+        config = config.with_shards(flags.num("shards", 1usize)?);
+    }
 
     let mut scheme = scheme_by_name(scheme_name);
     let mut sim = Simulation::try_new(&config, &trace, seed).map_err(|e| format!("run: {e}"))?;
@@ -86,6 +104,9 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             .with_sync(flags.has("trace-sync"));
         sim.set_trace_sink(Box::new(sink));
         eprintln!("tracing run events to {path}");
+        if config.shards != 1 {
+            eprintln!("note: tracing forces the sequential path; --shards is ignored");
+        }
     } else if flags.has("trace-sync") {
         return Err("run: --trace-sync requires --trace-out".into());
     }
@@ -136,6 +157,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             stats.ns_per_contact()
         );
         println!("  uploads        : {}", stats.uploads);
+        println!("  shard workers  : {}", stats.workers);
         println!(
             "  coverage cache : {} hits / {} misses ({:.1}% hit rate, {} evictions)",
             stats.cache.hits,
@@ -238,6 +260,15 @@ mod tests {
         run(&argv(
             "--scheme spray-wait --style mit --nodes 8 --hours 6 --photos-per-hour 10 \
              --storage-gb 0.1 --deadline 5 --failures 0.2 --seed 2 --report --json --perf",
+        ))
+        .unwrap();
+    }
+
+    #[test]
+    fn metro_style_sharded_run() {
+        run(&argv(
+            "--scheme ours --style metro --nodes 300 --hours 1 --photos-per-hour 50 \
+             --shards 2 --seed 2 --json --perf",
         ))
         .unwrap();
     }

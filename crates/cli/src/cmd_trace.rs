@@ -3,7 +3,9 @@
 use photodtn_contacts::stats::{
     exponential_mle, inter_contact_times, ks_statistic_exponential, summarize,
 };
-use photodtn_contacts::synth::{CommunityTraceGenerator, TraceStyle, WaypointTraceGenerator};
+use photodtn_contacts::synth::{
+    CommunityTraceGenerator, MetroTraceGenerator, TraceStyle, WaypointTraceGenerator,
+};
 use photodtn_contacts::{parse_trace, write_trace, ContactTrace};
 
 use crate::args::{Flags, Spec};
@@ -58,6 +60,16 @@ fn gen(flags: &Flags) -> Result<(), String> {
     let trace = match flags.get("style").unwrap_or("mit") {
         "mit" => community(TraceStyle::MitLike, nodes, hours, seed),
         "cambridge" => community(TraceStyle::CambridgeLike, nodes, hours, seed),
+        "metro" => {
+            let mut gen = MetroTraceGenerator::new();
+            if let Some(n) = nodes {
+                gen = gen.with_num_nodes(n);
+            }
+            if let Some(h) = hours {
+                gen = gen.with_duration_hours(h);
+            }
+            gen.generate(seed)
+        }
         "waypoint" => {
             let gen = WaypointTraceGenerator::new(
                 nodes.unwrap_or(20),

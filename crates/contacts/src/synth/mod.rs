@@ -21,8 +21,10 @@
 
 mod community;
 mod exponential;
+mod metro;
 mod waypoint;
 
 pub use community::{CommunityTraceGenerator, TraceStyle};
 pub use exponential::PairwiseExponentialGenerator;
+pub use metro::MetroTraceGenerator;
 pub use waypoint::{MobilityTracks, WaypointTraceGenerator};

@@ -75,10 +75,24 @@ pub struct SimConfig {
     /// (evicted tables are deterministically rebuilt), only speed differs.
     #[serde(default = "default_coverage_cache_capacity")]
     pub coverage_cache_capacity: usize,
+    /// Number of spatial region shards to process events in parallel
+    /// with. `1` (the default) runs the plain sequential engine; `0`
+    /// auto-sizes to the machine
+    /// ([`default_worker_count`](crate::default_worker_count)); `>= 2`
+    /// partitions the node population by contact locality and executes
+    /// intra-shard events on worker threads, with a deterministic
+    /// cross-shard merge that keeps results byte-identical to the
+    /// sequential engine for the same seed.
+    #[serde(default = "default_shards")]
+    pub shards: usize,
 }
 
 fn default_coverage_cache_capacity() -> usize {
     photodtn_coverage::CoverageTableCache::DEFAULT_CAPACITY
+}
+
+fn default_shards() -> usize {
+    1
 }
 
 impl SimConfig {
@@ -106,6 +120,7 @@ impl SimConfig {
             failure_fraction: 0.0,
             faults: FaultConfig::default(),
             coverage_cache_capacity: default_coverage_cache_capacity(),
+            shards: default_shards(),
         }
     }
 
@@ -171,6 +186,14 @@ impl SimConfig {
     #[must_use]
     pub fn with_coverage_cache_capacity(mut self, entries: usize) -> Self {
         self.coverage_cache_capacity = entries;
+        self
+    }
+
+    /// Sets the shard count (builder-style): `1` sequential, `0`
+    /// auto-sized, `>= 2` parallel with that many region shards.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
         self
     }
 

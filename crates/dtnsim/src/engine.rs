@@ -12,8 +12,9 @@ use photodtn_coverage::{
 };
 use photodtn_prophet::ProphetRouter;
 
+use crate::ctx::ProphetHandle;
 use crate::faults::{FaultPlan, FaultState};
-use crate::queue::{EventKind, EventQueue};
+use crate::queue::{EventKind, EventQueue, ScheduledEvent};
 use crate::trace::{TraceEvent, TraceSink, Tracer};
 use crate::{CommandCenterMode, MetricSample, RunStats, Scheme, SimConfig, SimCtx, SimResult};
 
@@ -55,15 +56,15 @@ impl std::error::Error for SimBuildError {}
 /// same world with the same scheme twice yields identical results.
 #[derive(Debug)]
 pub struct Simulation {
-    config: SimConfig,
-    events: EventQueue,
-    pois: Arc<PoiList>,
-    gateways: Vec<NodeId>,
-    num_participants: u32,
-    duration: f64,
-    seed: u64,
+    pub(crate) config: SimConfig,
+    pub(crate) events: EventQueue,
+    pub(crate) pois: Arc<PoiList>,
+    pub(crate) gateways: Vec<NodeId>,
+    pub(crate) num_participants: u32,
+    pub(crate) duration: f64,
+    pub(crate) seed: u64,
     /// Contacts replayed into PROPHET before the first event.
-    warmup_contacts: Vec<(NodeId, NodeId, f64)>,
+    pub(crate) warmup_contacts: Vec<(NodeId, NodeId, f64)>,
     /// Scheduled crash/reboot outages (empty when churn is disabled).
     fault_plan: FaultPlan,
     /// Optional structured-trace sink, observed (never consulted) by
@@ -415,7 +416,20 @@ impl Simulation {
     ) -> (SimResult, PhotoCollection, RunStats) {
         let started = Instant::now();
         self.events.ensure_ordered();
-        let mut stats = RunStats::default();
+        // Sharded dispatch: byte-identical to the sequential path below
+        // for any fixed seed. Falls through when the scheme cannot fork
+        // shard replicas or tracing is attached (the trace stream is an
+        // inherently sequential observer).
+        let shards = crate::shard::resolve_shard_count(self.config.shards, self.num_participants);
+        if shards >= 2 && self.trace_sink.is_none() {
+            if let Some(out) = crate::shard::run_sharded(self, scheme, shards, started) {
+                return out;
+            }
+        }
+        let mut stats = RunStats {
+            workers: 1,
+            ..RunStats::default()
+        };
         let cc_prophet_id = NodeId(self.num_participants);
         let mut ctx = SimCtx {
             pois: Arc::clone(&self.pois),
@@ -425,7 +439,10 @@ impl Simulation {
             collections: vec![PhotoCollection::new(); self.num_participants as usize],
             cc_received: PhotoCollection::new(),
             cc_profile: CoverageProfile::new(&self.pois, self.config.coverage),
-            prophet: ProphetRouter::new(self.num_participants + 1, self.config.prophet),
+            prophet: ProphetHandle::Live(ProphetRouter::new(
+                self.num_participants + 1,
+                self.config.prophet,
+            )),
             cc_prophet_id,
             gateways: self.gateways.clone(),
             rng: SmallRng::seed_from_u64(self.seed ^ 0x5C4E_3E00_0000_0002),
@@ -455,10 +472,10 @@ impl Simulation {
         }
         scheme.on_init(&mut ctx);
 
+        let env = EventEnv::of(&self.config);
         let mut samples = Vec::new();
         let mut next_sample = self.config.sample_interval.max(1.0);
-        for event in self.events.ordered() {
-            stats.events += 1;
+        for (idx, event) in self.events.ordered().iter().enumerate() {
             while event.t >= next_sample {
                 samples.push(sample_of(&ctx, next_sample));
                 if ctx.tracer.enabled() {
@@ -466,190 +483,7 @@ impl Simulation {
                 }
                 next_sample += self.config.sample_interval.max(1.0);
             }
-            ctx.now = event.t;
-            let t = event.t;
-            match &event.kind {
-                EventKind::Generate(node, photo) => {
-                    // A crashed phone takes no photos.
-                    if ctx.faults.is_down(*node) {
-                        let (node, photo_id) = (node.0, photo.id.0);
-                        ctx.tracer.emit_with(|| TraceEvent::PhotoGenerationLost {
-                            t,
-                            node,
-                            photo: photo_id,
-                        });
-                        continue;
-                    }
-                    scheme.on_photo_generated(&mut ctx, *node, *photo);
-                    if ctx.tracer.enabled() {
-                        let stored = ctx.collection(*node).contains(photo.id);
-                        let (node, photo_id, size) = (node.0, photo.id.0, photo.size);
-                        ctx.tracer.emit_with(|| TraceEvent::PhotoGenerated {
-                            t,
-                            node,
-                            photo: photo_id,
-                            size,
-                            stored,
-                        });
-                    }
-                    debug_assert!(
-                        !scheme.respects_storage()
-                            || ctx.collection(*node).total_size() <= self.config.storage_bytes,
-                        "{} exceeded storage after generation",
-                        node
-                    );
-                }
-                EventKind::Contact(a, b, dur) => {
-                    // A contact with a crashed endpoint never happens —
-                    // not even for PROPHET, whose predictabilities about
-                    // the crashed node therefore go stale (§III-B).
-                    if ctx.faults.is_down(*a) || ctx.faults.is_down(*b) {
-                        ctx.faults.stats.contacts_skipped_down += 1;
-                        let (a, b) = (a.0, b.0);
-                        ctx.tracer
-                            .emit_with(|| TraceEvent::ContactSkippedDown { t, a, b });
-                        continue;
-                    }
-                    ctx.prophet.contact(*a, *b, event.t);
-                    if ctx.tracer.enabled() {
-                        let (p_a, p_b) = (ctx.delivery_prob(*a), ctx.delivery_prob(*b));
-                        let (a, b) = (a.0, b.0);
-                        ctx.tracer
-                            .emit_with(|| TraceEvent::ProphetUpdate { t, a, b, p_a, p_b });
-                    }
-                    let link = (self.config.bandwidth as f64 * dur) as u64;
-                    let budget = ctx.faults.roll_contact_budget(link);
-                    {
-                        let (a, b) = (a.0, b.0);
-                        ctx.tracer.emit_with(|| TraceEvent::ContactBegin {
-                            t,
-                            a,
-                            b,
-                            link_bytes: link,
-                            budget_bytes: budget,
-                            interrupted: budget < link,
-                        });
-                    }
-                    stats.contacts += 1;
-                    let before = ctx.tracer.enabled().then_some((
-                        ctx.metadata_bytes,
-                        ctx.faults.stats.transfers_lost,
-                        ctx.faults.stats.transfers_corrupt,
-                    ));
-                    scheme.on_contact(&mut ctx, *a, *b, budget);
-                    if let Some((md, lost, corrupt)) = before {
-                        let metadata_bytes = ctx.metadata_bytes - md;
-                        let transfers_lost = ctx.faults.stats.transfers_lost - lost;
-                        let transfers_corrupt = ctx.faults.stats.transfers_corrupt - corrupt;
-                        let (a, b) = (a.0, b.0);
-                        ctx.tracer.emit_with(|| TraceEvent::ContactEnd {
-                            t,
-                            a,
-                            b,
-                            metadata_bytes,
-                            transfers_lost,
-                            transfers_corrupt,
-                        });
-                    }
-                }
-                EventKind::Upload(node, dur) => {
-                    if ctx.faults.is_down(*node) {
-                        ctx.faults.stats.contacts_skipped_down += 1;
-                        let node = node.0;
-                        ctx.tracer
-                            .emit_with(|| TraceEvent::UploadSkippedDown { t, node });
-                        continue;
-                    }
-                    let link = (self.config.bandwidth as f64 * dur) as u64;
-                    // A dropped window means the link never came up at
-                    // all, so PROPHET learns nothing from it either.
-                    let Some(budget) = ctx.faults.roll_uplink_budget(link) else {
-                        let node = node.0;
-                        ctx.tracer.emit_with(|| TraceEvent::UplinkDropped {
-                            t,
-                            node,
-                            link_bytes: link,
-                        });
-                        continue;
-                    };
-                    ctx.prophet.contact(*node, cc_prophet_id, event.t);
-                    if ctx.tracer.enabled() {
-                        let p_a = ctx.delivery_prob(*node);
-                        let (a, b) = (node.0, cc_prophet_id.0);
-                        ctx.tracer.emit_with(|| TraceEvent::ProphetUpdate {
-                            t,
-                            a,
-                            b,
-                            p_a,
-                            p_b: 1.0,
-                        });
-                    }
-                    {
-                        let node = node.0;
-                        ctx.tracer.emit_with(|| TraceEvent::UploadBegin {
-                            t,
-                            node,
-                            link_bytes: link,
-                            budget_bytes: budget,
-                            degraded: budget < link,
-                        });
-                    }
-                    stats.uploads += 1;
-                    let before = ctx.tracer.enabled().then(|| {
-                        (
-                            ctx.uploaded_bytes,
-                            ctx.cc_received.len() as u64,
-                            ctx.faults.stats.transfers_lost,
-                            ctx.faults.stats.transfers_corrupt,
-                        )
-                    });
-                    scheme.on_upload(&mut ctx, *node, budget);
-                    if let Some((bytes, delivered, lost, corrupt)) = before {
-                        let bytes = ctx.uploaded_bytes - bytes;
-                        let delivered = ctx.cc_received.len() as u64 - delivered;
-                        let lost = ctx.faults.stats.transfers_lost - lost;
-                        let corrupt = ctx.faults.stats.transfers_corrupt - corrupt;
-                        let node = node.0;
-                        ctx.tracer.emit_with(|| TraceEvent::UploadEnd {
-                            t,
-                            node,
-                            bytes,
-                            delivered,
-                            lost,
-                            corrupt,
-                        });
-                    }
-                }
-                EventKind::Crash(node) => {
-                    // Let the scheme observe the pre-wipe buffer (Checked
-                    // uses this to track which photos just became
-                    // unrecoverable), then lose everything the node held.
-                    scheme.on_node_crashed(&mut ctx, *node);
-                    if ctx.tracer.enabled() {
-                        let buffer = &ctx.collections[node.index()];
-                        let (photos_lost, bytes_lost) = (buffer.len() as u64, buffer.total_size());
-                        let node = node.0;
-                        ctx.tracer.emit_with(|| TraceEvent::NodeCrashed {
-                            t,
-                            node,
-                            photos_lost,
-                            bytes_lost,
-                        });
-                    }
-                    ctx.collections[node.index()].clear();
-                    if self.config.faults.wipe_routing_state {
-                        ctx.prophet.reset_node(*node);
-                    }
-                    ctx.faults.set_down(*node, true);
-                    ctx.faults.stats.node_crashes += 1;
-                }
-                EventKind::Reboot(node) => {
-                    ctx.faults.set_down(*node, false);
-                    let node = node.0;
-                    ctx.tracer
-                        .emit_with(|| TraceEvent::NodeRebooted { t, node });
-                }
-            }
+            process_event(&mut ctx, scheme, event, idx as u32 + 1, env, &mut stats);
         }
         ctx.now = self.duration;
         samples.push(sample_of(&ctx, self.duration));
@@ -683,7 +517,240 @@ impl Simulation {
     }
 }
 
-fn sample_of(ctx: &SimCtx, t: f64) -> MetricSample {
+/// The per-run scalars [`process_event`] needs from the config —
+/// `Copy`, so the sequential loop, the shard coordinator, and every
+/// shard worker can share one value without borrowing the config.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct EventEnv {
+    pub(crate) bandwidth: u64,
+    pub(crate) wipe_routing_state: bool,
+    /// Cached `!config.faults.is_noop()`: per-event RNG rekeying happens
+    /// only when some fault channel is live, so fault-free runs consume
+    /// no randomness and stay bit-identical to builds without the
+    /// injector.
+    pub(crate) faults_active: bool,
+}
+
+impl EventEnv {
+    pub(crate) fn of(config: &SimConfig) -> Self {
+        EventEnv {
+            bandwidth: config.bandwidth,
+            wipe_routing_state: config.faults.wipe_routing_state,
+            faults_active: !config.faults.is_noop(),
+        }
+    }
+}
+
+/// Executes one scheduled event against `(ctx, scheme)` — the single
+/// definition of event semantics, shared verbatim by the sequential
+/// engine, the shard workers (intra-shard events), and the shard
+/// coordinator (boundary events), so sharded execution cannot drift from
+/// the sequential behavior.
+///
+/// `pos` is the event's execution position (its index in the ordered
+/// queue plus one; 0 is reserved for pre-run warmup state) — frozen
+/// PROPHET handles read the precomputed timeline at this position.
+pub(crate) fn process_event<S: Scheme + ?Sized>(
+    ctx: &mut SimCtx,
+    scheme: &mut S,
+    event: &ScheduledEvent,
+    pos: u32,
+    env: EventEnv,
+    stats: &mut RunStats,
+) {
+    stats.events += 1;
+    if env.faults_active {
+        ctx.faults.begin_event(event.seq);
+    }
+    ctx.prophet.set_pos(pos);
+    ctx.now = event.t;
+    let t = event.t;
+    let cc_prophet_id = ctx.cc_prophet_id;
+    match &event.kind {
+        EventKind::Generate(node, photo) => {
+            // A crashed phone takes no photos.
+            if ctx.faults.is_down(*node) {
+                let (node, photo_id) = (node.0, photo.id.0);
+                ctx.tracer.emit_with(|| TraceEvent::PhotoGenerationLost {
+                    t,
+                    node,
+                    photo: photo_id,
+                });
+                return;
+            }
+            scheme.on_photo_generated(ctx, *node, *photo);
+            if ctx.tracer.enabled() {
+                let stored = ctx.collection(*node).contains(photo.id);
+                let (node, photo_id, size) = (node.0, photo.id.0, photo.size);
+                ctx.tracer.emit_with(|| TraceEvent::PhotoGenerated {
+                    t,
+                    node,
+                    photo: photo_id,
+                    size,
+                    stored,
+                });
+            }
+            debug_assert!(
+                !scheme.respects_storage()
+                    || ctx.collection(*node).total_size() <= ctx.storage_bytes,
+                "{} exceeded storage after generation",
+                node
+            );
+        }
+        EventKind::Contact(a, b, dur) => {
+            // A contact with a crashed endpoint never happens —
+            // not even for PROPHET, whose predictabilities about
+            // the crashed node therefore go stale (§III-B).
+            if ctx.faults.is_down(*a) || ctx.faults.is_down(*b) {
+                ctx.faults.stats.contacts_skipped_down += 1;
+                let (a, b) = (a.0, b.0);
+                ctx.tracer
+                    .emit_with(|| TraceEvent::ContactSkippedDown { t, a, b });
+                return;
+            }
+            ctx.prophet.contact(*a, *b, event.t);
+            if ctx.tracer.enabled() {
+                let (p_a, p_b) = (ctx.delivery_prob(*a), ctx.delivery_prob(*b));
+                let (a, b) = (a.0, b.0);
+                ctx.tracer
+                    .emit_with(|| TraceEvent::ProphetUpdate { t, a, b, p_a, p_b });
+            }
+            let link = (env.bandwidth as f64 * dur) as u64;
+            let budget = ctx.faults.roll_contact_budget(link);
+            {
+                let (a, b) = (a.0, b.0);
+                ctx.tracer.emit_with(|| TraceEvent::ContactBegin {
+                    t,
+                    a,
+                    b,
+                    link_bytes: link,
+                    budget_bytes: budget,
+                    interrupted: budget < link,
+                });
+            }
+            stats.contacts += 1;
+            let before = ctx.tracer.enabled().then_some((
+                ctx.metadata_bytes,
+                ctx.faults.stats.transfers_lost,
+                ctx.faults.stats.transfers_corrupt,
+            ));
+            scheme.on_contact(ctx, *a, *b, budget);
+            if let Some((md, lost, corrupt)) = before {
+                let metadata_bytes = ctx.metadata_bytes - md;
+                let transfers_lost = ctx.faults.stats.transfers_lost - lost;
+                let transfers_corrupt = ctx.faults.stats.transfers_corrupt - corrupt;
+                let (a, b) = (a.0, b.0);
+                ctx.tracer.emit_with(|| TraceEvent::ContactEnd {
+                    t,
+                    a,
+                    b,
+                    metadata_bytes,
+                    transfers_lost,
+                    transfers_corrupt,
+                });
+            }
+        }
+        EventKind::Upload(node, dur) => {
+            if ctx.faults.is_down(*node) {
+                ctx.faults.stats.contacts_skipped_down += 1;
+                let node = node.0;
+                ctx.tracer
+                    .emit_with(|| TraceEvent::UploadSkippedDown { t, node });
+                return;
+            }
+            let link = (env.bandwidth as f64 * dur) as u64;
+            // A dropped window means the link never came up at
+            // all, so PROPHET learns nothing from it either.
+            let Some(budget) = ctx.faults.roll_uplink_budget(link) else {
+                let node = node.0;
+                ctx.tracer.emit_with(|| TraceEvent::UplinkDropped {
+                    t,
+                    node,
+                    link_bytes: link,
+                });
+                return;
+            };
+            ctx.prophet.contact(*node, cc_prophet_id, event.t);
+            if ctx.tracer.enabled() {
+                let p_a = ctx.delivery_prob(*node);
+                let (a, b) = (node.0, cc_prophet_id.0);
+                ctx.tracer.emit_with(|| TraceEvent::ProphetUpdate {
+                    t,
+                    a,
+                    b,
+                    p_a,
+                    p_b: 1.0,
+                });
+            }
+            {
+                let node = node.0;
+                ctx.tracer.emit_with(|| TraceEvent::UploadBegin {
+                    t,
+                    node,
+                    link_bytes: link,
+                    budget_bytes: budget,
+                    degraded: budget < link,
+                });
+            }
+            stats.uploads += 1;
+            let before = ctx.tracer.enabled().then(|| {
+                (
+                    ctx.uploaded_bytes,
+                    ctx.cc_received.len() as u64,
+                    ctx.faults.stats.transfers_lost,
+                    ctx.faults.stats.transfers_corrupt,
+                )
+            });
+            scheme.on_upload(ctx, *node, budget);
+            if let Some((bytes, delivered, lost, corrupt)) = before {
+                let bytes = ctx.uploaded_bytes - bytes;
+                let delivered = ctx.cc_received.len() as u64 - delivered;
+                let lost = ctx.faults.stats.transfers_lost - lost;
+                let corrupt = ctx.faults.stats.transfers_corrupt - corrupt;
+                let node = node.0;
+                ctx.tracer.emit_with(|| TraceEvent::UploadEnd {
+                    t,
+                    node,
+                    bytes,
+                    delivered,
+                    lost,
+                    corrupt,
+                });
+            }
+        }
+        EventKind::Crash(node) => {
+            // Let the scheme observe the pre-wipe buffer (Checked
+            // uses this to track which photos just became
+            // unrecoverable), then lose everything the node held.
+            scheme.on_node_crashed(ctx, *node);
+            if ctx.tracer.enabled() {
+                let buffer = &ctx.collections[node.index()];
+                let (photos_lost, bytes_lost) = (buffer.len() as u64, buffer.total_size());
+                let node = node.0;
+                ctx.tracer.emit_with(|| TraceEvent::NodeCrashed {
+                    t,
+                    node,
+                    photos_lost,
+                    bytes_lost,
+                });
+            }
+            ctx.collections[node.index()].clear();
+            if env.wipe_routing_state {
+                ctx.prophet.reset_node(*node);
+            }
+            ctx.faults.set_down(*node, true);
+            ctx.faults.stats.node_crashes += 1;
+        }
+        EventKind::Reboot(node) => {
+            ctx.faults.set_down(*node, false);
+            let node = node.0;
+            ctx.tracer
+                .emit_with(|| TraceEvent::NodeRebooted { t, node });
+        }
+    }
+}
+
+pub(crate) fn sample_of(ctx: &SimCtx, t: f64) -> MetricSample {
     let total_weight = ctx.pois.total_weight().max(f64::MIN_POSITIVE);
     let cov = ctx.cc_coverage();
     let stats = ctx.faults.stats();

@@ -255,6 +255,7 @@ pub struct FaultStats {
 #[derive(Debug)]
 pub struct FaultState {
     config: FaultConfig,
+    base_seed: u64,
     rng: SmallRng,
     down: Vec<bool>,
     pub(crate) stats: FaultStats,
@@ -262,12 +263,32 @@ pub struct FaultState {
 
 impl FaultState {
     pub(crate) fn new(config: FaultConfig, num_nodes: u32, seed: u64) -> Self {
+        let base_seed = seed ^ 0xFA17_D1CE_0000_0004;
         FaultState {
             config,
-            rng: SmallRng::seed_from_u64(seed ^ 0xFA17_D1CE_0000_0004),
+            base_seed,
+            rng: SmallRng::seed_from_u64(base_seed),
             down: vec![false; num_nodes as usize],
             stats: FaultStats::default(),
         }
+    }
+
+    /// Rekeys the coin-flip stream to one event, identified by its queue
+    /// push sequence number (unique per run, identical between sequential
+    /// and sharded execution because both consume the same materialized
+    /// queue).
+    ///
+    /// The engine calls this at the top of every event *only when faults
+    /// are active* (`!config.is_noop()`), so fault-free runs consume no
+    /// randomness at all. With per-event keys, the draws an event makes
+    /// depend only on `(base_seed, seq)` and the within-event draw order
+    /// — never on how many draws earlier events made — which is what lets
+    /// shard workers replay events out of global order and still produce
+    /// bit-identical fault decisions.
+    pub(crate) fn begin_event(&mut self, seq: u64) {
+        self.rng = SmallRng::seed_from_u64(splitmix64(
+            self.base_seed ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ));
     }
 
     /// The active fault configuration.
@@ -351,6 +372,15 @@ impl FaultState {
 
 fn sample_exp<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
     -rng.gen_range(f64::MIN_POSITIVE..1.0f64).ln() / rate
+}
+
+/// The splitmix64 finalizer: a cheap bijective mixer so per-event seeds
+/// derived from consecutive sequence numbers land far apart.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -455,6 +485,30 @@ mod tests {
         assert_eq!(c.uplink_degrade_prob, 0.0);
         assert_eq!(c.crashes_per_node_hour, 0.0);
         assert_eq!(c.reboot_delay, 0.0);
+    }
+
+    #[test]
+    fn begin_event_makes_draws_position_independent() {
+        let c = FaultConfig::default()
+            .with_transfer_loss_prob(0.3)
+            .with_transfer_corrupt_prob(0.2);
+        // In-order replay: key each event, record its draws.
+        let mut a = FaultState::new(c, 1, 11);
+        let mut in_order = Vec::new();
+        for seq in 0..200u64 {
+            a.begin_event(seq);
+            in_order.push((a.roll_transfer(), a.roll_transfer()));
+        }
+        // Out-of-order replay (reversed) must reproduce each event's
+        // draws exactly — prior events' consumption is irrelevant.
+        let mut b = FaultState::new(c, 1, 11);
+        for seq in (0..200u64).rev() {
+            b.begin_event(seq);
+            let draws = (b.roll_transfer(), b.roll_transfer());
+            assert_eq!(draws, in_order[seq as usize], "event {seq}");
+        }
+        // Distinct events see distinct streams.
+        assert!(in_order.windows(2).any(|w| w[0] != w[1]));
     }
 
     #[test]

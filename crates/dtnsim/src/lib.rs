@@ -48,6 +48,7 @@ mod metrics;
 mod queue;
 mod runner;
 pub mod schemes_api;
+mod shard;
 pub mod supervisor;
 pub mod trace;
 
@@ -60,6 +61,7 @@ pub use metrics::{MetricSample, RunStats, SimResult};
 pub use photodtn_coverage::CacheStats;
 pub use runner::{run_averaged, try_run_averaged, AveragedError, AveragedSeries, SeedFailure};
 pub use schemes_api::Scheme;
+pub use shard::default_worker_count;
 pub use supervisor::{
     run_batch, BatchPolicy, BatchReport, CellError, CellFailure, CellId, CellState, FailureKind,
 };

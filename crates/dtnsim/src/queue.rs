@@ -72,7 +72,10 @@ pub(crate) struct ScheduledEvent {
     pub(crate) t: f64,
     pub(crate) kind: EventKind,
     key: (u8, u32, u32),
-    seq: u64,
+    /// Queue-wide push counter — unique per event and identical across
+    /// sequential and sharded execution (both consume the same
+    /// materialized queue), so it doubles as the per-event fault-RNG key.
+    pub(crate) seq: u64,
 }
 
 impl ScheduledEvent {

@@ -93,7 +93,8 @@ impl std::error::Error for AveragedError {}
 /// from its seed, exactly like independent simulation runs in the paper.
 ///
 /// Parallelism is bounded: at most
-/// [`std::thread::available_parallelism`] worker threads pull seeds from
+/// [`default_worker_count`](crate::default_worker_count) worker threads
+/// (one per available core) pull seeds from
 /// a shared queue, so a 50-seed sweep on a 4-core box runs 4 simulations
 /// at a time instead of oversubscribing with 50 threads. Results are
 /// collected in seed order regardless of completion order, so the

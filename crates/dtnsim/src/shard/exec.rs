@@ -1,0 +1,367 @@
+//! The sharded executor: persistent per-shard workers plus a
+//! coordinating master, exchanging commands over channels.
+//!
+//! Node state (photo collection + per-node scheme state) lives at its
+//! owner shard's worker at all times, except during a boundary event,
+//! when the coordinator borrows the involved nodes' state, executes the
+//! event sequentially through the *same*
+//! [`process_event`](crate::engine::process_event) the sequential engine
+//! uses, and hands the state back. All f64 metric accumulators (delivery
+//! latency, coverage profile, uploaded bytes) live exclusively at the
+//! master — uploads are always boundary events — so every floating-point
+//! addition happens in schedule order. Worker-side counters (event
+//! counts, metadata bytes, fault tallies) are plain `u64` sums, folded in
+//! at epoch barriers as deltas of absolute snapshots; integer addition
+//! commutes, so the fold order cannot change results.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use photodtn_contacts::NodeId;
+use photodtn_coverage::{CoverageProfile, CoverageTableCache, PhotoCollection, PoiList};
+
+use crate::ctx::ProphetHandle;
+use crate::engine::{process_event, sample_of, EventEnv, Simulation};
+use crate::faults::FaultState;
+use crate::metrics::{RunStats, SimResult};
+use crate::queue::{EventKind, ScheduledEvent};
+use crate::shard::partition::Partition;
+use crate::shard::plan::{ExecutionPlan, Segment};
+use crate::shard::timeline::ProphetTimeline;
+use crate::trace::Tracer;
+use crate::{Scheme, SimConfig, SimCtx};
+
+/// Coordinator → worker commands. One FIFO channel per worker, so a
+/// `SetDown` sent after a boundary crash is always observed before the
+/// next epoch's events.
+enum Cmd {
+    /// Process your slice of the epoch at this segment index, then reply
+    /// [`Reply::EpochDone`].
+    Epoch(usize),
+    /// Hand the coordinator this node's photo collection and scheme
+    /// state; reply [`Reply::Node`].
+    Take(NodeId),
+    /// Reinstall a node's photo collection and scheme state after a
+    /// boundary event.
+    Put(NodeId, PhotoCollection, Option<Box<dyn Any + Send>>),
+    /// Mirror a crash/reboot down-flag decided at the coordinator.
+    SetDown(NodeId, bool),
+    /// Shut down.
+    Finish,
+}
+
+enum Reply {
+    EpochDone(CounterSnapshot),
+    Node(PhotoCollection, Option<Box<dyn Any + Send>>),
+}
+
+/// Absolute values of every worker-side `u64` counter. Workers report
+/// snapshots at epoch barriers; the coordinator folds in the delta since
+/// the previous snapshot, keeping totals equal to the sequential run's.
+#[derive(Clone, Copy, Debug, Default)]
+struct CounterSnapshot {
+    events: u64,
+    contacts: u64,
+    uploads: u64,
+    metadata_bytes: u64,
+    contacts_interrupted: u64,
+    contacts_skipped_down: u64,
+    transfers_lost: u64,
+    transfers_corrupt: u64,
+    node_crashes: u64,
+    uplinks_degraded: u64,
+}
+
+impl CounterSnapshot {
+    fn of(ctx: &SimCtx, stats: &RunStats) -> Self {
+        let f = ctx.faults.stats();
+        CounterSnapshot {
+            events: stats.events,
+            contacts: stats.contacts,
+            uploads: stats.uploads,
+            metadata_bytes: ctx.metadata_bytes,
+            contacts_interrupted: f.contacts_interrupted,
+            contacts_skipped_down: f.contacts_skipped_down,
+            transfers_lost: f.transfers_lost,
+            transfers_corrupt: f.transfers_corrupt,
+            node_crashes: f.node_crashes,
+            uplinks_degraded: f.uplinks_degraded,
+        }
+    }
+}
+
+fn merge_delta(
+    ctx: &mut SimCtx,
+    stats: &mut RunStats,
+    prev: &CounterSnapshot,
+    cur: &CounterSnapshot,
+) {
+    stats.events += cur.events - prev.events;
+    stats.contacts += cur.contacts - prev.contacts;
+    stats.uploads += cur.uploads - prev.uploads;
+    ctx.metadata_bytes += cur.metadata_bytes - prev.metadata_bytes;
+    let f = &mut ctx.faults.stats;
+    f.contacts_interrupted += cur.contacts_interrupted - prev.contacts_interrupted;
+    f.contacts_skipped_down += cur.contacts_skipped_down - prev.contacts_skipped_down;
+    f.transfers_lost += cur.transfers_lost - prev.transfers_lost;
+    f.transfers_corrupt += cur.transfers_corrupt - prev.transfers_corrupt;
+    f.node_crashes += cur.node_crashes - prev.node_crashes;
+    f.uplinks_degraded += cur.uplinks_degraded - prev.uplinks_degraded;
+}
+
+/// Builds one replica's context: identical to the sequential engine's,
+/// except PROPHET is a frozen handle over the precomputed timeline and no
+/// trace sink is attached (sharding is disabled under tracing).
+fn replica_ctx(
+    config: &SimConfig,
+    pois: &Arc<PoiList>,
+    gateways: Vec<NodeId>,
+    num_participants: u32,
+    seed: u64,
+    timeline: &Arc<ProphetTimeline>,
+) -> SimCtx {
+    SimCtx {
+        pois: Arc::clone(pois),
+        cov_cache: RefCell::new(CoverageTableCache::new(config.coverage_cache_capacity)),
+        coverage_params: config.coverage,
+        storage_bytes: config.storage_bytes,
+        collections: vec![PhotoCollection::new(); num_participants as usize],
+        cc_received: PhotoCollection::new(),
+        cc_profile: CoverageProfile::new(pois, config.coverage),
+        prophet: ProphetHandle::Frozen {
+            timeline: Arc::clone(timeline),
+            pos: 0,
+        },
+        cc_prophet_id: NodeId(num_participants),
+        gateways,
+        rng: SmallRng::seed_from_u64(seed ^ 0x5C4E_3E00_0000_0002),
+        now: 0.0,
+        uploaded_bytes: 0,
+        latency_sum: 0.0,
+        metadata_bytes: 0,
+        faults: FaultState::new(config.faults, num_participants, seed),
+        tracer: Tracer::new(None),
+    }
+}
+
+/// The nodes whose state a boundary event touches, ascending (the
+/// canonical handoff order).
+fn boundary_nodes(event: &ScheduledEvent) -> Vec<NodeId> {
+    match &event.kind {
+        EventKind::Contact(a, b, _) => {
+            if a < b {
+                vec![*a, *b]
+            } else {
+                vec![*b, *a]
+            }
+        }
+        EventKind::Upload(node, _) | EventKind::Crash(node) | EventKind::Reboot(node) => {
+            vec![*node]
+        }
+        EventKind::Generate(..) => unreachable!("generations are never boundary events"),
+    }
+}
+
+/// Runs the schedule sharded. Returns `None` — falling back to the
+/// sequential engine — when the scheme cannot produce shard replicas.
+pub(crate) fn run_sharded<S: Scheme + ?Sized>(
+    sim: &mut Simulation,
+    scheme: &mut S,
+    num_shards: usize,
+    started: Instant,
+) -> Option<(SimResult, PhotoCollection, RunStats)> {
+    let mut forks = Vec::with_capacity(num_shards);
+    for _ in 0..num_shards {
+        forks.push(scheme.fork_shard()?);
+    }
+    let sim = &*sim;
+    let events = sim.events.ordered();
+    let partition = Partition::build(events, sim.num_participants, num_shards);
+    let plan = ExecutionPlan::build(events, &partition, sim.config.sample_interval);
+    let timeline = Arc::new(ProphetTimeline::build(
+        &sim.config,
+        events,
+        &sim.warmup_contacts,
+        sim.num_participants,
+        sim.seed,
+    ));
+    let env = EventEnv::of(&sim.config);
+
+    let mut ctx = replica_ctx(
+        &sim.config,
+        &sim.pois,
+        sim.gateways.clone(),
+        sim.num_participants,
+        sim.seed,
+        &timeline,
+    );
+    scheme.on_init(&mut ctx);
+    let mut stats = RunStats {
+        workers: num_shards as u64,
+        ..RunStats::default()
+    };
+    let mut samples = Vec::new();
+
+    let mut cmd_txs = Vec::with_capacity(num_shards);
+    let mut reply_rxs = Vec::with_capacity(num_shards);
+    let mut worker_ends = Vec::with_capacity(num_shards);
+    for _ in 0..num_shards {
+        let (cmd_tx, cmd_rx) = mpsc::channel::<Cmd>();
+        let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
+        cmd_txs.push(cmd_tx);
+        reply_rxs.push(reply_rx);
+        worker_ends.push((cmd_rx, reply_tx));
+    }
+
+    std::thread::scope(|s| {
+        for (me, ((cmd_rx, reply_tx), mut fork)) in worker_ends.into_iter().zip(forks).enumerate() {
+            let config = sim.config.clone();
+            let pois = Arc::clone(&sim.pois);
+            let gateways = sim.gateways.clone();
+            let timeline = Arc::clone(&timeline);
+            let (num_participants, seed) = (sim.num_participants, sim.seed);
+            let plan = &plan;
+            s.spawn(move || {
+                // The context is built inside the thread: `Simulation`
+                // itself is not Sync (it may own a trace sink), so the
+                // worker gets owned copies of everything it needs.
+                let mut ctx =
+                    replica_ctx(&config, &pois, gateways, num_participants, seed, &timeline);
+                fork.on_init(&mut ctx);
+                let mut stats = RunStats::default();
+                while let Ok(cmd) = cmd_rx.recv() {
+                    match cmd {
+                        Cmd::Epoch(seg_idx) => {
+                            let Segment::Epoch { per_shard } = &plan.segments[seg_idx] else {
+                                unreachable!("coordinator sent a non-epoch segment")
+                            };
+                            for &idx in &per_shard[me] {
+                                process_event(
+                                    &mut ctx,
+                                    &mut fork,
+                                    &events[idx as usize],
+                                    idx + 1,
+                                    env,
+                                    &mut stats,
+                                );
+                            }
+                            reply_tx
+                                .send(Reply::EpochDone(CounterSnapshot::of(&ctx, &stats)))
+                                .expect("shard coordinator died");
+                        }
+                        Cmd::Take(node) => {
+                            let collection = std::mem::take(&mut ctx.collections[node.index()]);
+                            let state = fork.export_node_state(node);
+                            reply_tx
+                                .send(Reply::Node(collection, state))
+                                .expect("shard coordinator died");
+                        }
+                        Cmd::Put(node, collection, state) => {
+                            ctx.collections[node.index()] = collection;
+                            if let Some(state) = state {
+                                fork.import_node_state(node, state);
+                            }
+                        }
+                        Cmd::SetDown(node, down) => ctx.faults.set_down(node, down),
+                        Cmd::Finish => break,
+                    }
+                }
+            });
+        }
+
+        let mut prev = vec![CounterSnapshot::default(); num_shards];
+        for (seg_idx, segment) in plan.segments.iter().enumerate() {
+            match segment {
+                Segment::Epoch { per_shard } => {
+                    // Dispatch, then collect in shard order: a barrier.
+                    // Counter deltas fold in before any later sample, so
+                    // samples observe exactly the sequential totals.
+                    for (shard, tx) in cmd_txs.iter().enumerate() {
+                        if !per_shard[shard].is_empty() {
+                            tx.send(Cmd::Epoch(seg_idx)).expect("shard worker died");
+                        }
+                    }
+                    for shard in 0..num_shards {
+                        if per_shard[shard].is_empty() {
+                            continue;
+                        }
+                        let Reply::EpochDone(snap) =
+                            reply_rxs[shard].recv().expect("shard worker died")
+                        else {
+                            unreachable!("worker replied out of protocol")
+                        };
+                        merge_delta(&mut ctx, &mut stats, &prev[shard], &snap);
+                        prev[shard] = snap;
+                    }
+                }
+                Segment::Boundary(idx) => {
+                    let event = &events[*idx as usize];
+                    let nodes = boundary_nodes(event);
+                    for &node in &nodes {
+                        let shard = partition.shard(node) as usize;
+                        cmd_txs[shard]
+                            .send(Cmd::Take(node))
+                            .expect("shard worker died");
+                        let Reply::Node(collection, state) =
+                            reply_rxs[shard].recv().expect("shard worker died")
+                        else {
+                            unreachable!("worker replied out of protocol")
+                        };
+                        ctx.collections[node.index()] = collection;
+                        if let Some(state) = state {
+                            scheme.import_node_state(node, state);
+                        }
+                    }
+                    process_event(&mut ctx, scheme, event, idx + 1, env, &mut stats);
+                    for &node in &nodes {
+                        let shard = partition.shard(node) as usize;
+                        let collection = std::mem::take(&mut ctx.collections[node.index()]);
+                        let state = scheme.export_node_state(node);
+                        cmd_txs[shard]
+                            .send(Cmd::Put(node, collection, state))
+                            .expect("shard worker died");
+                    }
+                    // Mirror down-state changes to the owner so its
+                    // worker skips the node's intra-shard contacts.
+                    match &event.kind {
+                        EventKind::Crash(node) => {
+                            cmd_txs[partition.shard(*node) as usize]
+                                .send(Cmd::SetDown(*node, true))
+                                .expect("shard worker died");
+                        }
+                        EventKind::Reboot(node) => {
+                            cmd_txs[partition.shard(*node) as usize]
+                                .send(Cmd::SetDown(*node, false))
+                                .expect("shard worker died");
+                        }
+                        _ => {}
+                    }
+                }
+                Segment::Sample(t) => samples.push(sample_of(&ctx, *t)),
+            }
+        }
+        for tx in &cmd_txs {
+            tx.send(Cmd::Finish).expect("shard worker died");
+        }
+    });
+
+    ctx.now = sim.duration;
+    samples.push(sample_of(&ctx, sim.duration));
+    stats.cache = ctx.coverage_cache_stats();
+    stats.wall_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    Some((
+        SimResult {
+            scheme: scheme.name().to_string(),
+            seed: sim.seed,
+            samples,
+        },
+        ctx.cc_received,
+        stats,
+    ))
+}

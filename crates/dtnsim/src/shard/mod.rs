@@ -1,0 +1,75 @@
+//! Region-sharded parallel event processing with a deterministic
+//! cross-shard merge.
+//!
+//! The node population is partitioned into spatial region shards derived
+//! from the contact trace itself ([`partition`]): nodes that meet often
+//! land in the same shard, so most contacts are *intra-shard* and can be
+//! processed by per-shard worker threads in parallel. Everything the
+//! workers cannot decide locally — cross-shard contacts, uplink windows
+//! (which touch the command center), crash/reboot churn, and metric
+//! samples — is a *boundary* event handled by the coordinating thread at
+//! an epoch barrier ([`plan`], [`exec`]).
+//!
+//! Determinism is the design constraint, not an afterthought: for any
+//! fixed seed the sharded run produces **byte-identical** results to the
+//! sequential engine. Three mechanisms make that possible:
+//!
+//! 1. **Frozen PROPHET timeline** ([`timeline`]): PROPHET evolution
+//!    depends only on the event schedule, never on scheme behavior, so a
+//!    sequential pre-pass replays the schedule once and records each
+//!    node's raw predictability entries; replicas answer
+//!    `delivery_prob` queries from the recording, bitwise equal to a
+//!    live router.
+//! 2. **Per-event fault RNG keying**
+//!    ([`FaultState::begin_event`](crate::faults::FaultState)): fault
+//!    draws depend only on `(seed, event seq)`, so workers replaying
+//!    events out of global order still roll identical fates.
+//! 3. **Canonical merge order** ([`exec`]): boundary events execute on
+//!    the coordinator in schedule order, with node state handed over in
+//!    ascending node-id order, and worker counters folded in at epoch
+//!    barriers — every f64 accumulation happens in the same order as the
+//!    sequential engine.
+
+pub(crate) mod exec;
+pub(crate) mod partition;
+pub(crate) mod plan;
+pub(crate) mod timeline;
+
+pub(crate) use exec::run_sharded;
+
+/// The machine's available parallelism (1 if it cannot be determined) —
+/// the shared default for every worker-count decision in this crate: the
+/// batch supervisor, [`run_averaged`](crate::run_averaged), and the
+/// sharded engine's `shards: 0` auto-sizing.
+#[must_use]
+pub fn default_worker_count() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Resolves a configured [`SimConfig::shards`](crate::SimConfig::shards)
+/// value to an effective shard count: `0` auto-sizes to
+/// [`default_worker_count`], and the result is clamped to the number of
+/// participants (a shard without any possible node is pointless).
+pub(crate) fn resolve_shard_count(requested: usize, num_participants: u32) -> usize {
+    let n = if requested == 0 {
+        default_worker_count()
+    } else {
+        requested
+    };
+    n.clamp(1, num_participants.max(1) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_clamps_and_autosizes() {
+        assert_eq!(resolve_shard_count(1, 100), 1);
+        assert_eq!(resolve_shard_count(4, 100), 4);
+        assert_eq!(resolve_shard_count(400, 16), 16);
+        assert_eq!(resolve_shard_count(4, 0), 1);
+        assert!(resolve_shard_count(0, 1_000_000) >= 1);
+        assert_eq!(resolve_shard_count(0, 1), 1);
+    }
+}

@@ -1,0 +1,257 @@
+//! Contact-locality node partitioning.
+//!
+//! Shards are derived from the contact trace itself rather than from
+//! geographic coordinates: two nodes belong together exactly when they
+//! meet often, which is also the only notion of "region" the simulator
+//! can observe. The partitioner greedily merges the heaviest contact
+//! pairs into clusters (union-find with a size cap so no cluster swallows
+//! the whole population), then bin-packs clusters onto shards by
+//! intra-cluster contact weight (longest-processing-time order).
+//!
+//! The construction reads only *aggregate pair counts*, so the resulting
+//! assignment is invariant under any reordering of the event schedule —
+//! one of the sharded engine's determinism obligations (and covered by a
+//! property test below).
+
+use std::collections::HashMap;
+
+use photodtn_contacts::NodeId;
+
+use crate::queue::{EventKind, ScheduledEvent};
+
+/// A node → shard assignment.
+#[derive(Debug)]
+pub(crate) struct Partition {
+    /// Shard id of each node, indexed by node id. Participants only; the
+    /// command center has no shard (uplinks are boundary events).
+    pub(crate) shard_of: Vec<u32>,
+    pub(crate) num_shards: usize,
+}
+
+impl Partition {
+    /// Partitions `num_participants` nodes into `num_shards` shards from
+    /// the contact pairs in `events`.
+    pub(crate) fn build(
+        events: &[ScheduledEvent],
+        num_participants: u32,
+        num_shards: usize,
+    ) -> Self {
+        let n = num_participants as usize;
+        let mut pair_counts: HashMap<(u32, u32), u64> = HashMap::new();
+        for event in events {
+            if let EventKind::Contact(a, b, _) = &event.kind {
+                let key = if a < b { (a.0, b.0) } else { (b.0, a.0) };
+                *pair_counts.entry(key).or_insert(0) += 1;
+            }
+        }
+        // Heaviest pairs first; ties broken by node ids so the order —
+        // and therefore the whole partition — is fully deterministic.
+        let mut pairs: Vec<((u32, u32), u64)> = pair_counts.into_iter().collect();
+        pairs.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+
+        // Union-find with a size cap: clusters never exceed ⌈n / shards⌉,
+        // so even a fully-connected trace yields shardable pieces.
+        let cap = n.div_ceil(num_shards.max(1)).max(1);
+        let mut uf = UnionFind::new(n);
+        for &((a, b), _) in &pairs {
+            uf.union_capped(a as usize, b as usize, cap);
+        }
+
+        // Intra-cluster contact weight = number of contacts that become
+        // intra-shard work if the cluster stays whole.
+        let mut cluster_weight: HashMap<usize, u64> = HashMap::new();
+        for &((a, b), count) in &pairs {
+            let (ra, rb) = (uf.find(a as usize), uf.find(b as usize));
+            if ra == rb {
+                *cluster_weight.entry(ra).or_insert(0) += count;
+            }
+        }
+        let mut members: HashMap<usize, Vec<u32>> = HashMap::new();
+        for node in 0..n {
+            members.entry(uf.find(node)).or_default().push(node as u32);
+        }
+        // Clusters in LPT order (weight desc, then smallest member id for
+        // determinism); member lists are ascending by construction.
+        let mut clusters: Vec<(u64, Vec<u32>)> = members
+            .into_iter()
+            .map(|(root, m)| (cluster_weight.get(&root).copied().unwrap_or(0), m))
+            .collect();
+        clusters.sort_by(|x, y| y.0.cmp(&x.0).then(x.1[0].cmp(&y.1[0])));
+
+        // LPT bin-packing onto shards; each node also contributes 1 so
+        // contact-free nodes still spread out.
+        let mut load = vec![0u64; num_shards.max(1)];
+        let mut shard_of = vec![0u32; n];
+        for (weight, nodes) in clusters {
+            let target = load
+                .iter()
+                .enumerate()
+                .min_by_key(|&(i, &w)| (w, i))
+                .map_or(0, |(i, _)| i);
+            load[target] += weight + nodes.len() as u64;
+            for node in nodes {
+                shard_of[node as usize] = target as u32;
+            }
+        }
+        Partition {
+            shard_of,
+            num_shards: num_shards.max(1),
+        }
+    }
+
+    /// Shard owning participant `node`.
+    pub(crate) fn shard(&self, node: NodeId) -> u32 {
+        self.shard_of[node.index()]
+    }
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges the two sets unless the union would exceed `cap` members.
+    fn union_capped(&mut self, a: usize, b: usize, cap: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb || self.size[ra] + self.size[rb] > cap {
+            return;
+        }
+        // Union by size; tie → smaller root wins, keeping it
+        // deterministic.
+        let (big, small) = if (self.size[ra], rb) > (self.size[rb], ra) {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::EventQueue;
+
+    fn contact_events(contacts: &[(u32, u32, f64)]) -> Vec<ScheduledEvent> {
+        let mut queue = EventQueue::new();
+        for &(a, b, t) in contacts {
+            queue.push(t, EventKind::Contact(NodeId(a), NodeId(b), 30.0));
+        }
+        queue.ensure_ordered();
+        queue.ordered().to_vec()
+    }
+
+    /// Every participant gets exactly one shard, and every shard id is in
+    /// range — i.e. every contact is either intra-shard or lands in the
+    /// boundary set, never dropped.
+    #[test]
+    fn every_node_assigned_exactly_one_in_range_shard() {
+        let events = contact_events(&[
+            (0, 1, 10.0),
+            (0, 1, 20.0),
+            (2, 3, 15.0),
+            (2, 3, 25.0),
+            (1, 2, 30.0),
+            (4, 5, 40.0),
+        ]);
+        let p = Partition::build(&events, 8, 3);
+        assert_eq!(p.shard_of.len(), 8);
+        for node in 0..8 {
+            assert!(p.shard(NodeId(node)) < 3);
+        }
+        for event in &events {
+            if let EventKind::Contact(a, b, _) = &event.kind {
+                // Either intra-shard (worker work) or boundary (merge
+                // work); both are covered, by definition of shard().
+                let _ = p.shard(*a) == p.shard(*b);
+            }
+        }
+    }
+
+    /// Tight communities should co-locate: two cliques that never meet
+    /// each other must not share a shard when two shards are available.
+    #[test]
+    fn disjoint_communities_separate() {
+        let events = contact_events(&[
+            (0, 1, 1.0),
+            (1, 2, 2.0),
+            (0, 2, 3.0),
+            (3, 4, 1.0),
+            (4, 5, 2.0),
+            (3, 5, 3.0),
+        ]);
+        let p = Partition::build(&events, 6, 2);
+        assert_eq!(p.shard(NodeId(0)), p.shard(NodeId(1)));
+        assert_eq!(p.shard(NodeId(1)), p.shard(NodeId(2)));
+        assert_eq!(p.shard(NodeId(3)), p.shard(NodeId(4)));
+        assert_eq!(p.shard(NodeId(4)), p.shard(NodeId(5)));
+        assert_ne!(p.shard(NodeId(0)), p.shard(NodeId(3)));
+    }
+
+    /// Property: the assignment depends only on aggregate pair counts, so
+    /// permuting the event schedule (same multiset of contacts) must
+    /// yield the identical `shard_of` vector.
+    #[test]
+    fn assignment_invariant_under_event_reordering() {
+        let base = [
+            (0u32, 1u32, 10.0),
+            (1, 2, 20.0),
+            (0, 1, 30.0),
+            (3, 4, 40.0),
+            (2, 4, 50.0),
+            (5, 6, 60.0),
+            (5, 6, 70.0),
+            (6, 7, 80.0),
+        ];
+        let forward = contact_events(&base);
+        // Same contacts, shuffled times (reverses schedule order) and
+        // swapped endpoint order.
+        let mut shuffled: Vec<(u32, u32, f64)> =
+            base.iter().map(|&(a, b, t)| (b, a, 1000.0 - t)).collect();
+        shuffled.reverse();
+        let backward = contact_events(&shuffled);
+
+        let p1 = Partition::build(&forward, 8, 3);
+        let p2 = Partition::build(&backward, 8, 3);
+        assert_eq!(p1.shard_of, p2.shard_of);
+    }
+
+    /// A size cap keeps one giant community from collapsing the partition
+    /// into a single shard.
+    #[test]
+    fn size_cap_splits_fully_connected_population() {
+        let mut contacts = Vec::new();
+        for a in 0..12u32 {
+            for b in (a + 1)..12 {
+                contacts.push((a, b, f64::from(a * 12 + b)));
+            }
+        }
+        let events = contact_events(&contacts);
+        let p = Partition::build(&events, 12, 4);
+        let mut seen = [false; 4];
+        for node in 0..12 {
+            seen[p.shard(NodeId(node)) as usize] = true;
+        }
+        assert!(
+            seen.iter().filter(|&&s| s).count() >= 2,
+            "population must actually split"
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! Static execution plan: epochs, boundary events, and sample points.
+//!
+//! Given the ordered event schedule and a node partition, the planner
+//! classifies every event: photo generations and intra-shard contacts are
+//! *worker* events processed by the owning shard's thread, while
+//! cross-shard contacts, uplink windows (they touch the command center's
+//! collection and f64 metric accumulators), and crash/reboot churn are
+//! *boundary* events executed by the coordinator in schedule order.
+//! Consecutive worker events form an **epoch**: within one epoch no node
+//! interacts across shards, so the shards' work is order-independent and
+//! can run concurrently. Metric sample points split epochs too, because a
+//! sample must observe the exact world state the sequential engine sees
+//! at that instant.
+
+use crate::queue::{EventKind, ScheduledEvent};
+use crate::shard::partition::Partition;
+
+/// One step of the sharded run, in execution order.
+#[derive(Debug)]
+pub(crate) enum Segment {
+    /// Parallel section: `per_shard[s]` holds the indices (into the
+    /// ordered schedule) of the events shard `s` processes.
+    Epoch { per_shard: Vec<Vec<u32>> },
+    /// A single event the coordinator executes sequentially (index into
+    /// the ordered schedule).
+    Boundary(u32),
+    /// Emit a metric sample at this simulation time.
+    Sample(f64),
+}
+
+/// The full schedule, pre-classified.
+#[derive(Debug)]
+pub(crate) struct ExecutionPlan {
+    pub(crate) segments: Vec<Segment>,
+}
+
+impl ExecutionPlan {
+    pub(crate) fn build(
+        events: &[ScheduledEvent],
+        partition: &Partition,
+        sample_interval: f64,
+    ) -> Self {
+        // Mirrors the sequential loop's flush-before-event accumulation
+        // exactly (same `max(1.0)` floor, same repeated-addition f64
+        // drift), so sample times are bit-identical.
+        let interval = sample_interval.max(1.0);
+        let mut next_sample = interval;
+        let mut segments = Vec::new();
+        let mut current: Vec<Vec<u32>> = vec![Vec::new(); partition.num_shards];
+        let mut current_len = 0usize;
+
+        let flush = |current: &mut Vec<Vec<u32>>,
+                     current_len: &mut usize,
+                     segments: &mut Vec<Segment>| {
+            if *current_len > 0 {
+                let per_shard = std::mem::replace(current, vec![Vec::new(); partition.num_shards]);
+                segments.push(Segment::Epoch { per_shard });
+                *current_len = 0;
+            }
+        };
+
+        for (idx, event) in events.iter().enumerate() {
+            while event.t >= next_sample {
+                flush(&mut current, &mut current_len, &mut segments);
+                segments.push(Segment::Sample(next_sample));
+                next_sample += interval;
+            }
+            let owner = match &event.kind {
+                EventKind::Generate(node, _) => Some(partition.shard(*node)),
+                EventKind::Contact(a, b, _) => {
+                    let (sa, sb) = (partition.shard(*a), partition.shard(*b));
+                    if sa == sb {
+                        Some(sa)
+                    } else {
+                        None
+                    }
+                }
+                // Uploads deliver to the command center (master-held
+                // collection + f64 accumulators); crash/reboot toggles
+                // global down state. All boundary.
+                EventKind::Upload(..) | EventKind::Crash(_) | EventKind::Reboot(_) => None,
+            };
+            match owner {
+                Some(shard) => {
+                    current[shard as usize].push(idx as u32);
+                    current_len += 1;
+                }
+                None => {
+                    flush(&mut current, &mut current_len, &mut segments);
+                    segments.push(Segment::Boundary(idx as u32));
+                }
+            }
+        }
+        flush(&mut current, &mut current_len, &mut segments);
+        // No trailing samples: the sequential engine emits only one final
+        // sample at `duration` after the last event, which the executor
+        // adds itself.
+        ExecutionPlan { segments }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photodtn_contacts::NodeId;
+    use photodtn_coverage::{Photo, PhotoMeta};
+    use photodtn_geo::{Angle, Point};
+
+    fn photo() -> Photo {
+        let meta = PhotoMeta::new(
+            Point::new(0.0, 0.0),
+            100.0,
+            Angle::from_degrees(45.0),
+            Angle::ZERO,
+        );
+        Photo::new(0, meta, 0.0).with_size(1)
+    }
+
+    fn plan_of(events: &[ScheduledEvent], shard_of: Vec<u32>, shards: usize) -> ExecutionPlan {
+        let partition = Partition {
+            shard_of,
+            num_shards: shards,
+        };
+        ExecutionPlan::build(events, &partition, 100.0)
+    }
+
+    fn raw_events(specs: Vec<(f64, EventKind)>) -> Vec<ScheduledEvent> {
+        let mut queue = crate::queue::EventQueue::new();
+        for (t, kind) in specs {
+            queue.push(t, kind);
+        }
+        queue.ensure_ordered();
+        queue.ordered().to_vec()
+    }
+
+    #[test]
+    fn classifies_and_orders_segments() {
+        let events = raw_events(vec![
+            (10.0, EventKind::Generate(NodeId(0), photo())),
+            (20.0, EventKind::Contact(NodeId(0), NodeId(1), 30.0)), // intra (both shard 0)
+            (30.0, EventKind::Contact(NodeId(1), NodeId(2), 30.0)), // cross (shards 0,1)
+            (40.0, EventKind::Contact(NodeId(2), NodeId(3), 30.0)), // intra (shard 1)
+            (150.0, EventKind::Upload(NodeId(0), 60.0)),            // boundary + sample first
+        ]);
+        let plan = plan_of(&events, vec![0, 0, 1, 1], 2);
+        // Expected: Epoch{[0,1],[]} Boundary(2) Epoch{[],[3]} Sample(100) Boundary(4)
+        assert_eq!(plan.segments.len(), 5);
+        match &plan.segments[0] {
+            Segment::Epoch { per_shard } => {
+                assert_eq!(per_shard[0], vec![0, 1]);
+                assert!(per_shard[1].is_empty());
+            }
+            other => panic!("expected epoch, got {other:?}"),
+        }
+        assert!(matches!(plan.segments[1], Segment::Boundary(2)));
+        match &plan.segments[2] {
+            Segment::Epoch { per_shard } => {
+                assert!(per_shard[0].is_empty());
+                assert_eq!(per_shard[1], vec![3]);
+            }
+            other => panic!("expected epoch, got {other:?}"),
+        }
+        assert!(matches!(plan.segments[3], Segment::Sample(t) if t == 100.0));
+        assert!(matches!(plan.segments[4], Segment::Boundary(4)));
+    }
+
+    #[test]
+    fn every_event_appears_exactly_once() {
+        let events = raw_events(vec![
+            (10.0, EventKind::Contact(NodeId(0), NodeId(1), 5.0)),
+            (20.0, EventKind::Contact(NodeId(2), NodeId(3), 5.0)),
+            (30.0, EventKind::Crash(NodeId(1))),
+            (40.0, EventKind::Reboot(NodeId(1))),
+            (50.0, EventKind::Upload(NodeId(2), 9.0)),
+            (60.0, EventKind::Generate(NodeId(3), photo())),
+        ]);
+        let plan = plan_of(&events, vec![0, 0, 1, 1], 2);
+        let mut seen = vec![0u32; events.len()];
+        for seg in &plan.segments {
+            match seg {
+                Segment::Epoch { per_shard } => {
+                    for shard in per_shard {
+                        for &idx in shard {
+                            seen[idx as usize] += 1;
+                        }
+                    }
+                }
+                Segment::Boundary(idx) => seen[*idx as usize] += 1,
+                Segment::Sample(_) => {}
+            }
+        }
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "each event scheduled once: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn multiple_sample_intervals_between_events() {
+        let events = raw_events(vec![(350.0, EventKind::Generate(NodeId(0), photo()))]);
+        let plan = plan_of(&events, vec![0], 1);
+        // Samples at 100, 200, 300 — all before the event's epoch.
+        let times: Vec<f64> = plan
+            .segments
+            .iter()
+            .filter_map(|s| match s {
+                Segment::Sample(t) => Some(*t),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(times, vec![100.0, 200.0, 300.0]);
+        assert!(matches!(plan.segments.last(), Some(Segment::Epoch { .. })));
+    }
+}

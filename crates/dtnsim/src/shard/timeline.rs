@@ -1,0 +1,222 @@
+//! Precomputed PROPHET delivery-predictability timeline.
+//!
+//! The engine updates PROPHET on Contact and Upload events and resets a
+//! node's table on a state-wiping Crash — all decided by the event
+//! schedule alone; no scheme hook can influence it. Schemes in turn read
+//! third-party PROPHET state exclusively through
+//! [`SimCtx::delivery_prob`](crate::SimCtx::delivery_prob), i.e. one row
+//! of the table: predictability toward the command center.
+//!
+//! That makes PROPHET *freezable*: a sequential pre-pass replays the
+//! schedule through a real [`ProphetRouter`] once and records, per node,
+//! the raw `(p, last_aged)` entry toward the command center after every
+//! event that touches it. During the sharded run, any replica answers a
+//! `delivery_prob` query by looking up the latest entry at or before the
+//! current execution position and aging it with
+//! [`aged_value`](photodtn_prophet::aged_value) — the exact computation
+//! a live router performs, so results are bitwise identical.
+
+use photodtn_contacts::NodeId;
+use photodtn_prophet::{aged_value, ProphetParams, ProphetRouter};
+
+use crate::faults::FaultState;
+use crate::queue::{EventKind, ScheduledEvent};
+use crate::SimConfig;
+
+/// One recorded change of a node's PROPHET entry toward the command
+/// center: the execution position it became visible at, and the raw
+/// entry (`None` = the entry was erased by a state-wiping crash).
+type Entry = (u32, Option<(f64, f64)>);
+
+/// Per-node timeline of raw PROPHET entries toward the command center,
+/// keyed by execution position (index in the ordered event schedule + 1;
+/// position 0 holds pre-run warmup state).
+#[derive(Debug)]
+pub(crate) struct ProphetTimeline {
+    params: ProphetParams,
+    /// One row per participant plus the command center (whose row stays
+    /// empty — it never has an entry toward itself, matching the live
+    /// router's 0.0 answer).
+    rows: Vec<Vec<Entry>>,
+}
+
+impl ProphetTimeline {
+    /// Replays the ordered event schedule through a live router and
+    /// records every change of a node's entry toward the command center.
+    ///
+    /// The replay mirrors the engine's update rules exactly: contacts
+    /// with a crashed endpoint are skipped, dropped uplink windows teach
+    /// PROPHET nothing (their drop roll is replayed with the same
+    /// per-event-keyed fault RNG the real run uses), and state-wiping
+    /// crashes erase the entry.
+    pub(crate) fn build(
+        config: &SimConfig,
+        events: &[ScheduledEvent],
+        warmup: &[(NodeId, NodeId, f64)],
+        num_participants: u32,
+        seed: u64,
+    ) -> Self {
+        let cc = NodeId(num_participants);
+        let mut router = ProphetRouter::new(num_participants + 1, config.prophet);
+        let mut rows: Vec<Vec<Entry>> = vec![Vec::new(); num_participants as usize + 1];
+        for &(a, b, t) in warmup {
+            router.contact(a, b, t);
+        }
+        for n in 0..num_participants {
+            if let Some(entry) = router.table(NodeId(n)).entry(cc) {
+                rows[n as usize].push((0, Some(entry)));
+            }
+        }
+        let mut faults = FaultState::new(config.faults, num_participants, seed);
+        let faults_active = !config.faults.is_noop();
+        for (idx, event) in events.iter().enumerate() {
+            let pos = idx as u32 + 1;
+            match &event.kind {
+                EventKind::Contact(a, b, _) => {
+                    if faults.is_down(*a) || faults.is_down(*b) {
+                        continue;
+                    }
+                    router.contact(*a, *b, event.t);
+                    rows[a.index()].push((pos, router.table(*a).entry(cc)));
+                    rows[b.index()].push((pos, router.table(*b).entry(cc)));
+                }
+                EventKind::Upload(node, dur) => {
+                    if faults.is_down(*node) {
+                        continue;
+                    }
+                    if faults_active {
+                        faults.begin_event(event.seq);
+                        let link = (config.bandwidth as f64 * dur) as u64;
+                        if faults.roll_uplink_budget(link).is_none() {
+                            continue;
+                        }
+                    }
+                    router.contact(*node, cc, event.t);
+                    rows[node.index()].push((pos, router.table(*node).entry(cc)));
+                }
+                EventKind::Crash(node) => {
+                    if config.faults.wipe_routing_state {
+                        router.reset_node(*node);
+                        rows[node.index()].push((pos, None));
+                    }
+                    faults.set_down(*node, true);
+                }
+                EventKind::Reboot(node) => faults.set_down(*node, false),
+                EventKind::Generate(..) => {}
+            }
+        }
+        ProphetTimeline {
+            params: config.prophet,
+            rows,
+        }
+    }
+
+    /// Delivery predictability of `node` toward the command center as
+    /// seen at execution position `pos` and simulation time `now` —
+    /// bitwise equal to what a live router would answer at that point.
+    ///
+    /// One caveat: the live router resets a crashing node's table *after*
+    /// [`Scheme::on_node_crashed`](crate::Scheme::on_node_crashed)
+    /// returns, while the timeline records the reset at the crash's own
+    /// position. A scheme querying the crashing node's predictability
+    /// inside that hook would see the pre-reset value live but 0.0 here;
+    /// no scheme does (the hook exists to *drop* state), and crashes are
+    /// boundary events executed sequentially anyway.
+    pub(crate) fn delivery_prob(&self, node: NodeId, pos: u32, now: f64) -> f64 {
+        let row = &self.rows[node.index()];
+        let i = row.partition_point(|&(p, _)| p <= pos);
+        if i == 0 {
+            return 0.0;
+        }
+        match row[i - 1].1 {
+            Some((p, last_aged)) => aged_value(p, last_aged, now, &self.params),
+            None => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::EventQueue;
+
+    fn events_of(queue: &mut EventQueue) -> &[ScheduledEvent] {
+        queue.ensure_ordered();
+        queue.ordered()
+    }
+
+    /// The timeline must reproduce a live router's answers bitwise at
+    /// every execution position, for every node, at query times past the
+    /// update (aging applied).
+    #[test]
+    fn timeline_matches_live_router_bitwise() {
+        let config = SimConfig::mit_default();
+        let mut queue = EventQueue::new();
+        // A small dense schedule: contacts among 4 nodes + uploads.
+        let contacts = [
+            (0u32, 1u32, 100.0),
+            (1, 2, 400.0),
+            (2, 3, 900.0),
+            (0, 3, 1600.0),
+            (1, 3, 2500.0),
+            (0, 2, 3600.0),
+        ];
+        for &(a, b, t) in &contacts {
+            queue.push(t, EventKind::Contact(NodeId(a), NodeId(b), 30.0));
+        }
+        queue.push(2000.0, EventKind::Upload(NodeId(1), 60.0));
+        queue.push(3000.0, EventKind::Upload(NodeId(3), 60.0));
+        let events: Vec<ScheduledEvent> = events_of(&mut queue).to_vec();
+
+        let timeline = ProphetTimeline::build(&config, &events, &[], 4, 7);
+
+        // Replay the same schedule live and compare after every event.
+        let cc = NodeId(4);
+        let mut router = ProphetRouter::new(5, config.prophet);
+        for (idx, event) in events.iter().enumerate() {
+            match &event.kind {
+                EventKind::Contact(a, b, _) => router.contact(*a, *b, event.t),
+                EventKind::Upload(n, _) => router.contact(*n, cc, event.t),
+                _ => {}
+            }
+            let pos = idx as u32 + 1;
+            let query_t = event.t + 1234.5; // force nontrivial aging
+            for n in 0..4 {
+                let live = router.predictability(NodeId(n), cc, query_t);
+                let frozen = timeline.delivery_prob(NodeId(n), pos, query_t);
+                assert_eq!(
+                    live.to_bits(),
+                    frozen.to_bits(),
+                    "node {n} at pos {pos} diverged: live {live} vs frozen {frozen}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warmup_entries_visible_at_position_zero() {
+        let config = SimConfig::mit_default();
+        let warmup = vec![(NodeId(0), NodeId(2), 10.0), (NodeId(1), NodeId(2), 20.0)];
+        let timeline = ProphetTimeline::build(&config, &[], &warmup, 3, 1);
+        // Warmup contacts are node↔node, so nobody met the command
+        // center: everything stays 0 toward it, like the live router.
+        let mut router = ProphetRouter::new(4, config.prophet);
+        for &(a, b, t) in &warmup {
+            router.contact(a, b, t);
+        }
+        for n in 0..3 {
+            let live = router.predictability(NodeId(n), NodeId(3), 100.0);
+            let frozen = timeline.delivery_prob(NodeId(n), 0, 100.0);
+            assert_eq!(live.to_bits(), frozen.to_bits());
+        }
+    }
+
+    #[test]
+    fn unknown_node_row_reads_zero() {
+        let config = SimConfig::mit_default();
+        let timeline = ProphetTimeline::build(&config, &[], &[], 2, 1);
+        assert_eq!(timeline.delivery_prob(NodeId(0), 0, 50.0), 0.0);
+        // The command center's own row exists and reads 0.0.
+        assert_eq!(timeline.delivery_prob(NodeId(2), 1000, 50.0), 0.0);
+    }
+}

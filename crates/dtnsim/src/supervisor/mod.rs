@@ -178,7 +178,8 @@ impl CellState {
 /// Supervision policy of one batch.
 #[derive(Clone, Copy, Debug)]
 pub struct BatchPolicy {
-    /// Worker threads; 0 means [`std::thread::available_parallelism`].
+    /// Worker threads; 0 means
+    /// [`default_worker_count`](crate::default_worker_count).
     pub workers: usize,
     /// Per-attempt wall-clock budget. `None` disables the watchdog.
     pub deadline: Option<Duration>,
@@ -204,7 +205,7 @@ impl Default for BatchPolicy {
 impl BatchPolicy {
     fn effective_workers(&self, cells: usize) -> usize {
         let configured = if self.workers == 0 {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
+            crate::shard::default_worker_count()
         } else {
             self.workers
         };
@@ -574,7 +575,7 @@ where
         return Vec::new();
     }
     let workers = if workers == 0 {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
+        crate::shard::default_worker_count()
     } else {
         workers
     }

@@ -1,0 +1,157 @@
+//! The sharded executor's whole contract: for any fixed seed, a run
+//! partitioned across N shard workers produces **byte-identical** output
+//! to the sequential engine — same `SimResult` (every f64 bit-equal via
+//! `PartialEq`), same delivered photo collection, same deterministic
+//! event counters. Parallelism must be invisible in the results.
+
+use photodtn_contacts::synth::{CommunityTraceGenerator, TraceStyle};
+use photodtn_contacts::ContactTrace;
+use photodtn_schemes::{
+    BestPossible, CentralizedOracle, DirectDelivery, Epidemic, ModifiedSpray, OurScheme, PhotoNet,
+    ProphetRouting, SprayAndWait,
+};
+use photodtn_sim::{FaultConfig, Scheme, SimConfig, Simulation};
+
+fn lineup() -> Vec<Box<dyn Scheme + Send>> {
+    vec![
+        Box::new(BestPossible),
+        Box::new(OurScheme::new()),
+        Box::new(OurScheme::no_metadata()),
+        Box::new(ModifiedSpray::new()),
+        Box::new(SprayAndWait::new()),
+        Box::new(PhotoNet::new()),
+        Box::new(Epidemic::new()),
+        Box::new(DirectDelivery::new()),
+        Box::new(CentralizedOracle::new()),
+        Box::new(ProphetRouting::new()),
+    ]
+}
+
+fn small_trace(seed: u64) -> ContactTrace {
+    CommunityTraceGenerator::new(TraceStyle::MitLike)
+        .with_num_nodes(16)
+        .with_duration_hours(36.0)
+        .generate(seed)
+}
+
+fn small_config() -> SimConfig {
+    let mut config = SimConfig::mit_default()
+        .with_photos_per_hour(30.0)
+        .with_storage_bytes(40 * 4 * 1024 * 1024);
+    config.num_pois = 60;
+    config
+}
+
+/// Every scheme, with and without fault injection, at 2 and 4 shards:
+/// sharded output equals sequential output exactly.
+#[test]
+fn sharded_runs_match_sequential_byte_for_byte() {
+    let trace = small_trace(3);
+    for intensity in [0.0, 0.5] {
+        let config = small_config().with_faults(FaultConfig::chaos(intensity));
+        for shards in [2usize, 4] {
+            for (sequential, sharded) in lineup().into_iter().zip(lineup()) {
+                let name = sequential.name();
+                let mut seq_scheme = sequential;
+                let mut shard_scheme = sharded;
+
+                let (seq_result, seq_cc, seq_stats) =
+                    Simulation::new(&config, &trace, 42).run_instrumented(&mut seq_scheme);
+                let (shard_result, shard_cc, shard_stats) =
+                    Simulation::new(&config.clone().with_shards(shards), &trace, 42)
+                        .run_instrumented(&mut shard_scheme);
+
+                // Guard against a silent sequential fallback making the
+                // comparison vacuous: the sharded run must report that it
+                // actually used the requested workers.
+                assert_eq!(
+                    shard_stats.workers, shards as u64,
+                    "{name} at intensity {intensity}: sharded run fell back to sequential"
+                );
+                assert_eq!(seq_stats.workers, 1);
+
+                assert_eq!(
+                    seq_result, shard_result,
+                    "{name} at intensity {intensity}, {shards} shards: results diverged"
+                );
+                assert_eq!(
+                    seq_cc, shard_cc,
+                    "{name} at intensity {intensity}, {shards} shards: delivered collections diverged"
+                );
+                for (label, seq, shard) in [
+                    ("events", seq_stats.events, shard_stats.events),
+                    ("contacts", seq_stats.contacts, shard_stats.contacts),
+                    ("uploads", seq_stats.uploads, shard_stats.uploads),
+                ] {
+                    assert_eq!(
+                        seq, shard,
+                        "{name} at intensity {intensity}, {shards} shards: {label} counter diverged"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Asking for more shards than participants (or zero, meaning "pick for
+/// me") must still run and still match the sequential engine.
+#[test]
+fn degenerate_shard_counts_still_match() {
+    let trace = small_trace(5);
+    let config = small_config();
+    let mut base = OurScheme::new();
+    let expected = Simulation::new(&config, &trace, 9).run(&mut base);
+    for shards in [0usize, 1, 16, 64] {
+        let mut scheme = OurScheme::new();
+        let got = Simulation::new(&config.clone().with_shards(shards), &trace, 9).run(&mut scheme);
+        assert_eq!(expected, got, "shards={shards} diverged from sequential");
+    }
+}
+
+/// A scheme that cannot fork shard replicas (the default trait impl)
+/// silently falls back to the sequential path and still produces the
+/// correct answer.
+#[test]
+fn unforkable_scheme_falls_back_to_sequential() {
+    struct Opaque(Epidemic);
+    impl Scheme for Opaque {
+        fn name(&self) -> &'static str {
+            "opaque"
+        }
+        fn on_photo_generated(
+            &mut self,
+            ctx: &mut photodtn_sim::SimCtx,
+            node: photodtn_contacts::NodeId,
+            photo: photodtn_coverage::Photo,
+        ) {
+            self.0.on_photo_generated(ctx, node, photo);
+        }
+        fn on_contact(
+            &mut self,
+            ctx: &mut photodtn_sim::SimCtx,
+            a: photodtn_contacts::NodeId,
+            b: photodtn_contacts::NodeId,
+            budget: u64,
+        ) {
+            self.0.on_contact(ctx, a, b, budget);
+        }
+        fn on_upload(
+            &mut self,
+            ctx: &mut photodtn_sim::SimCtx,
+            node: photodtn_contacts::NodeId,
+            budget: u64,
+        ) {
+            self.0.on_upload(ctx, node, budget);
+        }
+        // fork_shard deliberately left at the default `None`.
+    }
+
+    let trace = small_trace(2);
+    let config = small_config();
+    let expected = Simulation::new(&config, &trace, 4).run(&mut Epidemic::new());
+    let (got, _, stats) = Simulation::new(&config.clone().with_shards(4), &trace, 4)
+        .run_instrumented(&mut Opaque(Epidemic::new()));
+    assert_eq!(stats.workers, 1, "unforkable scheme should not shard");
+    // Scheme names differ ("opaque" vs "epidemic"); the runs must not.
+    assert_eq!(expected.samples, got.samples);
+}

@@ -82,6 +82,11 @@ impl Scheme for Epidemic {
         }
         ctx.note_upload_bytes(bytes);
     }
+
+    fn fork_shard(&self) -> Option<Box<dyn Scheme + Send>> {
+        // Stateless: every replica is the scheme.
+        Some(Box::new(Epidemic))
+    }
 }
 
 /// Direct delivery: a photo is only ever carried by the node that took it
@@ -134,6 +139,11 @@ impl Scheme for DirectDelivery {
             bytes += photo.size;
         }
         ctx.note_upload_bytes(bytes);
+    }
+
+    fn fork_shard(&self) -> Option<Box<dyn Scheme + Send>> {
+        // Stateless: every replica is the scheme.
+        Some(Box::new(DirectDelivery))
     }
 }
 

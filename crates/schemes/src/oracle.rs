@@ -150,6 +150,13 @@ impl Scheme for CentralizedOracle {
         }
         ctx.note_upload_bytes(bytes);
     }
+
+    fn fork_shard(&self) -> Option<Box<dyn Scheme + Send>> {
+        // The server base and value cache only ever mutate during uplink
+        // windows, which are boundary events executed at the coordinator —
+        // a replica's copies stay untouched, so fresh ones suffice.
+        Some(Box::new(CentralizedOracle::new()))
+    }
 }
 
 #[cfg(test)]

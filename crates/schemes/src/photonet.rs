@@ -160,6 +160,11 @@ impl Scheme for PhotoNet {
         }
         ctx.note_upload_bytes(bytes);
     }
+
+    fn fork_shard(&self) -> Option<Box<dyn Scheme + Send>> {
+        // Pure configuration — the scoring weights are the whole state.
+        Some(Box::new(self.clone()))
+    }
 }
 
 #[cfg(test)]

@@ -90,6 +90,12 @@ impl Scheme for ProphetRouting {
         }
         ctx.note_upload_bytes(bytes);
     }
+
+    fn fork_shard(&self) -> Option<Box<dyn Scheme + Send>> {
+        // Stateless: all routing state lives in the engine's PROPHET
+        // tables, which replicas read through the frozen timeline.
+        Some(Box::new(ProphetRouting))
+    }
 }
 
 #[cfg(test)]
