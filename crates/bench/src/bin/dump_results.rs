@@ -18,13 +18,24 @@
 //! executor. Diffing against an unsharded invocation's directory proves
 //! the cross-shard merge is byte-exact (CI does exactly that too).
 //!
+//! With `--resume-split HOURS` every cell runs **twice**: a first run
+//! that checkpoints and deterministically halts at the split time (its
+//! partial result is discarded), then a fresh simulation that resumes
+//! from the snapshot and finishes. Diffing against a plain invocation's
+//! directory proves mid-run checkpoint/restore is byte-exact for every
+//! scheme and fault intensity (CI does exactly that as well).
+//!
 //! The core dump path sticks to long-stable APIs so the source drops
 //! into older checkouts with little friction; `--shards` naturally needs
-//! a build that has `SimConfig::with_shards`.
+//! a build that has `SimConfig::with_shards`, and `--resume-split` one
+//! that has the checkpoint module.
 
 use photodtn_bench::scheme_by_name;
 use photodtn_contacts::synth::{CommunityTraceGenerator, TraceStyle};
-use photodtn_sim::{FaultConfig, JsonlSink, MetricSample, SimConfig, SimResult, Simulation};
+use photodtn_sim::{
+    checkpoint, CheckpointPolicy, FaultConfig, JsonlSink, MetricSample, SimConfig, SimResult,
+    Simulation,
+};
 
 const SCHEMES: [&str; 10] = [
     "best-possible",
@@ -75,10 +86,11 @@ fn result_json(r: &SimResult) -> String {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: dump_results OUTDIR [--trace TRACEDIR] [--shards N]";
+    let usage = "usage: dump_results OUTDIR [--trace TRACEDIR] [--shards N] [--resume-split HOURS]";
     let outdir = args.first().cloned().unwrap_or_else(|| panic!("{usage}"));
     let mut tracedir = None;
     let mut shards = 1usize;
+    let mut resume_split: Option<f64> = None;
     let mut it = args.iter().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -91,6 +103,14 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| panic!("{usage}"));
             }
+            "--resume-split" => {
+                resume_split = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|h: &f64| h.is_finite() && *h > 0.0)
+                        .unwrap_or_else(|| panic!("{usage}")),
+                );
+            }
             other => panic!("unknown argument {other:?}\n{usage}"),
         }
     }
@@ -98,6 +118,11 @@ fn main() {
         !(shards > 1 && tracedir.is_some()),
         "--shards and --trace are mutually exclusive: a trace sink forces \
          the sequential path, so the sharded executor would not run"
+    );
+    assert!(
+        !(resume_split.is_some() && (shards > 1 || tracedir.is_some())),
+        "--resume-split is exclusive with --shards and --trace: the \
+         checkpointed halves run sequentially and untraced"
     );
     std::fs::create_dir_all(&outdir).expect("create output directory");
     if let Some(dir) = &tracedir {
@@ -126,7 +151,39 @@ fn main() {
                     .unwrap_or_else(|e| panic!("creating {trace_path}: {e}"));
                 sim.set_trace_sink(Box::new(sink));
             }
-            let result = sim.run(&mut *scheme);
+            let result = match resume_split {
+                None => sim.run(&mut *scheme),
+                Some(hours) => {
+                    // Phase 1: checkpoint and deterministically halt at
+                    // the split; the partial result is discarded.
+                    let ckpt = format!("{outdir}/.ckpt-{name}_{intensity}");
+                    let _ = std::fs::remove_dir_all(&ckpt);
+                    let fp = checkpoint::run_fingerprint(&config, &trace, 42, name);
+                    let world = format!("dump_results {name} intensity={intensity}");
+                    sim.set_checkpoints(
+                        CheckpointPolicy::new(&ckpt, f64::INFINITY, fp, world.as_str())
+                            .with_halt_after(hours * 3600.0),
+                    );
+                    let (_, _, stats) = sim.run_instrumented(&mut *scheme);
+                    assert!(
+                        stats.interrupted,
+                        "{name}: --resume-split {hours} h did not interrupt the run \
+                         (split past the end of the trace?)"
+                    );
+                    // Phase 2: a fresh simulation and scheme resume from
+                    // the snapshot and run to completion.
+                    let (payload, _) =
+                        checkpoint::load_latest(std::path::Path::new(&ckpt), Some(fp))
+                            .unwrap_or_else(|e| panic!("{name}: loading snapshot: {e}"));
+                    let mut scheme = scheme_by_name(name);
+                    let mut sim = Simulation::new(&config, &trace, 42);
+                    sim.resume_from(payload, &*scheme)
+                        .unwrap_or_else(|e| panic!("{name}: resuming: {e}"));
+                    let result = sim.run(&mut *scheme);
+                    let _ = std::fs::remove_dir_all(&ckpt);
+                    result
+                }
+            };
             let json = result_json(&result);
             let path = format!("{outdir}/{name}_{intensity}.json");
             std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));

@@ -1,15 +1,21 @@
 //! `photodtn run` — one simulation with a chosen scheme and knobs.
 
+use std::path::Path;
+
 use photodtn_bench::scheme_by_name;
 use photodtn_contacts::parse_trace;
 use photodtn_contacts::synth::{CommunityTraceGenerator, MetroTraceGenerator, TraceStyle};
 use photodtn_coverage::fullview::{redundancy_degrees, FullViewReport};
 use photodtn_coverage::PhotoMeta;
-use photodtn_sim::{FaultConfig, JsonlSink, SimConfig, Simulation};
+use photodtn_sim::{checkpoint, CheckpointPolicy, FaultConfig, JsonlSink, SimConfig, Simulation};
 
 use crate::args::{Flags, Spec};
 
 const GB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+/// Exit code of a gracefully interrupted checkpointed run (EX_TEMPFAIL:
+/// rerun with `--resume-from` to continue).
+pub const EXIT_INTERRUPTED: u8 = 75;
 
 const SPEC: Spec = Spec {
     values: &[
@@ -26,11 +32,44 @@ const SPEC: Spec = Spec {
         "faults",
         "trace-out",
         "shards",
+        "checkpoint-every",
+        "checkpoint-dir",
+        "checkpoint-keep",
+        "resume-from",
+        "halt-after",
     ],
     switches: &["report", "json", "perf", "trace-sync"],
 };
 
-pub fn run(argv: &[String]) -> Result<(), String> {
+/// The value flags that shape the simulated world; everything a snapshot
+/// fingerprint covers. Reproduced in error messages when a resume's
+/// flags disagree with the snapshot's.
+const WORLD_FLAGS: &[&str] = &[
+    "trace",
+    "style",
+    "hours",
+    "nodes",
+    "photos-per-hour",
+    "storage-gb",
+    "deadline",
+    "failures",
+    "faults",
+];
+
+/// A canonical human-readable description of the run's world, embedded
+/// in snapshots so fingerprint mismatches can say what the snapshot was
+/// actually written for.
+fn describe_world(flags: &Flags, scheme: &str, seed: u64) -> String {
+    let mut out = format!("photodtn run --scheme {scheme} --seed {seed}");
+    for name in WORLD_FLAGS {
+        if let Some(v) = flags.get(name) {
+            out.push_str(&format!(" --{name} {v}"));
+        }
+    }
+    out
+}
+
+pub fn run(argv: &[String]) -> Result<u8, String> {
     let flags = Flags::parse(argv, &SPEC)?;
     let scheme_name = flags.get("scheme").unwrap_or("ours");
     let seed: u64 = flags.num("seed", 1)?;
@@ -96,12 +135,63 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         config = config.with_shards(flags.num("shards", 1usize)?);
     }
 
+    // --- checkpoint / resume flag-compatibility matrix ---
+    let resume_dir = flags.get("resume-from");
+    let ckpt_dir_flag = flags.get("checkpoint-dir");
+    for dependent in ["checkpoint-every", "checkpoint-keep", "halt-after"] {
+        if flags.get(dependent).is_some() && ckpt_dir_flag.is_none() && resume_dir.is_none() {
+            return Err(format!(
+                "run: --{dependent} needs --checkpoint-dir (or --resume-from)"
+            ));
+        }
+    }
+    if let (Some(r), Some(c)) = (resume_dir, ckpt_dir_flag) {
+        if r != c {
+            return Err(format!(
+                "run: --resume-from {r} conflicts with --checkpoint-dir {c}: a resumed \
+                 run keeps checkpointing into its own directory (did you mean just \
+                 --resume-from {r}?)"
+            ));
+        }
+    }
+    // A resumed run keeps checkpointing into the directory it resumed
+    // from, so a second interruption is also resumable.
+    let ckpt_dir = resume_dir.or(ckpt_dir_flag);
+
     let mut scheme = scheme_by_name(scheme_name);
     let mut sim = Simulation::try_new(&config, &trace, seed).map_err(|e| format!("run: {e}"))?;
+
+    // The fingerprint binds snapshots to this exact (config, trace,
+    // seed, scheme) world; conflicting world flags on resume surface as
+    // a typed mismatch error from the loader, never a panic.
+    let world = describe_world(&flags, scheme_name, seed);
+    let fingerprint = checkpoint::run_fingerprint(&config, &trace, seed, scheme_name);
+
+    let resume_payload = match resume_dir {
+        Some(dir) => {
+            let (payload, path) = checkpoint::load_latest(Path::new(dir), Some(fingerprint))
+                .map_err(|e| format!("run: {e}"))?;
+            eprintln!(
+                "resuming from {} (event {}, t = {:.0} s)",
+                path.display(),
+                payload.next_event_idx,
+                payload.now
+            );
+            Some(payload)
+        }
+        None => None,
+    };
+
     if let Some(path) = flags.get("trace-out") {
-        let sink = JsonlSink::create(path)
-            .map_err(|e| format!("run: opening {path}: {e}"))?
-            .with_sync(flags.has("trace-sync"));
+        let sink = match &resume_payload {
+            // Truncate any trace lines past the snapshot's sequence
+            // number, then append: the resumed file is byte-identical
+            // to an uninterrupted traced run.
+            Some(payload) => JsonlSink::resume_append(path, payload.trace_seq)
+                .map_err(|e| format!("run: resuming trace {path}: {e}"))?,
+            None => JsonlSink::create(path).map_err(|e| format!("run: opening {path}: {e}"))?,
+        }
+        .with_sync(flags.has("trace-sync"));
         sim.set_trace_sink(Box::new(sink));
         eprintln!("tracing run events to {path}");
         if config.shards != 1 {
@@ -110,6 +200,28 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     } else if flags.has("trace-sync") {
         return Err("run: --trace-sync requires --trace-out".into());
     }
+
+    if let Some(dir) = ckpt_dir {
+        let every: f64 = flags.num("checkpoint-every", 3600.0)?;
+        let keep: usize = flags.num("checkpoint-keep", 3usize)?;
+        let mut policy = CheckpointPolicy::new(dir, every, fingerprint, world).with_keep(keep);
+        if flags.get("halt-after").is_some() {
+            policy = policy.with_halt_after(flags.num("halt-after", 0.0)?);
+        }
+        sim.set_checkpoints(policy);
+        checkpoint::reset_stop();
+        crate::signals::install_graceful_stop();
+        eprintln!("checkpointing every {every} sim-seconds to {dir} (keep {keep})");
+        if config.shards != 1 && flags.get("trace-out").is_none() {
+            eprintln!("note: checkpointing forces the sequential path; --shards is ignored");
+        }
+    }
+
+    if let Some(payload) = resume_payload {
+        sim.resume_from(payload, &scheme)
+            .map_err(|e| format!("run: {e}"))?;
+    }
+
     eprintln!(
         "running {scheme_name} on {} nodes / {} events (seed {seed})…",
         trace.num_nodes(),
@@ -117,6 +229,15 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     );
     let pois = sim.pois_shared();
     let (result, delivered, stats) = sim.run_instrumented(&mut scheme);
+
+    if stats.interrupted {
+        let dir = ckpt_dir.expect("only checkpointed runs can be interrupted");
+        eprintln!(
+            "run interrupted; a final snapshot is in {dir} — continue with \
+             `photodtn run --resume-from {dir}` plus the same world flags"
+        );
+        return Ok(EXIT_INTERRUPTED);
+    }
 
     println!(
         "{:>7} {:>9} {:>10} {:>11}",
@@ -244,7 +365,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         }
         println!("{value}");
     }
-    Ok(())
+    Ok(0)
 }
 
 #[cfg(test)]

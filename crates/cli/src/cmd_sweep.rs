@@ -25,8 +25,8 @@ use photodtn_bench::{try_scheme_by_name, ALL_SCHEME_NAMES};
 use photodtn_sim::supervisor::journal;
 use photodtn_sim::supervisor::spec::SweepSpec;
 use photodtn_sim::{
-    run_batch, BatchPolicy, BatchReport, CellError, CellFailure, CellId, CellState, SimResult,
-    Simulation,
+    checkpoint, run_batch, BatchPolicy, BatchReport, CellError, CellFailure, CellId, CellState,
+    CheckpointPolicy, SimResult, Simulation,
 };
 
 use crate::args::{Flags, Spec};
@@ -48,9 +48,26 @@ const SPEC: Spec = Spec {
         "cell-deadline",
         "retries",
         "backoff-ms",
+        "cell-checkpoint",
     ],
     switches: &["resume", "sync", "quiet"],
 };
+
+/// The per-cell snapshot directory name: the cell id with filesystem-
+/// hostile characters replaced, so every cell maps to a distinct,
+/// portable path under `{journal}.ckpt/`.
+fn cell_dir_name(cell: &CellId) -> String {
+    cell.to_string()
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || "-_.=".contains(c) {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
 
 /// Runs the subcommand, printing its own errors; the return value is the
 /// process exit code (see the module docs for the contract).
@@ -70,7 +87,7 @@ fn execute(argv: &[String]) -> Result<u8, String> {
         return Err(
             "usage: photodtn sweep SPEC.toml [--out FILE] [--journal FILE] [--resume] \
              [--workers N] [--cell-deadline SECS] [--retries N] [--backoff-ms MS] \
-             [--sync] [--quiet]"
+             [--cell-checkpoint SIMSECS] [--sync] [--quiet]"
                 .into(),
         );
     };
@@ -111,6 +128,18 @@ fn execute(argv: &[String]) -> Result<u8, String> {
         max_attempts: flags.num("retries", 2u32)?.saturating_add(1),
         backoff: Duration::from_millis(flags.num("backoff-ms", 100u64)?),
     };
+    let cell_checkpoint: Option<f64> = match flags.get("cell-checkpoint") {
+        None => None,
+        Some(_) => {
+            let secs: f64 = flags.num("cell-checkpoint", 0.0)?;
+            if !(secs > 0.0 && secs.is_finite()) {
+                return Err(format!(
+                    "--cell-checkpoint must be a positive number of simulated seconds, got {secs}"
+                ));
+            }
+            Some(secs)
+        }
+    };
 
     // Journal: fresh, or resumed (healing a torn tail atomically).
     let (done, mut journal) = if flags.has("resume") {
@@ -148,8 +177,10 @@ fn execute(argv: &[String]) -> Result<u8, String> {
     );
 
     let plan_runner = Arc::new(plan);
+    let ckpt_root: PathBuf = PathBuf::from(format!("{}.ckpt", journal_path.display()));
     let runner = {
         let plan = Arc::clone(&plan_runner);
+        let ckpt_root = ckpt_root.clone();
         move |cell: &CellId| -> Result<SimResult, CellError> {
             let config = plan
                 .config_of(&cell.variant)
@@ -160,7 +191,36 @@ fn execute(argv: &[String]) -> Result<u8, String> {
                 try_scheme_by_name(&cell.scheme).expect("schemes validated before the batch");
             // Simulation::new panics on a bad world; the supervisor's
             // catch_unwind classifies that as a deterministic failure.
-            Ok(Simulation::new(&config, &trace, cell.seed).run(&mut scheme))
+            let mut sim = Simulation::new(&config, &trace, cell.seed);
+            let Some(every) = cell_checkpoint else {
+                return Ok(sim.run(&mut scheme));
+            };
+
+            // Within-cell durability: snapshot into a per-cell directory
+            // and resume from it when a previous attempt (retry, rerun
+            // after a kill, or a timed-out attempt's last snapshot) left
+            // one behind. Any load failure degrades to a clean start —
+            // a sweep cell must never be wedged by a stale snapshot.
+            let dir = ckpt_root.join(cell_dir_name(cell));
+            let fp = checkpoint::run_fingerprint(&config, &trace, cell.seed, &cell.scheme);
+            match checkpoint::load_latest(&dir, Some(fp)) {
+                Ok((payload, path)) => match sim.resume_from(payload, &scheme) {
+                    Ok(()) => eprintln!("sweep: {cell} resumes from {}", path.display()),
+                    Err(e) => eprintln!("sweep: {cell} restarts clean ({e})"),
+                },
+                Err(checkpoint::CheckpointError::Io { .. }) => {} // no snapshots yet
+                Err(e) => eprintln!("sweep: {cell} restarts clean ({e})"),
+            }
+            sim.set_checkpoints(CheckpointPolicy::new(&dir, every, fp, cell.to_string()));
+            let (result, _, stats) = sim.run_instrumented(&mut scheme);
+            if stats.interrupted {
+                return Err(CellError::interrupted(format!(
+                    "stopped mid-run; snapshot in {}",
+                    dir.display()
+                )));
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+            Ok(result)
         }
     };
 

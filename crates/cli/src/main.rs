@@ -19,6 +19,7 @@ mod cmd_report;
 mod cmd_run;
 mod cmd_sweep;
 mod cmd_trace;
+mod signals;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -36,7 +37,9 @@ fn dispatch(argv: &[String]) -> Result<ExitCode, String> {
     let done = |r: Result<(), String>| r.map(|()| ExitCode::SUCCESS);
     match argv.first().map(String::as_str) {
         Some("trace") => done(cmd_trace::run(&argv[1..])),
-        Some("run") => done(cmd_run::run(&argv[1..])),
+        // run returns its own exit code: 0 ok, 75 gracefully interrupted
+        // (a final snapshot was written; rerun with --resume-from).
+        Some("run") => cmd_run::run(&argv[1..]).map(ExitCode::from),
         Some("demo") => done(cmd_demo::run(&argv[1..])),
         Some("inspect") => done(cmd_inspect::run(&argv[1..])),
         Some("report") => done(cmd_report::run(&argv[1..])),
@@ -77,6 +80,8 @@ USAGE:
                [--seed N] [--hours H] [--photos-per-hour R]
                [--storage-gb G] [--deadline H] [--failures F]
                [--faults K] [--trace-out FILE] [--report] [--json]
+               [--checkpoint-dir D [--checkpoint-every SIMSECS]
+                [--checkpoint-keep K]] [--resume-from D]
       Run one crowdsourcing simulation and print the coverage series.
       --report adds a full-view analysis of the delivered photos.
       --faults K enables deterministic fault injection at chaos
@@ -87,6 +92,15 @@ USAGE:
       selections, metadata exchanges, uploads, faults) as JSON lines
       for `photodtn inspect`; the simulated result is byte-identical
       with or without it.
+      --checkpoint-dir D snapshots the full simulation state into D
+      every --checkpoint-every simulated seconds (default 3600),
+      keeping the last --checkpoint-keep rotations (default 3).
+      SIGINT/SIGTERM then stop gracefully: the trace sink is flushed,
+      a final snapshot is written, and the process exits with code 75.
+      --resume-from D continues from the newest snapshot in D; the
+      resumed run (same world flags required — snapshots are
+      fingerprinted) reproduces the uninterrupted result byte-for-
+      byte and keeps checkpointing into D.
 
   photodtn inspect EVENTS.jsonl [--bins N] [--top N]
       Summarize a --trace-out file: run header, event counts,
@@ -95,15 +109,19 @@ USAGE:
 
   photodtn sweep SPEC.toml [--out FILE] [--journal FILE] [--resume]
                  [--workers N] [--cell-deadline SECS] [--retries N]
-                 [--backoff-ms MS] [--sync] [--quiet]
+                 [--backoff-ms MS] [--cell-checkpoint SIMSECS]
+                 [--sync] [--quiet]
       Run a (scheme \u{d7} config \u{d7} seed) grid under the crash-tolerant
       supervisor. Panicking cells are isolated and never retried,
       hung cells time out against --cell-deadline, transient trace-IO
       failures retry with exponential backoff, and every resolved
       cell is journaled (--sync adds fsync). After a crash or kill,
       rerun with --resume to skip completed cells; the merged report
-      is byte-identical to an uninterrupted run. Exit codes: 0 all
-      cells ok, 2 bad spec, 3 partial failure, 4 total failure.
+      is byte-identical to an uninterrupted run. --cell-checkpoint
+      additionally snapshots each in-flight cell every SIMSECS
+      simulated seconds under {journal}.ckpt/, so retried or rerun
+      cells resume mid-run instead of starting over. Exit codes: 0
+      all cells ok, 2 bad spec, 3 partial failure, 4 total failure.
       See examples/sweep.toml for the spec format.
 
   photodtn demo [--seed N]

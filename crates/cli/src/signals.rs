@@ -1,0 +1,37 @@
+//! Graceful-stop signal handling for checkpointed runs.
+//!
+//! SIGINT/SIGTERM set the engine's stop flag; the run flushes its trace
+//! sink, writes a final snapshot at the next event boundary, and exits
+//! with code 75 (EX_TEMPFAIL: "try again later" — i.e. resume with
+//! `--resume-from`). A second signal during shutdown is harmless: the
+//! flag is already set.
+//!
+//! The handler must be async-signal-safe, so it does exactly one atomic
+//! store ([`photodtn_sim::checkpoint::request_stop`]) — no allocation,
+//! no locks, no I/O.
+
+/// Installs SIGINT and SIGTERM handlers that request a graceful stop.
+///
+/// Only installed when the run actually checkpoints: a plain run keeps
+/// the default die-on-signal behavior.
+#[cfg(unix)]
+pub fn install_graceful_stop() {
+    extern "C" fn on_signal(_signum: i32) {
+        photodtn_sim::checkpoint::request_stop();
+    }
+    // Minimal libc-free binding: `signal(2)` returns the previous
+    // handler, which we do not need.
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+/// No signals to hook on non-Unix targets; `--halt-after` still works.
+#[cfg(not(unix))]
+pub fn install_graceful_stop() {}

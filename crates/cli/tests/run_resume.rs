@@ -1,0 +1,276 @@
+//! Kill-and-resume integration tests for `photodtn run`: SIGKILL (or
+//! gracefully signal) a checkpointed run mid-simulation, resume it from
+//! the snapshot directory, and require the final `--json` output to be
+//! byte-identical to an uninterrupted run. Also pins the flag-compat
+//! matrix and the fingerprint guard at the process level.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+const EXIT_INTERRUPTED: i32 = 75;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_photodtn"))
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("photodtn-run-resume-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The world every test runs: small enough to finish fast in debug
+/// builds, long enough that a mid-run kill window exists.
+fn world_args() -> Vec<String> {
+    [
+        "run",
+        "--scheme",
+        "ours",
+        "--style",
+        "mit",
+        "--seed",
+        "7",
+        "--hours",
+        "24",
+        "--photos-per-hour",
+        "30",
+        "--json",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+fn uninterrupted_json() -> String {
+    let output = bin()
+        .args(world_args())
+        .stderr(Stdio::null())
+        .output()
+        .expect("spawn photodtn");
+    assert_eq!(output.status.code(), Some(0), "{output:?}");
+    String::from_utf8(output.stdout).unwrap()
+}
+
+fn snapshot_count(dir: &Path) -> usize {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(Result::ok)
+                .filter(|e| {
+                    e.file_name()
+                        .to_str()
+                        .is_some_and(|n| n.starts_with("ckpt-") && n.ends_with(".snap"))
+                })
+                .count()
+        })
+        .unwrap_or(0)
+}
+
+/// Starts a checkpointed run, waits for the first snapshot to land, and
+/// sends `sig` (e.g. "KILL" or "TERM"). Returns the exit status if the
+/// child was signalled before finishing, `None` if it won the race.
+fn start_and_signal(ckpt: &Path, sig: &str) -> Option<std::process::ExitStatus> {
+    let mut args = world_args();
+    args.extend([
+        "--checkpoint-dir".to_string(),
+        ckpt.to_str().unwrap().to_string(),
+        "--checkpoint-every".to_string(),
+        "600".to_string(),
+    ]);
+    let mut child = bin()
+        .args(&args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn photodtn");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if snapshot_count(ckpt) >= 1 {
+            let status = Command::new("kill")
+                .args([format!("-{sig}"), child.id().to_string()])
+                .status()
+                .expect("spawn kill");
+            assert!(status.success(), "kill -{sig} failed");
+            let status = child.wait().expect("wait for signalled child");
+            return Some(status);
+        }
+        if let Some(status) = child.try_wait().expect("poll child") {
+            // The run finished before a snapshot appeared or before the
+            // signal landed — still a valid resume scenario below.
+            assert_eq!(status.code(), Some(0));
+            return None;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "run wrote no snapshot within 120s"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn resume_json(ckpt: &Path) -> std::process::Output {
+    let mut args = world_args();
+    args.extend([
+        "--resume-from".to_string(),
+        ckpt.to_str().unwrap().to_string(),
+    ]);
+    bin().args(&args).output().expect("spawn photodtn")
+}
+
+/// SIGKILL mid-run (no cleanup possible), then `--resume-from`: the
+/// resumed run's `--json` output must be byte-identical to an
+/// uninterrupted run's.
+#[test]
+fn sigkill_then_resume_is_byte_identical() {
+    let dir = tmp_dir("sigkill");
+    let baseline = uninterrupted_json();
+    let ckpt = dir.join("ckpt");
+    if start_and_signal(&ckpt, "KILL").is_some() {
+        assert!(snapshot_count(&ckpt) >= 1, "killed run left no snapshot");
+        let output = resume_json(&ckpt);
+        assert_eq!(output.status.code(), Some(0), "{output:?}");
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(stderr.contains("resuming"), "no resume banner: {stderr}");
+        let resumed = String::from_utf8(output.stdout).unwrap();
+        assert_eq!(resumed, baseline, "resumed --json diverged from baseline");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// SIGTERM is handled gracefully: the run writes a final snapshot,
+/// exits with code 75, and the resumed run completes byte-identically.
+#[test]
+fn sigterm_exits_75_and_resumes_byte_identical() {
+    let dir = tmp_dir("sigterm");
+    let baseline = uninterrupted_json();
+    let ckpt = dir.join("ckpt");
+    if let Some(status) = start_and_signal(&ckpt, "TERM") {
+        assert_eq!(
+            status.code(),
+            Some(EXIT_INTERRUPTED),
+            "graceful SIGTERM must exit {EXIT_INTERRUPTED}, got {status:?}"
+        );
+        let output = resume_json(&ckpt);
+        assert_eq!(output.status.code(), Some(0), "{output:?}");
+        let resumed = String::from_utf8(output.stdout).unwrap();
+        assert_eq!(resumed, baseline, "resumed --json diverged from baseline");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The non-racy determinism path: `--halt-after` stops the run at a
+/// fixed simulated time (exit 75), and resume reproduces the baseline.
+/// This is the variant CI can rely on even under extreme load.
+#[test]
+fn halt_after_then_resume_is_byte_identical() {
+    let dir = tmp_dir("halt");
+    let baseline = uninterrupted_json();
+    let ckpt = dir.join("ckpt");
+    let mut args = world_args();
+    args.extend([
+        "--checkpoint-dir".to_string(),
+        ckpt.to_str().unwrap().to_string(),
+        "--halt-after".to_string(),
+        "43200".to_string(), // 12 of 24 simulated hours
+    ]);
+    let output = bin().args(&args).output().expect("spawn photodtn");
+    assert_eq!(output.status.code(), Some(EXIT_INTERRUPTED), "{output:?}");
+
+    let output = resume_json(&ckpt);
+    assert_eq!(output.status.code(), Some(0), "{output:?}");
+    let resumed = String::from_utf8(output.stdout).unwrap();
+    assert_eq!(resumed, baseline, "resumed --json diverged from baseline");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Resuming under different world flags is refused with the recorded
+/// world string in the error — snapshots are fingerprinted.
+#[test]
+fn resume_under_different_flags_is_rejected() {
+    let dir = tmp_dir("fingerprint");
+    let ckpt = dir.join("ckpt");
+    let mut args = world_args();
+    args.extend([
+        "--checkpoint-dir".to_string(),
+        ckpt.to_str().unwrap().to_string(),
+        "--halt-after".to_string(),
+        "43200".to_string(),
+    ]);
+    let status = bin()
+        .args(&args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(EXIT_INTERRUPTED));
+
+    let mut args = world_args();
+    let i = args.iter().position(|a| a == "30").unwrap();
+    args[i] = "31".to_string(); // different --photos-per-hour
+    args.extend([
+        "--resume-from".to_string(),
+        ckpt.to_str().unwrap().to_string(),
+    ]);
+    let output = bin().args(&args).output().unwrap();
+    assert_eq!(output.status.code(), Some(1), "{output:?}");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("different run"),
+        "fingerprint mismatch must explain itself: {stderr}"
+    );
+    assert!(
+        stderr.contains("photodtn run"),
+        "error must echo the snapshot's recorded command line: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The flag-compat matrix at the process level: dependents without a
+/// directory, and a conflicting resume/checkpoint-dir pair, are typed
+/// CLI errors (exit 1 with a did-you-mean), never panics.
+#[test]
+fn conflicting_checkpoint_flags_are_typed_errors() {
+    let cases: &[(&[&str], &str)] = &[
+        (
+            &["--checkpoint-every", "600"],
+            "needs --checkpoint-dir (or --resume-from)",
+        ),
+        (
+            &["--checkpoint-keep", "5"],
+            "needs --checkpoint-dir (or --resume-from)",
+        ),
+        (
+            &["--halt-after", "600"],
+            "needs --checkpoint-dir (or --resume-from)",
+        ),
+        (
+            &["--resume-from", "/tmp/a", "--checkpoint-dir", "/tmp/b"],
+            "conflicts with --checkpoint-dir",
+        ),
+    ];
+    for (extra, needle) in cases {
+        let mut args = world_args();
+        args.extend(extra.iter().map(|s| s.to_string()));
+        let output = bin().args(&args).output().unwrap();
+        assert_eq!(output.status.code(), Some(1), "{extra:?}: {output:?}");
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains(needle),
+            "{extra:?}: expected {needle:?} in stderr: {stderr}"
+        );
+    }
+}
+
+/// Resuming from an empty directory is a clean, typed failure.
+#[test]
+fn resume_from_empty_directory_fails_cleanly() {
+    let dir = tmp_dir("empty");
+    let output = resume_json(&dir);
+    assert_eq!(output.status.code(), Some(1), "{output:?}");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("nothing to resume"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -43,5 +43,5 @@ mod trace;
 
 pub use event::{ContactEvent, NodeId};
 pub use parse::{parse_trace, write_trace, ParseTraceError};
-pub use rate::RateMatrix;
+pub use rate::{RateMatrix, RateMatrixSnapshot};
 pub use trace::ContactTrace;

@@ -112,6 +112,51 @@ impl RateMatrix {
             *self.node_counts.entry(a.0).or_insert(0) += count;
         }
     }
+
+    /// A canonical serializable snapshot of the estimator.
+    ///
+    /// The counts are flattened into *sorted* vectors: JSON maps need
+    /// string keys (the pair counts are tuple-keyed), and sorting makes
+    /// the encoding independent of `HashMap` iteration order, so equal
+    /// estimators always snapshot to identical bytes.
+    #[must_use]
+    pub fn snapshot(&self) -> RateMatrixSnapshot {
+        let mut pairs: Vec<(u32, u32, u64)> = self
+            .pair_counts
+            .iter()
+            .map(|(&(a, b), &k)| (a, b, k))
+            .collect();
+        pairs.sort_unstable();
+        let mut nodes: Vec<(u32, u64)> = self.node_counts.iter().map(|(&n, &k)| (n, k)).collect();
+        nodes.sort_unstable();
+        RateMatrixSnapshot {
+            start_time: self.start_time,
+            pairs,
+            nodes,
+        }
+    }
+
+    /// Rebuilds an estimator from a [`snapshot`](Self::snapshot).
+    #[must_use]
+    pub fn from_snapshot(s: &RateMatrixSnapshot) -> Self {
+        RateMatrix {
+            start_time: s.start_time,
+            pair_counts: s.pairs.iter().map(|&(a, b, k)| ((a, b), k)).collect(),
+            node_counts: s.nodes.iter().map(|&(n, k)| (n, k)).collect(),
+        }
+    }
+}
+
+/// The flattened, order-canonical form of a [`RateMatrix`] — see
+/// [`RateMatrix::snapshot`].
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RateMatrixSnapshot {
+    /// Start of the observation window, seconds.
+    pub start_time: f64,
+    /// `(a, b, count)` per observed pair, `a < b`, sorted.
+    pub pairs: Vec<(u32, u32, u64)>,
+    /// `(node, count)` per observed node, sorted.
+    pub nodes: Vec<(u32, u64)>,
 }
 
 #[cfg(test)]

@@ -64,11 +64,83 @@ impl ProphetHandle {
         }
     }
 
+    /// The live router, for checkpoint capture.
+    ///
+    /// Checkpointing forces the sequential path (the shard dispatcher
+    /// refuses to engage when a checkpoint policy or resume payload is
+    /// set), so the handle is always live there; `None` for frozen shard
+    /// replicas.
+    pub(crate) fn live(&self) -> Option<&ProphetRouter> {
+        match self {
+            ProphetHandle::Live(router) => Some(router),
+            ProphetHandle::Frozen { .. } => None,
+        }
+    }
+
     fn predictability(&self, from: NodeId, dest: NodeId, now: f64) -> f64 {
         match self {
             ProphetHandle::Live(router) => router.predictability(from, dest, now),
             ProphetHandle::Frozen { timeline, pos } => timeline.delivery_prob(from, *pos, now),
         }
+    }
+}
+
+/// The scheme-visible random source: a [`SmallRng`] that counts how many
+/// 64-bit words it has produced.
+///
+/// The stream is a pure function of the run seed, so a checkpoint needs
+/// only the *draw count* — restore re-seeds from scratch and fast-forwards
+/// that many words, reproducing the exact generator state without
+/// serializing it. The counter is one integer increment per draw; the
+/// underlying xoshiro state transition dwarfs it.
+#[derive(Clone, Debug)]
+pub struct SchemeRng {
+    inner: SmallRng,
+    words: u64,
+}
+
+impl SchemeRng {
+    pub(crate) fn seed_from_u64(seed: u64) -> Self {
+        use rand::SeedableRng;
+        SchemeRng {
+            inner: SmallRng::seed_from_u64(seed),
+            words: 0,
+        }
+    }
+
+    /// 64-bit words drawn so far (the checkpointed quantity).
+    #[must_use]
+    pub fn words_drawn(&self) -> u64 {
+        self.words
+    }
+
+    /// Advances a freshly seeded generator by `words` draws, restoring
+    /// the state a checkpointed run had at capture time.
+    pub(crate) fn fast_forward(&mut self, words: u64) {
+        use rand::RngCore;
+        for _ in 0..words {
+            self.inner.next_u64();
+        }
+        self.words = words;
+    }
+}
+
+impl rand::RngCore for SchemeRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        self.words += 1;
+        self.inner.next_u32()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.words += 1;
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.words += (dest.len() as u64).div_ceil(8);
+        self.inner.fill_bytes(dest);
     }
 }
 
@@ -95,7 +167,7 @@ pub struct SimCtx {
     pub(crate) prophet: ProphetHandle,
     pub(crate) cc_prophet_id: NodeId,
     pub(crate) gateways: Vec<NodeId>,
-    pub(crate) rng: SmallRng,
+    pub(crate) rng: SchemeRng,
     pub(crate) now: f64,
     pub(crate) uploaded_bytes: u64,
     /// Sum of (delivery time − capture time) over delivered photos.
@@ -410,7 +482,7 @@ impl SimCtx {
     }
 
     /// Deterministic per-run random source for scheme decisions.
-    pub fn rng(&mut self) -> &mut SmallRng {
+    pub fn rng(&mut self) -> &mut SchemeRng {
         &mut self.rng
     }
 

@@ -12,7 +12,8 @@ use photodtn_coverage::{
 };
 use photodtn_prophet::ProphetRouter;
 
-use crate::ctx::ProphetHandle;
+use crate::checkpoint::{self, CheckpointError, CheckpointPayload, CheckpointPolicy};
+use crate::ctx::{ProphetHandle, SchemeRng};
 use crate::faults::{FaultPlan, FaultState};
 use crate::queue::{EventKind, EventQueue, ScheduledEvent};
 use crate::trace::{TraceEvent, TraceSink, Tracer};
@@ -70,6 +71,12 @@ pub struct Simulation {
     /// Optional structured-trace sink, observed (never consulted) by
     /// runs; kept across runs so one sink can capture several.
     trace_sink: Option<Box<dyn TraceSink>>,
+    /// Optional periodic-snapshot policy; `None` (the default) keeps the
+    /// event loop's checkpoint branch a single `Option` check.
+    checkpoints: Option<CheckpointPolicy>,
+    /// A validated snapshot to restore at the start of the next run
+    /// (consumed by it).
+    resume: Option<CheckpointPayload>,
 }
 
 impl Simulation {
@@ -264,6 +271,8 @@ impl Simulation {
             warmup_contacts: Vec::new(),
             fault_plan,
             trace_sink: None,
+            checkpoints: None,
+            resume: None,
         })
     }
 
@@ -279,6 +288,69 @@ impl Simulation {
     /// Attaches (or replaces) the structured-trace sink in place.
     pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
         self.trace_sink = Some(sink);
+    }
+
+    /// Enables periodic checkpointing for later runs. Checkpointed runs
+    /// take the sequential path (the shard dispatcher refuses to engage,
+    /// exactly as it does for tracing), stop early at the next event
+    /// boundary when [`checkpoint::request_stop`] fires, and report that
+    /// via [`RunStats::interrupted`].
+    pub fn set_checkpoints(&mut self, policy: CheckpointPolicy) {
+        self.checkpoints = Some(policy);
+    }
+
+    /// Arms the next run to continue from `payload` instead of from
+    /// time 0. Only shape is validated here (node counts, event index,
+    /// scheme name); content integrity was already established by the
+    /// loader's checksum, and world identity by the fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::StateShape`] when the payload does not fit this
+    /// world or names a different scheme than `scheme`.
+    pub fn resume_from<S: Scheme + ?Sized>(
+        &mut self,
+        payload: CheckpointPayload,
+        scheme: &S,
+    ) -> Result<(), CheckpointError> {
+        let shape_err = |detail: String| CheckpointError::StateShape { detail };
+        if payload.scheme != scheme.name() {
+            return Err(shape_err(format!(
+                "snapshot was written by scheme {:?}, resuming with {:?}",
+                payload.scheme,
+                scheme.name()
+            )));
+        }
+        if payload.collections.len() != self.num_participants as usize {
+            return Err(shape_err(format!(
+                "snapshot has {} node buffers, world has {} participants",
+                payload.collections.len(),
+                self.num_participants
+            )));
+        }
+        if payload.fault_down.len() != self.num_participants as usize {
+            return Err(shape_err(format!(
+                "snapshot fault mask covers {} nodes, world has {}",
+                payload.fault_down.len(),
+                self.num_participants
+            )));
+        }
+        if payload.next_event_idx as usize > self.events.len() {
+            return Err(shape_err(format!(
+                "snapshot event index {} past the {}-event schedule",
+                payload.next_event_idx,
+                self.events.len()
+            )));
+        }
+        if payload.prophet.num_nodes() != self.num_participants + 1 {
+            return Err(shape_err(format!(
+                "snapshot PROPHET table covers {} nodes, world needs {}",
+                payload.prophet.num_nodes(),
+                self.num_participants + 1
+            )));
+        }
+        self.resume = Some(payload);
+        Ok(())
     }
 
     /// The scheduled crash/reboot outages of this world (empty when churn
@@ -418,10 +490,16 @@ impl Simulation {
         self.events.ensure_ordered();
         // Sharded dispatch: byte-identical to the sequential path below
         // for any fixed seed. Falls through when the scheme cannot fork
-        // shard replicas or tracing is attached (the trace stream is an
-        // inherently sequential observer).
+        // shard replicas, tracing is attached (the trace stream is an
+        // inherently sequential observer), or checkpointing/resume is
+        // armed (snapshots are cut at global event boundaries, which
+        // shard replicas do not observe).
         let shards = crate::shard::resolve_shard_count(self.config.shards, self.num_participants);
-        if shards >= 2 && self.trace_sink.is_none() {
+        if shards >= 2
+            && self.trace_sink.is_none()
+            && self.checkpoints.is_none()
+            && self.resume.is_none()
+        {
             if let Some(out) = crate::shard::run_sharded(self, scheme, shards, started) {
                 return out;
             }
@@ -445,7 +523,7 @@ impl Simulation {
             )),
             cc_prophet_id,
             gateways: self.gateways.clone(),
-            rng: SmallRng::seed_from_u64(self.seed ^ 0x5C4E_3E00_0000_0002),
+            rng: SchemeRng::seed_from_u64(self.seed ^ 0x5C4E_3E00_0000_0002),
             now: 0.0,
             uploaded_bytes: 0,
             latency_sum: 0.0,
@@ -453,29 +531,99 @@ impl Simulation {
             faults: FaultState::new(self.config.faults, self.num_participants, self.seed),
             tracer: Tracer::new(self.trace_sink.take()),
         };
-        {
-            let (scheme_name, seed, nodes, storage_bytes) = (
-                scheme.name(),
-                self.seed,
-                self.num_participants,
-                self.config.storage_bytes,
-            );
-            ctx.tracer.emit_with(|| TraceEvent::RunBegin {
-                scheme: scheme_name.to_string(),
-                seed,
-                nodes,
-                storage_bytes,
-            });
-        }
-        for &(a, b, t) in &self.warmup_contacts {
-            ctx.prophet.contact(a, b, t);
+        let resume = self.resume.take();
+        if resume.is_none() {
+            {
+                let (scheme_name, seed, nodes, storage_bytes) = (
+                    scheme.name(),
+                    self.seed,
+                    self.num_participants,
+                    self.config.storage_bytes,
+                );
+                ctx.tracer.emit_with(|| TraceEvent::RunBegin {
+                    scheme: scheme_name.to_string(),
+                    seed,
+                    nodes,
+                    storage_bytes,
+                });
+            }
+            // On resume these replays are skipped: the snapshot's PROPHET
+            // router already contains the warmup contacts.
+            for &(a, b, t) in &self.warmup_contacts {
+                ctx.prophet.contact(a, b, t);
+            }
         }
         scheme.on_init(&mut ctx);
 
         let env = EventEnv::of(&self.config);
         let mut samples = Vec::new();
         let mut next_sample = self.config.sample_interval.max(1.0);
-        for (idx, event) in self.events.ordered().iter().enumerate() {
+        let mut start_idx = 0usize;
+        if let Some(p) = resume {
+            // Restore *after* on_init, overwriting anything the fresh
+            // scheme or its init touched. Serialized state is assigned
+            // wholesale; derived state (coverage-table cache, selection
+            // engines, upload bases) was deliberately not captured and
+            // rebuilds lazily — the subsystems' byte-identity contracts
+            // ("cold caches must not influence results") make the rebuild
+            // exact (DESIGN.md decision #14).
+            ctx.collections = p.collections;
+            ctx.cc_received = p.cc_received;
+            ctx.cc_profile = p.cc_profile;
+            ctx.prophet = ProphetHandle::Live(p.prophet);
+            ctx.now = p.now;
+            ctx.uploaded_bytes = p.uploaded_bytes;
+            ctx.latency_sum = p.latency_sum;
+            ctx.metadata_bytes = p.metadata_bytes;
+            // The scheme RNG stream is a pure function of the seed, so
+            // the draw count alone reproduces its exact state.
+            ctx.rng = SchemeRng::seed_from_u64(self.seed ^ 0x5C4E_3E00_0000_0002);
+            ctx.rng.fast_forward(p.rng_words);
+            ctx.faults.restore(p.fault_down, p.fault_stats);
+            ctx.tracer.set_seq(p.trace_seq);
+            if let Err(e) = scheme.import_global_state(&p.scheme_state) {
+                // Unreachable past the loader's checksum and the shape
+                // checks in `resume_from`: the blob was produced by this
+                // scheme's own exporter. A panic here means the snapshot
+                // passed CRC yet holds an undecodable scheme blob — state
+                // to surface loudly, not to half-restore.
+                panic!(
+                    "scheme {:?} rejected its checkpointed state: {e}",
+                    scheme.name()
+                );
+            }
+            samples = p.samples;
+            next_sample = p.next_sample;
+            start_idx = p.next_event_idx as usize;
+            stats.events = p.events_done;
+            stats.contacts = p.contacts_done;
+            stats.uploads = p.uploads_done;
+        }
+        let mut writer = self
+            .checkpoints
+            .clone()
+            .map(|policy| checkpoint::Writer::new(policy, ctx.now));
+
+        let mut interrupted = false;
+        for (idx, event) in self.events.ordered().iter().enumerate().skip(start_idx) {
+            // Checkpoint boundary: *before* the sample drain, so a
+            // snapshot at index `idx` means "events 0..idx applied,
+            // samples below `next_sample` taken" — the exact state the
+            // resume path reconstructs.
+            if let Some(w) = writer.as_mut() {
+                if w.observe(
+                    idx,
+                    event.t,
+                    &mut ctx,
+                    scheme,
+                    &samples,
+                    next_sample,
+                    &stats,
+                ) {
+                    interrupted = true;
+                    break;
+                }
+            }
             while event.t >= next_sample {
                 samples.push(sample_of(&ctx, next_sample));
                 if ctx.tracer.enabled() {
@@ -485,26 +633,29 @@ impl Simulation {
             }
             process_event(&mut ctx, scheme, event, idx as u32 + 1, env, &mut stats);
         }
-        ctx.now = self.duration;
-        samples.push(sample_of(&ctx, self.duration));
-        if ctx.tracer.enabled() {
-            emit_buffer_snapshots(&mut ctx, self.duration);
-            let (t, delivered, uploaded_bytes) = (
-                self.duration,
-                ctx.cc_received.len() as u64,
-                ctx.uploaded_bytes,
-            );
-            ctx.tracer.emit_with(|| TraceEvent::RunEnd {
-                t,
-                delivered,
-                uploaded_bytes,
-            });
+        if !interrupted {
+            ctx.now = self.duration;
+            samples.push(sample_of(&ctx, self.duration));
+            if ctx.tracer.enabled() {
+                emit_buffer_snapshots(&mut ctx, self.duration);
+                let (t, delivered, uploaded_bytes) = (
+                    self.duration,
+                    ctx.cc_received.len() as u64,
+                    ctx.uploaded_bytes,
+                );
+                ctx.tracer.emit_with(|| TraceEvent::RunEnd {
+                    t,
+                    delivered,
+                    uploaded_bytes,
+                });
+            }
         }
         // Give the (flushed) sink back to the Simulation so successive
         // runs — e.g. several schemes over one world — share it.
         self.trace_sink = std::mem::take(&mut ctx.tracer).into_sink();
         stats.cache = ctx.coverage_cache_stats();
         stats.wall_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        stats.interrupted = interrupted;
         (
             SimResult {
                 scheme: scheme.name().to_string(),

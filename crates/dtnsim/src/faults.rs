@@ -313,6 +313,30 @@ impl FaultState {
         self.down[node.index()] = down;
     }
 
+    /// The full up/down mask, for checkpointing. The coin-flip RNG needs
+    /// no snapshot: [`begin_event`](Self::begin_event) rekeys it from the
+    /// event sequence number, and checkpoints are only cut at event
+    /// boundaries.
+    pub(crate) fn down_snapshot(&self) -> Vec<bool> {
+        self.down.clone()
+    }
+
+    /// Restores the up/down mask and counters from a checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `down` has the wrong node count — the caller validates
+    /// snapshot shape before restoring.
+    pub(crate) fn restore(&mut self, down: Vec<bool>, stats: FaultStats) {
+        assert_eq!(
+            down.len(),
+            self.down.len(),
+            "fault mask node count mismatch"
+        );
+        self.down = down;
+        self.stats = stats;
+    }
+
     /// Rolls the fate of one in-flight photo transmission and counts it.
     ///
     /// Consumes no randomness — and always returns

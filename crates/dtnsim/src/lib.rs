@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 mod checked;
+pub mod checkpoint;
 mod config;
 mod ctx;
 #[cfg(test)]
@@ -53,8 +54,9 @@ pub mod supervisor;
 pub mod trace;
 
 pub use checked::Checked;
+pub use checkpoint::{CheckpointError, CheckpointPayload, CheckpointPolicy};
 pub use config::{CommandCenterMode, SimConfig};
-pub use ctx::{SimCtx, UploadOutcome};
+pub use ctx::{SchemeRng, SimCtx, UploadOutcome};
 pub use engine::{SimBuildError, Simulation};
 pub use faults::{FaultConfig, FaultPlan, FaultState, FaultStats};
 pub use metrics::{MetricSample, RunStats, SimResult};

@@ -100,6 +100,10 @@ pub struct RunStats {
     pub workers: u64,
     /// Coverage-table cache counters of the run.
     pub cache: CacheStats,
+    /// Whether the run stopped early at a checkpoint boundary (graceful
+    /// stop request or a halt hook) instead of reaching the end of the
+    /// schedule; the accompanying `SimResult` is partial.
+    pub interrupted: bool,
 }
 
 impl RunStats {

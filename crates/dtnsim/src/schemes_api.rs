@@ -92,6 +92,37 @@ pub trait Scheme {
     /// Implementations may panic when handed a state box of the wrong
     /// concrete type (which would indicate an engine bug).
     fn import_node_state(&mut self, _node: NodeId, _state: Box<dyn Any + Send>) {}
+
+    /// Serializes the scheme's *entire* protocol state — every node's,
+    /// plus anything global — for a mid-run checkpoint, or `None` when
+    /// the scheme does not support checkpointing (the default; the engine
+    /// then warns once and disables snapshots for the run).
+    ///
+    /// Unlike the per-node shard hooks above, the state crosses a process
+    /// boundary, so it must be a self-contained string (JSON by
+    /// convention), not a `Box<dyn Any>`. Only *serialize the state,
+    /// rebuild derived caches*: anything reconstructible from config or
+    /// world state (selection engines, memoized coverage, upload bases)
+    /// must be left out and rebuilt lazily after
+    /// [`import_global_state`](Self::import_global_state) — those caches
+    /// carry byte-identity contracts that make the rebuild exact.
+    fn export_global_state(&self) -> Option<String> {
+        None
+    }
+
+    /// Restores protocol state captured by
+    /// [`export_global_state`](Self::export_global_state) on a freshly
+    /// constructed scheme with the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// A message describing why `state` does not decode; the engine
+    /// treats this as fatal for the resume (the snapshot already passed
+    /// integrity and fingerprint checks, so a rejection here means the
+    /// exporter and importer disagree — a bug).
+    fn import_global_state(&mut self, _state: &str) -> Result<(), String> {
+        Err("scheme does not support checkpoint restore".to_string())
+    }
 }
 
 impl<T: Scheme + ?Sized> Scheme for Box<T> {
@@ -124,6 +155,12 @@ impl<T: Scheme + ?Sized> Scheme for Box<T> {
     }
     fn import_node_state(&mut self, node: NodeId, state: Box<dyn Any + Send>) {
         (**self).import_node_state(node, state);
+    }
+    fn export_global_state(&self) -> Option<String> {
+        (**self).export_global_state()
+    }
+    fn import_global_state(&mut self, state: &str) -> Result<(), String> {
+        (**self).import_global_state(state)
     }
 }
 
@@ -180,5 +217,15 @@ impl Scheme for FloodScheme {
     fn fork_shard(&self) -> Option<Box<dyn Scheme + Send>> {
         // Stateless: every replica is the scheme.
         Some(Box::new(FloodScheme))
+    }
+
+    fn export_global_state(&self) -> Option<String> {
+        // Stateless: all flooding state lives in the context's photo
+        // collections, which the engine checkpoints itself.
+        Some("{}".to_string())
+    }
+
+    fn import_global_state(&mut self, _state: &str) -> Result<(), String> {
+        Ok(())
     }
 }

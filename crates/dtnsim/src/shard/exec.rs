@@ -20,13 +20,10 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Instant;
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-
 use photodtn_contacts::NodeId;
 use photodtn_coverage::{CoverageProfile, CoverageTableCache, PhotoCollection, PoiList};
 
-use crate::ctx::ProphetHandle;
+use crate::ctx::{ProphetHandle, SchemeRng};
 use crate::engine::{process_event, sample_of, EventEnv, Simulation};
 use crate::faults::FaultState;
 use crate::metrics::{RunStats, SimResult};
@@ -140,7 +137,7 @@ fn replica_ctx(
         },
         cc_prophet_id: NodeId(num_participants),
         gateways,
-        rng: SmallRng::seed_from_u64(seed ^ 0x5C4E_3E00_0000_0002),
+        rng: SchemeRng::seed_from_u64(seed ^ 0x5C4E_3E00_0000_0002),
         now: 0.0,
         uploaded_bytes: 0,
         latency_sum: 0.0,

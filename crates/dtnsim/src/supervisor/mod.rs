@@ -83,13 +83,20 @@ pub enum FailureKind {
     TraceIo,
     /// A worker thread could not be spawned. Transient — retried.
     Spawn,
+    /// The cell was gracefully interrupted mid-run (stop request) after
+    /// writing a checkpoint. Retried — the retry resumes from the cell's
+    /// last snapshot instead of starting over.
+    Interrupted,
 }
 
 impl FailureKind {
     /// Whether a failure of this kind may succeed on retry.
     #[must_use]
     pub fn retryable(self) -> bool {
-        matches!(self, FailureKind::TraceIo | FailureKind::Spawn)
+        matches!(
+            self,
+            FailureKind::TraceIo | FailureKind::Spawn | FailureKind::Interrupted
+        )
     }
 }
 
@@ -100,6 +107,7 @@ impl std::fmt::Display for FailureKind {
             FailureKind::Timeout => "timeout",
             FailureKind::TraceIo => "trace-io",
             FailureKind::Spawn => "spawn",
+            FailureKind::Interrupted => "interrupted",
         })
     }
 }
@@ -120,6 +128,16 @@ impl CellError {
     pub fn trace_io(message: impl Into<String>) -> Self {
         CellError {
             kind: FailureKind::TraceIo,
+            message: message.into(),
+        }
+    }
+
+    /// A graceful mid-run interruption after a checkpoint (retryable; the
+    /// retry resumes from the snapshot).
+    #[must_use]
+    pub fn interrupted(message: impl Into<String>) -> Self {
+        CellError {
+            kind: FailureKind::Interrupted,
             message: message.into(),
         }
     }

@@ -265,6 +265,62 @@ impl JsonlSink {
         self.sync = sync;
         self
     }
+
+    /// Opens an existing JSONL trace for checkpoint resume: keeps exactly
+    /// the first `keep_events` lines (the events the checkpoint's trace
+    /// sequence number counts), truncates everything after them — a torn
+    /// tail from a kill, plus any events the crashed run emitted past the
+    /// snapshot — and appends from there.
+    ///
+    /// Only `\n`-terminated lines count; a torn final line is never
+    /// mistaken for an event. A missing file with `keep_events == 0`
+    /// (snapshot taken before the first emission) is created fresh.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` when the file holds fewer than `keep_events`
+    /// complete lines — the trace lagged the snapshot (written without
+    /// `--trace-sync`, or tampered with), so a byte-identical resume is
+    /// impossible; other I/O errors pass through.
+    pub fn resume_append(path: &str, keep_events: u64) -> std::io::Result<Self> {
+        use std::io::{Read, Seek};
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut text = String::new();
+        file.read_to_string(&mut text)?;
+        let mut offset = 0usize;
+        let mut complete_lines = 0u64;
+        for (i, b) in text.bytes().enumerate() {
+            if complete_lines == keep_events {
+                break;
+            }
+            if b == b'\n' {
+                complete_lines += 1;
+                offset = i + 1;
+            }
+        }
+        if complete_lines < keep_events {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "{path}: trace holds {complete_lines} complete events but the \
+                     checkpoint expects {keep_events}; the trace lagged the snapshot \
+                     (rerun with --trace-sync, or resume without --trace-out)"
+                ),
+            ));
+        }
+        file.set_len(offset as u64)?;
+        file.seek(std::io::SeekFrom::End(0))?;
+        Ok(JsonlSink {
+            out: std::io::BufWriter::new(file),
+            failed: false,
+            sync: false,
+        })
+    }
 }
 
 impl TraceSink for JsonlSink {
@@ -350,24 +406,48 @@ impl TraceSink for VecSink {
 #[derive(Default)]
 pub(crate) struct Tracer {
     sink: Option<Box<dyn TraceSink>>,
+    /// Events emitted so far — the trace sequence position checkpoints
+    /// record so a resumed run can truncate-and-append the same JSONL
+    /// file. Only maintained when a sink is attached.
+    seq: u64,
 }
 
 impl std::fmt::Debug for Tracer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Tracer")
             .field("enabled", &self.sink.is_some())
+            .field("seq", &self.seq)
             .finish()
     }
 }
 
 impl Tracer {
     pub(crate) fn new(sink: Option<Box<dyn TraceSink>>) -> Self {
-        Tracer { sink }
+        Tracer { sink, seq: 0 }
     }
 
     #[inline]
     pub(crate) fn enabled(&self) -> bool {
         self.sink.is_some()
+    }
+
+    /// Events emitted so far (0 when no sink is attached).
+    pub(crate) fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Restores the emission count from a checkpoint, so events the
+    /// resumed run emits continue the original numbering.
+    pub(crate) fn set_seq(&mut self, seq: u64) {
+        self.seq = seq;
+    }
+
+    /// Flushes the attached sink mid-run (checkpoint boundaries), so
+    /// trace durability keeps pace with snapshot durability.
+    pub(crate) fn flush_sink(&mut self) {
+        if let Some(sink) = &mut self.sink {
+            sink.flush();
+        }
     }
 
     /// Emits lazily: `f` only runs when a sink is attached, so disabled
@@ -376,6 +456,7 @@ impl Tracer {
     pub(crate) fn emit_with(&mut self, f: impl FnOnce() -> TraceEvent) {
         if let Some(sink) = &mut self.sink {
             sink.record(&f());
+            self.seq += 1;
         }
     }
 

@@ -87,6 +87,16 @@ impl Scheme for Epidemic {
         // Stateless: every replica is the scheme.
         Some(Box::new(Epidemic))
     }
+
+    fn export_global_state(&self) -> Option<String> {
+        // Stateless: the photo collections the engine checkpoints are the
+        // protocol's entire state.
+        Some("{}".to_string())
+    }
+
+    fn import_global_state(&mut self, _state: &str) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 /// Direct delivery: a photo is only ever carried by the node that took it
@@ -144,6 +154,16 @@ impl Scheme for DirectDelivery {
     fn fork_shard(&self) -> Option<Box<dyn Scheme + Send>> {
         // Stateless: every replica is the scheme.
         Some(Box::new(DirectDelivery))
+    }
+
+    fn export_global_state(&self) -> Option<String> {
+        // Stateless: the photo collections the engine checkpoints are the
+        // protocol's entire state.
+        Some("{}".to_string())
+    }
+
+    fn import_global_state(&mut self, _state: &str) -> Result<(), String> {
+        Ok(())
     }
 }
 

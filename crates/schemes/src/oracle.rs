@@ -157,6 +157,17 @@ impl Scheme for CentralizedOracle {
         // a replica's copies stay untouched, so fresh ones suffice.
         Some(Box::new(CentralizedOracle::new()))
     }
+
+    fn export_global_state(&self) -> Option<String> {
+        // Fully derived: the value cache is pure memoization, and
+        // `UploadBase::prepare` rebuilds the server base from the
+        // command-center collection byte-identically when cold.
+        Some("{}".to_string())
+    }
+
+    fn import_global_state(&mut self, _state: &str) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -423,6 +423,39 @@ impl Scheme for OurScheme {
         }
         self.rates.add_node_count(node, state.contact_count);
     }
+
+    fn export_global_state(&self) -> Option<String> {
+        // Persistent protocol state only: every node's metadata cache and
+        // the λ estimator. The selection session, upload base, and photo-
+        // value memoization are derived — they rebuild lazily and carry
+        // byte-identity contracts ("cold caches must not influence
+        // results"), so a resumed run reproduces the original bit-for-bit.
+        let state = OursGlobalState {
+            caches: self.caches.clone(),
+            rates: self.rates.snapshot(),
+        };
+        Some(serde_json::to_string(&state).expect("ours state serialization is infallible"))
+    }
+
+    fn import_global_state(&mut self, state: &str) -> Result<(), String> {
+        let state: OursGlobalState = serde_json::from_str(state).map_err(|e| e.to_string())?;
+        self.caches = state.caches;
+        self.rates = RateMatrix::from_snapshot(&state.rates);
+        // Derived state restarts cold on purpose (DESIGN.md decision #14).
+        self.values = PhotoValueCache::new();
+        self.session = None;
+        self.upload = UploadBase::default();
+        Ok(())
+    }
+}
+
+/// The checkpointable protocol state of [`OurScheme`]: metadata caches
+/// keyed by node, plus the flattened λ estimator (the raw
+/// [`RateMatrix`] is tuple-keyed, which JSON cannot express as a map).
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct OursGlobalState {
+    caches: HashMap<u32, photodtn_core::MetadataCache>,
+    rates: photodtn_contacts::RateMatrixSnapshot,
 }
 
 /// One node's migratable protocol state: its metadata cache and its

@@ -165,6 +165,16 @@ impl Scheme for PhotoNet {
         // Pure configuration — the scoring weights are the whole state.
         Some(Box::new(self.clone()))
     }
+
+    fn export_global_state(&self) -> Option<String> {
+        // Pure configuration: the scoring weights come from the
+        // constructor, not the run, so there is nothing to snapshot.
+        Some("{}".to_string())
+    }
+
+    fn import_global_state(&mut self, _state: &str) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 #[cfg(test)]

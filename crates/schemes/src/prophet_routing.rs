@@ -96,6 +96,16 @@ impl Scheme for ProphetRouting {
         // tables, which replicas read through the frozen timeline.
         Some(Box::new(ProphetRouting))
     }
+
+    fn export_global_state(&self) -> Option<String> {
+        // Stateless: the PROPHET tables this router consults belong to
+        // the engine, which checkpoints them itself.
+        Some("{}".to_string())
+    }
+
+    fn import_global_state(&mut self, _state: &str) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 #[cfg(test)]

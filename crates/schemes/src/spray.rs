@@ -187,6 +187,43 @@ impl Scheme for SprayAndWait {
             .expect("spray replica handed foreign node state");
         install_copies(&mut self.copies, node, *state);
     }
+
+    fn export_global_state(&self) -> Option<String> {
+        export_spray_copies(&self.copies)
+    }
+
+    fn import_global_state(&mut self, state: &str) -> Result<(), String> {
+        self.copies = import_spray_copies(state)?;
+        // The value cache is pure memoization over immutable photos —
+        // rebuilt cold, byte-identically.
+        self.values = PhotoValueCache::new();
+        Ok(())
+    }
+}
+
+/// The serialized copy-counter table of a spray scheme: `(node, photo,
+/// copies)` triples, sorted so equal tables encode to identical bytes.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct SprayGlobalState {
+    copies: Vec<(u32, u64, u32)>,
+}
+
+fn export_spray_copies(copies: &HashMap<(u32, u64), u32>) -> Option<String> {
+    let mut flat: Vec<(u32, u64, u32)> = copies
+        .iter()
+        .map(|(&(node, photo), &c)| (node, photo, c))
+        .collect();
+    flat.sort_unstable();
+    serde_json::to_string(&SprayGlobalState { copies: flat }).ok()
+}
+
+fn import_spray_copies(state: &str) -> Result<HashMap<(u32, u64), u32>, String> {
+    let state: SprayGlobalState = serde_json::from_str(state).map_err(|e| e.to_string())?;
+    Ok(state
+        .copies
+        .into_iter()
+        .map(|(node, photo, c)| ((node, photo), c))
+        .collect())
 }
 
 /// One node's migratable spray state: its `(photo, copies)` counters.
@@ -363,6 +400,16 @@ impl Scheme for ModifiedSpray {
             .downcast::<SprayNodeState>()
             .expect("modified-spray replica handed foreign node state");
         install_copies(&mut self.copies, node, *state);
+    }
+
+    fn export_global_state(&self) -> Option<String> {
+        export_spray_copies(&self.copies)
+    }
+
+    fn import_global_state(&mut self, state: &str) -> Result<(), String> {
+        self.copies = import_spray_copies(state)?;
+        self.values = PhotoValueCache::new();
+        Ok(())
     }
 }
 
