@@ -25,6 +25,14 @@
 //! directory proves mid-run checkpoint/restore is byte-exact for every
 //! scheme and fault intensity (CI does exactly that as well).
 //!
+//! With `--scenario FILE` the world (trace, config, PoI layout) comes
+//! from a declarative TOML scenario instead of the built-in preset; the
+//! fault-intensity sweep, run seed, scheme lineup and output layout stay
+//! the same. Pointing it at a scenario that restates the preset world
+//! (examples/scenarios/matrix.toml) and diffing against a plain
+//! invocation proves the scenario engine is a pure re-spelling — CI does
+//! exactly that.
+//!
 //! The core dump path sticks to long-stable APIs so the source drops
 //! into older checkouts with little friction; `--shards` naturally needs
 //! a build that has `SimConfig::with_shards`, and `--resume-split` one
@@ -33,8 +41,8 @@
 use photodtn_bench::scheme_by_name;
 use photodtn_contacts::synth::{CommunityTraceGenerator, TraceStyle};
 use photodtn_sim::{
-    checkpoint, CheckpointPolicy, FaultConfig, JsonlSink, MetricSample, SimConfig, SimResult,
-    Simulation,
+    checkpoint, CheckpointPolicy, FaultConfig, JsonlSink, MetricSample, Scenario, SimConfig,
+    SimResult, Simulation,
 };
 
 const SCHEMES: [&str; 10] = [
@@ -86,14 +94,22 @@ fn result_json(r: &SimResult) -> String {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: dump_results OUTDIR [--trace TRACEDIR] [--shards N] [--resume-split HOURS]";
+    let usage = "usage: dump_results OUTDIR [--scenario FILE] [--trace TRACEDIR] [--shards N] \
+                 [--resume-split HOURS]";
     let outdir = args.first().cloned().unwrap_or_else(|| panic!("{usage}"));
     let mut tracedir = None;
     let mut shards = 1usize;
     let mut resume_split: Option<f64> = None;
+    let mut scenario: Option<Scenario> = None;
     let mut it = args.iter().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--scenario" => {
+                let path = it.next().cloned().unwrap_or_else(|| panic!("{usage}"));
+                let text = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| panic!("reading {path}: {e}"));
+                scenario = Some(Scenario::parse(&text).unwrap_or_else(|e| panic!("{path}: {e}")));
+            }
             "--trace" => {
                 tracedir = Some(it.next().cloned().unwrap_or_else(|| panic!("{usage}")));
             }
@@ -129,22 +145,45 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create trace directory");
     }
 
-    let trace = CommunityTraceGenerator::new(TraceStyle::MitLike)
-        .with_num_nodes(16)
-        .with_duration_hours(36.0)
-        .generate(3);
+    // The run seed and trace: the preset matrix pins (trace seed 3, run
+    // seed 42); a scenario supplies both (its trace_seed defaults to the
+    // run seed, exactly like the CLI).
+    let run_seed = scenario.as_ref().map_or(42, |sc| sc.seed);
+    let trace = match &scenario {
+        Some(sc) => sc
+            .build_trace(run_seed)
+            .unwrap_or_else(|e| panic!("building scenario trace: {e}")),
+        None => CommunityTraceGenerator::new(TraceStyle::MitLike)
+            .with_num_nodes(16)
+            .with_duration_hours(36.0)
+            .generate(3),
+    };
 
     for intensity in [0.0_f64, 0.5] {
-        let mut config = SimConfig::mit_default()
-            .with_photos_per_hour(30.0)
-            .with_storage_bytes(40 * 4 * 1024 * 1024)
+        // The intensity sweep overrides any [faults] block in a scenario
+        // so the output layout is identical either way.
+        let mut config = match &scenario {
+            Some(sc) => sc.base.clone(),
+            None => {
+                let mut c = SimConfig::mit_default()
+                    .with_photos_per_hour(30.0)
+                    .with_storage_bytes(40 * 4 * 1024 * 1024);
+                c.num_pois = 60;
+                c
+            }
+        };
+        config = config
             .with_faults(FaultConfig::chaos(intensity))
             .with_shards(shards);
-        config.num_pois = 60;
 
         for name in SCHEMES {
             let mut scheme = scheme_by_name(name);
-            let mut sim = Simulation::new(&config, &trace, 42);
+            let mut sim = match &scenario {
+                Some(sc) => sc
+                    .build_simulation(&config, &trace, run_seed)
+                    .unwrap_or_else(|e| panic!("building scenario world: {e}")),
+                None => Simulation::new(&config, &trace, run_seed),
+            };
             if let Some(dir) = &tracedir {
                 let trace_path = format!("{dir}/{name}_{intensity}.jsonl");
                 let sink = JsonlSink::create(&trace_path)
@@ -158,7 +197,10 @@ fn main() {
                     // the split; the partial result is discarded.
                     let ckpt = format!("{outdir}/.ckpt-{name}_{intensity}");
                     let _ = std::fs::remove_dir_all(&ckpt);
-                    let fp = checkpoint::run_fingerprint(&config, &trace, 42, name);
+                    let mut fp = checkpoint::run_fingerprint(&config, &trace, run_seed, name);
+                    if let Some(sc) = &scenario {
+                        fp ^= sc.fingerprint;
+                    }
                     let world = format!("dump_results {name} intensity={intensity}");
                     sim.set_checkpoints(
                         CheckpointPolicy::new(&ckpt, f64::INFINITY, fp, world.as_str())
@@ -176,7 +218,12 @@ fn main() {
                         checkpoint::load_latest(std::path::Path::new(&ckpt), Some(fp))
                             .unwrap_or_else(|e| panic!("{name}: loading snapshot: {e}"));
                     let mut scheme = scheme_by_name(name);
-                    let mut sim = Simulation::new(&config, &trace, 42);
+                    let mut sim = match &scenario {
+                        Some(sc) => sc
+                            .build_simulation(&config, &trace, run_seed)
+                            .unwrap_or_else(|e| panic!("building scenario world: {e}")),
+                        None => Simulation::new(&config, &trace, run_seed),
+                    };
                     sim.resume_from(payload, &*scheme)
                         .unwrap_or_else(|e| panic!("{name}: resuming: {e}"));
                     let result = sim.run(&mut *scheme);

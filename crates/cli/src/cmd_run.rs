@@ -7,7 +7,9 @@ use photodtn_contacts::parse_trace;
 use photodtn_contacts::synth::{CommunityTraceGenerator, MetroTraceGenerator, TraceStyle};
 use photodtn_coverage::fullview::{redundancy_degrees, FullViewReport};
 use photodtn_coverage::PhotoMeta;
-use photodtn_sim::{checkpoint, CheckpointPolicy, FaultConfig, JsonlSink, SimConfig, Simulation};
+use photodtn_sim::{
+    checkpoint, CheckpointPolicy, FaultConfig, JsonlSink, Scenario, SimConfig, Simulation,
+};
 
 use crate::args::{Flags, Spec};
 
@@ -19,6 +21,7 @@ pub const EXIT_INTERRUPTED: u8 = 75;
 
 const SPEC: Spec = Spec {
     values: &[
+        "scenario",
         "scheme",
         "seed",
         "trace",
@@ -71,16 +74,42 @@ fn describe_world(flags: &Flags, scheme: &str, seed: u64) -> String {
 
 pub fn run(argv: &[String]) -> Result<u8, String> {
     let flags = Flags::parse(argv, &SPEC)?;
-    let scheme_name = flags.get("scheme").unwrap_or("ours");
-    let seed: u64 = flags.num("seed", 1)?;
 
-    // the trace: a file, or a synthetic style
-    let trace = match flags.get("trace") {
+    // --scenario FILE: the whole world comes from a declarative TOML
+    // scenario; the world-shaping flags would silently fight it, so they
+    // are rejected outright. --scheme/--seed (and the run-mechanics
+    // flags: shards, checkpoints, tracing) still compose.
+    let scenario = match flags.get("scenario") {
         Some(path) => {
+            for name in WORLD_FLAGS {
+                if flags.get(name).is_some() {
+                    return Err(format!(
+                        "run: --{name} conflicts with --scenario (declare it in the file)"
+                    ));
+                }
+            }
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            Some(Scenario::parse(&text).map_err(|e| format!("{path}: {e}"))?)
+        }
+        None => None,
+    };
+
+    let scheme_name = match (flags.get("scheme"), &scenario) {
+        (Some(name), _) => name,
+        (None, Some(sc)) => sc.schemes.first().map(String::as_str).unwrap_or("ours"),
+        (None, None) => "ours",
+    };
+    let default_seed = scenario.as_ref().map_or(1, |sc| sc.seed);
+    let seed: u64 = flags.num("seed", default_seed)?;
+
+    // the trace: a scenario world, a file, or a synthetic style
+    let trace = match (&scenario, flags.get("trace")) {
+        (Some(sc), _) => sc.build_trace(seed).map_err(|e| format!("run: {e}"))?,
+        (None, Some(path)) => {
             let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
             parse_trace(&text).map_err(|e| e.to_string())?
         }
-        None => match flags.get("style").unwrap_or("mit") {
+        (None, None) => match flags.get("style").unwrap_or("mit") {
             "metro" => {
                 let mut gen = MetroTraceGenerator::new();
                 if flags.get("hours").is_some() {
@@ -109,8 +138,10 @@ pub fn run(argv: &[String]) -> Result<u8, String> {
         },
     };
 
-    let mut config = SimConfig::mit_default();
-    config = config.with_photos_per_hour(flags.num("photos-per-hour", 250.0)?);
+    let mut config = match &scenario {
+        Some(sc) => sc.base.clone(),
+        None => SimConfig::mit_default().with_photos_per_hour(flags.num("photos-per-hour", 250.0)?),
+    };
     if flags.get("storage-gb").is_some() {
         config = config.with_storage_bytes((flags.num("storage-gb", 0.6)? * GB) as u64);
     }
@@ -120,14 +151,19 @@ pub fn run(argv: &[String]) -> Result<u8, String> {
     if flags.get("failures").is_some() {
         config = config.with_failure_fraction(flags.num("failures", 0.0)?);
     }
-    let fault_intensity: f64 = flags.num("faults", 0.0)?;
-    if !(0.0..=1.0).contains(&fault_intensity) {
-        return Err(format!(
-            "run: --faults must be an intensity in 0..=1, got {fault_intensity}"
-        ));
-    }
-    if fault_intensity > 0.0 {
-        config = config.with_faults(FaultConfig::chaos(fault_intensity));
+    // A scenario's [faults] intensity survives as the chaos preset's
+    // interrupt probability (0.5 × k); recover it for the summary line.
+    let mut fault_intensity: f64 = config.faults.contact_interrupt_prob * 2.0;
+    if flags.get("faults").is_some() {
+        fault_intensity = flags.num("faults", 0.0)?;
+        if !(0.0..=1.0).contains(&fault_intensity) {
+            return Err(format!(
+                "run: --faults must be an intensity in 0..=1, got {fault_intensity}"
+            ));
+        }
+        if fault_intensity > 0.0 {
+            config = config.with_faults(FaultConfig::chaos(fault_intensity));
+        }
     }
     // 0 auto-sizes to the machine's cores; 1 (the default) stays on the
     // plain sequential path.
@@ -159,13 +195,34 @@ pub fn run(argv: &[String]) -> Result<u8, String> {
     let ckpt_dir = resume_dir.or(ckpt_dir_flag);
 
     let mut scheme = scheme_by_name(scheme_name);
-    let mut sim = Simulation::try_new(&config, &trace, seed).map_err(|e| format!("run: {e}"))?;
+    let mut sim = match &scenario {
+        Some(sc) => sc
+            .build_simulation(&config, &trace, seed)
+            .map_err(|e| format!("run: {e}"))?,
+        None => Simulation::try_new(&config, &trace, seed).map_err(|e| format!("run: {e}"))?,
+    };
+    if let Some(sc) = &scenario {
+        if !sc.pois.phases.is_empty() && config.shards != 1 {
+            eprintln!("note: the PoI schedule forces the sequential path; --shards is ignored");
+        }
+    }
 
     // The fingerprint binds snapshots to this exact (config, trace,
     // seed, scheme) world; conflicting world flags on resume surface as
-    // a typed mismatch error from the loader, never a panic.
-    let world = describe_world(&flags, scheme_name, seed);
-    let fingerprint = checkpoint::run_fingerprint(&config, &trace, seed, scheme_name);
+    // a typed mismatch error from the loader, never a panic. Scenario
+    // worlds fold in the scenario text's fingerprint too — PoI weights
+    // and schedules live outside SimConfig, so two scenarios sharing a
+    // config must not cross-resume each other's snapshots.
+    let world = match (&scenario, flags.get("scenario")) {
+        (Some(_), Some(path)) => {
+            format!("photodtn run --scenario {path} --scheme {scheme_name} --seed {seed}")
+        }
+        _ => describe_world(&flags, scheme_name, seed),
+    };
+    let mut fingerprint = checkpoint::run_fingerprint(&config, &trace, seed, scheme_name);
+    if let Some(sc) = &scenario {
+        fingerprint ^= sc.fingerprint;
+    }
 
     let resume_payload = match resume_dir {
         Some(dir) => {
@@ -421,6 +478,112 @@ mod tests {
     fn faults_out_of_range_rejected() {
         let err = run(&argv("--style mit --nodes 6 --hours 2 --faults 1.5")).unwrap_err();
         assert!(err.contains("--faults"), "{err}");
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("photodtn-run-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn scenario_run_end_to_end() {
+        let dir = tmp_dir("scenario");
+        let path = dir.join("world.toml");
+        std::fs::write(
+            &path,
+            "[scenario]\nversion = 1\nseed = 2\n[world]\nstyle = \"mit\"\nnodes = 8\nhours = 6\n\
+             [workload]\nphotos_per_hour = 10\n[schemes]\nnames = [\"spray-wait\"]\n",
+        )
+        .unwrap();
+        let code = run(&[
+            "--scenario".into(),
+            path.to_str().unwrap().into(),
+            "--json".into(),
+        ])
+        .unwrap();
+        assert_eq!(code, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scenario_conflicts_with_world_flags() {
+        let dir = tmp_dir("scenario-conflict");
+        let path = dir.join("world.toml");
+        std::fs::write(&path, "[scenario]\nversion = 1\n").unwrap();
+        for flag in ["--style mit", "--nodes 8", "--hours 4", "--faults 0.5"] {
+            let mut args: Vec<String> = vec!["--scenario".into(), path.to_str().unwrap().into()];
+            args.extend(flag.split_whitespace().map(String::from));
+            let err = run(&args).unwrap_err();
+            assert!(err.contains("conflicts with --scenario"), "{flag}: {err}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scenario_parse_errors_name_the_file() {
+        let dir = tmp_dir("scenario-bad");
+        let path = dir.join("bad.toml");
+        std::fs::write(&path, "[scenario]\nversion = 99\n").unwrap();
+        let err = run(&["--scenario".into(), path.to_str().unwrap().into()]).unwrap_err();
+        assert!(
+            err.contains("bad.toml") && err.contains("unsupported"),
+            "{err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The `--shards` × `--checkpoint-dir`/`--resume-from` compatibility
+    /// matrix, as documented: every dependent checkpoint flag needs a
+    /// directory, resume and checkpoint directories must agree, and
+    /// shards compose with checkpointing (the engine falls back to the
+    /// sequential path with a stderr note rather than erroring).
+    #[test]
+    fn checkpoint_shards_flag_matrix() {
+        let dir = tmp_dir("flag-matrix");
+        let ckpt = dir.join("ckpt");
+        let ckpt = ckpt.to_str().unwrap();
+        let world =
+            "--scheme best-possible --style mit --nodes 8 --hours 6 --photos-per-hour 10 --seed 2";
+
+        // Dependent flags without a directory: rejected.
+        for dependent in [
+            "--checkpoint-every 600",
+            "--checkpoint-keep 2",
+            "--halt-after 3600",
+        ] {
+            let err = run(&argv(&format!("{world} {dependent}"))).unwrap_err();
+            assert!(err.contains("--checkpoint-dir"), "{dependent}: {err}");
+        }
+        // Disagreeing resume/checkpoint directories: rejected.
+        let err = run(&argv(&format!(
+            "{world} --resume-from {ckpt} --checkpoint-dir {dir}/other",
+            dir = dir.display()
+        )))
+        .unwrap_err();
+        assert!(err.contains("conflicts"), "{err}");
+
+        // Checkpointing alone, sharded checkpointing, and sharded
+        // checkpointing with every dependent flag: all accepted, and the
+        // sharded spellings produce the same world (sequential fallback).
+        for accepted in [
+            format!("{world} --checkpoint-dir {ckpt}"),
+            format!("{world} --shards 2 --checkpoint-dir {ckpt}"),
+            format!("{world} --shards 2 --checkpoint-dir {ckpt} --checkpoint-every 600 --checkpoint-keep 2"),
+        ] {
+            assert_eq!(run(&argv(&accepted)).unwrap(), 0, "{accepted}");
+        }
+        // Plain sharding without checkpoints still works.
+        assert_eq!(run(&argv(&format!("{world} --shards 2"))).unwrap(), 0);
+        // Resuming from the snapshots the accepted runs left behind,
+        // sharded and not, completes cleanly too.
+        for resumed in [
+            format!("{world} --resume-from {ckpt}"),
+            format!("{world} --shards 2 --resume-from {ckpt}"),
+        ] {
+            assert_eq!(run(&argv(&resumed)).unwrap(), 0, "{resumed}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -22,11 +22,12 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use photodtn_bench::{try_scheme_by_name, ALL_SCHEME_NAMES};
+use photodtn_contacts::ContactTrace;
 use photodtn_sim::supervisor::journal;
-use photodtn_sim::supervisor::spec::SweepSpec;
+use photodtn_sim::supervisor::spec::{SweepPlan, SweepSpec};
 use photodtn_sim::{
     checkpoint, run_batch, BatchPolicy, BatchReport, CellError, CellFailure, CellId, CellState,
-    CheckpointPolicy, SimResult, Simulation,
+    CheckpointPolicy, Scenario, ScenarioPlan, SimConfig, SimResult, Simulation,
 };
 
 use crate::args::{Flags, Spec};
@@ -52,6 +53,57 @@ const SPEC: Spec = Spec {
     ],
     switches: &["resume", "sync", "quiet"],
 };
+
+/// One grid to execute — either a classic sweep spec or a declarative
+/// scenario ([`Scenario`]), distinguished by the file's sections. Both
+/// expand into the same (scheme × variant × seed) cell list; only the
+/// per-cell world construction differs.
+enum Plan {
+    Sweep(SweepPlan),
+    Scenario(Box<ScenarioPlan>),
+}
+
+impl Plan {
+    fn fingerprint(&self) -> u64 {
+        match self {
+            Plan::Sweep(p) => p.fingerprint,
+            Plan::Scenario(p) => p.fingerprint,
+        }
+    }
+
+    fn cells(&self) -> &[CellId] {
+        match self {
+            Plan::Sweep(p) => &p.cells,
+            Plan::Scenario(p) => &p.cells,
+        }
+    }
+
+    fn config_of(&self, variant: &str) -> Option<&SimConfig> {
+        match self {
+            Plan::Sweep(p) => p.config_of(variant),
+            Plan::Scenario(p) => p.config_of(variant),
+        }
+    }
+
+    fn build_trace(&self, seed: u64) -> Result<ContactTrace, CellError> {
+        match self {
+            Plan::Sweep(p) => p.build_trace(seed),
+            Plan::Scenario(p) => p.build_trace(seed),
+        }
+    }
+
+    /// Builds one cell's world. Panics on an unbuildable world (like
+    /// `Simulation::new`); the supervisor's catch_unwind classifies that
+    /// as a deterministic failure.
+    fn build_simulation(&self, config: &SimConfig, trace: &ContactTrace, seed: u64) -> Simulation {
+        match self {
+            Plan::Sweep(_) => Simulation::new(config, trace, seed),
+            Plan::Scenario(p) => p
+                .build_simulation(config, trace, seed)
+                .unwrap_or_else(|e| panic!("building scenario world: {e}")),
+        }
+    }
+}
 
 /// The per-cell snapshot directory name: the cell id with filesystem-
 /// hostile characters replaced, so every cell maps to a distinct,
@@ -81,6 +133,18 @@ pub fn run(argv: &[String]) -> u8 {
     }
 }
 
+fn validate_schemes(spec_path: &str, schemes: &[String]) -> Result<(), String> {
+    for scheme in schemes {
+        if try_scheme_by_name(scheme).is_none() {
+            return Err(format!(
+                "{spec_path}: unknown scheme {scheme:?} (known: {})",
+                ALL_SCHEME_NAMES.join(", ")
+            ));
+        }
+    }
+    Ok(())
+}
+
 fn execute(argv: &[String]) -> Result<u8, String> {
     let flags = Flags::parse(argv, &SPEC)?;
     let [spec_path] = flags.positionals() else {
@@ -93,16 +157,19 @@ fn execute(argv: &[String]) -> Result<u8, String> {
     };
     let text =
         std::fs::read_to_string(spec_path).map_err(|e| format!("reading {spec_path}: {e}"))?;
-    let sweep = SweepSpec::parse(&text).map_err(|e| format!("{spec_path}: {e}"))?;
-    for scheme in &sweep.schemes {
-        if try_scheme_by_name(scheme).is_none() {
-            return Err(format!(
-                "{spec_path}: unknown scheme {scheme:?} (known: {})",
-                ALL_SCHEME_NAMES.join(", ")
-            ));
+    // One flag, two formats: a [scenario] document or a [sweep] grid.
+    let plan = if Scenario::is_scenario_text(&text) {
+        let mut sc = Scenario::parse(&text).map_err(|e| format!("{spec_path}: {e}"))?;
+        if sc.schemes == ["all"] {
+            sc.schemes = ALL_SCHEME_NAMES.iter().map(|s| (*s).to_string()).collect();
         }
-    }
-    let plan = sweep.plan();
+        validate_schemes(spec_path, &sc.schemes)?;
+        Plan::Scenario(Box::new(sc.plan()))
+    } else {
+        let sweep = SweepSpec::parse(&text).map_err(|e| format!("{spec_path}: {e}"))?;
+        validate_schemes(spec_path, &sweep.schemes)?;
+        Plan::Sweep(sweep.plan())
+    };
 
     let journal_path: PathBuf = flags
         .get("journal")
@@ -143,7 +210,7 @@ fn execute(argv: &[String]) -> Result<u8, String> {
 
     // Journal: fresh, or resumed (healing a torn tail atomically).
     let (done, mut journal) = if flags.has("resume") {
-        let state = journal::load(&journal_path, plan.fingerprint)
+        let state = journal::load(&journal_path, plan.fingerprint())
             .map_err(|e| format!("resume from {}: {e}", journal_path.display()))?;
         if state.torn_tail {
             eprintln!("sweep: dropped a torn journal tail (that cell will rerun)");
@@ -154,8 +221,8 @@ fn execute(argv: &[String]) -> Result<u8, String> {
     } else {
         let journal = journal::Journal::create(
             &journal_path,
-            plan.fingerprint,
-            plan.cells.len() as u64,
+            plan.fingerprint(),
+            plan.cells().len() as u64,
             sync,
         )
         .map_err(|e| format!("creating {}: {e}", journal_path.display()))?;
@@ -163,14 +230,14 @@ fn execute(argv: &[String]) -> Result<u8, String> {
     };
 
     let remaining: Vec<CellId> = plan
-        .cells
+        .cells()
         .iter()
         .filter(|c| !done.contains_key(*c))
         .cloned()
         .collect();
     eprintln!(
         "sweep: {} cells ({} journaled, {} to run), journal at {}",
-        plan.cells.len(),
+        plan.cells().len(),
         done.len(),
         remaining.len(),
         journal_path.display()
@@ -189,9 +256,9 @@ fn execute(argv: &[String]) -> Result<u8, String> {
             let trace = plan.build_trace(cell.seed)?;
             let mut scheme =
                 try_scheme_by_name(&cell.scheme).expect("schemes validated before the batch");
-            // Simulation::new panics on a bad world; the supervisor's
+            // World building panics on a bad world; the supervisor's
             // catch_unwind classifies that as a deterministic failure.
-            let mut sim = Simulation::new(&config, &trace, cell.seed);
+            let mut sim = plan.build_simulation(&config, &trace, cell.seed);
             let Some(every) = cell_checkpoint else {
                 return Ok(sim.run(&mut scheme));
             };
@@ -202,7 +269,13 @@ fn execute(argv: &[String]) -> Result<u8, String> {
             // one behind. Any load failure degrades to a clean start —
             // a sweep cell must never be wedged by a stale snapshot.
             let dir = ckpt_root.join(cell_dir_name(cell));
-            let fp = checkpoint::run_fingerprint(&config, &trace, cell.seed, &cell.scheme);
+            // Scenario worlds fold the scenario text's fingerprint in:
+            // PoI weights and schedules live outside SimConfig, so two
+            // scenarios sharing a config must not cross-resume.
+            let mut fp = checkpoint::run_fingerprint(&config, &trace, cell.seed, &cell.scheme);
+            if let Plan::Scenario(_) = &*plan {
+                fp ^= plan.fingerprint();
+            }
             match checkpoint::load_latest(&dir, Some(fp)) {
                 Ok((payload, path)) => match sim.resume_from(payload, &scheme) {
                     Ok(()) => eprintln!("sweep: {cell} resumes from {}", path.display()),
@@ -505,6 +578,48 @@ mod tests {
     }
 
     #[test]
+    fn scenario_sweep_runs_and_resumes_byte_identically() {
+        let dir = tmp_dir();
+        let spec = dir.join("scenario.toml");
+        std::fs::write(
+            &spec,
+            "[scenario]\nversion = 1\nseeds = [1, 2]\n[world]\nstyle = \"mit\"\nnodes = 8\n\
+             hours = 6.0\n[workload]\nphotos_per_hour = 10.0\n\
+             [schemes]\nnames = [\"best-possible\", \"direct\"]\n",
+        )
+        .unwrap();
+        let out = dir.join("scenario-report.json");
+        let journal = dir.join("scenario.journal");
+        let base: Vec<String> = vec![
+            spec.to_str().unwrap().into(),
+            "--out".into(),
+            out.to_str().unwrap().into(),
+            "--journal".into(),
+            journal.to_str().unwrap().into(),
+            "--quiet".into(),
+        ];
+        assert_eq!(run(&base), EXIT_OK);
+        let first = std::fs::read_to_string(&out).unwrap();
+        assert!(first.contains("\"completed\":4"), "{first}");
+        let mut resumed = base.clone();
+        resumed.push("--resume".into());
+        assert_eq!(run(&resumed), EXIT_OK);
+        assert_eq!(first, std::fs::read_to_string(&out).unwrap());
+    }
+
+    #[test]
+    fn scenario_sweep_rejects_unknown_scheme() {
+        let dir = tmp_dir();
+        let spec = dir.join("scenario-bad-scheme.toml");
+        std::fs::write(
+            &spec,
+            "[scenario]\nversion = 1\n[schemes]\nnames = [\"no-such\"]\n",
+        )
+        .unwrap();
+        assert_eq!(run(&[spec.to_str().unwrap().into()]), EXIT_BAD_SPEC);
+    }
+
+    #[test]
     fn shipped_example_spec_parses_and_plans() {
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/sweep.toml");
         let text = std::fs::read_to_string(path).expect("examples/sweep.toml readable");
@@ -518,5 +633,45 @@ mod tests {
         let plan = spec.plan();
         // 4 schemes x 3 storage variants x 3 seeds.
         assert_eq!(plan.cells.len(), 36);
+    }
+
+    /// Every shipped example scenario parses, names only known schemes,
+    /// plans, and builds its world end-to-end (trace + simulation for the
+    /// first cell) — the files in examples/scenarios/ are living docs and
+    /// must not rot.
+    #[test]
+    fn shipped_example_scenarios_parse_and_build() {
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/scenarios");
+        let mut seen = 0;
+        for entry in std::fs::read_dir(dir).expect("examples/scenarios/ readable") {
+            let path = entry.unwrap().path();
+            if path.extension().and_then(|e| e.to_str()) != Some("toml") {
+                continue;
+            }
+            seen += 1;
+            let text = std::fs::read_to_string(&path).unwrap();
+            assert!(Scenario::is_scenario_text(&text), "{path:?} not a scenario");
+            let mut sc = Scenario::parse(&text).unwrap_or_else(|e| panic!("{path:?}: {e}"));
+            if sc.schemes == ["all"] {
+                sc.schemes = ALL_SCHEME_NAMES.iter().map(|s| (*s).to_string()).collect();
+            }
+            for scheme in &sc.schemes {
+                assert!(
+                    try_scheme_by_name(scheme).is_some(),
+                    "{path:?} names unknown scheme {scheme:?}"
+                );
+            }
+            let plan = sc.plan();
+            assert!(!plan.cells.is_empty(), "{path:?} plans no cells");
+            let cell = &plan.cells[0];
+            let config = plan.config_of(&cell.variant).unwrap();
+            let trace = plan
+                .build_trace(cell.seed)
+                .unwrap_or_else(|e| panic!("{path:?}: building trace: {e}"));
+            assert!(!trace.is_empty(), "{path:?} generates a contactless world");
+            plan.build_simulation(config, &trace, cell.seed)
+                .unwrap_or_else(|e| panic!("{path:?}: building world: {e}"));
+        }
+        assert!(seen >= 3, "expected the shipped scenario set, saw {seen}");
     }
 }

@@ -76,13 +76,22 @@ USAGE:
       statistics and the exponential fit behind the metadata-validity
       model.
 
-  photodtn run --scheme NAME [--trace FILE | --style mit|cambridge]
-               [--seed N] [--hours H] [--photos-per-hour R]
-               [--storage-gb G] [--deadline H] [--failures F]
-               [--faults K] [--trace-out FILE] [--report] [--json]
+  photodtn run [--scenario FILE | --trace FILE | --style mit|cambridge]
+               [--scheme NAME] [--seed N] [--hours H]
+               [--photos-per-hour R] [--storage-gb G] [--deadline H]
+               [--failures F] [--faults K] [--trace-out FILE]
+               [--report] [--json]
                [--checkpoint-dir D [--checkpoint-every SIMSECS]
                 [--checkpoint-keep K]] [--resume-from D]
       Run one crowdsourcing simulation and print the coverage series.
+      --scenario FILE loads the whole world — topology, mobility,
+      relays, PoI layout and importance schedule, workload, fault
+      plan — from a declarative TOML scenario (see
+      examples/scenarios/); the world-shaping flags then live in the
+      file and conflict with their CLI spellings. --scheme and
+      --seed still override the scenario's defaults, and the
+      run-mechanics flags (--shards, checkpoints, --trace-out)
+      compose as usual.
       --report adds a full-view analysis of the delivered photos.
       --faults K enables deterministic fault injection at chaos
       intensity K in 0..=1 (contact interruptions, transfer loss and
@@ -122,7 +131,9 @@ USAGE:
       simulated seconds under {journal}.ckpt/, so retried or rerun
       cells resume mid-run instead of starting over. Exit codes: 0
       all cells ok, 2 bad spec, 3 partial failure, 4 total failure.
-      See examples/sweep.toml for the spec format.
+      SPEC.toml is either a classic [sweep] grid (examples/sweep.toml)
+      or a [scenario] world (examples/scenarios/) — a scenario sweeps
+      its [schemes] names over its [grid] axes and seeds.
 
   photodtn demo [--seed N]
       Run the paper's \u{a7}IV-B prototype demo (Fig. 3) with our scheme,

@@ -24,13 +24,39 @@ use crate::{ContactEvent, ContactTrace, NodeId};
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseOneError {
     line: usize,
+    kind: ParseOneErrorKind,
     message: String,
 }
 
+/// The class of a [`ParseOneError`] — stable across message rewording,
+/// so callers can match on structure instead of substrings.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ParseOneErrorKind {
+    /// Line does not have exactly 5 whitespace-separated fields.
+    FieldCount,
+    /// Timestamp failed to parse or is non-finite.
+    BadTime,
+    /// Second field is not `CONN`.
+    NotConn,
+    /// Fifth field is not `up`/`down`.
+    BadDirection,
+    /// Host field has no parseable numeric id.
+    BadHost,
+    /// A `CONN n n …` event connecting a host to itself.
+    SelfConnection,
+    /// Timestamp went backwards relative to an earlier event line.
+    DecreasingTime {
+        /// The previous (higher) timestamp.
+        prev: f64,
+    },
+}
+
 impl ParseOneError {
-    fn new(line: usize, message: impl Into<String>) -> Self {
+    fn new(line: usize, kind: ParseOneErrorKind, message: impl Into<String>) -> Self {
         ParseOneError {
             line,
+            kind,
             message: message.into(),
         }
     }
@@ -39,6 +65,12 @@ impl ParseOneError {
     #[must_use]
     pub fn line(&self) -> usize {
         self.line
+    }
+
+    /// The typed failure class.
+    #[must_use]
+    pub fn kind(&self) -> &ParseOneErrorKind {
+        &self.kind
     }
 }
 
@@ -53,13 +85,30 @@ impl Error for ParseOneError {}
 /// Parses a ONE connectivity trace.
 ///
 /// Host names may be plain integers (`12`) or prefixed (`n12`, `p12`) —
-/// any non-digit prefix is stripped. Connections still `up` at the end of
-/// input are closed at the last seen timestamp. Redundant `up`s and
-/// unmatched `down`s are ignored (real exports contain both).
+/// any non-digit prefix is stripped. Redundant `up`s and unmatched
+/// `down`s are ignored (real exports contain both).
+///
+/// Two boundary behaviors are defined, not incidental:
+///
+/// - **Timestamps must be non-negative and non-decreasing.** ONE's
+///   `StandardEventsReader`
+///   emits events in simulation order, so a backwards jump means a
+///   corrupted or mis-concatenated export; it is rejected as
+///   [`ParseOneErrorKind::DecreasingTime`] rather than silently clamped
+///   (which used to warp any contact overlapping the jump). Equal
+///   timestamps are fine — simultaneous events are common.
+/// - **Zero-duration contacts are dropped.** An `up` immediately followed
+///   by a `down` at the same timestamp, and connections still open at end
+///   of input whose `up` was at the final timestamp, carry no transfer
+///   opportunity; they are omitted from the trace rather than producing
+///   zero-length [`ContactEvent`]s (which the interval validator
+///   rejects). Remaining open connections are auto-closed at the last
+///   seen timestamp.
 ///
 /// # Errors
 ///
-/// Returns [`ParseOneError`] on a malformed line.
+/// Returns [`ParseOneError`] on a malformed line; [`ParseOneError::kind`]
+/// distinguishes the failure classes.
 ///
 /// # Example
 ///
@@ -89,21 +138,36 @@ pub fn parse_one_trace(text: &str) -> Result<ContactTrace, ParseOneError> {
         if fields.len() != 5 {
             return Err(ParseOneError::new(
                 line_no,
+                ParseOneErrorKind::FieldCount,
                 format!("expected 5 fields, found {}", fields.len()),
             ));
         }
         // Reject non-finite timestamps outright: NaN sails through both
-        // `last_time.max(time)` (max ignores NaN) and the `time > start`
-        // pairing check (NaN comparisons are false), silently dropping or
-        // warping contacts.
+        // the monotonicity check (NaN comparisons are false) and the
+        // `time > start` pairing check, silently dropping or warping
+        // contacts.
         let time: f64 = fields[0]
             .parse()
             .ok()
             .filter(|t: &f64| t.is_finite())
-            .ok_or_else(|| ParseOneError::new(line_no, format!("invalid time {:?}", fields[0])))?;
+            .ok_or_else(|| {
+                ParseOneError::new(
+                    line_no,
+                    ParseOneErrorKind::BadTime,
+                    format!("invalid time {:?}", fields[0]),
+                )
+            })?;
+        if time < last_time {
+            return Err(ParseOneError::new(
+                line_no,
+                ParseOneErrorKind::DecreasingTime { prev: last_time },
+                format!("time {time} decreases below earlier event at {last_time}"),
+            ));
+        }
         if !fields[1].eq_ignore_ascii_case("CONN") {
             return Err(ParseOneError::new(
                 line_no,
+                ParseOneErrorKind::NotConn,
                 format!("expected CONN, found {:?}", fields[1]),
             ));
         }
@@ -112,10 +176,11 @@ pub fn parse_one_trace(text: &str) -> Result<ContactTrace, ParseOneError> {
         if a == b {
             return Err(ParseOneError::new(
                 line_no,
+                ParseOneErrorKind::SelfConnection,
                 format!("self-connection of host {a}"),
             ));
         }
-        last_time = last_time.max(time);
+        last_time = time;
         max_node = max_node.max(a).max(b);
         let key = if a < b { (a, b) } else { (b, a) };
         match fields[4].to_ascii_lowercase().as_str() {
@@ -123,6 +188,8 @@ pub fn parse_one_trace(text: &str) -> Result<ContactTrace, ParseOneError> {
                 open.entry(key).or_insert(time);
             }
             "down" => {
+                // `time > start` drops zero-duration contacts (see the
+                // function docs — no transfer opportunity).
                 if let Some(start) = open.remove(&key) {
                     if time > start {
                         events.push(ContactEvent::new(NodeId(key.0), NodeId(key.1), start, time));
@@ -132,12 +199,14 @@ pub fn parse_one_trace(text: &str) -> Result<ContactTrace, ParseOneError> {
             other => {
                 return Err(ParseOneError::new(
                     line_no,
+                    ParseOneErrorKind::BadDirection,
                     format!("expected up/down, found {other:?}"),
                 ));
             }
         }
     }
-    // close dangling connections at the last timestamp
+    // Close dangling connections at the last timestamp; ones opened AT
+    // the last timestamp would be zero-duration and are dropped.
     for ((a, b), start) in open {
         if last_time > start {
             events.push(ContactEvent::new(NodeId(a), NodeId(b), start, last_time));
@@ -149,9 +218,13 @@ pub fn parse_one_trace(text: &str) -> Result<ContactTrace, ParseOneError> {
 
 fn parse_host(s: &str, line: usize) -> Result<u32, ParseOneError> {
     let digits = s.trim_start_matches(|c: char| !c.is_ascii_digit());
-    digits
-        .parse()
-        .map_err(|_| ParseOneError::new(line, format!("invalid host {s:?}")))
+    digits.parse().map_err(|_| {
+        ParseOneError::new(
+            line,
+            ParseOneErrorKind::BadHost,
+            format!("invalid host {s:?}"),
+        )
+    })
 }
 
 #[cfg(test)]
@@ -216,6 +289,59 @@ mod tests {
             .to_string()
             .contains("up/down"));
         assert_eq!(parse_one_trace("1 CONN a b up\n").unwrap_err().line(), 1);
+    }
+
+    #[test]
+    fn errors_carry_typed_kinds() {
+        for (text, kind) in [
+            ("1 CONN 1 2\n", ParseOneErrorKind::FieldCount),
+            ("x CONN 1 2 up\n", ParseOneErrorKind::BadTime),
+            ("1 PING 1 2 up\n", ParseOneErrorKind::NotConn),
+            ("1 CONN a b up\n", ParseOneErrorKind::BadHost),
+            ("1 CONN 1 1 up\n", ParseOneErrorKind::SelfConnection),
+            ("1 CONN 1 2 sideways\n", ParseOneErrorKind::BadDirection),
+        ] {
+            let err = parse_one_trace(text).unwrap_err();
+            assert_eq!(*err.kind(), kind, "{text:?}: {err}");
+            assert_eq!(err.line(), 1, "{text:?}");
+        }
+    }
+
+    #[test]
+    fn self_connection_rejected_even_with_prefixes() {
+        let err = parse_one_trace("0 CONN n7 p7 up\n").unwrap_err();
+        assert_eq!(*err.kind(), ParseOneErrorKind::SelfConnection);
+    }
+
+    #[test]
+    fn decreasing_timestamps_rejected() {
+        let err = parse_one_trace("10 CONN 1 2 up\n5 CONN 1 2 down\n").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert_eq!(
+            *err.kind(),
+            ParseOneErrorKind::DecreasingTime { prev: 10.0 }
+        );
+        // Negative times fall below the initial watermark of 0.
+        let err = parse_one_trace("-1 CONN 1 2 up\n").unwrap_err();
+        assert_eq!(*err.kind(), ParseOneErrorKind::DecreasingTime { prev: 0.0 });
+        // Equal timestamps are fine (simultaneous events are common).
+        let t = parse_one_trace("5 CONN 1 2 up\n5 CONN 3 4 up\n9 CONN 1 2 down\n9 CONN 3 4 down\n")
+            .unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn zero_duration_contacts_are_dropped() {
+        // up/down at the same instant: no transfer opportunity, no event.
+        let t = parse_one_trace("5 CONN 1 2 up\n5 CONN 1 2 down\n").unwrap();
+        assert!(t.is_empty());
+        // Dangling up AT the final timestamp: auto-close would be
+        // zero-duration, so it is dropped too — but an earlier dangling
+        // up still closes at that final timestamp.
+        let t = parse_one_trace("0 CONN 1 2 up\n9 CONN 3 4 up\n9 CONN 5 6 down\n").unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.events()[0].pair(), (NodeId(1), NodeId(2)));
+        assert_eq!(t.events()[0].end, 9.0);
     }
 
     #[test]

@@ -112,7 +112,11 @@ pub fn parse_trace(text: &str) -> Result<ContactTrace, ParseTraceError> {
         }
         events.push(ContactEvent::new(NodeId(a), NodeId(b), start, end));
     }
-    let max_seen = events.iter().map(|e| e.b.0 + 1).max().unwrap_or(0);
+    let max_seen = events
+        .iter()
+        .map(|e| e.a.0.max(e.b.0) + 1)
+        .max()
+        .unwrap_or(0);
     let num_nodes = declared_nodes.unwrap_or(max_seen).max(max_seen);
     Ok(ContactTrace::new(num_nodes, events))
 }
@@ -130,10 +134,16 @@ pub fn write_trace(trace: &ContactTrace) -> String {
 }
 
 fn parse_u32(s: &str, line: usize) -> Result<u32, ParseTraceError> {
-    s.parse::<u32>().map_err(|_| ParseTraceError {
-        line,
-        kind: ErrorKind::BadNumber(s.to_string()),
-    })
+    // u32::MAX is rejected: node ids must satisfy `id < num_nodes` with
+    // num_nodes itself a u32, so the largest representable id is MAX-1.
+    // Letting it through overflows the universe-size computation.
+    match s.parse::<u32>() {
+        Ok(v) if v < u32::MAX => Ok(v),
+        _ => Err(ParseTraceError {
+            line,
+            kind: ErrorKind::BadNumber(s.to_string()),
+        }),
+    }
 }
 
 fn parse_f64(s: &str, line: usize) -> Result<f64, ParseTraceError> {
@@ -210,6 +220,17 @@ mod tests {
             let e = parse_trace(bad).unwrap_err();
             assert!(e.to_string().contains("invalid number"), "{bad:?} gave {e}");
         }
+    }
+
+    #[test]
+    fn max_node_id_is_a_typed_error_not_an_overflow() {
+        // id u32::MAX can't satisfy `id < num_nodes` for any u32 universe;
+        // it used to overflow the `max id + 1` computation instead.
+        let e = parse_trace("4294967295 1 0 1\n").unwrap_err();
+        assert!(e.to_string().contains("invalid number"), "{e}");
+        // the largest representable id still works
+        let t = parse_trace("4294967294 1 0 1\n").unwrap();
+        assert_eq!(t.num_nodes(), u32::MAX);
     }
 
     #[test]

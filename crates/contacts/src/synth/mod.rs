@@ -22,9 +22,11 @@
 mod community;
 mod exponential;
 mod metro;
+mod relay;
 mod waypoint;
 
 pub use community::{CommunityTraceGenerator, TraceStyle};
 pub use exponential::PairwiseExponentialGenerator;
 pub use metro::MetroTraceGenerator;
+pub use relay::RelayOverlay;
 pub use waypoint::{MobilityTracks, WaypointTraceGenerator};

@@ -1,0 +1,233 @@
+//! Stationary relay ("throwbox") augmentation of a contact trace.
+//!
+//! Throwbox deployments — fixed, powered relay boxes dropped at popular
+//! locations — are a classic DTN capacity lever: a mobile node that
+//! visits a box can deposit photos there for any later visitor to pick
+//! up. [`RelayOverlay`] takes any base trace (synthetic or imported) and
+//! appends `num_relays` stationary nodes, each visited by every mobile
+//! node as an independent Poisson process. Relays never contact each
+//! other (they are spatially separated and do not move), and the base
+//! trace's mobile-to-mobile contacts are preserved byte-for-byte.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{ContactEvent, ContactTrace, NodeId};
+
+/// Augments a base trace with stationary relay nodes.
+///
+/// Relay ids start at `base.num_nodes()`: a 16-node base trace with 2
+/// relays yields an 18-node trace where nodes 16 and 17 are the relays.
+/// The caller is responsible for telling the simulator that relays do
+/// not photograph (see `SimConfig::camera_nodes`).
+///
+/// # Example
+///
+/// ```
+/// use photodtn_contacts::synth::{CommunityTraceGenerator, RelayOverlay, TraceStyle};
+///
+/// let base = CommunityTraceGenerator::new(TraceStyle::MitLike)
+///     .with_num_nodes(16)
+///     .with_duration_hours(12.0)
+///     .generate(3);
+/// let trace = RelayOverlay::new(2).apply(&base, 3);
+/// assert_eq!(trace.num_nodes(), 18);
+/// assert!(trace.events().len() > base.events().len());
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct RelayOverlay {
+    num_relays: u32,
+    /// Poisson visit rate per (mobile, relay) pair, s⁻¹.
+    visit_rate: f64,
+    /// Mean of the exponential visit-duration distribution, seconds.
+    mean_visit_duration: f64,
+    /// Visit durations clamp to this range, seconds.
+    duration_bounds: (f64, f64),
+}
+
+impl RelayOverlay {
+    /// A deployment of `num_relays` boxes with defaults tuned to the
+    /// MIT-like campus scale: each mobile node visits each box about
+    /// once every two hours for ten minutes.
+    #[must_use]
+    pub fn new(num_relays: u32) -> Self {
+        RelayOverlay {
+            num_relays,
+            visit_rate: 1.0 / 7200.0,
+            mean_visit_duration: 600.0,
+            duration_bounds: (30.0, 3600.0),
+        }
+    }
+
+    /// Sets the per-(mobile, relay) Poisson visit rate (s⁻¹);
+    /// non-positive or non-finite rates clamp to zero (no visits).
+    #[must_use]
+    pub fn with_visit_rate(mut self, per_second: f64) -> Self {
+        self.visit_rate = if per_second.is_finite() {
+            per_second.max(0.0)
+        } else {
+            0.0
+        };
+        self
+    }
+
+    /// Sets the mean visit duration in seconds (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_mean_visit_duration(mut self, seconds: f64) -> Self {
+        self.mean_visit_duration = seconds.max(1.0);
+        self
+    }
+
+    /// The number of relay nodes this overlay adds.
+    #[must_use]
+    pub fn num_relays(&self) -> u32 {
+        self.num_relays
+    }
+
+    /// Appends the relay visit schedule to `base`, deterministically
+    /// from `seed`. The result has `base.num_nodes() + num_relays`
+    /// nodes; the base events are carried over unchanged.
+    #[must_use]
+    pub fn apply(&self, base: &ContactTrace, seed: u64) -> ContactTrace {
+        let mobiles = base.num_nodes();
+        let total = mobiles + self.num_relays;
+        let horizon = base.duration();
+        let mut events: Vec<ContactEvent> = base.events().to_vec();
+        if self.visit_rate > 0.0 && horizon > 0.0 {
+            // One independent stream per (mobile, relay) pair, salted so
+            // the schedule of pair (m, r) does not shift when another
+            // relay is added or the loop order changes.
+            for relay in 0..self.num_relays {
+                let relay_id = mobiles + relay;
+                for mobile in 0..mobiles {
+                    let pair_salt = (u64::from(relay_id) << 32) | u64::from(mobile);
+                    let mut rng = SmallRng::seed_from_u64(seed ^ 0x7B0C_5EED_0000_0000 ^ pair_salt);
+                    let mut t = sample_exp(&mut rng, self.visit_rate);
+                    while t < horizon {
+                        let dur = sample_exp(&mut rng, 1.0 / self.mean_visit_duration)
+                            .clamp(self.duration_bounds.0, self.duration_bounds.1);
+                        let end = (t + dur).min(horizon);
+                        if end > t {
+                            events.push(ContactEvent::new(
+                                NodeId(mobile),
+                                NodeId(relay_id),
+                                t,
+                                end,
+                            ));
+                        }
+                        t = end + sample_exp(&mut rng, self.visit_rate);
+                    }
+                }
+            }
+        }
+        ContactTrace::new(total, events)
+    }
+}
+
+/// Exponential sample with rate `lambda`.
+fn sample_exp<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> f64 {
+    debug_assert!(lambda > 0.0);
+    -rng.gen_range(f64::MIN_POSITIVE..1.0f64).ln() / lambda
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{CommunityTraceGenerator, TraceStyle};
+
+    fn base() -> ContactTrace {
+        CommunityTraceGenerator::new(TraceStyle::MitLike)
+            .with_num_nodes(12)
+            .with_duration_hours(24.0)
+            .generate(7)
+    }
+
+    #[test]
+    fn preserves_base_contacts_and_extends_node_count() {
+        let base = base();
+        let out = RelayOverlay::new(3).apply(&base, 7);
+        assert_eq!(out.num_nodes(), 15);
+        // Every base event survives verbatim.
+        for e in base.events() {
+            assert!(out.events().contains(e), "missing base event {e:?}");
+        }
+        // And relay contacts exist.
+        assert!(out
+            .events()
+            .iter()
+            .any(|e| e.involves(NodeId(12)) || e.involves(NodeId(13)) || e.involves(NodeId(14))));
+    }
+
+    #[test]
+    fn relays_never_contact_each_other() {
+        let out = RelayOverlay::new(4).apply(&base(), 1);
+        for e in out.events() {
+            let (a, b) = e.pair();
+            assert!(a.0 < 12 || b.0 < 12, "relay-relay contact {e:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let base = base();
+        let overlay = RelayOverlay::new(2);
+        assert_eq!(overlay.apply(&base, 5), overlay.apply(&base, 5));
+        assert_ne!(overlay.apply(&base, 5), overlay.apply(&base, 6));
+    }
+
+    #[test]
+    fn adding_a_relay_keeps_existing_pair_schedules() {
+        let base = base();
+        let two = RelayOverlay::new(2).apply(&base, 9);
+        let three = RelayOverlay::new(3).apply(&base, 9);
+        // All contacts with relays 12/13 are identical across the two
+        // deployments — per-pair salted streams, not one shared stream.
+        let visits = |t: &ContactTrace, relay: u32| -> Vec<ContactEvent> {
+            t.events()
+                .iter()
+                .filter(|e| e.involves(NodeId(relay)))
+                .copied()
+                .collect()
+        };
+        assert_eq!(visits(&two, 12), visits(&three, 12));
+        assert_eq!(visits(&two, 13), visits(&three, 13));
+    }
+
+    #[test]
+    fn zero_rate_or_zero_relays_is_base_plus_ids() {
+        let base = base();
+        let silent = RelayOverlay::new(2).with_visit_rate(0.0).apply(&base, 3);
+        assert_eq!(silent.num_nodes(), 14);
+        assert_eq!(silent.events(), base.events());
+        let none = RelayOverlay::new(0).apply(&base, 3);
+        assert_eq!(none.num_nodes(), 12);
+        assert_eq!(none.events(), base.events());
+        let nan = RelayOverlay::new(2)
+            .with_visit_rate(f64::NAN)
+            .apply(&base, 3);
+        assert_eq!(nan.events(), base.events());
+    }
+
+    #[test]
+    fn visit_rate_scales_contact_volume() {
+        let base = base();
+        let sparse = RelayOverlay::new(1)
+            .with_visit_rate(1.0 / 36000.0)
+            .apply(&base, 2);
+        let dense = RelayOverlay::new(1)
+            .with_visit_rate(1.0 / 1800.0)
+            .apply(&base, 2);
+        let count = |t: &ContactTrace| t.events().iter().filter(|e| e.involves(NodeId(12))).count();
+        assert!(count(&dense) > 3 * count(&sparse));
+    }
+
+    #[test]
+    fn visits_stay_within_horizon() {
+        let base = base();
+        let horizon = base.duration();
+        for e in RelayOverlay::new(2).apply(&base, 4).events() {
+            assert!(e.start >= 0.0 && e.end <= horizon + 1e-9);
+            assert!(e.duration() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Trace-parser hardening: both text formats (the simple 4-field
+//! interchange format and the ONE connectivity format) must turn any
+//! malformed, truncated, or byte-mutated input into a typed error —
+//! never a panic. The harness converts panics into failures, which is
+//! exactly the regression pinned here.
+
+use photodtn_contacts::one_format::parse_one_trace;
+use photodtn_contacts::parse_trace;
+
+const SIMPLE: &str = "\
+# a small valid trace
+nodes 6
+0 1 10 60
+1 2 30 45
+2 3 100.5 130.25
+0 5 200 260
+";
+
+const ONE: &str = "\
+0 CONN 1 2 up
+30 CONN 1 2 down
+45 CONN 3 4 up
+45 CONN 2 5 up
+90 CONN 3 4 down
+120 CONN 2 5 down
+";
+
+#[test]
+fn valid_fixtures_parse() {
+    assert_eq!(parse_trace(SIMPLE).unwrap().len(), 4);
+    assert_eq!(parse_one_trace(ONE).unwrap().len(), 3);
+}
+
+/// Every char-boundary prefix — a download cut off mid-line — is Ok or a
+/// typed error.
+#[test]
+fn truncation_never_panics() {
+    for (i, _) in SIMPLE.char_indices() {
+        let _ = parse_trace(&SIMPLE[..i]);
+    }
+    for (i, _) in ONE.char_indices() {
+        let _ = parse_one_trace(&ONE[..i]);
+    }
+}
+
+/// Single-byte corruption at every position, for both formats.
+#[test]
+fn byte_mutation_never_panics() {
+    let mutations: &[u8] = &[b'-', b'.', b'0', b'9', b' ', b'\n', b'#', b'x', 0xFF, 0x00];
+    for (text, is_one) in [(SIMPLE, false), (ONE, true)] {
+        let bytes = text.as_bytes();
+        for pos in 0..bytes.len() {
+            for &m in mutations {
+                let mut mutated = bytes.to_vec();
+                mutated[pos] = m;
+                let repaired = String::from_utf8_lossy(&mutated);
+                if is_one {
+                    let _ = parse_one_trace(&repaired);
+                } else {
+                    let _ = parse_trace(&repaired);
+                }
+            }
+        }
+    }
+}
+
+/// Adversarial shapes: huge numbers, infinities spelled out, negative
+/// times, duplicated headers, enormous node ids, CRLF, interior NULs.
+#[test]
+fn adversarial_inputs_are_typed_errors_or_ok() {
+    let giant = format!("0 1 0 {}\n", "9".repeat(5_000));
+    let cases: Vec<String> = vec![
+        "nodes 0\n".into(),
+        "nodes 6\nnodes 8\n0 1 0 1\n".into(),
+        "0 1 inf 20\n".into(),
+        "0 1 NaN 20\n".into(),
+        "0 1 -5 20\n".into(),
+        "4294967295 1 0 1\n".into(),
+        "0 1 0 1\r\n2 3 0 1\r\n".into(),
+        "0 1 0\u{0} 1\n".into(),
+        giant.clone(),
+    ];
+    for case in &cases {
+        let _ = parse_trace(case);
+    }
+    let one_cases: Vec<String> = vec![
+        "0 CONN 1 1 up\n".into(),
+        "50 CONN 1 2 up\n40 CONN 1 2 down\n".into(),
+        "0 CONN 1 2 sideways\n".into(),
+        "0 DISCONN 1 2 up\n".into(),
+        "-1 CONN 1 2 up\n".into(),
+        format!("{} CONN 1 2 up\n", "9".repeat(5_000)),
+    ];
+    for case in &one_cases {
+        let _ = parse_one_trace(case);
+    }
+}

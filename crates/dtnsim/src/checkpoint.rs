@@ -297,6 +297,15 @@ pub struct CheckpointPayload {
 /// per invocation, not per snapshot.
 #[must_use]
 pub fn run_fingerprint(config: &SimConfig, trace: &ContactTrace, seed: u64, scheme: &str) -> u64 {
+    // Execution mechanics don't shape the simulated world — sharded,
+    // sequential, and differently-cached runs are byte-identical by
+    // contract — so they are normalized out and snapshots stay portable
+    // across them (e.g. `--shards 2 --checkpoint-dir D` then a plain
+    // `--resume-from D`).
+    let mut config = config.clone();
+    config.shards = 1;
+    config.coverage_cache_capacity = SimConfig::mit_default().coverage_cache_capacity;
+    let config = &config;
     let config_json = serde_json::to_string(config).expect("SimConfig serialization is infallible");
     let trace_json =
         serde_json::to_string(trace).expect("ContactTrace serialization is infallible");
@@ -723,6 +732,37 @@ mod tests {
         let (latest, _) = load_latest(&dir, Some(1)).unwrap();
         assert_eq!(latest.next_event_idx, 40);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_ignores_execution_mechanics() {
+        use photodtn_contacts::synth::{CommunityTraceGenerator, TraceStyle};
+        let trace = CommunityTraceGenerator::new(TraceStyle::MitLike)
+            .with_num_nodes(6)
+            .with_duration_hours(2.0)
+            .generate(1);
+        let base = SimConfig::mit_default();
+        let fp = run_fingerprint(&base, &trace, 1, "ours");
+        // Sharding and cache sizing never change results, so snapshots
+        // written under one spelling must resume under another.
+        assert_eq!(
+            fp,
+            run_fingerprint(&base.clone().with_shards(4), &trace, 1, "ours")
+        );
+        assert_eq!(
+            fp,
+            run_fingerprint(
+                &base.clone().with_coverage_cache_capacity(7),
+                &trace,
+                1,
+                "ours"
+            )
+        );
+        // World-shaping knobs still bind.
+        assert_ne!(
+            fp,
+            run_fingerprint(&base.clone().with_photos_per_hour(99.0), &trace, 1, "ours")
+        );
     }
 
     #[test]

@@ -75,6 +75,13 @@ pub struct SimConfig {
     /// (evicted tables are deterministically rebuilt), only speed differs.
     #[serde(default = "default_coverage_cache_capacity")]
     pub coverage_cache_capacity: usize,
+    /// If set, only nodes `0..camera_nodes` take photos; nodes above are
+    /// pure relays (e.g. stationary throwboxes appended to a trace by
+    /// `RelayOverlay`) that store and forward but never photograph.
+    /// `None` — the default — lets every participant photograph, on the
+    /// exact RNG path of builds without this knob.
+    #[serde(default)]
+    pub camera_nodes: Option<u32>,
     /// Number of spatial region shards to process events in parallel
     /// with. `1` (the default) runs the plain sequential engine; `0`
     /// auto-sizes to the machine
@@ -120,6 +127,7 @@ impl SimConfig {
             failure_fraction: 0.0,
             faults: FaultConfig::default(),
             coverage_cache_capacity: default_coverage_cache_capacity(),
+            camera_nodes: None,
             shards: default_shards(),
         }
     }
@@ -186,6 +194,14 @@ impl SimConfig {
     #[must_use]
     pub fn with_coverage_cache_capacity(mut self, entries: usize) -> Self {
         self.coverage_cache_capacity = entries;
+        self
+    }
+
+    /// Restricts photography to nodes `0..n` (builder-style); nodes at
+    /// or above `n` become pure relays.
+    #[must_use]
+    pub fn with_camera_nodes(mut self, n: u32) -> Self {
+        self.camera_nodes = Some(n);
         self
     }
 

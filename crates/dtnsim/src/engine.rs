@@ -34,6 +34,13 @@ pub enum SimBuildError {
         /// `0..num_nodes`).
         num_nodes: u32,
     },
+    /// `camera_nodes` leaves no node able to photograph while photos are
+    /// scheduled to be generated (zero cameras, or the only camera is the
+    /// command-center trace node).
+    NoCameraNodes {
+        /// The configured camera pool size.
+        camera_nodes: u32,
+    },
 }
 
 impl std::fmt::Display for SimBuildError {
@@ -43,6 +50,10 @@ impl std::fmt::Display for SimBuildError {
             SimBuildError::CommandCenterOutsideTrace { node, num_nodes } => write!(
                 f,
                 "command-center node {node} outside trace (nodes 0..{num_nodes})"
+            ),
+            SimBuildError::NoCameraNodes { camera_nodes } => write!(
+                f,
+                "camera_nodes = {camera_nodes} leaves nobody to photograph"
             ),
         }
     }
@@ -66,6 +77,10 @@ pub struct Simulation {
     pub(crate) seed: u64,
     /// Contacts replayed into PROPHET before the first event.
     pub(crate) warmup_contacts: Vec<(NodeId, NodeId, f64)>,
+    /// Scheduled PoI importance phases `(time, list)`, ascending. Empty
+    /// for static worlds; non-empty forces the sequential path (shard
+    /// replicas never observe the global phase switch).
+    poi_schedule: Vec<(f64, Arc<PoiList>)>,
     /// Scheduled crash/reboot outages (empty when churn is disabled).
     fault_plan: FaultPlan,
     /// Optional structured-trace sink, observed (never consulted) by
@@ -198,14 +213,26 @@ impl Simulation {
 
         // Photo arrivals: Poisson at `photos_per_hour`, taken by a uniform
         // random participant (excluding the command-center trace node).
+        // `camera_nodes` shrinks the draw to the camera-capable prefix;
+        // `None` keeps the exact historical RNG path.
+        let camera_pool = match config.camera_nodes {
+            Some(k) => k.min(num_participants),
+            None => num_participants,
+        };
         let mut photo_gen = UniformGenerator::new(config.region.0, config.region.1);
         photo_gen.photo_size = config.photo_size;
         let rate = config.photos_per_hour / 3600.0;
         if rate > 0.0 {
+            let cc_in_pool = matches!(cc_trace_node, Some(cc) if cc.0 < camera_pool);
+            if camera_pool == 0 || (camera_pool == 1 && cc_in_pool) {
+                return Err(SimBuildError::NoCameraNodes {
+                    camera_nodes: camera_pool,
+                });
+            }
             let mut t = sample_exp(&mut rng, rate);
             while t < duration {
                 let node = loop {
-                    let n = NodeId(rng.gen_range(0..num_participants));
+                    let n = NodeId(rng.gen_range(0..camera_pool));
                     if Some(n) != cc_trace_node {
                         break n;
                     }
@@ -233,8 +260,9 @@ impl Simulation {
             events.retain(|t, kind| match kind {
                 EventKind::Generate(n, _) | EventKind::Upload(n, _) => !dead(*n, t),
                 EventKind::Contact(a, b, _) => !dead(*a, t) && !dead(*b, t),
-                // Churn events are scheduled after this filter runs.
-                EventKind::Crash(_) | EventKind::Reboot(_) => true,
+                // Churn and reweight events are scheduled after this
+                // filter runs (and reweights are global anyway).
+                EventKind::Crash(_) | EventKind::Reboot(_) | EventKind::Reweight(..) => true,
             });
         }
 
@@ -269,6 +297,7 @@ impl Simulation {
             duration,
             seed,
             warmup_contacts: Vec::new(),
+            poi_schedule: Vec::new(),
             fault_plan,
             trace_sink: None,
             checkpoints: None,
@@ -366,6 +395,60 @@ impl Simulation {
     pub fn with_pois(mut self, pois: PoiList) -> Self {
         self.pois = Arc::new(pois);
         self
+    }
+
+    /// Schedules PoI importance phases: at each `(time, list)`, the
+    /// world's PoI list is atomically replaced by `list` — same
+    /// geometry, new weights — modelling a command center that revises
+    /// which PoIs matter as the mission evolves (e.g. a damage report
+    /// shifts priority to a hospital area). Schemes observe the swap via
+    /// their `Arc` staleness guards and re-plan; the command center's
+    /// coverage profile is rebuilt under the new weights from the photos
+    /// it already holds. Coverage *tables* stay valid because geometry
+    /// is unchanged — only the per-PoI weighting moves.
+    ///
+    /// Phases at or past the run's end are dropped (they could never be
+    /// observed). Reweighted worlds always run sequentially; `--shards`
+    /// is ignored for them like it is for traced runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a phase list's length or any PoI's id/location differs
+    /// from the world's current PoIs — reweighting changes importance,
+    /// not geometry.
+    #[must_use]
+    pub fn with_poi_reweights(mut self, phases: impl IntoIterator<Item = (f64, PoiList)>) -> Self {
+        for (step, (t, list)) in phases.into_iter().enumerate() {
+            assert_eq!(
+                list.len(),
+                self.pois.len(),
+                "reweight phase {step} has {} PoIs, world has {}",
+                list.len(),
+                self.pois.len()
+            );
+            for (new, old) in list.iter().zip(self.pois.iter()) {
+                assert!(
+                    new.id == old.id && new.location == old.location,
+                    "reweight phase {step} moves PoI {:?} — only weights may change",
+                    old.id
+                );
+            }
+            if t >= self.duration {
+                continue;
+            }
+            let list = Arc::new(list);
+            self.poi_schedule.push((t, Arc::clone(&list)));
+            self.events.push(t, EventKind::Reweight(step as u32, list));
+        }
+        self.poi_schedule.sort_by(|a, b| a.0.total_cmp(&b.0));
+        self.events.ensure_ordered();
+        self
+    }
+
+    /// The scheduled PoI importance phases (empty for static worlds).
+    #[must_use]
+    pub fn poi_schedule(&self) -> &[(f64, Arc<PoiList>)] {
+        &self.poi_schedule
     }
 
     /// Seeds photos into participants' storages at time `at` (before any
@@ -499,6 +582,7 @@ impl Simulation {
             && self.trace_sink.is_none()
             && self.checkpoints.is_none()
             && self.resume.is_none()
+            && self.poi_schedule.is_empty()
         {
             if let Some(out) = crate::shard::run_sharded(self, scheme, shards, started) {
                 return out;
@@ -598,6 +682,16 @@ impl Simulation {
             stats.events = p.events_done;
             stats.contacts = p.contacts_done;
             stats.uploads = p.uploads_done;
+            // Re-apply the last PoI phase preceding the snapshot: the
+            // serialized cc_profile already carries the phase's weights,
+            // but ctx.pois (the list schemes and samples read) is derived
+            // from the schedule, which `next_event_idx` locates exactly.
+            for event in self.events.ordered()[..start_idx].iter().rev() {
+                if let EventKind::Reweight(_, list) = &event.kind {
+                    ctx.pois = Arc::clone(list);
+                    break;
+                }
+            }
         }
         let mut writer = self
             .checkpoints
@@ -718,6 +812,29 @@ pub(crate) fn process_event<S: Scheme + ?Sized>(
     let t = event.t;
     let cc_prophet_id = ctx.cc_prophet_id;
     match &event.kind {
+        EventKind::Reweight(step, list) => {
+            // Swap the shared PoI list. Schemes hold `Arc::ptr_eq`
+            // staleness guards on it, so their selection engines and
+            // upload bases rebuild on next use. The coverage-table cache
+            // stays valid: tables are geometry-only, weights apply at
+            // query time.
+            ctx.pois = Arc::clone(list);
+            // Rebuild the command center's profile under the new weights
+            // from the photos it already holds — deterministic (add order
+            // is the collection's id order) and exact.
+            let profile = CoverageProfile::with_photos(
+                &ctx.pois,
+                ctx.coverage_params,
+                ctx.cc_received.metas(),
+            );
+            ctx.cc_profile = profile;
+            let (step, total_weight) = (*step, ctx.pois.total_weight());
+            ctx.tracer.emit_with(|| TraceEvent::PoiReweight {
+                t,
+                step,
+                total_weight,
+            });
+        }
         EventKind::Generate(node, photo) => {
             // A crashed phone takes no photos.
             if ctx.faults.is_down(*node) {
@@ -1132,6 +1249,125 @@ mod tests {
             .run(&mut FloodScheme);
         // everything may be lost, but the run completes with valid samples
         assert!(f.final_sample().point_coverage >= 0.0);
+    }
+
+    #[test]
+    fn camera_pool_restricts_generation_owners() {
+        let trace = small_trace(); // 12 nodes
+        let sim = Simulation::new(&small_config().with_camera_nodes(4), &trace, 5);
+        let mut saw_generate = false;
+        for e in sim.events.ordered() {
+            if let EventKind::Generate(node, _) = &e.kind {
+                saw_generate = true;
+                assert!(node.0 < 4, "relay {node} photographed");
+            }
+        }
+        assert!(saw_generate);
+    }
+
+    #[test]
+    fn full_camera_pool_is_byte_identical_to_unset() {
+        let trace = small_trace();
+        let a = Simulation::new(&small_config(), &trace, 7).run(&mut FloodScheme);
+        let b =
+            Simulation::new(&small_config().with_camera_nodes(12), &trace, 7).run(&mut FloodScheme);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_camera_pool_is_a_typed_error() {
+        let trace = small_trace();
+        let err = Simulation::try_new(&small_config().with_camera_nodes(0), &trace, 1).unwrap_err();
+        assert_eq!(err, SimBuildError::NoCameraNodes { camera_nodes: 0 });
+        // ...unless nothing is ever generated anyway.
+        let ok = Simulation::try_new(
+            &small_config()
+                .with_camera_nodes(0)
+                .with_photos_per_hour(0.0),
+            &trace,
+            1,
+        );
+        assert!(ok.is_ok());
+    }
+
+    fn reweighted(sim: Simulation, weights: &[(u32, f64)], at: f64) -> Simulation {
+        let phase = PoiList::new(
+            sim.pois()
+                .iter()
+                .map(|p| {
+                    let w = weights
+                        .iter()
+                        .find(|(id, _)| *id == p.id.0)
+                        .map_or(p.weight, |(_, w)| *w);
+                    Poi::with_weight(p.id.0, p.location, w)
+                })
+                .collect(),
+        );
+        sim.with_poi_reweights([(at, phase)])
+    }
+
+    #[test]
+    fn identity_reweight_is_byte_identical_to_static_world() {
+        let trace = small_trace();
+        let config = small_config();
+        let plain = Simulation::new(&config, &trace, 3).run(&mut FloodScheme);
+        let sim = Simulation::new(&config, &trace, 3);
+        let rw = reweighted(sim, &[], 10.0 * 3600.0).run(&mut FloodScheme);
+        assert_eq!(plain, rw);
+    }
+
+    #[test]
+    fn reweight_changes_coverage_denominator_after_phase_boundary() {
+        let trace = small_trace();
+        let config = small_config();
+        let plain = Simulation::new(&config, &trace, 3).run(&mut FloodScheme);
+        // Phase at 10 h: PoI 0 becomes 50× as important.
+        let sim = Simulation::new(&config, &trace, 3);
+        let rw = reweighted(sim, &[(0, 50.0)], 10.0 * 3600.0).run(&mut FloodScheme);
+        // Identical before the boundary...
+        for (a, b) in plain.samples.iter().zip(&rw.samples) {
+            if a.t_hours < 10.0 {
+                assert_eq!(a, b, "pre-phase sample diverged at {} h", a.t_hours);
+            }
+        }
+        // ...and a different point-coverage denominator after it.
+        let last_plain = plain.final_sample();
+        let last_rw = rw.final_sample();
+        assert_eq!(last_plain.delivered_photos, last_rw.delivered_photos);
+        assert_ne!(last_plain.point_coverage, last_rw.point_coverage);
+    }
+
+    #[test]
+    fn reweight_forces_sequential_path_and_stays_deterministic() {
+        let trace = small_trace();
+        let config = small_config().with_shards(4);
+        let sim = |seed| {
+            let s = Simulation::new(&config, &trace, seed);
+            reweighted(s, &[(1, 9.0)], 5.0 * 3600.0)
+        };
+        let (r1, _, stats) = sim(2).run_instrumented(&mut FloodScheme);
+        assert_eq!(stats.workers, 1, "reweighted world must not shard");
+        let (r2, _, _) = sim(2).run_instrumented(&mut FloodScheme);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    #[should_panic(expected = "only weights may change")]
+    fn reweight_rejects_moved_pois() {
+        let trace = small_trace();
+        let sim = Simulation::new(&small_config(), &trace, 1);
+        let moved = PoiList::new(
+            sim.pois()
+                .iter()
+                .map(|p| {
+                    Poi::new(
+                        p.id.0,
+                        photodtn_geo::Point::new(p.location.x + 1.0, p.location.y),
+                    )
+                })
+                .collect(),
+        );
+        let _ = sim.with_poi_reweights([(3600.0, moved)]);
     }
 
     #[test]

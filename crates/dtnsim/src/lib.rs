@@ -48,6 +48,7 @@ pub mod faults;
 mod metrics;
 mod queue;
 mod runner;
+pub mod scenario;
 pub mod schemes_api;
 mod shard;
 pub mod supervisor;
@@ -62,6 +63,7 @@ pub use faults::{FaultConfig, FaultPlan, FaultState, FaultStats};
 pub use metrics::{MetricSample, RunStats, SimResult};
 pub use photodtn_coverage::CacheStats;
 pub use runner::{run_averaged, try_run_averaged, AveragedError, AveragedSeries, SeedFailure};
+pub use scenario::{Scenario, ScenarioPlan};
 pub use schemes_api::Scheme;
 pub use shard::default_worker_count;
 pub use supervisor::{

@@ -33,13 +33,18 @@
 //! [`BinaryHeap`]: std::collections::BinaryHeap
 
 use std::cmp::Ordering;
+use std::sync::Arc;
 
 use photodtn_contacts::NodeId;
-use photodtn_coverage::Photo;
+use photodtn_coverage::{Photo, PoiList};
 
 /// What happens at one instant of simulated time.
 #[derive(Clone, Debug)]
 pub(crate) enum EventKind {
+    /// PoI importance phase `step` begins: the world's PoI list is
+    /// replaced by this one (same geometry, new weights). Scheduled only
+    /// by [`Simulation::with_poi_reweights`](crate::Simulation::with_poi_reweights).
+    Reweight(u32, Arc<PoiList>),
     /// `node` takes `photo`.
     Generate(NodeId, Photo),
     /// DTN contact with a usable duration (seconds).
@@ -56,13 +61,19 @@ pub(crate) enum EventKind {
 }
 
 /// Deterministic same-time tie-break: kind discriminant, then ids.
+///
+/// `Reweight` sorts first so a phase boundary at time `t` applies before
+/// anything else at `t`. Shifting the other discriminants up preserved
+/// their *relative* order, so worlds without reweights order — and
+/// therefore simulate — exactly as before.
 pub(crate) fn kind_key(k: &EventKind) -> (u8, u32, u32) {
     match k {
-        EventKind::Generate(n, p) => (0, n.0, p.id.0 as u32),
-        EventKind::Contact(a, b, _) => (1, a.0, b.0),
-        EventKind::Upload(n, _) => (2, n.0, 0),
-        EventKind::Crash(n) => (3, n.0, 0),
-        EventKind::Reboot(n) => (4, n.0, 0),
+        EventKind::Reweight(step, _) => (0, *step, 0),
+        EventKind::Generate(n, p) => (1, n.0, p.id.0 as u32),
+        EventKind::Contact(a, b, _) => (2, a.0, b.0),
+        EventKind::Upload(n, _) => (3, n.0, 0),
+        EventKind::Crash(n) => (4, n.0, 0),
+        EventKind::Reboot(n) => (5, n.0, 0),
     }
 }
 
@@ -224,11 +235,11 @@ mod tests {
         q.push(1.0, EventKind::Contact(NodeId(0), NodeId(1), 9.0)); // same key: push order
         let got = times(&mut q);
         assert_eq!(got[0].0, 1.0);
-        assert_eq!(got[0].1 .0, 1); // contact before crash at t=1
-        assert_eq!(got[1], (1.0, (1, 0, 1), 4)); // duplicate key → later seq second
-        assert_eq!(got[2].1 .0, 3);
-        assert_eq!(got[3], (5.0, (2, 1, 0), 3)); // upload(1) before upload(2)
-        assert_eq!(got[4], (5.0, (2, 2, 0), 0));
+        assert_eq!(got[0].1 .0, 2); // contact before crash at t=1
+        assert_eq!(got[1], (1.0, (2, 0, 1), 4)); // duplicate key → later seq second
+        assert_eq!(got[2].1 .0, 4);
+        assert_eq!(got[3], (5.0, (3, 1, 0), 3)); // upload(1) before upload(2)
+        assert_eq!(got[4], (5.0, (3, 2, 0), 0));
     }
 
     #[test]

@@ -161,6 +161,10 @@ fn boundary_nodes(event: &ScheduledEvent) -> Vec<NodeId> {
         EventKind::Upload(node, _) | EventKind::Crash(node) | EventKind::Reboot(node) => {
             vec![*node]
         }
+        // Reweights touch only master-held state (pois, cc_profile), no
+        // node handoff — and never occur here anyway: worlds with a PoI
+        // schedule take the sequential path.
+        EventKind::Reweight(..) => Vec::new(),
         EventKind::Generate(..) => unreachable!("generations are never boundary events"),
     }
 }

@@ -77,8 +77,13 @@ impl ExecutionPlan {
                 }
                 // Uploads deliver to the command center (master-held
                 // collection + f64 accumulators); crash/reboot toggles
-                // global down state. All boundary.
-                EventKind::Upload(..) | EventKind::Crash(_) | EventKind::Reboot(_) => None,
+                // global down state. All boundary. (Reweight never
+                // reaches here — reweighted worlds force the sequential
+                // path — but boundary is its correct class regardless.)
+                EventKind::Upload(..)
+                | EventKind::Crash(_)
+                | EventKind::Reboot(_)
+                | EventKind::Reweight(..) => None,
             };
             match owner {
                 Some(shard) => {

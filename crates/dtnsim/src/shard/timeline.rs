@@ -102,7 +102,8 @@ impl ProphetTimeline {
                     faults.set_down(*node, true);
                 }
                 EventKind::Reboot(node) => faults.set_down(*node, false),
-                EventKind::Generate(..) => {}
+                // Neither touches PROPHET state.
+                EventKind::Generate(..) | EventKind::Reweight(..) => {}
             }
         }
         ProphetTimeline {

@@ -37,8 +37,9 @@ use crate::{FaultConfig, SimConfig};
 
 const GB: f64 = 1024.0 * 1024.0 * 1024.0;
 
-/// The config keys a `[config]` section or `[grid]` axis may set.
-const CONFIG_KEYS: &[&str] = &[
+/// The config keys a `[config]` section or `[grid]` axis may set
+/// (shared with the scenario schema's `[sim]` section and grid).
+pub(crate) const CONFIG_KEYS: &[&str] = &[
     "photos_per_hour",
     "storage_gb",
     "deadline_hours",
@@ -52,22 +53,76 @@ const CONFIG_KEYS: &[&str] = &[
 pub struct SpecError {
     /// 1-based line number (0 when the error is not tied to a line).
     pub line: usize,
-    /// What went wrong.
+    /// The typed failure class (duplicates carry their first-definition
+    /// line so tooling can point at both sides).
+    pub kind: SpecErrorKind,
+    /// What went wrong, human-readable.
     pub message: String,
 }
 
+/// The class of a [`SpecError`] — stable across message rewording, so
+/// tests and tooling can match on structure instead of substrings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpecErrorKind {
+    /// Malformed TOML-subset syntax.
+    Syntax,
+    /// A key assigned twice in the same section — including a key
+    /// reintroduced when its section is illegally reopened.
+    DuplicateKey {
+        /// The offending key.
+        key: String,
+        /// 1-based line of the first assignment.
+        first_line: usize,
+    },
+    /// A `[section]` header appearing twice, adjacent or not.
+    DuplicateSection {
+        /// The offending section name.
+        name: String,
+        /// 1-based line of the first header.
+        first_line: usize,
+    },
+    /// Syntactically valid input that fails schema validation (unknown
+    /// names, type mismatches, out-of-range values, …).
+    Validation,
+}
+
 impl SpecError {
-    fn at(line: usize, message: impl Into<String>) -> Self {
+    pub(crate) fn at(line: usize, message: impl Into<String>) -> Self {
         SpecError {
             line,
+            kind: SpecErrorKind::Syntax,
             message: message.into(),
         }
     }
 
-    fn global(message: impl Into<String>) -> Self {
+    pub(crate) fn global(message: impl Into<String>) -> Self {
         SpecError {
             line: 0,
+            kind: SpecErrorKind::Validation,
             message: message.into(),
+        }
+    }
+
+    fn duplicate_key(line: usize, key: &str, first_line: usize) -> Self {
+        SpecError {
+            line,
+            kind: SpecErrorKind::DuplicateKey {
+                key: key.to_string(),
+                first_line,
+            },
+            message: format!("duplicate key {key:?} (first assigned on line {first_line})"),
+        }
+    }
+
+    fn duplicate_section(line: usize, name: &str, first_line: usize) -> Self {
+        SpecError {
+            line,
+            kind: SpecErrorKind::DuplicateSection {
+                name: name.to_string(),
+                first_line,
+            },
+            message: format!("duplicate section [{name}] (first opened on line {first_line})"),
         }
     }
 }
@@ -100,7 +155,7 @@ pub enum Value {
 }
 
 impl Value {
-    fn type_name(&self) -> &'static str {
+    pub(crate) fn type_name(&self) -> &'static str {
         match self {
             Value::Str(_) => "string",
             Value::Int(_) => "integer",
@@ -110,7 +165,7 @@ impl Value {
         }
     }
 
-    fn as_f64(&self) -> Option<f64> {
+    pub(crate) fn as_f64(&self) -> Option<f64> {
         match self {
             Value::Int(i) => Some(*i as f64),
             Value::Float(f) => Some(*f),
@@ -121,12 +176,21 @@ impl Value {
 
 /// Parses the TOML subset into `section -> key -> value` maps.
 ///
+/// Section names are dotted paths of `[A-Za-z0-9_]` segments (`[pois]`,
+/// `[pois.schedule]`); the dotted name is the map key verbatim. Duplicate
+/// keys and duplicate (or reopened) sections are typed errors carrying
+/// both line numbers — last-wins semantics would let a fat-fingered
+/// override silently shadow the value above it.
+///
 /// # Errors
 ///
 /// Returns a [`SpecError`] naming the offending line on any syntax
-/// error, duplicate key, or key outside a section.
+/// error, duplicate key, duplicate section, or key outside a section.
 pub fn parse_toml(text: &str) -> Result<BTreeMap<String, BTreeMap<String, Value>>, SpecError> {
     let mut doc: BTreeMap<String, BTreeMap<String, Value>> = BTreeMap::new();
+    // First-definition lines, kept aside so the value maps stay plain.
+    let mut section_lines: BTreeMap<String, usize> = BTreeMap::new();
+    let mut key_lines: BTreeMap<(String, String), usize> = BTreeMap::new();
     let mut section: Option<String> = None;
     for (i, raw) in text.lines().enumerate() {
         let line_no = i + 1;
@@ -139,15 +203,17 @@ pub fn parse_toml(text: &str) -> Result<BTreeMap<String, BTreeMap<String, Value>
                 return Err(SpecError::at(line_no, "unterminated section header"));
             };
             let name = name.trim();
-            if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            let well_formed = !name.is_empty()
+                && name.split('.').all(|seg| {
+                    !seg.is_empty() && seg.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                });
+            if !well_formed {
                 return Err(SpecError::at(line_no, format!("bad section name {name:?}")));
             }
-            if doc.contains_key(name) {
-                return Err(SpecError::at(
-                    line_no,
-                    format!("duplicate section [{name}]"),
-                ));
+            if let Some(&first) = section_lines.get(name) {
+                return Err(SpecError::duplicate_section(line_no, name, first));
             }
+            section_lines.insert(name.to_string(), line_no);
             doc.insert(name.to_string(), BTreeMap::new());
             section = Some(name.to_string());
             continue;
@@ -176,10 +242,12 @@ pub fn parse_toml(text: &str) -> Result<BTreeMap<String, BTreeMap<String, Value>
                 format!("trailing garbage after value: {rest:?}"),
             ));
         }
-        let table = doc.get_mut(section).expect("section inserted above");
-        if table.insert(key.to_string(), value).is_some() {
-            return Err(SpecError::at(line_no, format!("duplicate key {key:?}")));
+        if let Some(&first) = key_lines.get(&(section.clone(), key.to_string())) {
+            return Err(SpecError::duplicate_key(line_no, key, first));
         }
+        key_lines.insert((section.clone(), key.to_string()), line_no);
+        let table = doc.get_mut(section).expect("section inserted above");
+        table.insert(key.to_string(), value);
     }
     Ok(doc)
 }
@@ -221,10 +289,12 @@ fn parse_value(input: &str, line_no: usize) -> Result<(Value, &str), SpecError> 
                 if let Some(after) = rest.strip_prefix(']') {
                     return Ok((Value::Array(items), after));
                 }
-                let (item, after) = parse_value(rest, line_no)?;
-                if matches!(item, Value::Array(_)) {
+                // Reject nesting *before* recursing: `[[[[…` repeated ~10⁵
+                // times must be a typed error, not a stack overflow.
+                if rest.starts_with('[') {
                     return Err(SpecError::at(line_no, "nested arrays are not supported"));
                 }
+                let (item, after) = parse_value(rest, line_no)?;
                 items.push(item);
                 rest = after.trim_start();
                 if let Some(after) = rest.strip_prefix(',') {
@@ -413,36 +483,10 @@ impl SweepSpec {
         }
         reject_unknown(&config_tbl, "config")?;
 
-        let mut grid = BTreeMap::new();
-        if let Some(grid_tbl) = doc.remove("grid") {
-            for (key, value) in grid_tbl {
-                if !CONFIG_KEYS.contains(&key.as_str()) {
-                    return Err(SpecError::global(format!(
-                        "[grid] unknown axis {key:?} (expected one of {CONFIG_KEYS:?})"
-                    )));
-                }
-                let Value::Array(items) = value else {
-                    return Err(SpecError::global(format!(
-                        "[grid] {key} must be an array of numbers"
-                    )));
-                };
-                let values: Vec<f64> = items
-                    .iter()
-                    .map(|v| {
-                        v.as_f64().ok_or_else(|| {
-                            SpecError::global(format!(
-                                "[grid] {key} must contain only numbers, got {}",
-                                v.type_name()
-                            ))
-                        })
-                    })
-                    .collect::<Result<_, _>>()?;
-                if values.is_empty() {
-                    return Err(SpecError::global(format!("[grid] {key} must be non-empty")));
-                }
-                grid.insert(key, values);
-            }
-        }
+        let grid = match doc.remove("grid") {
+            Some(grid_tbl) => parse_grid(grid_tbl)?,
+            None => BTreeMap::new(),
+        };
 
         Ok(SweepSpec {
             schemes,
@@ -457,43 +501,7 @@ impl SweepSpec {
     /// Expands the spec into the executable plan.
     #[must_use]
     pub fn plan(&self) -> SweepPlan {
-        // Cross product of the grid axes, keys in sorted order so the
-        // variant list is deterministic.
-        let axes: Vec<(&String, &Vec<f64>)> = self.grid.iter().collect();
-        let mut variants: Vec<(String, SimConfig)> = Vec::new();
-        let mut index = vec![0usize; axes.len()];
-        loop {
-            let mut name_parts = Vec::new();
-            let mut config = self.base.clone();
-            for (axis, &i) in axes.iter().zip(&index) {
-                let value = axis.1[i];
-                name_parts.push(format!("{}={}", axis.0, value));
-                config = apply_config(config, axis.0, value)
-                    .expect("grid keys validated against CONFIG_KEYS at parse time");
-            }
-            let name = if name_parts.is_empty() {
-                "base".to_string()
-            } else {
-                name_parts.join(",")
-            };
-            variants.push((name, config));
-            // Odometer increment; done when it wraps (or there are no
-            // axes, where the single base variant is the whole grid).
-            let mut carry = true;
-            for (slot, axis) in index.iter_mut().zip(&axes) {
-                *slot += 1;
-                if *slot < axis.1.len() {
-                    carry = false;
-                    break;
-                }
-                *slot = 0;
-            }
-            if carry {
-                break;
-            }
-        }
-        variants.sort_by(|a, b| a.0.cmp(&b.0));
-
+        let variants = expand_grid(&self.base, &self.grid);
         let mut cells = Vec::with_capacity(self.schemes.len() * variants.len() * self.seeds.len());
         for scheme in &self.schemes {
             for (variant, _) in &variants {
@@ -513,6 +521,91 @@ impl SweepSpec {
             trace: self.trace.clone(),
         }
     }
+}
+
+/// Parses a `[grid]` table: every key is an axis (one of
+/// [`CONFIG_KEYS`]) mapping to a non-empty array of numbers. Shared by
+/// the sweep spec and the scenario schema.
+pub(crate) fn parse_grid(
+    grid_tbl: BTreeMap<String, Value>,
+) -> Result<BTreeMap<String, Vec<f64>>, SpecError> {
+    let mut grid = BTreeMap::new();
+    for (key, value) in grid_tbl {
+        if !CONFIG_KEYS.contains(&key.as_str()) {
+            return Err(SpecError::global(format!(
+                "[grid] unknown axis {key:?} (expected one of {CONFIG_KEYS:?})"
+            )));
+        }
+        let Value::Array(items) = value else {
+            return Err(SpecError::global(format!(
+                "[grid] {key} must be an array of numbers"
+            )));
+        };
+        let values: Vec<f64> = items
+            .iter()
+            .map(|v| {
+                v.as_f64().ok_or_else(|| {
+                    SpecError::global(format!(
+                        "[grid] {key} must contain only numbers, got {}",
+                        v.type_name()
+                    ))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        if values.is_empty() {
+            return Err(SpecError::global(format!("[grid] {key} must be non-empty")));
+        }
+        grid.insert(key, values);
+    }
+    Ok(grid)
+}
+
+/// Expands a grid (axis → values) over a base config into the sorted
+/// variant list: the cross product of every axis, each variant named
+/// `key=value,key=value` (or `"base"` when the grid is empty). Shared by
+/// the sweep spec and the scenario schema so both name variants
+/// identically — the journal binds on variant names.
+pub(crate) fn expand_grid(
+    base: &SimConfig,
+    grid: &BTreeMap<String, Vec<f64>>,
+) -> Vec<(String, SimConfig)> {
+    // Cross product of the grid axes, keys in sorted order so the
+    // variant list is deterministic.
+    let axes: Vec<(&String, &Vec<f64>)> = grid.iter().collect();
+    let mut variants: Vec<(String, SimConfig)> = Vec::new();
+    let mut index = vec![0usize; axes.len()];
+    loop {
+        let mut name_parts = Vec::new();
+        let mut config = base.clone();
+        for (axis, &i) in axes.iter().zip(&index) {
+            let value = axis.1[i];
+            name_parts.push(format!("{}={}", axis.0, value));
+            config = apply_config(config, axis.0, value)
+                .expect("grid keys validated against CONFIG_KEYS at parse time");
+        }
+        let name = if name_parts.is_empty() {
+            "base".to_string()
+        } else {
+            name_parts.join(",")
+        };
+        variants.push((name, config));
+        // Odometer increment; done when it wraps (or there are no
+        // axes, where the single base variant is the whole grid).
+        let mut carry = true;
+        for (slot, axis) in index.iter_mut().zip(&axes) {
+            *slot += 1;
+            if *slot < axis.1.len() {
+                carry = false;
+                break;
+            }
+            *slot = 0;
+        }
+        if carry {
+            break;
+        }
+    }
+    variants.sort_by(|a, b| a.0.cmp(&b.0));
+    variants
 }
 
 /// The executable form of a spec: the cell list plus per-variant configs
@@ -569,7 +662,11 @@ impl SweepPlan {
     }
 }
 
-fn apply_config(config: SimConfig, key: &str, value: f64) -> Result<SimConfig, SpecError> {
+pub(crate) fn apply_config(
+    config: SimConfig,
+    key: &str,
+    value: f64,
+) -> Result<SimConfig, SpecError> {
     let check_range = |lo: f64, hi: f64| -> Result<(), SpecError> {
         if (lo..=hi).contains(&value) {
             Ok(())
@@ -614,7 +711,10 @@ fn apply_config(config: SimConfig, key: &str, value: f64) -> Result<SimConfig, S
     })
 }
 
-fn reject_unknown(table: &BTreeMap<String, Value>, section: &str) -> Result<(), SpecError> {
+pub(crate) fn reject_unknown(
+    table: &BTreeMap<String, Value>,
+    section: &str,
+) -> Result<(), SpecError> {
     if let Some(key) = table.keys().next() {
         return Err(SpecError::global(format!(
             "[{section}] unknown key {key:?}"
@@ -623,7 +723,7 @@ fn reject_unknown(table: &BTreeMap<String, Value>, section: &str) -> Result<(), 
     Ok(())
 }
 
-fn take_string(
+pub(crate) fn take_string(
     table: &mut BTreeMap<String, Value>,
     key: &str,
 ) -> Result<Option<String>, SpecError> {
@@ -637,7 +737,7 @@ fn take_string(
     }
 }
 
-fn take_string_array(
+pub(crate) fn take_string_array(
     table: &mut BTreeMap<String, Value>,
     key: &str,
 ) -> Result<Option<Vec<String>>, SpecError> {
@@ -661,7 +761,7 @@ fn take_string_array(
     }
 }
 
-fn take_int_array(
+pub(crate) fn take_int_array(
     table: &mut BTreeMap<String, Value>,
     key: &str,
 ) -> Result<Option<Vec<u64>>, SpecError> {
@@ -855,6 +955,91 @@ photos_per_hour = [50, 250]
             let err = parse_toml(text).unwrap_err();
             assert_eq!(err.line, line, "{text:?}: {err}");
         }
+    }
+
+    #[test]
+    fn duplicate_key_same_section_is_typed_with_both_lines() {
+        let err = parse_toml("[s]\na = 1\nb = 2\na = 3\n").unwrap_err();
+        assert_eq!(err.line, 4);
+        assert_eq!(
+            err.kind,
+            SpecErrorKind::DuplicateKey {
+                key: "a".into(),
+                first_line: 2,
+            }
+        );
+        assert!(err.to_string().contains("line 4"), "{err}");
+        assert!(
+            err.to_string().contains("first assigned on line 2"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn duplicate_section_is_typed_even_when_reopened_later() {
+        // Adjacent duplicate.
+        let err = parse_toml("[s]\n[s]\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(
+            err.kind,
+            SpecErrorKind::DuplicateSection {
+                name: "s".into(),
+                first_line: 1,
+            }
+        );
+        // Cross-section reopen: [a] … [b] … [a] again. Last-wins would
+        // silently merge or shadow; we reject at the second header.
+        let err = parse_toml("[a]\nx = 1\n[b]\ny = 2\n[a]\nz = 3\n").unwrap_err();
+        assert_eq!(err.line, 5);
+        assert_eq!(
+            err.kind,
+            SpecErrorKind::DuplicateSection {
+                name: "a".into(),
+                first_line: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn same_key_in_different_sections_is_fine() {
+        let doc = parse_toml("[a]\nx = 1\n[b]\nx = 2\n").unwrap();
+        assert_eq!(doc["a"]["x"], Value::Int(1));
+        assert_eq!(doc["b"]["x"], Value::Int(2));
+    }
+
+    #[test]
+    fn dotted_section_names_parse() {
+        let doc = parse_toml("[pois]\ncount = 3\n[pois.schedule]\nat_hours = [1, 2]\n").unwrap();
+        assert_eq!(doc["pois"]["count"], Value::Int(3));
+        assert_eq!(
+            doc["pois.schedule"]["at_hours"],
+            Value::Array(vec![Value::Int(1), Value::Int(2)])
+        );
+        // Empty segments are still malformed.
+        for bad in ["[.]", "[a.]", "[.a]", "[a..b]"] {
+            let err = parse_toml(&format!("{bad}\n")).unwrap_err();
+            assert_eq!(err.kind, SpecErrorKind::Syntax, "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn deeply_nested_array_is_an_error_not_a_stack_overflow() {
+        let text = format!("[s]\na = {}1", "[".repeat(100_000));
+        let err = parse_toml(&text).unwrap_err();
+        assert!(err.to_string().contains("nested arrays"), "{err}");
+    }
+
+    #[test]
+    fn expand_grid_matches_plan_naming() {
+        let mut grid = BTreeMap::new();
+        grid.insert("fault_intensity".to_string(), vec![0.0, 0.5]);
+        let variants = expand_grid(&SimConfig::mit_default(), &grid);
+        assert_eq!(variants.len(), 2);
+        assert_eq!(variants[0].0, "fault_intensity=0");
+        assert_eq!(variants[1].0, "fault_intensity=0.5");
+        assert!(expand_grid(&SimConfig::mit_default(), &BTreeMap::new())
+            .iter()
+            .any(|(name, _)| name == "base"));
     }
 
     #[test]

@@ -162,6 +162,13 @@ pub enum TraceEvent {
     },
     /// A crashed node came back empty.
     NodeRebooted { t: f64, node: u32 },
+    /// A scheduled PoI importance phase began: step index in the
+    /// schedule and the new total PoI weight.
+    PoiReweight {
+        t: f64,
+        step: u32,
+        total_weight: f64,
+    },
     /// Per-node buffer occupancy, sampled at the metric interval.
     BufferSnapshot {
         t: f64,
@@ -200,6 +207,7 @@ impl TraceEvent {
             | TraceEvent::Delivered { t, .. }
             | TraceEvent::NodeCrashed { t, .. }
             | TraceEvent::NodeRebooted { t, .. }
+            | TraceEvent::PoiReweight { t, .. }
             | TraceEvent::BufferSnapshot { t, .. }
             | TraceEvent::RunEnd { t, .. } => *t,
         }
